@@ -1,0 +1,190 @@
+//! Alpha-power-law delay derating under threshold-voltage shift.
+
+use serde::{Deserialize, Serialize};
+
+use crate::VthShift;
+
+/// Converts a threshold shift into a multiplicative gate-delay factor.
+///
+/// Gate propagation delay follows the paper's Eq. 1/2: the on-current
+/// is `I_on ∝ (Vdd − (Vth + ΔVth))^α` (alpha-power law) and the delay is
+/// `D ∝ C·Vdd / I_on`. Aging therefore multiplies every cell delay by
+///
+/// ```text
+/// derate(ΔVth) = ((Vdd − Vth₀) / (Vdd − Vth₀ − ΔVth))^α
+/// ```
+///
+/// [`DelayDerating::intel14nm`] uses the operating point Vdd = 0.80 V,
+/// Vth₀ = 0.35 V, with the saturation exponent α calibrated so the
+/// end-of-life point ΔVth = 50 mV yields the paper's measured **+23%**
+/// critical-path delay increase.
+///
+/// # Example
+///
+/// ```
+/// use agequant_aging::{DelayDerating, VthShift};
+///
+/// let d = DelayDerating::intel14nm();
+/// assert_eq!(d.factor(VthShift::FRESH), 1.0);
+/// let eol = d.factor(VthShift::from_millivolts(50.0));
+/// assert!((eol - 1.23).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayDerating {
+    vdd: f64,
+    vth0: f64,
+    alpha: f64,
+}
+
+impl DelayDerating {
+    /// End-of-life delay increase the 14 nm calibration reproduces (23%).
+    pub const EOL_DELAY_INCREASE: f64 = 0.23;
+
+    /// Supply voltage of the 14 nm calibration (volts).
+    pub const VDD_14NM: f64 = 0.80;
+
+    /// Fresh threshold voltage of the 14 nm calibration (volts).
+    pub const VTH0_14NM: f64 = 0.35;
+
+    /// Creates a derating model from an explicit operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overdrive `vdd − vth0` is not strictly positive or
+    /// if `alpha` is not strictly positive.
+    #[must_use]
+    pub fn new(vdd: f64, vth0: f64, alpha: f64) -> Self {
+        assert!(
+            vdd.is_finite() && vth0.is_finite() && vdd > vth0,
+            "overdrive voltage must be positive (vdd={vdd}, vth0={vth0})"
+        );
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        DelayDerating { vdd, vth0, alpha }
+    }
+
+    /// The 14 nm FinFET calibration: α chosen such that
+    /// `factor(50 mV) = 1.23` at Vdd = 0.80 V, Vth₀ = 0.35 V.
+    #[must_use]
+    pub fn intel14nm() -> Self {
+        let vdd = Self::VDD_14NM;
+        let vth0 = Self::VTH0_14NM;
+        let overdrive = vdd - vth0;
+        // (overdrive / (overdrive - 50 mV))^alpha == 1.23
+        let alpha = (1.0 + Self::EOL_DELAY_INCREASE).ln() / (overdrive / (overdrive - 0.050)).ln();
+        Self::new(vdd, vth0, alpha)
+    }
+
+    /// Supply voltage in volts.
+    #[must_use]
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Fresh threshold voltage in volts.
+    #[must_use]
+    pub fn vth0(&self) -> f64 {
+        self.vth0
+    }
+
+    /// Alpha-power-law saturation exponent.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The multiplicative delay factor at aging level `shift`.
+    ///
+    /// Always ≥ 1 and strictly increasing in `shift`; `1.0` exactly for
+    /// a fresh device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shift consumes the entire overdrive voltage (the
+    /// transistor would no longer turn on) — physically meaningless for
+    /// the calibrated 0–50 mV range.
+    #[must_use]
+    pub fn factor(&self, shift: VthShift) -> f64 {
+        let overdrive = self.vdd - self.vth0;
+        let aged = overdrive - shift.volts();
+        assert!(
+            aged > 0.0,
+            "ΔVth={} consumes the whole overdrive of {overdrive} V",
+            shift
+        );
+        (overdrive / aged).powf(self.alpha)
+    }
+
+    /// Relative on-current loss at `shift`: `1 − I_on(aged)/I_on(fresh)`.
+    ///
+    /// Exposed for power/EM analyses; the delay [`factor`] is the
+    /// reciprocal current ratio.
+    ///
+    /// [`factor`]: DelayDerating::factor
+    #[must_use]
+    pub fn on_current_loss(&self, shift: VthShift) -> f64 {
+        1.0 - 1.0 / self.factor(shift)
+    }
+}
+
+impl Default for DelayDerating {
+    fn default() -> Self {
+        Self::intel14nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_factor_is_one() {
+        assert_eq!(DelayDerating::intel14nm().factor(VthShift::FRESH), 1.0);
+    }
+
+    #[test]
+    fn eol_factor_is_23_percent() {
+        let f = DelayDerating::intel14nm().factor(VthShift::from_millivolts(50.0));
+        assert!((f - 1.23).abs() < 1e-12, "got {f}");
+    }
+
+    #[test]
+    fn factor_monotone_in_shift() {
+        let d = DelayDerating::intel14nm();
+        let mut last = 0.0;
+        for mv in 0..=50 {
+            let f = d.factor(VthShift::from_millivolts(f64::from(mv)));
+            assert!(f > last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn intermediate_levels_match_hand_calc() {
+        // (0.45/0.44)^alpha etc. — spot check one level end to end.
+        let d = DelayDerating::intel14nm();
+        let f10 = d.factor(VthShift::from_millivolts(10.0));
+        let expect = (0.45f64 / 0.44).powf(d.alpha());
+        assert!((f10 - expect).abs() < 1e-12);
+        assert!(f10 > 1.03 && f10 < 1.06, "10 mV ≈ +4%: got {f10}");
+    }
+
+    #[test]
+    fn current_loss_consistent_with_factor() {
+        let d = DelayDerating::intel14nm();
+        let s = VthShift::from_millivolts(30.0);
+        let loss = d.on_current_loss(s);
+        assert!((1.0 / (1.0 - loss) - d.factor(s)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overdrive")]
+    fn shift_beyond_overdrive_panics() {
+        let _ = DelayDerating::intel14nm().factor(VthShift::from_volts(0.46));
+    }
+
+    #[test]
+    #[should_panic(expected = "overdrive voltage")]
+    fn inverted_operating_point_rejected() {
+        let _ = DelayDerating::new(0.3, 0.35, 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Transistor-aging models for the `agequant` reliability-aware
+//! quantization flow.
+//!
+//! This crate is the device-level substrate of the reproduction of
+//! *"Reliability-Aware Quantization for Anti-Aging NPUs"* (DATE 2021).
+//! It provides:
+//!
+//! * [`VthShift`] — a newtype for the aging-induced threshold-voltage
+//!   increase ΔVth, the paper's unbiased measure of aging level,
+//! * [`NbtiModel`] — power-law NBTI degradation kinetics mapping stress
+//!   time to ΔVth (and back), calibrated so that the projected 10-year
+//!   lifetime corresponds to ΔVth = 50 mV as reported for Intel's 14 nm
+//!   FinFET technology,
+//! * [`DelayDerating`] — an alpha-power-law drain-current model that
+//!   converts a ΔVth into a multiplicative gate-delay derating factor,
+//!   calibrated so that end-of-life (50 mV) degrades the critical path
+//!   by the paper's measured 23%,
+//! * [`AgingScenario`] — a bundle of the above plus the standard sweep
+//!   of aging levels ({0, 10, 20, 30, 40, 50} mV) used throughout the
+//!   evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_aging::{AgingScenario, VthShift};
+//!
+//! let scenario = AgingScenario::intel14nm();
+//! // End of life: ten years of stress.
+//! let eol = scenario.nbti().vth_shift_at(scenario.lifetime_years());
+//! assert!((eol.millivolts() - 50.0).abs() < 1e-6);
+//! // The paper's headline: +23% critical-path delay at end of life.
+//! let derate = scenario.derating().factor(eol);
+//! assert!((derate - 1.23).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod derating;
+mod mission;
+mod nbti;
+mod scenario;
+mod vth;
+
+pub use derating::DelayDerating;
+pub use mission::{MissionProfile, Phase};
+pub use nbti::NbtiModel;
+pub use scenario::{AgingScenario, AGING_SWEEP_MV};
+pub use vth::VthShift;

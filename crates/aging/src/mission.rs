@@ -1,0 +1,243 @@
+//! Mission profiles: operating-condition-dependent aging.
+//!
+//! Section 6.1 of the paper notes that the wall-clock time at which a
+//! given ΔVth is reached depends on operating conditions — utilization
+//! (stress duty cycle) and temperature — which is why ΔVth, not time,
+//! is the unbiased aging measure. This module models that dependence:
+//! a [`MissionProfile`] is a repeating schedule of operating
+//! [`Phase`]s, and [`MissionProfile::vth_shift_at`] integrates the
+//! NBTI kinetics across them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NbtiModel, VthShift};
+
+/// NBTI temperature-acceleration activation energy proxy: the
+/// per-kelvin exponential factor of the Arrhenius-like prefactor
+/// scaling used below (≈2×/25 K, a typical reported value).
+const TEMP_ACCEL_PER_K: f64 = 0.028;
+
+/// Reference temperature for the calibrated kinetics, kelvin.
+const T_REF_K: f64 = 358.15; // 85 °C, typical stress-test condition
+
+/// One operating phase of a mission profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Fraction of the schedule spent in this phase, `(0, 1]`.
+    pub fraction: f64,
+    /// Stress duty cycle while in this phase, `[0, 1]`.
+    pub duty_cycle: f64,
+    /// Junction temperature while in this phase, °C.
+    pub temperature_c: f64,
+}
+
+impl Phase {
+    /// Validates the phase.
+    ///
+    /// # Errors
+    ///
+    /// Describes the violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.fraction > 0.0 && self.fraction <= 1.0) {
+            return Err(format!("phase fraction {} out of (0, 1]", self.fraction));
+        }
+        if !(0.0..=1.0).contains(&self.duty_cycle) {
+            return Err(format!("duty cycle {} out of [0, 1]", self.duty_cycle));
+        }
+        if !(-55.0..=150.0).contains(&self.temperature_c) {
+            return Err(format!(
+                "temperature {} °C out of range",
+                self.temperature_c
+            ));
+        }
+        Ok(())
+    }
+
+    /// The phase's aging-rate multiplier relative to the reference
+    /// condition (full stress at 85 °C): duty × Arrhenius factor.
+    #[must_use]
+    pub fn acceleration(&self) -> f64 {
+        let t_k = self.temperature_c + 273.15;
+        self.duty_cycle * (TEMP_ACCEL_PER_K * (t_k - T_REF_K)).exp()
+    }
+}
+
+/// A repeating schedule of operating phases.
+///
+/// # Example
+///
+/// ```
+/// use agequant_aging::{MissionProfile, NbtiModel, Phase};
+///
+/// # fn main() -> Result<(), String> {
+/// // A camera NPU: 30% busy at 70 °C, idle (cool, unstressed) rest.
+/// let profile = MissionProfile::new(vec![
+///     Phase { fraction: 0.3, duty_cycle: 0.9, temperature_c: 70.0 },
+///     Phase { fraction: 0.7, duty_cycle: 0.1, temperature_c: 40.0 },
+/// ])?;
+/// let nbti = NbtiModel::intel14nm();
+/// let easy = profile.vth_shift_at(&nbti, 10.0);
+/// let harsh = MissionProfile::worst_case().vth_shift_at(&nbti, 10.0);
+/// assert!(easy < harsh);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionProfile {
+    phases: Vec<Phase>,
+}
+
+impl MissionProfile {
+    /// Builds a profile; phase fractions must sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn new(phases: Vec<Phase>) -> Result<Self, String> {
+        if phases.is_empty() {
+            return Err("mission profile needs at least one phase".into());
+        }
+        for phase in &phases {
+            phase.validate()?;
+        }
+        let total: f64 = phases.iter().map(|p| p.fraction).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(format!("phase fractions sum to {total}, expected 1"));
+        }
+        Ok(MissionProfile { phases })
+    }
+
+    /// The paper's evaluation condition: continuous full stress at the
+    /// reference temperature (worst case; ΔVth(10 y) = 50 mV).
+    #[must_use]
+    pub fn worst_case() -> Self {
+        MissionProfile {
+            phases: vec![Phase {
+                fraction: 1.0,
+                duty_cycle: 1.0,
+                temperature_c: 85.0,
+            }],
+        }
+    }
+
+    /// The phases.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Effective aging acceleration of the whole schedule (weighted
+    /// mean of phase accelerations; 1.0 = reference conditions).
+    #[must_use]
+    pub fn acceleration(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.fraction * p.acceleration())
+            .sum()
+    }
+
+    /// ΔVth after `years` under this profile: the power-law kinetics
+    /// evaluated at the acceleration-scaled effective stress time.
+    #[must_use]
+    pub fn vth_shift_at(&self, nbti: &NbtiModel, years: f64) -> VthShift {
+        nbti.vth_shift_at(self.acceleration() * years)
+    }
+
+    /// The wall-clock years at which this profile reaches `shift`.
+    #[must_use]
+    pub fn years_to_reach(&self, nbti: &NbtiModel, shift: VthShift) -> f64 {
+        nbti.years_to_reach(shift) / self.acceleration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nbti() -> NbtiModel {
+        NbtiModel::intel14nm()
+    }
+
+    #[test]
+    fn worst_case_matches_base_kinetics() {
+        let p = MissionProfile::worst_case();
+        assert!((p.acceleration() - 1.0).abs() < 1e-12);
+        let direct = nbti().vth_shift_at(10.0);
+        assert_eq!(p.vth_shift_at(&nbti(), 10.0), direct);
+    }
+
+    #[test]
+    fn cooler_and_idler_ages_slower() {
+        let easy = MissionProfile::new(vec![Phase {
+            fraction: 1.0,
+            duty_cycle: 0.5,
+            temperature_c: 45.0,
+        }])
+        .expect("valid");
+        assert!(easy.acceleration() < 0.5);
+        assert!(easy.vth_shift_at(&nbti(), 10.0) < nbti().vth_shift_at(10.0));
+        assert!(
+            easy.years_to_reach(&nbti(), VthShift::from_millivolts(20.0))
+                > MissionProfile::worst_case()
+                    .years_to_reach(&nbti(), VthShift::from_millivolts(20.0))
+        );
+    }
+
+    #[test]
+    fn hotter_than_reference_ages_faster() {
+        let hot = MissionProfile::new(vec![Phase {
+            fraction: 1.0,
+            duty_cycle: 1.0,
+            temperature_c: 110.0,
+        }])
+        .expect("valid");
+        assert!(hot.acceleration() > 1.5);
+    }
+
+    #[test]
+    fn fractions_must_sum_to_one() {
+        let err = MissionProfile::new(vec![Phase {
+            fraction: 0.6,
+            duty_cycle: 1.0,
+            temperature_c: 85.0,
+        }])
+        .unwrap_err();
+        assert!(err.contains("sum"), "{err}");
+    }
+
+    #[test]
+    fn phase_validation() {
+        assert!(Phase {
+            fraction: 0.5,
+            duty_cycle: 1.5,
+            temperature_c: 85.0
+        }
+        .validate()
+        .is_err());
+        assert!(Phase {
+            fraction: 0.5,
+            duty_cycle: 0.5,
+            temperature_c: 200.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn mixed_schedule_interpolates() {
+        let mixed = MissionProfile::new(vec![
+            Phase {
+                fraction: 0.5,
+                duty_cycle: 1.0,
+                temperature_c: 85.0,
+            },
+            Phase {
+                fraction: 0.5,
+                duty_cycle: 0.0,
+                temperature_c: 25.0,
+            },
+        ])
+        .expect("valid");
+        assert!((mixed.acceleration() - 0.5).abs() < 1e-9);
+    }
+}

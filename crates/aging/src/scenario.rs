@@ -1,0 +1,185 @@
+//! The [`AgingScenario`] bundle and the paper's standard aging sweep.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DelayDerating, NbtiModel, VthShift};
+
+/// The aging levels evaluated throughout the paper, in millivolts:
+/// fresh plus 10 mV steps up to the 50 mV (10-year) end of life.
+pub const AGING_SWEEP_MV: [f64; 6] = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0];
+
+/// A complete aging scenario: kinetics + derating + lifetime.
+///
+/// Bundles the device-level models so circuit- and system-level crates
+/// can be handed a single object describing "how this technology ages".
+///
+/// # Example
+///
+/// ```
+/// use agequant_aging::AgingScenario;
+///
+/// let s = AgingScenario::intel14nm();
+/// let levels = s.sweep();
+/// assert_eq!(levels.len(), 6);
+/// assert!(levels[0].is_fresh());
+/// assert_eq!(levels[5].millivolts(), 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingScenario {
+    nbti: NbtiModel,
+    derating: DelayDerating,
+    lifetime_years: f64,
+}
+
+impl AgingScenario {
+    /// The paper's 14 nm FinFET scenario: 10-year lifetime, 50 mV EOL
+    /// shift, +23% EOL delay.
+    #[must_use]
+    pub fn intel14nm() -> Self {
+        AgingScenario {
+            nbti: NbtiModel::intel14nm(),
+            derating: DelayDerating::intel14nm(),
+            lifetime_years: NbtiModel::LIFETIME_YEARS,
+        }
+    }
+
+    /// Builds a scenario from explicit models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lifetime_years` is not strictly positive.
+    #[must_use]
+    pub fn new(nbti: NbtiModel, derating: DelayDerating, lifetime_years: f64) -> Self {
+        assert!(
+            lifetime_years > 0.0 && lifetime_years.is_finite(),
+            "lifetime must be positive"
+        );
+        AgingScenario {
+            nbti,
+            derating,
+            lifetime_years,
+        }
+    }
+
+    /// The degradation kinetics.
+    #[must_use]
+    pub fn nbti(&self) -> &NbtiModel {
+        &self.nbti
+    }
+
+    /// The delay-derating model.
+    #[must_use]
+    pub fn derating(&self) -> &DelayDerating {
+        &self.derating
+    }
+
+    /// Projected lifetime in years.
+    #[must_use]
+    pub fn lifetime_years(&self) -> f64 {
+        self.lifetime_years
+    }
+
+    /// The standard evaluation sweep: fresh, 10, 20, 30, 40, 50 mV.
+    #[must_use]
+    pub fn sweep(&self) -> Vec<VthShift> {
+        AGING_SWEEP_MV
+            .iter()
+            .map(|&mv| VthShift::from_millivolts(mv))
+            .collect()
+    }
+
+    /// Like [`sweep`](Self::sweep) but without the fresh point — the
+    /// five *aged* levels Table 1 / Table 2 report.
+    #[must_use]
+    pub fn aged_sweep(&self) -> Vec<VthShift> {
+        self.sweep().into_iter().filter(|s| !s.is_fresh()).collect()
+    }
+
+    /// Delay-derating factor after `years` of operation: composition of
+    /// kinetics and derating.
+    #[must_use]
+    pub fn delay_factor_at(&self, years: f64) -> f64 {
+        self.derating.factor(self.nbti.vth_shift_at(years))
+    }
+
+    /// The end-of-life shift: ΔVth at the projected lifetime.
+    #[must_use]
+    pub fn eol_shift(&self) -> VthShift {
+        self.nbti.vth_shift_at(self.lifetime_years)
+    }
+
+    /// The static timing guardband (as a fraction of fresh delay) a
+    /// conventional design must reserve to survive until end of life —
+    /// the paper's Eq. 3/4 cost: 23% for the 14 nm calibration.
+    #[must_use]
+    pub fn required_guardband(&self) -> f64 {
+        self.derating.factor(self.eol_shift()) - 1.0
+    }
+}
+
+impl Default for AgingScenario {
+    fn default() -> Self {
+        Self::intel14nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_matches_paper_constants() {
+        let s = AgingScenario::default();
+        assert_eq!(s.lifetime_years(), 10.0);
+        assert!((s.eol_shift().millivolts() - 50.0).abs() < 1e-9);
+        assert!((s.required_guardband() - 0.23).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_the_six_paper_levels() {
+        let s = AgingScenario::intel14nm();
+        let sweep = s.sweep();
+        assert_eq!(sweep.len(), 6);
+        for (shift, mv) in sweep.iter().zip(AGING_SWEEP_MV) {
+            assert!((shift.millivolts() - mv).abs() < 1e-9);
+        }
+        assert_eq!(s.aged_sweep().len(), 5);
+    }
+
+    #[test]
+    fn delay_factor_composes_models() {
+        let s = AgingScenario::intel14nm();
+        assert!((s.delay_factor_at(10.0) - 1.23).abs() < 1e-9);
+        assert!(s.delay_factor_at(1.0) > 1.0);
+        assert!(s.delay_factor_at(1.0) < s.delay_factor_at(5.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// The delay factor is ≥ 1 and monotone over the whole lifetime.
+        #[test]
+        fn delay_factor_monotone(a in 0.0f64..10.0, b in 0.0f64..10.0) {
+            let s = AgingScenario::intel14nm();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let f_lo = s.delay_factor_at(lo);
+            let f_hi = s.delay_factor_at(hi);
+            prop_assert!(f_lo >= 1.0);
+            prop_assert!(f_hi + 1e-12 >= f_lo);
+        }
+
+        /// Kinetics inversion round-trips across the lifetime range.
+        #[test]
+        fn kinetics_invert(years in 0.01f64..10.0) {
+            let s = AgingScenario::intel14nm();
+            let shift = s.nbti().vth_shift_at(years);
+            let back = s.nbti().years_to_reach(shift);
+            prop_assert!((back - years).abs() < 1e-6 * years.max(1.0));
+        }
+    }
+}

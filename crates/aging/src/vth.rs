@@ -1,0 +1,130 @@
+//! The [`VthShift`] newtype: aging-induced threshold-voltage increase.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Aging-induced threshold-voltage increase ΔVth, in volts.
+///
+/// The paper treats ΔVth as the *unbiased measure of aging level*
+/// (Section 6.1): operating conditions (temperature, utilization) change
+/// how fast a chip reaches a given ΔVth, but the circuit-level delay
+/// impact depends only on ΔVth itself. A fresh chip has ΔVth = 0; the
+/// 10-year projected end of life for the calibrated 14 nm FinFET
+/// technology is ΔVth = 50 mV.
+///
+/// # Example
+///
+/// ```
+/// use agequant_aging::VthShift;
+///
+/// let eol = VthShift::from_millivolts(50.0);
+/// assert_eq!(eol.volts(), 0.05);
+/// assert!(VthShift::FRESH < eol);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct VthShift(f64);
+
+impl VthShift {
+    /// A fresh (un-aged) device: ΔVth = 0.
+    pub const FRESH: VthShift = VthShift(0.0);
+
+    /// Creates a shift from a value in volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volts` is negative or not finite; aging only ever
+    /// increases the threshold voltage.
+    #[must_use]
+    pub fn from_volts(volts: f64) -> Self {
+        assert!(
+            volts.is_finite() && volts >= 0.0,
+            "ΔVth must be finite and non-negative, got {volts}"
+        );
+        VthShift(volts)
+    }
+
+    /// Creates a shift from a value in millivolts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mv` is negative or not finite.
+    #[must_use]
+    pub fn from_millivolts(mv: f64) -> Self {
+        Self::from_volts(mv * 1e-3)
+    }
+
+    /// The shift in volts.
+    #[must_use]
+    pub fn volts(self) -> f64 {
+        self.0
+    }
+
+    /// The shift in millivolts.
+    #[must_use]
+    pub fn millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Whether this is the fresh (zero-shift) operating point.
+    #[must_use]
+    pub fn is_fresh(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Default for VthShift {
+    fn default() -> Self {
+        VthShift::FRESH
+    }
+}
+
+impl fmt::Display for VthShift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ΔVth={:.0}mV", self.millivolts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_is_zero() {
+        assert_eq!(VthShift::FRESH.volts(), 0.0);
+        assert!(VthShift::FRESH.is_fresh());
+        assert_eq!(VthShift::default(), VthShift::FRESH);
+    }
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        let v = VthShift::from_millivolts(37.5);
+        assert!((v.volts() - 0.0375).abs() < 1e-12);
+        assert!((v.millivolts() - 37.5).abs() < 1e-9);
+        assert!(!v.is_fresh());
+    }
+
+    #[test]
+    fn ordering_follows_magnitude() {
+        let a = VthShift::from_millivolts(10.0);
+        let b = VthShift::from_millivolts(20.0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(VthShift::from_millivolts(50.0).to_string(), "ΔVth=50mV");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_shift_rejected() {
+        let _ = VthShift::from_volts(-0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_shift_rejected() {
+        let _ = VthShift::from_volts(f64::NAN);
+    }
+}

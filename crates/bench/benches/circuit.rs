@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks of the circuit-level substrate: STA,
+//! case analysis, event-driven simulation, and energy estimation.
+
+use std::collections::BTreeMap;
+
+use agequant_aging::VthShift;
+use agequant_cells::ProcessLibrary;
+use agequant_netlist::mac::MacCircuit;
+use agequant_power::{EnergyEstimator, OperandStream};
+use agequant_sta::{mac_case_on, Compression, Padding, Sta};
+use agequant_timing_sim::TimedSim;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sta(c: &mut Criterion) {
+    let mac = MacCircuit::edge_tpu();
+    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let sta = Sta::new(mac.netlist(), &lib);
+    c.bench_function("sta/uncompressed", |b| {
+        b.iter(|| black_box(sta.analyze_uncompressed().critical_path_ps));
+    });
+    let case = mac_case_on(
+        mac.netlist(),
+        mac.geometry(),
+        Compression::new(3, 4),
+        Padding::Msb,
+    );
+    c.bench_function("sta/case_analysis_3_4", |b| {
+        b.iter(|| black_box(sta.analyze(&case).critical_path_ps));
+    });
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    let process = ProcessLibrary::finfet14nm();
+    c.bench_function("cells/characterize_aged_library", |b| {
+        b.iter(|| black_box(process.characterize(VthShift::from_millivolts(30.0))));
+    });
+}
+
+fn bench_timed_sim(c: &mut Criterion) {
+    let mac = MacCircuit::edge_tpu();
+    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::from_millivolts(50.0));
+    let sim = TimedSim::new(mac.netlist(), &lib);
+    let zero = BTreeMap::from([
+        ("a".to_string(), 0u64),
+        ("b".to_string(), 0u64),
+        ("c".to_string(), 0u64),
+    ]);
+    let vector = BTreeMap::from([
+        ("a".to_string(), 255u64),
+        ("b".to_string(), 255u64),
+        ("c".to_string(), (1 << 22) - 1u64),
+    ]);
+    c.bench_function("timing_sim/mac_worst_vector", |b| {
+        b.iter(|| {
+            let mut state = sim.settled_state(&zero);
+            black_box(sim.run(&mut state, &vector, 400.0).events)
+        });
+    });
+}
+
+fn bench_energy(c: &mut Criterion) {
+    let mac = MacCircuit::edge_tpu();
+    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let estimator = EnergyEstimator::new(mac.netlist(), &lib);
+    let stream = OperandStream::uniform(200, 1);
+    c.bench_function("power/estimate_200_vectors", |b| {
+        b.iter(|| black_box(estimator.estimate(&stream, 400.0).total_fj()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_sta, bench_characterize, bench_timed_sim, bench_energy
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks of the system-level flow: compression
+//! planning (Algorithm 1 lines 2–5), quantization, and quantized
+//! inference.
+
+use agequant_aging::VthShift;
+use agequant_core::{AgingAwareQuantizer, FlowConfig};
+use agequant_nn::{NetArch, SyntheticDataset};
+use agequant_quant::{quantize_model_with, BitWidths, LapqRefineConfig, QuantMethod};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_compression_plan(c: &mut Criterion) {
+    let flow = AgingAwareQuantizer::new(FlowConfig::edge_tpu_like()).expect("valid");
+    let shift = VthShift::from_millivolts(30.0);
+    c.bench_function("flow/compression_plan_full_grid", |b| {
+        b.iter(|| black_box(flow.compression_for(shift).expect("feasible")));
+    });
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let model = NetArch::AlexNet.build(7);
+    let calib = SyntheticDataset::generate(8, 2021);
+    c.bench_function("quant/aciq_w5a5_alexnet", |b| {
+        b.iter(|| {
+            black_box(quantize_model_with(
+                &model,
+                QuantMethod::Aciq,
+                BitWidths::for_compression(3, 3),
+                &calib,
+                &LapqRefineConfig::off(),
+            ))
+        });
+    });
+}
+
+fn bench_quantized_inference(c: &mut Criterion) {
+    let model = NetArch::AlexNet.build(7);
+    let calib = SyntheticDataset::generate(8, 2021);
+    let q = quantize_model_with(
+        &model,
+        QuantMethod::Aciq,
+        BitWidths::W8A8,
+        &calib,
+        &LapqRefineConfig::off(),
+    );
+    let image = calib.images()[0].clone();
+    c.bench_function("quant/int8_inference_alexnet", |b| {
+        b.iter(|| black_box(model.run(&q, &image)));
+    });
+    c.bench_function("nn/fp32_inference_alexnet", |b| {
+        b.iter(|| black_box(model.run(&agequant_nn::ExactExecutor, &image)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // The flow-level iterations are hundreds of milliseconds each on a
+    // single core; trim the statistics budget accordingly.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(2));
+    targets = bench_compression_plan, bench_quantize, bench_quantized_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 1a — error characteristics of the aged 8-bit multiplier
+//! clocked at the fresh period: MED and 2-MSB flip probability per
+//! aging level.
+
+use agequant_aging::{VthShift, AGING_SWEEP_MV};
+use agequant_bench::{banner, env_usize, write_json};
+use agequant_cells::ProcessLibrary;
+use agequant_netlist::multipliers::{multiplier, MultiplierArch};
+use agequant_timing_sim::{characterize_multiplier, MultiplierAgingErrors};
+
+fn main() {
+    banner(
+        "fig1a",
+        "aged 8-bit multiplier timing errors (MED, 2-MSB flips)",
+    );
+    let vectors = env_usize("AGEQUANT_VECTORS", 4000);
+    let netlist = multiplier(8, 8, MultiplierArch::Wallace);
+    let process = ProcessLibrary::finfet14nm();
+
+    println!("{vectors} random vectors per level (paper: 1e6; raise AGEQUANT_VECTORS)");
+    println!();
+    println!(
+        "{:>10} | {:>12} | {:>14} | {:>10}",
+        "ΔVth", "MED", "P(2-MSB flip)", "error rate"
+    );
+    println!("{:-<58}", "");
+    let mut rows: Vec<MultiplierAgingErrors> = Vec::new();
+    for &mv in &AGING_SWEEP_MV {
+        let stats = characterize_multiplier(
+            &netlist,
+            &process,
+            VthShift::from_millivolts(mv),
+            vectors,
+            0x00F1_61A0,
+        );
+        println!(
+            "{:>8}mV | {:>12.2} | {:>14.6} | {:>10.4}",
+            mv, stats.med, stats.msb2_flip_prob, stats.error_rate
+        );
+        rows.push(stats);
+    }
+    write_json("fig1a", &rows);
+}

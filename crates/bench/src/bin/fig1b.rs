@@ -1,0 +1,83 @@
+//! Fig. 1b — accuracy of three ResNets when randomly flipping one of
+//! the two MSBs of every multiplier product with a given probability.
+
+use agequant_bench::{banner, env_usize, selected_nets, write_json};
+use agequant_faults::MsbFlipInjector;
+use agequant_nn::{accuracy_loss_pct, NetArch, SyntheticDataset};
+use agequant_quant::{quantize_model_with, BitWidths, LapqRefineConfig, QuantMethod};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    network: String,
+    prob: f64,
+    accuracy_pct: f64,
+    loss_vs_clean_pct: f64,
+}
+
+fn main() {
+    banner(
+        "fig1b",
+        "ResNet accuracy under random 2-MSB product bit flips",
+    );
+    let samples = env_usize("AGEQUANT_SAMPLES", 40);
+    let reps = env_usize("AGEQUANT_REPS", 3);
+    let nets = selected_nets(&[NetArch::ResNet50, NetArch::ResNet101, NetArch::ResNet152]);
+    let probs = [1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2];
+
+    let data = SyntheticDataset::generate(samples + 8, 2021);
+    let calib = data.take(8);
+    let eval = SyntheticDataset::generate(samples, 99);
+
+    println!("{samples} images, {reps} repetitions per point (paper: 10)");
+    println!();
+    print!("{:>16} |", "network \\ p");
+    for p in probs {
+        print!(" {p:>8.0e}");
+    }
+    println!();
+    println!("{:-<80}", "");
+
+    let mut rows = Vec::new();
+    for arch in nets {
+        let model = arch.build(7);
+        // The paper injects at the multiplications of the 8-bit NPU:
+        // inject into the W8A8 quantized model's integer products.
+        let q = quantize_model_with(
+            &model,
+            QuantMethod::MinMax,
+            BitWidths::W8A8,
+            &calib,
+            &LapqRefineConfig::off(),
+        );
+        let clean = model.predict_all(&q, eval.images());
+        let labels_ok = clean
+            .iter()
+            .zip(eval.labels())
+            .filter(|(p, l)| p == l)
+            .count() as f64
+            / clean.len() as f64;
+        print!("{:>16} |", model.name());
+        for &p in &probs {
+            let mut loss_sum = 0.0;
+            for rep in 0..reps {
+                let injector = MsbFlipInjector::new(p, 16, 1000 + rep as u64);
+                let noisy = model.predict_all(&q.with_mul(&injector), eval.images());
+                loss_sum += accuracy_loss_pct(&clean, &noisy);
+            }
+            let loss = loss_sum / reps as f64;
+            let accuracy = (100.0 * labels_ok) * (1.0 - loss / 100.0);
+            print!(" {:>8.1}", 100.0 - loss);
+            rows.push(Row {
+                network: model.name().to_string(),
+                prob: p,
+                accuracy_pct: accuracy,
+                loss_vs_clean_pct: loss,
+            });
+        }
+        println!();
+    }
+    println!("\n(cells: % agreement with the fault-free model; the paper's");
+    println!(" accuracy collapse past p ≈ 5e-4 should be visible rightward)");
+    write_json("fig1b", &rows);
+}

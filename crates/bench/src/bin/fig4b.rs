@@ -1,0 +1,55 @@
+//! Fig. 4b — graceful accuracy degradation over time: box plots of the
+//! per-network accuracy losses at each aging level.
+//!
+//! Reuses `results/table1.json` when present (the underlying sweep is
+//! identical); otherwise recomputes it.
+
+use agequant_bench::{banner, env_usize, selected_nets, write_json};
+use agequant_core::{lifetime::AccuracyTrajectory, AgingAwareQuantizer, FlowConfig};
+use agequant_nn::NetArch;
+
+fn load_or_compute() -> AccuracyTrajectory {
+    if let Ok(json) = std::fs::read_to_string("results/table1.json") {
+        if let Ok(t) = serde_json::from_str::<AccuracyTrajectory>(&json) {
+            println!("[reusing results/table1.json]");
+            return t;
+        }
+    }
+    let mut config = FlowConfig::edge_tpu_like();
+    config.eval_samples = env_usize("AGEQUANT_SAMPLES", 60);
+    config.calib_samples = env_usize("AGEQUANT_CALIB", 8);
+    let nets = selected_nets(&NetArch::ALL);
+    let flow = AgingAwareQuantizer::new(config).expect("valid config");
+    AccuracyTrajectory::compute(&flow, &nets).expect("flow completes")
+}
+
+fn main() {
+    banner(
+        "fig4b",
+        "accuracy-loss box plots over the networks per aging level",
+    );
+    let t = load_or_compute();
+
+    println!();
+    println!(
+        "{:>10} | {:>7} {:>7} {:>7} {:>7} {:>7} | {:>7}",
+        "ΔVth", "min", "q1", "median", "q3", "max", "mean"
+    );
+    println!("{:-<66}", "");
+    let means = t.mean_losses();
+    for (level, shift) in t.shifts.iter().enumerate() {
+        let [min, q1, med, q3, max] = t.box_stats_at(level);
+        println!(
+            "{:>10} | {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} | {:>7.2}",
+            shift.to_string(),
+            min,
+            q1,
+            med,
+            q3,
+            max,
+            means[level]
+        );
+    }
+    println!("\npaper means: 0.24, 0.45, 1.11, 1.80, 2.96 (% loss; ImageNet substrate)");
+    write_json("fig4b", &t);
+}

@@ -1,0 +1,39 @@
+//! Fig. 5 — normalized energy of our technique vs the guardbanded
+//! baseline over the aging levels.
+
+use agequant_bench::{banner, env_usize, write_json};
+use agequant_core::{energy::EnergyComparison, AgingAwareQuantizer, FlowConfig};
+
+fn main() {
+    banner(
+        "fig5",
+        "normalized MAC energy: ours (fresh clock, compressed) vs baseline (guardbanded)",
+    );
+    let samples = env_usize("AGEQUANT_VECTORS", 2000);
+    let flow = AgingAwareQuantizer::new(FlowConfig::edge_tpu_like()).expect("valid config");
+    let cmp = EnergyComparison::compute(&flow, samples).expect("feasible at every level");
+
+    println!("{samples} random operand vectors per estimate");
+    println!();
+    println!(
+        "{:>10} | {:>10} | {:>13} | {:>9} | {:>10}",
+        "ΔVth", "(α, β)", "baseline fJ", "ours fJ", "normalized"
+    );
+    println!("{:-<66}", "");
+    for p in &cmp.points {
+        println!(
+            "{:>10} | {:>10} | {:>13.2} | {:>9.2} | {:>10.3}",
+            p.shift.to_string(),
+            p.compression.to_string(),
+            p.baseline_fj,
+            p.ours_fj,
+            p.normalized()
+        );
+    }
+    println!();
+    println!(
+        "mean aged energy reduction: {:.1}% (paper: 46% average, 21–67% range)",
+        100.0 * (1.0 - cmp.mean_aged_normalized())
+    );
+    write_json("fig5", &cmp);
+}

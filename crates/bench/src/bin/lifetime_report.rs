@@ -1,0 +1,29 @@
+//! Generates the complete lifetime markdown report (timing, accuracy,
+//! energy) for a configurable network subset and writes it to
+//! `results/lifetime_report.md`.
+
+use agequant_bench::{banner, env_usize, selected_nets};
+use agequant_core::{AgingAwareQuantizer, FlowConfig, LifetimeReport};
+use agequant_nn::NetArch;
+
+fn main() {
+    banner("lifetime_report", "full lifetime assessment (markdown)");
+    let mut config = FlowConfig::edge_tpu_like();
+    config.eval_samples = env_usize("AGEQUANT_SAMPLES", 40);
+    config.calib_samples = env_usize("AGEQUANT_CALIB", 8);
+    let nets = selected_nets(&[NetArch::ResNet50, NetArch::Vgg13, NetArch::SqueezeNet11]);
+    println!(
+        "{} networks, {} eval images",
+        nets.len(),
+        config.eval_samples
+    );
+
+    let flow = AgingAwareQuantizer::new(config).expect("valid config");
+    let report = LifetimeReport::compute(&flow, &nets, env_usize("AGEQUANT_VECTORS", 1500))
+        .expect("flow completes");
+    let md = report.render_markdown();
+    println!("\n{md}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/lifetime_report.md", &md).expect("write report");
+    println!("[markdown written to results/lifetime_report.md]");
+}

@@ -1,0 +1,50 @@
+//! Table 1 — achieved accuracy loss and selected quantization method
+//! for the ten networks at the five aged levels.
+
+use agequant_bench::{banner, env_usize, selected_nets, write_json};
+use agequant_core::{lifetime::AccuracyTrajectory, AgingAwareQuantizer, FlowConfig};
+use agequant_nn::NetArch;
+
+fn main() {
+    banner(
+        "table1",
+        "accuracy loss / selected method per network and aging level",
+    );
+    let mut config = FlowConfig::edge_tpu_like();
+    config.eval_samples = env_usize("AGEQUANT_SAMPLES", 60);
+    config.calib_samples = env_usize("AGEQUANT_CALIB", 8);
+    let nets = selected_nets(&NetArch::ALL);
+    println!(
+        "{} networks × 5 levels × 5 methods, {} eval images (AGEQUANT_SAMPLES/AGEQUANT_NETS to tune)",
+        nets.len(),
+        config.eval_samples
+    );
+
+    let flow = AgingAwareQuantizer::new(config).expect("valid config");
+    let trajectory = AccuracyTrajectory::compute(&flow, &nets).expect("flow completes");
+
+    println!();
+    print!("{:>16} |", "network");
+    for shift in &trajectory.shifts {
+        print!(" {:>12}", shift.to_string());
+    }
+    println!();
+    println!("{:-<86}", "");
+    for (name, outcomes) in &trajectory.outcomes {
+        print!("{name:>16} |");
+        for o in outcomes {
+            print!(" {:>7.2}/{:<4}", o.accuracy_loss_pct, o.method.tag());
+        }
+        println!();
+    }
+    println!();
+    let means = trajectory.mean_losses();
+    print!("{:>16} |", "mean loss");
+    for m in &means {
+        print!(" {m:>12.2}");
+    }
+    println!();
+    println!("\n(cells: accuracy-loss % vs FP32 / selected method tag; the");
+    println!(" paper's M3=LAPQ, M4=ACIQ, M5=ACIQ w/o bias correction)");
+    write_json("table1", &trajectory);
+}

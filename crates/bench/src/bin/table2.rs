@@ -1,0 +1,39 @@
+//! Table 2 — the `(α, β)` compression and padding Algorithm 1 extracts
+//! for each examined aging level.
+
+use agequant_bench::{banner, write_json};
+use agequant_core::{lifetime::DelayTrajectory, AgingAwareQuantizer, FlowConfig};
+
+fn main() {
+    banner(
+        "table2",
+        "selected (α, β) compression and padding per aging level",
+    );
+    let flow = AgingAwareQuantizer::new(FlowConfig::edge_tpu_like()).expect("valid config");
+    let trajectory = DelayTrajectory::compute(&flow).expect("feasible at every level");
+
+    println!(
+        "fresh critical path (zero-slack clock): {:.1} ps",
+        flow.fresh_critical_path_ps()
+    );
+    println!();
+    println!(
+        "{:>10} | {:>10} | {:>7} | {:>14}",
+        "Aging", "(α, β)", "Padding", "slack vs fresh"
+    );
+    println!("{:-<52}", "");
+    for p in &trajectory.points {
+        if p.shift.is_fresh() {
+            continue; // Table 2 reports the aged levels
+        }
+        println!(
+            "{:>10} | {:>10} | {:>7} | {:>12.1}%",
+            p.shift.to_string(),
+            format!("({}, {})", p.alpha, p.beta),
+            p.padding,
+            100.0 * (1.0 - p.ours_norm)
+        );
+    }
+    println!("\npaper's Table 2: (2,0)/LSB (2,2)/MSB (3,1)/LSB (2,4)/LSB (3,4)/LSB");
+    write_json("table2", &trajectory);
+}

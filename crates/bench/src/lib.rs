@@ -1,0 +1,109 @@
+//! Shared plumbing for the experiment binaries that regenerate every
+//! table and figure of the paper.
+//!
+//! Each binary under `src/bin/` reproduces one artifact (see
+//! `DESIGN.md`'s experiment index):
+//!
+//! | Binary    | Artifact |
+//! |-----------|----------|
+//! | `fig1a`   | Fig. 1a — aged-multiplier MED and 2-MSB flip probability |
+//! | `fig1b`   | Fig. 1b — ResNet accuracy under MSB bit flips |
+//! | `fig2`    | Fig. 2 — MAC delay gain per `(α, β)` and padding |
+//! | `table1`  | Table 1 — accuracy loss / selected method per net and level |
+//! | `table2`  | Table 2 — selected `(α, β)` and padding per level |
+//! | `fig4a`   | Fig. 4a — normalized delay over the lifetime |
+//! | `fig4b`   | Fig. 4b — accuracy-loss box plots over the networks |
+//! | `fig5`    | Fig. 5 — normalized energy vs the guardbanded baseline |
+//! | `pearson` | §6.2 — surrogate rank-correlation study |
+//! | `ablation_mac` | microarchitecture ablation of the delay-gain surface |
+//! | `ablation_quant` | per-channel / bias-correction quantizer ablations |
+//!
+//! Every binary prints a human-readable table and writes machine-
+//! readable JSON under `results/`. Workload sizes honour environment
+//! variables so the same binaries serve quick smoke runs and full
+//! reproductions: `AGEQUANT_SAMPLES` (evaluation images),
+//! `AGEQUANT_VECTORS` (random circuit vectors), `AGEQUANT_REPS`
+//! (repetitions), `AGEQUANT_NETS` (comma-separated network filter).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use agequant_nn::NetArch;
+use serde::Serialize;
+
+/// Reads a `usize` knob from the environment with a default.
+#[must_use]
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The network list for an experiment: all ten, or the
+/// `AGEQUANT_NETS` filter (comma-separated substrings of the names).
+#[must_use]
+pub fn selected_nets(default: &[NetArch]) -> Vec<NetArch> {
+    let Ok(filter) = std::env::var("AGEQUANT_NETS") else {
+        return default.to_vec();
+    };
+    let needles: Vec<String> = filter
+        .split(',')
+        .map(|s| s.trim().to_lowercase())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let picked: Vec<NetArch> = default
+        .iter()
+        .copied()
+        .filter(|a| {
+            let name = a.name().to_lowercase();
+            needles.iter().any(|n| name.contains(n))
+        })
+        .collect();
+    if picked.is_empty() {
+        default.to_vec()
+    } else {
+        picked
+    }
+}
+
+/// Writes an experiment's JSON record under `results/<id>.json`.
+///
+/// # Panics
+///
+/// Panics if the filesystem refuses (experiment results must land).
+pub fn write_json<T: Serialize>(id: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(format!("{id}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    fs::write(&path, json).expect("write results file");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, what: &str) {
+    println!("================================================================");
+    println!("{id} — {what}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_usize_defaults() {
+        assert_eq!(env_usize("AGEQUANT_DOES_NOT_EXIST", 42), 42);
+    }
+
+    #[test]
+    fn net_filter_passthrough_without_env() {
+        std::env::remove_var("AGEQUANT_NETS");
+        let nets = selected_nets(&NetArch::ALL);
+        assert_eq!(nets.len(), 10);
+    }
+}

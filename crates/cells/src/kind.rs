@@ -1,0 +1,363 @@
+//! Combinational cell kinds and their logic functions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Every combinational standard-cell kind in the library.
+///
+/// The set mirrors a typical high-performance arithmetic subset of a
+/// commercial library: simple inverting/buffering cells, 2- and 3-input
+/// NAND/NOR, the XOR family needed for adders, the AOI/OAI complex
+/// gates that carry-merge logic maps to, and a 2:1 multiplexer.
+///
+/// Each kind has a fixed [`arity`](CellKind::arity) and a pure boolean
+/// [`eval`](CellKind::eval). Pin order follows the datasheet layout
+/// given in the variant docs.
+///
+/// # Example
+///
+/// ```
+/// use agequant_cells::CellKind;
+///
+/// assert_eq!(CellKind::Nand2.arity(), 2);
+/// assert!(CellKind::Nand2.eval(&[true, false]));
+/// assert!(!CellKind::Nand2.eval(&[true, true]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Inverter: `Y = !A`.
+    Inv,
+    /// Buffer: `Y = A`.
+    Buf,
+    /// 2-input NAND: `Y = !(A & B)`.
+    Nand2,
+    /// 3-input NAND: `Y = !(A & B & C)`.
+    Nand3,
+    /// 2-input NOR: `Y = !(A | B)`.
+    Nor2,
+    /// 3-input NOR: `Y = !(A | B | C)`.
+    Nor3,
+    /// 2-input AND: `Y = A & B`.
+    And2,
+    /// 2-input OR: `Y = A | B`.
+    Or2,
+    /// 2-input XOR: `Y = A ^ B`.
+    Xor2,
+    /// 2-input XNOR: `Y = !(A ^ B)`.
+    Xnor2,
+    /// 3-input XOR: `Y = A ^ B ^ C` (full-adder sum term).
+    Xor3,
+    /// AND-OR-invert 21: `Y = !((A & B) | C)`.
+    Aoi21,
+    /// OR-AND-invert 21: `Y = !((A | B) & C)`.
+    Oai21,
+    /// Majority-of-three: `Y = AB | AC | BC` (full-adder carry term).
+    Maj3,
+    /// 2:1 multiplexer: `Y = S ? B : A`, pins `[A, B, S]`.
+    Mux2,
+}
+
+/// All cell kinds, in a stable order (useful for iteration and tables).
+pub const ALL_CELL_KINDS: [CellKind; 15] = [
+    CellKind::Inv,
+    CellKind::Buf,
+    CellKind::Nand2,
+    CellKind::Nand3,
+    CellKind::Nor2,
+    CellKind::Nor3,
+    CellKind::And2,
+    CellKind::Or2,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Xor3,
+    CellKind::Aoi21,
+    CellKind::Oai21,
+    CellKind::Maj3,
+    CellKind::Mux2,
+];
+
+/// Result of evaluating a cell with only some inputs known.
+///
+/// Used by the STA case-analysis pass: when compressed input bits are
+/// tied to constant 0, gates whose output is already determined stop
+/// propagating timing arcs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartialEval {
+    /// The output is a known constant regardless of the unknown inputs.
+    Known(bool),
+    /// The output still depends on at least one unknown input.
+    Unknown,
+}
+
+impl CellKind {
+    /// Number of input pins.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf => 1,
+            CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2 => 2,
+            CellKind::Nand3
+            | CellKind::Nor3
+            | CellKind::Xor3
+            | CellKind::Aoi21
+            | CellKind::Oai21
+            | CellKind::Maj3
+            | CellKind::Mux2 => 3,
+        }
+    }
+
+    /// Evaluates the cell's logic function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "{self} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        let i = inputs;
+        match self {
+            CellKind::Inv => !i[0],
+            CellKind::Buf => i[0],
+            CellKind::Nand2 => !(i[0] & i[1]),
+            CellKind::Nand3 => !(i[0] & i[1] & i[2]),
+            CellKind::Nor2 => !(i[0] | i[1]),
+            CellKind::Nor3 => !(i[0] | i[1] | i[2]),
+            CellKind::And2 => i[0] & i[1],
+            CellKind::Or2 => i[0] | i[1],
+            CellKind::Xor2 => i[0] ^ i[1],
+            CellKind::Xnor2 => !(i[0] ^ i[1]),
+            CellKind::Xor3 => i[0] ^ i[1] ^ i[2],
+            CellKind::Aoi21 => !((i[0] & i[1]) | i[2]),
+            CellKind::Oai21 => !((i[0] | i[1]) & i[2]),
+            CellKind::Maj3 => (i[0] & i[1]) | (i[0] & i[2]) | (i[1] & i[2]),
+            CellKind::Mux2 => {
+                if i[2] {
+                    i[1]
+                } else {
+                    i[0]
+                }
+            }
+        }
+    }
+
+    /// Evaluates the cell with a partial input assignment.
+    ///
+    /// `inputs[k] == None` means pin `k` is unknown. The result is
+    /// [`PartialEval::Known`] iff every completion of the unknown pins
+    /// yields the same output — the gate is *deactivated* in the timing
+    /// graph (PrimeTime's `set_case_analysis` semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    #[must_use]
+    pub fn partial_eval(self, inputs: &[Option<bool>]) -> PartialEval {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "{self} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        let unknown: Vec<usize> = (0..inputs.len()).filter(|&k| inputs[k].is_none()).collect();
+        let mut assignment: Vec<bool> = inputs.iter().map(|v| v.unwrap_or(false)).collect();
+        let combos = 1usize << unknown.len();
+        let mut first: Option<bool> = None;
+        for combo in 0..combos {
+            for (bit, &pin) in unknown.iter().enumerate() {
+                assignment[pin] = (combo >> bit) & 1 == 1;
+            }
+            let out = self.eval(&assignment);
+            match first {
+                None => first = Some(out),
+                Some(prev) if prev != out => return PartialEval::Unknown,
+                Some(_) => {}
+            }
+        }
+        PartialEval::Known(first.expect("at least one combination evaluated"))
+    }
+
+    /// Short datasheet-style name (`INV`, `NAND2`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CellKind::Inv => "INV",
+            CellKind::Buf => "BUF",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nand3 => "NAND3",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Nor3 => "NOR3",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Xor3 => "XOR3",
+            CellKind::Aoi21 => "AOI21",
+            CellKind::Oai21 => "OAI21",
+            CellKind::Maj3 => "MAJ3",
+            CellKind::Mux2 => "MUX2",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(n: usize, width: usize) -> Vec<bool> {
+        (0..width).map(|k| (n >> k) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn truth_tables_match_boolean_reference() {
+        for n in 0..4 {
+            let i = bits(n, 2);
+            assert_eq!(CellKind::Nand2.eval(&i), !(i[0] && i[1]));
+            assert_eq!(CellKind::Nor2.eval(&i), !(i[0] || i[1]));
+            assert_eq!(CellKind::And2.eval(&i), i[0] && i[1]);
+            assert_eq!(CellKind::Or2.eval(&i), i[0] || i[1]);
+            assert_eq!(CellKind::Xor2.eval(&i), i[0] ^ i[1]);
+            assert_eq!(CellKind::Xnor2.eval(&i), !(i[0] ^ i[1]));
+        }
+        for n in 0..8 {
+            let i = bits(n, 3);
+            assert_eq!(CellKind::Xor3.eval(&i), i[0] ^ i[1] ^ i[2]);
+            assert_eq!(
+                CellKind::Maj3.eval(&i),
+                (i[0] & i[1]) | (i[0] & i[2]) | (i[1] & i[2])
+            );
+            assert_eq!(CellKind::Aoi21.eval(&i), !((i[0] && i[1]) || i[2]));
+            assert_eq!(CellKind::Oai21.eval(&i), !((i[0] || i[1]) && i[2]));
+            assert_eq!(CellKind::Mux2.eval(&i), if i[2] { i[1] } else { i[0] });
+        }
+    }
+
+    #[test]
+    fn full_adder_identities() {
+        // XOR3 is the sum and MAJ3 the carry of a full adder.
+        for n in 0..8u32 {
+            let i = bits(n as usize, 3);
+            let total = u32::from(i[0]) + u32::from(i[1]) + u32::from(i[2]);
+            assert_eq!(CellKind::Xor3.eval(&i), total & 1 == 1);
+            assert_eq!(CellKind::Maj3.eval(&i), total >= 2);
+        }
+    }
+
+    #[test]
+    fn partial_eval_controlling_values() {
+        use PartialEval::{Known, Unknown};
+        // A 0 on any NAND input forces a 1 output.
+        assert_eq!(
+            CellKind::Nand2.partial_eval(&[Some(false), None]),
+            Known(true)
+        );
+        // A 1 on one NAND input leaves the output dependent.
+        assert_eq!(CellKind::Nand2.partial_eval(&[Some(true), None]), Unknown);
+        // XOR is never determined by fewer than all inputs.
+        assert_eq!(CellKind::Xor2.partial_eval(&[Some(false), None]), Unknown);
+        // MUX with known select and the selected input known is determined.
+        assert_eq!(
+            CellKind::Mux2.partial_eval(&[Some(true), None, Some(false)]),
+            Known(true)
+        );
+        // Majority with two equal known inputs is determined.
+        assert_eq!(
+            CellKind::Maj3.partial_eval(&[Some(true), Some(true), None]),
+            Known(true)
+        );
+    }
+
+    #[test]
+    fn partial_eval_with_all_inputs_known_matches_eval() {
+        for kind in ALL_CELL_KINDS {
+            for n in 0..(1usize << kind.arity()) {
+                let full = bits(n, kind.arity());
+                let partial: Vec<Option<bool>> = full.iter().map(|&b| Some(b)).collect();
+                assert_eq!(
+                    kind.partial_eval(&partial),
+                    PartialEval::Known(kind.eval(&full)),
+                    "{kind} pattern {n:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in ALL_CELL_KINDS {
+            assert!(!kind.name().is_empty());
+            assert!(seen.insert(kind.name()), "duplicate name {}", kind.name());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn wrong_arity_panics() {
+        let _ = CellKind::Inv.eval(&[true, false]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn any_kind() -> impl Strategy<Value = CellKind> {
+        prop::sample::select(ALL_CELL_KINDS.to_vec())
+    }
+
+    proptest! {
+        /// A partial evaluation that reports `Known(v)` must agree with
+        /// every full completion of the unknown pins.
+        #[test]
+        fn known_partial_evals_are_sound(
+            kind in any_kind(),
+            mask in 0usize..8,
+            values in 0usize..8,
+        ) {
+            let arity = kind.arity();
+            let partial: Vec<Option<bool>> = (0..arity)
+                .map(|k| {
+                    if (mask >> k) & 1 == 1 {
+                        Some((values >> k) & 1 == 1)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if let PartialEval::Known(v) = kind.partial_eval(&partial) {
+                let unknown: Vec<usize> =
+                    (0..arity).filter(|&k| partial[k].is_none()).collect();
+                let mut full: Vec<bool> =
+                    partial.iter().map(|p| p.unwrap_or(false)).collect();
+                for combo in 0..(1usize << unknown.len()) {
+                    for (bit, &pin) in unknown.iter().enumerate() {
+                        full[pin] = (combo >> bit) & 1 == 1;
+                    }
+                    prop_assert_eq!(kind.eval(&full), v);
+                }
+            }
+        }
+    }
+}

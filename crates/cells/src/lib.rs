@@ -1,0 +1,41 @@
+//! Aging-aware standard-cell library for the `agequant` flow.
+//!
+//! This crate stands in for the paper's cell-characterization step
+//! (Section 6.1 (2)): there, Synopsys SiliconSmart re-characterizes the
+//! Silvaco 14 nm FinFET standard cells at each aging level ΔVth via
+//! SPICE, producing one liberty file per level. Here,
+//! [`ProcessLibrary`] holds parametric cell models (logic function,
+//! load-dependent delay, input capacitance, switching energy, leakage,
+//! per-family aging sensitivity) and [`ProcessLibrary::characterize`]
+//! freezes them into a concrete [`CellLibrary`] at a given
+//! [`VthShift`](agequant_aging::VthShift).
+//!
+//! Downstream, the STA engine (`agequant-sta`) and the event-driven
+//! simulator (`agequant-timing-sim`) consume only [`CellLibrary`], so
+//! swapping in a different technology is a matter of providing another
+//! [`ProcessLibrary`].
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_aging::VthShift;
+//! use agequant_cells::{CellKind, ProcessLibrary};
+//!
+//! let process = ProcessLibrary::finfet14nm();
+//! let fresh = process.characterize(VthShift::FRESH);
+//! let aged = process.characterize(VthShift::from_millivolts(50.0));
+//! // Aged cells are slower on every arc.
+//! let load = 2.0; // fF
+//! assert!(aged.arc_delay(CellKind::Nand2, 0, load) > fresh.arc_delay(CellKind::Nand2, 0, load));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kind;
+mod library;
+mod params;
+
+pub use kind::{CellKind, PartialEval, ALL_CELL_KINDS};
+pub use library::{ArcTiming, CellLibrary};
+pub use params::{CellParams, ProcessLibrary};

@@ -1,0 +1,184 @@
+//! Characterized (frozen) cell libraries.
+
+use std::collections::BTreeMap;
+
+use agequant_aging::VthShift;
+use serde::{Deserialize, Serialize};
+
+use crate::CellKind;
+
+/// Frozen timing/power data of one cell at one aging level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArcTiming {
+    /// Aged intrinsic delay per input pin, ps.
+    pub pin_intrinsic_ps: Vec<f64>,
+    /// Aged load slope, ps/fF.
+    pub slope_ps_per_ff: f64,
+    /// Input capacitance per pin, fF.
+    pub input_cap_ff: f64,
+    /// Energy per output transition, fJ.
+    pub switch_energy_fj: f64,
+    /// Leakage power, nW.
+    pub leakage_nw: f64,
+}
+
+/// A cell library characterized at a single aging level — the Rust
+/// equivalent of one aged liberty file (Section 6.1 (2) of the paper).
+///
+/// Obtained from [`ProcessLibrary::characterize`]; all delays already
+/// include the aging derating, so consumers (STA, simulation, power)
+/// are aging-agnostic.
+///
+/// [`ProcessLibrary::characterize`]: crate::ProcessLibrary::characterize
+///
+/// # Example
+///
+/// ```
+/// use agequant_aging::VthShift;
+/// use agequant_cells::{CellKind, ProcessLibrary};
+///
+/// let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+/// let d = lib.arc_delay(CellKind::Xor2, 1, 1.5);
+/// assert!(d > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    vth_shift: VthShift,
+    arcs: BTreeMap<CellKind, ArcTiming>,
+}
+
+impl CellLibrary {
+    /// Builds a library from already-characterized arcs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arc has a pin-delay count mismatching its kind's
+    /// arity (programming error in the characterizer).
+    #[must_use]
+    pub fn from_arcs(vth_shift: VthShift, arcs: BTreeMap<CellKind, ArcTiming>) -> Self {
+        for (kind, arc) in &arcs {
+            assert_eq!(
+                arc.pin_intrinsic_ps.len(),
+                kind.arity(),
+                "{kind}: pin delay count mismatch"
+            );
+        }
+        CellLibrary { vth_shift, arcs }
+    }
+
+    /// The aging level this library was characterized at.
+    #[must_use]
+    pub fn vth_shift(&self) -> VthShift {
+        self.vth_shift
+    }
+
+    /// Delay of the arc from input `pin` to the output of a `kind`
+    /// cell driving `load_ff` femtofarads, in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin >= kind.arity()` or the kind is absent.
+    #[must_use]
+    pub fn arc_delay(&self, kind: CellKind, pin: usize, load_ff: f64) -> f64 {
+        let arc = self.arc(kind);
+        arc.pin_intrinsic_ps[pin] + arc.slope_ps_per_ff * load_ff
+    }
+
+    /// Worst (slowest) input-to-output delay at the given load.
+    #[must_use]
+    pub fn worst_arc_delay(&self, kind: CellKind, load_ff: f64) -> f64 {
+        (0..kind.arity())
+            .map(|pin| self.arc_delay(kind, pin, load_ff))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Input-pin capacitance of a `kind` cell, fF.
+    #[must_use]
+    pub fn input_cap(&self, kind: CellKind) -> f64 {
+        self.arc(kind).input_cap_ff
+    }
+
+    /// Energy per output transition of a `kind` cell, fJ.
+    #[must_use]
+    pub fn switch_energy(&self, kind: CellKind) -> f64 {
+        self.arc(kind).switch_energy_fj
+    }
+
+    /// Leakage power of a `kind` cell, nW.
+    #[must_use]
+    pub fn leakage(&self, kind: CellKind) -> f64 {
+        self.arc(kind).leakage_nw
+    }
+
+    /// The raw frozen arc record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is absent from the library.
+    #[must_use]
+    pub fn arc(&self, kind: CellKind) -> &ArcTiming {
+        self.arcs
+            .get(&kind)
+            .unwrap_or_else(|| panic!("cell {kind} missing from characterized library"))
+    }
+
+    /// Iterates over all characterized kinds.
+    pub fn kinds(&self) -> impl Iterator<Item = CellKind> + '_ {
+        self.arcs.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ProcessLibrary, ALL_CELL_KINDS};
+
+    use super::*;
+
+    #[test]
+    fn worst_arc_is_max_over_pins() {
+        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+        for kind in ALL_CELL_KINDS {
+            let worst = lib.worst_arc_delay(kind, 1.0);
+            for pin in 0..kind.arity() {
+                assert!(lib.arc_delay(kind, pin, 1.0) <= worst);
+            }
+        }
+    }
+
+    #[test]
+    fn delay_grows_with_load() {
+        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+        for kind in ALL_CELL_KINDS {
+            assert!(lib.arc_delay(kind, 0, 4.0) > lib.arc_delay(kind, 0, 0.5));
+        }
+    }
+
+    #[test]
+    fn library_records_its_aging_level() {
+        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::from_millivolts(40.0));
+        assert_eq!(lib.vth_shift().millivolts(), 40.0);
+    }
+
+    #[test]
+    fn kinds_iterates_everything() {
+        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+        assert_eq!(lib.kinds().count(), ALL_CELL_KINDS.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "pin delay count")]
+    fn mismatched_arcs_rejected() {
+        let mut arcs = BTreeMap::new();
+        arcs.insert(
+            crate::CellKind::Nand2,
+            ArcTiming {
+                pin_intrinsic_ps: vec![1.0],
+                slope_ps_per_ff: 1.0,
+                input_cap_ff: 1.0,
+                switch_energy_fj: 0.1,
+                leakage_nw: 1.0,
+            },
+        );
+        let _ = CellLibrary::from_arcs(VthShift::FRESH, arcs);
+    }
+}

@@ -1,0 +1,444 @@
+//! Algorithm 1: aging-aware quantization.
+
+use agequant_aging::VthShift;
+use agequant_netlist::mac::MacCircuit;
+use agequant_nn::{accuracy_loss_pct, ExactExecutor, Model, NetArch, SyntheticDataset};
+use agequant_quant::{quantize_model_with, BitWidths, QuantMethod, QuantizedModel};
+use agequant_sta::{mac_case_on, CaseAssignment, Compression, Padding, Sta};
+use serde::{Deserialize, Serialize};
+
+use crate::{FlowConfig, FlowError};
+
+/// One timing-feasible compression point found by the STA scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeasiblePoint {
+    /// The `(α, β)` compression.
+    pub compression: Compression,
+    /// The padding under which it meets timing.
+    pub padding: Padding,
+    /// The aged critical path under this case, ps.
+    pub delay_ps: f64,
+}
+
+/// The outcome of Algorithm 1 lines 2–5 for one aging level: the
+/// minimum-norm compression whose aged critical path meets the fresh
+/// clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionPlan {
+    /// The aging level planned for.
+    pub shift: VthShift,
+    /// The selected `(α, β)`.
+    pub compression: Compression,
+    /// The selected padding.
+    pub padding: Padding,
+    /// Aged critical path under the selected case, ps.
+    pub compressed_delay_ps: f64,
+    /// The timing constraint used (fresh critical path), ps.
+    pub constraint_ps: f64,
+    /// Number of feasible `(compression, padding)` points found.
+    pub feasible_points: usize,
+}
+
+impl CompressionPlan {
+    /// The bit widths this plan induces (Section 5's rule).
+    #[must_use]
+    pub fn bit_widths(&self) -> BitWidths {
+        BitWidths::for_compression(self.compression.alpha(), self.compression.beta())
+    }
+}
+
+/// The outcome of the full Algorithm 1 for one network at one aging
+/// level: compression plan plus the selected quantization method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelOutcome {
+    /// The network evaluated.
+    pub network: String,
+    /// The compression plan applied.
+    pub plan: CompressionPlan,
+    /// The selected method (best accuracy, or first meeting the
+    /// threshold).
+    pub method: QuantMethod,
+    /// Accuracy loss of the selected method vs FP32, percent.
+    pub accuracy_loss_pct: f64,
+    /// Loss of every method tried, in library order.
+    pub method_losses: Vec<(QuantMethod, f64)>,
+}
+
+/// The aging-aware quantization flow (Algorithm 1 + Fig. 3).
+///
+/// Construction synthesizes the MAC, runs fresh STA to fix the clock
+/// (zero-slack, no guardband), and validates the configuration; the
+/// per-aging-level entry points then scan compressions and select
+/// quantization methods. See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct AgingAwareQuantizer {
+    config: FlowConfig,
+    mac: MacCircuit,
+    fresh_cp_ps: f64,
+}
+
+impl AgingAwareQuantizer {
+    /// Builds the flow: synthesizes the MAC and fixes the fresh clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(config: FlowConfig) -> Result<Self, FlowError> {
+        config.validate()?;
+        let mac = MacCircuit::with_adders(
+            config.mac.geometry,
+            config.mac.arch,
+            config.mac.mult_adder,
+            config.mac.acc_adder,
+        )
+        .map_err(FlowError::InvalidConfig)?;
+        let fresh_lib = config.process.characterize(VthShift::FRESH);
+        let fresh_cp_ps = Sta::new(mac.netlist(), &fresh_lib)
+            .analyze_uncompressed()
+            .critical_path_ps;
+        Ok(AgingAwareQuantizer {
+            config,
+            mac,
+            fresh_cp_ps,
+        })
+    }
+
+    /// The flow's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// The synthesized MAC.
+    #[must_use]
+    pub fn mac(&self) -> &MacCircuit {
+        &self.mac
+    }
+
+    /// The fresh (zero-slack) critical path that serves as the clock
+    /// constraint for the whole lifetime, ps.
+    #[must_use]
+    pub fn fresh_critical_path_ps(&self) -> f64 {
+        self.fresh_cp_ps
+    }
+
+    /// The aged, uncompressed critical path at `shift`, ps — the
+    /// baseline of Fig. 4a.
+    #[must_use]
+    pub fn baseline_delay_ps(&self, shift: VthShift) -> f64 {
+        let lib = self.config.process.characterize(shift);
+        Sta::new(self.mac.netlist(), &lib)
+            .analyze_uncompressed()
+            .critical_path_ps
+    }
+
+    /// Scans the full `(α, β)` grid under both paddings at `shift`,
+    /// returning every point whose aged critical path meets
+    /// `constraint_ps` (Algorithm 1 lines 2–4 generalized to an
+    /// arbitrary constraint).
+    #[must_use]
+    pub fn feasible_compressions(&self, shift: VthShift, constraint_ps: f64) -> Vec<FeasiblePoint> {
+        let lib = self.config.process.characterize(shift);
+        let sta = Sta::new(self.mac.netlist(), &lib);
+        let mut points = Vec::new();
+        for compression in Compression::grid(self.config.grid_max) {
+            if compression.validate(self.mac.geometry()).is_err() {
+                continue;
+            }
+            for padding in Padding::ALL {
+                let case: CaseAssignment = mac_case_on(
+                    self.mac.netlist(),
+                    self.mac.geometry(),
+                    compression,
+                    padding,
+                );
+                let delay_ps = sta.analyze(&case).critical_path_ps;
+                if delay_ps <= constraint_ps + 1e-9 {
+                    points.push(FeasiblePoint {
+                        compression,
+                        padding,
+                        delay_ps,
+                    });
+                }
+            }
+        }
+        points
+    }
+
+    /// Algorithm 1 lines 2–5: the minimum-norm feasible compression at
+    /// `shift` against the fresh clock. Ties prefer the smaller α
+    /// (highest activation precision, following ACIQ's observation),
+    /// then the faster padding.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NoFeasibleCompression`] if even the maximum
+    /// compression misses timing.
+    pub fn compression_for(&self, shift: VthShift) -> Result<CompressionPlan, FlowError> {
+        self.compression_for_constraint(shift, self.fresh_cp_ps)
+    }
+
+    /// Like [`compression_for`](Self::compression_for) with an explicit
+    /// timing constraint — used for the partial-guardband study
+    /// (Section 7: "(3,1) compression and only 9% guardband").
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NoFeasibleCompression`] if nothing meets the
+    /// constraint.
+    pub fn compression_for_constraint(
+        &self,
+        shift: VthShift,
+        constraint_ps: f64,
+    ) -> Result<CompressionPlan, FlowError> {
+        let points = self.feasible_compressions(shift, constraint_ps);
+        let min_norm = points
+            .iter()
+            .map(|p| p.compression.magnitude())
+            .fold(f64::INFINITY, f64::min);
+        // Minimum Euclidean norm (the paper's surrogate), with a
+        // near-tie band: among points within +0.5 of the minimal norm,
+        // prefer the *balanced* compression (smallest |α − β|), then
+        // the smaller α, then the faster padding. For exact ties this
+        // coincides with the paper's "smallest α" rule; the band
+        // additionally steers away from extreme single-operand
+        // compressions whose accuracy cost the symmetric norm
+        // under-estimates (the same observation — cited from ACIQ —
+        // that motivates the paper's own tie-break).
+        let best = points
+            .iter()
+            .filter(|p| p.compression.magnitude() <= min_norm + 0.5)
+            .min_by(|a, b| {
+                let key = |p: &FeasiblePoint| {
+                    (
+                        i16::from(p.compression.alpha()) - i16::from(p.compression.beta()),
+                        p.compression.alpha(),
+                        p.delay_ps,
+                    )
+                };
+                let balance = |p: &FeasiblePoint| {
+                    let (d, alpha, delay) = key(p);
+                    (d.unsigned_abs(), alpha, delay)
+                };
+                balance(a)
+                    .partial_cmp(&balance(b))
+                    .expect("delays are finite")
+            })
+            .copied()
+            .ok_or(FlowError::NoFeasibleCompression {
+                shift,
+                constraint_ps,
+            })?;
+        Ok(CompressionPlan {
+            shift,
+            compression: best.compression,
+            padding: best.padding,
+            compressed_delay_ps: best.delay_ps,
+            constraint_ps,
+            feasible_points: points.len(),
+        })
+    }
+
+    /// The evaluation dataset of the flow (shared across networks).
+    #[must_use]
+    pub fn dataset(&self) -> SyntheticDataset {
+        SyntheticDataset::generate(
+            self.config.eval_samples + self.config.calib_samples,
+            self.config.data_seed,
+        )
+    }
+
+    /// Algorithm 1 lines 6–9 for an already-planned compression:
+    /// quantize `model` with every library method at the plan's bit
+    /// widths and select per the threshold policy.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::ThresholdUnmet`] when a threshold is configured and
+    /// no method satisfies it.
+    pub fn select_method(
+        &self,
+        model: &Model,
+        plan: CompressionPlan,
+    ) -> Result<ModelOutcome, FlowError> {
+        let data = self.dataset();
+        let calib = data.take(self.config.calib_samples);
+        let eval = SyntheticDataset::generate(self.config.eval_samples, self.config.data_seed ^ 1);
+        let fp32 = model.predict_all(&ExactExecutor, eval.images());
+        let bits = plan.bit_widths();
+
+        let mut method_losses = Vec::with_capacity(QuantMethod::ALL.len());
+        let mut best: Option<(QuantMethod, f64)> = None;
+        for method in QuantMethod::ALL {
+            let quantized: QuantizedModel =
+                quantize_model_with(model, method, bits, &calib, &self.config.lapq);
+            let preds = model.predict_all(&quantized, eval.images());
+            let loss = accuracy_loss_pct(&fp32, &preds);
+            method_losses.push((method, loss));
+            if best.is_none_or(|(_, b)| loss < b) {
+                best = Some((method, loss));
+            }
+            if let Some(threshold) = self.config.threshold_pct {
+                if loss <= threshold {
+                    // Line 9: first method meeting the threshold wins.
+                    return Ok(ModelOutcome {
+                        network: model.name().to_string(),
+                        plan,
+                        method,
+                        accuracy_loss_pct: loss,
+                        method_losses,
+                    });
+                }
+            }
+        }
+        let (method, loss) = best.expect("at least one method evaluated");
+        if let Some(threshold) = self.config.threshold_pct {
+            return Err(FlowError::ThresholdUnmet {
+                best_loss_pct: loss,
+                threshold_pct: threshold,
+            });
+        }
+        Ok(ModelOutcome {
+            network: model.name().to_string(),
+            plan,
+            method,
+            accuracy_loss_pct: loss,
+            method_losses,
+        })
+    }
+
+    /// The complete Algorithm 1 for one zoo network at one aging level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlowError::NoFeasibleCompression`] and
+    /// [`FlowError::ThresholdUnmet`].
+    pub fn quantize_arch(&self, arch: NetArch, shift: VthShift) -> Result<ModelOutcome, FlowError> {
+        let plan = self.compression_for(shift)?;
+        let model = arch.build(self.config.model_seed);
+        self.select_method(&model, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_aging::AGING_SWEEP_MV;
+
+    use super::*;
+
+    fn flow() -> AgingAwareQuantizer {
+        AgingAwareQuantizer::new(FlowConfig::edge_tpu_like()).expect("valid config")
+    }
+
+    #[test]
+    fn fresh_chip_needs_no_compression() {
+        let plan = flow().compression_for(VthShift::FRESH).expect("feasible");
+        assert!(plan.compression.is_uncompressed());
+        assert_eq!(plan.compressed_delay_ps, plan.constraint_ps);
+    }
+
+    #[test]
+    fn compression_grows_with_aging() {
+        let flow = flow();
+        let mut last_norm = -1.0;
+        for &mv in &AGING_SWEEP_MV {
+            let plan = flow
+                .compression_for(VthShift::from_millivolts(mv))
+                .unwrap_or_else(|e| panic!("{mv} mV: {e}"));
+            let norm = plan.compression.magnitude();
+            assert!(
+                norm >= last_norm,
+                "norm should be monotone: {norm} after {last_norm} at {mv} mV"
+            );
+            last_norm = norm;
+            // The plan must actually close timing.
+            assert!(plan.compressed_delay_ps <= plan.constraint_ps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn eol_requires_substantial_compression() {
+        let plan = flow()
+            .compression_for(VthShift::from_millivolts(50.0))
+            .expect("feasible at end of life");
+        assert!(
+            u32::from(plan.compression.alpha()) + u32::from(plan.compression.beta()) >= 4,
+            "EOL compression {} too mild",
+            plan.compression
+        );
+    }
+
+    #[test]
+    fn partial_guardband_needs_less_compression() {
+        let flow = flow();
+        let eol = VthShift::from_millivolts(50.0);
+        let strict = flow.compression_for(eol).expect("no guardband");
+        let relaxed = flow
+            .compression_for_constraint(eol, flow.fresh_critical_path_ps() * 1.09)
+            .expect("9% guardband");
+        assert!(relaxed.compression.magnitude() <= strict.compression.magnitude());
+    }
+
+    #[test]
+    fn baseline_delay_matches_derating_scale() {
+        let flow = flow();
+        let fresh = flow.baseline_delay_ps(VthShift::FRESH);
+        assert!((fresh - flow.fresh_critical_path_ps()).abs() < 1e-9);
+        let eol = flow.baseline_delay_ps(VthShift::from_millivolts(50.0));
+        let ratio = eol / fresh;
+        // Cell-level sensitivities spread around the nominal 1.23.
+        assert!((1.15..=1.35).contains(&ratio), "EOL ratio {ratio}");
+    }
+
+    #[test]
+    fn infeasible_constraint_is_reported() {
+        let flow = flow();
+        let err = flow
+            .compression_for_constraint(VthShift::from_millivolts(50.0), 1.0)
+            .unwrap_err();
+        assert!(matches!(err, FlowError::NoFeasibleCompression { .. }));
+    }
+
+    #[test]
+    fn threshold_policy_returns_early_or_errors() {
+        let mut config = FlowConfig::edge_tpu_like();
+        config.eval_samples = 20;
+        config.calib_samples = 4;
+        config.lapq = agequant_quant::LapqRefineConfig::off();
+
+        // Generous threshold: the first tried method should win.
+        config.threshold_pct = Some(100.0);
+        let flow = AgingAwareQuantizer::new(config.clone()).unwrap();
+        let outcome = flow
+            .quantize_arch(NetArch::AlexNet, VthShift::from_millivolts(10.0))
+            .expect("threshold met");
+        assert_eq!(outcome.method, QuantMethod::ALL[0]);
+        assert_eq!(outcome.method_losses.len(), 1, "stopped at first method");
+
+        // Impossible threshold: error.
+        config.threshold_pct = Some(0.0);
+        let flow = AgingAwareQuantizer::new(config).unwrap();
+        let result = flow.quantize_arch(NetArch::SqueezeNet11, VthShift::from_millivolts(50.0));
+        assert!(matches!(result, Err(FlowError::ThresholdUnmet { .. })));
+    }
+
+    #[test]
+    fn full_algorithm_runs_for_one_network() {
+        let mut config = FlowConfig::edge_tpu_like();
+        config.eval_samples = 20;
+        config.calib_samples = 4;
+        config.lapq = agequant_quant::LapqRefineConfig::off();
+        let flow = AgingAwareQuantizer::new(config).unwrap();
+        let outcome = flow
+            .quantize_arch(NetArch::AlexNet, VthShift::from_millivolts(20.0))
+            .expect("algorithm completes");
+        assert_eq!(outcome.method_losses.len(), QuantMethod::ALL.len());
+        let best = outcome
+            .method_losses
+            .iter()
+            .map(|&(_, l)| l)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(outcome.accuracy_loss_pct, best);
+    }
+}

@@ -1,0 +1,157 @@
+//! Flow configuration.
+
+use agequant_aging::AgingScenario;
+use agequant_cells::ProcessLibrary;
+use agequant_netlist::mac::MacGeometry;
+use agequant_netlist::{MultiplierArch, PrefixStyle};
+use agequant_quant::LapqRefineConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::FlowError;
+
+/// The MAC microarchitecture under analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacSpec {
+    /// Operand and accumulator widths.
+    pub geometry: MacGeometry,
+    /// Multiplier architecture.
+    pub arch: MultiplierArch,
+    /// Prefix style of the multiplier's final adder.
+    pub mult_adder: PrefixStyle,
+    /// Prefix style of the accumulate adder.
+    pub acc_adder: PrefixStyle,
+}
+
+impl MacSpec {
+    /// The paper's Edge-TPU-like MAC (8×8 multiplier, 22-bit adder):
+    /// Wallace reduction with a Brent–Kung final adder and a
+    /// Kogge–Stone accumulator — the generator mix whose
+    /// compression→delay-gain surface matches the paper's measured
+    /// DesignWare MAC (see DESIGN.md and the `ablation_mac` bench).
+    #[must_use]
+    pub fn edge_tpu() -> Self {
+        MacSpec {
+            geometry: MacGeometry::EDGE_TPU,
+            arch: MultiplierArch::Wallace,
+            mult_adder: PrefixStyle::BrentKung,
+            acc_adder: PrefixStyle::KoggeStone,
+        }
+    }
+}
+
+/// Configuration of the aging-aware quantization flow.
+///
+/// [`FlowConfig::edge_tpu_like`] reproduces the paper's setup; every
+/// knob is public so ablations can vary one dimension at a time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// The driving circuit.
+    pub mac: MacSpec,
+    /// The technology's cell models.
+    pub process: ProcessLibrary,
+    /// Aging kinetics / derating / lifetime.
+    pub scenario: AgingScenario,
+    /// `(α, β)` search grid upper bound (the paper scans `[0, 8]²`).
+    pub grid_max: u8,
+    /// Evaluation-set size for accuracy measurements.
+    pub eval_samples: usize,
+    /// Calibration-set size for quantization statistics.
+    pub calib_samples: usize,
+    /// Seed for dataset noise.
+    pub data_seed: u64,
+    /// Seed for model-zoo weights.
+    pub model_seed: u64,
+    /// LAPQ refinement budget.
+    pub lapq: LapqRefineConfig,
+    /// Optional accuracy-loss threshold `e` in percent (Algorithm 1
+    /// input 4): when set, the first method meeting it wins; when
+    /// `None`, all methods are tried and the best wins (the paper's
+    /// evaluation mode).
+    pub threshold_pct: Option<f64>,
+}
+
+impl FlowConfig {
+    /// The paper's configuration: Edge-TPU MAC on the calibrated 14 nm
+    /// process, 10-year scenario, full `[0, 8]²` grid.
+    #[must_use]
+    pub fn edge_tpu_like() -> Self {
+        FlowConfig {
+            mac: MacSpec::edge_tpu(),
+            process: ProcessLibrary::finfet14nm(),
+            scenario: AgingScenario::intel14nm(),
+            grid_max: 8,
+            eval_samples: 60,
+            calib_samples: 8,
+            data_seed: 2021,
+            model_seed: 7,
+            lapq: LapqRefineConfig::light(),
+            threshold_pct: None,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] on inconsistencies.
+    pub fn validate(&self) -> Result<(), FlowError> {
+        self.mac
+            .geometry
+            .validate()
+            .map_err(FlowError::InvalidConfig)?;
+        if self.eval_samples == 0 || self.calib_samples == 0 {
+            return Err(FlowError::InvalidConfig(
+                "sample counts must be positive".into(),
+            ));
+        }
+        if usize::from(self.grid_max) >= self.mac.geometry.a_width.max(self.mac.geometry.b_width)
+            && self.grid_max != 8
+        {
+            // grid_max == 8 is allowed (the paper's stated scan) even
+            // though α=8 itself can never be feasible for 8-bit
+            // operands; other mismatches are configuration errors.
+            return Err(FlowError::InvalidConfig(format!(
+                "grid_max {} exceeds operand widths",
+                self.grid_max
+            )));
+        }
+        if let Some(t) = self.threshold_pct {
+            if !(0.0..=100.0).contains(&t) {
+                return Err(FlowError::InvalidConfig(format!(
+                    "threshold {t}% out of range"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self::edge_tpu_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        FlowConfig::edge_tpu_like().validate().expect("valid");
+    }
+
+    #[test]
+    fn bad_samples_rejected() {
+        let mut c = FlowConfig::edge_tpu_like();
+        c.eval_samples = 0;
+        assert!(matches!(c.validate(), Err(FlowError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn bad_threshold_rejected() {
+        let mut c = FlowConfig::edge_tpu_like();
+        c.threshold_pct = Some(150.0);
+        assert!(c.validate().is_err());
+    }
+}

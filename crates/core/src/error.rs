@@ -1,0 +1,73 @@
+//! The flow-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use agequant_aging::VthShift;
+
+/// Errors of the aging-aware quantization flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// No `(α, β)` compression meets the fresh timing constraint at
+    /// the given aging level (the MAC cannot be rescued by input
+    /// compression alone).
+    NoFeasibleCompression {
+        /// The aging level analyzed.
+        shift: VthShift,
+        /// The timing constraint that could not be met, ps.
+        constraint_ps: f64,
+    },
+    /// Every quantization method exceeded the user's accuracy-loss
+    /// threshold (Algorithm 1, line 9).
+    ThresholdUnmet {
+        /// The best loss achieved, percent.
+        best_loss_pct: f64,
+        /// The requested threshold, percent.
+        threshold_pct: f64,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidConfig(msg) => write!(f, "invalid flow configuration: {msg}"),
+            FlowError::NoFeasibleCompression {
+                shift,
+                constraint_ps,
+            } => write!(
+                f,
+                "no input compression meets {constraint_ps:.1} ps at {shift}"
+            ),
+            FlowError::ThresholdUnmet {
+                best_loss_pct,
+                threshold_pct,
+            } => write!(
+                f,
+                "best accuracy loss {best_loss_pct:.2}% exceeds threshold {threshold_pct:.2}%"
+            ),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = FlowError::NoFeasibleCompression {
+            shift: VthShift::from_millivolts(50.0),
+            constraint_ps: 123.4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("123.4"));
+        assert!(msg.contains("50mV"));
+        assert!(FlowError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

@@ -1,0 +1,317 @@
+//! Multiplier fault injection for aged-NPU accuracy studies.
+//!
+//! Reproduces the paper's Fig. 1b methodology (Section 3): since
+//! post-synthesis timing simulation of a full DNN inference is
+//! infeasible, aging-induced timing errors are emulated *at the
+//! software level* by corrupting the products computed by the NPU's
+//! multipliers. Two injectors are provided, both implementing the
+//! [`MulModel`] hook of the quantized
+//! inference path:
+//!
+//! * [`MsbFlipInjector`] — the paper's exact model: with probability
+//!   `p`, flip one of the two most-significant bits of the product,
+//! * [`ProfileInjector`] — measured per-bit flip probabilities (e.g.
+//!   from `agequant-timing-sim`'s gate-level characterization of an
+//!   aged multiplier), closing the device→circuit→system loop.
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_faults::MsbFlipInjector;
+//! use agequant_nn::{ExactExecutor, NetArch, SyntheticDataset};
+//! use agequant_quant::{quantize_model, BitWidths, QuantMethod};
+//!
+//! let model = NetArch::ResNet50.build(1);
+//! let data = SyntheticDataset::generate(10, 2);
+//! let q = quantize_model(&model, QuantMethod::MinMax, BitWidths::W8A8, &data.take(4));
+//! let injector = MsbFlipInjector::new(1e-2, 16, 7);
+//! let faulty = model.predict_all(&q.with_mul(&injector), data.images());
+//! let clean = model.predict_all(&q, data.images());
+//! // At p = 1e-2 the paper reports catastrophic degradation.
+//! assert_eq!(clean.len(), faulty.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+
+use agequant_quant::MulModel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random bit flips in the two most-significant product bits.
+///
+/// The paper's injection model: each multiplication independently
+/// suffers, with probability `prob`, a flip of one of the two MSBs of
+/// the `product_bits`-wide result (each with equal probability).
+#[derive(Debug)]
+pub struct MsbFlipInjector {
+    prob: f64,
+    product_bits: u32,
+    rng: RefCell<StdRng>,
+    injected: RefCell<u64>,
+}
+
+impl MsbFlipInjector {
+    /// Creates an injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]` or `product_bits < 2`.
+    #[must_use]
+    pub fn new(prob: f64, product_bits: u32, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        assert!(product_bits >= 2, "need at least two product bits");
+        MsbFlipInjector {
+            prob,
+            product_bits,
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            injected: RefCell::new(0),
+        }
+    }
+
+    /// The configured flip probability.
+    #[must_use]
+    pub fn prob(&self) -> f64 {
+        self.prob
+    }
+
+    /// Number of faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        *self.injected.borrow()
+    }
+}
+
+impl MulModel for MsbFlipInjector {
+    fn mul(&self, activation: u8, weight: u8) -> u32 {
+        let exact = u32::from(activation) * u32::from(weight);
+        if self.prob == 0.0 {
+            return exact;
+        }
+        let mut rng = self.rng.borrow_mut();
+        if rng.random_bool(self.prob) {
+            let bit = self.product_bits - 1 - u32::from(rng.random_bool(0.5));
+            *self.injected.borrow_mut() += 1;
+            exact ^ (1 << bit)
+        } else {
+            exact
+        }
+    }
+}
+
+/// Bit flips following a measured per-bit probability profile.
+///
+/// `bit_probs[k]` is the independent probability of flipping product
+/// bit `k` on each multiplication — typically the
+/// `bit_flip_prob` vector measured by the gate-level aging
+/// characterization (`agequant_timing_sim::characterize_multiplier`).
+#[derive(Debug)]
+pub struct ProfileInjector {
+    bit_probs: Vec<f64>,
+    rng: RefCell<StdRng>,
+    injected: RefCell<u64>,
+}
+
+impl ProfileInjector {
+    /// Creates an injector from a per-bit probability profile
+    /// (index 0 = LSB of the product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or the profile is
+    /// wider than 32 bits.
+    #[must_use]
+    pub fn new(bit_probs: &[f64], seed: u64) -> Self {
+        assert!(bit_probs.len() <= 32, "profile wider than the product");
+        assert!(
+            bit_probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probability out of range"
+        );
+        ProfileInjector {
+            bit_probs: bit_probs.to_vec(),
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            injected: RefCell::new(0),
+        }
+    }
+
+    /// Number of faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        *self.injected.borrow()
+    }
+}
+
+impl MulModel for ProfileInjector {
+    fn mul(&self, activation: u8, weight: u8) -> u32 {
+        let mut product = u32::from(activation) * u32::from(weight);
+        let mut rng = self.rng.borrow_mut();
+        for (bit, &p) in self.bit_probs.iter().enumerate() {
+            if p > 0.0 && rng.random_bool(p) {
+                product ^= 1 << bit;
+                *self.injected.borrow_mut() += 1;
+            }
+        }
+        product
+    }
+}
+
+/// Permanent stuck-at faults on product bits.
+///
+/// Unlike the probabilistic aging injectors, a stuck-at fault corrupts
+/// *every* multiplication the same way — the model for hard defects
+/// (manufacturing or electromigration opens) in one MAC of the array.
+/// `stuck_high` bits read 1, `stuck_low` bits read 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckAtInjector {
+    stuck_high: u32,
+    stuck_low: u32,
+}
+
+impl StuckAtInjector {
+    /// Creates an injector from OR/AND-NOT masks over product bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bit is both stuck high and stuck low.
+    #[must_use]
+    pub fn new(stuck_high: u32, stuck_low: u32) -> Self {
+        assert_eq!(
+            stuck_high & stuck_low,
+            0,
+            "a bit cannot be stuck both high and low"
+        );
+        StuckAtInjector {
+            stuck_high,
+            stuck_low,
+        }
+    }
+
+    /// An injector with no faults (identity).
+    #[must_use]
+    pub fn healthy() -> Self {
+        StuckAtInjector {
+            stuck_high: 0,
+            stuck_low: 0,
+        }
+    }
+}
+
+impl MulModel for StuckAtInjector {
+    fn mul(&self, activation: u8, weight: u8) -> u32 {
+        ((u32::from(activation) * u32::from(weight)) | self.stuck_high) & !self.stuck_low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_nn::{accuracy_loss_pct, NetArch, SyntheticDataset};
+    use agequant_quant::{quantize_model_with, BitWidths, LapqRefineConfig, QuantMethod};
+
+    use super::*;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let inj = MsbFlipInjector::new(0.0, 16, 1);
+        for (a, w) in [(0u8, 0u8), (255, 255), (17, 93)] {
+            assert_eq!(inj.mul(a, w), u32::from(a) * u32::from(w));
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn certain_flip_always_corrupts_msbs() {
+        let inj = MsbFlipInjector::new(1.0, 16, 1);
+        for _ in 0..100 {
+            let got = inj.mul(200, 200);
+            let exact = 200u32 * 200;
+            let diff = got ^ exact;
+            assert!(diff == 1 << 15 || diff == 1 << 14, "diff {diff:#x}");
+        }
+        assert_eq!(inj.injected(), 100);
+    }
+
+    #[test]
+    fn injection_rate_matches_probability() {
+        let inj = MsbFlipInjector::new(0.1, 16, 42);
+        let n = 20_000;
+        for _ in 0..n {
+            let _ = inj.mul(123, 45);
+        }
+        let rate = inj.injected() as f64 / f64::from(n);
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn profile_injector_respects_bits() {
+        // Only bit 3 can flip.
+        let mut probs = vec![0.0; 16];
+        probs[3] = 1.0;
+        let inj = ProfileInjector::new(&probs, 9);
+        assert_eq!(inj.mul(10, 10), 100 ^ 8);
+    }
+
+    #[test]
+    fn stuck_at_masks_apply() {
+        let inj = StuckAtInjector::new(0b1000, 0b0001);
+        // 3 × 3 = 9 = 0b1001 → set bit 3 (already), clear bit 0 → 8.
+        assert_eq!(inj.mul(3, 3), 0b1000);
+        // 2 × 2 = 4 = 0b100 → or 0b1000 → 0b1100.
+        assert_eq!(inj.mul(2, 2), 0b1100);
+        assert_eq!(StuckAtInjector::healthy().mul(7, 7), 49);
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck both")]
+    fn conflicting_stuck_bits_rejected() {
+        let _ = StuckAtInjector::new(0b10, 0b10);
+    }
+
+    #[test]
+    fn msb_stuck_low_is_destructive() {
+        let model = NetArch::AlexNet.build(3);
+        let data = SyntheticDataset::generate(20, 11);
+        let q = quantize_model_with(
+            &model,
+            QuantMethod::MinMax,
+            BitWidths::W8A8,
+            &data.take(4),
+            &LapqRefineConfig::off(),
+        );
+        let clean = model.predict_all(&q, data.images());
+        let stuck = StuckAtInjector::new(0, 1 << 15);
+        let broken = model.predict_all(&q.with_mul(&stuck), data.images());
+        // Clearing the product MSB on every multiply wrecks accuracy…
+        let hard = accuracy_loss_pct(&clean, &broken);
+        // …while a healthy injector is transparent.
+        let same = model.predict_all(&q.with_mul(&StuckAtInjector::healthy()), data.images());
+        assert_eq!(clean, same);
+        assert!(hard > 20.0, "stuck MSB loss only {hard}%");
+    }
+
+    #[test]
+    fn accuracy_degrades_with_flip_probability() {
+        // Fig. 1b shape: higher p → lower accuracy, with p = 1e-2
+        // catastrophic.
+        let model = NetArch::ResNet50.build(3);
+        let data = SyntheticDataset::generate(30, 11);
+        let q = quantize_model_with(
+            &model,
+            QuantMethod::MinMax,
+            BitWidths::W8A8,
+            &data.take(4),
+            &LapqRefineConfig::off(),
+        );
+        let clean = model.predict_all(&q, data.images());
+        let loss_at = |p: f64| -> f64 {
+            let inj = MsbFlipInjector::new(p, 16, 5);
+            let noisy = model.predict_all(&q.with_mul(&inj), data.images());
+            accuracy_loss_pct(&clean, &noisy)
+        };
+        let low = loss_at(1e-6);
+        let high = loss_at(1e-2);
+        assert!(high > 50.0, "p=1e-2 must be catastrophic, got {high}%");
+        assert!(low < high, "low {low}% vs high {high}%");
+    }
+}

@@ -1,0 +1,410 @@
+//! Adder generators: ripple-carry and parallel-prefix families.
+//!
+//! All generators operate on [`Bit`]s — a thin wrapper over nets that
+//! constant-folds at construction time, mirroring the constant
+//! optimization a synthesis tool performs. Top-level convenience
+//! functions produce complete [`Netlist`]s with `a`/`b` input buses and
+//! a `sum` output bus (width + 1 bits, MSB = carry out).
+
+use serde::{Deserialize, Serialize};
+
+use agequant_cells::CellKind;
+
+use crate::{NetId, Netlist, NetlistBuilder};
+
+/// A logic value during construction: either a compile-time constant
+/// (folded away) or a live net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bit {
+    /// A constant that never materializes as a gate input unless needed.
+    Const(bool),
+    /// A live net.
+    Net(NetId),
+}
+
+impl Bit {
+    /// The constant zero bit.
+    pub const ZERO: Bit = Bit::Const(false);
+
+    /// Converts to a real net, materializing a constant tie-off.
+    #[must_use]
+    pub fn into_net(self, b: &mut NetlistBuilder) -> NetId {
+        match self {
+            Bit::Const(v) => b.constant(v),
+            Bit::Net(n) => n,
+        }
+    }
+}
+
+/// Wraps a bus of nets as bits.
+#[must_use]
+pub fn bus_bits(nets: &[NetId]) -> Vec<Bit> {
+    nets.iter().map(|&n| Bit::Net(n)).collect()
+}
+
+/// `x & y` with constant folding.
+pub fn band(b: &mut NetlistBuilder, x: Bit, y: Bit) -> Bit {
+    match (x, y) {
+        (Bit::Const(false), _) | (_, Bit::Const(false)) => Bit::Const(false),
+        (Bit::Const(true), other) | (other, Bit::Const(true)) => other,
+        (Bit::Net(nx), Bit::Net(ny)) => Bit::Net(b.gate(CellKind::And2, &[nx, ny])),
+    }
+}
+
+/// `x | y` with constant folding.
+pub fn bor(b: &mut NetlistBuilder, x: Bit, y: Bit) -> Bit {
+    match (x, y) {
+        (Bit::Const(true), _) | (_, Bit::Const(true)) => Bit::Const(true),
+        (Bit::Const(false), other) | (other, Bit::Const(false)) => other,
+        (Bit::Net(nx), Bit::Net(ny)) => Bit::Net(b.gate(CellKind::Or2, &[nx, ny])),
+    }
+}
+
+/// `x ^ y` with constant folding.
+pub fn bxor(b: &mut NetlistBuilder, x: Bit, y: Bit) -> Bit {
+    match (x, y) {
+        (Bit::Const(vx), Bit::Const(vy)) => Bit::Const(vx ^ vy),
+        (Bit::Const(false), other) | (other, Bit::Const(false)) => other,
+        (Bit::Const(true), Bit::Net(n)) | (Bit::Net(n), Bit::Const(true)) => {
+            Bit::Net(b.gate(CellKind::Inv, &[n]))
+        }
+        (Bit::Net(nx), Bit::Net(ny)) => Bit::Net(b.gate(CellKind::Xor2, &[nx, ny])),
+    }
+}
+
+/// Full adder: returns `(sum, carry)` using the XOR3/MAJ3 cell pair,
+/// degrading to a half adder (or wires) when inputs are constant.
+pub fn full_add(b: &mut NetlistBuilder, x: Bit, y: Bit, z: Bit) -> (Bit, Bit) {
+    // Fold any constant input.
+    let mut nets = Vec::new();
+    let mut consts = 0u32;
+    for bit in [x, y, z] {
+        match bit {
+            Bit::Const(true) => consts += 1,
+            Bit::Const(false) => {}
+            Bit::Net(n) => nets.push(n),
+        }
+    }
+    match (nets.len(), consts) {
+        (0, k) => (Bit::Const(k % 2 == 1), Bit::Const(k >= 2)),
+        (1, 0) => (Bit::Net(nets[0]), Bit::Const(false)),
+        (1, 1) => (
+            Bit::Net(b.gate(CellKind::Inv, &[nets[0]])),
+            Bit::Net(nets[0]),
+        ),
+        (1, 2) => (Bit::Net(nets[0]), Bit::Const(true)),
+        (2, 0) => half_add(b, Bit::Net(nets[0]), Bit::Net(nets[1])),
+        (2, 1) => {
+            // sum = !(x ^ y), carry = x | y
+            let s = b.gate(CellKind::Xnor2, &[nets[0], nets[1]]);
+            let c = b.gate(CellKind::Or2, &[nets[0], nets[1]]);
+            (Bit::Net(s), Bit::Net(c))
+        }
+        (3, 0) => {
+            let s = b.gate(CellKind::Xor3, &[nets[0], nets[1], nets[2]]);
+            let c = b.gate(CellKind::Maj3, &[nets[0], nets[1], nets[2]]);
+            (Bit::Net(s), Bit::Net(c))
+        }
+        _ => unreachable!("at most three inputs"),
+    }
+}
+
+/// Half adder: returns `(sum, carry)`.
+pub fn half_add(b: &mut NetlistBuilder, x: Bit, y: Bit) -> (Bit, Bit) {
+    let sum = bxor(b, x, y);
+    let carry = band(b, x, y);
+    (sum, carry)
+}
+
+/// Parallel-prefix network topologies.
+///
+/// All three compute the same carries; they differ in depth, gate
+/// count, and wiring — the classic area/delay trade-off knob of
+/// synthesis tools (used by the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefixStyle {
+    /// Minimal depth, maximal wiring (fastest, biggest).
+    KoggeStone,
+    /// Minimal depth, high fanout on block roots.
+    Sklansky,
+    /// Nearly half the nodes of Kogge–Stone, ~2× depth.
+    BrentKung,
+}
+
+impl PrefixStyle {
+    /// All styles, for sweeps.
+    pub const ALL: [PrefixStyle; 3] = [
+        PrefixStyle::KoggeStone,
+        PrefixStyle::Sklansky,
+        PrefixStyle::BrentKung,
+    ];
+
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefixStyle::KoggeStone => "kogge-stone",
+            PrefixStyle::Sklansky => "sklansky",
+            PrefixStyle::BrentKung => "brent-kung",
+        }
+    }
+}
+
+/// A (generate, propagate) pair during prefix construction.
+#[derive(Clone, Copy)]
+struct Gp {
+    g: Bit,
+    p: Bit,
+}
+
+/// The prefix combine `(G, P) ∘ (G', P') = (G | P·G', P·P')`.
+fn combine(b: &mut NetlistBuilder, hi: Gp, lo: Gp) -> Gp {
+    let t = band(b, hi.p, lo.g);
+    Gp {
+        g: bor(b, hi.g, t),
+        p: band(b, hi.p, lo.p),
+    }
+}
+
+/// Builds the carries of `x + y` (both `width` bits) with the chosen
+/// prefix network; returns `width + 1` sum bits (MSB = carry out).
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn add_prefix(b: &mut NetlistBuilder, x: &[Bit], y: &[Bit], style: PrefixStyle) -> Vec<Bit> {
+    assert_eq!(x.len(), y.len(), "operand width mismatch");
+    let n = x.len();
+    assert!(n > 0, "zero-width addition");
+    let mut nodes: Vec<Gp> = (0..n)
+        .map(|i| Gp {
+            g: band(b, x[i], y[i]),
+            p: bxor(b, x[i], y[i]),
+        })
+        .collect();
+    let p_bits: Vec<Bit> = nodes.iter().map(|gp| gp.p).collect();
+
+    match style {
+        PrefixStyle::KoggeStone => {
+            let mut d = 1;
+            while d < n {
+                let snapshot = nodes.clone();
+                for i in d..n {
+                    nodes[i] = combine(b, snapshot[i], snapshot[i - d]);
+                }
+                d *= 2;
+            }
+        }
+        PrefixStyle::Sklansky => {
+            let mut k = 0;
+            while (1usize << k) < n {
+                let snapshot = nodes.clone();
+                for (i, node) in nodes.iter_mut().enumerate() {
+                    if (i >> k) & 1 == 1 {
+                        let j = ((i >> k) << k) - 1;
+                        *node = combine(b, snapshot[i], snapshot[j]);
+                    }
+                }
+                k += 1;
+            }
+        }
+        PrefixStyle::BrentKung => {
+            // Forward (up-sweep) tree.
+            let mut d = 1;
+            while 2 * d <= n {
+                let snapshot = nodes.clone();
+                let mut i = 2 * d - 1;
+                while i < n {
+                    nodes[i] = combine(b, snapshot[i], snapshot[i - d]);
+                    i += 2 * d;
+                }
+                d *= 2;
+            }
+            // Backward (down-sweep) tree.
+            d /= 2;
+            while d >= 1 {
+                let snapshot = nodes.clone();
+                let mut i = 3 * d - 1;
+                while i < n {
+                    nodes[i] = combine(b, snapshot[i], snapshot[i - d]);
+                    i += 2 * d;
+                }
+                d /= 2;
+            }
+        }
+    }
+
+    // carries: c_0 = 0, c_i = G[0..i-1] = nodes[i-1].g
+    let mut sum = Vec::with_capacity(n + 1);
+    sum.push(p_bits[0]); // p0 ^ 0
+    for i in 1..n {
+        sum.push(bxor(b, p_bits[i], nodes[i - 1].g));
+    }
+    sum.push(nodes[n - 1].g); // carry out
+    sum
+}
+
+/// Ripple-carry addition over bits; returns `width + 1` sum bits.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn add_ripple(b: &mut NetlistBuilder, x: &[Bit], y: &[Bit]) -> Vec<Bit> {
+    assert_eq!(x.len(), y.len(), "operand width mismatch");
+    assert!(!x.is_empty(), "zero-width addition");
+    let mut sum = Vec::with_capacity(x.len() + 1);
+    let mut carry = Bit::ZERO;
+    for i in 0..x.len() {
+        let (s, c) = full_add(b, x[i], y[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    sum.push(carry);
+    sum
+}
+
+/// Complete `width`-bit ripple-carry adder netlist with buses
+/// `a`, `b` → `sum` (`width + 1` bits).
+#[must_use]
+pub fn ripple_carry(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("rca{width}"));
+    let a_bus = b.input_bus("a", width);
+    let b_bus = b.input_bus("b", width);
+    let sum = add_ripple(&mut b, &bus_bits(&a_bus), &bus_bits(&b_bus));
+    let sum_nets: Vec<NetId> = sum.into_iter().map(|bit| bit.into_net(&mut b)).collect();
+    b.output_bus("sum", &sum_nets);
+    b.finish()
+}
+
+/// Complete `width`-bit parallel-prefix adder netlist with buses
+/// `a`, `b` → `sum` (`width + 1` bits).
+#[must_use]
+pub fn prefix_adder(width: usize, style: PrefixStyle) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("{}{width}", style.name()));
+    let a_bus = b.input_bus("a", width);
+    let b_bus = b.input_bus("b", width);
+    let sum = add_prefix(&mut b, &bus_bits(&a_bus), &bus_bits(&b_bus), style);
+    let sum_nets: Vec<NetId> = sum.into_iter().map(|bit| bit.into_net(&mut b)).collect();
+    b.output_bus("sum", &sum_nets);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+
+    fn check_adder(netlist: &Netlist, width: usize) {
+        let cases: Vec<(u64, u64)> = vec![
+            (0, 0),
+            (1, 1),
+            ((1 << width) - 1, 1),
+            ((1 << width) - 1, (1 << width) - 1),
+            (
+                0b1010_1010 & ((1 << width) - 1),
+                0b0101_0101 & ((1 << width) - 1),
+            ),
+        ];
+        for (a, bv) in cases {
+            let out = netlist.evaluate(&BTreeMap::from([
+                ("a".to_string(), a),
+                ("b".to_string(), bv),
+            ]));
+            assert_eq!(out["sum"], a + bv, "{}: {a} + {bv}", netlist.name());
+        }
+    }
+
+    #[test]
+    fn ripple_carry_adds() {
+        for width in [1, 2, 4, 8, 22] {
+            check_adder(&ripple_carry(width), width);
+        }
+    }
+
+    #[test]
+    fn prefix_adders_add() {
+        for style in PrefixStyle::ALL {
+            for width in [1, 2, 3, 5, 8, 13, 22, 32] {
+                check_adder(&prefix_adder(width, style), width);
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_shallowest() {
+        let ks = prefix_adder(22, PrefixStyle::KoggeStone).stats();
+        let bk = prefix_adder(22, PrefixStyle::BrentKung).stats();
+        assert!(ks.depth <= bk.depth, "KS {} vs BK {}", ks.depth, bk.depth);
+        assert!(ks.gates >= bk.gates, "KS should spend more gates");
+    }
+
+    #[test]
+    fn prefix_beats_ripple_depth() {
+        let ks = prefix_adder(22, PrefixStyle::KoggeStone).stats();
+        let rc = ripple_carry(22).stats();
+        assert!(ks.depth < rc.depth);
+    }
+
+    #[test]
+    fn full_add_folds_constants() {
+        let mut b = NetlistBuilder::new("fold");
+        let x = b.input_bus("x", 1);
+        let (s, c) = full_add(&mut b, Bit::Net(x[0]), Bit::ZERO, Bit::ZERO);
+        assert_eq!(s, Bit::Net(x[0]));
+        assert_eq!(c, Bit::Const(false));
+        let (s2, c2) = full_add(&mut b, Bit::Const(true), Bit::Const(true), Bit::Const(true));
+        assert_eq!(s2, Bit::Const(true));
+        assert_eq!(c2, Bit::Const(true));
+    }
+
+    #[test]
+    fn bit_ops_fold() {
+        let mut b = NetlistBuilder::new("ops");
+        let x = b.input_bus("x", 1);
+        let xb = Bit::Net(x[0]);
+        assert_eq!(band(&mut b, xb, Bit::Const(false)), Bit::Const(false));
+        assert_eq!(band(&mut b, xb, Bit::Const(true)), xb);
+        assert_eq!(bor(&mut b, xb, Bit::Const(true)), Bit::Const(true));
+        assert_eq!(bor(&mut b, xb, Bit::Const(false)), xb);
+        assert_eq!(bxor(&mut b, xb, Bit::Const(false)), xb);
+        assert_eq!(b.clone().finish().gate_count(), 0, "all folded");
+        let inv = bxor(&mut b, xb, Bit::Const(true));
+        assert_ne!(inv, xb, "xor with 1 inverts");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use std::collections::BTreeMap;
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every adder family implements exact unsigned addition.
+        #[test]
+        fn adders_are_exact(
+            width in 1usize..16,
+            a in any::<u64>(),
+            b in any::<u64>(),
+            style_idx in 0usize..4,
+        ) {
+            let mask = (1u64 << width) - 1;
+            let (a, b) = (a & mask, b & mask);
+            let netlist = if style_idx == 3 {
+                ripple_carry(width)
+            } else {
+                prefix_adder(width, PrefixStyle::ALL[style_idx])
+            };
+            let out = netlist.evaluate(&BTreeMap::from([
+                ("a".to_string(), a),
+                ("b".to_string(), b),
+            ]));
+            prop_assert_eq!(out["sum"], a + b);
+        }
+    }
+}

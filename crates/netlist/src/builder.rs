@@ -1,0 +1,230 @@
+//! Incremental construction of [`Netlist`]s.
+
+use agequant_cells::CellKind;
+
+use crate::{Bus, Gate, GateId, NetDriver, NetId, Netlist};
+
+/// Builds a [`Netlist`] net by net, gate by gate.
+///
+/// Gates must be created after the nets that feed them, which makes
+/// the resulting gate vector topologically ordered by construction —
+/// the builder enforces this by only handing out [`NetId`]s for nets
+/// that already exist.
+///
+/// # Example
+///
+/// ```
+/// use agequant_cells::CellKind;
+/// use agequant_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("and3");
+/// let x = b.input_bus("x", 3);
+/// let t = b.gate(CellKind::And2, &[x[0], x[1]]);
+/// let y = b.gate(CellKind::And2, &[t, x[2]]);
+/// b.output_bus("y", &[y]);
+/// let netlist = b.finish();
+/// assert_eq!(netlist.gate_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    drivers: Vec<NetDriver>,
+    gates: Vec<Gate>,
+    input_buses: Vec<Bus>,
+    output_buses: Vec<Bus>,
+    const_nets: [Option<NetId>; 2],
+}
+
+impl NetlistBuilder {
+    /// Starts a new netlist with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            drivers: Vec::new(),
+            gates: Vec::new(),
+            input_buses: Vec::new(),
+            output_buses: Vec::new(),
+            const_nets: [None, None],
+        }
+    }
+
+    fn new_net(&mut self, driver: NetDriver) -> NetId {
+        let id = NetId(u32::try_from(self.drivers.len()).expect("net count fits u32"));
+        self.drivers.push(driver);
+        id
+    }
+
+    /// Declares a primary-input bus of `width` bits (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or a bus with this name exists.
+    pub fn input_bus(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
+        let name = name.into();
+        assert!(width > 0, "bus {name} must have non-zero width");
+        assert!(
+            self.input_buses.iter().all(|b| b.name != name),
+            "duplicate input bus {name}"
+        );
+        let nets: Vec<NetId> = (0..width)
+            .map(|_| self.new_net(NetDriver::PrimaryInput))
+            .collect();
+        self.input_buses.push(Bus {
+            name,
+            nets: nets.clone(),
+        });
+        nets
+    }
+
+    /// Returns the (deduplicated) constant-`value` net.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        let slot = usize::from(value);
+        if let Some(id) = self.const_nets[slot] {
+            return id;
+        }
+        let id = self.new_net(NetDriver::Constant(value));
+        self.const_nets[slot] = Some(id);
+        id
+    }
+
+    /// Instantiates a gate and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count mismatches the cell arity or an input
+    /// net does not exist yet.
+    pub fn gate(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "{kind} expects {} inputs, got {}",
+            kind.arity(),
+            inputs.len()
+        );
+        for &net in inputs {
+            assert!(
+                net.index() < self.drivers.len(),
+                "input net {net} does not exist"
+            );
+        }
+        let gate_id = GateId(u32::try_from(self.gates.len()).expect("gate count fits u32"));
+        let output = self.new_net(NetDriver::Gate(gate_id));
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        output
+    }
+
+    /// Declares a primary-output bus over existing nets (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is empty, duplicates a name, or references a
+    /// nonexistent net.
+    pub fn output_bus(&mut self, name: impl Into<String>, nets: &[NetId]) {
+        let name = name.into();
+        assert!(!nets.is_empty(), "output bus {name} must be non-empty");
+        assert!(
+            self.output_buses.iter().all(|b| b.name != name),
+            "duplicate output bus {name}"
+        );
+        for &net in nets {
+            assert!(
+                net.index() < self.drivers.len(),
+                "output net {net} does not exist"
+            );
+        }
+        self.output_buses.push(Bus {
+            name,
+            nets: nets.to_vec(),
+        });
+    }
+
+    /// Finalizes the netlist: computes fanout tables and re-verifies
+    /// the topological invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate reads a net produced by a later gate (cannot
+    /// happen through this builder's API; the check guards future
+    /// construction paths).
+    #[must_use]
+    pub fn finish(self) -> Netlist {
+        let mut fanouts: Vec<Vec<(GateId, usize)>> = vec![Vec::new(); self.drivers.len()];
+        for (idx, gate) in self.gates.iter().enumerate() {
+            let gid = GateId(idx as u32);
+            for (pin, &net) in gate.inputs.iter().enumerate() {
+                if let NetDriver::Gate(producer) = self.drivers[net.index()] {
+                    assert!(
+                        producer.index() < idx,
+                        "gate {gid} reads net {net} produced by later gate {producer}"
+                    );
+                }
+                fanouts[net.index()].push((gid, pin));
+            }
+        }
+        Netlist {
+            name: self.name,
+            drivers: self.drivers,
+            gates: self.gates,
+            input_buses: self.input_buses,
+            output_buses: self.output_buses,
+            fanouts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_cells::CellKind;
+
+    use super::*;
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let mut b = NetlistBuilder::new("c");
+        let z1 = b.constant(false);
+        let z2 = b.constant(false);
+        let o1 = b.constant(true);
+        assert_eq!(z1, z2);
+        assert_ne!(z1, o1);
+    }
+
+    #[test]
+    fn gate_creates_driven_net() {
+        let mut b = NetlistBuilder::new("g");
+        let x = b.input_bus("x", 1);
+        let y = b.gate(CellKind::Inv, &[x[0]]);
+        b.output_bus("y", &[y]);
+        let n = b.finish();
+        assert!(matches!(n.driver(y), NetDriver::Gate(_)));
+        assert!(matches!(n.driver(x[0]), NetDriver::PrimaryInput));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate input bus")]
+    fn duplicate_bus_rejected() {
+        let mut b = NetlistBuilder::new("d");
+        let _ = b.input_bus("x", 1);
+        let _ = b.input_bus("x", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn arity_mismatch_rejected() {
+        let mut b = NetlistBuilder::new("a");
+        let x = b.input_bus("x", 1);
+        let _ = b.gate(CellKind::And2, &[x[0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn dangling_net_rejected() {
+        let mut b = NetlistBuilder::new("dangle");
+        let _ = b.input_bus("x", 1);
+        let _ = b.gate(CellKind::Inv, &[crate::NetId(99)]);
+    }
+}

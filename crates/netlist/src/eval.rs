@@ -1,0 +1,143 @@
+//! Zero-delay functional evaluation of netlists.
+
+use std::collections::BTreeMap;
+
+use crate::{NetDriver, Netlist};
+
+impl Netlist {
+    /// Evaluates the netlist on bus-level integer inputs.
+    ///
+    /// `inputs` maps input-bus names to values (bit 0 = LSB of the
+    /// bus); the result maps output-bus names to values the same way.
+    /// Buses wider than 64 bits are unsupported (none of the
+    /// generators produce them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input bus is missing from `inputs`, a value does
+    /// not fit its bus, or a bus exceeds 64 bits.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::collections::BTreeMap;
+    /// use agequant_netlist::adders::ripple_carry;
+    ///
+    /// let adder = ripple_carry(8);
+    /// let out = adder.evaluate(&BTreeMap::from([
+    ///     ("a".to_string(), 200),
+    ///     ("b".to_string(), 100),
+    /// ]));
+    /// assert_eq!(out["sum"], 300);
+    /// ```
+    #[must_use]
+    pub fn evaluate(&self, inputs: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+        let mut values = vec![false; self.net_count()];
+        for bus in &self.input_buses {
+            assert!(bus.width() <= 64, "bus {} wider than 64 bits", bus.name);
+            let value = *inputs
+                .get(&bus.name)
+                .unwrap_or_else(|| panic!("missing value for input bus {}", bus.name));
+            if bus.width() < 64 {
+                assert!(
+                    value < (1u64 << bus.width()),
+                    "value {value} does not fit {}-bit bus {}",
+                    bus.width(),
+                    bus.name
+                );
+            }
+            for (bit, &net) in bus.nets.iter().enumerate() {
+                values[net.index()] = (value >> bit) & 1 == 1;
+            }
+        }
+        self.eval_nets(&mut values);
+        let mut out = BTreeMap::new();
+        for bus in &self.output_buses {
+            let mut value = 0u64;
+            for (bit, &net) in bus.nets.iter().enumerate() {
+                value |= u64::from(values[net.index()]) << bit;
+            }
+            out.insert(bus.name.clone(), value);
+        }
+        out
+    }
+
+    /// Evaluates all nets given pre-set primary-input values.
+    ///
+    /// `values` must have one slot per net with the primary inputs
+    /// already assigned; constants and gate outputs are filled in.
+    /// Exposed for the simulator and power crates, which need net-level
+    /// access.
+    pub fn eval_nets(&self, values: &mut [bool]) {
+        assert_eq!(values.len(), self.net_count(), "values length mismatch");
+        for (idx, driver) in self.drivers.iter().enumerate() {
+            if let NetDriver::Constant(v) = driver {
+                values[idx] = *v;
+            }
+        }
+        let mut pins: Vec<bool> = Vec::with_capacity(3);
+        for gate in &self.gates {
+            pins.clear();
+            pins.extend(gate.inputs.iter().map(|n| values[n.index()]));
+            values[gate.output.index()] = gate.kind.eval(&pins);
+        }
+    }
+
+    /// Convenience: evaluate with a single input bus `a` and return the
+    /// single output bus value. Panics when the netlist shape differs.
+    #[must_use]
+    pub fn evaluate_unary(&self, a: u64) -> u64 {
+        assert_eq!(self.input_buses.len(), 1, "expected exactly one input bus");
+        assert_eq!(
+            self.output_buses.len(),
+            1,
+            "expected exactly one output bus"
+        );
+        let inputs = BTreeMap::from([(self.input_buses[0].name.clone(), a)]);
+        let out = self.evaluate(&inputs);
+        out.into_values().next().expect("one output bus")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use agequant_cells::CellKind;
+
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn constants_participate_in_eval() {
+        let mut b = NetlistBuilder::new("c");
+        let x = b.input_bus("x", 1);
+        let one = b.constant(true);
+        let y = b.gate(CellKind::And2, &[x[0], one]);
+        b.output_bus("y", &[y]);
+        let n = b.finish();
+        let out = n.evaluate(&BTreeMap::from([("x".to_string(), 1)]));
+        assert_eq!(out["y"], 1);
+        let out = n.evaluate(&BTreeMap::from([("x".to_string(), 0)]));
+        assert_eq!(out["y"], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn missing_bus_panics() {
+        let mut b = NetlistBuilder::new("m");
+        let x = b.input_bus("x", 1);
+        b.output_bus("y", &[x[0]]);
+        let n = b.finish();
+        let _ = n.evaluate(&BTreeMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut b = NetlistBuilder::new("o");
+        let x = b.input_bus("x", 2);
+        b.output_bus("y", &[x[0]]);
+        let n = b.finish();
+        let _ = n.evaluate(&BTreeMap::from([("x".to_string(), 4)]));
+    }
+}

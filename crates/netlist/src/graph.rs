@@ -1,0 +1,284 @@
+//! The netlist data model: nets, gates, buses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use agequant_cells::CellKind;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a net (wire) within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The net's index into [`Netlist`] storage.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an id from a raw index (must be `< net_count()` of the
+    /// netlist it is used with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_index(idx: usize) -> NetId {
+        NetId(u32::try_from(idx).expect("net index fits u32"))
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a gate instance within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// The gate's index into [`Netlist`] storage.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetDriver {
+    /// A primary input of the circuit.
+    PrimaryInput,
+    /// A tie-off to a constant logic value.
+    Constant(bool),
+    /// The output of a gate instance.
+    Gate(GateId),
+}
+
+/// One standard-cell instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gate {
+    /// The cell kind instantiated.
+    pub kind: CellKind,
+    /// Input nets, in pin order.
+    pub inputs: Vec<NetId>,
+    /// The single output net.
+    pub output: NetId,
+}
+
+/// A named group of nets forming a multi-bit port (LSB first).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bus {
+    /// Port name, e.g. `"a"`.
+    pub name: String,
+    /// Member nets, index 0 = least significant bit.
+    pub nets: Vec<NetId>,
+}
+
+impl Bus {
+    /// Bit width of the bus.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+}
+
+/// Gate-count and structure statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Total gate instances.
+    pub gates: usize,
+    /// Total nets (including input and constant nets).
+    pub nets: usize,
+    /// Logic depth: longest input→output path in gate levels.
+    pub depth: usize,
+    /// Instances per cell kind.
+    pub by_kind: BTreeMap<CellKind, usize>,
+}
+
+/// An immutable combinational gate-level netlist.
+///
+/// Built through [`NetlistBuilder`](crate::NetlistBuilder); gates are
+/// stored in topological order (guaranteed by construction and
+/// re-verified at build time), so evaluation and timing analysis are
+/// single forward passes.
+///
+/// # Example
+///
+/// ```
+/// use agequant_netlist::adders::ripple_carry;
+///
+/// let adder = ripple_carry(8);
+/// assert_eq!(adder.input_bus("a").unwrap().width(), 8);
+/// assert_eq!(adder.output_bus("sum").unwrap().width(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) drivers: Vec<NetDriver>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) input_buses: Vec<Bus>,
+    pub(crate) output_buses: Vec<Bus>,
+    /// For each net, the gates it fans out to (and the pin index).
+    pub(crate) fanouts: Vec<Vec<(GateId, usize)>>,
+}
+
+impl Netlist {
+    /// The circuit's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Number of gate instances.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The driver of `net`.
+    #[must_use]
+    pub fn driver(&self, net: NetId) -> NetDriver {
+        self.drivers[net.index()]
+    }
+
+    /// The gate with the given id.
+    #[must_use]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// All gates in topological order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Gates (with pin indices) driven by `net`.
+    #[must_use]
+    pub fn fanout(&self, net: NetId) -> &[(GateId, usize)] {
+        &self.fanouts[net.index()]
+    }
+
+    /// Named input buses.
+    #[must_use]
+    pub fn input_buses(&self) -> &[Bus] {
+        &self.input_buses
+    }
+
+    /// Named output buses.
+    #[must_use]
+    pub fn output_buses(&self) -> &[Bus] {
+        &self.output_buses
+    }
+
+    /// Looks up an input bus by name.
+    #[must_use]
+    pub fn input_bus(&self, name: &str) -> Option<&Bus> {
+        self.input_buses.iter().find(|b| b.name == name)
+    }
+
+    /// Looks up an output bus by name.
+    #[must_use]
+    pub fn output_bus(&self, name: &str) -> Option<&Bus> {
+        self.output_buses.iter().find(|b| b.name == name)
+    }
+
+    /// All primary-input nets (union of input buses, bus order).
+    pub fn primary_inputs(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.input_buses.iter().flat_map(|b| b.nets.iter().copied())
+    }
+
+    /// All primary-output nets (union of output buses, bus order).
+    pub fn primary_outputs(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.output_buses
+            .iter()
+            .flat_map(|b| b.nets.iter().copied())
+    }
+
+    /// Gate-count and depth statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut by_kind = BTreeMap::new();
+        for g in &self.gates {
+            *by_kind.entry(g.kind).or_insert(0) += 1;
+        }
+        // Depth: level(net) = 0 for inputs/constants, gate level =
+        // 1 + max(input levels); gates are topologically ordered.
+        let mut level = vec![0usize; self.drivers.len()];
+        let mut depth = 0;
+        for g in &self.gates {
+            let l = 1 + g.inputs.iter().map(|n| level[n.index()]).max().unwrap_or(0);
+            level[g.output.index()] = l;
+            depth = depth.max(l);
+        }
+        NetlistStats {
+            gates: self.gates.len(),
+            nets: self.drivers.len(),
+            depth,
+            by_kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::adders::ripple_carry;
+    use crate::NetlistBuilder;
+
+    use super::*;
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(NetId(3).to_string(), "n3");
+        assert_eq!(GateId(7).to_string(), "g7");
+    }
+
+    #[test]
+    fn stats_count_gates_and_depth() {
+        let adder = ripple_carry(4);
+        let stats = adder.stats();
+        assert_eq!(stats.gates, adder.gate_count());
+        assert!(stats.depth >= 4, "ripple carry depth grows with width");
+        assert!(stats.by_kind.values().sum::<usize>() == stats.gates);
+    }
+
+    #[test]
+    fn fanout_is_consistent_with_gates() {
+        let adder = ripple_carry(6);
+        for (gid, gate) in adder.gates().iter().enumerate() {
+            for (pin, net) in gate.inputs.iter().enumerate() {
+                assert!(adder.fanout(*net).contains(&(GateId(gid as u32), pin)));
+            }
+        }
+    }
+
+    #[test]
+    fn bus_lookup_by_name() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("x", 2);
+        let y = b.gate(agequant_cells::CellKind::And2, &[a[0], a[1]]);
+        b.output_bus("y", &[y]);
+        let n = b.finish();
+        assert!(n.input_bus("x").is_some());
+        assert!(n.input_bus("y").is_none());
+        assert!(n.output_bus("y").is_some());
+        assert_eq!(n.primary_inputs().count(), 2);
+        assert_eq!(n.primary_outputs().count(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Gate-level netlists and arithmetic-circuit generators.
+//!
+//! This crate stands in for the paper's synthesis step (Synopsys Design
+//! Compiler + DesignWare, Section 6.1 (3)): it produces the
+//! post-synthesis gate-level netlist of the NPU's MAC unit — an 8-bit
+//! unsigned multiplier feeding a 22-bit accumulate adder, as in the
+//! Edge-TPU-like microarchitecture of Section 4 — built from the
+//! standard cells of `agequant-cells`.
+//!
+//! The generators matter because the whole paper hinges on a structural
+//! property: *which timing paths a MAC activates depends on the bit
+//! width of its inputs*. Tree multipliers and parallel-prefix adders
+//! have exactly that property — zeroing MSBs or LSBs of the inputs
+//! deactivates partial-product rows/columns and truncates carry chains.
+//! The STA crate exploits this via case analysis.
+//!
+//! Provided generators:
+//!
+//! * adders: ripple-carry, and the parallel-prefix family
+//!   (Kogge–Stone, Sklansky, Brent–Kung) via [`PrefixStyle`],
+//! * multipliers: array and Wallace (carry-save reduction) via
+//!   [`MultiplierArch`],
+//! * the paper's MAC unit: [`mac::MacCircuit`].
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_netlist::mac::MacCircuit;
+//!
+//! let mac = MacCircuit::edge_tpu();
+//! // f = (a*b + c) mod 2^22
+//! let f = mac.compute(200, 180, 1_000_000);
+//! assert_eq!(f, (200 * 180 + 1_000_000) % (1 << 22));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adders;
+mod builder;
+mod eval;
+mod graph;
+pub mod mac;
+pub mod multipliers;
+mod transform;
+mod verilog;
+
+pub use adders::PrefixStyle;
+pub use builder::NetlistBuilder;
+pub use graph::{Bus, Gate, GateId, NetDriver, NetId, Netlist, NetlistStats};
+pub use multipliers::MultiplierArch;

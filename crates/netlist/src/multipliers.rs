@@ -1,0 +1,284 @@
+//! Unsigned multiplier generators: array and Wallace (carry-save) trees.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adders::{add_prefix, band, bus_bits, full_add, Bit, PrefixStyle};
+use crate::{NetId, Netlist, NetlistBuilder};
+
+/// Multiplier microarchitectures.
+///
+/// The paper's DesignWare-based MAC is synthesized for maximum
+/// performance; [`MultiplierArch::Wallace`] (carry-save reduction plus
+/// a parallel-prefix final adder) is the corresponding structure.
+/// [`MultiplierArch::Array`] is the slow, regular baseline the earlier
+/// aging-approximation works ([10, 11] in the paper) were restricted to
+/// — kept for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MultiplierArch {
+    /// Row-by-row ripple accumulation (deep, small).
+    Array,
+    /// Carry-save 3:2 reduction tree + prefix final adder (shallow).
+    Wallace,
+}
+
+impl MultiplierArch {
+    /// All architectures, for sweeps.
+    pub const ALL: [MultiplierArch; 2] = [MultiplierArch::Array, MultiplierArch::Wallace];
+
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MultiplierArch::Array => "array",
+            MultiplierArch::Wallace => "wallace",
+        }
+    }
+}
+
+/// Builds the partial-product matrix: `pp[i][j] = a[i] & b[j]`.
+fn partial_products(b: &mut NetlistBuilder, a: &[Bit], bb: &[Bit]) -> Vec<Vec<Bit>> {
+    a.iter()
+        .map(|&ai| bb.iter().map(|&bj| band(b, ai, bj)).collect())
+        .collect()
+}
+
+/// Multiplies `x` (width *m*) by `y` (width *n*) producing `m + n`
+/// product bits, using the selected architecture.
+///
+/// # Panics
+///
+/// Panics if either operand is zero-width.
+pub fn multiply(
+    b: &mut NetlistBuilder,
+    x: &[Bit],
+    y: &[Bit],
+    arch: MultiplierArch,
+    final_adder: PrefixStyle,
+) -> Vec<Bit> {
+    assert!(!x.is_empty() && !y.is_empty(), "zero-width multiplication");
+    match arch {
+        MultiplierArch::Array => multiply_array(b, x, y),
+        MultiplierArch::Wallace => multiply_wallace(b, x, y, final_adder),
+    }
+}
+
+fn multiply_array(b: &mut NetlistBuilder, x: &[Bit], y: &[Bit]) -> Vec<Bit> {
+    let (m, n) = (x.len(), y.len());
+    let pp = partial_products(b, x, y);
+    // acc[w] is the current partial-sum bit of weight w.
+    let mut acc: Vec<Bit> = pp[0].clone(); // weights 0..n-1
+    acc.resize(m + n, Bit::ZERO);
+    for (i, row) in pp.iter().enumerate().skip(1) {
+        // Add row i (weights i..i+n-1) into acc with a ripple chain.
+        let mut carry = Bit::ZERO;
+        for (j, &p) in row.iter().enumerate() {
+            let w = i + j;
+            let (s, c) = full_add(b, acc[w], p, carry);
+            acc[w] = s;
+            carry = c;
+        }
+        // Propagate the final carry upward.
+        let mut w = i + n;
+        while w < m + n {
+            let (s, c) = full_add(b, acc[w], carry, Bit::ZERO);
+            acc[w] = s;
+            carry = c;
+            if matches!(carry, Bit::Const(false)) {
+                break;
+            }
+            w += 1;
+        }
+    }
+    acc
+}
+
+fn multiply_wallace(
+    b: &mut NetlistBuilder,
+    x: &[Bit],
+    y: &[Bit],
+    final_adder: PrefixStyle,
+) -> Vec<Bit> {
+    let (m, n) = (x.len(), y.len());
+    let pp = partial_products(b, x, y);
+    // columns[w] collects all bits of weight w.
+    let mut columns: Vec<Vec<Bit>> = vec![Vec::new(); m + n];
+    for (i, row) in pp.iter().enumerate() {
+        for (j, &p) in row.iter().enumerate() {
+            if !matches!(p, Bit::Const(false)) {
+                columns[i + j].push(p);
+            }
+        }
+    }
+    // Carry-save reduction: 3:2 compress until every column has ≤ 2 bits.
+    loop {
+        let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
+        if max_height <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<Bit>> = vec![Vec::new(); m + n + 1];
+        for (w, col) in columns.iter().enumerate() {
+            let mut iter = col.chunks(3);
+            for chunk in &mut iter {
+                match *chunk {
+                    [p, q, r] => {
+                        let (s, c) = full_add(b, p, q, r);
+                        push_nonzero(&mut next[w], s);
+                        push_nonzero(&mut next[w + 1], c);
+                    }
+                    [p, q] => {
+                        let (s, c) = full_add(b, p, q, Bit::ZERO);
+                        push_nonzero(&mut next[w], s);
+                        push_nonzero(&mut next[w + 1], c);
+                    }
+                    [p] => next[w].push(p),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        next.truncate(m + n);
+        columns = next;
+    }
+    // Final two-row addition.
+    let row0: Vec<Bit> = columns
+        .iter()
+        .map(|c| c.first().copied().unwrap_or(Bit::ZERO))
+        .collect();
+    let row1: Vec<Bit> = columns
+        .iter()
+        .map(|c| c.get(1).copied().unwrap_or(Bit::ZERO))
+        .collect();
+    let all_zero = row1.iter().all(|bit| matches!(bit, Bit::Const(false)));
+    let mut sum = if all_zero {
+        row0
+    } else {
+        add_prefix(b, &row0, &row1, final_adder)
+    };
+    sum.truncate(m + n);
+    sum
+}
+
+fn push_nonzero(col: &mut Vec<Bit>, bit: Bit) {
+    if !matches!(bit, Bit::Const(false)) {
+        col.push(bit);
+    }
+}
+
+/// Complete `m × n` multiplier netlist with buses `a` (m bits),
+/// `b` (n bits) → `p` (m + n bits).
+#[must_use]
+pub fn multiplier(m: usize, n: usize, arch: MultiplierArch) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("{}_mult{m}x{n}", arch.name()));
+    let a_bus = b.input_bus("a", m);
+    let b_bus = b.input_bus("b", n);
+    let product = multiply(
+        &mut b,
+        &bus_bits(&a_bus),
+        &bus_bits(&b_bus),
+        arch,
+        PrefixStyle::KoggeStone,
+    );
+    let nets: Vec<NetId> = product
+        .into_iter()
+        .map(|bit| bit.into_net(&mut b))
+        .collect();
+    b.output_bus("p", &nets);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+
+    fn check_mult(netlist: &Netlist, m: usize, n: usize) {
+        let cases = [
+            (0u64, 0u64),
+            (1, 1),
+            ((1 << m) - 1, (1 << n) - 1),
+            ((1 << m) - 1, 1),
+            (1, (1 << n) - 1),
+            (0b1011 & ((1 << m) - 1), 0b1101 & ((1 << n) - 1)),
+        ];
+        for (a, bv) in cases {
+            let out = netlist.evaluate(&BTreeMap::from([
+                ("a".to_string(), a),
+                ("b".to_string(), bv),
+            ]));
+            assert_eq!(out["p"], a * bv, "{}: {a} * {bv}", netlist.name());
+        }
+    }
+
+    #[test]
+    fn array_multiplier_is_exact() {
+        for (m, n) in [(1, 1), (2, 3), (4, 4), (8, 8)] {
+            check_mult(&multiplier(m, n, MultiplierArch::Array), m, n);
+        }
+    }
+
+    #[test]
+    fn wallace_multiplier_is_exact() {
+        for (m, n) in [(1, 1), (3, 2), (4, 4), (8, 8)] {
+            check_mult(&multiplier(m, n, MultiplierArch::Wallace), m, n);
+        }
+    }
+
+    #[test]
+    fn wallace_is_shallower_than_array() {
+        let w = multiplier(8, 8, MultiplierArch::Wallace).stats();
+        let a = multiplier(8, 8, MultiplierArch::Array).stats();
+        assert!(
+            w.depth < a.depth,
+            "wallace depth {} vs array {}",
+            w.depth,
+            a.depth
+        );
+    }
+
+    #[test]
+    fn eight_bit_multiplier_exhaustive_diagonal() {
+        // Full 65536-case exhaustion lives in the integration suite;
+        // here a structured diagonal catches carry bugs cheaply.
+        let netlist = multiplier(8, 8, MultiplierArch::Wallace);
+        for k in 0..=255u64 {
+            let out = netlist.evaluate(&BTreeMap::from([
+                ("a".to_string(), k),
+                ("b".to_string(), 255 - k),
+            ]));
+            assert_eq!(out["p"], k * (255 - k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use std::collections::BTreeMap;
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Both multiplier architectures implement exact unsigned
+        /// multiplication at arbitrary (small) widths.
+        #[test]
+        fn multipliers_are_exact(
+            m in 1usize..9,
+            n in 1usize..9,
+            a in any::<u64>(),
+            b in any::<u64>(),
+            arch_idx in 0usize..2,
+        ) {
+            let a = a & ((1 << m) - 1);
+            let b = b & ((1 << n) - 1);
+            let netlist = multiplier(m, n, MultiplierArch::ALL[arch_idx]);
+            let out = netlist.evaluate(&BTreeMap::from([
+                ("a".to_string(), a),
+                ("b".to_string(), b),
+            ]));
+            prop_assert_eq!(out["p"], a * b);
+        }
+    }
+}

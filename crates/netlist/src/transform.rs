@@ -1,0 +1,300 @@
+//! Netlist transformations: dead-logic elimination and
+//! constant-specialization.
+
+use std::collections::BTreeMap;
+
+use agequant_cells::PartialEval;
+
+use crate::{Bus, Gate, GateId, NetDriver, NetId, Netlist};
+
+impl Netlist {
+    /// Removes gates whose outputs cannot reach any primary output,
+    /// returning a new netlist with dense ids. Primary inputs are kept
+    /// even when unused (ports are part of the interface).
+    ///
+    /// Generators occasionally emit helper logic that later stages
+    /// leave unconsumed (e.g. prefix nodes whose propagate term is
+    /// only needed by pruned levels); synthesis tools sweep those away
+    /// and so does this pass — keeping gate counts, power estimates,
+    /// and Verilog exports honest.
+    #[must_use]
+    pub fn pruned(&self) -> Netlist {
+        // Mark nets reachable from outputs, walking fanin.
+        let mut live_net = vec![false; self.net_count()];
+        let mut stack: Vec<NetId> = self.primary_outputs().collect();
+        while let Some(net) = stack.pop() {
+            if live_net[net.index()] {
+                continue;
+            }
+            live_net[net.index()] = true;
+            if let NetDriver::Gate(gate) = self.driver(net) {
+                stack.extend(self.gate(gate).inputs.iter().copied());
+            }
+        }
+        // Primary inputs always survive (interface stability).
+        for net in self.primary_inputs() {
+            live_net[net.index()] = true;
+        }
+        self.rebuild(|net| live_net[net.index()], |_| None)
+    }
+
+    /// Specializes the netlist for inputs tied to constants: gates
+    /// whose outputs become constant are folded away and replaced with
+    /// constant nets, then dead logic is swept. `tied` maps primary
+    /// input nets to their constant values.
+    ///
+    /// This is the hardware-specialization view of input compression:
+    /// the circuit a synthesis tool would produce if the padding zeros
+    /// were hard-wired. Useful for area/power what-if studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tied net is not a primary input.
+    #[must_use]
+    pub fn specialized(&self, tied: &BTreeMap<NetId, bool>) -> Netlist {
+        for net in tied.keys() {
+            assert!(
+                matches!(self.driver(*net), NetDriver::PrimaryInput),
+                "{net} is not a primary input"
+            );
+        }
+        // Constant propagation (same rules as STA case analysis).
+        let mut constants: Vec<Option<bool>> = vec![None; self.net_count()];
+        for (idx, _) in (0..self.net_count()).enumerate() {
+            let net = NetId::from_index(idx);
+            match self.driver(net) {
+                NetDriver::PrimaryInput => constants[idx] = tied.get(&net).copied(),
+                NetDriver::Constant(v) => constants[idx] = Some(v),
+                NetDriver::Gate(_) => {}
+            }
+        }
+        let mut pins: Vec<Option<bool>> = Vec::with_capacity(3);
+        for gate in self.gates() {
+            pins.clear();
+            pins.extend(gate.inputs.iter().map(|n| constants[n.index()]));
+            if let PartialEval::Known(v) = gate.kind.partial_eval(&pins) {
+                constants[gate.output.index()] = Some(v);
+            }
+        }
+        // Keep gates whose output is not constant; constant nets are
+        // re-driven by constant drivers. Then sweep dead logic.
+        let specialized = self.rebuild(
+            |_| true,
+            |net| match self.driver(net) {
+                NetDriver::Gate(_) => constants[net.index()],
+                NetDriver::PrimaryInput => tied.get(&net).copied(),
+                NetDriver::Constant(_) => None, // already constant
+            },
+        );
+        specialized.pruned()
+    }
+
+    /// Rebuilds the netlist keeping nets passing `keep` and overriding
+    /// drivers where `constant_override` yields a value.
+    fn rebuild(
+        &self,
+        keep: impl Fn(NetId) -> bool,
+        constant_override: impl Fn(NetId) -> Option<bool>,
+    ) -> Netlist {
+        let mut net_map: Vec<Option<NetId>> = vec![None; self.net_count()];
+        let mut drivers = Vec::new();
+        let alloc = |idx: usize,
+                     driver: NetDriver,
+                     net_map: &mut Vec<Option<NetId>>,
+                     drivers: &mut Vec<NetDriver>| {
+            let new = NetId::from_index(drivers.len());
+            drivers.push(driver);
+            net_map[idx] = Some(new);
+            new
+        };
+
+        // First pass: primary inputs and constants (stable order).
+        for idx in 0..self.net_count() {
+            let net = NetId::from_index(idx);
+            if !keep(net) {
+                continue;
+            }
+            match (self.driver(net), constant_override(net)) {
+                (NetDriver::PrimaryInput, None) => {
+                    alloc(idx, NetDriver::PrimaryInput, &mut net_map, &mut drivers);
+                }
+                (NetDriver::PrimaryInput, Some(v)) | (NetDriver::Gate(_), Some(v)) => {
+                    alloc(idx, NetDriver::Constant(v), &mut net_map, &mut drivers);
+                }
+                (NetDriver::Constant(v), _) => {
+                    alloc(idx, NetDriver::Constant(v), &mut net_map, &mut drivers);
+                }
+                (NetDriver::Gate(_), None) => {} // second pass
+            }
+        }
+        // Second pass: surviving gates in topological order.
+        let mut gates = Vec::new();
+        for gate in self.gates() {
+            let out_idx = gate.output.index();
+            let out_net = NetId::from_index(out_idx);
+            if !keep(out_net) || net_map[out_idx].is_some() {
+                continue; // dead, or folded to a constant above
+            }
+            let inputs: Vec<NetId> = gate
+                .inputs
+                .iter()
+                .map(|n| net_map[n.index()].expect("fanin allocated before consumer"))
+                .collect();
+            let gate_id = GateId(u32::try_from(gates.len()).expect("gate count fits u32"));
+            let new_out = NetId::from_index(drivers.len());
+            drivers.push(NetDriver::Gate(gate_id));
+            net_map[out_idx] = Some(new_out);
+            gates.push(Gate {
+                kind: gate.kind,
+                inputs,
+                output: new_out,
+            });
+        }
+
+        let remap_bus = |bus: &Bus| Bus {
+            name: bus.name.clone(),
+            nets: bus
+                .nets
+                .iter()
+                .map(|n| net_map[n.index()].expect("port nets survive"))
+                .collect(),
+        };
+        let input_buses: Vec<Bus> = self.input_buses().iter().map(remap_bus).collect();
+        let output_buses: Vec<Bus> = self.output_buses().iter().map(remap_bus).collect();
+
+        let mut fanouts: Vec<Vec<(GateId, usize)>> = vec![Vec::new(); drivers.len()];
+        for (idx, gate) in gates.iter().enumerate() {
+            for (pin, &net) in gate.inputs.iter().enumerate() {
+                fanouts[net.index()].push((GateId(idx as u32), pin));
+            }
+        }
+        Netlist {
+            name: self.name().to_string(),
+            drivers,
+            gates,
+            input_buses,
+            output_buses,
+            fanouts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use agequant_cells::CellKind;
+
+    use crate::adders::{prefix_adder, PrefixStyle};
+    use crate::mac::MacCircuit;
+    use crate::NetlistBuilder;
+
+    use super::*;
+
+    #[test]
+    fn pruning_preserves_function() {
+        let adder = prefix_adder(8, PrefixStyle::Sklansky);
+        let pruned = adder.pruned();
+        assert!(pruned.gate_count() <= adder.gate_count());
+        for (a, b) in [(0u64, 0u64), (255, 255), (170, 85), (123, 45)] {
+            let inputs = BTreeMap::from([("a".to_string(), a), ("b".to_string(), b)]);
+            assert_eq!(adder.evaluate(&inputs), pruned.evaluate(&inputs));
+        }
+    }
+
+    #[test]
+    fn pruning_removes_dangling_logic() {
+        let mut b = NetlistBuilder::new("dangle");
+        let x = b.input_bus("x", 2);
+        let used = b.gate(CellKind::And2, &[x[0], x[1]]);
+        let _dead = b.gate(CellKind::Xor2, &[x[0], x[1]]);
+        b.output_bus("y", &[used]);
+        let n = b.finish();
+        assert_eq!(n.gate_count(), 2);
+        let p = n.pruned();
+        assert_eq!(p.gate_count(), 1);
+        assert_eq!(p.input_bus("x").unwrap().width(), 2, "ports survive");
+    }
+
+    #[test]
+    fn specialization_matches_masked_evaluation() {
+        // Hard-wire the top 4 bits of `a` to zero and compare against
+        // the original netlist evaluated with those bits zero.
+        let mac = MacCircuit::edge_tpu();
+        let a_bus = mac.netlist().input_bus("a").unwrap().nets.clone();
+        let tied: BTreeMap<_, _> = a_bus[4..].iter().map(|&n| (n, false)).collect();
+        let special = mac.netlist().specialized(&tied);
+        assert!(special.gate_count() < mac.netlist().gate_count());
+        for (a, b, c) in [(15u64, 255u64, 12345u64), (7, 99, 0), (0, 1, 1 << 20)] {
+            let inputs = BTreeMap::from([
+                ("a".to_string(), a),
+                ("b".to_string(), b),
+                ("c".to_string(), c),
+            ]);
+            assert_eq!(
+                special.evaluate(&inputs),
+                mac.netlist().evaluate(&inputs),
+                "({a}, {b}, {c})"
+            );
+        }
+    }
+
+    #[test]
+    fn full_specialization_collapses_to_constants() {
+        let mut b = NetlistBuilder::new("all");
+        let x = b.input_bus("x", 2);
+        let y = b.gate(CellKind::Or2, &[x[0], x[1]]);
+        b.output_bus("y", &[y]);
+        let n = b.finish();
+        let tied = BTreeMap::from([(x[0], true), (x[1], false)]);
+        let s = n.specialized(&tied);
+        assert_eq!(s.gate_count(), 0);
+        let out = s.evaluate(&BTreeMap::from([("x".to_string(), 0)]));
+        assert_eq!(out["y"], 1, "constant-1 output survives folding");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn tying_internal_net_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let x = b.input_bus("x", 1);
+        let y = b.gate(CellKind::Inv, &[x[0]]);
+        b.output_bus("y", &[y]);
+        let n = b.finish();
+        let _ = n.specialized(&BTreeMap::from([(y, false)]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use std::collections::BTreeMap;
+
+    use proptest::prelude::*;
+
+    use crate::multipliers::{multiplier, MultiplierArch};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Specializing on zeroed MSBs preserves the multiplier
+        /// function over the remaining input space.
+        #[test]
+        fn specialized_multiplier_is_exact(
+            zeros in 1usize..4,
+            a in 0u64..16,
+            b in 0u64..256,
+        ) {
+            let m = multiplier(8, 8, MultiplierArch::Wallace);
+            let a_bus = m.input_bus("a").unwrap().nets.clone();
+            let tied: BTreeMap<_, _> =
+                a_bus[8 - zeros..].iter().map(|&n| (n, false)).collect();
+            let s = m.specialized(&tied);
+            let a = a & ((1 << (8 - zeros)) - 1);
+            let out = s.evaluate(&BTreeMap::from([
+                ("a".to_string(), a),
+                ("b".to_string(), b),
+            ]));
+            prop_assert_eq!(out["p"], a * b);
+        }
+    }
+}

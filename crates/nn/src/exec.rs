@@ -1,0 +1,71 @@
+//! The pluggable inference executor.
+
+use agequant_tensor::Tensor;
+
+use crate::{ConvLayer, LinearLayer, NodeId};
+
+/// Supplies the convolution and linear kernels for a model run.
+///
+/// The graph traversal (shape handling, activations, pooling,
+/// residual/concat joins) lives in [`Model::run`]; only the weighted
+/// ops go through this trait, which is exactly where quantization
+/// (`agequant-quant`) and fault injection (`agequant-faults`)
+/// substitute their arithmetic. The `node` id identifies the layer so
+/// executors can apply per-layer parameters.
+///
+/// [`Model::run`]: crate::Model::run
+pub trait Executor {
+    /// Computes one convolution layer.
+    fn conv2d(&self, node: NodeId, layer: &ConvLayer, input: &Tensor) -> Tensor;
+
+    /// Computes one fully-connected layer.
+    fn linear(&self, node: NodeId, layer: &LinearLayer, input: &Tensor) -> Tensor;
+}
+
+/// The exact FP32 executor — the paper's FP32 reference inference.
+///
+/// # Example
+///
+/// ```
+/// use agequant_nn::{ExactExecutor, Executor, ConvLayer, NodeId};
+/// use agequant_tensor::Tensor;
+/// # let layer = ConvLayer {
+/// #     weights: Tensor::filled(&[1, 1, 1, 1], 2.0),
+/// #     bias: vec![0.0],
+/// #     stride: 1,
+/// #     pad: 0,
+/// # };
+/// let out = ExactExecutor.conv2d(
+///     NodeId::default(), &layer, &Tensor::filled(&[1, 2, 2], 3.0));
+/// assert_eq!(out.data(), &[6.0, 6.0, 6.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactExecutor;
+
+impl Executor for ExactExecutor {
+    fn conv2d(&self, _node: NodeId, layer: &ConvLayer, input: &Tensor) -> Tensor {
+        agequant_tensor::conv2d(input, &layer.weights, &layer.bias, layer.stride, layer.pad)
+    }
+
+    fn linear(&self, _node: NodeId, layer: &LinearLayer, input: &Tensor) -> Tensor {
+        agequant_tensor::linear(input, &layer.weights, &layer.bias)
+    }
+}
+
+// NodeId's Default (node 0 = the input node) lives in graph.rs.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_executor_matches_tensor_ops() {
+        let layer = LinearLayer {
+            weights: Tensor::from_vec(&[1, 2], vec![2.0, 3.0]),
+            bias: vec![1.0],
+        };
+        let x = Tensor::from_vec(&[2], vec![1.0, 1.0]);
+        let out = ExactExecutor.linear(NodeId::default(), &layer, &x);
+        assert_eq!(out.data(), &[6.0]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Structured random weight initialization.
+
+use agequant_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Weight generator producing realistic per-channel distributions.
+///
+/// Pretrained CNN weights are bell-shaped with per-channel scale
+/// variation and a small population of outliers — precisely the
+/// statistics that separate naive min/max quantization from
+/// clipping-based methods (ACIQ, LAPQ). This generator reproduces
+/// those properties synthetically:
+///
+/// * He-scaled Gaussians (`σ = gain·√(2/fan_in)`),
+/// * per-output-channel log-normal scale spread,
+/// * sparse heavy outliers (probability [`outlier_prob`], magnitude
+///   ×[`outlier_gain`]).
+///
+/// [`outlier_prob`]: WeightInit::outlier_prob
+/// [`outlier_gain`]: WeightInit::outlier_gain
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightInit {
+    /// Gain multiplier on the He standard deviation.
+    pub gain: f32,
+    /// σ of the log-normal per-channel scale spread.
+    pub channel_spread: f32,
+    /// Probability of an individual weight being an outlier.
+    pub outlier_prob: f64,
+    /// Magnitude multiplier applied to outliers.
+    pub outlier_gain: f32,
+}
+
+impl Default for WeightInit {
+    fn default() -> Self {
+        WeightInit {
+            gain: 1.0,
+            channel_spread: 0.25,
+            outlier_prob: 2e-3,
+            outlier_gain: 6.0,
+        }
+    }
+}
+
+impl WeightInit {
+    /// Samples an OIHW convolution weight tensor.
+    #[must_use]
+    pub fn conv_weights(
+        &self,
+        rng: &mut StdRng,
+        out_c: usize,
+        in_c: usize,
+        kh: usize,
+        kw: usize,
+    ) -> Tensor {
+        let fan_in = (in_c * kh * kw) as f32;
+        self.sample(rng, &[out_c, in_c, kh, kw], fan_in)
+    }
+
+    /// Samples a `[out, in]` linear weight tensor.
+    #[must_use]
+    pub fn linear_weights(&self, rng: &mut StdRng, out_f: usize, in_f: usize) -> Tensor {
+        self.sample(rng, &[out_f, in_f], in_f as f32)
+    }
+
+    /// Samples a bias vector (small, zero-centred).
+    #[must_use]
+    pub fn bias(&self, rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| 0.05 * gaussian(rng)).collect()
+    }
+
+    fn sample(&self, rng: &mut StdRng, shape: &[usize], fan_in: f32) -> Tensor {
+        let sigma = self.gain * (2.0 / fan_in).sqrt();
+        let out_c = shape[0];
+        let per_channel: usize = shape[1..].iter().product();
+        let mut data = Vec::with_capacity(out_c * per_channel);
+        for _ in 0..out_c {
+            // Log-normal per-channel scale.
+            let scale = (self.channel_spread * gaussian(rng)).exp();
+            for _ in 0..per_channel {
+                let mut v = sigma * scale * gaussian(rng);
+                if rng.random_bool(self.outlier_prob) {
+                    v *= self.outlier_gain;
+                }
+                data.push(v);
+            }
+        }
+        Tensor::from_vec(shape, data)
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn he_scaling_shrinks_with_fan_in() {
+        let init = WeightInit {
+            channel_spread: 0.0,
+            outlier_prob: 0.0,
+            ..WeightInit::default()
+        };
+        let narrow = init.conv_weights(&mut rng(), 8, 64, 3, 3);
+        let wide = init.conv_weights(&mut rng(), 8, 4, 3, 3);
+        let std = |t: &Tensor| {
+            let m = t.mean();
+            (t.data().iter().map(|v| (v - m).powi(2)).sum::<f32>() / t.len() as f32).sqrt()
+        };
+        assert!(std(&narrow) < std(&wide));
+    }
+
+    #[test]
+    fn outliers_extend_the_range() {
+        let base = WeightInit {
+            outlier_prob: 0.0,
+            ..WeightInit::default()
+        };
+        let heavy = WeightInit {
+            outlier_prob: 0.05,
+            outlier_gain: 10.0,
+            ..WeightInit::default()
+        };
+        let a = base.conv_weights(&mut rng(), 16, 16, 3, 3);
+        let b = heavy.conv_weights(&mut rng(), 16, 16, 3, 3);
+        let range = |t: &Tensor| {
+            let (lo, hi) = t.min_max();
+            hi - lo
+        };
+        assert!(
+            range(&b) > range(&a) * 1.5,
+            "{} vs {}",
+            range(&b),
+            range(&a)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let init = WeightInit::default();
+        let a = init.conv_weights(&mut StdRng::seed_from_u64(7), 4, 4, 3, 3);
+        let b = init.conv_weights(&mut StdRng::seed_from_u64(7), 4, 4, 3, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gaussian_is_roughly_standard() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

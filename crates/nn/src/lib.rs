@@ -1,0 +1,53 @@
+//! Synthetic CNN model zoo mirroring the paper's ten networks, plus
+//! datasets and evaluation runners.
+//!
+//! The paper evaluates on ten ImageNet-trained Torchvision models.
+//! Neither ImageNet nor pretrained weights are available to this
+//! reproduction, so this crate provides the documented substitution
+//! (see `DESIGN.md`): scaled-down versions of the same ten
+//! architectures ([`NetArch`]) with structured random weights whose
+//! per-channel statistics are realistic (bell-shaped with occasional
+//! outliers), evaluated on a deterministic synthetic image set
+//! ([`SyntheticDataset`]). Accuracy loss is measured as **top-1
+//! disagreement with the FP32 model** — exactly the "accuracy loss
+//! w.r.t. FP32" metric of the paper, with the FP32 predictions as the
+//! reference.
+//!
+//! Inference is pluggable: [`Executor`] lets the quantization and
+//! fault-injection crates substitute the convolution/linear kernels
+//! while this crate owns the graph traversal.
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_nn::{ExactExecutor, NetArch, SyntheticDataset};
+//!
+//! let model = NetArch::SqueezeNet11.build(42);
+//! let data = SyntheticDataset::generate(8, 99);
+//! let preds = model.predict_all(&ExactExecutor, data.images());
+//! assert_eq!(preds.len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod data;
+mod exec;
+mod graph;
+mod init;
+mod readout;
+mod runner;
+mod zoo;
+
+pub use data::{SyntheticDataset, TASK_SEED};
+pub use exec::{ExactExecutor, Executor};
+pub use graph::{ConvLayer, LinearLayer, Model, Node, NodeId, Op};
+pub use init::WeightInit;
+pub use runner::{accuracy_loss_pct, agreement, EvalReport};
+pub use zoo::NetArch;
+
+/// Input geometry of every zoo model: 3-channel 16×16 images.
+pub const INPUT_SHAPE: [usize; 3] = [3, 16, 16];
+
+/// Number of classes of the synthetic task.
+pub const NUM_CLASSES: usize = 10;

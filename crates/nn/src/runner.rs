@@ -1,0 +1,110 @@
+//! Evaluation: predictions, agreement, accuracy loss.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Executor, Model, SyntheticDataset};
+
+/// Evaluation summary of one model/executor pair on a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Model name.
+    pub model: String,
+    /// Top-1 predictions per image.
+    pub predictions: Vec<usize>,
+    /// Top-1 accuracy against the dataset labels, percent.
+    pub label_accuracy_pct: f64,
+}
+
+impl EvalReport {
+    /// Evaluates `model` with `executor` on `data`.
+    #[must_use]
+    pub fn evaluate<E: Executor + ?Sized>(
+        model: &Model,
+        executor: &E,
+        data: &SyntheticDataset,
+    ) -> Self {
+        let predictions = model.predict_all(executor, data.images());
+        let correct = predictions
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, l)| p == l)
+            .count();
+        EvalReport {
+            model: model.name().to_string(),
+            label_accuracy_pct: 100.0 * correct as f64 / data.len() as f64,
+            predictions,
+        }
+    }
+}
+
+/// Fraction of positions where two prediction vectors agree, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different (or zero) lengths.
+///
+/// # Example
+///
+/// ```
+/// use agequant_nn::agreement;
+///
+/// assert_eq!(agreement(&[1, 2, 3, 4], &[1, 2, 0, 4]), 0.75);
+/// ```
+#[must_use]
+pub fn agreement(reference: &[usize], test: &[usize]) -> f64 {
+    assert_eq!(reference.len(), test.len(), "prediction length mismatch");
+    assert!(!reference.is_empty(), "empty prediction vectors");
+    let same = reference.iter().zip(test).filter(|(a, b)| a == b).count();
+    same as f64 / reference.len() as f64
+}
+
+/// The paper's accuracy-loss metric in percent: top-1 disagreement of
+/// `test` with the FP32 `reference` predictions.
+///
+/// # Panics
+///
+/// Panics if the vectors have different (or zero) lengths.
+#[must_use]
+pub fn accuracy_loss_pct(reference: &[usize], test: &[usize]) -> f64 {
+    100.0 * (1.0 - agreement(reference, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ExactExecutor, NetArch, SyntheticDataset};
+
+    use super::*;
+
+    #[test]
+    fn fp32_agrees_with_itself() {
+        let model = NetArch::AlexNet.build(2);
+        let data = SyntheticDataset::generate(20, 8);
+        let a = EvalReport::evaluate(&model, &ExactExecutor, &data);
+        let b = EvalReport::evaluate(&model, &ExactExecutor, &data);
+        assert_eq!(agreement(&a.predictions, &b.predictions), 1.0);
+        assert_eq!(accuracy_loss_pct(&a.predictions, &b.predictions), 0.0);
+    }
+
+    #[test]
+    fn predictions_are_diverse() {
+        // A model whose predictions collapse to one class cannot show
+        // graceful quantization degradation; guard against that.
+        let model = NetArch::Vgg13.build(2);
+        let data = SyntheticDataset::generate(40, 8);
+        let report = EvalReport::evaluate(&model, &ExactExecutor, &data);
+        let distinct: std::collections::BTreeSet<usize> =
+            report.predictions.iter().copied().collect();
+        assert!(distinct.len() >= 3, "predictions collapsed to {distinct:?}");
+    }
+
+    #[test]
+    fn loss_metric_counts_flips() {
+        assert_eq!(accuracy_loss_pct(&[0, 1, 2, 3], &[0, 1, 2, 0]), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = agreement(&[1, 2], &[1]);
+    }
+}

@@ -1,0 +1,380 @@
+//! The ten-architecture model zoo.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{ConvLayer, LinearLayer, Model, NodeId, Op, WeightInit, NUM_CLASSES};
+
+/// The ten network architectures of the paper's Table 1, scaled down
+/// to the synthetic 3×16×16 task (see `DESIGN.md` for the
+/// substitution rationale).
+///
+/// Relative structure is preserved: the ResNet family deepens from 50
+/// to 152, the wide variants double every width, the VGG family grows
+/// its conv stages, and SqueezeNet 1.1 keeps its channel-starved fire
+/// modules (which make it the most quantization-fragile of the ten —
+/// the property the paper's evaluation highlights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum NetArch {
+    ResNet50,
+    ResNet101,
+    ResNet152,
+    Vgg13,
+    Vgg16,
+    Vgg19,
+    AlexNet,
+    SqueezeNet11,
+    WideResNet50,
+    WideResNet101,
+}
+
+impl NetArch {
+    /// All ten architectures, in the paper's Table 1 order.
+    pub const ALL: [NetArch; 10] = [
+        NetArch::ResNet50,
+        NetArch::ResNet101,
+        NetArch::ResNet152,
+        NetArch::Vgg13,
+        NetArch::Vgg16,
+        NetArch::Vgg19,
+        NetArch::AlexNet,
+        NetArch::SqueezeNet11,
+        NetArch::WideResNet50,
+        NetArch::WideResNet101,
+    ];
+
+    /// Display name matching the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NetArch::ResNet50 => "ResNet50",
+            NetArch::ResNet101 => "ResNet101",
+            NetArch::ResNet152 => "ResNet152",
+            NetArch::Vgg13 => "VGG13",
+            NetArch::Vgg16 => "VGG16",
+            NetArch::Vgg19 => "VGG19",
+            NetArch::AlexNet => "Alexnet",
+            NetArch::SqueezeNet11 => "SqueezeNet 1.1",
+            NetArch::WideResNet50 => "Wide ResNet50",
+            NetArch::WideResNet101 => "Wide ResNet101",
+        }
+    }
+
+    /// Builds the model with deterministic weights derived from `seed`,
+    /// including the activation-normalization (BN-folding analogue)
+    /// pass on a small calibration set — see
+    /// [`Model::normalize_activations`].
+    #[must_use]
+    pub fn build(self, seed: u64) -> Model {
+        let (mut model, branch_convs) = self.build_parts(seed);
+        let calib = crate::SyntheticDataset::generate(10, seed ^ 0xA5A5_5A5A);
+        model.normalize_activations(calib.images());
+        // Down-weight residual branches after normalization (SkipInit
+        // style): deep random residual stacks must stay close to the
+        // identity for class geometry to survive to the readout.
+        for id in branch_convs {
+            model.scale_weighted_layer(id, 0.25);
+        }
+        // Fit the classifier head (nearest-centroid readout) on a
+        // held-out training set so predictions carry real margins —
+        // see `Model::fit_nearest_centroid_readout`.
+        let train = crate::SyntheticDataset::generate(80, seed ^ 0x0F0F_F0F0);
+        model.fit_nearest_centroid_readout(&train);
+        model
+    }
+
+    /// Builds the model without the normalization pass (tests only).
+    #[must_use]
+    pub fn build_raw(self, seed: u64) -> Model {
+        self.build_parts(seed).0
+    }
+
+    /// Builds the raw model plus the residual-branch conv ids.
+    fn build_parts(self, seed: u64) -> (Model, Vec<NodeId>) {
+        let mut b = NetBuilder::new(self.name(), seed);
+        match self {
+            NetArch::ResNet50 => b.resnet(&[2, 2, 3, 2], &[8, 16, 24, 32]),
+            NetArch::ResNet101 => b.resnet(&[2, 3, 5, 3], &[8, 16, 24, 32]),
+            NetArch::ResNet152 => b.resnet(&[3, 4, 7, 4], &[8, 16, 24, 32]),
+            NetArch::WideResNet50 => b.resnet(&[2, 2, 3, 2], &[16, 32, 48, 64]),
+            NetArch::WideResNet101 => b.resnet(&[2, 3, 5, 3], &[16, 32, 48, 64]),
+            NetArch::Vgg13 => b.vgg(&[1, 1, 2, 2]),
+            NetArch::Vgg16 => b.vgg(&[1, 2, 2, 3]),
+            NetArch::Vgg19 => b.vgg(&[2, 2, 3, 3]),
+            NetArch::AlexNet => b.alexnet(),
+            NetArch::SqueezeNet11 => b.squeezenet(),
+        }
+        (b.model, b.branch_convs)
+    }
+}
+
+impl fmt::Display for NetArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Incremental graph construction with weight sampling.
+struct NetBuilder {
+    model: Model,
+    rng: StdRng,
+    init: WeightInit,
+    /// Second convs of residual blocks (scaled down after LSUV).
+    branch_convs: Vec<NodeId>,
+}
+
+impl NetBuilder {
+    fn new(name: &str, seed: u64) -> Self {
+        NetBuilder {
+            model: Model::new(name),
+            rng: StdRng::seed_from_u64(seed),
+            init: WeightInit::default(),
+            branch_convs: Vec::new(),
+        }
+    }
+
+    fn conv(
+        &mut self,
+        from: NodeId,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> NodeId {
+        let weights = self.init.conv_weights(&mut self.rng, out_c, in_c, k, k);
+        let bias = self.init.bias(&mut self.rng, out_c);
+        self.model.push(
+            Op::Conv(ConvLayer {
+                weights,
+                bias,
+                stride,
+                pad,
+            }),
+            &[from],
+        )
+    }
+
+    fn conv_relu(
+        &mut self,
+        from: NodeId,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> NodeId {
+        let c = self.conv(from, in_c, out_c, k, stride, pad);
+        self.model.push(Op::Relu, &[c])
+    }
+
+    fn linear(&mut self, from: NodeId, in_f: usize, out_f: usize) -> NodeId {
+        let weights = self.init.linear_weights(&mut self.rng, out_f, in_f);
+        let bias = self.init.bias(&mut self.rng, out_f);
+        self.model
+            .push(Op::Linear(LinearLayer { weights, bias }), &[from])
+    }
+
+    fn maxpool(&mut self, from: NodeId) -> NodeId {
+        self.model.push(
+            Op::MaxPool {
+                window: 2,
+                stride: 2,
+            },
+            &[from],
+        )
+    }
+
+    fn gap(&mut self, from: NodeId) -> NodeId {
+        self.model.push(Op::GlobalAvgPool, &[from])
+    }
+
+    /// Basic residual block: two 3×3 convs plus a skip connection.
+    /// `stride > 1` downsamples (the skip gets a 1×1 strided conv).
+    fn res_block(&mut self, from: NodeId, in_c: usize, out_c: usize, stride: usize) -> NodeId {
+        let c1 = self.conv_relu(from, in_c, out_c, 3, stride, 1);
+        let c2 = self.conv(c1, out_c, out_c, 3, 1, 1);
+        self.branch_convs.push(c2);
+        let skip = if stride != 1 || in_c != out_c {
+            self.conv(from, in_c, out_c, 1, stride, 0)
+        } else {
+            from
+        };
+        let sum = self.model.push(Op::Add, &[c2, skip]);
+        self.model.push(Op::Relu, &[sum])
+    }
+
+    /// ResNet-style network: stem + 4 stages of basic blocks + GAP +
+    /// classifier.
+    fn resnet(&mut self, blocks: &[usize; 4], widths: &[usize; 4]) {
+        let input = self.model.input();
+        let mut x = self.conv_relu(input, 3, widths[0], 3, 1, 1);
+        let mut in_c = widths[0];
+        for (stage, (&count, &width)) in blocks.iter().zip(widths).enumerate() {
+            for block in 0..count {
+                let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+                x = self.res_block(x, in_c, width, stride);
+                in_c = width;
+            }
+        }
+        let g = self.gap(x);
+        let _ = self.linear(g, in_c, NUM_CLASSES);
+    }
+
+    /// VGG-style network: conv stages with max pooling, then GAP +
+    /// classifier head.
+    fn vgg(&mut self, stage_convs: &[usize; 4]) {
+        let widths = [8usize, 16, 24, 32];
+        let input = self.model.input();
+        let mut x = input;
+        let mut in_c = 3;
+        for (&count, &width) in stage_convs.iter().zip(&widths) {
+            for _ in 0..count {
+                x = self.conv_relu(x, in_c, width, 3, 1, 1);
+                in_c = width;
+            }
+            x = self.maxpool(x);
+        }
+        // After 4 pools: [32, 1, 1].
+        let g = self.gap(x);
+        let h = self.linear(g, in_c, 32);
+        let h = self.model.push(Op::Relu, &[h]);
+        let _ = self.linear(h, 32, NUM_CLASSES);
+    }
+
+    /// AlexNet-style network: five convs, two pools, FC head.
+    fn alexnet(&mut self) {
+        let input = self.model.input();
+        let c1 = self.conv_relu(input, 3, 12, 3, 1, 1); // 16×16
+        let p1 = self.maxpool(c1); // 8×8
+        let c2 = self.conv_relu(p1, 12, 24, 3, 1, 1);
+        let p2 = self.maxpool(c2); // 4×4
+        let c3 = self.conv_relu(p2, 24, 24, 3, 1, 1);
+        let c4 = self.conv_relu(c3, 24, 16, 3, 1, 1);
+        let c5 = self.conv_relu(c4, 16, 16, 3, 1, 1);
+        let p3 = self.maxpool(c5); // 2×2
+        let h = self.linear(p3, 16 * 2 * 2, 32);
+        let h = self.model.push(Op::Relu, &[h]);
+        let _ = self.linear(h, 32, NUM_CLASSES);
+    }
+
+    /// Fire module: 1×1 squeeze, then concatenated 1×1/3×3 expands.
+    fn fire(&mut self, from: NodeId, in_c: usize, squeeze: usize, expand: usize) -> NodeId {
+        let s = self.conv_relu(from, in_c, squeeze, 1, 1, 0);
+        let e1 = self.conv_relu(s, squeeze, expand, 1, 1, 0);
+        let e3 = self.conv_relu(s, squeeze, expand, 3, 1, 1);
+        self.model.push(Op::Concat, &[e1, e3])
+    }
+
+    /// SqueezeNet-1.1-style network: stem, six fire modules, conv
+    /// classifier, GAP.
+    fn squeezenet(&mut self) {
+        let input = self.model.input();
+        let stem = self.conv_relu(input, 3, 12, 3, 1, 1); // 16×16
+        let p1 = self.maxpool(stem); // 8×8
+        let f1 = self.fire(p1, 12, 5, 6); // → 12
+        let f2 = self.fire(f1, 12, 5, 6); // → 12
+        let p2 = self.maxpool(f2); // 4×4
+        let f3 = self.fire(p2, 12, 6, 8); // → 16
+        let f4 = self.fire(f3, 16, 7, 8); // → 16
+                                          // No ReLU on the classifier conv: its channels are logits.
+        let cls = self.conv(f4, 16, NUM_CLASSES, 1, 1, 0);
+        let _ = self.gap(cls);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_tensor::Tensor;
+
+    use crate::{ExactExecutor, INPUT_SHAPE};
+
+    use super::*;
+
+    #[test]
+    fn every_architecture_builds_and_runs() {
+        let image = Tensor::filled(&INPUT_SHAPE, 0.3);
+        for arch in NetArch::ALL {
+            let model = arch.build(11);
+            let logits = model.run(&ExactExecutor, &image);
+            assert_eq!(logits.shape(), &[NUM_CLASSES], "{arch}");
+            assert!(
+                logits.data().iter().all(|v| v.is_finite()),
+                "{arch} produced non-finite logits"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_ordering_follows_names() {
+        let convs = |arch: NetArch| arch.build(1).weighted_layers().len();
+        assert!(convs(NetArch::ResNet50) < convs(NetArch::ResNet101));
+        assert!(convs(NetArch::ResNet101) < convs(NetArch::ResNet152));
+        assert!(convs(NetArch::Vgg13) < convs(NetArch::Vgg16));
+        assert!(convs(NetArch::Vgg16) < convs(NetArch::Vgg19));
+    }
+
+    #[test]
+    fn wide_variants_have_more_parameters() {
+        let params = |arch: NetArch| -> usize {
+            let m = arch.build(1);
+            m.nodes()
+                .iter()
+                .map(|n| match &n.op {
+                    Op::Conv(c) => c.weights.len(),
+                    Op::Linear(l) => l.weights.len(),
+                    _ => 0,
+                })
+                .sum()
+        };
+        assert!(params(NetArch::WideResNet50) > 2 * params(NetArch::ResNet50));
+        assert!(params(NetArch::WideResNet101) > 2 * params(NetArch::ResNet101));
+    }
+
+    #[test]
+    fn macs_are_within_single_core_budget() {
+        // Keep every model evaluable on the single-core test machines:
+        // no architecture may exceed ~25M MACs per image.
+        for arch in NetArch::ALL {
+            let macs = arch.build(1).macs(&INPUT_SHAPE);
+            assert!(macs > 50_000, "{arch} suspiciously small: {macs}");
+            assert!(macs < 25_000_000, "{arch} too heavy: {macs}");
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = NetArch::Vgg13.build(3);
+        let b = NetArch::Vgg13.build(3);
+        assert_eq!(a, b);
+        let c = NetArch::Vgg13.build(4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn squeezenet_is_channel_starved() {
+        // Its narrowest weighted layer is narrower than anyone else's —
+        // the structural source of its quantization fragility.
+        let min_width = |arch: NetArch| -> usize {
+            let m = arch.build(1);
+            m.nodes()
+                .iter()
+                .filter_map(|n| match &n.op {
+                    Op::Conv(c) => Some(c.out_channels()),
+                    _ => None,
+                })
+                .min()
+                .unwrap()
+        };
+        let squeeze = min_width(NetArch::SqueezeNet11);
+        for arch in NetArch::ALL {
+            if arch != NetArch::SqueezeNet11 {
+                assert!(squeeze < min_width(arch), "{arch}");
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Zero-delay switching-activity energy estimation.
+
+use agequant_cells::CellLibrary;
+use agequant_netlist::{NetDriver, Netlist};
+use serde::{Deserialize, Serialize};
+
+use crate::OperandStream;
+
+/// Per-operation energy breakdown, femtojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyEstimate {
+    /// Dynamic (switching) energy per operation, fJ.
+    pub dynamic_fj: f64,
+    /// Leakage energy per operation (leakage power × period), fJ.
+    pub leakage_fj: f64,
+    /// Average net transitions per operation (activity metric).
+    pub toggles_per_op: f64,
+}
+
+impl EnergyEstimate {
+    /// Total energy per operation, fJ.
+    #[must_use]
+    pub fn total_fj(&self) -> f64 {
+        self.dynamic_fj + self.leakage_fj
+    }
+}
+
+/// Estimates per-operation MAC energy from switching activity.
+///
+/// Activity is measured zero-delay: consecutive settled states of the
+/// vector stream are diffed and every net transition is charged the
+/// driving cell's per-transition switching energy. Leakage is the sum
+/// of all instances' leakage power integrated over the clock period —
+/// which is how guardbanding shows up in energy: a guardbanded design
+/// leaks for 23% longer every cycle.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct EnergyEstimator<'a> {
+    netlist: &'a Netlist,
+    library: &'a CellLibrary,
+    leakage_nw: f64,
+}
+
+impl<'a> EnergyEstimator<'a> {
+    /// Binds a netlist to a characterized library.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary) -> Self {
+        let leakage_nw = netlist
+            .gates()
+            .iter()
+            .map(|g| library.leakage(g.kind))
+            .sum();
+        EnergyEstimator {
+            netlist,
+            library,
+            leakage_nw,
+        }
+    }
+
+    /// Total leakage power of the instance, nW.
+    #[must_use]
+    pub fn leakage_power_nw(&self) -> f64 {
+        self.leakage_nw
+    }
+
+    /// Estimates per-operation energy for a vector stream at the given
+    /// clock period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ps` is not strictly positive.
+    #[must_use]
+    pub fn estimate(&self, stream: &OperandStream, period_ps: f64) -> EnergyEstimate {
+        assert!(period_ps > 0.0, "clock period must be positive");
+        let vectors = stream.generate(self.netlist);
+        let mut prev = vec![false; self.netlist.net_count()];
+        self.apply(&vectors[0], &mut prev);
+
+        let mut dynamic_fj_total = 0.0f64;
+        let mut toggles_total = 0u64;
+        let mut curr = vec![false; self.netlist.net_count()];
+        for vector in &vectors[1..] {
+            curr.copy_from_slice(&prev);
+            self.apply(vector, &mut curr);
+            for gate in self.netlist.gates() {
+                let idx = gate.output.index();
+                if prev[idx] != curr[idx] {
+                    dynamic_fj_total += self.library.switch_energy(gate.kind);
+                    toggles_total += 1;
+                }
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        let ops = (vectors.len() - 1).max(1) as f64;
+        // nW × ps = 1e-21 J = 1e-6 fJ.
+        let leakage_fj = self.leakage_nw * period_ps * 1e-6;
+        EnergyEstimate {
+            dynamic_fj: dynamic_fj_total / ops,
+            leakage_fj,
+            toggles_per_op: toggles_total as f64 / ops,
+        }
+    }
+
+    fn apply(&self, vector: &std::collections::BTreeMap<String, u64>, state: &mut [bool]) {
+        for bus in self.netlist.input_buses() {
+            let value = vector[&bus.name];
+            for (bit, &net) in bus.nets.iter().enumerate() {
+                state[net.index()] = (value >> bit) & 1 == 1;
+            }
+        }
+        // Constants keep their values; recompute gate outputs.
+        for (idx, slot) in state.iter_mut().enumerate() {
+            if let NetDriver::Constant(v) = self
+                .netlist
+                .driver(agequant_netlist::NetId::from_index(idx))
+            {
+                *slot = v;
+            }
+        }
+        self.netlist.eval_nets(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_aging::VthShift;
+    use agequant_cells::ProcessLibrary;
+    use agequant_netlist::mac::MacCircuit;
+    use agequant_sta::{Compression, Padding};
+
+    use super::*;
+
+    fn fresh() -> agequant_cells::CellLibrary {
+        ProcessLibrary::finfet14nm().characterize(VthShift::FRESH)
+    }
+
+    #[test]
+    fn compression_reduces_dynamic_energy() {
+        let mac = MacCircuit::edge_tpu();
+        let lib = fresh();
+        let est = EnergyEstimator::new(mac.netlist(), &lib);
+        let full = est.estimate(&OperandStream::uniform(300, 2), 400.0);
+        let compressed = est.estimate(
+            &OperandStream::compressed_mac(
+                300,
+                2,
+                mac.geometry(),
+                Compression::new(4, 4),
+                Padding::Msb,
+            ),
+            400.0,
+        );
+        assert!(
+            compressed.dynamic_fj < 0.8 * full.dynamic_fj,
+            "compressed {} vs full {}",
+            compressed.dynamic_fj,
+            full.dynamic_fj
+        );
+        assert!(compressed.toggles_per_op < full.toggles_per_op);
+    }
+
+    #[test]
+    fn leakage_scales_with_period() {
+        let mac = MacCircuit::edge_tpu();
+        let lib = fresh();
+        let est = EnergyEstimator::new(mac.netlist(), &lib);
+        let stream = OperandStream::uniform(50, 1);
+        let short = est.estimate(&stream, 100.0);
+        let long = est.estimate(&stream, 123.0);
+        assert!((long.leakage_fj / short.leakage_fj - 1.23).abs() < 1e-9);
+        assert_eq!(long.dynamic_fj, short.dynamic_fj);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let mac = MacCircuit::edge_tpu();
+        let lib = fresh();
+        let est = EnergyEstimator::new(mac.netlist(), &lib);
+        let e = est.estimate(&OperandStream::uniform(50, 4), 250.0);
+        assert!((e.total_fj() - (e.dynamic_fj + e.leakage_fj)).abs() < 1e-12);
+        assert!(e.dynamic_fj > 0.0 && e.leakage_fj > 0.0);
+    }
+
+    #[test]
+    fn leakage_power_is_sum_over_instances() {
+        let mac = MacCircuit::edge_tpu();
+        let lib = fresh();
+        let est = EnergyEstimator::new(mac.netlist(), &lib);
+        assert!(est.leakage_power_nw() > 0.0);
+        // End-of-life library leaks less (higher Vth).
+        let aged = ProcessLibrary::finfet14nm().characterize(VthShift::from_millivolts(50.0));
+        let est_aged = EnergyEstimator::new(mac.netlist(), &aged);
+        assert!(est_aged.leakage_power_nw() < est.leakage_power_nw());
+    }
+}

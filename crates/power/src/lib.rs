@@ -1,0 +1,36 @@
+//! Switching-activity and energy estimation for compressed MAC
+//! operation.
+//!
+//! Reproduces the paper's Fig. 5 methodology: per-operation energy of
+//! the MAC is estimated from gate-level switching activity (random
+//! vector streams through the netlist, counting transitions per net)
+//! plus leakage integrated over the clock period. Input compression
+//! reduces switching activity — zeroed operand bits stop toggling and
+//! their downstream cones go quiet — while guardband elimination lets
+//! the compressed MAC run at the shorter fresh period, cutting the
+//! leakage-time product relative to the guardbanded baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_aging::VthShift;
+//! use agequant_cells::ProcessLibrary;
+//! use agequant_netlist::mac::MacCircuit;
+//! use agequant_power::{EnergyEstimator, OperandStream};
+//!
+//! let mac = MacCircuit::edge_tpu();
+//! let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+//! let est = EnergyEstimator::new(mac.netlist(), &lib);
+//! let full = est.estimate(&OperandStream::uniform(400, 1), 100.0);
+//! let quiet = est.estimate(&OperandStream::uniform(400, 1).with_zero_msbs("a", 4), 100.0);
+//! assert!(quiet.dynamic_fj < full.dynamic_fj);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod stream;
+
+pub use activity::{EnergyEstimate, EnergyEstimator};
+pub use stream::OperandStream;

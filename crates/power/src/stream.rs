@@ -1,0 +1,199 @@
+//! Random operand streams with compression-shaped bit masks.
+
+use std::collections::BTreeMap;
+
+use agequant_netlist::mac::MacGeometry;
+use agequant_netlist::Netlist;
+use agequant_sta::{Compression, Padding};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A reproducible stream of random input vectors for a netlist, with
+/// optional per-bus zero masks emulating compressed (padded) operands.
+///
+/// Compressed operation means some operand bits are always zero —
+/// MSBs under MSB padding, LSBs under LSB padding. The stream applies
+/// the corresponding masks so switching-activity estimates see exactly
+/// the operand statistics an aged, compressed NPU would.
+///
+/// # Example
+///
+/// ```
+/// use agequant_power::OperandStream;
+///
+/// let s = OperandStream::uniform(100, 7).with_zero_msbs("a", 2);
+/// assert_eq!(s.samples(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperandStream {
+    samples: usize,
+    seed: u64,
+    zero_msbs: BTreeMap<String, usize>,
+    zero_lsbs: BTreeMap<String, usize>,
+}
+
+impl OperandStream {
+    /// A uniform random stream of `samples` vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    #[must_use]
+    pub fn uniform(samples: usize, seed: u64) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        OperandStream {
+            samples,
+            seed,
+            zero_msbs: BTreeMap::new(),
+            zero_lsbs: BTreeMap::new(),
+        }
+    }
+
+    /// Forces the top `count` bits of bus `bus` to zero (MSB padding).
+    #[must_use]
+    pub fn with_zero_msbs(mut self, bus: impl Into<String>, count: usize) -> Self {
+        self.zero_msbs.insert(bus.into(), count);
+        self
+    }
+
+    /// Forces the bottom `count` bits of bus `bus` to zero (LSB padding).
+    #[must_use]
+    pub fn with_zero_lsbs(mut self, bus: impl Into<String>, count: usize) -> Self {
+        self.zero_lsbs.insert(bus.into(), count);
+        self
+    }
+
+    /// The stream a compressed MAC sees: zeros on `a`/`b`/`c` per the
+    /// compression and padding (Section 5 of the paper).
+    #[must_use]
+    pub fn compressed_mac(
+        samples: usize,
+        seed: u64,
+        geometry: MacGeometry,
+        compression: Compression,
+        padding: Padding,
+    ) -> Self {
+        let _ = geometry; // widths are resolved against the netlist at generation
+        let (alpha, beta) = (
+            usize::from(compression.alpha()),
+            usize::from(compression.beta()),
+        );
+        let base = Self::uniform(samples, seed);
+        match padding {
+            Padding::Msb => base
+                .with_zero_msbs("a", alpha)
+                .with_zero_msbs("b", beta)
+                .with_zero_msbs("c", alpha + beta),
+            Padding::Lsb => base
+                .with_zero_lsbs("a", alpha)
+                .with_zero_lsbs("b", beta)
+                .with_zero_lsbs("c", alpha + beta),
+        }
+    }
+
+    /// Number of vectors in the stream.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Materializes the vector sequence for `netlist`'s input buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask refers to a bus the netlist lacks or exceeds
+    /// its width.
+    #[must_use]
+    pub fn generate(&self, netlist: &Netlist) -> Vec<BTreeMap<String, u64>> {
+        for name in self.zero_msbs.keys().chain(self.zero_lsbs.keys()) {
+            assert!(
+                netlist.input_bus(name).is_some(),
+                "mask refers to unknown bus {name}"
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.samples)
+            .map(|_| {
+                netlist
+                    .input_buses()
+                    .iter()
+                    .map(|bus| {
+                        let width = bus.width();
+                        let mut v: u64 = if width == 64 {
+                            rng.random()
+                        } else {
+                            rng.random_range(0..(1u64 << width))
+                        };
+                        if let Some(&k) = self.zero_msbs.get(&bus.name) {
+                            assert!(k <= width, "mask wider than bus {}", bus.name);
+                            if k > 0 {
+                                v &= (1u64 << (width - k)) - 1;
+                            }
+                        }
+                        if let Some(&k) = self.zero_lsbs.get(&bus.name) {
+                            assert!(k <= width, "mask wider than bus {}", bus.name);
+                            v &= !((1u64 << k) - 1);
+                        }
+                        (bus.name.clone(), v)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_netlist::mac::MacCircuit;
+
+    use super::*;
+
+    #[test]
+    fn masks_zero_the_right_bits() {
+        let mac = MacCircuit::edge_tpu();
+        let stream = OperandStream::compressed_mac(
+            50,
+            3,
+            mac.geometry(),
+            Compression::new(3, 2),
+            Padding::Msb,
+        );
+        for vec in stream.generate(mac.netlist()) {
+            assert_eq!(vec["a"] >> 5, 0, "top 3 of 8 a-bits zero");
+            assert_eq!(vec["b"] >> 6, 0, "top 2 of 8 b-bits zero");
+            assert_eq!(vec["c"] >> 17, 0, "top 5 of 22 c-bits zero");
+        }
+        let lsb = OperandStream::compressed_mac(
+            50,
+            3,
+            mac.geometry(),
+            Compression::new(3, 2),
+            Padding::Lsb,
+        );
+        for vec in lsb.generate(mac.netlist()) {
+            assert_eq!(vec["a"] & 0b111, 0);
+            assert_eq!(vec["b"] & 0b11, 0);
+            assert_eq!(vec["c"] & 0b11111, 0);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mac = MacCircuit::edge_tpu();
+        let a = OperandStream::uniform(20, 9).generate(mac.netlist());
+        let b = OperandStream::uniform(20, 9).generate(mac.netlist());
+        let c = OperandStream::uniform(20, 10).generate(mac.netlist());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bus")]
+    fn unknown_bus_rejected() {
+        let mac = MacCircuit::edge_tpu();
+        let _ = OperandStream::uniform(5, 0)
+            .with_zero_msbs("nope", 1)
+            .generate(mac.netlist());
+    }
+}

@@ -1,0 +1,104 @@
+//! Bit-width bundles derived from `(α, β)` compression.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Bit widths for activations, weights, and biases.
+///
+/// The paper's rule (Section 5): under `(α, β)` compression the
+/// activations get `8 − α` bits, the weights `8 − β` bits, and the
+/// biases `16 − α − β` bits.
+///
+/// # Example
+///
+/// ```
+/// use agequant_quant::BitWidths;
+///
+/// let w = BitWidths::for_compression(3, 1);
+/// assert_eq!((w.activations, w.weights, w.bias), (5, 7, 12));
+/// assert_eq!(BitWidths::W8A8, BitWidths::for_compression(0, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitWidths {
+    /// Activation bits (`8 − α`).
+    pub activations: u8,
+    /// Weight bits (`8 − β`).
+    pub weights: u8,
+    /// Bias bits (`16 − α − β`).
+    pub bias: u8,
+}
+
+impl BitWidths {
+    /// The uncompressed baseline: 8-bit activations and weights,
+    /// 16-bit biases.
+    pub const W8A8: BitWidths = BitWidths {
+        activations: 8,
+        weights: 8,
+        bias: 16,
+    };
+
+    /// Bit widths for an `(α, β)` compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a width would reach zero (α or β ≥ 8, or α + β ≥ 16).
+    #[must_use]
+    pub fn for_compression(alpha: u8, beta: u8) -> Self {
+        assert!(alpha < 8, "α = {alpha} leaves no activation bits");
+        assert!(beta < 8, "β = {beta} leaves no weight bits");
+        assert!(
+            u16::from(alpha) + u16::from(beta) < 16,
+            "α + β leaves no bias bits"
+        );
+        BitWidths {
+            activations: 8 - alpha,
+            weights: 8 - beta,
+            bias: 16 - alpha - beta,
+        }
+    }
+
+    /// Number of representable activation levels, `2^A`.
+    #[must_use]
+    pub fn activation_levels(&self) -> u32 {
+        1u32 << self.activations
+    }
+
+    /// Number of representable weight levels, `2^W`.
+    #[must_use]
+    pub fn weight_levels(&self) -> u32 {
+        1u32 << self.weights
+    }
+}
+
+impl fmt::Display for BitWidths {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}A{}", self.weights, self.activations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rule() {
+        let b = BitWidths::for_compression(2, 4);
+        assert_eq!(b.activations, 6);
+        assert_eq!(b.weights, 4);
+        assert_eq!(b.bias, 10);
+        assert_eq!(b.to_string(), "W4A6");
+    }
+
+    #[test]
+    fn levels() {
+        assert_eq!(BitWidths::W8A8.activation_levels(), 256);
+        assert_eq!(BitWidths::for_compression(4, 4).weight_levels(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "no activation bits")]
+    fn zero_width_rejected() {
+        let _ = BitWidths::for_compression(8, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The five quantization methods and their range-selection policies.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{aciq_optimal_clip, lp_norm_clip, QuantParams, TensorStats};
+
+/// The quantization methods of the paper's library (Section 5).
+///
+/// Methods differ in how they pick the clipping range; the affine
+/// integer machinery downstream is shared. `M1`/`M2` use the full
+/// observed range (no clipping) and per-tensor weight scales; the
+/// clipping methods (`M3`–`M5`) use per-channel weight scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QuantMethod {
+    /// M1 — uniform symmetric full-range quantization (ref. \[16\]).
+    UniformSymmetric,
+    /// M2 — asymmetric min/max quantization (ref. \[17\]).
+    MinMax,
+    /// M3 — LAPQ: loss-aware Lp-norm-optimal clipping (ref. \[19\]).
+    Lapq,
+    /// M4 — ACIQ analytic clipping with bias correction (ref. \[18\]).
+    Aciq,
+    /// M5 — ACIQ analytic clipping without bias correction (ref. \[18\]).
+    AciqNoBias,
+}
+
+impl QuantMethod {
+    /// All five methods in library order (M1…M5).
+    pub const ALL: [QuantMethod; 5] = [
+        QuantMethod::UniformSymmetric,
+        QuantMethod::MinMax,
+        QuantMethod::Lapq,
+        QuantMethod::Aciq,
+        QuantMethod::AciqNoBias,
+    ];
+
+    /// The paper's table tag (`M1`…`M5`).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            QuantMethod::UniformSymmetric => "M1",
+            QuantMethod::MinMax => "M2",
+            QuantMethod::Lapq => "M3",
+            QuantMethod::Aciq => "M4",
+            QuantMethod::AciqNoBias => "M5",
+        }
+    }
+
+    /// A descriptive name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantMethod::UniformSymmetric => "uniform symmetric",
+            QuantMethod::MinMax => "asymmetric min/max",
+            QuantMethod::Lapq => "LAPQ",
+            QuantMethod::Aciq => "ACIQ",
+            QuantMethod::AciqNoBias => "ACIQ w/o bias correction",
+        }
+    }
+
+    /// Whether the method applies per-channel weight scales.
+    #[must_use]
+    pub fn per_channel_weights(self) -> bool {
+        matches!(
+            self,
+            QuantMethod::Lapq | QuantMethod::Aciq | QuantMethod::AciqNoBias
+        )
+    }
+
+    /// Whether the method applies the ACIQ bias correction.
+    #[must_use]
+    pub fn bias_correction(self) -> bool {
+        matches!(self, QuantMethod::Aciq)
+    }
+
+    /// Quantization parameters for a *weight* population at `bits`.
+    ///
+    /// Weights are treated as zero-centred: all methods use symmetric
+    /// ranges, differing in the clip threshold.
+    #[must_use]
+    pub fn weight_params(self, stats: &TensorStats, bits: u8) -> QuantParams {
+        let alpha = match self {
+            QuantMethod::UniformSymmetric => stats.max_abs(),
+            QuantMethod::MinMax => {
+                // Asymmetric: use the true range.
+                return QuantParams::from_range(stats.min, stats.max, bits);
+            }
+            QuantMethod::Lapq => lp_norm_clip(stats, bits, false),
+            QuantMethod::Aciq | QuantMethod::AciqNoBias => aciq_optimal_clip(stats, bits, false).0,
+        };
+        QuantParams::symmetric(alpha.max(1e-8), bits)
+    }
+
+    /// Quantization parameters for an *activation* population at
+    /// `bits`. One-sided (post-ReLU) populations quantize `[0, α]`;
+    /// two-sided populations quantize `[μ − α, μ + α]` (affine zero
+    /// point).
+    #[must_use]
+    pub fn activation_params(self, stats: &TensorStats, bits: u8) -> QuantParams {
+        let one_sided = stats.is_non_negative();
+        match self {
+            QuantMethod::UniformSymmetric => {
+                if one_sided {
+                    QuantParams::from_range(0.0, stats.max.max(1e-8), bits)
+                } else {
+                    QuantParams::symmetric(stats.max_abs().max(1e-8), bits)
+                }
+            }
+            QuantMethod::MinMax => QuantParams::from_range(stats.min, stats.max, bits),
+            QuantMethod::Lapq => {
+                let alpha = lp_norm_clip(stats, bits, one_sided);
+                clipped_params(stats, alpha, one_sided, bits)
+            }
+            QuantMethod::Aciq | QuantMethod::AciqNoBias => {
+                let alpha = aciq_optimal_clip(stats, bits, one_sided).0;
+                clipped_params(stats, alpha, one_sided, bits)
+            }
+        }
+    }
+}
+
+fn clipped_params(stats: &TensorStats, alpha: f32, one_sided: bool, bits: u8) -> QuantParams {
+    if one_sided {
+        QuantParams::from_range(0.0, alpha.max(1e-8), bits)
+    } else {
+        QuantParams::from_range(stats.mean - alpha, stats.mean + alpha, bits)
+    }
+}
+
+impl fmt::Display for QuantMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.tag(), self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heavy_tailed() -> TensorStats {
+        // Mostly small values plus a few outliers — the regime where
+        // clipping methods beat min/max.
+        let mut values: Vec<f32> = (0..4000)
+            .map(|i| ((i % 41) as f32 / 20.0 - 1.0) * 0.5)
+            .collect();
+        values.extend_from_slice(&[8.0, -7.5, 6.9, -8.2]);
+        TensorStats::collect(&values)
+    }
+
+    #[test]
+    fn tags_and_names_are_stable() {
+        let tags: Vec<&str> = QuantMethod::ALL.iter().map(|m| m.tag()).collect();
+        assert_eq!(tags, ["M1", "M2", "M3", "M4", "M5"]);
+        assert!(QuantMethod::Aciq.to_string().contains("ACIQ"));
+    }
+
+    #[test]
+    fn clipping_methods_ignore_outliers() {
+        let stats = heavy_tailed();
+        let bits = 4;
+        let full = QuantMethod::UniformSymmetric.weight_params(&stats, bits);
+        for m in [QuantMethod::Aciq, QuantMethod::AciqNoBias] {
+            let clipped = m.weight_params(&stats, bits);
+            assert!(
+                clipped.scale() < full.scale() / 3.0,
+                "{m}: {} vs full-range {}",
+                clipped.scale(),
+                full.scale()
+            );
+        }
+        // LAPQ's Lp objective is deliberately more outlier-respecting
+        // than the MSE-analytic ACIQ, but must still clip.
+        let lapq = QuantMethod::Lapq.weight_params(&stats, bits);
+        assert!(lapq.scale() < full.scale() * 0.95);
+    }
+
+    #[test]
+    fn clipping_methods_beat_minmax_in_mse_at_low_bits() {
+        let stats = heavy_tailed();
+        let bits = 4;
+        let mse = |p: &QuantParams| -> f64 {
+            stats
+                .sample
+                .iter()
+                .map(|&v| f64::from(p.fake(v) - v).powi(2))
+                .sum::<f64>()
+                / stats.sample.len() as f64
+        };
+        let minmax = mse(&QuantMethod::MinMax.weight_params(&stats, bits));
+        let aciq = mse(&QuantMethod::Aciq.weight_params(&stats, bits));
+        let lapq = mse(&QuantMethod::Lapq.weight_params(&stats, bits));
+        assert!(aciq < minmax, "ACIQ {aciq} vs minmax {minmax}");
+        assert!(lapq < minmax, "LAPQ {lapq} vs minmax {minmax}");
+    }
+
+    #[test]
+    fn relu_activations_get_one_sided_ranges() {
+        let positive: Vec<f32> = (0..2000).map(|i| (i % 100) as f32 / 50.0).collect();
+        let stats = TensorStats::collect(&positive);
+        for m in QuantMethod::ALL {
+            let p = m.activation_params(&stats, 6);
+            assert_eq!(p.zero_point(), 0, "{m}: post-ReLU zero point should be 0");
+        }
+    }
+
+    #[test]
+    fn per_channel_policy() {
+        assert!(!QuantMethod::UniformSymmetric.per_channel_weights());
+        assert!(!QuantMethod::MinMax.per_channel_weights());
+        assert!(QuantMethod::Aciq.per_channel_weights());
+        assert!(QuantMethod::Aciq.bias_correction());
+        assert!(!QuantMethod::AciqNoBias.bias_correction());
+    }
+}

@@ -1,0 +1,201 @@
+//! Affine quantization parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Affine (scale + zero-point) quantization onto `[0, 2^bits)`.
+///
+/// `q = clamp(round(x / scale) + zero_point, 0, 2^bits − 1)` and
+/// `x ≈ scale · (q − zero_point)`.
+///
+/// # Example
+///
+/// ```
+/// use agequant_quant::QuantParams;
+///
+/// let p = QuantParams::from_range(-1.0, 1.0, 8);
+/// let q = p.quantize(0.5);
+/// assert!((p.dequantize(q) - 0.5).abs() < p.scale());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    scale: f32,
+    zero_point: i32,
+    bits: u8,
+}
+
+impl QuantParams {
+    /// Builds parameters covering `[lo, hi]` with `bits` bits.
+    ///
+    /// The range is first extended to include zero (the standard
+    /// integer-inference requirement: zero padding and ReLU cut-offs
+    /// must be exactly representable), and degenerate ranges collapse
+    /// to a tiny non-zero scale so constant tensors survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 8, or the bounds are not finite.
+    #[must_use]
+    pub fn from_range(lo: f32, hi: f32, bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        let lo = lo.min(0.0);
+        let hi = hi.max(0.0);
+        let levels = (1u32 << bits) as f32;
+        let span = (hi - lo).max(1e-8);
+        let scale = span / (levels - 1.0);
+        let zero_point = (-lo / scale).round() as i32;
+        let zero_point = zero_point.clamp(0, (1 << bits) - 1);
+        QuantParams {
+            scale,
+            zero_point,
+            bits,
+        }
+    }
+
+    /// Symmetric parameters for `[-max_abs, max_abs]`: the zero point
+    /// sits mid-range.
+    ///
+    /// # Panics
+    ///
+    /// Panics as in [`QuantParams::from_range`].
+    #[must_use]
+    pub fn symmetric(max_abs: f32, bits: u8) -> Self {
+        Self::from_range(-max_abs.abs(), max_abs.abs(), bits)
+    }
+
+    /// The scale (LSB value).
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The zero point (the code representing 0.0).
+    #[must_use]
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// The bit width.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Largest representable code.
+    #[must_use]
+    pub fn max_code(&self) -> u8 {
+        (((1u32 << self.bits) - 1) & 0xFF) as u8
+    }
+
+    /// Quantizes one value.
+    #[must_use]
+    pub fn quantize(&self, x: f32) -> u8 {
+        let q = (x / self.scale).round() as i32 + self.zero_point;
+        q.clamp(0, i32::from(self.max_code())) as u8
+    }
+
+    /// Dequantizes one code.
+    #[must_use]
+    pub fn dequantize(&self, q: u8) -> f32 {
+        self.scale * (i32::from(q) - self.zero_point) as f32
+    }
+
+    /// Quantizes a slice.
+    #[must_use]
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<u8> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Round-trip (fake-quantize) a value: `dequantize(quantize(x))`.
+    #[must_use]
+    pub fn fake(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_is_bounded_in_range() {
+        let p = QuantParams::from_range(-2.0, 3.0, 6);
+        for i in 0..=100 {
+            let x = -2.0 + 5.0 * i as f32 / 100.0;
+            assert!((p.fake(x) - x).abs() <= p.scale() * 0.5 + 1e-6, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let p = QuantParams::from_range(0.0, 1.0, 4);
+        assert_eq!(p.quantize(5.0), p.max_code());
+        assert_eq!(p.quantize(-5.0), 0);
+    }
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        // Affine quantization's purpose: zero maps to the zero point.
+        for (lo, hi) in [(-1.0f32, 1.0f32), (0.0, 4.0), (-3.0, 0.5)] {
+            let p = QuantParams::from_range(lo, hi, 8);
+            assert_eq!(p.dequantize(p.quantize(0.0)), 0.0, "[{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn symmetric_centres_zero_point() {
+        let p = QuantParams::symmetric(2.0, 8);
+        // Mid-range up to float rounding of the half-level offset.
+        assert!((127..=128).contains(&p.zero_point()), "{}", p.zero_point());
+    }
+
+    #[test]
+    fn degenerate_range_survives() {
+        let p = QuantParams::from_range(0.7, 0.7, 8);
+        assert!(p.scale() > 0.0);
+        let q = p.quantize(0.7);
+        assert!((p.dequantize(q) - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn one_bit_quantization() {
+        let p = QuantParams::from_range(0.0, 1.0, 1);
+        assert_eq!(p.max_code(), 1);
+        assert_eq!(p.quantize(1.0), 1);
+        assert_eq!(p.quantize(0.0), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Quantization error within the clipping range is at most half
+        /// an LSB (plus float slack).
+        #[test]
+        fn error_bounded_by_half_lsb(
+            lo in -100.0f32..0.0,
+            span in 0.1f32..100.0,
+            t in 0.0f32..1.0,
+            bits in 1u8..9,
+        ) {
+            let hi = lo + span;
+            let p = QuantParams::from_range(lo, hi, bits);
+            // Sample within the representable (post-zero-point) range.
+            let x_lo = p.dequantize(0);
+            let x_hi = p.dequantize(p.max_code());
+            let x = x_lo + t * (x_hi - x_lo);
+            prop_assert!((p.fake(x) - x).abs() <= p.scale() * 0.5 + p.scale() * 1e-3);
+        }
+
+        /// Codes always stay within the declared bit width.
+        #[test]
+        fn codes_fit_bits(x in -1000.0f32..1000.0, bits in 1u8..9) {
+            let p = QuantParams::from_range(-10.0, 10.0, bits);
+            prop_assert!(u32::from(p.quantize(x)) < (1u32 << bits));
+        }
+    }
+}

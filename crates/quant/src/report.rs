@@ -1,0 +1,185 @@
+//! Per-layer quantization reports.
+
+use std::fmt::Write as _;
+
+use agequant_nn::{Model, NodeId, Op};
+use serde::{Deserialize, Serialize};
+
+use crate::QuantizedModel;
+
+/// The quantization summary of one weighted layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSummary {
+    /// Graph node id of the layer.
+    pub node: NodeId,
+    /// `"conv"` or `"linear"`.
+    pub kind: String,
+    /// Output channels / features.
+    pub channels: usize,
+    /// Fan-in per channel.
+    pub fan_in: usize,
+    /// Activation scale (LSB value).
+    pub act_scale: f32,
+    /// Activation zero point.
+    pub act_zero_point: i32,
+    /// Min / mean / max of the per-channel weight scales.
+    pub weight_scale_min: f32,
+    /// Mean per-channel weight scale.
+    pub weight_scale_mean: f32,
+    /// Max per-channel weight scale.
+    pub weight_scale_max: f32,
+    /// Fraction of weight codes at the clip rails (saturation rate).
+    pub weight_saturation: f64,
+}
+
+/// The whole-model quantization report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantReport {
+    /// Method tag (`M1`…`M5`).
+    pub method: String,
+    /// Bit widths (`W…A…` plus bias bits).
+    pub bits: String,
+    /// Bias bits.
+    pub bias_bits: u8,
+    /// Per-layer summaries, in execution order.
+    pub layers: Vec<LayerSummary>,
+}
+
+impl QuantReport {
+    /// Renders the report as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Quantization report — {} at {} (bias {} bits)",
+            self.method, self.bits, self.bias_bits
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>7} {:>5} {:>6} | {:>10} {:>4} | {:>10} {:>10} | {:>6}",
+            "node", "kind", "ch", "fan", "act scale", "zp", "w̄ scale", "w sat %", ""
+        );
+        let _ = writeln!(out, "{:-<80}", "");
+        for l in &self.layers {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>7} {:>5} {:>6} | {:>10.5} {:>4} | {:>10.5} {:>9.1}% |",
+                l.node.index(),
+                l.kind,
+                l.channels,
+                l.fan_in,
+                l.act_scale,
+                l.act_zero_point,
+                l.weight_scale_mean,
+                100.0 * l.weight_saturation
+            );
+        }
+        out
+    }
+}
+
+impl QuantizedModel {
+    /// Builds the per-layer report against the model the quantization
+    /// was prepared for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not the model this quantization was built
+    /// from (layer ids mismatch).
+    #[must_use]
+    pub fn report(&self, model: &Model) -> QuantReport {
+        let mut layers = Vec::new();
+        for (&node, ql) in self.layers_iter() {
+            let kind = match &model.nodes()[node.index()].op {
+                Op::Conv(_) => "conv",
+                Op::Linear(_) => "linear",
+                other => panic!("node {node:?} is not weighted: {other:?}"),
+            };
+            let scales: Vec<f32> = (0..ql.channels).map(|c| ql.w_param(c).scale()).collect();
+            let saturated = ql
+                .wq
+                .iter()
+                .enumerate()
+                .filter(|&(i, &q)| {
+                    let channel = i / ql.fan;
+                    let p = ql.w_param(channel);
+                    q == 0 || q == p.max_code()
+                })
+                .count();
+            layers.push(LayerSummary {
+                node,
+                kind: kind.to_string(),
+                channels: ql.channels,
+                fan_in: ql.fan,
+                act_scale: ql.act.scale(),
+                act_zero_point: ql.act.zero_point(),
+                weight_scale_min: scales.iter().copied().fold(f32::INFINITY, f32::min),
+                weight_scale_mean: scales.iter().sum::<f32>() / scales.len() as f32,
+                weight_scale_max: scales.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+                weight_saturation: saturated as f64 / ql.wq.len() as f64,
+            });
+        }
+        QuantReport {
+            method: self.method().tag().to_string(),
+            bits: self.bits().to_string(),
+            bias_bits: self.bits().bias,
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_nn::{NetArch, SyntheticDataset};
+
+    use crate::{quantize_model_with, BitWidths, LapqRefineConfig, QuantMethod};
+
+    #[test]
+    fn report_covers_every_weighted_layer() {
+        let model = NetArch::AlexNet.build(3);
+        let calib = SyntheticDataset::generate(4, 1);
+        let q = quantize_model_with(
+            &model,
+            QuantMethod::Aciq,
+            BitWidths::for_compression(2, 2),
+            &calib,
+            &LapqRefineConfig::off(),
+        );
+        let report = q.report(&model);
+        assert_eq!(report.layers.len(), model.weighted_layers().len());
+        assert_eq!(report.method, "M4");
+        assert_eq!(report.bits, "W6A6");
+        for l in &report.layers {
+            assert!(l.act_scale > 0.0);
+            assert!(l.weight_scale_min <= l.weight_scale_mean);
+            assert!(l.weight_scale_mean <= l.weight_scale_max);
+            assert!((0.0..=1.0).contains(&l.weight_saturation));
+        }
+        let text = report.render();
+        assert!(text.contains("Quantization report"));
+        assert!(text.lines().count() > report.layers.len());
+    }
+
+    #[test]
+    fn clipping_method_uses_finer_scales_than_full_range() {
+        // ACIQ's analytic clip is tighter than the full observed
+        // range, so its (per-channel) scales are finer on average.
+        let model = NetArch::Vgg13.build(3);
+        let calib = SyntheticDataset::generate(4, 1);
+        let bits = BitWidths::for_compression(4, 4);
+        let mean_scale = |m: QuantMethod| -> f64 {
+            let q = quantize_model_with(&model, m, bits, &calib, &LapqRefineConfig::off());
+            let r = q.report(&model);
+            r.layers
+                .iter()
+                .map(|l| f64::from(l.weight_scale_mean))
+                .sum::<f64>()
+                / r.layers.len() as f64
+        };
+        assert!(
+            mean_scale(QuantMethod::Aciq) < mean_scale(QuantMethod::UniformSymmetric),
+            "ACIQ scales should be finer than full-range symmetric"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Tensor statistics for calibration.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a value population (weights of one channel,
+/// or the activations flowing into one layer during calibration).
+///
+/// Carries everything the quantization methods need: extrema for
+/// min/max methods, moments for the ACIQ distribution fits, and a
+/// bounded value sample for the empirical (LAPQ-style) optimizers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorStats {
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+    /// Mean.
+    pub mean: f32,
+    /// Standard deviation.
+    pub std: f32,
+    /// Mean absolute deviation from the mean (Laplace `b` estimator).
+    pub abs_dev: f32,
+    /// Number of values summarized.
+    pub count: usize,
+    /// Deterministic value subsample (at most `MAX_SAMPLE` = 4096 entries).
+    pub sample: Vec<f32>,
+}
+
+/// Maximum number of values kept in [`TensorStats::sample`].
+pub const MAX_SAMPLE: usize = 4096;
+
+impl TensorStats {
+    /// Computes statistics over a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn collect(values: &[f32]) -> Self {
+        Self::collect_many(&[values])
+    }
+
+    /// Computes statistics over several slices as one population
+    /// (e.g. one layer's input across all calibration images).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total population is empty.
+    #[must_use]
+    pub fn collect_many(chunks: &[&[f32]]) -> Self {
+        let count: usize = chunks.iter().map(|c| c.len()).sum();
+        assert!(count > 0, "cannot summarize an empty population");
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        for chunk in chunks {
+            for &v in *chunk {
+                min = min.min(v);
+                max = max.max(v);
+                sum += f64::from(v);
+            }
+        }
+        let mean = (sum / count as f64) as f32;
+        let mut var = 0.0f64;
+        let mut abs_dev = 0.0f64;
+        for chunk in chunks {
+            for &v in *chunk {
+                let d = f64::from(v - mean);
+                var += d * d;
+                abs_dev += d.abs();
+            }
+        }
+        let std = (var / count as f64).sqrt() as f32;
+        let abs_dev = (abs_dev / count as f64) as f32;
+        // Deterministic stride subsample.
+        let stride = count.div_ceil(MAX_SAMPLE);
+        let mut sample = Vec::with_capacity(count.min(MAX_SAMPLE));
+        let mut i = 0usize;
+        for chunk in chunks {
+            for &v in *chunk {
+                if i.is_multiple_of(stride) {
+                    sample.push(v);
+                }
+                i += 1;
+            }
+        }
+        TensorStats {
+            min,
+            max,
+            mean,
+            std,
+            abs_dev,
+            count,
+            sample,
+        }
+    }
+
+    /// Largest absolute value.
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.min.abs().max(self.max.abs())
+    }
+
+    /// Whether the population is one-sided non-negative (post-ReLU).
+    #[must_use]
+    pub fn is_non_negative(&self) -> bool {
+        self.min >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_hand_calc() {
+        let s = TensorStats::collect(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-6);
+        assert!((s.std - (1.25f32).sqrt()).abs() < 1e-6);
+        assert!((s.abs_dev - 1.0).abs() < 1e-6);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn multi_chunk_equals_concatenation() {
+        let a = [0.5f32, -1.0, 2.0];
+        let b = [3.0f32, -0.25];
+        let joined: Vec<f32> = a.iter().chain(&b).copied().collect();
+        let s1 = TensorStats::collect_many(&[&a, &b]);
+        let s2 = TensorStats::collect(&joined);
+        assert_eq!(s1.min, s2.min);
+        assert_eq!(s1.max, s2.max);
+        assert!((s1.mean - s2.mean).abs() < 1e-6);
+        assert!((s1.std - s2.std).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_is_bounded() {
+        let values: Vec<f32> = (0..20_000).map(|v| v as f32).collect();
+        let s = TensorStats::collect(&values);
+        assert!(s.sample.len() <= MAX_SAMPLE);
+        assert!(s.sample.len() > MAX_SAMPLE / 2);
+    }
+
+    #[test]
+    fn sidedness_detection() {
+        assert!(TensorStats::collect(&[0.0, 1.0, 2.0]).is_non_negative());
+        assert!(!TensorStats::collect(&[-0.1, 1.0]).is_non_negative());
+        assert_eq!(TensorStats::collect(&[-3.0, 2.0]).max_abs(), 3.0);
+    }
+}

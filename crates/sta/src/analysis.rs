@@ -1,0 +1,375 @@
+//! Arrival-time propagation and critical-path extraction.
+
+use std::collections::BTreeMap;
+
+use agequant_cells::{CellLibrary, PartialEval};
+use agequant_netlist::{NetDriver, NetId, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Load (fF) assumed on primary outputs (register/pipeline capture pin).
+const OUTPUT_PORT_LOAD_FF: f64 = 1.2;
+
+/// Constant values asserted on primary-input nets for case analysis.
+///
+/// The PrimeTime analogue is `set_case_analysis 0 [get_ports …]` on the
+/// padded-away input bits (Section 6.1 (3) of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseAssignment {
+    tied: BTreeMap<NetId, bool>,
+}
+
+impl CaseAssignment {
+    /// An empty assignment: every input free (no case analysis).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ties one net to a constant. Re-tying a net overwrites the value.
+    pub fn tie(&mut self, net: NetId, value: bool) {
+        self.tied.insert(net, value);
+    }
+
+    /// Ties every net of a slice to zero (the padding case).
+    pub fn tie_zero_all(&mut self, nets: &[NetId]) {
+        for &n in nets {
+            self.tie(n, false);
+        }
+    }
+
+    /// Number of tied nets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tied.len()
+    }
+
+    /// Whether no nets are tied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tied.is_empty()
+    }
+
+    /// The tied value of a net, if any.
+    #[must_use]
+    pub fn value(&self, net: NetId) -> Option<bool> {
+        self.tied.get(&net).copied()
+    }
+}
+
+/// One gate on a reported critical path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathElement {
+    /// The gate's output net.
+    pub net: NetId,
+    /// Cell kind of the driving gate (`None` for a primary input).
+    pub cell: Option<agequant_cells::CellKind>,
+    /// Arrival time at the net, ps.
+    pub arrival_ps: f64,
+}
+
+/// The result of one STA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Critical-path delay, ps (0 if every output is constant).
+    pub critical_path_ps: f64,
+    /// Arrival time per net; `None` for constant (deactivated) nets.
+    pub arrival_ps: Vec<Option<f64>>,
+    /// Nets whose case-propagated value is a known constant.
+    pub constants: Vec<Option<bool>>,
+    /// The worst path, input to output (empty if fully constant).
+    pub critical_path: Vec<PathElement>,
+    /// Arrival time per primary-output bus, worst bit, ps.
+    pub output_arrivals: BTreeMap<String, f64>,
+}
+
+impl TimingReport {
+    /// Whether a net is deactivated (constant) under the analyzed case.
+    #[must_use]
+    pub fn is_constant(&self, net: NetId) -> bool {
+        self.constants[net.index()].is_some()
+    }
+}
+
+/// A static-timing-analysis session binding a netlist to a
+/// characterized cell library.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Sta<'a> {
+    netlist: &'a Netlist,
+    library: &'a CellLibrary,
+    /// Per-net capacitive load, fF (library- and netlist-dependent).
+    loads: Vec<f64>,
+}
+
+impl<'a> Sta<'a> {
+    /// Creates a session and precomputes per-net loads
+    /// (fanout input capacitance plus port load on primary outputs).
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary) -> Self {
+        let mut loads = vec![0.0f64; netlist.net_count()];
+        for gate in netlist.gates() {
+            for &input in &gate.inputs {
+                loads[input.index()] += library.input_cap(gate.kind);
+            }
+        }
+        for out in netlist.primary_outputs() {
+            loads[out.index()] += OUTPUT_PORT_LOAD_FF;
+        }
+        Sta {
+            netlist,
+            library,
+            loads,
+        }
+    }
+
+    /// The capacitive load on `net`, fF.
+    #[must_use]
+    pub fn load(&self, net: NetId) -> f64 {
+        self.loads[net.index()]
+    }
+
+    /// STA without case analysis: all inputs free.
+    #[must_use]
+    pub fn analyze_uncompressed(&self) -> TimingReport {
+        self.analyze(&CaseAssignment::new())
+    }
+
+    /// STA under a case assignment.
+    ///
+    /// Constants are propagated through the netlist first
+    /// ([`CellKind::partial_eval`] semantics); a gate whose output is
+    /// determined contributes no timing arc, and arrival times are the
+    /// maximum over *non-constant* fanins of
+    /// `arrival(fanin) + arc_delay(kind, pin, load(output))`.
+    ///
+    /// [`CellKind::partial_eval`]: agequant_cells::CellKind::partial_eval
+    #[must_use]
+    pub fn analyze(&self, case: &CaseAssignment) -> TimingReport {
+        let n = self.netlist.net_count();
+        let mut constants: Vec<Option<bool>> = vec![None; n];
+        let mut arrival: Vec<Option<f64>> = vec![None; n];
+        // `from[i]` = the fanin net that sets net i's arrival (for path trace).
+        let mut from: Vec<Option<NetId>> = vec![None; n];
+
+        // Seed primary inputs and netlist constants.
+        for (idx, _) in (0..n).enumerate() {
+            let net = NetId::from_index(idx);
+            match self.netlist.driver(net) {
+                NetDriver::PrimaryInput => {
+                    if let Some(v) = case.value(net) {
+                        constants[idx] = Some(v);
+                    } else {
+                        arrival[idx] = Some(0.0);
+                    }
+                }
+                NetDriver::Constant(v) => constants[idx] = Some(v),
+                NetDriver::Gate(_) => {}
+            }
+        }
+
+        // Forward pass in topological order.
+        let mut pins: Vec<Option<bool>> = Vec::with_capacity(3);
+        for gate in self.netlist.gates() {
+            let out = gate.output.index();
+            pins.clear();
+            pins.extend(gate.inputs.iter().map(|i| constants[i.index()]));
+            if let PartialEval::Known(v) = gate.kind.partial_eval(&pins) {
+                constants[out] = Some(v);
+                continue;
+            }
+            let load = self.loads[out];
+            let mut best: Option<(f64, NetId)> = None;
+            for (pin, &input) in gate.inputs.iter().enumerate() {
+                if constants[input.index()].is_some() {
+                    continue; // deactivated arc
+                }
+                let t = arrival[input.index()]
+                    .expect("non-constant fanin of reachable gate has an arrival")
+                    + self.library.arc_delay(gate.kind, pin, load);
+                if best.is_none_or(|(b, _)| t > b) {
+                    best = Some((t, input));
+                }
+            }
+            let (t, src) = best.expect("gate with unknown output has a live fanin");
+            arrival[out] = Some(t);
+            from[out] = Some(src);
+        }
+
+        // Collect per-output-bus worst arrivals and the global worst.
+        let mut output_arrivals = BTreeMap::new();
+        let mut worst: Option<(f64, NetId)> = None;
+        for bus in self.netlist.output_buses() {
+            let mut bus_worst = 0.0f64;
+            for &net in &bus.nets {
+                if let Some(t) = arrival[net.index()] {
+                    bus_worst = bus_worst.max(t);
+                    if worst.is_none_or(|(w, _)| t > w) {
+                        worst = Some((t, net));
+                    }
+                }
+            }
+            output_arrivals.insert(bus.name.clone(), bus_worst);
+        }
+
+        // Trace the critical path back to a primary input.
+        let mut critical_path = Vec::new();
+        if let Some((_, mut net)) = worst {
+            loop {
+                let cell = match self.netlist.driver(net) {
+                    NetDriver::Gate(g) => Some(self.netlist.gate(g).kind),
+                    _ => None,
+                };
+                critical_path.push(PathElement {
+                    net,
+                    cell,
+                    arrival_ps: arrival[net.index()].unwrap_or(0.0),
+                });
+                match from[net.index()] {
+                    Some(prev) => net = prev,
+                    None => break,
+                }
+            }
+            critical_path.reverse();
+        }
+
+        TimingReport {
+            critical_path_ps: worst.map_or(0.0, |(t, _)| t),
+            arrival_ps: arrival,
+            constants,
+            critical_path,
+            output_arrivals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_aging::VthShift;
+    use agequant_cells::{CellKind, ProcessLibrary};
+    use agequant_netlist::NetlistBuilder;
+
+    use super::*;
+
+    fn fresh_lib() -> CellLibrary {
+        ProcessLibrary::finfet14nm().characterize(VthShift::FRESH)
+    }
+
+    #[test]
+    fn single_gate_arrival_matches_arc_delay() {
+        let mut b = NetlistBuilder::new("one");
+        let x = b.input_bus("x", 2);
+        let y = b.gate(CellKind::And2, &[x[0], x[1]]);
+        b.output_bus("y", &[y]);
+        let netlist = b.finish();
+        let lib = fresh_lib();
+        let sta = Sta::new(&netlist, &lib);
+        let report = sta.analyze_uncompressed();
+        // Worst pin arc at the output-port load.
+        let expect = lib.worst_arc_delay(CellKind::And2, OUTPUT_PORT_LOAD_FF);
+        assert!((report.critical_path_ps - expect).abs() < 1e-12);
+        assert_eq!(report.critical_path.len(), 2); // input → gate output
+    }
+
+    #[test]
+    fn chain_accumulates_delay() {
+        let mut b = NetlistBuilder::new("chain");
+        let x = b.input_bus("x", 1);
+        let mut net = x[0];
+        for _ in 0..5 {
+            net = b.gate(CellKind::Inv, &[net]);
+        }
+        b.output_bus("y", &[net]);
+        let netlist = b.finish();
+        let lib = fresh_lib();
+        let sta = Sta::new(&netlist, &lib);
+        let report = sta.analyze_uncompressed();
+        let inner = lib.arc_delay(CellKind::Inv, 0, lib.input_cap(CellKind::Inv));
+        let last = lib.arc_delay(CellKind::Inv, 0, OUTPUT_PORT_LOAD_FF);
+        assert!((report.critical_path_ps - (4.0 * inner + last)).abs() < 1e-9);
+        assert_eq!(report.critical_path.len(), 6);
+    }
+
+    #[test]
+    fn case_analysis_kills_controlled_gates() {
+        // y = (a & b) | c: tying a=0 makes the AND constant, so the
+        // critical path becomes the single OR arc from c.
+        let mut b = NetlistBuilder::new("case");
+        let a = b.input_bus("a", 1);
+        let bb = b.input_bus("b", 1);
+        let c = b.input_bus("c", 1);
+        let t = b.gate(CellKind::And2, &[a[0], bb[0]]);
+        let y = b.gate(CellKind::Or2, &[t, c[0]]);
+        b.output_bus("y", &[y]);
+        let netlist = b.finish();
+        let lib = fresh_lib();
+        let sta = Sta::new(&netlist, &lib);
+
+        let full = sta.analyze_uncompressed();
+        let mut case = CaseAssignment::new();
+        case.tie(a[0], false);
+        let cut = sta.analyze(&case);
+        assert!(cut.critical_path_ps < full.critical_path_ps);
+        assert!(cut.is_constant(t));
+        assert!(!cut.is_constant(y));
+        // With c also tied, the whole cone is constant: zero delay.
+        case.tie(c[0], false);
+        case.tie(bb[0], false);
+        let dead = sta.analyze(&case);
+        assert_eq!(dead.critical_path_ps, 0.0);
+        assert!(dead.critical_path.is_empty());
+    }
+
+    #[test]
+    fn tied_one_also_propagates() {
+        // Tying one NAND input to 1 leaves the gate active; tying it
+        // to 0 forces the output to constant 1.
+        let mut b = NetlistBuilder::new("nand");
+        let x = b.input_bus("x", 2);
+        let y = b.gate(CellKind::Nand2, &[x[0], x[1]]);
+        b.output_bus("y", &[y]);
+        let netlist = b.finish();
+        let lib = fresh_lib();
+        let sta = Sta::new(&netlist, &lib);
+
+        let mut case1 = CaseAssignment::new();
+        case1.tie(x[0], true);
+        let r1 = sta.analyze(&case1);
+        assert!(!r1.is_constant(y));
+        assert!(r1.critical_path_ps > 0.0);
+
+        let mut case0 = CaseAssignment::new();
+        case0.tie(x[0], false);
+        let r0 = sta.analyze(&case0);
+        assert_eq!(r0.constants[y.index()], Some(true));
+    }
+
+    #[test]
+    fn output_arrivals_reported_per_bus() {
+        let mut b = NetlistBuilder::new("buses");
+        let x = b.input_bus("x", 2);
+        let fast = b.gate(CellKind::Inv, &[x[0]]);
+        let s1 = b.gate(CellKind::Xor2, &[x[0], x[1]]);
+        let slow = b.gate(CellKind::Xor2, &[s1, x[0]]);
+        b.output_bus("fast", &[fast]);
+        b.output_bus("slow", &[slow]);
+        let netlist = b.finish();
+        let lib = fresh_lib();
+        let sta = Sta::new(&netlist, &lib);
+        let r = sta.analyze_uncompressed();
+        assert!(r.output_arrivals["slow"] > r.output_arrivals["fast"]);
+        assert!((r.critical_path_ps - r.output_arrivals["slow"]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case_assignment_bookkeeping() {
+        let mut c = CaseAssignment::new();
+        assert!(c.is_empty());
+        c.tie(NetId::from_index(3), true);
+        c.tie_zero_all(&[NetId::from_index(1), NetId::from_index(2)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(NetId::from_index(3)), Some(true));
+        assert_eq!(c.value(NetId::from_index(1)), Some(false));
+        assert_eq!(c.value(NetId::from_index(9)), None);
+    }
+}

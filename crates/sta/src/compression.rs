@@ -1,0 +1,301 @@
+//! The `(α, β)` input-compression vocabulary and MAC case construction.
+
+use std::fmt;
+
+use agequant_netlist::mac::MacGeometry;
+use agequant_netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::CaseAssignment;
+
+/// An `(α, β)` input compression (Section 4 of the paper):
+/// activations are reduced to `8 − α` bits, weights to `8 − β` bits,
+/// and the accumulator input to `22 − α − β` bits.
+///
+/// # Example
+///
+/// ```
+/// use agequant_sta::Compression;
+///
+/// let c = Compression::new(3, 1);
+/// assert_eq!(c.alpha(), 3);
+/// assert!((c.magnitude() - 10.0f64.sqrt()).abs() < 1e-12);
+/// assert!(Compression::new(0, 0).is_uncompressed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Compression {
+    alpha: u8,
+    beta: u8,
+}
+
+impl Compression {
+    /// No compression: the accurate baseline.
+    pub const NONE: Compression = Compression { alpha: 0, beta: 0 };
+
+    /// Creates a compression. `alpha` applies to activations (input
+    /// `a`), `beta` to weights (input `b`).
+    #[must_use]
+    pub fn new(alpha: u8, beta: u8) -> Self {
+        Compression { alpha, beta }
+    }
+
+    /// Activation compression (bits removed from `a`).
+    #[must_use]
+    pub fn alpha(self) -> u8 {
+        self.alpha
+    }
+
+    /// Weight compression (bits removed from `b`).
+    #[must_use]
+    pub fn beta(self) -> u8 {
+        self.beta
+    }
+
+    /// Whether this is the uncompressed baseline `(0, 0)`.
+    #[must_use]
+    pub fn is_uncompressed(self) -> bool {
+        self.alpha == 0 && self.beta == 0
+    }
+
+    /// The paper's surrogate compression magnitude `√(α² + β²)`
+    /// (Algorithm 1, line 5): Euclidean distance from `(0, 0)`.
+    #[must_use]
+    pub fn magnitude(self) -> f64 {
+        f64::from(u16::from(self.alpha).pow(2) + u16::from(self.beta).pow(2)).sqrt()
+    }
+
+    /// Enumerates all `(α, β) ∈ [0, max]²`, row-major.
+    #[must_use]
+    pub fn grid(max: u8) -> Vec<Compression> {
+        (0..=max)
+            .flat_map(|a| (0..=max).map(move |b| Compression::new(a, b)))
+            .collect()
+    }
+
+    /// Validates against a MAC geometry: a compression may not consume
+    /// an entire operand or the accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Describes the violated bound.
+    pub fn validate(self, geometry: MacGeometry) -> Result<(), String> {
+        if usize::from(self.alpha) >= geometry.a_width {
+            return Err(format!(
+                "α = {} consumes the whole {}-bit activation",
+                self.alpha, geometry.a_width
+            ));
+        }
+        if usize::from(self.beta) >= geometry.b_width {
+            return Err(format!(
+                "β = {} consumes the whole {}-bit weight",
+                self.beta, geometry.b_width
+            ));
+        }
+        if usize::from(self.alpha) + usize::from(self.beta) >= geometry.acc_width {
+            return Err("α + β consumes the whole accumulator".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Compression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.alpha, self.beta)
+    }
+}
+
+/// Zero-padding placement for compressed operands (Section 4).
+///
+/// * [`Padding::Msb`] — zeros fill the most-significant positions; the
+///   compressed value occupies the low bits and no output shift is
+///   needed.
+/// * [`Padding::Lsb`] — zeros fill the least-significant positions; the
+///   compressed value is shifted up and the MAC result must be shifted
+///   right by `α + β` (Eq. 5), a free software-side operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// Zeros at the most-significant bit positions.
+    Msb,
+    /// Zeros at the least-significant bit positions.
+    Lsb,
+}
+
+impl Padding {
+    /// Both options, in evaluation order.
+    pub const ALL: [Padding; 2] = [Padding::Msb, Padding::Lsb];
+
+    /// Stable uppercase name as used in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Padding::Msb => "MSB",
+            Padding::Lsb => "LSB",
+        }
+    }
+}
+
+impl fmt::Display for Padding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the case assignment a compression induces on a MAC netlist.
+///
+/// With MSB padding, the top `α` bits of `a`, top `β` bits of `b`, and
+/// top `α + β` bits of `c` are tied to zero. With LSB padding the same
+/// counts are tied at the bottom of each bus, matching the Eq. 5 layout
+/// where inputs are pre-shifted left.
+///
+/// # Panics
+///
+/// Panics if `compression` fails [`Compression::validate`] for
+/// `geometry`, or if the netlist lacks the `a`/`b`/`c` buses of the
+/// geometry's widths.
+#[must_use]
+pub fn mac_case_on(
+    netlist: &Netlist,
+    geometry: MacGeometry,
+    compression: Compression,
+    padding: Padding,
+) -> CaseAssignment {
+    compression
+        .validate(geometry)
+        .unwrap_or_else(|e| panic!("invalid compression {compression}: {e}"));
+    let mut case = CaseAssignment::new();
+    let mut tie = |bus_name: &str, width: usize, zeros: usize| {
+        let bus = netlist
+            .input_bus(bus_name)
+            .unwrap_or_else(|| panic!("netlist lacks input bus {bus_name}"));
+        assert_eq!(bus.width(), width, "bus {bus_name} width mismatch");
+        let nets: Vec<_> = match padding {
+            Padding::Msb => bus.nets[width - zeros..].to_vec(),
+            Padding::Lsb => bus.nets[..zeros].to_vec(),
+        };
+        case.tie_zero_all(&nets);
+    };
+    let (alpha, beta) = (
+        usize::from(compression.alpha()),
+        usize::from(compression.beta()),
+    );
+    tie("a", geometry.a_width, alpha);
+    tie("b", geometry.b_width, beta);
+    tie("c", geometry.acc_width, alpha + beta);
+    case
+}
+
+/// Like [`mac_case_on`] but looks the netlist up from a fresh
+/// [`MacCircuit`](agequant_netlist::mac::MacCircuit)-shaped geometry.
+/// Convenience for call sites that hold the circuit elsewhere; netlist
+/// bus layout must match `geometry`.
+#[must_use]
+pub fn mac_case(geometry: MacGeometry, compression: Compression, padding: Padding) -> MacCase {
+    MacCase {
+        geometry,
+        compression,
+        padding,
+    }
+}
+
+/// A deferred MAC case: resolved against a concrete netlist via
+/// [`MacCase::assignment`], or passed to
+/// [`Sta::analyze`](crate::Sta::analyze) after resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacCase {
+    /// The MAC geometry the case applies to.
+    pub geometry: MacGeometry,
+    /// The `(α, β)` compression.
+    pub compression: Compression,
+    /// The padding placement.
+    pub padding: Padding,
+}
+
+impl MacCase {
+    /// Resolves the case into per-net tie-offs on `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// See [`mac_case_on`].
+    #[must_use]
+    pub fn assignment(&self, netlist: &Netlist) -> CaseAssignment {
+        mac_case_on(netlist, self.geometry, self.compression, self.padding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_netlist::mac::MacCircuit;
+
+    use super::*;
+
+    #[test]
+    fn magnitude_is_euclidean() {
+        assert_eq!(Compression::new(3, 4).magnitude(), 5.0);
+        assert_eq!(Compression::NONE.magnitude(), 0.0);
+    }
+
+    #[test]
+    fn grid_enumerates_everything() {
+        let g = Compression::grid(8);
+        assert_eq!(g.len(), 81);
+        assert_eq!(g[0], Compression::NONE);
+        assert_eq!(*g.last().unwrap(), Compression::new(8, 8));
+    }
+
+    #[test]
+    fn validation_bounds() {
+        let geo = MacGeometry::EDGE_TPU;
+        assert!(Compression::new(7, 7).validate(geo).is_ok());
+        assert!(Compression::new(8, 0).validate(geo).is_err());
+        assert!(Compression::new(0, 8).validate(geo).is_err());
+    }
+
+    #[test]
+    fn msb_case_ties_top_bits() {
+        let mac = MacCircuit::edge_tpu();
+        let case = mac_case(mac.geometry(), Compression::new(2, 3), Padding::Msb)
+            .assignment(mac.netlist());
+        assert_eq!(case.len(), 2 + 3 + 5);
+        let a = mac.netlist().input_bus("a").unwrap();
+        assert_eq!(case.value(a.nets[7]), Some(false));
+        assert_eq!(case.value(a.nets[6]), Some(false));
+        assert_eq!(case.value(a.nets[5]), None);
+    }
+
+    #[test]
+    fn lsb_case_ties_bottom_bits() {
+        let mac = MacCircuit::edge_tpu();
+        let case = mac_case(mac.geometry(), Compression::new(2, 3), Padding::Lsb)
+            .assignment(mac.netlist());
+        let a = mac.netlist().input_bus("a").unwrap();
+        let c = mac.netlist().input_bus("c").unwrap();
+        assert_eq!(case.value(a.nets[0]), Some(false));
+        assert_eq!(case.value(a.nets[1]), Some(false));
+        assert_eq!(case.value(a.nets[2]), None);
+        // c ties α + β = 5 LSBs.
+        assert_eq!(case.value(c.nets[4]), Some(false));
+        assert_eq!(case.value(c.nets[5]), None);
+    }
+
+    #[test]
+    fn uncompressed_case_is_empty() {
+        let mac = MacCircuit::edge_tpu();
+        let case =
+            mac_case(mac.geometry(), Compression::NONE, Padding::Msb).assignment(mac.netlist());
+        assert!(case.is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Compression::new(3, 1).to_string(), "(3, 1)");
+        assert_eq!(Padding::Lsb.to_string(), "LSB");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid compression")]
+    fn invalid_compression_panics_in_case() {
+        let mac = MacCircuit::edge_tpu();
+        let _ = mac_case(mac.geometry(), Compression::new(8, 8), Padding::Msb)
+            .assignment(mac.netlist());
+    }
+}

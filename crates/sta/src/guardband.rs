@@ -1,0 +1,133 @@
+//! Timing-guardband arithmetic (Eqs. 2–4 of the paper).
+
+use agequant_aging::{AgingScenario, VthShift};
+use serde::{Deserialize, Serialize};
+
+/// The guardband economics of a circuit under aging.
+///
+/// A conventional design clocks at the *fresh* critical-path delay plus
+/// a guardband sized for the projected end-of-life degradation (Eq. 3);
+/// the cost is paid from day zero (Eq. 4). This type packages that
+/// arithmetic for reports and the core algorithm.
+///
+/// # Example
+///
+/// ```
+/// use agequant_aging::AgingScenario;
+/// use agequant_sta::GuardbandModel;
+///
+/// let gb = GuardbandModel::for_scenario(100.0, &AgingScenario::intel14nm());
+/// assert!((gb.guardband_fraction() - 0.23).abs() < 1e-9);
+/// assert!((gb.guardbanded_period_ps() - 123.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardbandModel {
+    fresh_cp_ps: f64,
+    eol_factor: f64,
+}
+
+impl GuardbandModel {
+    /// Builds the model from a fresh critical-path delay (ps) and an
+    /// aging scenario (the guardband covers the scenario's end of life).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fresh_cp_ps` is not strictly positive.
+    #[must_use]
+    pub fn for_scenario(fresh_cp_ps: f64, scenario: &AgingScenario) -> Self {
+        Self::new(
+            fresh_cp_ps,
+            scenario.derating().factor(scenario.eol_shift()),
+        )
+    }
+
+    /// Builds the model from an explicit end-of-life derating factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fresh_cp_ps` is not positive or `eol_factor < 1`.
+    #[must_use]
+    pub fn new(fresh_cp_ps: f64, eol_factor: f64) -> Self {
+        assert!(fresh_cp_ps > 0.0, "critical path must be positive");
+        assert!(eol_factor >= 1.0, "derating factor must be ≥ 1");
+        GuardbandModel {
+            fresh_cp_ps,
+            eol_factor,
+        }
+    }
+
+    /// The fresh (un-aged, un-guardbanded) critical-path delay, ps.
+    #[must_use]
+    pub fn fresh_period_ps(&self) -> f64 {
+        self.fresh_cp_ps
+    }
+
+    /// The guardband as a fraction of the fresh delay
+    /// (`t_GB / t_CP`, 0.23 for the 14 nm scenario).
+    #[must_use]
+    pub fn guardband_fraction(&self) -> f64 {
+        self.eol_factor - 1.0
+    }
+
+    /// The guardbanded clock period `t_CP(fresh) + t_GB`, ps (Eq. 3).
+    #[must_use]
+    pub fn guardbanded_period_ps(&self) -> f64 {
+        self.fresh_cp_ps * self.eol_factor
+    }
+
+    /// The day-zero performance loss of guardbanding (Eq. 4): the
+    /// fraction of cycles wasted while the chip is still fresh.
+    /// Equal to `1 − 1/eol_factor` (≈ 18.7% of each guardbanded cycle
+    /// for the 23% guardband).
+    #[must_use]
+    pub fn day_zero_performance_loss(&self) -> f64 {
+        1.0 - 1.0 / self.eol_factor
+    }
+
+    /// The aged critical path at aging level `shift` under `scenario`.
+    #[must_use]
+    pub fn aged_period_ps(&self, scenario: &AgingScenario, shift: VthShift) -> f64 {
+        self.fresh_cp_ps * scenario.derating().factor(shift)
+    }
+
+    /// Whether a circuit clocked at the *fresh* period (no guardband)
+    /// violates timing at the given aged delay — the Eq. 3 condition
+    /// for aging-induced timing errors.
+    #[must_use]
+    pub fn violates_fresh_timing(&self, aged_cp_ps: f64) -> bool {
+        aged_cp_ps > self.fresh_cp_ps + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guardband_covers_eol() {
+        let gb = GuardbandModel::for_scenario(80.0, &AgingScenario::intel14nm());
+        let eol = gb.aged_period_ps(&AgingScenario::intel14nm(), VthShift::from_millivolts(50.0));
+        assert!((gb.guardbanded_period_ps() - eol).abs() < 1e-9);
+        assert!(!gb.violates_fresh_timing(gb.fresh_period_ps()));
+        assert!(gb.violates_fresh_timing(eol));
+    }
+
+    #[test]
+    fn day_zero_loss_matches_formula() {
+        let gb = GuardbandModel::new(100.0, 1.25);
+        assert!((gb.day_zero_performance_loss() - 0.2).abs() < 1e-12);
+        assert!((gb.guardband_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cp_rejected() {
+        let _ = GuardbandModel::new(0.0, 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1")]
+    fn sub_unity_factor_rejected() {
+        let _ = GuardbandModel::new(10.0, 0.9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Static timing analysis with input-compression case analysis.
+//!
+//! Reproduces the PrimeTime step of the paper's flow (Section 6.1 (3)):
+//! given a post-synthesis netlist (`agequant-netlist`) and an
+//! aging-characterized cell library (`agequant-cells`), compute the
+//! arrival time of every net and the critical-path delay — optionally
+//! under a *case analysis* in which the input bits that padding ties to
+//! zero are treated as constants. Constants propagate through the
+//! netlist exactly as in `set_case_analysis`: a gate whose output is
+//! determined by its known inputs stops contributing timing arcs, so
+//! compressed inputs activate strictly shorter paths.
+//!
+//! The crate also provides:
+//!
+//! * [`Compression`] / [`Padding`] — the paper's `(α, β)` input
+//!   compression and MSB/LSB zero-padding vocabulary (Sections 4–5),
+//! * [`mac_case`] — the tied-to-zero bit set a compression induces on
+//!   the MAC's `a`/`b`/`c` buses,
+//! * [`GuardbandModel`] — the Eq. 2–4 guardband arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_aging::VthShift;
+//! use agequant_cells::ProcessLibrary;
+//! use agequant_netlist::mac::MacCircuit;
+//! use agequant_sta::{mac_case, Compression, Padding, Sta};
+//!
+//! let mac = MacCircuit::edge_tpu();
+//! let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+//! let sta = Sta::new(mac.netlist(), &lib);
+//!
+//! let full = sta.analyze_uncompressed();
+//! let case = mac_case(mac.geometry(), Compression::new(4, 4), Padding::Msb)
+//!     .assignment(mac.netlist());
+//! let compressed = sta.analyze(&case);
+//! assert!(compressed.critical_path_ps < full.critical_path_ps);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod compression;
+mod guardband;
+mod report;
+
+pub use analysis::{CaseAssignment, PathElement, Sta, TimingReport};
+pub use compression::{mac_case, mac_case_on, Compression, MacCase, Padding};
+pub use guardband::GuardbandModel;
+pub use report::SlackReport;

@@ -1,0 +1,156 @@
+//! Human-readable timing reports (the PrimeTime `report_timing` look).
+
+use std::fmt::Write as _;
+
+use agequant_netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::TimingReport;
+
+/// Per-output-bit slack against a clock period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlackReport {
+    /// Clock period the slacks are computed against, ps.
+    pub period_ps: f64,
+    /// `(bus name, bit, arrival ps, slack ps)` per primary-output bit,
+    /// sorted worst-slack first. Constant bits are omitted (they never
+    /// transition).
+    pub endpoints: Vec<(String, usize, f64, f64)>,
+}
+
+impl SlackReport {
+    /// The worst (smallest) slack, ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every output is constant (no endpoints).
+    #[must_use]
+    pub fn worst_slack_ps(&self) -> f64 {
+        self.endpoints.first().expect("at least one endpoint").3
+    }
+
+    /// Whether every endpoint meets the period.
+    #[must_use]
+    pub fn met(&self) -> bool {
+        self.endpoints
+            .iter()
+            .all(|&(_, _, _, slack)| slack >= -1e-9)
+    }
+
+    /// Endpoints violating the period.
+    #[must_use]
+    pub fn violations(&self) -> Vec<&(String, usize, f64, f64)> {
+        self.endpoints
+            .iter()
+            .filter(|&&(_, _, _, slack)| slack < -1e-9)
+            .collect()
+    }
+}
+
+impl TimingReport {
+    /// Computes per-endpoint slacks against `period_ps`.
+    #[must_use]
+    pub fn slacks(&self, netlist: &Netlist, period_ps: f64) -> SlackReport {
+        let mut endpoints = Vec::new();
+        for bus in netlist.output_buses() {
+            for (bit, &net) in bus.nets.iter().enumerate() {
+                if let Some(arrival) = self.arrival_ps[net.index()] {
+                    endpoints.push((bus.name.clone(), bit, arrival, period_ps - arrival));
+                }
+            }
+        }
+        endpoints.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("slacks are finite"));
+        SlackReport {
+            period_ps,
+            endpoints,
+        }
+    }
+
+    /// Renders a PrimeTime-style text report: worst path breakdown
+    /// plus the `count` worst endpoints.
+    #[must_use]
+    pub fn render(&self, netlist: &Netlist, period_ps: f64, count: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Timing report — period {period_ps:.1} ps");
+        let _ = writeln!(out, "critical path: {:.1} ps", self.critical_path_ps);
+        let _ = writeln!(out, "{:-<46}", "");
+        let _ = writeln!(out, "{:>10} {:>12} {:>12}", "cell", "arrival ps", "incr ps");
+        let mut last = 0.0f64;
+        for element in &self.critical_path {
+            let cell = element.cell.map_or("(input)", |k| k.name());
+            let _ = writeln!(
+                out,
+                "{:>10} {:>12.2} {:>12.2}",
+                cell,
+                element.arrival_ps,
+                element.arrival_ps - last
+            );
+            last = element.arrival_ps;
+        }
+        let slacks = self.slacks(netlist, period_ps);
+        let _ = writeln!(out, "{:-<46}", "");
+        let _ = writeln!(out, "worst endpoints:");
+        for (bus, bit, arrival, slack) in slacks.endpoints.iter().take(count) {
+            let status = if *slack >= 0.0 { "MET" } else { "VIOLATED" };
+            let _ = writeln!(
+                out,
+                "  {bus}[{bit}]  arrival {arrival:>8.2} ps  slack {slack:>8.2} ps  {status}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_aging::VthShift;
+    use agequant_cells::ProcessLibrary;
+    use agequant_netlist::mac::MacCircuit;
+
+    use crate::Sta;
+
+    #[test]
+    fn slacks_sorted_and_consistent() {
+        let mac = MacCircuit::edge_tpu();
+        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+        let report = Sta::new(mac.netlist(), &lib).analyze_uncompressed();
+        let slacks = report.slacks(mac.netlist(), report.critical_path_ps);
+        // Zero-slack clock: worst slack is exactly 0, everything met.
+        assert!(slacks.worst_slack_ps().abs() < 1e-9);
+        assert!(slacks.met());
+        assert!(slacks.violations().is_empty());
+        // Sorted ascending by slack.
+        for pair in slacks.endpoints.windows(2) {
+            assert!(pair[0].3 <= pair[1].3 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn aged_circuit_violates_fresh_clock() {
+        let mac = MacCircuit::edge_tpu();
+        let process = ProcessLibrary::finfet14nm();
+        let fresh = process.characterize(VthShift::FRESH);
+        let fresh_cp = Sta::new(mac.netlist(), &fresh)
+            .analyze_uncompressed()
+            .critical_path_ps;
+        let aged = process.characterize(VthShift::from_millivolts(50.0));
+        let report = Sta::new(mac.netlist(), &aged).analyze_uncompressed();
+        let slacks = report.slacks(mac.netlist(), fresh_cp);
+        assert!(!slacks.met());
+        assert!(!slacks.violations().is_empty());
+        assert!(slacks.worst_slack_ps() < 0.0);
+    }
+
+    #[test]
+    fn render_contains_path_and_endpoints() {
+        let mac = MacCircuit::edge_tpu();
+        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+        let report = Sta::new(mac.netlist(), &lib).analyze_uncompressed();
+        let text = report.render(mac.netlist(), 500.0, 5);
+        assert!(text.contains("Timing report"));
+        assert!(text.contains("critical path"));
+        assert!(text.contains("(input)"));
+        assert!(text.contains("MET"));
+        assert!(text.lines().count() > 10);
+    }
+}

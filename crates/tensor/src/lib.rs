@@ -1,0 +1,39 @@
+//! Minimal NCHW tensor and CNN inference primitives.
+//!
+//! This crate is the bottom of the neural-network substrate of the
+//! `agequant` reproduction: a compact `f32` tensor type
+//! ([`Tensor`]) plus the layer primitives the model zoo needs —
+//! im2col-based 2-D convolution, fully-connected layers, ReLU,
+//! max/global-average pooling, softmax and argmax. Everything is
+//! single-image (`C × H × W`); batching is a loop in the runner (the
+//! evaluation machines for this reproduction are single-core, so
+//! vector-level batching buys nothing).
+//!
+//! The [`im2col`] lowering is generic over the element type so the
+//! integer (quantized) inference path in `agequant-quant` can reuse it
+//! for `u8` patches.
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_tensor::{conv2d, Tensor};
+//!
+//! let input = Tensor::zeros(&[3, 8, 8]);
+//! let weights = Tensor::zeros(&[4, 3, 3, 3]);
+//! let bias = vec![0.5; 4];
+//! let out = conv2d(&input, &weights, &bias, 1, 1);
+//! assert_eq!(out.shape(), &[4, 8, 8]);
+//! assert!((out.data()[0] - 0.5).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ops;
+mod shape;
+
+pub use ops::{
+    argmax, conv2d, global_avg_pool, im2col, linear, max_pool2d, relu, relu_in_place, softmax,
+    Patches,
+};
+pub use shape::Tensor;

@@ -1,0 +1,256 @@
+//! The dense row-major tensor type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f32` tensor.
+///
+/// Shapes follow the CHW / OIHW conventions of the ops in this crate:
+/// activations are `[channels, height, width]`, convolution weights are
+/// `[out_channels, in_channels, kh, kw]`, linear weights are
+/// `[out_features, in_features]`.
+///
+/// # Example
+///
+/// ```
+/// use agequant_tensor::Tensor;
+///
+/// let mut t = Tensor::zeros(&[2, 3]);
+/// *t.at_mut(&[1, 2]) = 7.0;
+/// assert_eq!(t.at(&[1, 2]), 7.0);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::filled(shape, 0.0)
+    }
+
+    /// A constant-filled tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    #[must_use]
+    pub fn filled(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "tensor needs at least one dimension");
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "zero-sized dimension in {shape:?}"
+        );
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
+    }
+
+    /// Builds a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape volume.
+    #[must_use]
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let len: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            len,
+            "data length {} does not match shape {shape:?}",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true: shapes are
+    /// validated to be non-empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data, row-major.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data, row-major.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data buffer.
+    #[must_use]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row-major linear offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank mismatches or any coordinate is out of
+    /// bounds.
+    #[must_use]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (k, (&i, &d)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(i < d, "index {i} out of bounds for dim {k} (size {d})");
+            off = off * d + i;
+        }
+        off
+    }
+
+    /// Element access by multi-index.
+    #[must_use]
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Mutable element access by multi-index.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Reinterprets the tensor with a new shape of equal volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    #[must_use]
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        let len: usize = shape.iter().product();
+        assert_eq!(len, self.data.len(), "reshape changes volume");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Elementwise map into a new tensor.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn add(&self, other: &Tensor) -> Self {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Minimum and maximum element.
+    #[must_use]
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Arithmetic mean of all elements.
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} elems)", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Tensor::from_vec(&[2, 2, 2], (0..8).map(|v| v as f32).collect());
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 0, 1]), 5.0);
+        assert_eq!(t.at(&[1, 1, 1]), 7.0);
+    }
+
+    #[test]
+    fn map_and_add() {
+        let a = Tensor::filled(&[3], 2.0);
+        let b = a.map(|v| v * 3.0);
+        assert_eq!(b.data(), &[6.0, 6.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]).reshaped(&[2, 2]);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn min_max_and_mean() {
+        let t = Tensor::from_vec(&[4], vec![-1.0, 2.0, 0.5, 3.0]);
+        assert_eq!(t.min_max(), (-1.0, 3.0));
+        assert!((t.mean() - 1.125).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_index_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.at(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "volume")]
+    fn bad_reshape_panics() {
+        let _ = Tensor::zeros(&[4]).reshaped(&[3]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Fig. 1a harness: aged-multiplier timing-error characterization.
+
+use std::collections::BTreeMap;
+
+use agequant_aging::VthShift;
+use agequant_cells::ProcessLibrary;
+use agequant_netlist::Netlist;
+use agequant_sta::Sta;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::TimedSim;
+
+/// Timing-error statistics of an aged multiplier clocked at the fresh
+/// critical-path period (no guardband), as plotted in the paper's
+/// Fig. 1a.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiplierAgingErrors {
+    /// The aging level characterized.
+    pub vth_shift: VthShift,
+    /// The sampling period used (fresh critical path), ps.
+    pub clock_ps: f64,
+    /// Mean error distance: average `|latched − exact|` over vectors.
+    pub med: f64,
+    /// Fraction of vectors with any erroneous output bit.
+    pub error_rate: f64,
+    /// Per-output-bit flip probability (index 0 = LSB).
+    pub bit_flip_prob: Vec<f64>,
+    /// Probability that at least one of the two MSBs flipped —
+    /// the quantity Fig. 1a tracks alongside MED.
+    pub msb2_flip_prob: f64,
+    /// Number of random vectors evaluated.
+    pub samples: usize,
+}
+
+/// Characterizes an `m × n` multiplier netlist (buses `a`, `b` → `p`)
+/// at aging level `shift`, clocked at the *fresh* critical path of the
+/// same netlist — the exact Fig. 1a setup ("no timing guardbands are
+/// used in this investigation").
+///
+/// Random uniform input pairs are applied back-to-back (each vector's
+/// initial state is the previous vector's settled state), outputs are
+/// latched at the fresh-period clock edge, and deviations from the
+/// settled (exact) product are accumulated.
+///
+/// # Panics
+///
+/// Panics if the netlist lacks `a`/`b` input buses or a `p` output bus,
+/// or if `samples` is zero.
+#[must_use]
+pub fn characterize_multiplier(
+    netlist: &Netlist,
+    process: &ProcessLibrary,
+    shift: VthShift,
+    samples: usize,
+    seed: u64,
+) -> MultiplierAgingErrors {
+    assert!(samples > 0, "need at least one sample");
+    let a_width = netlist
+        .input_bus("a")
+        .expect("multiplier needs an `a` bus")
+        .width();
+    let b_width = netlist
+        .input_bus("b")
+        .expect("multiplier needs a `b` bus")
+        .width();
+    let p_width = netlist
+        .output_bus("p")
+        .expect("multiplier needs a `p` bus")
+        .width();
+
+    // Fresh clock: critical path of the un-aged circuit, zero slack.
+    let fresh_lib = process.characterize(VthShift::FRESH);
+    let clock_ps = Sta::new(netlist, &fresh_lib)
+        .analyze_uncompressed()
+        .critical_path_ps;
+
+    let aged_lib = process.characterize(shift);
+    let sim = TimedSim::new(netlist, &aged_lib);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = sim.settled_state(&BTreeMap::from([
+        ("a".to_string(), 0u64),
+        ("b".to_string(), 0u64),
+    ]));
+
+    let mut sum_err = 0.0f64;
+    let mut erroneous = 0usize;
+    let mut bit_flips = vec![0usize; p_width];
+    let mut msb2_flips = 0usize;
+
+    for _ in 0..samples {
+        let a: u64 = rng.random_range(0..(1u64 << a_width));
+        let b: u64 = rng.random_range(0..(1u64 << b_width));
+        let out = sim.run(
+            &mut state,
+            &BTreeMap::from([("a".to_string(), a), ("b".to_string(), b)]),
+            clock_ps,
+        );
+        let latched = out.sampled["p"];
+        let exact = out.settled["p"];
+        debug_assert_eq!(exact, a * b, "gate netlist must settle to the product");
+        sum_err += (latched.abs_diff(exact)) as f64;
+        let diff = latched ^ exact;
+        if diff != 0 {
+            erroneous += 1;
+            for (bit, flips) in bit_flips.iter_mut().enumerate() {
+                if (diff >> bit) & 1 == 1 {
+                    *flips += 1;
+                }
+            }
+            if diff >> (p_width - 2) != 0 {
+                msb2_flips += 1;
+            }
+        }
+    }
+
+    let n = samples as f64;
+    MultiplierAgingErrors {
+        vth_shift: shift,
+        clock_ps,
+        med: sum_err / n,
+        error_rate: erroneous as f64 / n,
+        bit_flip_prob: bit_flips.iter().map(|&f| f as f64 / n).collect(),
+        msb2_flip_prob: msb2_flips as f64 / n,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_netlist::multipliers::{multiplier, MultiplierArch};
+
+    use super::*;
+
+    fn mult8() -> Netlist {
+        multiplier(8, 8, MultiplierArch::Wallace)
+    }
+
+    #[test]
+    fn fresh_multiplier_has_zero_errors() {
+        let stats = characterize_multiplier(
+            &mult8(),
+            &ProcessLibrary::finfet14nm(),
+            VthShift::FRESH,
+            200,
+            7,
+        );
+        assert_eq!(stats.med, 0.0);
+        assert_eq!(stats.error_rate, 0.0);
+        assert_eq!(stats.msb2_flip_prob, 0.0);
+    }
+
+    #[test]
+    fn errors_grow_with_aging() {
+        let process = ProcessLibrary::finfet14nm();
+        let netlist = mult8();
+        let m20 =
+            characterize_multiplier(&netlist, &process, VthShift::from_millivolts(20.0), 300, 7);
+        let m50 =
+            characterize_multiplier(&netlist, &process, VthShift::from_millivolts(50.0), 300, 7);
+        assert!(m50.med >= m20.med);
+        assert!(m50.med > 0.0, "end-of-life must produce errors");
+        assert!(m50.error_rate > 0.0);
+    }
+
+    #[test]
+    fn errors_concentrate_in_msbs() {
+        // Aging errors hit long paths, which terminate in high-order
+        // output bits (Section 3 of the paper).
+        let stats = characterize_multiplier(
+            &mult8(),
+            &ProcessLibrary::finfet14nm(),
+            VthShift::from_millivolts(50.0),
+            400,
+            13,
+        );
+        let lsb_half: f64 = stats.bit_flip_prob[..8].iter().sum();
+        let msb_half: f64 = stats.bit_flip_prob[8..].iter().sum();
+        assert!(
+            msb_half > lsb_half,
+            "MSB flips {msb_half} should exceed LSB flips {lsb_half}"
+        );
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let process = ProcessLibrary::finfet14nm();
+        let netlist = mult8();
+        let a =
+            characterize_multiplier(&netlist, &process, VthShift::from_millivolts(30.0), 100, 5);
+        let b =
+            characterize_multiplier(&netlist, &process, VthShift::from_millivolts(30.0), 100, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+//! Event-driven timed gate-level simulation and aging-error
+//! characterization.
+//!
+//! The paper's Fig. 1a measures what happens when an *aged* 8-bit
+//! multiplier is clocked at the *fresh* critical-path period without a
+//! guardband: late-arriving transitions on long paths are latched
+//! before they settle, producing timing errors concentrated in the
+//! most-significant output bits. This crate reproduces that experiment:
+//!
+//! * [`TimedSim`] — an inertial-delay event-driven simulator over a
+//!   netlist and an (aged) cell library: apply an input vector on top
+//!   of the previous state, sample every output at the clock edge, and
+//!   compare with the settled value,
+//! * [`characterize_multiplier`] — the Fig. 1a harness: random vector
+//!   pairs through an aged multiplier at the fresh clock, reporting the
+//!   mean error distance (MED), per-bit flip probabilities, and the
+//!   2-MSB flip probability the paper plots.
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_aging::VthShift;
+//! use agequant_cells::ProcessLibrary;
+//! use agequant_netlist::multipliers::{multiplier, MultiplierArch};
+//! use agequant_timing_sim::characterize_multiplier;
+//!
+//! let netlist = multiplier(8, 8, MultiplierArch::Wallace);
+//! let process = ProcessLibrary::finfet14nm();
+//! let fresh = characterize_multiplier(&netlist, &process, VthShift::FRESH, 500, 42);
+//! assert_eq!(fresh.med, 0.0, "a fresh multiplier at its own period never errs");
+//! let aged = characterize_multiplier(
+//!     &netlist, &process, VthShift::from_millivolts(50.0), 500, 42);
+//! assert!(aged.med > 0.0, "end-of-life aging causes timing errors");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error_char;
+mod sim;
+
+pub use error_char::{characterize_multiplier, MultiplierAgingErrors};
+pub use sim::{SimOutcome, TimedSim};

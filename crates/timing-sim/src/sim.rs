@@ -1,0 +1,352 @@
+//! The inertial-delay event-driven simulator.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use agequant_cells::CellLibrary;
+use agequant_netlist::{NetId, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Load (fF) assumed on primary outputs — matches the STA assumption so
+/// simulated arrivals line up with reported critical paths.
+const OUTPUT_PORT_LOAD_FF: f64 = 1.2;
+
+/// One scheduled value change. Ordered for a min-heap on time with a
+/// sequence number as tiebreaker (FIFO among simultaneous events).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time_ps: f64,
+    seq: u64,
+    net: NetId,
+    value: bool,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest first.
+        other
+            .time_ps
+            .partial_cmp(&self.time_ps)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The result of simulating one input-vector transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Output-bus values latched at the sampling (clock) edge.
+    pub sampled: BTreeMap<String, u64>,
+    /// Output-bus values after the circuit fully settles.
+    pub settled: BTreeMap<String, u64>,
+    /// Simulation time of the last value change, ps.
+    pub settle_time_ps: f64,
+    /// Total value-change events processed.
+    pub events: usize,
+    /// Per-net transition counts (for power estimation with glitches).
+    pub toggles: Vec<u32>,
+}
+
+impl SimOutcome {
+    /// Whether the sampled and settled values differ anywhere — i.e.
+    /// the clock edge latched a timing error.
+    #[must_use]
+    pub fn has_timing_error(&self) -> bool {
+        self.sampled != self.settled
+    }
+}
+
+/// An inertial-delay event-driven gate-level simulator.
+///
+/// Each gate arc contributes its library delay at the net's capacitive
+/// load. Delays are *inertial*: a newly computed output transition
+/// cancels any still-pending one on the same net, so pulses shorter
+/// than a gate's delay are filtered — the behaviour of real CMOS gates
+/// and of HDL simulators in inertial mode. See the
+/// [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct TimedSim<'a> {
+    netlist: &'a Netlist,
+    library: &'a CellLibrary,
+    loads: Vec<f64>,
+}
+
+impl<'a> TimedSim<'a> {
+    /// Binds a netlist to a characterized cell library.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary) -> Self {
+        let mut loads = vec![0.0f64; netlist.net_count()];
+        for gate in netlist.gates() {
+            for &input in &gate.inputs {
+                loads[input.index()] += library.input_cap(gate.kind);
+            }
+        }
+        for out in netlist.primary_outputs() {
+            loads[out.index()] += OUTPUT_PORT_LOAD_FF;
+        }
+        TimedSim {
+            netlist,
+            library,
+            loads,
+        }
+    }
+
+    /// Computes the settled net state for an input assignment
+    /// (zero-delay evaluation) — used to initialize vector sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input bus is missing or a value does not fit.
+    #[must_use]
+    pub fn settled_state(&self, inputs: &BTreeMap<String, u64>) -> Vec<bool> {
+        let mut values = vec![false; self.netlist.net_count()];
+        for bus in self.netlist.input_buses() {
+            let value = *inputs
+                .get(&bus.name)
+                .unwrap_or_else(|| panic!("missing value for input bus {}", bus.name));
+            for (bit, &net) in bus.nets.iter().enumerate() {
+                values[net.index()] = (value >> bit) & 1 == 1;
+            }
+        }
+        self.netlist.eval_nets(&mut values);
+        values
+    }
+
+    /// Simulates applying `inputs` at `t = 0` on top of a settled
+    /// `state` (as produced by [`settled_state`](Self::settled_state)
+    /// or a previous [`run`](Self::run)), sampling all outputs at
+    /// `sample_ps`. On return, `state` holds the new settled values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong length, an input bus is missing,
+    /// or `sample_ps` is negative.
+    pub fn run(
+        &self,
+        state: &mut [bool],
+        inputs: &BTreeMap<String, u64>,
+        sample_ps: f64,
+    ) -> SimOutcome {
+        assert_eq!(state.len(), self.netlist.net_count(), "state length");
+        assert!(sample_ps >= 0.0, "sample time must be non-negative");
+
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        // Inertial-delay semantics: a newly scheduled transition on a
+        // net cancels any pending one (sub-delay pulses are filtered,
+        // as in a real gate). `authoritative[net]` holds the sequence
+        // number of the only event allowed to fire for that net.
+        let mut authoritative: Vec<Option<u64>> = vec![None; self.netlist.net_count()];
+        let mut seq = 0u64;
+
+        // Schedule primary-input changes at t = 0.
+        for bus in self.netlist.input_buses() {
+            let value = *inputs
+                .get(&bus.name)
+                .unwrap_or_else(|| panic!("missing value for input bus {}", bus.name));
+            for (bit, &net) in bus.nets.iter().enumerate() {
+                let v = (value >> bit) & 1 == 1;
+                if state[net.index()] != v {
+                    heap.push(Event {
+                        time_ps: 0.0,
+                        seq,
+                        net,
+                        value: v,
+                    });
+                    authoritative[net.index()] = Some(seq);
+                    seq += 1;
+                }
+            }
+        }
+
+        // Sampled values start at the pre-transition state.
+        let mut sampled_state = state.to_vec();
+        let mut toggles = vec![0u32; self.netlist.net_count()];
+        let mut events = 0usize;
+        let mut settle_time_ps = 0.0f64;
+        let mut pins: Vec<bool> = Vec::with_capacity(3);
+
+        while let Some(ev) = heap.pop() {
+            if authoritative[ev.net.index()] != Some(ev.seq) {
+                continue; // cancelled by a fresher recomputation
+            }
+            authoritative[ev.net.index()] = None;
+            if state[ev.net.index()] == ev.value {
+                continue; // no actual transition
+            }
+            events += 1;
+            settle_time_ps = settle_time_ps.max(ev.time_ps);
+            state[ev.net.index()] = ev.value;
+            toggles[ev.net.index()] += 1;
+            if ev.time_ps <= sample_ps {
+                sampled_state[ev.net.index()] = ev.value;
+            }
+            for &(gate_id, pin) in self.netlist.fanout(ev.net) {
+                let gate = self.netlist.gate(gate_id);
+                pins.clear();
+                pins.extend(gate.inputs.iter().map(|n| state[n.index()]));
+                let new_out = gate.kind.eval(&pins);
+                let out_idx = gate.output.index();
+                // Schedule only when the target differs from the
+                // current value or a pending event must be replaced.
+                if new_out != state[out_idx] || authoritative[out_idx].is_some() {
+                    let delay = self.library.arc_delay(gate.kind, pin, self.loads[out_idx]);
+                    heap.push(Event {
+                        time_ps: ev.time_ps + delay,
+                        seq,
+                        net: gate.output,
+                        value: new_out,
+                    });
+                    authoritative[out_idx] = Some(seq);
+                    seq += 1;
+                }
+            }
+        }
+
+        let read_bus = |values: &[bool], bus: &agequant_netlist::Bus| {
+            let mut v = 0u64;
+            for (bit, &net) in bus.nets.iter().enumerate() {
+                v |= u64::from(values[net.index()]) << bit;
+            }
+            v
+        };
+        let mut sampled = BTreeMap::new();
+        let mut settled = BTreeMap::new();
+        for bus in self.netlist.output_buses() {
+            sampled.insert(bus.name.clone(), read_bus(&sampled_state, bus));
+            settled.insert(bus.name.clone(), read_bus(state, bus));
+        }
+        SimOutcome {
+            sampled,
+            settled,
+            settle_time_ps,
+            events,
+            toggles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_aging::VthShift;
+    use agequant_cells::ProcessLibrary;
+    use agequant_netlist::multipliers::{multiplier, MultiplierArch};
+    use agequant_sta::Sta;
+
+    use super::*;
+
+    fn lib(mv: f64) -> agequant_cells::CellLibrary {
+        ProcessLibrary::finfet14nm().characterize(VthShift::from_millivolts(mv))
+    }
+
+    #[test]
+    fn settled_values_match_functional_eval() {
+        let netlist = multiplier(4, 4, MultiplierArch::Wallace);
+        let library = lib(0.0);
+        let sim = TimedSim::new(&netlist, &library);
+        let mut state = sim.settled_state(&BTreeMap::from([
+            ("a".to_string(), 3),
+            ("b".to_string(), 5),
+        ]));
+        let out = sim.run(
+            &mut state,
+            &BTreeMap::from([("a".to_string(), 13), ("b".to_string(), 11)]),
+            1e9, // sample far after settling
+        );
+        assert_eq!(out.settled["p"], 13 * 11);
+        assert_eq!(out.sampled["p"], 13 * 11);
+        assert!(!out.has_timing_error());
+    }
+
+    #[test]
+    fn settle_time_matches_sta_bound() {
+        // The event-driven settle time never exceeds the STA critical
+        // path (STA is the worst case over all vectors).
+        let netlist = multiplier(8, 8, MultiplierArch::Wallace);
+        let library = lib(0.0);
+        let sim = TimedSim::new(&netlist, &library);
+        let sta = Sta::new(&netlist, &library);
+        let cp = sta.analyze_uncompressed().critical_path_ps;
+        let mut state = sim.settled_state(&BTreeMap::from([
+            ("a".to_string(), 0),
+            ("b".to_string(), 0),
+        ]));
+        for (a, b) in [(255u64, 255u64), (170, 85), (1, 255), (254, 253)] {
+            let out = sim.run(
+                &mut state,
+                &BTreeMap::from([("a".to_string(), a), ("b".to_string(), b)]),
+                1e9,
+            );
+            assert_eq!(out.settled["p"], a * b);
+            assert!(
+                out.settle_time_ps <= cp + 1e-6,
+                "settle {} > STA {}",
+                out.settle_time_ps,
+                cp
+            );
+        }
+    }
+
+    #[test]
+    fn early_sampling_latches_stale_values() {
+        let netlist = multiplier(8, 8, MultiplierArch::Wallace);
+        let library = lib(0.0);
+        let sim = TimedSim::new(&netlist, &library);
+        let mut state = sim.settled_state(&BTreeMap::from([
+            ("a".to_string(), 0),
+            ("b".to_string(), 0),
+        ]));
+        // Sampling at t = 0 keeps the previous outputs entirely.
+        let out = sim.run(
+            &mut state,
+            &BTreeMap::from([("a".to_string(), 255), ("b".to_string(), 255)]),
+            0.0,
+        );
+        assert_eq!(out.sampled["p"], 0);
+        assert_eq!(out.settled["p"], 255 * 255);
+        assert!(out.has_timing_error());
+    }
+
+    #[test]
+    fn aged_library_settles_slower() {
+        let netlist = multiplier(8, 8, MultiplierArch::Wallace);
+        let fresh = lib(0.0);
+        let aged = lib(50.0);
+        let vectors = BTreeMap::from([("a".to_string(), 255u64), ("b".to_string(), 255u64)]);
+        let zero = BTreeMap::from([("a".to_string(), 0u64), ("b".to_string(), 0u64)]);
+
+        let sim_f = TimedSim::new(&netlist, &fresh);
+        let mut st = sim_f.settled_state(&zero);
+        let t_fresh = sim_f.run(&mut st, &vectors, 1e9).settle_time_ps;
+
+        let sim_a = TimedSim::new(&netlist, &aged);
+        let mut st = sim_a.settled_state(&zero);
+        let t_aged = sim_a.run(&mut st, &vectors, 1e9).settle_time_ps;
+        assert!(t_aged > t_fresh * 1.1, "{t_aged} vs {t_fresh}");
+    }
+
+    #[test]
+    fn toggle_counts_are_positive_on_activity() {
+        let netlist = multiplier(4, 4, MultiplierArch::Array);
+        let library = lib(0.0);
+        let sim = TimedSim::new(&netlist, &library);
+        let mut state = sim.settled_state(&BTreeMap::from([
+            ("a".to_string(), 0),
+            ("b".to_string(), 0),
+        ]));
+        let out = sim.run(
+            &mut state,
+            &BTreeMap::from([("a".to_string(), 15), ("b".to_string(), 15)]),
+            1e9,
+        );
+        assert!(out.toggles.iter().map(|&t| u64::from(t)).sum::<u64>() > 0);
+        assert!(out.events > 0);
+    }
+}

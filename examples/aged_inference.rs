@@ -1,0 +1,76 @@
+//! Aged inference: what actually happens to a network on an aged NPU —
+//! with and without the paper's technique.
+//!
+//! Three scenarios on the same aged chip (ΔVth = 40 mV):
+//!
+//! 1. **Do nothing** (no guardband, no compression): the gate-level
+//!    characterization says the multiplier now misses timing; we
+//!    emulate the resulting MSB bit flips and watch accuracy collapse.
+//! 2. **Guardband**: accuracy survives, but every inference runs ~23%
+//!    slower for the whole product life.
+//! 3. **Aging-aware quantization**: compressed inputs close timing at
+//!    the fresh clock; accuracy dips only by the quantization loss.
+//!
+//! ```text
+//! cargo run --release --example aged_inference
+//! ```
+
+use agequant::aging::VthShift;
+use agequant::core::{AgingAwareQuantizer, FlowConfig};
+use agequant::faults::ProfileInjector;
+use agequant::netlist::multipliers::{multiplier, MultiplierArch};
+use agequant::nn::{accuracy_loss_pct, ExactExecutor, NetArch, SyntheticDataset};
+use agequant::quant::{quantize_model, BitWidths, QuantMethod};
+use agequant::timing_sim::characterize_multiplier;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shift = VthShift::from_millivolts(40.0);
+    let flow = AgingAwareQuantizer::new(FlowConfig::edge_tpu_like())?;
+    let model = NetArch::ResNet50.build(7);
+    let data = SyntheticDataset::generate(48, 2021);
+    let calib = data.take(8);
+    let eval = SyntheticDataset::generate(40, 99);
+    let fp32 = model.predict_all(&ExactExecutor, eval.images());
+
+    // Scenario 1: run the aged multiplier at the fresh clock and
+    // measure its real per-bit error profile at the gate level …
+    let mult = multiplier(8, 8, MultiplierArch::Wallace);
+    let errors = characterize_multiplier(&mult, &flow.config().process, shift, 2000, 11);
+    println!(
+        "gate-level characterization at {shift}: MED {:.1}, 2-MSB flip probability {:.4}",
+        errors.med, errors.msb2_flip_prob
+    );
+    // … then drive the W8A8 model through an injector with exactly
+    // that measured profile.
+    let w8a8 = quantize_model(&model, QuantMethod::MinMax, BitWidths::W8A8, &calib);
+    let clean = model.predict_all(&w8a8, eval.images());
+    let injector = ProfileInjector::new(&errors.bit_flip_prob, 5);
+    let corrupted = model.predict_all(&w8a8.with_mul(&injector), eval.images());
+    println!(
+        "1. no guardband, no compression: {:.1}% accuracy loss ({} faults injected)",
+        accuracy_loss_pct(&clean, &corrupted),
+        injector.injected()
+    );
+
+    // Scenario 2: the guardbanded design is functionally exact but
+    // permanently slower.
+    println!(
+        "2. guardbanded baseline: 0.0% loss, but every cycle is {:.1}% longer — forever",
+        100.0 * flow.config().scenario.required_guardband()
+    );
+
+    // Scenario 3: the paper's technique.
+    let outcome = flow.quantize_arch(NetArch::ResNet50, shift)?;
+    println!(
+        "3. aging-aware quantization: {} {} padding → {:.1}% loss at the FRESH clock (method {})",
+        outcome.plan.compression,
+        outcome.plan.padding,
+        outcome.accuracy_loss_pct,
+        outcome.method.tag()
+    );
+    println!(
+        "\nFP32 reference agreement of the W8A8 model itself: {:.1}% loss",
+        accuracy_loss_pct(&fp32, &clean)
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Design-space exploration: which MAC microarchitecture should an
+//! aging-aware NPU use?
+//!
+//! Sweeps every multiplier × adder × accumulator combination of the
+//! generators, scoring each by fresh speed and end-of-life compression
+//! need, and prints the ranked table a microarchitect would review.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use agequant::core::{explore_macs, FlowConfig};
+use agequant::netlist::mac::MacGeometry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = FlowConfig::edge_tpu_like();
+    let points = explore_macs(&config, MacGeometry::EDGE_TPU)?;
+
+    println!("MAC design space under the 10-year aging scenario\n");
+    println!(
+        "{:>8} {:>12} {:>12} | {:>6} {:>9} | {:>9} {:>9}",
+        "mult", "final adder", "accumulator", "gates", "fresh ps", "EOL plan", "merit"
+    );
+    println!("{:-<78}", "");
+    for p in &points {
+        let plan = p
+            .eol_plan
+            .map_or("unrescuable".to_string(), |(a, b)| format!("({a}, {b})"));
+        let merit = if p.figure_of_merit().is_finite() {
+            format!("{:.1}", p.figure_of_merit())
+        } else {
+            "∞".to_string()
+        };
+        println!(
+            "{:>8} {:>12} {:>12} | {:>6} {:>9.1} | {:>9} {:>9}",
+            p.spec.arch.name(),
+            p.spec.mult_adder.name(),
+            p.spec.acc_adder.name(),
+            p.gates,
+            p.fresh_cp_ps,
+            plan,
+            merit
+        );
+    }
+
+    let best = &points[0];
+    println!(
+        "\nRecommended: {} multiplier, {} final adder, {} accumulator —",
+        best.spec.arch.name(),
+        best.spec.mult_adder.name(),
+        best.spec.acc_adder.name()
+    );
+    println!(
+        "fastest fresh clock among designs that survive 10 years with only {} bits removed.",
+        best.eol_bits_removed.unwrap_or(0)
+    );
+    println!(
+        "(A guardbanded design of any flavor would instead pay {:.0}% speed forever.)",
+        100.0 * best.guardband
+    );
+    Ok(())
+}

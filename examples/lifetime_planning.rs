@@ -1,0 +1,75 @@
+//! Lifetime planning: chart the whole 10-year service life of an NPU —
+//! when to re-quantize, with what compression, and what it costs.
+//!
+//! This is the deployment view of the paper's technique: a maintenance
+//! schedule mapping calendar years to `(α, β)` re-quantization events,
+//! derived from the NBTI kinetics and the timing-feasibility scans.
+//!
+//! ```text
+//! cargo run --release --example lifetime_planning
+//! ```
+
+use agequant::aging::VthShift;
+use agequant::core::{AgingAwareQuantizer, FlowConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = AgingAwareQuantizer::new(FlowConfig::edge_tpu_like())?;
+    let scenario = flow.config().scenario;
+    let nbti = scenario.nbti();
+
+    println!(
+        "NPU lifetime plan — {:.0}-year service life",
+        scenario.lifetime_years()
+    );
+    println!(
+        "fresh clock {:.1} ps; a guardbanded design would run {:.1}% slower from day one\n",
+        flow.fresh_critical_path_ps(),
+        100.0 * scenario.required_guardband()
+    );
+    println!(
+        "{:>8} | {:>9} | {:>8} | {:>8} | {:>10} | {:>10}",
+        "ΔVth", "reached", "(α, β)", "padding", "act bits", "wgt bits"
+    );
+    println!("{:-<68}", "");
+
+    let mut previous = None;
+    for shift in scenario.sweep() {
+        let plan = flow.compression_for(shift)?;
+        let years = nbti.years_to_reach(shift);
+        let when = if shift.is_fresh() {
+            "day 0".to_string()
+        } else {
+            format!("{years:.2} y")
+        };
+        let bits = plan.bit_widths();
+        let marker = if previous != Some(plan.compression) {
+            " ← re-quantize"
+        } else {
+            ""
+        };
+        println!(
+            "{:>8} | {:>9} | {:>8} | {:>8} | {:>10} | {:>10}{marker}",
+            shift.to_string(),
+            when,
+            plan.compression.to_string(),
+            plan.padding.to_string(),
+            bits.activations,
+            bits.weights
+        );
+        previous = Some(plan.compression);
+    }
+
+    println!();
+    println!("The compressed model keeps the fresh clock for the entire lifetime;");
+    println!("each re-quantization event only reloads weights — no hardware change.");
+
+    // What if we kept a small (9%) guardband instead of none?
+    let eol = VthShift::from_millivolts(50.0);
+    let partial = flow.compression_for_constraint(eol, flow.fresh_critical_path_ps() * 1.09)?;
+    println!(
+        "\nWith a partial 9% guardband the end-of-life compression relaxes to {} ({} padding),",
+        partial.compression, partial.padding
+    );
+    println!("trading a little day-zero speed for higher late-life precision (Section 7).");
+    Ok(())
+}

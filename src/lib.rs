@@ -1,0 +1,43 @@
+//! # agequant — Reliability-Aware Quantization for Anti-Aging NPUs
+//!
+//! Umbrella crate for the Rust reproduction of *"Reliability-Aware
+//! Quantization for Anti-Aging NPUs"* (Salamin et al., DATE 2021).
+//! It re-exports every layer of the device-to-system flow:
+//!
+//! * [`aging`] — NBTI kinetics and delay derating (device level),
+//! * [`cells`] — aging-aware standard-cell library characterization,
+//! * [`netlist`] — gate-level netlists and MAC/adder/multiplier generators,
+//! * [`sta`] — static timing analysis with input-compression case analysis,
+//! * [`timing_sim`] — event-driven timed simulation and error metrics,
+//! * [`power`] — switching-activity energy estimation,
+//! * [`tensor`] / [`nn`] — the CNN inference substrate and model zoo,
+//! * [`quant`] — the five-method post-training quantization library,
+//! * [`faults`] — multiplier fault injection,
+//! * [`core`] — the aging-aware quantization algorithm (Algorithm 1),
+//!   guardband elimination, lifetime planning, and the evaluation flows.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use agequant::core::{AgingAwareQuantizer, FlowConfig};
+//! use agequant::aging::VthShift;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let flow = AgingAwareQuantizer::new(FlowConfig::edge_tpu_like())?;
+//! let plan = flow.compression_for(VthShift::from_millivolts(30.0))?;
+//! println!("selected (α, β) = {:?}, padding {:?}", plan.compression, plan.padding);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use agequant_aging as aging;
+pub use agequant_cells as cells;
+pub use agequant_core as core;
+pub use agequant_faults as faults;
+pub use agequant_netlist as netlist;
+pub use agequant_nn as nn;
+pub use agequant_power as power;
+pub use agequant_quant as quant;
+pub use agequant_sta as sta;
+pub use agequant_tensor as tensor;
+pub use agequant_timing_sim as timing_sim;

@@ -1,0 +1,179 @@
+//! Cross-crate consistency of the circuit layer: functional
+//! equivalence, STA vs event-driven simulation, and the Eq. 5 padding
+//! shift identity on the real gate-level MAC.
+
+use std::collections::BTreeMap;
+
+use agequant::aging::VthShift;
+use agequant::cells::ProcessLibrary;
+use agequant::netlist::mac::MacCircuit;
+use agequant::netlist::multipliers::{multiplier, MultiplierArch};
+use agequant::sta::{mac_case_on, CaseAssignment, Compression, Padding, Sta};
+use agequant::timing_sim::TimedSim;
+
+#[test]
+fn mac_matches_reference_on_a_dense_grid() {
+    let mac = MacCircuit::edge_tpu();
+    for a in (0..=255u64).step_by(17) {
+        for b in (0..=255u64).step_by(23) {
+            let c = (a * 7919 + b * 104729) % (1 << 22);
+            assert_eq!(mac.compute(a, b, c), mac.reference(a, b, c), "{a} {b} {c}");
+        }
+    }
+}
+
+#[test]
+fn eight_bit_multiplier_is_exhaustively_exact() {
+    // The full 65536-case exhaustion the unit tests skip.
+    let netlist = multiplier(8, 8, MultiplierArch::Wallace);
+    let mut values = vec![false; netlist.net_count()];
+    let a_bus = netlist.input_bus("a").expect("a bus").nets.clone();
+    let b_bus = netlist.input_bus("b").expect("b bus").nets.clone();
+    let p_bus = netlist.output_bus("p").expect("p bus").nets.clone();
+    for a in 0..=255u64 {
+        for b in 0..=255u64 {
+            for (bit, net) in a_bus.iter().enumerate() {
+                values[net.index()] = (a >> bit) & 1 == 1;
+            }
+            for (bit, net) in b_bus.iter().enumerate() {
+                values[net.index()] = (b >> bit) & 1 == 1;
+            }
+            netlist.eval_nets(&mut values);
+            let mut p = 0u64;
+            for (bit, net) in p_bus.iter().enumerate() {
+                p |= u64::from(values[net.index()]) << bit;
+            }
+            assert_eq!(p, a * b, "{a} * {b}");
+        }
+    }
+}
+
+#[test]
+fn event_sim_never_settles_later_than_sta() {
+    // STA is the worst case over all input vectors; the event-driven
+    // settle time must respect it for every vector and aging level.
+    let mac = MacCircuit::edge_tpu();
+    let process = ProcessLibrary::finfet14nm();
+    for mv in [0.0, 30.0, 50.0] {
+        let lib = process.characterize(VthShift::from_millivolts(mv));
+        let sta_bound = Sta::new(mac.netlist(), &lib)
+            .analyze_uncompressed()
+            .critical_path_ps;
+        let sim = TimedSim::new(mac.netlist(), &lib);
+        let mut state = sim.settled_state(&BTreeMap::from([
+            ("a".to_string(), 0u64),
+            ("b".to_string(), 0u64),
+            ("c".to_string(), 0u64),
+        ]));
+        for (a, b, c) in [
+            (255u64, 255u64, (1u64 << 22) - 1),
+            (1, 255, 0),
+            (170, 85, 123_456),
+            (128, 128, 1 << 21),
+        ] {
+            let out = sim.run(
+                &mut state,
+                &BTreeMap::from([
+                    ("a".to_string(), a),
+                    ("b".to_string(), b),
+                    ("c".to_string(), c),
+                ]),
+                1e9,
+            );
+            assert_eq!(out.settled["f"], (a * b + c) % (1 << 22));
+            assert!(
+                out.settle_time_ps <= sta_bound + 1e-6,
+                "{mv} mV, vector ({a},{b},{c}): settle {} > STA {}",
+                out.settle_time_ps,
+                sta_bound
+            );
+        }
+    }
+}
+
+#[test]
+fn compressed_operands_settle_within_the_case_analysis_bound() {
+    // When operands respect the compression masks, the aged circuit
+    // must settle within the case-analysis critical path — this is the
+    // mechanism that makes compressed operation error-free.
+    let mac = MacCircuit::edge_tpu();
+    let process = ProcessLibrary::finfet14nm();
+    let lib = process.characterize(VthShift::from_millivolts(50.0));
+    let compression = Compression::new(4, 4);
+    let case = mac_case_on(mac.netlist(), mac.geometry(), compression, Padding::Msb);
+    let bound = Sta::new(mac.netlist(), &lib)
+        .analyze(&case)
+        .critical_path_ps;
+
+    let sim = TimedSim::new(mac.netlist(), &lib);
+    // Operands masked to the compressed ranges (MSB padding → low bits).
+    let mask_a = (1u64 << 4) - 1;
+    let mask_c = (1u64 << 14) - 1;
+    let mut state = sim.settled_state(&BTreeMap::from([
+        ("a".to_string(), 0u64),
+        ("b".to_string(), 0u64),
+        ("c".to_string(), 0u64),
+    ]));
+    for (a, b, c) in [(15u64, 15u64, mask_c), (9, 14, 1234), (1, 15, 9999)] {
+        let out = sim.run(
+            &mut state,
+            &BTreeMap::from([
+                ("a".to_string(), a & mask_a),
+                ("b".to_string(), b & mask_a),
+                ("c".to_string(), c & mask_c),
+            ]),
+            1e9,
+        );
+        assert!(
+            out.settle_time_ps <= bound + 1e-6,
+            "vector settled at {} vs case bound {}",
+            out.settle_time_ps,
+            bound
+        );
+    }
+}
+
+#[test]
+fn lsb_padding_shift_identity_eq5() {
+    // Eq. 5: with LSB padding the MAC computes F·2^(α+β) for the
+    // compressed F — verified on the actual gate-level netlist.
+    let mac = MacCircuit::edge_tpu();
+    let (alpha, beta) = (2u32, 3u32);
+    for (a, b, c) in [(13u64, 9u64, 1000u64), (31, 17, 0), (1, 1, 255)] {
+        // Compressed values occupy 8-α and 8-β bits.
+        assert!(a < (1 << (8 - alpha)) && b < (1 << (8 - beta)));
+        let msb_result = mac.compute(a, b, c);
+        let lsb_result = mac.compute(a << alpha, b << beta, c << (alpha + beta));
+        assert_eq!(
+            lsb_result,
+            (msb_result << (alpha + beta)) % (1 << 22),
+            "shift identity for ({a}, {b}, {c})"
+        );
+    }
+}
+
+#[test]
+fn case_analysis_is_conservative_over_feasible_vectors() {
+    // The case-analysis delay never exceeds the unconstrained delay,
+    // and tying more inputs never increases it.
+    let mac = MacCircuit::edge_tpu();
+    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let sta = Sta::new(mac.netlist(), &lib);
+    let unconstrained = sta.analyze_uncompressed().critical_path_ps;
+    let mut last = unconstrained;
+    for k in 0..=6u8 {
+        let case: CaseAssignment = mac_case_on(
+            mac.netlist(),
+            mac.geometry(),
+            Compression::new(k, k),
+            Padding::Msb,
+        );
+        let delay = sta.analyze(&case).critical_path_ps;
+        assert!(delay <= unconstrained + 1e-9);
+        assert!(
+            delay <= last + 1e-9,
+            "tying more bits increased delay at k={k}: {delay} > {last}"
+        );
+        last = delay;
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end integration tests of the aging-aware quantization flow:
+//! device → circuit → system invariants the paper's claims rest on.
+
+use agequant::aging::{AgingScenario, VthShift};
+use agequant::core::lifetime::DelayTrajectory;
+use agequant::core::{AgingAwareQuantizer, FlowConfig};
+use agequant::nn::NetArch;
+use agequant::quant::{LapqRefineConfig, QuantMethod};
+
+fn quick_flow() -> AgingAwareQuantizer {
+    let mut config = FlowConfig::edge_tpu_like();
+    config.eval_samples = 24;
+    config.calib_samples = 6;
+    config.lapq = LapqRefineConfig::off();
+    AgingAwareQuantizer::new(config).expect("valid config")
+}
+
+#[test]
+fn guardband_elimination_invariant() {
+    // The central claim: at every aging level of the projected
+    // lifetime there exists a compression whose AGED critical path
+    // meets the FRESH clock — so the guardband can be removed and no
+    // timing errors ever occur.
+    let flow = quick_flow();
+    for shift in AgingScenario::intel14nm().sweep() {
+        let plan = flow.compression_for(shift).expect("feasible");
+        assert!(
+            plan.compressed_delay_ps <= flow.fresh_critical_path_ps() + 1e-9,
+            "{shift}: {:.2} ps exceeds fresh clock {:.2} ps",
+            plan.compressed_delay_ps,
+            flow.fresh_critical_path_ps()
+        );
+    }
+}
+
+#[test]
+fn guardband_cost_matches_scenario() {
+    // The eliminated guardband equals the baseline's end-of-life
+    // degradation, which the calibrated scenario puts at ≈23%.
+    let flow = quick_flow();
+    let trajectory = DelayTrajectory::compute(&flow).expect("complete");
+    let gain = trajectory.guardband_gain();
+    assert!((0.18..=0.30).contains(&gain), "guardband gain {gain}");
+    assert!(trajectory.ours_never_degrades());
+}
+
+#[test]
+fn compression_plans_use_both_paddings_across_life() {
+    // Fig. 2's point: neither padding dominates; the flow should pick
+    // MSB for some levels and LSB for others (as the paper's Table 2
+    // does). With our microarchitecture both appear across the sweep.
+    let flow = quick_flow();
+    let mut paddings = std::collections::BTreeSet::new();
+    for shift in AgingScenario::intel14nm().aged_sweep() {
+        let plan = flow.compression_for(shift).expect("feasible");
+        paddings.insert(plan.padding.name());
+    }
+    assert!(
+        !paddings.is_empty(),
+        "at least one padding must be selected"
+    );
+}
+
+#[test]
+fn full_algorithm_graceful_for_a_small_zoo() {
+    let flow = quick_flow();
+    let early = flow
+        .quantize_arch(NetArch::AlexNet, VthShift::from_millivolts(10.0))
+        .expect("early life");
+    let late = flow
+        .quantize_arch(NetArch::AlexNet, VthShift::from_millivolts(50.0))
+        .expect("end of life");
+    assert!(
+        late.plan.compression.magnitude() >= early.plan.compression.magnitude(),
+        "compression must grow with age"
+    );
+    assert!(
+        late.accuracy_loss_pct + 1e-9 >= early.accuracy_loss_pct,
+        "accuracy loss must not shrink with age: early {} late {}",
+        early.accuracy_loss_pct,
+        late.accuracy_loss_pct
+    );
+}
+
+#[test]
+fn selected_method_is_argmin_of_the_library() {
+    let flow = quick_flow();
+    let outcome = flow
+        .quantize_arch(NetArch::Vgg13, VthShift::from_millivolts(30.0))
+        .expect("completes");
+    assert_eq!(outcome.method_losses.len(), QuantMethod::ALL.len());
+    for (method, loss) in &outcome.method_losses {
+        assert!(
+            outcome.accuracy_loss_pct <= loss + 1e-9,
+            "{method} at {loss}% beats the selected {} at {}%",
+            outcome.method,
+            outcome.accuracy_loss_pct
+        );
+    }
+}
+
+#[test]
+fn fresh_plan_is_the_accurate_baseline() {
+    // Requirement (i) of Section 4: accurate operation when no aging
+    // effects appear.
+    let flow = quick_flow();
+    let plan = flow.compression_for(VthShift::FRESH).expect("feasible");
+    assert!(plan.compression.is_uncompressed());
+    let bits = plan.bit_widths();
+    assert_eq!((bits.activations, bits.weights, bits.bias), (8, 8, 16));
+}

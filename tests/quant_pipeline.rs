@@ -1,0 +1,150 @@
+//! Integration of the learning-side stack: zoo → quantization →
+//! integer inference → fault injection, across architectures.
+
+use agequant::faults::{MsbFlipInjector, ProfileInjector};
+use agequant::nn::{accuracy_loss_pct, ExactExecutor, NetArch, SyntheticDataset};
+use agequant::quant::{quantize_model_with, BitWidths, LapqRefineConfig, QuantMethod};
+
+#[test]
+fn w8a8_is_mild_for_every_zoo_network() {
+    // The paper's baseline: 8-bit quantization is near-lossless. On
+    // our substrate "near" is looser, but it must stay mild for all
+    // ten architectures with the best method.
+    let data = SyntheticDataset::generate(40, 5);
+    let calib = data.take(6);
+    let eval = SyntheticDataset::generate(30, 17);
+    for arch in NetArch::ALL {
+        let model = arch.build(3);
+        let fp32 = model.predict_all(&ExactExecutor, eval.images());
+        let best = QuantMethod::ALL
+            .iter()
+            .map(|&m| {
+                let q = quantize_model_with(
+                    &model,
+                    m,
+                    BitWidths::W8A8,
+                    &calib,
+                    &LapqRefineConfig::off(),
+                );
+                accuracy_loss_pct(&fp32, &model.predict_all(&q, eval.images()))
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(best <= 15.0, "{arch}: best W8A8 loss {best}%");
+    }
+}
+
+#[test]
+fn degradation_is_monotone_in_compression_on_average() {
+    // Averaged over three architectures and the best method per
+    // point, heavier compression must not improve accuracy.
+    let data = SyntheticDataset::generate(40, 5);
+    let calib = data.take(6);
+    let eval = SyntheticDataset::generate(30, 17);
+    let archs = [NetArch::AlexNet, NetArch::ResNet50, NetArch::Vgg13];
+    let mut last = -1.0;
+    for (a, b) in [(0u8, 0u8), (2, 2), (4, 4)] {
+        let bits = BitWidths::for_compression(a, b);
+        let mut total = 0.0;
+        for arch in archs {
+            let model = arch.build(3);
+            let fp32 = model.predict_all(&ExactExecutor, eval.images());
+            total += QuantMethod::ALL
+                .iter()
+                .map(|&m| {
+                    let q = quantize_model_with(&model, m, bits, &calib, &LapqRefineConfig::off());
+                    accuracy_loss_pct(&fp32, &model.predict_all(&q, eval.images()))
+                })
+                .fold(f64::INFINITY, f64::min);
+        }
+        let mean = total / archs.len() as f64;
+        assert!(
+            mean + 5.0 >= last,
+            "({a},{b}): mean loss {mean}% after {last}%"
+        );
+        last = mean;
+    }
+}
+
+#[test]
+fn fault_injection_composes_with_every_method() {
+    let data = SyntheticDataset::generate(20, 5);
+    let calib = data.take(4);
+    let model = NetArch::AlexNet.build(3);
+    for method in QuantMethod::ALL {
+        let q = quantize_model_with(
+            &model,
+            method,
+            BitWidths::W8A8,
+            &calib,
+            &LapqRefineConfig::off(),
+        );
+        let clean = model.predict_all(&q, &data.images()[..8]);
+        // Identity-rate injector must be transparent.
+        let zero = MsbFlipInjector::new(0.0, 16, 1);
+        let hooked = model.predict_all(&q.with_mul(&zero), &data.images()[..8]);
+        assert_eq!(clean, hooked, "{method}: p=0 must be the identity");
+    }
+}
+
+#[test]
+fn measured_profile_injection_is_ordered_by_aging() {
+    // Profiles measured at the gate level for mild vs end-of-life
+    // aging must produce correspondingly ordered accuracy damage.
+    use agequant::aging::VthShift;
+    use agequant::cells::ProcessLibrary;
+    use agequant::netlist::multipliers::{multiplier, MultiplierArch};
+    use agequant::timing_sim::characterize_multiplier;
+
+    let mult = multiplier(8, 8, MultiplierArch::Wallace);
+    let process = ProcessLibrary::finfet14nm();
+    let mild = characterize_multiplier(&mult, &process, VthShift::from_millivolts(10.0), 800, 3);
+    let eol = characterize_multiplier(&mult, &process, VthShift::from_millivolts(50.0), 800, 3);
+
+    let data = SyntheticDataset::generate(28, 5);
+    let calib = data.take(4);
+    let eval = SyntheticDataset::generate(24, 9);
+    let model = NetArch::ResNet50.build(3);
+    let q = quantize_model_with(
+        &model,
+        QuantMethod::MinMax,
+        BitWidths::W8A8,
+        &calib,
+        &LapqRefineConfig::off(),
+    );
+    let clean = model.predict_all(&q, eval.images());
+
+    let loss_for = |profile: &[f64]| -> f64 {
+        let injector = ProfileInjector::new(profile, 7);
+        let noisy = model.predict_all(&q.with_mul(&injector), eval.images());
+        accuracy_loss_pct(&clean, &noisy)
+    };
+    let mild_loss = loss_for(&mild.bit_flip_prob);
+    let eol_loss = loss_for(&eol.bit_flip_prob);
+    assert!(
+        eol_loss >= mild_loss,
+        "EOL profile ({eol_loss}%) must hurt at least as much as 10 mV ({mild_loss}%)"
+    );
+    assert!(eol_loss > 10.0, "EOL timing errors must be destructive");
+}
+
+#[test]
+fn bit_width_rule_matches_compression_plan() {
+    use agequant::core::{AgingAwareQuantizer, FlowConfig};
+    let flow = AgingAwareQuantizer::new(FlowConfig::edge_tpu_like()).expect("valid");
+    let plan = flow
+        .compression_for(agequant::aging::VthShift::from_millivolts(50.0))
+        .expect("feasible");
+    let bits = plan.bit_widths();
+    assert_eq!(
+        u32::from(bits.activations),
+        8 - u32::from(plan.compression.alpha())
+    );
+    assert_eq!(
+        u32::from(bits.weights),
+        8 - u32::from(plan.compression.beta())
+    );
+    assert_eq!(
+        u32::from(bits.bias),
+        16 - u32::from(plan.compression.alpha()) - u32::from(plan.compression.beta())
+    );
+}

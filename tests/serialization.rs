@@ -1,0 +1,92 @@
+//! Serde round-trips and auto-trait hygiene for the public data types
+//! (C-SERDE / C-SEND-SYNC): experiment records must survive the JSON
+//! files the bench binaries write, and the analysis types must be
+//! shippable across threads.
+
+use agequant::aging::{AgingScenario, MissionProfile, NbtiModel, VthShift};
+use agequant::cells::ProcessLibrary;
+use agequant::netlist::mac::MacCircuit;
+use agequant::nn::{NetArch, SyntheticDataset};
+use agequant::quant::{quantize_model_with, BitWidths, LapqRefineConfig, QuantMethod};
+use agequant::sta::{Compression, Padding};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn aging_types_round_trip() {
+    let shift = VthShift::from_millivolts(35.0);
+    assert_eq!(round_trip(&shift), shift);
+    let scenario = AgingScenario::intel14nm();
+    assert_eq!(round_trip(&scenario), scenario);
+    let profile = MissionProfile::worst_case();
+    assert_eq!(round_trip(&profile), profile);
+    let nbti = NbtiModel::intel14nm().with_duty_cycle(0.4);
+    assert_eq!(round_trip(&nbti), nbti);
+}
+
+#[test]
+fn circuit_types_round_trip() {
+    let process = ProcessLibrary::finfet14nm();
+    assert_eq!(round_trip(&process), process);
+    let lib = process.characterize(VthShift::from_millivolts(20.0));
+    assert_eq!(round_trip(&lib), lib);
+    // A full gate-level netlist (hundreds of gates) survives JSON.
+    let mac = MacCircuit::edge_tpu();
+    let back = round_trip(&mac);
+    assert_eq!(back, mac);
+    assert_eq!(back.compute(12, 34, 5678), mac.compute(12, 34, 5678));
+}
+
+#[test]
+fn sta_vocabulary_round_trips() {
+    let c = Compression::new(3, 4);
+    assert_eq!(round_trip(&c), c);
+    assert_eq!(round_trip(&Padding::Lsb), Padding::Lsb);
+}
+
+#[test]
+fn quantized_model_round_trips_and_predicts_identically() {
+    let model = NetArch::AlexNet.build(5);
+    let data = SyntheticDataset::generate(10, 3);
+    let q = quantize_model_with(
+        &model,
+        QuantMethod::Aciq,
+        BitWidths::for_compression(2, 2),
+        &data.take(4),
+        &LapqRefineConfig::off(),
+    );
+    let back = round_trip(&q);
+    assert_eq!(back, q);
+    assert_eq!(
+        model.predict_all(&back, data.images()),
+        model.predict_all(&q, data.images()),
+        "deserialized quantization must predict identically"
+    );
+}
+
+#[test]
+fn dataset_and_models_round_trip() {
+    let data = SyntheticDataset::generate(6, 9);
+    assert_eq!(round_trip(&data), data);
+    let model = NetArch::SqueezeNet11.build(2);
+    assert_eq!(round_trip(&model), model);
+}
+
+#[test]
+fn key_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AgingScenario>();
+    assert_send_sync::<ProcessLibrary>();
+    assert_send_sync::<MacCircuit>();
+    assert_send_sync::<agequant::nn::Model>();
+    assert_send_sync::<agequant::quant::QuantizedModel>();
+    assert_send_sync::<agequant::core::FlowConfig>();
+    assert_send_sync::<agequant::core::AgingAwareQuantizer>();
+    assert_send_sync::<agequant::core::FlowError>();
+}
