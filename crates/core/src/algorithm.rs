@@ -1,13 +1,23 @@
 //! Algorithm 1: aging-aware quantization.
+//!
+//! Every per-aging-level entry point has two faces: the default
+//! methods run on the shared [`EvalEngine`] (memoized characterization
+//! and load vectors, plan cache, rayon-parallel scans), while the
+//! `*_serial` methods preserve the original uncached single-threaded
+//! reference implementation. The two are bit-identical — see
+//! `crates/core/tests/equivalence.rs`.
+
+use std::sync::Arc;
 
 use agequant_aging::VthShift;
 use agequant_netlist::mac::MacCircuit;
 use agequant_nn::{accuracy_loss_pct, ExactExecutor, Model, NetArch, SyntheticDataset};
 use agequant_quant::{quantize_model_with, BitWidths, QuantMethod, QuantizedModel};
 use agequant_sta::{mac_case_on, CaseAssignment, Compression, Padding, Sta};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::{FlowConfig, FlowError};
+use crate::{EvalEngine, FlowConfig, FlowError};
 
 /// One timing-feasible compression point found by the STA scan.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,6 +85,10 @@ pub struct AgingAwareQuantizer {
     config: FlowConfig,
     mac: MacCircuit,
     fresh_cp_ps: f64,
+    /// Shared across clones: the caches are keyed on (ΔVth,
+    /// constraint) only, which is sound because `mac` and `config`
+    /// are immutable after construction.
+    engine: Arc<EvalEngine>,
 }
 
 impl AgingAwareQuantizer {
@@ -93,14 +107,17 @@ impl AgingAwareQuantizer {
             config.mac.acc_adder,
         )
         .map_err(FlowError::InvalidConfig)?;
-        let fresh_lib = config.process.characterize(VthShift::FRESH);
-        let fresh_cp_ps = Sta::new(mac.netlist(), &fresh_lib)
+        let engine = Arc::new(EvalEngine::new(config.process.clone()));
+        let fresh_lib = engine.library(VthShift::FRESH);
+        let fresh_loads = engine.sta_loads(mac.netlist(), VthShift::FRESH);
+        let fresh_cp_ps = Sta::with_loads(mac.netlist(), &fresh_lib, &fresh_loads)
             .analyze_uncompressed()
             .critical_path_ps;
         Ok(AgingAwareQuantizer {
             config,
             mac,
             fresh_cp_ps,
+            engine,
         })
     }
 
@@ -108,6 +125,12 @@ impl AgingAwareQuantizer {
     #[must_use]
     pub fn config(&self) -> &FlowConfig {
         &self.config
+    }
+
+    /// The memoized evaluation engine backing this flow.
+    #[must_use]
+    pub fn engine(&self) -> &EvalEngine {
+        &self.engine
     }
 
     /// The synthesized MAC.
@@ -124,43 +147,96 @@ impl AgingAwareQuantizer {
     }
 
     /// The aged, uncompressed critical path at `shift`, ps — the
-    /// baseline of Fig. 4a.
+    /// baseline of Fig. 4a. Library and load vector come from the
+    /// engine cache.
     #[must_use]
     pub fn baseline_delay_ps(&self, shift: VthShift) -> f64 {
-        let lib = self.config.process.characterize(shift);
-        Sta::new(self.mac.netlist(), &lib)
+        let lib = self.engine.library(shift);
+        let loads = self.engine.sta_loads(self.mac.netlist(), shift);
+        Sta::with_loads(self.mac.netlist(), &lib, &loads)
             .analyze_uncompressed()
             .critical_path_ps
+    }
+
+    /// The valid `(compression, padding)` scan order of the grid:
+    /// compressions in [`Compression::grid`] order, paddings in
+    /// [`Padding::ALL`] order within each. Both execution strategies
+    /// evaluate exactly this sequence.
+    fn grid_cases(&self) -> Vec<(Compression, Padding)> {
+        let mut cases = Vec::new();
+        for compression in Compression::grid(self.config.grid_max) {
+            if compression.validate(self.mac.geometry()).is_err() {
+                continue;
+            }
+            for padding in Padding::ALL {
+                cases.push((compression, padding));
+            }
+        }
+        cases
+    }
+
+    /// One STA point of the grid scan.
+    fn scan_case(&self, sta: &Sta<'_>, compression: Compression, padding: Padding) -> f64 {
+        let case: CaseAssignment = mac_case_on(
+            self.mac.netlist(),
+            self.mac.geometry(),
+            compression,
+            padding,
+        );
+        sta.analyze(&case).critical_path_ps
     }
 
     /// Scans the full `(α, β)` grid under both paddings at `shift`,
     /// returning every point whose aged critical path meets
     /// `constraint_ps` (Algorithm 1 lines 2–4 generalized to an
     /// arbitrary constraint).
+    ///
+    /// The scan runs on the engine: the characterized library and the
+    /// load vector are cached per ΔVth, one STA session serves the
+    /// whole grid, and the independent case analyses fan out with
+    /// rayon. The indexed parallel map preserves scan order, so the
+    /// result is bit-identical to
+    /// [`feasible_compressions_serial`](Self::feasible_compressions_serial).
     #[must_use]
     pub fn feasible_compressions(&self, shift: VthShift, constraint_ps: f64) -> Vec<FeasiblePoint> {
+        let lib = self.engine.library(shift);
+        let loads = self.engine.sta_loads(self.mac.netlist(), shift);
+        let sta = Sta::with_loads(self.mac.netlist(), &lib, &loads);
+        let cases = self.grid_cases();
+        cases
+            .par_iter()
+            .map(|&(compression, padding)| FeasiblePoint {
+                compression,
+                padding,
+                delay_ps: self.scan_case(&sta, compression, padding),
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter(|p| p.delay_ps <= constraint_ps + 1e-9)
+            .collect()
+    }
+
+    /// The original single-threaded, uncached grid scan: characterizes
+    /// the library and rebuilds the STA session on every call, then
+    /// walks the grid in order. Kept as the reference implementation
+    /// the equivalence suite and the engine benches compare against.
+    #[must_use]
+    pub fn feasible_compressions_serial(
+        &self,
+        shift: VthShift,
+        constraint_ps: f64,
+    ) -> Vec<FeasiblePoint> {
         let lib = self.config.process.characterize(shift);
         let sta = Sta::new(self.mac.netlist(), &lib);
         let mut points = Vec::new();
-        for compression in Compression::grid(self.config.grid_max) {
-            if compression.validate(self.mac.geometry()).is_err() {
-                continue;
-            }
-            for padding in Padding::ALL {
-                let case: CaseAssignment = mac_case_on(
-                    self.mac.netlist(),
-                    self.mac.geometry(),
+        for (compression, padding) in self.grid_cases() {
+            let delay_ps = self.scan_case(&sta, compression, padding);
+            if delay_ps <= constraint_ps + 1e-9 {
+                points.push(FeasiblePoint {
                     compression,
                     padding,
-                );
-                let delay_ps = sta.analyze(&case).critical_path_ps;
-                if delay_ps <= constraint_ps + 1e-9 {
-                    points.push(FeasiblePoint {
-                        compression,
-                        padding,
-                        delay_ps,
-                    });
-                }
+                    delay_ps,
+                });
             }
         }
         points
@@ -192,7 +268,39 @@ impl AgingAwareQuantizer {
         shift: VthShift,
         constraint_ps: f64,
     ) -> Result<CompressionPlan, FlowError> {
+        if let Some(plan) = self.engine.cached_plan(shift, constraint_ps) {
+            return Ok(plan);
+        }
         let points = self.feasible_compressions(shift, constraint_ps);
+        let plan = Self::select_plan(&points, shift, constraint_ps)?;
+        self.engine.store_plan(shift, constraint_ps, plan);
+        Ok(plan)
+    }
+
+    /// The original uncached single-threaded Algorithm 1 lines 2–5,
+    /// kept as the equivalence reference for
+    /// [`compression_for_constraint`](Self::compression_for_constraint).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NoFeasibleCompression`] if nothing meets the
+    /// constraint.
+    pub fn compression_for_constraint_serial(
+        &self,
+        shift: VthShift,
+        constraint_ps: f64,
+    ) -> Result<CompressionPlan, FlowError> {
+        let points = self.feasible_compressions_serial(shift, constraint_ps);
+        Self::select_plan(&points, shift, constraint_ps)
+    }
+
+    /// Algorithm 1 line 5: picks the plan from the feasible set. Pure
+    /// selection — both execution strategies funnel through it.
+    fn select_plan(
+        points: &[FeasiblePoint],
+        shift: VthShift,
+        constraint_ps: f64,
+    ) -> Result<CompressionPlan, FlowError> {
         let min_norm = points
             .iter()
             .map(|p| p.compression.magnitude())
@@ -240,7 +348,13 @@ impl AgingAwareQuantizer {
         })
     }
 
-    /// The evaluation dataset of the flow (shared across networks).
+    /// The flow's dataset, generated **once** from `data_seed`:
+    /// `calib_samples + eval_samples` images drawn from a single noise
+    /// stream. [`splits`](Self::splits) carves it into the disjoint
+    /// calibration and evaluation sets. (The seed implementation
+    /// generated the evaluation set a second time from `data_seed ^ 1`
+    /// and discarded this stream's evaluation tail; the one-stream
+    /// split keeps the sets disjoint without the wasted generation.)
     #[must_use]
     pub fn dataset(&self) -> SyntheticDataset {
         SyntheticDataset::generate(
@@ -249,9 +363,26 @@ impl AgingAwareQuantizer {
         )
     }
 
+    /// The `(calibration, evaluation)` split of
+    /// [`dataset`](Self::dataset): the first `calib_samples` images
+    /// calibrate quantization statistics, the remaining `eval_samples`
+    /// measure accuracy. Disjoint by construction — no image is seen
+    /// by both calibration and evaluation.
+    #[must_use]
+    pub fn splits(&self) -> (SyntheticDataset, SyntheticDataset) {
+        self.dataset().split_at(self.config.calib_samples)
+    }
+
     /// Algorithm 1 lines 6–9 for an already-planned compression:
     /// quantize `model` with every library method at the plan's bit
     /// widths and select per the threshold policy.
+    ///
+    /// The per-method quantize-and-evaluate runs fan out with rayon;
+    /// the threshold policy is then applied to the ordered loss list,
+    /// reproducing the serial early exit exactly: with a threshold
+    /// set, the reported `method_losses` end at the first method
+    /// meeting it. Bit-identical to
+    /// [`select_method_serial`](Self::select_method_serial).
     ///
     /// # Errors
     ///
@@ -262,45 +393,101 @@ impl AgingAwareQuantizer {
         model: &Model,
         plan: CompressionPlan,
     ) -> Result<ModelOutcome, FlowError> {
-        let data = self.dataset();
-        let calib = data.take(self.config.calib_samples);
-        let eval = SyntheticDataset::generate(self.config.eval_samples, self.config.data_seed ^ 1);
+        let (calib, eval) = self.splits();
+        let fp32 = model.predict_all(&ExactExecutor, eval.images());
+        let bits = plan.bit_widths();
+        let method_losses: Vec<(QuantMethod, f64)> = QuantMethod::ALL
+            .par_iter()
+            .map(|&method| {
+                let quantized: QuantizedModel =
+                    quantize_model_with(model, method, bits, &calib, &self.config.lapq);
+                let preds = model.predict_all(&quantized, eval.images());
+                (method, accuracy_loss_pct(&fp32, &preds))
+            })
+            .collect();
+        Self::resolve_methods(model.name(), plan, method_losses, self.config.threshold_pct)
+    }
+
+    /// The original single-threaded lines 6–9, with the true early
+    /// exit on the threshold. Kept as the equivalence reference for
+    /// [`select_method`](Self::select_method).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::ThresholdUnmet`] when a threshold is configured and
+    /// no method satisfies it.
+    pub fn select_method_serial(
+        &self,
+        model: &Model,
+        plan: CompressionPlan,
+    ) -> Result<ModelOutcome, FlowError> {
+        let (calib, eval) = self.splits();
         let fp32 = model.predict_all(&ExactExecutor, eval.images());
         let bits = plan.bit_widths();
 
         let mut method_losses = Vec::with_capacity(QuantMethod::ALL.len());
-        let mut best: Option<(QuantMethod, f64)> = None;
         for method in QuantMethod::ALL {
             let quantized: QuantizedModel =
                 quantize_model_with(model, method, bits, &calib, &self.config.lapq);
             let preds = model.predict_all(&quantized, eval.images());
             let loss = accuracy_loss_pct(&fp32, &preds);
             method_losses.push((method, loss));
-            if best.is_none_or(|(_, b)| loss < b) {
-                best = Some((method, loss));
-            }
             if let Some(threshold) = self.config.threshold_pct {
                 if loss <= threshold {
                     // Line 9: first method meeting the threshold wins.
-                    return Ok(ModelOutcome {
-                        network: model.name().to_string(),
+                    break;
+                }
+            }
+        }
+        Self::resolve_methods(model.name(), plan, method_losses, self.config.threshold_pct)
+    }
+
+    /// Applies the threshold policy to the ordered per-method losses.
+    ///
+    /// With a threshold set, the *first* method (library order)
+    /// meeting it wins and `method_losses` is truncated at that
+    /// method — exactly the paper's line-9 early exit, so the
+    /// parallel path (which evaluates every method) reports the same
+    /// outcome the stop-early serial loop does. Without a threshold,
+    /// the best loss wins, first method on exact ties.
+    fn resolve_methods(
+        network: &str,
+        plan: CompressionPlan,
+        mut method_losses: Vec<(QuantMethod, f64)>,
+        threshold_pct: Option<f64>,
+    ) -> Result<ModelOutcome, FlowError> {
+        if let Some(threshold) = threshold_pct {
+            return match method_losses.iter().position(|&(_, l)| l <= threshold) {
+                Some(pos) => {
+                    method_losses.truncate(pos + 1);
+                    let (method, loss) = method_losses[pos];
+                    Ok(ModelOutcome {
+                        network: network.to_string(),
                         plan,
                         method,
                         accuracy_loss_pct: loss,
                         method_losses,
-                    });
+                    })
                 }
-            }
+                None => {
+                    let best_loss_pct = method_losses
+                        .iter()
+                        .map(|&(_, l)| l)
+                        .fold(f64::INFINITY, f64::min);
+                    Err(FlowError::ThresholdUnmet {
+                        best_loss_pct,
+                        threshold_pct: threshold,
+                    })
+                }
+            };
         }
-        let (method, loss) = best.expect("at least one method evaluated");
-        if let Some(threshold) = self.config.threshold_pct {
-            return Err(FlowError::ThresholdUnmet {
-                best_loss_pct: loss,
-                threshold_pct: threshold,
-            });
-        }
+        let (method, loss) = method_losses
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("losses are finite"))
+            .expect("at least one method evaluated");
         Ok(ModelOutcome {
-            network: model.name().to_string(),
+            network: network.to_string(),
             plan,
             method,
             accuracy_loss_pct: loss,

@@ -1,0 +1,270 @@
+//! The shared evaluation engine: memoized aging characterization.
+//!
+//! Every per-aging-level entry point of the flow needs the same two
+//! expensive artifacts for a given ΔVth: the characterized
+//! [`CellLibrary`] and the per-net STA load vector of the MAC under
+//! analysis. The seed recomputed both on every call —
+//! `baseline_delay_ps`, `feasible_compressions`, the lifetime
+//! trajectories, and the figure/table binaries each re-ran
+//! [`ProcessLibrary::characterize`] for shifts they had already seen.
+//!
+//! [`EvalEngine`] memoizes three layers, keyed on a *quantized* ΔVth
+//! (rounded to the nearest nanovolt, far below any physically
+//! meaningful difference, so float noise cannot split cache entries):
+//!
+//! 1. **Libraries** — `ΔVth → Arc<CellLibrary>` (the SiliconSmart
+//!    step).
+//! 2. **Load vectors** — `ΔVth → Arc<Vec<f64>>` for the engine's one
+//!    netlist, reused across every case-analysis STA run at that
+//!    level via [`Sta::with_loads`].
+//! 3. **Compression plans** — `(ΔVth, constraint) → CompressionPlan`,
+//!    so the `archs × levels` sweeps of the accuracy trajectory run
+//!    the full `(α, β) × Padding` grid once per level instead of once
+//!    per network.
+//!
+//! Memoization is transparent: a cache hit returns the bit-identical
+//! value the miss path would compute (the equivalence suite in
+//! `crates/core/tests/equivalence.rs` pins this against the uncached
+//! serial reference paths). The engine is internally locked, so the
+//! rayon-parallelized scans share it freely.
+//!
+//! One engine serves exactly one netlist (the quantizer's MAC): load
+//! vectors and plans are circuit-dependent. [`AgingAwareQuantizer`]
+//! creates its own engine at construction and shares it across clones.
+//!
+//! [`AgingAwareQuantizer`]: crate::AgingAwareQuantizer
+//! [`ProcessLibrary::characterize`]: agequant_cells::ProcessLibrary::characterize
+//! [`Sta::with_loads`]: agequant_sta::Sta::with_loads
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use agequant_aging::VthShift;
+use agequant_cells::{CellLibrary, ProcessLibrary};
+use agequant_netlist::Netlist;
+use agequant_sta::Sta;
+
+use crate::CompressionPlan;
+
+/// A plan-cache key: quantized shift plus the exact constraint bits.
+type PlanKey = (i64, u64);
+
+/// Cache-effectiveness counters, for benches and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Library lookups served from the cache.
+    pub library_hits: u64,
+    /// Library lookups that ran `characterize`.
+    pub library_misses: u64,
+    /// Plan lookups served from the cache.
+    pub plan_hits: u64,
+    /// Plan lookups that ran the full grid scan.
+    pub plan_misses: u64,
+}
+
+/// Memoized per-ΔVth evaluation state shared by all flow entry points.
+///
+/// See the [module docs](self) for the cache layers and their keys.
+#[derive(Debug)]
+pub struct EvalEngine {
+    process: ProcessLibrary,
+    libraries: Mutex<HashMap<i64, Arc<CellLibrary>>>,
+    loads: Mutex<HashMap<i64, Arc<Vec<f64>>>>,
+    plans: Mutex<HashMap<PlanKey, CompressionPlan>>,
+    library_hits: AtomicU64,
+    library_misses: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+impl EvalEngine {
+    /// Creates an empty engine over `process`.
+    #[must_use]
+    pub fn new(process: ProcessLibrary) -> Self {
+        EvalEngine {
+            process,
+            libraries: Mutex::new(HashMap::new()),
+            loads: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
+            library_hits: AtomicU64::new(0),
+            library_misses: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key of a shift: ΔVth rounded to the nearest nanovolt.
+    ///
+    /// Two shifts quantizing to the same key characterize to libraries
+    /// that differ by less than any representable timing effect; two
+    /// sweeps expressing "30 mV" with different float round-off hit
+    /// the same entry.
+    #[must_use]
+    pub fn shift_key(shift: VthShift) -> i64 {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (shift.volts() * 1e9).round() as i64
+        }
+    }
+
+    /// The process library the engine characterizes from.
+    #[must_use]
+    pub fn process(&self) -> &ProcessLibrary {
+        &self.process
+    }
+
+    /// The characterized library at `shift`, memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking caller.
+    #[must_use]
+    pub fn library(&self, shift: VthShift) -> Arc<CellLibrary> {
+        let key = Self::shift_key(shift);
+        let mut cache = self.libraries.lock().expect("unpoisoned library cache");
+        if let Some(lib) = cache.get(&key) {
+            self.library_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(lib);
+        }
+        self.library_misses.fetch_add(1, Ordering::Relaxed);
+        let lib = Arc::new(self.process.characterize(shift));
+        cache.insert(key, Arc::clone(&lib));
+        lib
+    }
+
+    /// The STA load vector of `netlist` under the library at `shift`,
+    /// memoized. Must always be called with the engine's one netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking caller.
+    #[must_use]
+    pub fn sta_loads(&self, netlist: &Netlist, shift: VthShift) -> Arc<Vec<f64>> {
+        let key = Self::shift_key(shift);
+        if let Some(loads) = self.loads.lock().expect("unpoisoned load cache").get(&key) {
+            debug_assert_eq!(
+                loads.len(),
+                netlist.net_count(),
+                "engine reused across MACs"
+            );
+            return Arc::clone(loads);
+        }
+        // Characterize (or fetch) outside the load lock: `library`
+        // takes its own lock and may be slow on a miss.
+        let lib = self.library(shift);
+        let loads = Arc::new(Sta::compute_loads(netlist, &lib));
+        self.loads
+            .lock()
+            .expect("unpoisoned load cache")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&loads))
+            .clone()
+    }
+
+    /// A cached compression plan for `(shift, constraint_ps)`, if the
+    /// grid was already scanned for this pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking caller.
+    #[must_use]
+    pub fn cached_plan(&self, shift: VthShift, constraint_ps: f64) -> Option<CompressionPlan> {
+        let key = (Self::shift_key(shift), constraint_ps.to_bits());
+        let found = self
+            .plans
+            .lock()
+            .expect("unpoisoned plan cache")
+            .get(&key)
+            .copied();
+        if found.is_some() {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records a freshly computed plan for `(shift, constraint_ps)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking caller.
+    pub fn store_plan(&self, shift: VthShift, constraint_ps: f64, plan: CompressionPlan) {
+        let key = (Self::shift_key(shift), constraint_ps.to_bits());
+        self.plans
+            .lock()
+            .expect("unpoisoned plan cache")
+            .insert(key, plan);
+    }
+
+    /// Snapshot of the hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            library_hits: self.library_hits.load(Ordering::Relaxed),
+            library_misses: self.library_misses.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached artifact (counters are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal lock was poisoned by a panicking caller.
+    pub fn clear(&self) {
+        self.libraries
+            .lock()
+            .expect("unpoisoned library cache")
+            .clear();
+        self.loads.lock().expect("unpoisoned load cache").clear();
+        self.plans.lock().expect("unpoisoned plan cache").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_keys_quantize_float_noise() {
+        let a = VthShift::from_millivolts(30.0);
+        let b = VthShift::from_volts(0.03 + 1e-13); // sub-nanovolt noise
+        assert_ne!(a.volts().to_bits(), b.volts().to_bits());
+        assert_eq!(EvalEngine::shift_key(a), EvalEngine::shift_key(b));
+        assert_ne!(
+            EvalEngine::shift_key(a),
+            EvalEngine::shift_key(VthShift::from_millivolts(30.1))
+        );
+        assert_eq!(EvalEngine::shift_key(VthShift::FRESH), 0);
+    }
+
+    #[test]
+    fn library_cache_hits_return_the_same_arc() {
+        let engine = EvalEngine::new(ProcessLibrary::finfet14nm());
+        let shift = VthShift::from_millivolts(20.0);
+        let first = engine.library(shift);
+        let second = engine.library(shift);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = engine.stats();
+        assert_eq!((stats.library_misses, stats.library_hits), (1, 1));
+
+        // A cached library is exactly what characterize produces.
+        let reference = ProcessLibrary::finfet14nm().characterize(shift);
+        assert_eq!(*second, reference);
+    }
+
+    #[test]
+    fn clear_forces_recharacterization() {
+        let engine = EvalEngine::new(ProcessLibrary::finfet14nm());
+        let shift = VthShift::from_millivolts(40.0);
+        let first = engine.library(shift);
+        engine.clear();
+        let second = engine.library(shift);
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(*first, *second);
+        assert_eq!(engine.stats().library_misses, 2);
+    }
+}

@@ -9,6 +9,7 @@
 use agequant_aging::VthShift;
 use agequant_netlist::mac::MacGeometry;
 use agequant_netlist::{MultiplierArch, PrefixStyle};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::{AgingAwareQuantizer, FlowConfig, MacSpec};
@@ -48,6 +49,11 @@ impl DesignPoint {
 /// generators for `geometry`, scoring each under `base`'s process and
 /// scenario. Results are sorted by [`DesignPoint::figure_of_merit`].
 ///
+/// The independent design points (synthesis + fresh STA + EOL grid
+/// scan each) fan out with rayon; the pre-sort order is the same
+/// multiplier-outer/accumulator-inner sequence the serial loop
+/// produced, and the sort is stable, so the ranking is deterministic.
+///
 /// # Errors
 ///
 /// Propagates configuration errors (an unrescuable design is *not* an
@@ -57,30 +63,38 @@ pub fn explore_macs(
     geometry: MacGeometry,
 ) -> Result<Vec<DesignPoint>, crate::FlowError> {
     let eol = VthShift::from_volts(agequant_aging::NbtiModel::EOL_SHIFT_V);
-    let mut points = Vec::new();
+    let mut specs = Vec::new();
     for arch in MultiplierArch::ALL {
         for mult_adder in PrefixStyle::ALL {
             for acc_adder in PrefixStyle::ALL {
-                let mut config = base.clone();
-                config.mac = MacSpec {
+                specs.push(MacSpec {
                     geometry,
                     arch,
                     mult_adder,
                     acc_adder,
-                };
-                let flow = AgingAwareQuantizer::new(config)?;
-                let plan = flow.compression_for(eol).ok();
-                points.push(DesignPoint {
-                    spec: flow.config().mac,
-                    gates: flow.mac().netlist().gate_count(),
-                    fresh_cp_ps: flow.fresh_critical_path_ps(),
-                    eol_plan: plan.map(|p| (p.compression.alpha(), p.compression.beta())),
-                    eol_bits_removed: plan.map(|p| p.compression.alpha() + p.compression.beta()),
-                    guardband: flow.config().scenario.required_guardband(),
                 });
             }
         }
     }
+    let mut points = specs
+        .par_iter()
+        .map(|&spec| {
+            let mut config = base.clone();
+            config.mac = spec;
+            let flow = AgingAwareQuantizer::new(config)?;
+            let plan = flow.compression_for(eol).ok();
+            Ok(DesignPoint {
+                spec: flow.config().mac,
+                gates: flow.mac().netlist().gate_count(),
+                fresh_cp_ps: flow.fresh_critical_path_ps(),
+                eol_plan: plan.map(|p| (p.compression.alpha(), p.compression.beta())),
+                eol_bits_removed: plan.map(|p| p.compression.alpha() + p.compression.beta()),
+                guardband: flow.config().scenario.required_guardband(),
+            })
+        })
+        .collect::<Vec<Result<DesignPoint, crate::FlowError>>>()
+        .into_iter()
+        .collect::<Result<Vec<DesignPoint>, crate::FlowError>>()?;
     points.sort_by(|a, b| {
         a.figure_of_merit()
             .partial_cmp(&b.figure_of_merit())

@@ -20,6 +20,14 @@
 //! [`lifetime::AccuracyTrajectory`] (Fig. 4b), [`energy::EnergyComparison`]
 //! (Fig. 5), and [`surrogate`] (§6.2's Pearson ranking study).
 //!
+//! All per-aging-level work runs on the shared [`EvalEngine`]:
+//! characterized libraries, STA load vectors, and compression plans
+//! are memoized per quantized ΔVth, and the independent fan-outs (the
+//! `(α, β) × Padding` grid, the per-method quantization runs, the
+//! design-space and lifetime sweeps) are parallelized with rayon.
+//! Results are bit-identical to the retained uncached serial reference
+//! paths (`*_serial` methods); `tests/equivalence.rs` enforces this.
+//!
 //! # Example
 //!
 //! ```
@@ -41,6 +49,7 @@
 mod algorithm;
 mod config;
 pub mod energy;
+mod engine;
 mod error;
 pub mod explorer;
 pub mod lifetime;
@@ -49,6 +58,7 @@ pub mod surrogate;
 
 pub use algorithm::{AgingAwareQuantizer, CompressionPlan, FeasiblePoint, ModelOutcome};
 pub use config::{FlowConfig, MacSpec};
+pub use engine::{CacheStats, EvalEngine};
 pub use error::FlowError;
 pub use explorer::{explore_macs, DesignPoint};
 pub use report::LifetimeReport;

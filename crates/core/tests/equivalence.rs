@@ -1,0 +1,149 @@
+//! Provable equivalence of the evaluation engine: the memoized,
+//! rayon-parallel paths must return **bit-identical** results to the
+//! retained uncached serial reference paths, at every level of the
+//! paper's aging sweep.
+
+use agequant_aging::{VthShift, AGING_SWEEP_MV};
+use agequant_core::{AgingAwareQuantizer, FlowConfig};
+use agequant_nn::NetArch;
+
+fn flow() -> AgingAwareQuantizer {
+    AgingAwareQuantizer::new(FlowConfig::edge_tpu_like()).expect("valid config")
+}
+
+fn quick_flow(threshold_pct: Option<f64>) -> AgingAwareQuantizer {
+    let mut config = FlowConfig::edge_tpu_like();
+    config.eval_samples = 20;
+    config.calib_samples = 4;
+    config.lapq = agequant_quant::LapqRefineConfig::off();
+    config.threshold_pct = threshold_pct;
+    AgingAwareQuantizer::new(config).expect("valid config")
+}
+
+#[test]
+fn feasible_points_bit_identical_across_sweep() {
+    let flow = flow();
+    let clock = flow.fresh_critical_path_ps();
+    for &mv in &AGING_SWEEP_MV {
+        let shift = VthShift::from_millivolts(mv);
+        let parallel = flow.feasible_compressions(shift, clock);
+        let serial = flow.feasible_compressions_serial(shift, clock);
+        // `FeasiblePoint` holds f64 delays; `==` is exact bit-level
+        // agreement, not a tolerance comparison.
+        assert_eq!(parallel, serial, "divergence at {mv} mV");
+        // A second engine pass (now warm) must also agree.
+        assert_eq!(flow.feasible_compressions(shift, clock), serial);
+    }
+    let stats = flow.engine().stats();
+    assert!(stats.library_hits > 0, "cache never hit: {stats:?}");
+}
+
+#[test]
+fn plans_bit_identical_across_sweep() {
+    let flow = flow();
+    for &mv in &AGING_SWEEP_MV {
+        let shift = VthShift::from_millivolts(mv);
+        let cached = flow.compression_for(shift).expect("feasible");
+        let serial = flow
+            .compression_for_constraint_serial(shift, flow.fresh_critical_path_ps())
+            .expect("feasible");
+        assert_eq!(cached, serial, "divergence at {mv} mV");
+        // The plan-cache hit returns the identical plan.
+        assert_eq!(flow.compression_for(shift).expect("feasible"), serial);
+    }
+    let stats = flow.engine().stats();
+    assert!(stats.plan_hits >= AGING_SWEEP_MV.len() as u64, "{stats:?}");
+}
+
+#[test]
+fn infeasible_constraint_agrees_between_paths() {
+    let flow = flow();
+    let shift = VthShift::from_millivolts(50.0);
+    let parallel = flow.compression_for_constraint(shift, 1.0).unwrap_err();
+    let serial = flow
+        .compression_for_constraint_serial(shift, 1.0)
+        .unwrap_err();
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn model_outcomes_bit_identical_without_threshold() {
+    let flow = quick_flow(None);
+    let model = NetArch::AlexNet.build(flow.config().model_seed);
+    for mv in [10.0, 50.0] {
+        let plan = flow
+            .compression_for(VthShift::from_millivolts(mv))
+            .expect("feasible");
+        let parallel = flow.select_method(&model, plan).expect("completes");
+        let serial = flow.select_method_serial(&model, plan).expect("completes");
+        assert_eq!(parallel, serial, "divergence at {mv} mV");
+    }
+}
+
+#[test]
+fn model_outcomes_bit_identical_with_threshold_early_exit() {
+    // A generous threshold exercises the serial early exit: the
+    // parallel path must truncate its loss list to the same prefix.
+    let flow = quick_flow(Some(100.0));
+    let model = NetArch::AlexNet.build(flow.config().model_seed);
+    let plan = flow
+        .compression_for(VthShift::from_millivolts(10.0))
+        .expect("feasible");
+    let parallel = flow.select_method(&model, plan).expect("threshold met");
+    let serial = flow
+        .select_method_serial(&model, plan)
+        .expect("threshold met");
+    assert_eq!(parallel, serial);
+    assert_eq!(parallel.method_losses.len(), 1, "early exit reproduced");
+}
+
+#[test]
+fn threshold_unmet_error_agrees_between_paths() {
+    let flow = quick_flow(Some(0.0));
+    let model = NetArch::SqueezeNet11.build(flow.config().model_seed);
+    let plan = flow
+        .compression_for(VthShift::from_millivolts(50.0))
+        .expect("feasible");
+    let parallel = flow.select_method(&model, plan).unwrap_err();
+    let serial = flow.select_method_serial(&model, plan).unwrap_err();
+    assert_eq!(parallel, serial);
+}
+
+/// Regression pin for the ±0.5 near-tie band of Algorithm 1's plan
+/// selection: among feasible points within +0.5 of the minimal norm,
+/// the balanced compression wins, then the smaller α, then the faster
+/// padding. These selections are observable behavior (Table 2) — a
+/// change to the band logic must show up here, not silently reshuffle
+/// the paper's reproduction.
+#[test]
+fn near_tie_band_selection_is_pinned() {
+    let flow = flow();
+    let expect: [(f64, u8, u8, &str); 5] = [
+        // At 10 mV the minimal-norm feasible point is the unbalanced
+        // (1, 3): no balanced point lies within the +0.5 band below
+        // √10, so the band falls through to the norm winner.
+        (10.0, 1, 3, "MSB"),
+        // From 20 mV on the band picks balanced (α, α) points.
+        (20.0, 3, 3, "MSB"),
+        (30.0, 3, 3, "MSB"),
+        (40.0, 4, 4, "MSB"),
+        (50.0, 4, 4, "MSB"),
+    ];
+    for (mv, alpha, beta, padding) in expect {
+        let plan = flow
+            .compression_for(VthShift::from_millivolts(mv))
+            .expect("feasible");
+        assert_eq!(
+            (
+                plan.compression.alpha(),
+                plan.compression.beta(),
+                plan.padding.name()
+            ),
+            (alpha, beta, padding),
+            "selection changed at {mv} mV (got ({}, {}) {})",
+            plan.compression.alpha(),
+            plan.compression.beta(),
+            plan.padding.name()
+        );
+    }
+}

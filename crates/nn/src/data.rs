@@ -136,6 +136,29 @@ impl SyntheticDataset {
             labels: self.labels[..n].to_vec(),
         }
     }
+
+    /// Splits into two disjoint sets: the first `n` samples and the
+    /// remainder. The aging-aware flow uses this to carve one
+    /// generated stream into a calibration split and an evaluation
+    /// split that provably share no sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side would be empty.
+    #[must_use]
+    pub fn split_at(&self, n: usize) -> (SyntheticDataset, SyntheticDataset) {
+        assert!(n > 0 && n < self.len(), "split {n} leaves an empty side");
+        (
+            SyntheticDataset {
+                images: self.images[..n].to_vec(),
+                labels: self.labels[..n].to_vec(),
+            },
+            SyntheticDataset {
+                images: self.images[n..].to_vec(),
+                labels: self.labels[n..].to_vec(),
+            },
+        )
+    }
 }
 
 fn gaussian(rng: &mut StdRng) -> f32 {
@@ -200,5 +223,19 @@ mod tests {
         let s = d.take(10);
         assert_eq!(s.len(), 10);
         assert_eq!(s.images()[3], d.images()[3]);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_exhaustive() {
+        let d = SyntheticDataset::generate(30, 3);
+        let (head, tail) = d.split_at(8);
+        assert_eq!(head.len(), 8);
+        assert_eq!(tail.len(), 22);
+        assert_eq!(head.images(), &d.images()[..8]);
+        assert_eq!(tail.images(), &d.images()[8..]);
+        // No sample appears on both sides.
+        for h in head.images() {
+            assert!(!tail.images().contains(h));
+        }
     }
 }

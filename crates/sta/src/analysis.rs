@@ -1,5 +1,6 @@
 //! Arrival-time propagation and critical-path extraction.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use agequant_cells::{CellLibrary, PartialEval};
@@ -99,7 +100,9 @@ pub struct Sta<'a> {
     netlist: &'a Netlist,
     library: &'a CellLibrary,
     /// Per-net capacitive load, fF (library- and netlist-dependent).
-    loads: Vec<f64>,
+    /// Borrowed when a caller reuses a precomputed vector across
+    /// sessions, owned when [`Sta::new`] computes it on the spot.
+    loads: Cow<'a, [f64]>,
 }
 
 impl<'a> Sta<'a> {
@@ -107,6 +110,41 @@ impl<'a> Sta<'a> {
     /// (fanout input capacitance plus port load on primary outputs).
     #[must_use]
     pub fn new(netlist: &'a Netlist, library: &'a CellLibrary) -> Self {
+        let loads = Self::compute_loads(netlist, library);
+        Sta {
+            netlist,
+            library,
+            loads: Cow::Owned(loads),
+        }
+    }
+
+    /// Creates a session from an already-computed load vector —
+    /// exactly what [`Sta::new`] would compute via
+    /// [`Sta::compute_loads`] for the same netlist and library. Lets
+    /// an evaluation engine amortize the load pass over the many
+    /// case-analysis calls of one aging level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not have one entry per net.
+    #[must_use]
+    pub fn with_loads(netlist: &'a Netlist, library: &'a CellLibrary, loads: &'a [f64]) -> Self {
+        assert_eq!(
+            loads.len(),
+            netlist.net_count(),
+            "load vector does not match the netlist"
+        );
+        Sta {
+            netlist,
+            library,
+            loads: Cow::Borrowed(loads),
+        }
+    }
+
+    /// The per-net load vector [`Sta::new`] precomputes: fanout input
+    /// capacitance plus the port load on primary outputs, fF.
+    #[must_use]
+    pub fn compute_loads(netlist: &Netlist, library: &CellLibrary) -> Vec<f64> {
         let mut loads = vec![0.0f64; netlist.net_count()];
         for gate in netlist.gates() {
             for &input in &gate.inputs {
@@ -116,17 +154,19 @@ impl<'a> Sta<'a> {
         for out in netlist.primary_outputs() {
             loads[out.index()] += OUTPUT_PORT_LOAD_FF;
         }
-        Sta {
-            netlist,
-            library,
-            loads,
-        }
+        loads
     }
 
     /// The capacitive load on `net`, fF.
     #[must_use]
     pub fn load(&self, net: NetId) -> f64 {
         self.loads[net.index()]
+    }
+
+    /// The session's full per-net load vector, fF.
+    #[must_use]
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
     }
 
     /// STA without case analysis: all inputs free.
@@ -153,7 +193,7 @@ impl<'a> Sta<'a> {
         let mut from: Vec<Option<NetId>> = vec![None; n];
 
         // Seed primary inputs and netlist constants.
-        for (idx, _) in (0..n).enumerate() {
+        for idx in 0..n {
             let net = NetId::from_index(idx);
             match self.netlist.driver(net) {
                 NetDriver::PrimaryInput => {
@@ -359,6 +399,39 @@ mod tests {
         let r = sta.analyze_uncompressed();
         assert!(r.output_arrivals["slow"] > r.output_arrivals["fast"]);
         assert!((r.critical_path_ps - r.output_arrivals["slow"]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precomputed_loads_match_fresh_session() {
+        let mut b = NetlistBuilder::new("reuse");
+        let x = b.input_bus("x", 3);
+        let t = b.gate(CellKind::And2, &[x[0], x[1]]);
+        let y = b.gate(CellKind::Xor2, &[t, x[2]]);
+        b.output_bus("y", &[y]);
+        let netlist = b.finish();
+        let lib = fresh_lib();
+
+        let loads = Sta::compute_loads(&netlist, &lib);
+        let fresh = Sta::new(&netlist, &lib);
+        assert_eq!(fresh.loads(), loads.as_slice());
+
+        let reused = Sta::with_loads(&netlist, &lib, &loads);
+        let a = fresh.analyze_uncompressed();
+        let b = reused.analyze_uncompressed();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "load vector")]
+    fn mismatched_loads_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let x = b.input_bus("x", 1);
+        let y = b.gate(CellKind::Inv, &[x[0]]);
+        b.output_bus("y", &[y]);
+        let netlist = b.finish();
+        let lib = fresh_lib();
+        let short = vec![0.0];
+        let _ = Sta::with_loads(&netlist, &lib, &short);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature data-parallelism library with the rayon API
+//! shapes it uses: `par_iter()` on slices, `into_par_iter()` on
+//! vectors and ranges, `map`, `collect::<Vec<_>>()`, and [`join`].
+//!
+//! Execution model: every pipeline is *indexed* — the source knows
+//! its length and can produce the item at any index — so a work-
+//! stealing loop over an atomic index counter hands items to scoped
+//! `std::thread` workers while results land in their original slots.
+//! **Output order therefore always equals input order**, which the
+//! evaluation engine relies on for bit-identical serial/parallel
+//! results. Worker count adapts to `std::thread::available_parallelism`
+//! and can be capped with the `RAYON_NUM_THREADS` environment
+//! variable (1 disables threading entirely).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if max_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle.join().expect("joined closure panicked");
+        (ra, rb)
+    })
+}
+
+fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// An indexed parallel pipeline: a source of `len` items addressable
+/// by position, plus any stacked `map` stages.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type this pipeline yields.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the pipeline is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `index` (called once per index).
+    fn item_at(&self, index: usize) -> Self::Item;
+
+    /// Applies `f` to every item in parallel, preserving order.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline and gathers results in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types buildable from a parallel pipeline.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Executes `iter` and collects its output.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        run(&iter)
+    }
+}
+
+/// Executes an indexed pipeline across scoped worker threads. Items
+/// are claimed one at a time from an atomic counter (dynamic load
+/// balancing for unevenly priced items) and stored at their source
+/// index, so the output order is deterministic.
+fn run<P: ParallelIterator>(pipeline: &P) -> Vec<P::Item> {
+    let n = pipeline.len();
+    let workers = max_threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(|i| pipeline.item_at(i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<P::Item>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let item = pipeline.item_at(index);
+                *slots[index].lock().expect("unpoisoned result slot") = Some(item);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("unpoisoned result slot")
+                .expect("every index was produced")
+        })
+        .collect()
+}
+
+/// A `map` stage over another pipeline.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item_at(&self, index: usize) -> R {
+        (self.f)(self.base.item_at(index))
+    }
+}
+
+/// A pipeline reading `&T` items from a slice.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item_at(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// A pipeline cloning items out of an owned vector.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn item_at(&self, index: usize) -> T {
+        self.items[index].clone()
+    }
+}
+
+/// A pipeline yielding the values of an integer range.
+pub struct RangeParIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+
+            fn item_at(&self, index: usize) -> $t {
+                self.range.start + index as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                RangeParIter { range: self }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize);
+
+/// Conversion into an owned parallel pipeline (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Element type of the resulting pipeline.
+    type Item: Send;
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Consumes `self` into a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// Borrowing conversion to a parallel pipeline (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type of the resulting pipeline (a reference).
+    type Item: Send;
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrows `self` as a parallel pipeline.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// The glob-import prelude, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_pipelines_match_serial() {
+        let squares: Vec<usize> = (0usize..257).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0usize..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owned_vec_pipeline_clones_items() {
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = words.clone().into_par_iter().map(|w| w.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_pipelines_work() {
+        let grid: Vec<Vec<usize>> = (0usize..8)
+            .into_par_iter()
+            .map(|r| (0usize..8).into_par_iter().map(|c| r * 8 + c).collect())
+            .collect();
+        let flat: Vec<usize> = grid.into_iter().flatten().collect();
+        assert_eq!(flat, (0..64).collect::<Vec<_>>());
+    }
+}

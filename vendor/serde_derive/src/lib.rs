@@ -1,0 +1,471 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde` shim's value-tree `Serialize` /
+//! `Deserialize` traits. Since neither `syn` nor `quote` is available
+//! offline, the item is parsed directly from the raw token stream.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Not supported (the derive panics with a clear message): generic
+//! parameters and `#[serde(...)]` attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (value-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree conversion).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// The shape of a struct body or an enum variant payload.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(peek_punct(&tokens, i), Some('<')) {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde shim derive: malformed enum `{name}`"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                *i += 1;
+                continue;
+            }
+        }
+        panic!("serde shim derive: malformed attribute");
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn peek_punct(tokens: &[TokenTree], i: usize) -> Option<char> {
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+/// Advances past one type (or expression), stopping at a top-level
+/// comma. Tracks `<`/`>` nesting manually; parenthesized and
+/// bracketed subtrees arrive as single `Group` tokens. A `>` that
+/// closes a `->` return arrow is ignored via one-punct lookbehind.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    let mut prev_dash = false;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if angle == 0 => return,
+                '<' => angle += 1,
+                '>' if !prev_dash => angle -= 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let field = expect_ident(&tokens, &mut i);
+        match peek_punct(&tokens, i) {
+            Some(':') => i += 1,
+            other => {
+                panic!("serde shim derive: expected `:` after field `{field}`, found {other:?}")
+            }
+        }
+        skip_to_top_level_comma(&tokens, &mut i);
+        if matches!(peek_punct(&tokens, i), Some(',')) {
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_top_level_comma(&tokens, &mut i);
+        if matches!(peek_punct(&tokens, i), Some(',')) {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let shape = Shape::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                shape
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let shape = Shape::Named(parse_named_fields(g.stream()));
+                i += 1;
+                shape
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(peek_punct(&tokens, i), Some('=')) {
+            // Explicit discriminant: skip its expression.
+            i += 1;
+            skip_to_top_level_comma(&tokens, &mut i);
+        }
+        if matches!(peek_punct(&tokens, i), Some(',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                // Newtype structs serialize transparently, like upstream.
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => \
+                                 ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!(
+                    "match __value {{\n\
+                         ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                         __other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                             ::std::format!(\"{name}: expected null, found {{__other:?}}\"))),\n\
+                     }}"
+                ),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(__value)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                        .collect();
+                    format!(
+                        "let __s = ::serde::__get_seq(__value, {n}, \"{name}\")?;\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__field(__m, \"{f}\", \"{name}\")?"))
+                        .collect();
+                    format!(
+                        "let __m = ::serde::__get_map(__value, \"{name}\")?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                        }
+                        Shape::Tuple(n) => {
+                            let payload = if *n == 1 {
+                                format!(
+                                    "::std::result::Result::Ok({name}::{vname}(\
+                                     ::serde::Deserialize::from_value(__p)?))"
+                                )
+                            } else {
+                                let items: Vec<String> = (0..*n)
+                                    .map(|k| {
+                                        format!("::serde::Deserialize::from_value(&__s[{k}])?")
+                                    })
+                                    .collect();
+                                format!(
+                                    "let __s = ::serde::__get_seq(__p, {n}, \
+                                     \"{name}::{vname}\")?;\n\
+                                     ::std::result::Result::Ok({name}::{vname}({}))",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                     let __p = __payload.ok_or_else(|| ::serde::Error::msg(\n\
+                                         \"{name}::{vname}: missing payload\"))?;\n\
+                                     {payload}\n\
+                                 }}"
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__field(__m, \"{f}\", \
+                                         \"{name}::{vname}\")?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                     let __p = __payload.ok_or_else(|| ::serde::Error::msg(\n\
+                                         \"{name}::{vname}: missing payload\"))?;\n\
+                                     let __m = ::serde::__get_map(__p, \"{name}::{vname}\")?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let (__tag, __payload) = ::serde::__variant(__value, \"{name}\")?;\n\
+                         let _ = &__payload; // unused when every variant is a unit\n\
+                         match __tag {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::__unknown_variant(\"{name}\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
