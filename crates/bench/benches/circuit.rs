@@ -26,7 +26,8 @@ fn bench_sta(c: &mut Criterion) {
         mac.geometry(),
         Compression::new(3, 4),
         Padding::Msb,
-    );
+    )
+    .expect("valid case for the Edge-TPU MAC");
     c.bench_function("sta/case_analysis_3_4", |b| {
         b.iter(|| black_box(sta.analyze(&case).critical_path_ps));
     });

@@ -46,7 +46,8 @@ fn main() {
                 .iter()
                 .map(|&p| {
                     let case =
-                        mac_case_on(mac.netlist(), mac.geometry(), Compression::new(4, 4), p);
+                        mac_case_on(mac.netlist(), mac.geometry(), Compression::new(4, 4), p)
+                            .expect("valid case for the MAC variant");
                     100.0 * (1.0 - sta.analyze(&case).critical_path_ps / base)
                 })
                 .fold(f64::NEG_INFINITY, f64::max);

@@ -43,7 +43,8 @@ fn main() {
         for beta in 0..=7u8 {
             let compression = Compression::new(alpha, beta);
             let gain = |padding: Padding| -> f64 {
-                let case = mac_case_on(mac.netlist(), mac.geometry(), compression, padding);
+                let case = mac_case_on(mac.netlist(), mac.geometry(), compression, padding)
+                    .expect("valid case for the Edge-TPU MAC");
                 100.0 * (1.0 - sta.analyze(&case).critical_path_ps / base)
             };
             let msb = gain(Padding::Msb);

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use crate::CellKind;
 
 /// Frozen timing/power data of one cell at one aging level.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArcTiming {
     /// Aged intrinsic delay per input pin, ps.
@@ -41,6 +42,7 @@ pub struct ArcTiming {
 /// let d = lib.arc_delay(CellKind::Xor2, 1, 1.5);
 /// assert!(d > 0.0);
 /// ```
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellLibrary {
     vth_shift: VthShift,
@@ -54,7 +56,6 @@ impl CellLibrary {
     ///
     /// Panics if any arc has a pin-delay count mismatching its kind's
     /// arity (programming error in the characterizer).
-    #[must_use]
     pub fn from_arcs(vth_shift: VthShift, arcs: BTreeMap<CellKind, ArcTiming>) -> Self {
         for (kind, arc) in &arcs {
             assert_eq!(
@@ -115,7 +116,6 @@ impl CellLibrary {
     /// # Panics
     ///
     /// Panics if the kind is absent from the library.
-    #[must_use]
     pub fn arc(&self, kind: CellKind) -> &ArcTiming {
         self.arcs
             .get(&kind)

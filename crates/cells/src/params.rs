@@ -189,7 +189,6 @@ impl ProcessLibrary {
     /// factor raised to the cell's aging sensitivity; capacitance and
     /// switching energy are aging-invariant (charge-based), while
     /// leakage *drops* slightly with higher Vth.
-    #[must_use]
     pub fn characterize(&self, shift: VthShift) -> CellLibrary {
         let base = self.derating.factor(shift);
         let mut arcs = BTreeMap::new();

@@ -51,7 +51,6 @@ pub struct CompressionPlan {
 
 impl CompressionPlan {
     /// The bit widths this plan induces (Section 5's rule).
-    #[must_use]
     pub fn bit_widths(&self) -> BitWidths {
         BitWidths::for_compression(self.compression.alpha(), self.compression.beta())
     }
@@ -182,7 +181,8 @@ impl AgingAwareQuantizer {
             self.mac.geometry(),
             compression,
             padding,
-        );
+        )
+        .expect("grid cases are valid for the flow's MAC");
         sta.analyze(&case).critical_path_ps
     }
 

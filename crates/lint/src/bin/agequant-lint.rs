@@ -1,0 +1,115 @@
+//! `agequant-lint` — lint the shipped artifact zoo.
+//!
+//! Runs every registered lint over every generator netlist, the aged
+//! library sweep, per-level STA results, and the flow's compression
+//! plans, then exits nonzero if any `deny`-level finding remains.
+//!
+//! ```text
+//! agequant-lint [--json] [--list] [--max-mv MV] [--step-mv MV]
+//!               [--deny CODE] [--warn CODE] [--allow CODE]
+//! ```
+
+use std::process::ExitCode;
+
+use agequant_lint::{lint_zoo, registry, LintConfig};
+
+struct Options {
+    json: bool,
+    list: bool,
+    max_mv: f64,
+    step_mv: f64,
+    config: LintConfig,
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: agequant-lint [--json] [--list] [--max-mv MV] [--step-mv MV]\n\
+         \x20                    [--deny CODE] [--warn CODE] [--allow CODE]\n\n\
+         Lints the shipped artifact zoo (netlists, aged libraries, STA\n\
+         results, compression plans, quant configs). Exits 1 when any\n\
+         deny-level finding remains, 2 on bad arguments.\n\nlints:\n",
+    );
+    for lint in registry() {
+        out.push_str(&format!(
+            "  {} {:<32} [{}] {}\n",
+            lint.code(),
+            lint.slug(),
+            lint.default_severity(),
+            lint.description()
+        ));
+    }
+    out
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        list: false,
+        max_mv: 50.0,
+        step_mv: 10.0,
+        config: LintConfig::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list" => opts.list = true,
+            "--max-mv" => {
+                opts.max_mv = value("--max-mv")?
+                    .parse()
+                    .map_err(|e| format!("--max-mv: {e}"))?;
+            }
+            "--step-mv" => {
+                opts.step_mv = value("--step-mv")?
+                    .parse()
+                    .map_err(|e| format!("--step-mv: {e}"))?;
+            }
+            "--deny" => opts.config = opts.config.deny(&value("--deny")?),
+            "--warn" => opts.config = opts.config.warn(&value("--warn")?),
+            "--allow" => opts.config = opts.config.allow(&value("--allow")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !(opts.max_mv >= 0.0 && opts.step_mv > 0.0) {
+        return Err("--max-mv must be >= 0 and --step-mv > 0".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("agequant-lint: {msg}");
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let report = lint_zoo(opts.config, opts.max_mv, opts.step_mv);
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,180 @@
+//! Sanity lints over characterized cell libraries (`CL0xx`).
+//!
+//! These run on a *sweep*: a slice of libraries characterized at
+//! ascending ΔVth, as produced by repeatedly calling
+//! `ProcessLibrary::characterize`. Single-library checks apply to each
+//! element; cross-library checks compare consecutive elements.
+
+use agequant_cells::CellLibrary;
+
+use crate::lint::{Artifact, Lint, Sink};
+
+/// `CL001`: delay must grow with capacitive load.
+///
+/// The linear delay model is `intrinsic + slope × load`; a negative or
+/// non-finite slope makes delay shrink (or explode) as fanout rises,
+/// which inverts every sizing decision downstream.
+pub struct DelayNonmonotoneInLoad;
+
+impl Lint for DelayNonmonotoneInLoad {
+    fn code(&self) -> &'static str {
+        "CL001"
+    }
+
+    fn slug(&self) -> &'static str {
+        "delay-nonmonotone-in-load"
+    }
+
+    fn description(&self) -> &'static str {
+        "a cell's load slope is negative or non-finite: delay would not grow with load"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::LibrarySweep { sweep, .. } = artifact else {
+            return;
+        };
+        for lib in sweep.iter() {
+            let mv = lib.vth_shift().millivolts();
+            for kind in lib.kinds() {
+                let slope = lib.arc(kind).slope_ps_per_ff;
+                if !slope.is_finite() || slope < 0.0 {
+                    sink.report(format!(
+                        "{kind} at ΔVth {mv} mV has load slope {slope} ps/fF"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `CL002`: delay must not decrease as ΔVth rises.
+///
+/// NBTI aging only slows transistors down (Section 2 of the paper);
+/// a library sweep where some arc gets *faster* with age means the
+/// characterizer (or the sweep's ordering) is broken, and the
+/// guardband arithmetic built on it would under-protect the chip.
+pub struct DelayNonmonotoneInDvth;
+
+impl DelayNonmonotoneInDvth {
+    /// Tolerance for float noise in characterized picosecond values.
+    const TOL_PS: f64 = 1e-9;
+
+    fn check_pair(prev: &CellLibrary, next: &CellLibrary, sink: &mut Sink<'_>) {
+        let (mv0, mv1) = (prev.vth_shift().millivolts(), next.vth_shift().millivolts());
+        if mv1 < mv0 {
+            sink.report(format!(
+                "sweep not ordered by ΔVth: {mv1} mV follows {mv0} mV"
+            ));
+            return;
+        }
+        for kind in prev.kinds() {
+            if !next.kinds().any(|k| k == kind) {
+                sink.report(format!(
+                    "{kind} characterized at {mv0} mV but missing at {mv1} mV"
+                ));
+                continue;
+            }
+            let (a, b) = (prev.arc(kind), next.arc(kind));
+            for (pin, (&d0, &d1)) in a
+                .pin_intrinsic_ps
+                .iter()
+                .zip(b.pin_intrinsic_ps.iter())
+                .enumerate()
+            {
+                if d1 < d0 - Self::TOL_PS {
+                    sink.report(format!(
+                        "{kind} pin {pin} intrinsic delay drops from {d0} ps \
+                         at {mv0} mV to {d1} ps at {mv1} mV"
+                    ));
+                }
+            }
+            if b.slope_ps_per_ff < a.slope_ps_per_ff - Self::TOL_PS {
+                sink.report(format!(
+                    "{kind} load slope drops from {} to {} ps/fF between {mv0} and {mv1} mV",
+                    a.slope_ps_per_ff, b.slope_ps_per_ff
+                ));
+            }
+        }
+    }
+}
+
+impl Lint for DelayNonmonotoneInDvth {
+    fn code(&self) -> &'static str {
+        "CL002"
+    }
+
+    fn slug(&self) -> &'static str {
+        "delay-nonmonotone-in-dvth"
+    }
+
+    fn description(&self) -> &'static str {
+        "an arc gets faster at a higher aging level: NBTI can only slow cells down"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::LibrarySweep { sweep, .. } = artifact else {
+            return;
+        };
+        for pair in sweep.windows(2) {
+            Self::check_pair(&pair[0], &pair[1], sink);
+        }
+    }
+}
+
+/// `CL003`: power and capacitance figures must be physical.
+///
+/// Negative switching energy or leakage would make the power model
+/// reward extra activity; a non-positive input capacitance or
+/// intrinsic delay breaks the STA load computation.
+pub struct NegativeEnergy;
+
+impl Lint for NegativeEnergy {
+    fn code(&self) -> &'static str {
+        "CL003"
+    }
+
+    fn slug(&self) -> &'static str {
+        "negative-energy"
+    }
+
+    fn description(&self) -> &'static str {
+        "non-physical cell data: negative energy/leakage or non-positive capacitance/delay"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::LibrarySweep { sweep, .. } = artifact else {
+            return;
+        };
+        for lib in sweep.iter() {
+            let mv = lib.vth_shift().millivolts();
+            for kind in lib.kinds() {
+                let arc = lib.arc(kind);
+                if !arc.switch_energy_fj.is_finite() || arc.switch_energy_fj < 0.0 {
+                    sink.report(format!(
+                        "{kind} at {mv} mV has switching energy {} fJ",
+                        arc.switch_energy_fj
+                    ));
+                }
+                if !arc.leakage_nw.is_finite() || arc.leakage_nw < 0.0 {
+                    sink.report(format!(
+                        "{kind} at {mv} mV has leakage {} nW",
+                        arc.leakage_nw
+                    ));
+                }
+                if !arc.input_cap_ff.is_finite() || arc.input_cap_ff <= 0.0 {
+                    sink.report(format!(
+                        "{kind} at {mv} mV has input capacitance {} fF",
+                        arc.input_cap_ff
+                    ));
+                }
+                for (pin, &d) in arc.pin_intrinsic_ps.iter().enumerate() {
+                    if !d.is_finite() || d <= 0.0 {
+                        sink.report(format!(
+                            "{kind} pin {pin} at {mv} mV has intrinsic delay {d} ps"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-run lint configuration: severity overrides.
+
+use std::collections::BTreeMap;
+
+use crate::diagnostic::Severity;
+use crate::lint::Lint;
+
+/// Severity overrides keyed by lint code.
+///
+/// Each lint declares a default severity; a config can promote a lint
+/// to `deny`, demote it to `warn`, or silence it with `allow` — the
+/// same model as `rustc`'s `-D`/`-W`/`-A` flags.
+///
+/// # Example
+///
+/// ```
+/// use agequant_lint::{LintConfig, Severity};
+///
+/// let config = LintConfig::default().warn("NL001").deny("NL004");
+/// assert_eq!(config.override_for("NL001"), Some(Severity::Warn));
+/// assert_eq!(config.override_for("NL002"), None);
+/// ```
+#[must_use]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    overrides: BTreeMap<String, Severity>,
+}
+
+impl LintConfig {
+    /// A config with no overrides: every lint runs at its default level.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides `code` to the given severity.
+    pub fn set(mut self, code: &str, severity: Severity) -> Self {
+        self.overrides.insert(code.to_string(), severity);
+        self
+    }
+
+    /// Overrides `code` to `deny`.
+    pub fn deny(self, code: &str) -> Self {
+        self.set(code, Severity::Deny)
+    }
+
+    /// Overrides `code` to `warn`.
+    pub fn warn(self, code: &str) -> Self {
+        self.set(code, Severity::Warn)
+    }
+
+    /// Overrides `code` to `allow` (suppressing its findings).
+    pub fn allow(self, code: &str) -> Self {
+        self.set(code, Severity::Allow)
+    }
+
+    /// The override for `code`, if any.
+    #[must_use]
+    pub fn override_for(&self, code: &str) -> Option<Severity> {
+        self.overrides.get(code).copied()
+    }
+
+    /// The effective severity of a lint under this config.
+    #[must_use]
+    pub fn severity_for(&self, lint: &dyn Lint) -> Severity {
+        self.override_for(lint.code())
+            .unwrap_or_else(|| lint.default_severity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::registry;
+
+    #[test]
+    fn overrides_replace_defaults() {
+        let lints = registry();
+        let dead_gate = lints
+            .iter()
+            .find(|l| l.code() == "NL004")
+            .expect("NL004 registered");
+        let default = LintConfig::new();
+        assert_eq!(default.severity_for(dead_gate.as_ref()), Severity::Warn);
+        let denied = LintConfig::new().deny("NL004");
+        assert_eq!(denied.severity_for(dead_gate.as_ref()), Severity::Deny);
+        let allowed = LintConfig::new().allow("NL004");
+        assert_eq!(allowed.severity_for(dead_gate.as_ref()), Severity::Allow);
+    }
+
+    #[test]
+    fn later_overrides_win() {
+        let config = LintConfig::new().deny("QT001").allow("QT001");
+        assert_eq!(config.override_for("QT001"), Some(Severity::Allow));
+    }
+}

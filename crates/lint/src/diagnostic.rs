@@ -1,0 +1,203 @@
+//! Diagnostics: severities, findings, and the report they roll up into.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// How seriously a lint finding is taken.
+///
+/// Mirrors the `rustc` lint-level vocabulary: `deny` findings fail the
+/// run (nonzero CLI exit), `warn` findings are reported but pass, and
+/// `allow` findings are suppressed entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Suppressed: the finding is dropped before reporting.
+    Allow,
+    /// Reported, but does not fail the run.
+    Warn,
+    /// Reported and fails the run.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+impl FromStr for Severity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "allow" => Ok(Severity::Allow),
+            "warn" => Ok(Severity::Warn),
+            "deny" => Ok(Severity::Deny),
+            other => Err(format!("unknown severity {other:?} (allow|warn|deny)")),
+        }
+    }
+}
+
+/// One lint finding against one artifact.
+#[must_use]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable lint code, e.g. `"NL001"`.
+    pub code: String,
+    /// Effective severity after config overrides.
+    pub severity: Severity,
+    /// Name of the artifact the finding is against, e.g.
+    /// `"prefix_adder_16_kogge_stone"`.
+    pub artifact: String,
+    /// Human-readable description of the specific finding.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.artifact, self.message
+        )
+    }
+}
+
+/// All findings of one lint run.
+#[must_use]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Every non-`allow` finding, in artifact-then-lint order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of artifacts checked (including clean ones).
+    pub artifacts_checked: usize,
+}
+
+impl LintReport {
+    /// Number of `deny`-level findings.
+    #[must_use]
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of `warn`-level findings.
+    #[must_use]
+    pub fn warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// True when no finding is at `deny` level.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    /// Findings with a specific code.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Renders the report as human-readable text, one finding per line
+    /// plus a summary tail.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "checked {} artifact(s): {} deny, {} warn\n",
+            self.artifacts_checked,
+            self.deny_count(),
+            self.warn_count()
+        ));
+        out
+    }
+
+    /// Serializes the report to pretty-printed JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (the report contains only plain
+    /// strings and integers, so it cannot).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("LintReport serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LintReport {
+        LintReport {
+            diagnostics: vec![
+                Diagnostic {
+                    code: "NL001".into(),
+                    severity: Severity::Deny,
+                    artifact: "bad".into(),
+                    message: "combinational loop".into(),
+                },
+                Diagnostic {
+                    code: "NL004".into(),
+                    severity: Severity::Warn,
+                    artifact: "bad".into(),
+                    message: "dead gate".into(),
+                },
+            ],
+            artifacts_checked: 3,
+        }
+    }
+
+    #[test]
+    fn severity_orders_allow_warn_deny() {
+        assert!(Severity::Allow < Severity::Warn);
+        assert!(Severity::Warn < Severity::Deny);
+    }
+
+    #[test]
+    fn severity_round_trips_through_from_str() {
+        for s in [Severity::Allow, Severity::Warn, Severity::Deny] {
+            assert_eq!(s.to_string().parse::<Severity>().unwrap(), s);
+        }
+        assert!("fatal".parse::<Severity>().is_err());
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let r = report();
+        assert_eq!(r.deny_count(), 1);
+        assert_eq!(r.warn_count(), 1);
+        assert!(!r.is_clean());
+        assert_eq!(r.with_code("NL001").count(), 1);
+        assert_eq!(r.with_code("QT001").count(), 0);
+    }
+
+    #[test]
+    fn text_rendering_includes_every_finding_and_summary() {
+        let text = report().render_text();
+        assert!(text.contains("deny[NL001] bad: combinational loop"));
+        assert!(text.contains("warn[NL004] bad: dead gate"));
+        assert!(text.contains("checked 3 artifact(s): 1 deny, 1 warn"));
+    }
+
+    #[test]
+    fn json_rendering_is_valid_json() {
+        let json = report().to_json();
+        let back: LintReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report());
+    }
+}

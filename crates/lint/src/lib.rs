@@ -1,0 +1,55 @@
+//! Static verification of the agequant flow's artifacts.
+//!
+//! The paper's pipeline hands artifacts between stages — synthesized
+//! netlists, aged cell libraries, STA timing reports, `(α, β)`
+//! compression plans, and quantization parameters — and every hand-off
+//! is a place where a silently malformed artifact corrupts the final
+//! accuracy/lifetime numbers. This crate is the tripwire: a rule-based
+//! static analyzer in the spirit of RTL lint tools, with stable
+//! diagnostic codes, configurable severities, and machine-readable
+//! output.
+//!
+//! | Code  | Slug | Checks |
+//! |-------|------|--------|
+//! | NL001 | combinational-loop | gate reads its own or a later gate's output |
+//! | NL002 | floating-net | net reference outside the driver table |
+//! | NL003 | multi-driven-net | duplicate drivers / driver-table disagreement |
+//! | NL004 | dead-gate | logic unreachable from primary outputs (warn) |
+//! | NL005 | port-width-mismatch | empty/duplicate buses, gate-driven inputs |
+//! | CL001 | delay-nonmonotone-in-load | negative or non-finite load slope |
+//! | CL002 | delay-nonmonotone-in-dvth | arcs getting faster with aging |
+//! | CL003 | negative-energy | non-physical energy/leakage/cap/delay |
+//! | ST001 | arrival-time-order-violation | acausal or inconsistent STA report |
+//! | ST002 | compression-bitwidth-arithmetic | plan widths vs Section 5's rule |
+//! | QT001 | quant-range-inconsistent | broken scale/zero-point/bit width |
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_lint::{Artifact, Linter};
+//! use agequant_netlist::mac::MacCircuit;
+//!
+//! let mac = MacCircuit::edge_tpu();
+//! let report = Linter::new().run(&[Artifact::Netlist {
+//!     name: "edge_tpu_mac",
+//!     netlist: mac.netlist(),
+//! }]);
+//! assert!(report.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell_lints;
+mod config;
+mod diagnostic;
+mod lint;
+mod netlist_lints;
+mod quant_lints;
+mod sta_lints;
+mod zoo;
+
+pub use config::LintConfig;
+pub use diagnostic::{Diagnostic, LintReport, Severity};
+pub use lint::{registry, Artifact, Lint, Linter, Sink};
+pub use zoo::{lint_zoo, Zoo};

@@ -1,0 +1,276 @@
+//! The [`Lint`] trait, the [`Artifact`] model, and the [`Linter`] driver.
+
+use agequant_cells::CellLibrary;
+use agequant_core::CompressionPlan;
+use agequant_netlist::mac::MacGeometry;
+use agequant_netlist::Netlist;
+use agequant_quant::{BitWidths, QuantParams};
+use agequant_sta::TimingReport;
+
+use crate::config::LintConfig;
+use crate::diagnostic::{Diagnostic, LintReport, Severity};
+use crate::{cell_lints, netlist_lints, quant_lints, sta_lints};
+
+/// One artifact of the flow, presented for static verification.
+///
+/// Each variant corresponds to one stage of the paper's device-to-system
+/// pipeline: synthesized netlists, aged cell libraries, STA results,
+/// compression plans, and quantization parameters.
+#[derive(Debug, Clone, Copy)]
+pub enum Artifact<'a> {
+    /// A gate-level netlist.
+    Netlist {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// The netlist under check.
+        netlist: &'a Netlist,
+    },
+    /// A sequence of cell libraries characterized at increasing ΔVth.
+    LibrarySweep {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// Libraries ordered by ascending aging level.
+        sweep: &'a [CellLibrary],
+    },
+    /// A timing report together with the netlist it was computed on.
+    Timing {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// The analyzed netlist.
+        netlist: &'a Netlist,
+        /// The STA result under check.
+        report: &'a TimingReport,
+    },
+    /// An aging-aware compression plan plus its claimed bit widths.
+    Plan {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// The plan under check.
+        plan: &'a CompressionPlan,
+        /// The MAC geometry the plan targets.
+        geometry: MacGeometry,
+        /// The bit widths the flow derived from the plan.
+        widths: BitWidths,
+    },
+    /// Affine quantization parameters.
+    Quant {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// The parameters under check.
+        params: &'a QuantParams,
+        /// Bit width the surrounding plan expects, if any.
+        expected_bits: Option<u8>,
+    },
+}
+
+impl Artifact<'_> {
+    /// The artifact's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Artifact::Netlist { name, .. }
+            | Artifact::LibrarySweep { name, .. }
+            | Artifact::Timing { name, .. }
+            | Artifact::Plan { name, .. }
+            | Artifact::Quant { name, .. } => name,
+        }
+    }
+}
+
+/// Where lints deposit their findings.
+///
+/// The sink knows the artifact under check and the effective severity
+/// of the running lint, so lint implementations only supply messages.
+#[derive(Debug)]
+pub struct Sink<'a> {
+    code: &'static str,
+    severity: Severity,
+    artifact: String,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl Sink<'_> {
+    /// Records one finding.
+    pub fn report(&mut self, message: impl Into<String>) {
+        if self.severity == Severity::Allow {
+            return;
+        }
+        self.out.push(Diagnostic {
+            code: self.code.to_string(),
+            severity: self.severity,
+            artifact: self.artifact.clone(),
+            message: message.into(),
+        });
+    }
+}
+
+/// A single named, stable-coded static check.
+///
+/// Implementations inspect one [`Artifact`] variant and ignore the
+/// rest; the driver offers every artifact to every lint.
+pub trait Lint {
+    /// Stable diagnostic code, e.g. `"NL001"`.
+    fn code(&self) -> &'static str;
+
+    /// Short kebab-case slug, e.g. `"combinational-loop"`.
+    fn slug(&self) -> &'static str;
+
+    /// One-line description of what the lint rejects.
+    fn description(&self) -> &'static str;
+
+    /// Severity when the config does not override it.
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    /// Checks one artifact, reporting findings into `sink`.
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>);
+}
+
+/// Every lint this crate ships, in code order.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(netlist_lints::CombinationalLoop),
+        Box::new(netlist_lints::FloatingNet),
+        Box::new(netlist_lints::MultiDrivenNet),
+        Box::new(netlist_lints::DeadGate),
+        Box::new(netlist_lints::PortWidthMismatch),
+        Box::new(cell_lints::DelayNonmonotoneInLoad),
+        Box::new(cell_lints::DelayNonmonotoneInDvth),
+        Box::new(cell_lints::NegativeEnergy),
+        Box::new(sta_lints::ArrivalTimeOrder),
+        Box::new(sta_lints::CompressionBitwidthArithmetic),
+        Box::new(quant_lints::QuantRangeInconsistent),
+    ]
+}
+
+/// Runs a set of lints over artifacts under a config.
+///
+/// # Example
+///
+/// ```
+/// use agequant_lint::{Artifact, Linter};
+/// use agequant_netlist::adders::ripple_carry;
+///
+/// let adder = ripple_carry(8);
+/// let report = Linter::new().run(&[Artifact::Netlist {
+///     name: "rca8",
+///     netlist: &adder,
+/// }]);
+/// assert!(report.is_clean());
+/// ```
+#[must_use]
+pub struct Linter {
+    config: LintConfig,
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Linter {
+    /// A linter with the full registry and default severities.
+    pub fn new() -> Self {
+        Self::with_config(LintConfig::default())
+    }
+
+    /// A linter with the full registry and the given overrides.
+    pub fn with_config(config: LintConfig) -> Self {
+        Linter {
+            config,
+            lints: registry(),
+        }
+    }
+
+    /// The lints this linter runs.
+    #[must_use]
+    pub fn lints(&self) -> &[Box<dyn Lint>] {
+        &self.lints
+    }
+
+    /// Checks every artifact with every lint.
+    pub fn run(&self, artifacts: &[Artifact<'_>]) -> LintReport {
+        let mut diagnostics = Vec::new();
+        for artifact in artifacts {
+            for lint in &self.lints {
+                let severity = self.config.severity_for(lint.as_ref());
+                if severity == Severity::Allow {
+                    continue;
+                }
+                let mut sink = Sink {
+                    code: lint.code(),
+                    severity,
+                    artifact: artifact.name().to_string(),
+                    out: &mut diagnostics,
+                };
+                lint.check(artifact, &mut sink);
+            }
+        }
+        LintReport {
+            diagnostics,
+            artifacts_checked: artifacts.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_stable() {
+        let lints = registry();
+        let codes: Vec<&str> = lints.iter().map(|l| l.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len(), "duplicate lint code");
+        for expected in [
+            "NL001", "NL002", "NL003", "NL004", "NL005", "CL001", "CL002", "CL003", "ST001",
+            "ST002", "QT001",
+        ] {
+            assert!(codes.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn every_lint_has_slug_and_description() {
+        for lint in registry() {
+            assert!(!lint.slug().is_empty());
+            assert!(lint
+                .slug()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '-'));
+            assert!(!lint.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn allowed_lints_do_not_run() {
+        // NL004 fires on a netlist with a dead gate; allowing it
+        // suppresses the finding.
+        use agequant_cells::CellKind;
+        use agequant_netlist::NetlistBuilder;
+
+        let mut b = NetlistBuilder::new("dead");
+        let x = b.input_bus("x", 2);
+        let live = b.gate(CellKind::And2, &[x[0], x[1]]);
+        let _dead = b.gate(CellKind::Xor2, &[x[0], x[1]]);
+        b.output_bus("y", &[live]);
+        let n = b.finish();
+
+        let artifacts = [Artifact::Netlist {
+            name: "dead",
+            netlist: &n,
+        }];
+        let default = Linter::new().run(&artifacts);
+        assert_eq!(default.with_code("NL004").count(), 1);
+
+        let allowed = Linter::with_config(LintConfig::new().allow("NL004")).run(&artifacts);
+        assert_eq!(allowed.with_code("NL004").count(), 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Structural lints over gate-level netlists (`NL0xx`).
+
+use std::collections::BTreeMap;
+
+use agequant_netlist::{Bus, NetDriver, Netlist};
+
+use crate::diagnostic::Severity;
+use crate::lint::{Artifact, Lint, Sink};
+
+/// True when `net` is a valid index into the netlist's driver table.
+fn in_range(netlist: &Netlist, net: agequant_netlist::NetId) -> bool {
+    net.index() < netlist.net_count()
+}
+
+/// `NL001`: a gate reads a net produced by itself or a later gate.
+///
+/// Builder-produced netlists list gates in topological order, so any
+/// back-reference means the combinational graph has a cycle (or the
+/// gate list was corrupted, which STA would silently mis-evaluate).
+pub struct CombinationalLoop;
+
+impl Lint for CombinationalLoop {
+    fn code(&self) -> &'static str {
+        "NL001"
+    }
+
+    fn slug(&self) -> &'static str {
+        "combinational-loop"
+    }
+
+    fn description(&self) -> &'static str {
+        "a gate reads a net driven by itself or a later gate (cycle or broken topological order)"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::Netlist { netlist, .. } = artifact else {
+            return;
+        };
+        for (idx, gate) in netlist.gates().iter().enumerate() {
+            for &input in &gate.inputs {
+                if !in_range(netlist, input) {
+                    continue; // NL002's finding
+                }
+                if let NetDriver::Gate(producer) = netlist.driver(input) {
+                    if producer.index() == idx {
+                        sink.report(format!(
+                            "gate {idx} ({}) reads its own output {input}",
+                            gate.kind
+                        ));
+                    } else if producer.index() > idx {
+                        sink.report(format!(
+                            "gate {idx} ({}) reads net {input} produced by later gate {}",
+                            gate.kind,
+                            producer.index()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `NL002`: a gate or bus references a net outside the driver table.
+///
+/// Such a net has no driver record at all — it floats. Every consumer
+/// (evaluation, STA, power) would index out of bounds on it.
+pub struct FloatingNet;
+
+impl Lint for FloatingNet {
+    fn code(&self) -> &'static str {
+        "NL002"
+    }
+
+    fn slug(&self) -> &'static str {
+        "floating-net"
+    }
+
+    fn description(&self) -> &'static str {
+        "a gate or bus references a net with no driver-table entry"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::Netlist { netlist, .. } = artifact else {
+            return;
+        };
+        for (idx, gate) in netlist.gates().iter().enumerate() {
+            for (pin, &input) in gate.inputs.iter().enumerate() {
+                if !in_range(netlist, input) {
+                    sink.report(format!(
+                        "gate {idx} ({}) pin {pin} reads undriven net {input}",
+                        gate.kind
+                    ));
+                }
+            }
+            if !in_range(netlist, gate.output) {
+                sink.report(format!(
+                    "gate {idx} ({}) drives out-of-table net {}",
+                    gate.kind, gate.output
+                ));
+            }
+        }
+        let buses = netlist
+            .input_buses()
+            .iter()
+            .map(|b| ("input", b))
+            .chain(netlist.output_buses().iter().map(|b| ("output", b)));
+        for (dir, bus) in buses {
+            for (bit, &net) in bus.nets.iter().enumerate() {
+                if !in_range(netlist, net) {
+                    sink.report(format!(
+                        "{dir} bus {}[{bit}] references undriven net {net}",
+                        bus.name
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `NL003`: a net is driven more than once, or the driver table
+/// disagrees with the gate list.
+pub struct MultiDrivenNet;
+
+impl Lint for MultiDrivenNet {
+    fn code(&self) -> &'static str {
+        "NL003"
+    }
+
+    fn slug(&self) -> &'static str {
+        "multi-driven-net"
+    }
+
+    fn description(&self) -> &'static str {
+        "a net has multiple drivers, or driver table and gate list disagree"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::Netlist { netlist, .. } = artifact else {
+            return;
+        };
+        // Gate outputs must be pairwise distinct.
+        let mut producers: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (idx, gate) in netlist.gates().iter().enumerate() {
+            producers.entry(gate.output.index()).or_default().push(idx);
+        }
+        for (net, gates) in &producers {
+            if gates.len() > 1 {
+                sink.report(format!("net index {net} driven by gates {gates:?}"));
+            }
+        }
+        // The driver table must agree with the gate list in both
+        // directions.
+        for (idx, gate) in netlist.gates().iter().enumerate() {
+            if !in_range(netlist, gate.output) {
+                continue; // NL002's finding
+            }
+            match netlist.driver(gate.output) {
+                NetDriver::Gate(gid) if gid.index() == idx => {}
+                other => sink.report(format!(
+                    "gate {idx} ({}) drives net {} but the driver table records {other:?}",
+                    gate.kind, gate.output
+                )),
+            }
+        }
+        for net in 0..netlist.net_count() {
+            let id = agequant_netlist::NetId::from_index(net);
+            if let NetDriver::Gate(gid) = netlist.driver(id) {
+                let ok =
+                    gid.index() < netlist.gate_count() && netlist.gates()[gid.index()].output == id;
+                if !ok {
+                    sink.report(format!(
+                        "driver table claims gate {} drives net {id}, but it does not",
+                        gid.index()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `NL004`: gates whose outputs cannot reach any primary output.
+///
+/// Dead logic is legitimate in generator output (parallel-prefix
+/// adders produce prunable helper nodes), so this lint defaults to
+/// `warn` and aggregates all dead gates of an artifact into a single
+/// finding instead of one per gate.
+pub struct DeadGate;
+
+impl Lint for DeadGate {
+    fn code(&self) -> &'static str {
+        "NL004"
+    }
+
+    fn slug(&self) -> &'static str {
+        "dead-gate"
+    }
+
+    fn description(&self) -> &'static str {
+        "gates whose outputs cannot reach any primary output (prunable logic)"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::Netlist { netlist, .. } = artifact else {
+            return;
+        };
+        // Reverse reachability from the output buses.
+        let mut live = vec![false; netlist.net_count()];
+        let mut stack: Vec<usize> = netlist
+            .output_buses()
+            .iter()
+            .flat_map(|b| b.nets.iter())
+            .map(|n| n.index())
+            .filter(|&i| i < netlist.net_count())
+            .collect();
+        while let Some(net) = stack.pop() {
+            if std::mem::replace(&mut live[net], true) {
+                continue;
+            }
+            if let NetDriver::Gate(gid) = netlist.driver(agequant_netlist::NetId::from_index(net)) {
+                if gid.index() < netlist.gate_count() {
+                    for &input in &netlist.gates()[gid.index()].inputs {
+                        if in_range(netlist, input) {
+                            stack.push(input.index());
+                        }
+                    }
+                }
+            }
+        }
+        let dead: Vec<usize> = netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| in_range(netlist, g.output) && !live[g.output.index()])
+            .map(|(idx, _)| idx)
+            .collect();
+        if !dead.is_empty() {
+            let preview: Vec<usize> = dead.iter().copied().take(5).collect();
+            sink.report(format!(
+                "{} of {} gate(s) unreachable from any primary output (first: {preview:?}); \
+                 consider Netlist::pruned()",
+                dead.len(),
+                netlist.gate_count()
+            ));
+        }
+    }
+}
+
+/// `NL005`: malformed ports — empty or duplicate buses, or input-bus
+/// nets driven by internal logic.
+pub struct PortWidthMismatch;
+
+impl PortWidthMismatch {
+    fn check_bus_list(kind: &str, buses: &[Bus], sink: &mut Sink<'_>) {
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for bus in buses {
+            *seen.entry(bus.name.as_str()).or_default() += 1;
+            if bus.nets.is_empty() {
+                sink.report(format!("{kind} bus {} has zero width", bus.name));
+            }
+        }
+        for (name, count) in seen {
+            if count > 1 {
+                sink.report(format!("{kind} bus name {name:?} declared {count} times"));
+            }
+        }
+    }
+}
+
+impl Lint for PortWidthMismatch {
+    fn code(&self) -> &'static str {
+        "NL005"
+    }
+
+    fn slug(&self) -> &'static str {
+        "port-width-mismatch"
+    }
+
+    fn description(&self) -> &'static str {
+        "empty or duplicate port buses, or input ports driven by internal gates"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::Netlist { netlist, .. } = artifact else {
+            return;
+        };
+        Self::check_bus_list("input", netlist.input_buses(), sink);
+        Self::check_bus_list("output", netlist.output_buses(), sink);
+        for bus in netlist.input_buses() {
+            for (bit, &net) in bus.nets.iter().enumerate() {
+                if !in_range(netlist, net) {
+                    continue; // NL002's finding
+                }
+                if matches!(netlist.driver(net), NetDriver::Gate(_)) {
+                    sink.report(format!(
+                        "input bus {}[{bit}] (net {net}) is driven by an internal gate",
+                        bus.name
+                    ));
+                }
+            }
+        }
+    }
+}

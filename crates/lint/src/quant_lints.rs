@@ -1,0 +1,69 @@
+//! Lints over quantization parameters (`QT0xx`).
+
+use crate::lint::{Artifact, Lint, Sink};
+
+/// `QT001`: affine quantization parameters must be internally
+/// consistent.
+///
+/// The scale must be a positive finite number, the zero point must be
+/// a representable code, the bit width must fit the `u8` code space,
+/// real zero must map exactly onto the zero point (the integer-
+/// inference requirement), and — when the surrounding compression plan
+/// dictates a width — the parameters must use exactly that width.
+pub struct QuantRangeInconsistent;
+
+impl Lint for QuantRangeInconsistent {
+    fn code(&self) -> &'static str {
+        "QT001"
+    }
+
+    fn slug(&self) -> &'static str {
+        "quant-range-inconsistent"
+    }
+
+    fn description(&self) -> &'static str {
+        "quantization parameters with a broken scale, zero point, or bit width"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::Quant {
+            params,
+            expected_bits,
+            ..
+        } = artifact
+        else {
+            return;
+        };
+        let bits = params.bits();
+        if !(1..=8).contains(&bits) {
+            sink.report(format!("bit width {bits} outside 1..=8"));
+            return; // max_code() is meaningless below
+        }
+        let scale = params.scale();
+        if !scale.is_finite() || scale <= 0.0 {
+            sink.report(format!("scale {scale} is not a positive finite number"));
+        }
+        let zp = params.zero_point();
+        let max_code = i32::from(params.max_code());
+        if !(0..=max_code).contains(&zp) {
+            sink.report(format!(
+                "zero point {zp} outside the representable code range 0..={max_code}"
+            ));
+        }
+        // Zero must survive a round trip exactly: quantize(0.0) lands
+        // on the zero point, which dequantizes back to exactly 0.0.
+        if scale.is_finite() && scale > 0.0 && (0..=max_code).contains(&zp) {
+            let zero = params.dequantize(params.quantize(0.0));
+            if zero != 0.0 {
+                sink.report(format!("0.0 round-trips to {zero}, not exactly 0"));
+            }
+        }
+        if let Some(expected) = expected_bits {
+            if bits != *expected {
+                sink.report(format!(
+                    "plan dictates {expected}-bit codes but parameters use {bits} bits"
+                ));
+            }
+        }
+    }
+}

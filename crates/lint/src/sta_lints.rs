@@ -1,0 +1,194 @@
+//! Lints over STA results and compression plans (`ST0xx`).
+
+use agequant_netlist::NetDriver;
+
+use crate::lint::{Artifact, Lint, Sink};
+
+/// `ST001`: arrival times must respect causality.
+///
+/// In a combinational netlist, a gate's output cannot settle before
+/// the inputs that still toggle under the case analysis; primary
+/// inputs arrive at 0; and the reported critical path must equal the
+/// slowest primary output. A report violating any of these was not
+/// produced by a correct STA over this netlist.
+pub struct ArrivalTimeOrder;
+
+impl ArrivalTimeOrder {
+    /// Slack for float noise in picosecond comparisons.
+    const TOL_PS: f64 = 1e-6;
+}
+
+impl Lint for ArrivalTimeOrder {
+    fn code(&self) -> &'static str {
+        "ST001"
+    }
+
+    fn slug(&self) -> &'static str {
+        "arrival-time-order-violation"
+    }
+
+    fn description(&self) -> &'static str {
+        "an STA report's arrival times violate causality or disagree with the critical path"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::Timing {
+            netlist, report, ..
+        } = artifact
+        else {
+            return;
+        };
+        let nets = netlist.net_count();
+        if report.arrival_ps.len() != nets || report.constants.len() != nets {
+            sink.report(format!(
+                "report shape mismatch: {} arrival and {} constant entries for {nets} nets",
+                report.arrival_ps.len(),
+                report.constants.len()
+            ));
+            return;
+        }
+        if !report.critical_path_ps.is_finite() || report.critical_path_ps < 0.0 {
+            sink.report(format!("critical path is {} ps", report.critical_path_ps));
+        }
+        for (net, arrival) in report.arrival_ps.iter().enumerate() {
+            if let Some(t) = arrival {
+                if !t.is_finite() || *t < 0.0 {
+                    sink.report(format!("net index {net} has arrival {t} ps"));
+                }
+            }
+        }
+        // Causality: a live gate output settles no earlier than its
+        // slowest live input.
+        for (idx, gate) in netlist.gates().iter().enumerate() {
+            let out = gate.output.index();
+            if report.constants[out].is_some() {
+                continue; // constant under the case analysis
+            }
+            let Some(out_t) = report.arrival_ps[out] else {
+                sink.report(format!(
+                    "gate {idx} ({}) output net {} is live but has no arrival",
+                    gate.kind, gate.output
+                ));
+                continue;
+            };
+            for &input in &gate.inputs {
+                if report.constants[input.index()].is_some() {
+                    continue;
+                }
+                if let Some(in_t) = report.arrival_ps[input.index()] {
+                    if out_t < in_t - Self::TOL_PS {
+                        sink.report(format!(
+                            "gate {idx} ({}) output arrives at {out_t} ps before \
+                             its input net {input} at {in_t} ps",
+                            gate.kind
+                        ));
+                    }
+                }
+            }
+        }
+        // Live primary inputs arrive at exactly 0.
+        for net in netlist.primary_inputs() {
+            if report.constants[net.index()].is_some() {
+                continue;
+            }
+            if let Some(t) = report.arrival_ps[net.index()] {
+                if t.abs() > Self::TOL_PS {
+                    sink.report(format!("primary input net {net} arrives at {t} ps, not 0"));
+                }
+            }
+        }
+        // The critical path must equal the slowest reported output.
+        let worst_output = report
+            .output_arrivals
+            .values()
+            .fold(0.0f64, |acc, &t| acc.max(t));
+        if (report.critical_path_ps - worst_output).abs() > Self::TOL_PS {
+            sink.report(format!(
+                "critical path {} ps disagrees with slowest output arrival {} ps",
+                report.critical_path_ps, worst_output
+            ));
+        }
+        // Constants must be consistent with constant drivers.
+        for net in 0..nets {
+            let id = agequant_netlist::NetId::from_index(net);
+            if let NetDriver::Constant(v) = netlist.driver(id) {
+                if report.constants[net] != Some(v) {
+                    sink.report(format!(
+                        "net {id} is tied to {v} in the netlist but the report records {:?}",
+                        report.constants[net]
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `ST002`: a compression plan's arithmetic must be self-consistent.
+///
+/// The `(α, β)` point must be valid for the MAC geometry, the claimed
+/// bit widths must follow Section 5's rule (`8 − α`, `8 − β`,
+/// `16 − α − β`), the compressed delay must actually meet the
+/// constraint, and a selected plan implies at least one feasible point.
+pub struct CompressionBitwidthArithmetic;
+
+impl Lint for CompressionBitwidthArithmetic {
+    fn code(&self) -> &'static str {
+        "ST002"
+    }
+
+    fn slug(&self) -> &'static str {
+        "compression-bitwidth-arithmetic"
+    }
+
+    fn description(&self) -> &'static str {
+        "a compression plan's (α, β), bit widths, delays, or feasibility count are inconsistent"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::Plan {
+            plan,
+            geometry,
+            widths,
+            ..
+        } = artifact
+        else {
+            return;
+        };
+        let (alpha, beta) = (plan.compression.alpha(), plan.compression.beta());
+        if let Err(reason) = plan.compression.validate(*geometry) {
+            sink.report(format!("compression {alpha}/{beta} invalid: {reason}"));
+        }
+        // Recompute Section 5's widths with saturating arithmetic so a
+        // corrupt (α, β) reports instead of panicking like
+        // `BitWidths::for_compression` would.
+        let expected = (
+            8u8.saturating_sub(alpha),
+            8u8.saturating_sub(beta),
+            16u8.saturating_sub(alpha).saturating_sub(beta),
+        );
+        let actual = (widths.activations, widths.weights, widths.bias);
+        if expected != actual {
+            sink.report(format!(
+                "widths {actual:?} (activations, weights, bias) do not match \
+                 {expected:?} derived from α={alpha}, β={beta}"
+            ));
+        }
+        if actual.0 == 0 || actual.1 == 0 || actual.2 == 0 {
+            sink.report(format!("plan leaves a zero bit width: {actual:?}"));
+        }
+        if !plan.compressed_delay_ps.is_finite() || !plan.constraint_ps.is_finite() {
+            sink.report(format!(
+                "non-finite timing: compressed {} ps, constraint {} ps",
+                plan.compressed_delay_ps, plan.constraint_ps
+            ));
+        } else if plan.compressed_delay_ps > plan.constraint_ps {
+            sink.report(format!(
+                "compressed delay {} ps exceeds the {} ps constraint the plan claims to meet",
+                plan.compressed_delay_ps, plan.constraint_ps
+            ));
+        }
+        if plan.feasible_points == 0 {
+            sink.report("plan selected a point but records zero feasible points".to_string());
+        }
+    }
+}

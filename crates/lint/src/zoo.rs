@@ -1,0 +1,177 @@
+//! The shipped artifact zoo: every generator output, the aged library
+//! sweep, STA results, and the flow's compression plans — the
+//! artifacts the repository itself relies on, enumerated for linting.
+
+use agequant_aging::VthShift;
+use agequant_cells::{CellLibrary, ProcessLibrary};
+use agequant_core::{AgingAwareQuantizer, CompressionPlan, FlowConfig};
+use agequant_netlist::adders::{prefix_adder, ripple_carry};
+use agequant_netlist::mac::{MacCircuit, MacGeometry};
+use agequant_netlist::multipliers::multiplier;
+use agequant_netlist::{MultiplierArch, Netlist, PrefixStyle};
+use agequant_quant::{BitWidths, QuantParams};
+use agequant_sta::{mac_case, Compression, Padding, Sta, TimingReport};
+
+use crate::config::LintConfig;
+use crate::diagnostic::LintReport;
+use crate::lint::{Artifact, Linter};
+
+/// The ΔVth levels of a sweep from 0 to `max_mv` in `step_mv` steps.
+fn sweep_levels(max_mv: f64, step_mv: f64) -> Vec<VthShift> {
+    let mut levels = Vec::new();
+    let mut mv = 0.0;
+    while mv <= max_mv + 1e-9 {
+        levels.push(VthShift::from_millivolts(mv));
+        mv += step_mv.max(1e-3);
+    }
+    levels
+}
+
+/// Owns every artifact the lint pass checks.
+///
+/// Artifacts borrow from the zoo, so build it once and call
+/// [`Zoo::artifacts`] for the borrowed view.
+#[must_use]
+pub struct Zoo {
+    netlists: Vec<(String, Netlist)>,
+    mac: MacCircuit,
+    sweep: Vec<CellLibrary>,
+    timings: Vec<(String, TimingReport)>,
+    plans: Vec<(String, CompressionPlan, BitWidths)>,
+    quants: Vec<(String, QuantParams, Option<u8>)>,
+}
+
+impl Zoo {
+    /// Builds the full zoo, characterizing libraries from fresh to
+    /// `max_mv` millivolts of ΔVth in `step_mv` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow configuration this crate ships is invalid
+    /// (a programming error, covered by `agequant-core` tests).
+    pub fn build(max_mv: f64, step_mv: f64) -> Self {
+        let mut netlists: Vec<(String, Netlist)> = Vec::new();
+        for width in [8usize, 16, 22] {
+            netlists.push((format!("ripple_carry_{width}"), ripple_carry(width)));
+            for style in PrefixStyle::ALL {
+                netlists.push((
+                    format!("prefix_adder_{width}_{}", style.name()),
+                    prefix_adder(width, style),
+                ));
+            }
+        }
+        for arch in MultiplierArch::ALL {
+            netlists.push((
+                format!("multiplier_8x8_{}", arch.name()),
+                multiplier(8, 8, arch),
+            ));
+        }
+        for arch in MultiplierArch::ALL {
+            for style in PrefixStyle::ALL {
+                let mac = MacCircuit::new(MacGeometry::EDGE_TPU, arch, style)
+                    .expect("EDGE_TPU geometry is valid");
+                netlists.push((mac.netlist().name().to_string(), mac.netlist().clone()));
+            }
+        }
+
+        let process = ProcessLibrary::finfet14nm();
+        let levels = sweep_levels(max_mv, step_mv);
+        let sweep: Vec<CellLibrary> = levels.iter().map(|&s| process.characterize(s)).collect();
+
+        // STA results on the paper's MAC, per aging level, both
+        // uncompressed and under the (4, 4)/MSB case of Section 5.
+        let mac = MacCircuit::edge_tpu();
+        let case = mac_case(mac.geometry(), Compression::new(4, 4), Padding::Msb)
+            .assignment(mac.netlist())
+            .expect("(4, 4) is a valid case for the Edge-TPU MAC");
+        let mut timings = Vec::new();
+        for lib in &sweep {
+            let mv = lib.vth_shift().millivolts();
+            let sta = Sta::new(mac.netlist(), lib);
+            timings.push((
+                format!("sta_{mv}mv_uncompressed"),
+                sta.analyze_uncompressed(),
+            ));
+            timings.push((format!("sta_{mv}mv_c44_msb"), sta.analyze(&case)));
+        }
+
+        // The flow's own compression plans across the sweep; levels
+        // where no compression closes timing are legitimately absent.
+        let flow = AgingAwareQuantizer::new(FlowConfig::edge_tpu_like())
+            .expect("shipped flow config is valid");
+        let mut plans = Vec::new();
+        let mut quants = Vec::new();
+        for &shift in &levels {
+            let mv = shift.millivolts();
+            let Ok(plan) = flow.compression_for(shift) else {
+                continue;
+            };
+            let widths = plan.bit_widths();
+            plans.push((format!("plan_{mv}mv"), plan, widths));
+            quants.push((
+                format!("plan_{mv}mv_activations"),
+                QuantParams::from_range(0.0, 6.0, widths.activations),
+                Some(widths.activations),
+            ));
+            quants.push((
+                format!("plan_{mv}mv_weights"),
+                QuantParams::symmetric(1.0, widths.weights),
+                Some(widths.weights),
+            ));
+        }
+
+        Zoo {
+            netlists,
+            mac,
+            sweep,
+            timings,
+            plans,
+            quants,
+        }
+    }
+
+    /// Every artifact, borrowed from the zoo.
+    #[must_use]
+    pub fn artifacts(&self) -> Vec<Artifact<'_>> {
+        let mut artifacts = Vec::new();
+        for (name, netlist) in &self.netlists {
+            artifacts.push(Artifact::Netlist { name, netlist });
+        }
+        artifacts.push(Artifact::LibrarySweep {
+            name: "finfet14nm_sweep",
+            sweep: &self.sweep,
+        });
+        for (name, report) in &self.timings {
+            artifacts.push(Artifact::Timing {
+                name,
+                netlist: self.mac.netlist(),
+                report,
+            });
+        }
+        for (name, plan, widths) in &self.plans {
+            artifacts.push(Artifact::Plan {
+                name,
+                plan,
+                geometry: MacGeometry::EDGE_TPU,
+                widths: *widths,
+            });
+        }
+        for (name, params, expected_bits) in &self.quants {
+            artifacts.push(Artifact::Quant {
+                name,
+                params,
+                expected_bits: *expected_bits,
+            });
+        }
+        artifacts
+    }
+}
+
+/// Builds the zoo and lints every artifact in it.
+///
+/// This is the library entry point behind the `agequant-lint` binary:
+/// a clean tree must come back with [`LintReport::is_clean`] true.
+pub fn lint_zoo(config: LintConfig, max_mv: f64, step_mv: f64) -> LintReport {
+    let zoo = Zoo::build(max_mv, step_mv);
+    Linter::with_config(config).run(&zoo.artifacts())
+}

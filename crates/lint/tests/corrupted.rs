@@ -1,0 +1,362 @@
+//! Positive/negative coverage for every lint code: each corrupted
+//! artifact must trip exactly the expected lint, and the pristine
+//! artifact it was derived from must not.
+
+use std::collections::BTreeMap;
+
+use agequant_aging::VthShift;
+use agequant_cells::{ArcTiming, CellKind, CellLibrary, ProcessLibrary};
+use agequant_core::CompressionPlan;
+use agequant_lint::{Artifact, LintConfig, Linter, Severity};
+use agequant_netlist::adders::ripple_carry;
+use agequant_netlist::mac::MacGeometry;
+use agequant_netlist::{NetId, Netlist, NetlistBuilder};
+use agequant_quant::{BitWidths, QuantParams};
+use agequant_sta::{Compression, Padding, Sta, TimingReport};
+
+/// Lint codes fired by one artifact under default severities.
+fn codes(artifact: Artifact<'_>) -> Vec<String> {
+    Linter::new()
+        .run(&[artifact])
+        .diagnostics
+        .into_iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+fn netlist_codes(netlist: &Netlist) -> Vec<String> {
+    codes(Artifact::Netlist {
+        name: "under-test",
+        netlist,
+    })
+}
+
+/// A small adder plus its raw parts, the base for netlist corruption.
+fn base_netlist() -> Netlist {
+    ripple_carry(4)
+}
+
+fn rebuilt(
+    f: impl FnOnce(&mut Vec<agequant_netlist::Gate>, &mut Vec<agequant_netlist::NetDriver>),
+) -> Netlist {
+    let base = base_netlist();
+    let (mut drivers, mut gates, inputs, outputs) = {
+        let (d, g, i, o) = base.to_parts();
+        (d, g, i, o)
+    };
+    f(&mut gates, &mut drivers);
+    Netlist::from_parts("corrupted", drivers, gates, inputs, outputs)
+}
+
+#[test]
+fn nl001_fires_on_back_edge_and_self_loop() {
+    let clean = base_netlist();
+    assert!(!netlist_codes(&clean).contains(&"NL001".to_string()));
+
+    let back_edge = rebuilt(|gates, _| {
+        let last_out = gates.last().unwrap().output;
+        gates[0].inputs[0] = last_out;
+    });
+    assert!(netlist_codes(&back_edge).contains(&"NL001".to_string()));
+
+    let self_loop = rebuilt(|gates, _| {
+        gates[0].inputs[0] = gates[0].output;
+    });
+    assert!(netlist_codes(&self_loop).contains(&"NL001".to_string()));
+}
+
+#[test]
+fn nl002_fires_on_out_of_table_reference() {
+    let clean = base_netlist();
+    assert!(!netlist_codes(&clean).contains(&"NL002".to_string()));
+
+    let count = clean.net_count();
+    let floating = rebuilt(|gates, _| {
+        gates[0].inputs[0] = NetId::from_index(count + 5);
+    });
+    assert!(netlist_codes(&floating).contains(&"NL002".to_string()));
+}
+
+#[test]
+fn nl003_fires_on_duplicated_driver() {
+    let clean = base_netlist();
+    assert!(!netlist_codes(&clean).contains(&"NL003".to_string()));
+
+    let doubled = rebuilt(|gates, _| {
+        let first_out = gates[0].output;
+        gates[1].output = first_out;
+    });
+    assert!(netlist_codes(&doubled).contains(&"NL003".to_string()));
+
+    let stale_table = rebuilt(|gates, drivers| {
+        // The driver table claims a gate drives a primary input.
+        let pi = gates[0].inputs[0];
+        drivers[pi.index()] =
+            agequant_netlist::NetDriver::Gate(agequant_netlist::GateId::from_index(0));
+    });
+    assert!(netlist_codes(&stale_table).contains(&"NL003".to_string()));
+}
+
+#[test]
+fn nl004_warns_once_on_dead_gates() {
+    let clean = base_netlist();
+    assert!(!netlist_codes(&clean).contains(&"NL004".to_string()));
+
+    let mut b = NetlistBuilder::new("dead");
+    let x = b.input_bus("x", 2);
+    let live = b.gate(CellKind::And2, &[x[0], x[1]]);
+    let _dead1 = b.gate(CellKind::Xor2, &[x[0], x[1]]);
+    let _dead2 = b.gate(CellKind::Or2, &[x[0], x[1]]);
+    b.output_bus("y", &[live]);
+    let n = b.finish();
+
+    let report = Linter::new().run(&[Artifact::Netlist {
+        name: "dead",
+        netlist: &n,
+    }]);
+    let findings: Vec<_> = report.with_code("NL004").collect();
+    assert_eq!(findings.len(), 1, "dead gates aggregate into one finding");
+    assert_eq!(findings[0].severity, Severity::Warn);
+    assert!(findings[0].message.contains("2 of 3"));
+    assert!(report.is_clean(), "NL004 defaults to warn, not deny");
+
+    let denied = Linter::with_config(LintConfig::new().deny("NL004")).run(&[Artifact::Netlist {
+        name: "dead",
+        netlist: &n,
+    }]);
+    assert!(!denied.is_clean(), "config can promote NL004 to deny");
+}
+
+#[test]
+fn nl005_fires_on_malformed_ports() {
+    let clean = base_netlist();
+    assert!(!netlist_codes(&clean).contains(&"NL005".to_string()));
+
+    let base = base_netlist();
+    let (drivers, gates, mut inputs, outputs) = base.to_parts();
+    inputs[0].nets.clear(); // zero-width input bus
+    let empty_bus = Netlist::from_parts("corrupted", drivers, gates, inputs, outputs);
+    assert!(netlist_codes(&empty_bus).contains(&"NL005".to_string()));
+
+    let base = base_netlist();
+    let (drivers, gates, mut inputs, outputs) = base.to_parts();
+    inputs[1].name = inputs[0].name.clone(); // duplicate port name
+    let dup_name = Netlist::from_parts("corrupted", drivers, gates, inputs, outputs);
+    assert!(netlist_codes(&dup_name).contains(&"NL005".to_string()));
+
+    let base = base_netlist();
+    let (drivers, gates, mut inputs, outputs) = base.to_parts();
+    inputs[0].nets[0] = gates[0].output; // input port driven by a gate
+    let gate_driven = Netlist::from_parts("corrupted", drivers, gates, inputs, outputs);
+    assert!(netlist_codes(&gate_driven).contains(&"NL005".to_string()));
+}
+
+/// The fresh library's arcs, for building corrupted libraries.
+fn fresh_arcs() -> BTreeMap<CellKind, ArcTiming> {
+    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    lib.kinds().map(|k| (k, lib.arc(k).clone())).collect()
+}
+
+fn sweep_codes(sweep: &[CellLibrary]) -> Vec<String> {
+    codes(Artifact::LibrarySweep {
+        name: "under-test",
+        sweep,
+    })
+}
+
+fn real_sweep() -> Vec<CellLibrary> {
+    let process = ProcessLibrary::finfet14nm();
+    [0.0, 10.0, 20.0]
+        .iter()
+        .map(|&mv| process.characterize(VthShift::from_millivolts(mv)))
+        .collect()
+}
+
+#[test]
+fn cl001_fires_on_negative_load_slope() {
+    assert!(!sweep_codes(&real_sweep()).contains(&"CL001".to_string()));
+
+    let mut arcs = fresh_arcs();
+    arcs.get_mut(&CellKind::Nand2).unwrap().slope_ps_per_ff = -3.0;
+    let bad = vec![CellLibrary::from_arcs(VthShift::FRESH, arcs)];
+    assert!(sweep_codes(&bad).contains(&"CL001".to_string()));
+}
+
+#[test]
+fn cl002_fires_when_aging_speeds_a_cell_up() {
+    assert!(!sweep_codes(&real_sweep()).contains(&"CL002".to_string()));
+
+    // An "aged" library whose delays shrank below the fresh ones.
+    let fresh = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let mut arcs = fresh_arcs();
+    for arc in arcs.values_mut() {
+        for d in &mut arc.pin_intrinsic_ps {
+            *d *= 0.5;
+        }
+    }
+    let faster_when_old = CellLibrary::from_arcs(VthShift::from_millivolts(20.0), arcs);
+    let bad = vec![fresh.clone(), faster_when_old];
+    assert!(sweep_codes(&bad).contains(&"CL002".to_string()));
+
+    // A sweep whose ordering is scrambled is also rejected.
+    let aged = ProcessLibrary::finfet14nm().characterize(VthShift::from_millivolts(20.0));
+    let unordered = vec![aged, fresh];
+    assert!(sweep_codes(&unordered).contains(&"CL002".to_string()));
+}
+
+#[test]
+fn cl003_fires_on_non_physical_power_data() {
+    assert!(!sweep_codes(&real_sweep()).contains(&"CL003".to_string()));
+
+    let mut arcs = fresh_arcs();
+    arcs.get_mut(&CellKind::Xor2).unwrap().switch_energy_fj = -0.5;
+    let bad = vec![CellLibrary::from_arcs(VthShift::FRESH, arcs)];
+    assert!(sweep_codes(&bad).contains(&"CL003".to_string()));
+
+    let mut arcs = fresh_arcs();
+    arcs.get_mut(&CellKind::Inv).unwrap().input_cap_ff = 0.0;
+    let bad = vec![CellLibrary::from_arcs(VthShift::FRESH, arcs)];
+    assert!(sweep_codes(&bad).contains(&"CL003".to_string()));
+}
+
+/// A real STA report over a small adder, plus the netlist it came from.
+fn timed_adder() -> (Netlist, TimingReport) {
+    let adder = ripple_carry(4);
+    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let report = Sta::new(&adder, &lib).analyze_uncompressed();
+    (adder, report)
+}
+
+fn timing_codes(netlist: &Netlist, report: &TimingReport) -> Vec<String> {
+    codes(Artifact::Timing {
+        name: "under-test",
+        netlist,
+        report,
+    })
+}
+
+#[test]
+fn st001_fires_on_acausal_or_inconsistent_reports() {
+    let (adder, clean) = timed_adder();
+    assert!(!timing_codes(&adder, &clean).contains(&"ST001".to_string()));
+
+    // Critical path no longer matches the slowest output.
+    let mut wrong_cp = clean.clone();
+    wrong_cp.critical_path_ps += 100.0;
+    assert!(timing_codes(&adder, &wrong_cp).contains(&"ST001".to_string()));
+
+    // A gate output claiming to settle before its fanins.
+    let mut acausal = clean.clone();
+    let last_out = adder.gates().last().unwrap().output;
+    acausal.arrival_ps[last_out.index()] = Some(0.0);
+    assert!(timing_codes(&adder, &acausal).contains(&"ST001".to_string()));
+
+    // A report sized for a different netlist.
+    let mut truncated = clean.clone();
+    truncated.arrival_ps.pop();
+    assert!(timing_codes(&adder, &truncated).contains(&"ST001".to_string()));
+
+    // A primary input arriving late.
+    let mut late_pi = clean;
+    let pi = adder.primary_inputs().next().unwrap();
+    late_pi.arrival_ps[pi.index()] = Some(5.0);
+    assert!(timing_codes(&adder, &late_pi).contains(&"ST001".to_string()));
+}
+
+/// A self-consistent (4, 4) plan for the Edge-TPU geometry.
+fn consistent_plan() -> (CompressionPlan, BitWidths) {
+    let plan = CompressionPlan {
+        shift: VthShift::from_millivolts(30.0),
+        compression: Compression::new(4, 4),
+        padding: Padding::Msb,
+        compressed_delay_ps: 800.0,
+        constraint_ps: 900.0,
+        feasible_points: 12,
+    };
+    (plan, BitWidths::for_compression(4, 4))
+}
+
+fn plan_codes(plan: &CompressionPlan, widths: BitWidths) -> Vec<String> {
+    codes(Artifact::Plan {
+        name: "under-test",
+        plan,
+        geometry: MacGeometry::EDGE_TPU,
+        widths,
+    })
+}
+
+#[test]
+fn st002_fires_on_inconsistent_plan_arithmetic() {
+    let (plan, widths) = consistent_plan();
+    assert!(!plan_codes(&plan, widths).contains(&"ST002".to_string()));
+
+    // Widths that ignore the compression.
+    assert!(plan_codes(&plan, BitWidths::W8A8).contains(&"ST002".to_string()));
+
+    // A compression too wide for the MAC's operand buses.
+    let mut too_wide = plan;
+    too_wide.compression = Compression::new(9, 0);
+    let wide_widths = BitWidths {
+        activations: 8u8.saturating_sub(9),
+        weights: 8,
+        bias: 7,
+    };
+    assert!(plan_codes(&too_wide, wide_widths).contains(&"ST002".to_string()));
+
+    // A plan that claims to meet a constraint its delay exceeds.
+    let mut missed = plan;
+    missed.compressed_delay_ps = 950.0;
+    assert!(plan_codes(&missed, widths).contains(&"ST002".to_string()));
+
+    // A selected plan with zero feasible points is contradictory.
+    let mut infeasible = plan;
+    infeasible.feasible_points = 0;
+    assert!(plan_codes(&infeasible, widths).contains(&"ST002".to_string()));
+}
+
+fn quant_codes(params: &QuantParams, expected_bits: Option<u8>) -> Vec<String> {
+    codes(Artifact::Quant {
+        name: "under-test",
+        params,
+        expected_bits,
+    })
+}
+
+#[test]
+fn qt001_fires_on_broken_quant_params() {
+    let clean = QuantParams::from_range(-1.0, 1.0, 8);
+    assert!(!quant_codes(&clean, Some(8)).contains(&"QT001".to_string()));
+
+    let negative_scale = QuantParams::from_raw(-0.25, 0, 8);
+    assert!(quant_codes(&negative_scale, None).contains(&"QT001".to_string()));
+
+    let wild_zero_point = QuantParams::from_raw(0.1, 300, 8);
+    assert!(quant_codes(&wild_zero_point, None).contains(&"QT001".to_string()));
+
+    let zero_bits = QuantParams::from_raw(0.1, 0, 0);
+    assert!(quant_codes(&zero_bits, None).contains(&"QT001".to_string()));
+
+    let too_many_bits = QuantParams::from_raw(0.1, 0, 16);
+    assert!(quant_codes(&too_many_bits, None).contains(&"QT001".to_string()));
+
+    // Valid in isolation, but not the width the plan dictates.
+    let wrong_width = QuantParams::from_range(-1.0, 1.0, 8);
+    assert!(quant_codes(&wrong_width, Some(4)).contains(&"QT001".to_string()));
+}
+
+#[test]
+fn corrupted_netlists_do_not_trip_unrelated_lints() {
+    // Cross-check: a back-edge corruption fires NL001 but leaves the
+    // quant/cell/STA lints silent (they ignore netlist artifacts).
+    let back_edge = rebuilt(|gates, _| {
+        let last_out = gates.last().unwrap().output;
+        gates[0].inputs[0] = last_out;
+    });
+    let fired = netlist_codes(&back_edge);
+    for code in ["CL001", "CL002", "CL003", "ST001", "ST002", "QT001"] {
+        assert!(
+            !fired.contains(&code.to_string()),
+            "{code} fired on a netlist"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: builder-produced netlists pass every structural
+//! lint, and targeted mutations trip exactly the expected code.
+
+use agequant_cells::{CellKind, ALL_CELL_KINDS};
+use agequant_lint::{Artifact, Linter};
+use agequant_netlist::{NetId, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A random combinational netlist: every gate reads already-available
+/// nets, and every otherwise-unread gate output feeds the output bus,
+/// so the result has no dead logic by construction.
+fn random_netlist(seed: u64, input_width: usize, gate_count: usize) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new("random");
+    let inputs = b.input_bus("x", input_width);
+    let mut available: Vec<NetId> = inputs;
+    let mut outputs: Vec<NetId> = Vec::new();
+    for _ in 0..gate_count {
+        let kind = ALL_CELL_KINDS[rng.random_range(0..ALL_CELL_KINDS.len())];
+        let pins: Vec<NetId> = (0..kind.arity())
+            .map(|_| available[rng.random_range(0..available.len())])
+            .collect();
+        let out = b.gate(kind, &pins);
+        available.push(out);
+        outputs.push(out);
+    }
+    // Collect every gate output on the port so nothing is dead; reads
+    // by later gates don't matter for liveness.
+    if outputs.is_empty() {
+        let tied = b.gate(CellKind::And2, &[available[0], available[0]]);
+        outputs.push(tied);
+    }
+    b.output_bus("y", &outputs);
+    b.finish()
+}
+
+fn fired(netlist: &Netlist) -> Vec<String> {
+    Linter::new()
+        .run(&[Artifact::Netlist {
+            name: "random",
+            netlist,
+        }])
+        .diagnostics
+        .into_iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Anything the builder produces is lint-clean.
+    #[test]
+    fn builder_netlists_pass_all_lints(
+        seed in any::<u64>(),
+        width in 1usize..9,
+        gates in 0usize..40,
+    ) {
+        let netlist = random_netlist(seed, width, gates);
+        let codes = fired(&netlist);
+        prop_assert!(codes.is_empty(), "clean netlist fired {codes:?}");
+    }
+
+    /// Rewiring a gate to read a later gate's output trips NL001.
+    #[test]
+    fn back_edge_mutation_trips_nl001(
+        seed in any::<u64>(),
+        width in 2usize..9,
+        gates in 2usize..40,
+    ) {
+        let base = random_netlist(seed, width, gates);
+        let (drivers, mut gate_list, inputs, outputs) = base.to_parts();
+        let last_out = gate_list.last().unwrap().output;
+        let victim = seed as usize % (gate_list.len() - 1);
+        gate_list[victim].inputs[0] = last_out;
+        let mutated = Netlist::from_parts("mutated", drivers, gate_list, inputs, outputs);
+        prop_assert!(fired(&mutated).contains(&"NL001".to_string()));
+    }
+
+    /// Duplicating a driver trips NL003.
+    #[test]
+    fn duplicate_driver_mutation_trips_nl003(
+        seed in any::<u64>(),
+        width in 2usize..9,
+        gates in 2usize..40,
+    ) {
+        let base = random_netlist(seed, width, gates);
+        let (drivers, mut gate_list, inputs, outputs) = base.to_parts();
+        let first_out = gate_list[0].output;
+        let len = gate_list.len();
+        gate_list[1 + seed as usize % (len - 1)].output = first_out;
+        let mutated = Netlist::from_parts("mutated", drivers, gate_list, inputs, outputs);
+        prop_assert!(fired(&mutated).contains(&"NL003".to_string()));
+    }
+
+    /// Orphaning a gate (dropping its output from the port) trips NL004.
+    #[test]
+    fn orphaned_gate_mutation_trips_nl004(
+        seed in any::<u64>(),
+        width in 2usize..9,
+        gates in 1usize..40,
+    ) {
+        let base = random_netlist(seed, width, gates);
+        let (drivers, gate_list, inputs, mut outputs) = base.to_parts();
+        // Orphan the final gate: nothing reads it once it leaves the bus.
+        let last_out = gate_list.last().unwrap().output;
+        outputs[0].nets.retain(|&n| n != last_out);
+        if outputs[0].nets.is_empty() {
+            // Keep the port non-empty so NL005 stays out of the picture.
+            outputs[0].nets.push(NetId::from_index(0));
+        }
+        let mutated = Netlist::from_parts("mutated", drivers, gate_list, inputs, outputs);
+        prop_assert!(fired(&mutated).contains(&"NL004".to_string()));
+    }
+}

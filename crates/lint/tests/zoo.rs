@@ -1,0 +1,22 @@
+//! The shipped artifact zoo must be deny-clean: this is the same
+//! check the `agequant-lint` binary (and CI) performs.
+
+use agequant_lint::{lint_zoo, LintConfig, Severity};
+
+#[test]
+fn shipped_zoo_has_no_deny_findings() {
+    // A reduced sweep keeps the test fast; the CLI covers 0–50 mV.
+    let report = lint_zoo(LintConfig::new(), 20.0, 10.0);
+    assert!(
+        report.is_clean(),
+        "deny findings on shipped artifacts:\n{}",
+        report.render_text()
+    );
+    // The only expected warnings are NL004's prunable-helper-logic
+    // notes on generator netlists.
+    for d in &report.diagnostics {
+        assert_eq!(d.severity, Severity::Warn, "unexpected: {d}");
+        assert_eq!(d.code, "NL004", "unexpected: {d}");
+    }
+    assert!(report.artifacts_checked > 30, "zoo unexpectedly small");
+}

@@ -307,10 +307,12 @@ mod tests {
             ),
         ];
         for (a, bv) in cases {
-            let out = netlist.evaluate(&BTreeMap::from([
-                ("a".to_string(), a),
-                ("b".to_string(), bv),
-            ]));
+            let out = netlist
+                .evaluate(&BTreeMap::from([
+                    ("a".to_string(), a),
+                    ("b".to_string(), bv),
+                ]))
+                .unwrap();
             assert_eq!(out["sum"], a + bv, "{}: {a} + {bv}", netlist.name());
         }
     }
@@ -403,7 +405,7 @@ mod proptests {
             let out = netlist.evaluate(&BTreeMap::from([
                 ("a".to_string(), a),
                 ("b".to_string(), b),
-            ]));
+            ])).unwrap();
             prop_assert_eq!(out["sum"], a + b);
         }
     }

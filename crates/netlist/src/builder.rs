@@ -25,6 +25,7 @@ use crate::{Bus, Gate, GateId, NetDriver, NetId, Netlist};
 /// let netlist = b.finish();
 /// assert_eq!(netlist.gate_count(), 2);
 /// ```
+#[must_use]
 #[derive(Debug, Clone)]
 pub struct NetlistBuilder {
     name: String,
@@ -37,7 +38,6 @@ pub struct NetlistBuilder {
 
 impl NetlistBuilder {
     /// Starts a new netlist with the given name.
-    #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
         NetlistBuilder {
             name: name.into(),
@@ -166,14 +166,22 @@ impl NetlistBuilder {
                 fanouts[net.index()].push((gid, pin));
             }
         }
-        Netlist {
+        let netlist = Netlist {
             name: self.name,
             drivers: self.drivers,
             gates: self.gates,
             input_buses: self.input_buses,
             output_buses: self.output_buses,
             fanouts,
-        }
+        };
+        // Full structural invariant sweep in test/debug builds; the
+        // assert above keeps the cheap topological check in release.
+        debug_assert!(
+            netlist.verify().is_ok(),
+            "NetlistBuilder produced an ill-formed netlist: {}",
+            netlist.verify().unwrap_err()
+        );
+        netlist
     }
 }
 

@@ -1,8 +1,57 @@
 //! Zero-delay functional evaluation of netlists.
 
 use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 
 use crate::{NetDriver, Netlist};
+
+/// Errors of bus-level netlist evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An input bus was absent from the provided value map.
+    MissingBus {
+        /// The name of the missing input bus.
+        bus: String,
+    },
+    /// A provided value does not fit its bus width.
+    ValueTooWide {
+        /// The bus the value was provided for.
+        bus: String,
+        /// The bus width in bits.
+        width: usize,
+        /// The offending value.
+        value: u64,
+    },
+    /// A bus exceeds the 64-bit evaluation limit.
+    BusTooWide {
+        /// The offending bus.
+        bus: String,
+        /// The bus width in bits.
+        width: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingBus { bus } => {
+                write!(f, "missing value for input bus {bus}")
+            }
+            EvalError::ValueTooWide { bus, width, value } => {
+                write!(f, "value {value} does not fit {width}-bit bus {bus}")
+            }
+            EvalError::BusTooWide { bus, width } => {
+                write!(
+                    f,
+                    "bus {bus} is {width} bits wide; evaluation supports at most 64"
+                )
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
 
 impl Netlist {
     /// Evaluates the netlist on bus-level integer inputs.
@@ -12,10 +61,11 @@ impl Netlist {
     /// Buses wider than 64 bits are unsupported (none of the
     /// generators produce them).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an input bus is missing from `inputs`, a value does
-    /// not fit its bus, or a bus exceeds 64 bits.
+    /// Returns an [`EvalError`] if an input bus is missing from
+    /// `inputs`, a value does not fit its bus, or a bus exceeds 64
+    /// bits.
     ///
     /// # Example
     ///
@@ -24,27 +74,35 @@ impl Netlist {
     /// use agequant_netlist::adders::ripple_carry;
     ///
     /// let adder = ripple_carry(8);
-    /// let out = adder.evaluate(&BTreeMap::from([
-    ///     ("a".to_string(), 200),
-    ///     ("b".to_string(), 100),
-    /// ]));
+    /// let out = adder
+    ///     .evaluate(&BTreeMap::from([
+    ///         ("a".to_string(), 200),
+    ///         ("b".to_string(), 100),
+    ///     ]))
+    ///     .unwrap();
     /// assert_eq!(out["sum"], 300);
     /// ```
-    #[must_use]
-    pub fn evaluate(&self, inputs: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    pub fn evaluate(
+        &self,
+        inputs: &BTreeMap<String, u64>,
+    ) -> Result<BTreeMap<String, u64>, EvalError> {
         let mut values = vec![false; self.net_count()];
         for bus in &self.input_buses {
-            assert!(bus.width() <= 64, "bus {} wider than 64 bits", bus.name);
-            let value = *inputs
-                .get(&bus.name)
-                .unwrap_or_else(|| panic!("missing value for input bus {}", bus.name));
-            if bus.width() < 64 {
-                assert!(
-                    value < (1u64 << bus.width()),
-                    "value {value} does not fit {}-bit bus {}",
-                    bus.width(),
-                    bus.name
-                );
+            if bus.width() > 64 {
+                return Err(EvalError::BusTooWide {
+                    bus: bus.name.clone(),
+                    width: bus.width(),
+                });
+            }
+            let value = *inputs.get(&bus.name).ok_or_else(|| EvalError::MissingBus {
+                bus: bus.name.clone(),
+            })?;
+            if bus.width() < 64 && value >= (1u64 << bus.width()) {
+                return Err(EvalError::ValueTooWide {
+                    bus: bus.name.clone(),
+                    width: bus.width(),
+                    value,
+                });
             }
             for (bit, &net) in bus.nets.iter().enumerate() {
                 values[net.index()] = (value >> bit) & 1 == 1;
@@ -59,7 +117,7 @@ impl Netlist {
             }
             out.insert(bus.name.clone(), value);
         }
-        out
+        Ok(out)
     }
 
     /// Evaluates all nets given pre-set primary-input values.
@@ -84,9 +142,13 @@ impl Netlist {
     }
 
     /// Convenience: evaluate with a single input bus `a` and return the
-    /// single output bus value. Panics when the netlist shape differs.
-    #[must_use]
-    pub fn evaluate_unary(&self, a: u64) -> u64 {
+    /// single output bus value. Panics when the netlist shape differs
+    /// (a fixed-shape usage error, not an input-data error).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from [`Netlist::evaluate`].
+    pub fn evaluate_unary(&self, a: u64) -> Result<u64, EvalError> {
         assert_eq!(self.input_buses.len(), 1, "expected exactly one input bus");
         assert_eq!(
             self.output_buses.len(),
@@ -94,8 +156,8 @@ impl Netlist {
             "expected exactly one output bus"
         );
         let inputs = BTreeMap::from([(self.input_buses[0].name.clone(), a)]);
-        let out = self.evaluate(&inputs);
-        out.into_values().next().expect("one output bus")
+        let out = self.evaluate(&inputs)?;
+        Ok(out.into_values().next().expect("one output bus"))
     }
 }
 
@@ -107,6 +169,8 @@ mod tests {
 
     use crate::NetlistBuilder;
 
+    use super::*;
+
     #[test]
     fn constants_participate_in_eval() {
         let mut b = NetlistBuilder::new("c");
@@ -115,29 +179,59 @@ mod tests {
         let y = b.gate(CellKind::And2, &[x[0], one]);
         b.output_bus("y", &[y]);
         let n = b.finish();
-        let out = n.evaluate(&BTreeMap::from([("x".to_string(), 1)]));
+        let out = n.evaluate(&BTreeMap::from([("x".to_string(), 1)])).unwrap();
         assert_eq!(out["y"], 1);
-        let out = n.evaluate(&BTreeMap::from([("x".to_string(), 0)]));
+        let out = n.evaluate(&BTreeMap::from([("x".to_string(), 0)])).unwrap();
         assert_eq!(out["y"], 0);
     }
 
     #[test]
-    #[should_panic(expected = "missing value")]
-    fn missing_bus_panics() {
+    fn missing_bus_is_typed_error() {
         let mut b = NetlistBuilder::new("m");
         let x = b.input_bus("x", 1);
         b.output_bus("y", &[x[0]]);
         let n = b.finish();
-        let _ = n.evaluate(&BTreeMap::new());
+        let err = n.evaluate(&BTreeMap::new()).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::MissingBus {
+                bus: "x".to_string()
+            }
+        );
+        assert!(err.to_string().contains("missing value"));
     }
 
     #[test]
-    #[should_panic(expected = "does not fit")]
-    fn oversized_value_panics() {
+    fn oversized_value_is_typed_error() {
         let mut b = NetlistBuilder::new("o");
         let x = b.input_bus("x", 2);
         b.output_bus("y", &[x[0]]);
         let n = b.finish();
-        let _ = n.evaluate(&BTreeMap::from([("x".to_string(), 4)]));
+        let err = n
+            .evaluate(&BTreeMap::from([("x".to_string(), 4)]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::ValueTooWide {
+                bus: "x".to_string(),
+                width: 2,
+                value: 4
+            }
+        );
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn unary_convenience_propagates_errors() {
+        let mut b = NetlistBuilder::new("u");
+        let x = b.input_bus("x", 2);
+        let y = b.gate(CellKind::And2, &[x[0], x[1]]);
+        b.output_bus("y", &[y]);
+        let n = b.finish();
+        assert_eq!(n.evaluate_unary(3).unwrap(), 1);
+        assert!(matches!(
+            n.evaluate_unary(4),
+            Err(EvalError::ValueTooWide { .. })
+        ));
     }
 }

@@ -45,6 +45,20 @@ impl GateId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from a storage index.
+    ///
+    /// Useful with [`Netlist::from_parts`] when fabricating driver
+    /// tables; ids produced this way are *not* validated against any
+    /// netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_index(idx: usize) -> GateId {
+        GateId(u32::try_from(idx).expect("gate index fits u32"))
+    }
 }
 
 impl fmt::Display for GateId {
@@ -93,6 +107,7 @@ impl Bus {
 }
 
 /// Gate-count and structure statistics of a netlist.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetlistStats {
     /// Total gate instances.
@@ -211,8 +226,164 @@ impl Netlist {
             .flat_map(|b| b.nets.iter().copied())
     }
 
-    /// Gate-count and depth statistics.
+    /// Assembles a netlist from raw parts **without validation**,
+    /// computing the fanout tables (out-of-range net references are
+    /// skipped so even corrupt inputs construct).
+    ///
+    /// This is the entry point for external netlist sources —
+    /// deserializers, importers, and the `agequant-lint` test fixtures
+    /// — which cannot go through [`NetlistBuilder`]'s
+    /// correct-by-construction API. Run [`Netlist::verify`] (cheap
+    /// structural invariants) or the `agequant-lint` `NL*` rules over
+    /// the result before trusting it: evaluation and timing analysis
+    /// assume the invariants hold.
+    ///
+    /// [`NetlistBuilder`]: crate::NetlistBuilder
     #[must_use]
+    pub fn from_parts(
+        name: impl Into<String>,
+        drivers: Vec<NetDriver>,
+        gates: Vec<Gate>,
+        input_buses: Vec<Bus>,
+        output_buses: Vec<Bus>,
+    ) -> Netlist {
+        let mut fanouts: Vec<Vec<(GateId, usize)>> = vec![Vec::new(); drivers.len()];
+        for (idx, gate) in gates.iter().enumerate() {
+            for (pin, &net) in gate.inputs.iter().enumerate() {
+                if net.index() < drivers.len() {
+                    fanouts[net.index()].push((GateId(idx as u32), pin));
+                }
+            }
+        }
+        Netlist {
+            name: name.into(),
+            drivers,
+            gates,
+            input_buses,
+            output_buses,
+            fanouts,
+        }
+    }
+
+    /// The raw parts of the netlist, cloned: `(drivers, gates,
+    /// input buses, output buses)`. The inverse of
+    /// [`Netlist::from_parts`]; fanouts are derived, not included.
+    #[must_use]
+    pub fn to_parts(&self) -> (Vec<NetDriver>, Vec<Gate>, Vec<Bus>, Vec<Bus>) {
+        (
+            self.drivers.clone(),
+            self.gates.clone(),
+            self.input_buses.clone(),
+            self.output_buses.clone(),
+        )
+    }
+
+    /// Cheap structural invariant check, reporting the first violation.
+    ///
+    /// Verifies exactly the invariants construction through
+    /// [`NetlistBuilder`](crate::NetlistBuilder) guarantees: all net
+    /// references in range, the driver table and gate list mutually
+    /// consistent, gates topologically ordered, fanout tables matching
+    /// the gate list, and port buses non-empty, uniquely named, and
+    /// (for inputs) made of primary-input nets. The `agequant-lint`
+    /// crate layers richer, non-failing diagnostics on top; this
+    /// method backs the `debug_assert!` hooks in
+    /// [`NetlistBuilder::finish`](crate::NetlistBuilder::finish) and
+    /// the transformation passes.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn verify(&self) -> Result<(), String> {
+        let nets = self.drivers.len();
+        for (idx, gate) in self.gates.iter().enumerate() {
+            let gid = GateId(idx as u32);
+            if gate.inputs.len() != gate.kind.arity() {
+                return Err(format!(
+                    "gate {gid} ({}): {} inputs, arity {}",
+                    gate.kind,
+                    gate.inputs.len(),
+                    gate.kind.arity()
+                ));
+            }
+            if gate.output.index() >= nets {
+                return Err(format!("gate {gid} output {} out of range", gate.output));
+            }
+            if self.drivers[gate.output.index()] != NetDriver::Gate(gid) {
+                return Err(format!(
+                    "driver table disagrees with gate {gid} about net {}",
+                    gate.output
+                ));
+            }
+            for &input in &gate.inputs {
+                if input.index() >= nets {
+                    return Err(format!("gate {gid} reads undriven net {input}"));
+                }
+                if let NetDriver::Gate(producer) = self.drivers[input.index()] {
+                    if producer.index() >= idx {
+                        return Err(format!(
+                            "gate {gid} reads net {input} produced by later gate {producer}"
+                        ));
+                    }
+                }
+            }
+        }
+        for (idx, driver) in self.drivers.iter().enumerate() {
+            if let NetDriver::Gate(g) = driver {
+                let produced = self
+                    .gates
+                    .get(g.index())
+                    .is_some_and(|gate| gate.output.index() == idx);
+                if !produced {
+                    return Err(format!(
+                        "net {} claims driver {g} which does not produce it",
+                        NetId::from_index(idx)
+                    ));
+                }
+            }
+        }
+        if self.fanouts.len() != nets {
+            return Err("fanout table length mismatch".into());
+        }
+        for (idx, gate) in self.gates.iter().enumerate() {
+            let gid = GateId(idx as u32);
+            for (pin, &net) in gate.inputs.iter().enumerate() {
+                if !self.fanouts[net.index()].contains(&(gid, pin)) {
+                    return Err(format!("fanout table misses {net} -> {gid} pin {pin}"));
+                }
+            }
+        }
+        let mut names = std::collections::BTreeSet::new();
+        for (bus, is_input) in self
+            .input_buses
+            .iter()
+            .map(|b| (b, true))
+            .chain(self.output_buses.iter().map(|b| (b, false)))
+        {
+            if bus.nets.is_empty() {
+                return Err(format!("bus {} is empty", bus.name));
+            }
+            if !names.insert((is_input, bus.name.clone())) {
+                return Err(format!("duplicate bus name {}", bus.name));
+            }
+            for &net in &bus.nets {
+                if net.index() >= nets {
+                    return Err(format!("bus {} references undriven net {net}", bus.name));
+                }
+                // Input-port nets are primary inputs, or constants
+                // when specialization hard-wired the port bit.
+                if is_input && matches!(self.drivers[net.index()], NetDriver::Gate(_)) {
+                    return Err(format!(
+                        "input bus {} net {net} is driven by a gate",
+                        bus.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Gate-count and depth statistics.
     pub fn stats(&self) -> NetlistStats {
         let mut by_kind = BTreeMap::new();
         for g in &self.gates {
@@ -266,6 +437,43 @@ mod tests {
                 assert!(adder.fanout(*net).contains(&(GateId(gid as u32), pin)));
             }
         }
+    }
+
+    #[test]
+    fn verify_accepts_built_netlists() {
+        let adder = ripple_carry(8);
+        adder.verify().expect("builder output is well-formed");
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_the_netlist() {
+        let adder = ripple_carry(5);
+        let (drivers, gates, inputs, outputs) = adder.to_parts();
+        let rebuilt = Netlist::from_parts(adder.name(), drivers, gates, inputs, outputs);
+        assert_eq!(adder, rebuilt);
+        rebuilt.verify().expect("round trip stays well-formed");
+    }
+
+    #[test]
+    fn verify_rejects_inconsistent_driver_table() {
+        let adder = ripple_carry(2);
+        let (mut drivers, gates, inputs, outputs) = adder.to_parts();
+        // Claim the first gate output is a primary input.
+        let out = gates[0].output;
+        drivers[out.index()] = NetDriver::PrimaryInput;
+        let bad = Netlist::from_parts("bad", drivers, gates, inputs, outputs);
+        let err = bad.verify().unwrap_err();
+        assert!(err.contains("driver table"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_out_of_range_reads() {
+        let adder = ripple_carry(2);
+        let (drivers, mut gates, inputs, outputs) = adder.to_parts();
+        gates[0].inputs[0] = NetId::from_index(drivers.len() + 7);
+        let bad = Netlist::from_parts("bad", drivers, gates, inputs, outputs);
+        let err = bad.verify().unwrap_err();
+        assert!(err.contains("undriven net"), "{err}");
     }
 
     #[test]

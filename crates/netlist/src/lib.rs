@@ -47,5 +47,6 @@ mod verilog;
 
 pub use adders::PrefixStyle;
 pub use builder::NetlistBuilder;
+pub use eval::EvalError;
 pub use graph::{Bus, Gate, GateId, NetDriver, NetId, Netlist, NetlistStats};
 pub use multipliers::MultiplierArch;

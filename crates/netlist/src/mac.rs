@@ -189,11 +189,14 @@ impl MacCircuit {
     /// Panics if an operand does not fit its bus.
     #[must_use]
     pub fn compute(&self, a: u64, b: u64, c: u64) -> u64 {
-        let out = self.netlist.evaluate(&BTreeMap::from([
-            ("a".to_string(), a),
-            ("b".to_string(), b),
-            ("c".to_string(), c),
-        ]));
+        let out = self
+            .netlist
+            .evaluate(&BTreeMap::from([
+                ("a".to_string(), a),
+                ("b".to_string(), b),
+                ("c".to_string(), c),
+            ]))
+            .expect("operands fit the MAC buses");
         out["f"]
     }
 

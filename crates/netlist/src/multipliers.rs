@@ -201,10 +201,12 @@ mod tests {
             (0b1011 & ((1 << m) - 1), 0b1101 & ((1 << n) - 1)),
         ];
         for (a, bv) in cases {
-            let out = netlist.evaluate(&BTreeMap::from([
-                ("a".to_string(), a),
-                ("b".to_string(), bv),
-            ]));
+            let out = netlist
+                .evaluate(&BTreeMap::from([
+                    ("a".to_string(), a),
+                    ("b".to_string(), bv),
+                ]))
+                .unwrap();
             assert_eq!(out["p"], a * bv, "{}: {a} * {bv}", netlist.name());
         }
     }
@@ -241,10 +243,12 @@ mod tests {
         // here a structured diagonal catches carry bugs cheaply.
         let netlist = multiplier(8, 8, MultiplierArch::Wallace);
         for k in 0..=255u64 {
-            let out = netlist.evaluate(&BTreeMap::from([
-                ("a".to_string(), k),
-                ("b".to_string(), 255 - k),
-            ]));
+            let out = netlist
+                .evaluate(&BTreeMap::from([
+                    ("a".to_string(), k),
+                    ("b".to_string(), 255 - k),
+                ]))
+                .unwrap();
             assert_eq!(out["p"], k * (255 - k));
         }
     }
@@ -277,7 +281,7 @@ mod proptests {
             let out = netlist.evaluate(&BTreeMap::from([
                 ("a".to_string(), a),
                 ("b".to_string(), b),
-            ]));
+            ])).unwrap();
             prop_assert_eq!(out["p"], a * b);
         }
     }

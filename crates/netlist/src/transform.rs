@@ -168,14 +168,22 @@ impl Netlist {
                 fanouts[net.index()].push((GateId(idx as u32), pin));
             }
         }
-        Netlist {
+        let rebuilt = Netlist {
             name: self.name().to_string(),
             drivers,
             gates,
             input_buses,
             output_buses,
             fanouts,
-        }
+        };
+        // Transformation passes must preserve structural soundness;
+        // checked in test/debug builds, free in release.
+        debug_assert!(
+            rebuilt.verify().is_ok(),
+            "netlist transformation broke invariants: {}",
+            rebuilt.verify().unwrap_err()
+        );
+        rebuilt
     }
 }
 
@@ -189,8 +197,6 @@ mod tests {
     use crate::mac::MacCircuit;
     use crate::NetlistBuilder;
 
-    use super::*;
-
     #[test]
     fn pruning_preserves_function() {
         let adder = prefix_adder(8, PrefixStyle::Sklansky);
@@ -199,6 +205,7 @@ mod tests {
         for (a, b) in [(0u64, 0u64), (255, 255), (170, 85), (123, 45)] {
             let inputs = BTreeMap::from([("a".to_string(), a), ("b".to_string(), b)]);
             assert_eq!(adder.evaluate(&inputs), pruned.evaluate(&inputs));
+            assert!(pruned.evaluate(&inputs).is_ok());
         }
     }
 
@@ -249,7 +256,7 @@ mod tests {
         let tied = BTreeMap::from([(x[0], true), (x[1], false)]);
         let s = n.specialized(&tied);
         assert_eq!(s.gate_count(), 0);
-        let out = s.evaluate(&BTreeMap::from([("x".to_string(), 0)]));
+        let out = s.evaluate(&BTreeMap::from([("x".to_string(), 0)])).unwrap();
         assert_eq!(out["y"], 1, "constant-1 output survives folding");
     }
 
@@ -293,7 +300,7 @@ mod proptests {
             let out = s.evaluate(&BTreeMap::from([
                 ("a".to_string(), a),
                 ("b".to_string(), b),
-            ]));
+            ])).unwrap();
             prop_assert_eq!(out["p"], a * b);
         }
     }

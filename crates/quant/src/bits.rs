@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!((w.activations, w.weights, w.bias), (5, 7, 12));
 /// assert_eq!(BitWidths::W8A8, BitWidths::for_compression(0, 0));
 /// ```
+#[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BitWidths {
     /// Activation bits (`8 − α`).
@@ -43,7 +44,6 @@ impl BitWidths {
     /// # Panics
     ///
     /// Panics if a width would reach zero (α or β ≥ 8, or α + β ≥ 16).
-    #[must_use]
     pub fn for_compression(alpha: u8, beta: u8) -> Self {
         assert!(alpha < 8, "α = {alpha} leaves no activation bits");
         assert!(beta < 8, "β = {beta} leaves no weight bits");

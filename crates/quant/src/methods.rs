@@ -79,7 +79,6 @@ impl QuantMethod {
     ///
     /// Weights are treated as zero-centred: all methods use symmetric
     /// ranges, differing in the clip threshold.
-    #[must_use]
     pub fn weight_params(self, stats: &TensorStats, bits: u8) -> QuantParams {
         let alpha = match self {
             QuantMethod::UniformSymmetric => stats.max_abs(),
@@ -97,7 +96,6 @@ impl QuantMethod {
     /// `bits`. One-sided (post-ReLU) populations quantize `[0, α]`;
     /// two-sided populations quantize `[μ − α, μ + α]` (affine zero
     /// point).
-    #[must_use]
     pub fn activation_params(self, stats: &TensorStats, bits: u8) -> QuantParams {
         let one_sided = stats.is_non_negative();
         match self {

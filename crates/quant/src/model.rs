@@ -302,7 +302,6 @@ impl QuantizedModel {
     }
 
     /// The bit widths in effect.
-    #[must_use]
     pub fn bits(&self) -> BitWidths {
         self.bits
     }

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let q = p.quantize(0.5);
 /// assert!((p.dequantize(q) - 0.5).abs() < p.scale());
 /// ```
+#[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QuantParams {
     scale: f32,
@@ -34,7 +35,6 @@ impl QuantParams {
     /// # Panics
     ///
     /// Panics if `bits` is 0 or exceeds 8, or the bounds are not finite.
-    #[must_use]
     pub fn from_range(lo: f32, hi: f32, bits: u8) -> Self {
         assert!((1..=8).contains(&bits), "bits must be in 1..=8");
         assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
@@ -52,13 +52,27 @@ impl QuantParams {
         }
     }
 
+    /// Builds parameters from raw components without validation.
+    ///
+    /// Unlike [`QuantParams::from_range`], nothing is checked or
+    /// normalized: the scale may be non-positive, the zero point out of
+    /// range, the bit width zero. This exists so static-analysis tools
+    /// (`agequant-lint`) and tests can construct deliberately broken
+    /// parameters; flow code should use [`QuantParams::from_range`].
+    pub fn from_raw(scale: f32, zero_point: i32, bits: u8) -> Self {
+        QuantParams {
+            scale,
+            zero_point,
+            bits,
+        }
+    }
+
     /// Symmetric parameters for `[-max_abs, max_abs]`: the zero point
     /// sits mid-range.
     ///
     /// # Panics
     ///
     /// Panics as in [`QuantParams::from_range`].
-    #[must_use]
     pub fn symmetric(max_abs: f32, bits: u8) -> Self {
         Self::from_range(-max_abs.abs(), max_abs.abs(), bits)
     }

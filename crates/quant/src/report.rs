@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use crate::QuantizedModel;
 
 /// The quantization summary of one weighted layer.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerSummary {
     /// Graph node id of the layer.
@@ -33,6 +34,7 @@ pub struct LayerSummary {
 }
 
 /// The whole-model quantization report.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantReport {
     /// Method tag (`M1`…`M5`).
@@ -87,7 +89,6 @@ impl QuantizedModel {
     ///
     /// Panics if `model` is not the model this quantization was built
     /// from (layer ids mismatch).
-    #[must_use]
     pub fn report(&self, model: &Model) -> QuantReport {
         let mut layers = Vec::new();
         for (&node, ql) in self.layers_iter() {

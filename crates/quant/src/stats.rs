@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Carries everything the quantization methods need: extrema for
 /// min/max methods, moments for the ACIQ distribution fits, and a
 /// bounded value sample for the empirical (LAPQ-style) optimizers.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TensorStats {
     /// Minimum value.
@@ -35,7 +36,6 @@ impl TensorStats {
     /// # Panics
     ///
     /// Panics if `values` is empty.
-    #[must_use]
     pub fn collect(values: &[f32]) -> Self {
         Self::collect_many(&[values])
     }
@@ -46,7 +46,6 @@ impl TensorStats {
     /// # Panics
     ///
     /// Panics if the total population is empty.
-    #[must_use]
     pub fn collect_many(chunks: &[&[f32]]) -> Self {
         let count: usize = chunks.iter().map(|c| c.len()).sum();
         assert!(count > 0, "cannot summarize an empty population");

@@ -14,6 +14,7 @@ const OUTPUT_PORT_LOAD_FF: f64 = 1.2;
 ///
 /// The PrimeTime analogue is `set_case_analysis 0 [get_ports …]` on the
 /// padded-away input bits (Section 6.1 (3) of the paper).
+#[must_use]
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CaseAssignment {
     tied: BTreeMap<NetId, bool>,
@@ -21,7 +22,6 @@ pub struct CaseAssignment {
 
 impl CaseAssignment {
     /// An empty assignment: every input free (no case analysis).
-    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -69,6 +69,7 @@ pub struct PathElement {
 }
 
 /// The result of one STA run.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimingReport {
     /// Critical-path delay, ps (0 if every output is constant).
@@ -170,7 +171,6 @@ impl<'a> Sta<'a> {
     }
 
     /// STA without case analysis: all inputs free.
-    #[must_use]
     pub fn analyze_uncompressed(&self) -> TimingReport {
         self.analyze(&CaseAssignment::new())
     }
@@ -184,7 +184,6 @@ impl<'a> Sta<'a> {
     /// `arrival(fanin) + arc_delay(kind, pin, load(output))`.
     ///
     /// [`CellKind::partial_eval`]: agequant_cells::CellKind::partial_eval
-    #[must_use]
     pub fn analyze(&self, case: &CaseAssignment) -> TimingReport {
         let n = self.netlist.net_count();
         let mut constants: Vec<Option<bool>> = vec![None; n];

@@ -1,5 +1,6 @@
 //! The `(α, β)` input-compression vocabulary and MAC case construction.
 
+use std::error::Error;
 use std::fmt;
 
 use agequant_netlist::mac::MacGeometry;
@@ -7,6 +8,54 @@ use agequant_netlist::Netlist;
 use serde::{Deserialize, Serialize};
 
 use crate::CaseAssignment;
+
+/// Errors of resolving a compression case against a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseError {
+    /// The compression violates the MAC geometry's bounds.
+    InvalidCompression {
+        /// The rejected compression.
+        compression: Compression,
+        /// The violated bound, from [`Compression::validate`].
+        reason: String,
+    },
+    /// The netlist lacks a required input bus.
+    MissingBus {
+        /// The absent bus name.
+        bus: String,
+    },
+    /// A required input bus has the wrong width for the geometry.
+    BusWidthMismatch {
+        /// The offending bus name.
+        bus: String,
+        /// The width the geometry requires.
+        expected: usize,
+        /// The width the netlist provides.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseError::InvalidCompression {
+                compression,
+                reason,
+            } => write!(f, "invalid compression {compression}: {reason}"),
+            CaseError::MissingBus { bus } => write!(f, "netlist lacks input bus {bus}"),
+            CaseError::BusWidthMismatch {
+                bus,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "input bus {bus} is {actual} bits, geometry requires {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for CaseError {}
 
 /// An `(α, β)` input compression (Section 4 of the paper):
 /// activations are reduced to `8 − α` bits, weights to `8 − β` bits,
@@ -147,48 +196,58 @@ impl fmt::Display for Padding {
 /// counts are tied at the bottom of each bus, matching the Eq. 5 layout
 /// where inputs are pre-shifted left.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `compression` fails [`Compression::validate`] for
-/// `geometry`, or if the netlist lacks the `a`/`b`/`c` buses of the
-/// geometry's widths.
-#[must_use]
+/// Returns a [`CaseError`] if `compression` fails
+/// [`Compression::validate`] for `geometry`, or if the netlist lacks
+/// the `a`/`b`/`c` buses of the geometry's widths.
 pub fn mac_case_on(
     netlist: &Netlist,
     geometry: MacGeometry,
     compression: Compression,
     padding: Padding,
-) -> CaseAssignment {
+) -> Result<CaseAssignment, CaseError> {
     compression
         .validate(geometry)
-        .unwrap_or_else(|e| panic!("invalid compression {compression}: {e}"));
+        .map_err(|reason| CaseError::InvalidCompression {
+            compression,
+            reason,
+        })?;
     let mut case = CaseAssignment::new();
-    let mut tie = |bus_name: &str, width: usize, zeros: usize| {
+    let mut tie = |bus_name: &str, width: usize, zeros: usize| -> Result<(), CaseError> {
         let bus = netlist
             .input_bus(bus_name)
-            .unwrap_or_else(|| panic!("netlist lacks input bus {bus_name}"));
-        assert_eq!(bus.width(), width, "bus {bus_name} width mismatch");
+            .ok_or_else(|| CaseError::MissingBus {
+                bus: bus_name.to_string(),
+            })?;
+        if bus.width() != width {
+            return Err(CaseError::BusWidthMismatch {
+                bus: bus_name.to_string(),
+                expected: width,
+                actual: bus.width(),
+            });
+        }
         let nets: Vec<_> = match padding {
             Padding::Msb => bus.nets[width - zeros..].to_vec(),
             Padding::Lsb => bus.nets[..zeros].to_vec(),
         };
         case.tie_zero_all(&nets);
+        Ok(())
     };
     let (alpha, beta) = (
         usize::from(compression.alpha()),
         usize::from(compression.beta()),
     );
-    tie("a", geometry.a_width, alpha);
-    tie("b", geometry.b_width, beta);
-    tie("c", geometry.acc_width, alpha + beta);
-    case
+    tie("a", geometry.a_width, alpha)?;
+    tie("b", geometry.b_width, beta)?;
+    tie("c", geometry.acc_width, alpha + beta)?;
+    Ok(case)
 }
 
 /// Like [`mac_case_on`] but looks the netlist up from a fresh
 /// [`MacCircuit`](agequant_netlist::mac::MacCircuit)-shaped geometry.
 /// Convenience for call sites that hold the circuit elsewhere; netlist
 /// bus layout must match `geometry`.
-#[must_use]
 pub fn mac_case(geometry: MacGeometry, compression: Compression, padding: Padding) -> MacCase {
     MacCase {
         geometry,
@@ -200,6 +259,7 @@ pub fn mac_case(geometry: MacGeometry, compression: Compression, padding: Paddin
 /// A deferred MAC case: resolved against a concrete netlist via
 /// [`MacCase::assignment`], or passed to
 /// [`Sta::analyze`](crate::Sta::analyze) after resolution.
+#[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MacCase {
     /// The MAC geometry the case applies to.
@@ -213,11 +273,10 @@ pub struct MacCase {
 impl MacCase {
     /// Resolves the case into per-net tie-offs on `netlist`.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// See [`mac_case_on`].
-    #[must_use]
-    pub fn assignment(&self, netlist: &Netlist) -> CaseAssignment {
+    pub fn assignment(&self, netlist: &Netlist) -> Result<CaseAssignment, CaseError> {
         mac_case_on(netlist, self.geometry, self.compression, self.padding)
     }
 }
@@ -254,7 +313,8 @@ mod tests {
     fn msb_case_ties_top_bits() {
         let mac = MacCircuit::edge_tpu();
         let case = mac_case(mac.geometry(), Compression::new(2, 3), Padding::Msb)
-            .assignment(mac.netlist());
+            .assignment(mac.netlist())
+            .unwrap();
         assert_eq!(case.len(), 2 + 3 + 5);
         let a = mac.netlist().input_bus("a").unwrap();
         assert_eq!(case.value(a.nets[7]), Some(false));
@@ -266,7 +326,8 @@ mod tests {
     fn lsb_case_ties_bottom_bits() {
         let mac = MacCircuit::edge_tpu();
         let case = mac_case(mac.geometry(), Compression::new(2, 3), Padding::Lsb)
-            .assignment(mac.netlist());
+            .assignment(mac.netlist())
+            .unwrap();
         let a = mac.netlist().input_bus("a").unwrap();
         let c = mac.netlist().input_bus("c").unwrap();
         assert_eq!(case.value(a.nets[0]), Some(false));
@@ -280,8 +341,9 @@ mod tests {
     #[test]
     fn uncompressed_case_is_empty() {
         let mac = MacCircuit::edge_tpu();
-        let case =
-            mac_case(mac.geometry(), Compression::NONE, Padding::Msb).assignment(mac.netlist());
+        let case = mac_case(mac.geometry(), Compression::NONE, Padding::Msb)
+            .assignment(mac.netlist())
+            .unwrap();
         assert!(case.is_empty());
     }
 
@@ -292,10 +354,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid compression")]
-    fn invalid_compression_panics_in_case() {
+    fn invalid_compression_is_typed_error() {
         let mac = MacCircuit::edge_tpu();
-        let _ = mac_case(mac.geometry(), Compression::new(8, 8), Padding::Msb)
-            .assignment(mac.netlist());
+        let err = mac_case(mac.geometry(), Compression::new(8, 8), Padding::Msb)
+            .assignment(mac.netlist())
+            .unwrap_err();
+        assert!(matches!(err, CaseError::InvalidCompression { .. }));
+        assert!(err.to_string().contains("invalid compression"));
+    }
+
+    #[test]
+    fn missing_bus_is_typed_error() {
+        use agequant_netlist::NetlistBuilder;
+        let mut b = NetlistBuilder::new("notamac");
+        let x = b.input_bus("x", 1);
+        b.output_bus("y", &[x[0]]);
+        let n = b.finish();
+        let err = mac_case_on(
+            &n,
+            MacGeometry::EDGE_TPU,
+            Compression::new(1, 1),
+            Padding::Msb,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CaseError::MissingBus {
+                bus: "a".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn bus_width_mismatch_is_typed_error() {
+        let mac = MacCircuit::edge_tpu();
+        let narrow = MacGeometry {
+            a_width: 4,
+            b_width: 4,
+            acc_width: 22,
+        };
+        let err =
+            mac_case_on(mac.netlist(), narrow, Compression::new(1, 1), Padding::Msb).unwrap_err();
+        assert!(matches!(
+            err,
+            CaseError::BusWidthMismatch {
+                expected: 4,
+                actual: 8,
+                ..
+            }
+        ));
     }
 }

@@ -32,7 +32,8 @@
 //!
 //! let full = sta.analyze_uncompressed();
 //! let case = mac_case(mac.geometry(), Compression::new(4, 4), Padding::Msb)
-//!     .assignment(mac.netlist());
+//!     .assignment(mac.netlist())
+//!     .expect("valid case for the Edge-TPU MAC");
 //! let compressed = sta.analyze(&case);
 //! assert!(compressed.critical_path_ps < full.critical_path_ps);
 //! ```
@@ -46,6 +47,6 @@ mod guardband;
 mod report;
 
 pub use analysis::{CaseAssignment, PathElement, Sta, TimingReport};
-pub use compression::{mac_case, mac_case_on, Compression, MacCase, Padding};
+pub use compression::{mac_case, mac_case_on, CaseError, Compression, MacCase, Padding};
 pub use guardband::GuardbandModel;
 pub use report::SlackReport;

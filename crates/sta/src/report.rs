@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use crate::TimingReport;
 
 /// Per-output-bit slack against a clock period.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SlackReport {
     /// Clock period the slacks are computed against, ps.
@@ -49,7 +50,6 @@ impl SlackReport {
 
 impl TimingReport {
     /// Computes per-endpoint slacks against `period_ps`.
-    #[must_use]
     pub fn slacks(&self, netlist: &Netlist, period_ps: f64) -> SlackReport {
         let mut endpoints = Vec::new();
         for bus in netlist.output_buses() {

@@ -62,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 mac.geometry(),
                 Compression::new(4, 4),
                 padding,
-            );
+            )
+            .expect("valid case for the Edge-TPU MAC");
             let r = sta.analyze(&case);
             let constants = (0..mac.netlist().net_count())
                 .filter(|&i| r.constants[i].is_some())

@@ -30,6 +30,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use agequant_aging as aging;
 pub use agequant_cells as cells;
 pub use agequant_core as core;

@@ -100,7 +100,8 @@ fn compressed_operands_settle_within_the_case_analysis_bound() {
     let process = ProcessLibrary::finfet14nm();
     let lib = process.characterize(VthShift::from_millivolts(50.0));
     let compression = Compression::new(4, 4);
-    let case = mac_case_on(mac.netlist(), mac.geometry(), compression, Padding::Msb);
+    let case = mac_case_on(mac.netlist(), mac.geometry(), compression, Padding::Msb)
+        .expect("valid case for the Edge-TPU MAC");
     let bound = Sta::new(mac.netlist(), &lib)
         .analyze(&case)
         .critical_path_ps;
@@ -167,7 +168,8 @@ fn case_analysis_is_conservative_over_feasible_vectors() {
             mac.geometry(),
             Compression::new(k, k),
             Padding::Msb,
-        );
+        )
+        .expect("valid case for the Edge-TPU MAC");
         let delay = sta.analyze(&case).critical_path_ps;
         assert!(delay <= unconstrained + 1e-9);
         assert!(
