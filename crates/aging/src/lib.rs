@@ -43,7 +43,7 @@ mod scenario;
 mod vth;
 
 pub use derating::DelayDerating;
-pub use mission::{MissionProfile, Phase};
+pub use mission::{MissionError, MissionProfile, Phase};
 pub use nbti::NbtiModel;
 pub use scenario::{AgingScenario, AGING_SWEEP_MV};
 pub use vth::VthShift;

@@ -8,6 +8,9 @@
 //! [`Phase`]s, and [`MissionProfile::vth_shift_at`] integrates the
 //! NBTI kinetics across them.
 
+use std::error::Error;
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::{NbtiModel, VthShift};
@@ -19,6 +22,62 @@ const TEMP_ACCEL_PER_K: f64 = 0.028;
 
 /// Reference temperature for the calibrated kinetics, kelvin.
 const T_REF_K: f64 = 358.15; // 85 °C, typical stress-test condition
+
+/// Why a [`Phase`] or [`MissionProfile`] was rejected.
+///
+/// Typed like the flow-level error enums (`FlowError`, `CaseError`)
+/// so call sites can match on the violated constraint instead of
+/// parsing a message string.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MissionError {
+    /// A profile must contain at least one phase.
+    EmptyProfile,
+    /// A phase fraction fell outside `(0, 1]`.
+    FractionOutOfRange {
+        /// The rejected fraction.
+        fraction: f64,
+    },
+    /// A duty cycle fell outside `[0, 1]`.
+    DutyCycleOutOfRange {
+        /// The rejected duty cycle.
+        duty_cycle: f64,
+    },
+    /// A junction temperature fell outside the model's `[-55, 150]` °C
+    /// validity window.
+    TemperatureOutOfRange {
+        /// The rejected temperature, °C.
+        temperature_c: f64,
+    },
+    /// The phase fractions of a profile do not sum to 1.
+    FractionSumMismatch {
+        /// The actual sum of the fractions.
+        total: f64,
+    },
+}
+
+impl fmt::Display for MissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MissionError::EmptyProfile => {
+                write!(f, "mission profile needs at least one phase")
+            }
+            MissionError::FractionOutOfRange { fraction } => {
+                write!(f, "phase fraction {fraction} out of (0, 1]")
+            }
+            MissionError::DutyCycleOutOfRange { duty_cycle } => {
+                write!(f, "duty cycle {duty_cycle} out of [0, 1]")
+            }
+            MissionError::TemperatureOutOfRange { temperature_c } => {
+                write!(f, "temperature {temperature_c} °C out of range")
+            }
+            MissionError::FractionSumMismatch { total } => {
+                write!(f, "phase fractions sum to {total}, expected 1")
+            }
+        }
+    }
+}
+
+impl Error for MissionError {}
 
 /// One operating phase of a mission profile.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,19 +95,22 @@ impl Phase {
     ///
     /// # Errors
     ///
-    /// Describes the violated bound.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the [`MissionError`] naming the violated bound.
+    pub fn validate(&self) -> Result<(), MissionError> {
         if !(self.fraction > 0.0 && self.fraction <= 1.0) {
-            return Err(format!("phase fraction {} out of (0, 1]", self.fraction));
+            return Err(MissionError::FractionOutOfRange {
+                fraction: self.fraction,
+            });
         }
         if !(0.0..=1.0).contains(&self.duty_cycle) {
-            return Err(format!("duty cycle {} out of [0, 1]", self.duty_cycle));
+            return Err(MissionError::DutyCycleOutOfRange {
+                duty_cycle: self.duty_cycle,
+            });
         }
         if !(-55.0..=150.0).contains(&self.temperature_c) {
-            return Err(format!(
-                "temperature {} °C out of range",
-                self.temperature_c
-            ));
+            return Err(MissionError::TemperatureOutOfRange {
+                temperature_c: self.temperature_c,
+            });
         }
         Ok(())
     }
@@ -69,7 +131,7 @@ impl Phase {
 /// ```
 /// use agequant_aging::{MissionProfile, NbtiModel, Phase};
 ///
-/// # fn main() -> Result<(), String> {
+/// # fn main() -> Result<(), agequant_aging::MissionError> {
 /// // A camera NPU: 30% busy at 70 °C, idle (cool, unstressed) rest.
 /// let profile = MissionProfile::new(vec![
 ///     Phase { fraction: 0.3, duty_cycle: 0.9, temperature_c: 70.0 },
@@ -92,17 +154,17 @@ impl MissionProfile {
     ///
     /// # Errors
     ///
-    /// Returns a description of the violated constraint.
-    pub fn new(phases: Vec<Phase>) -> Result<Self, String> {
+    /// Returns the [`MissionError`] naming the violated constraint.
+    pub fn new(phases: Vec<Phase>) -> Result<Self, MissionError> {
         if phases.is_empty() {
-            return Err("mission profile needs at least one phase".into());
+            return Err(MissionError::EmptyProfile);
         }
         for phase in &phases {
             phase.validate()?;
         }
         let total: f64 = phases.iter().map(|p| p.fraction).sum();
         if (total - 1.0).abs() > 1e-6 {
-            return Err(format!("phase fractions sum to {total}, expected 1"));
+            return Err(MissionError::FractionSumMismatch { total });
         }
         Ok(MissionProfile { phases })
     }
@@ -202,25 +264,45 @@ mod tests {
             temperature_c: 85.0,
         }])
         .unwrap_err();
-        assert!(err.contains("sum"), "{err}");
+        assert!(
+            matches!(err, MissionError::FractionSumMismatch { total } if (total - 0.6).abs() < 1e-12)
+        );
+        assert!(err.to_string().contains("sum"), "{err}");
+        assert_eq!(
+            MissionProfile::new(Vec::new()).unwrap_err(),
+            MissionError::EmptyProfile
+        );
     }
 
     #[test]
     fn phase_validation() {
-        assert!(Phase {
-            fraction: 0.5,
-            duty_cycle: 1.5,
-            temperature_c: 85.0
-        }
-        .validate()
-        .is_err());
-        assert!(Phase {
-            fraction: 0.5,
-            duty_cycle: 0.5,
-            temperature_c: 200.0
-        }
-        .validate()
-        .is_err());
+        assert!(matches!(
+            Phase {
+                fraction: 0.5,
+                duty_cycle: 1.5,
+                temperature_c: 85.0
+            }
+            .validate(),
+            Err(MissionError::DutyCycleOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Phase {
+                fraction: 0.5,
+                duty_cycle: 0.5,
+                temperature_c: 200.0
+            }
+            .validate(),
+            Err(MissionError::TemperatureOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Phase {
+                fraction: 0.0,
+                duty_cycle: 0.5,
+                temperature_c: 85.0
+            }
+            .validate(),
+            Err(MissionError::FractionOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -239,5 +321,80 @@ mod tests {
         ])
         .expect("valid");
         assert!((mixed.acceleration() - 0.5).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    /// Builds a valid profile from parallel raw draws: fractions are
+    /// normalized to sum to 1, duties kept away from 0 so the
+    /// acceleration (and hence `years_to_reach`) stays finite.
+    fn profile_from(raw: &[(f64, f64, f64)]) -> MissionProfile {
+        let total: f64 = raw.iter().map(|(f, _, _)| f).sum();
+        let phases = raw
+            .iter()
+            .map(|&(fraction, duty_cycle, temperature_c)| Phase {
+                fraction: fraction / total,
+                duty_cycle,
+                temperature_c,
+            })
+            .collect();
+        MissionProfile::new(phases).expect("normalized phases are valid")
+    }
+
+    proptest! {
+        /// `years_to_reach` inverts `vth_shift_at` for any valid
+        /// profile: aging to a shift and asking when that shift is
+        /// reached lands back on the original wall-clock time.
+        #[test]
+        fn years_to_reach_inverts_vth_shift(
+            fracs in prop::collection::vec(0.05f64..1.0, 1..5),
+            duties in prop::collection::vec(0.05f64..1.0, 5..6),
+            temps in prop::collection::vec(-20.0f64..120.0, 5..6),
+            years in 0.1f64..10.0,
+        ) {
+            let raw: Vec<(f64, f64, f64)> = fracs
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| (f, duties[i], temps[i]))
+                .collect();
+            let profile = profile_from(&raw);
+            let nbti = NbtiModel::intel14nm();
+            let shift = profile.vth_shift_at(&nbti, years);
+            let back = profile.years_to_reach(&nbti, shift);
+            prop_assert!(
+                (back - years).abs() < 1e-6 * years.max(1.0),
+                "{back} vs {years} (accel {})",
+                profile.acceleration()
+            );
+        }
+
+        /// A phase's acceleration is strictly monotone in its duty
+        /// cycle at any fixed temperature, and so is the profile-level
+        /// weighted mean.
+        #[test]
+        fn acceleration_monotone_in_duty_cycle(
+            lo in 0.01f64..1.0,
+            hi in 0.01f64..1.0,
+            temperature_c in -20.0f64..120.0,
+        ) {
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let phase = |duty_cycle: f64| Phase {
+                fraction: 1.0,
+                duty_cycle,
+                temperature_c,
+            };
+            prop_assert!(phase(lo).acceleration() <= phase(hi).acceleration());
+            let slow = MissionProfile::new(vec![phase(lo)]).expect("valid");
+            let fast = MissionProfile::new(vec![phase(hi)]).expect("valid");
+            prop_assert!(slow.acceleration() <= fast.acceleration());
+            if hi - lo > 1e-9 {
+                prop_assert!(slow.acceleration() < fast.acceleration());
+            }
+        }
     }
 }

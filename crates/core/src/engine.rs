@@ -63,6 +63,42 @@ pub struct CacheStats {
     pub plan_misses: u64,
 }
 
+impl CacheStats {
+    /// Fraction of library lookups served from the cache, or 0 when
+    /// no library lookup has happened yet.
+    #[must_use]
+    pub fn library_hit_rate(&self) -> f64 {
+        Self::rate(self.library_hits, self.library_misses)
+    }
+
+    /// Fraction of plan lookups served from the cache, or 0 when no
+    /// plan lookup has happened yet.
+    #[must_use]
+    pub fn plan_hit_rate(&self) -> f64 {
+        Self::rate(self.plan_hits, self.plan_misses)
+    }
+
+    /// Overall hit rate across the plan and library caches combined,
+    /// or 0 when the engine has served no lookup at all.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        Self::rate(
+            self.library_hits + self.plan_hits,
+            self.library_misses + self.plan_misses,
+        )
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn rate(hits: u64, misses: u64) -> f64 {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
 /// Memoized per-ΔVth evaluation state shared by all flow entry points.
 ///
 /// See the [module docs](self) for the cache layers and their keys.
@@ -239,6 +275,33 @@ mod tests {
             EvalEngine::shift_key(VthShift::from_millivolts(30.1))
         );
         assert_eq!(EvalEngine::shift_key(VthShift::FRESH), 0);
+    }
+
+    #[test]
+    fn hit_rates_guard_against_zero_lookups() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.plan_hit_rate(), 0.0);
+        assert_eq!(stats.library_hit_rate(), 0.0);
+
+        let stats = CacheStats {
+            library_hits: 3,
+            library_misses: 1,
+            plan_hits: 0,
+            plan_misses: 0,
+        };
+        assert!((stats.library_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.plan_hit_rate(), 0.0, "no plan lookups yet");
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+
+        let stats = CacheStats {
+            library_hits: 1,
+            library_misses: 1,
+            plan_hits: 7,
+            plan_misses: 1,
+        };
+        assert!((stats.plan_hit_rate() - 0.875).abs() < 1e-12);
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! `agequant-fleet` — simulate a fleet of aging NPUs and serve each
+//! chip its compression/quantization decision.
+//!
+//! ```text
+//! agequant-fleet run    --out DIR [--chips N] [--epochs E] [--seed S]
+//!                       [--epoch-years Y] [--bucket-mv MV]
+//!                       [--constraint-factor F] [--network NAME|none]
+//!                       [--json]
+//! agequant-fleet resume --out DIR --epochs E [--json]
+//! agequant-fleet report --out DIR [--json]
+//! ```
+//!
+//! `run` creates `DIR/state.json` (checkpoint), `DIR/journal.jsonl`
+//! (event journal), and `DIR/summary.json`, then prints the summary.
+//! `resume` restores the checkpoint, advances further epochs, appends
+//! to the journal, and rewrites checkpoint + summary — bit-identical
+//! to having run the whole span in one process. `report` re-renders
+//! the summary from the checkpoint alone.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use agequant_fleet::{journal, FleetConfig, FleetError, FleetSim, FleetState};
+use agequant_nn::NetArch;
+
+struct CommonOpts {
+    out: PathBuf,
+    json: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: agequant-fleet <run|resume|report> --out DIR [options]\n\
+     \n\
+     run     --out DIR [--chips N] [--epochs E] [--seed S] [--epoch-years Y]\n\
+     \x20            [--bucket-mv MV] [--constraint-factor F] [--network NAME|none] [--json]\n\
+     resume  --out DIR --epochs E [--json]\n\
+     report  --out DIR [--json]\n\
+     \n\
+     Simulates a fleet of aging NPU chips (process-variation jitter +\n\
+     mission-profile catalog) and serves per-chip compression plans\n\
+     through the shared evaluation engine. Networks: the model-zoo\n\
+     names (e.g. alexnet, resnet50), or 'none' to skip per-bucket\n\
+     quantization-method selection.\n"
+}
+
+fn parse_network(name: &str) -> Result<Option<NetArch>, String> {
+    if name.eq_ignore_ascii_case("none") {
+        return Ok(None);
+    }
+    let normalized: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_lowercase();
+    NetArch::ALL
+        .iter()
+        .find(|arch| {
+            arch.name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase()
+                == normalized
+        })
+        .copied()
+        .map(Some)
+        .ok_or_else(|| {
+            let names: Vec<&str> = NetArch::ALL.iter().map(|a| a.name()).collect();
+            format!(
+                "unknown network {name:?}; options: {} or none",
+                names.join(", ")
+            )
+        })
+}
+
+fn write_file(path: &Path, contents: &str) -> Result<(), FleetError> {
+    fs::write(path, contents).map_err(|e| FleetError::Io(format!("{}: {e}", path.display())))
+}
+
+fn append_file(path: &Path, contents: &str) -> Result<(), FleetError> {
+    use std::io::Write;
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| FleetError::Io(format!("{}: {e}", path.display())))?;
+    file.write_all(contents.as_bytes())
+        .map_err(|e| FleetError::Io(format!("{}: {e}", path.display())))
+}
+
+fn read_state(dir: &Path) -> Result<FleetState, FleetError> {
+    let path = dir.join("state.json");
+    let text = fs::read_to_string(&path)
+        .map_err(|e| FleetError::Io(format!("{}: {e}", path.display())))?;
+    FleetState::from_json(&text)
+}
+
+fn finish(sim: &FleetSim, common: &CommonOpts, append_journal: bool) -> Result<(), FleetError> {
+    fs::create_dir_all(&common.out)
+        .map_err(|e| FleetError::Io(format!("{}: {e}", common.out.display())))?;
+    let journal_text = journal::to_jsonl(sim.journal());
+    let journal_path = common.out.join("journal.jsonl");
+    if append_journal {
+        append_file(&journal_path, &journal_text)?;
+    } else {
+        write_file(&journal_path, &journal_text)?;
+    }
+    write_file(&common.out.join("state.json"), &sim.state().to_json())?;
+    let summary = sim.summary();
+    write_file(&common.out.join("summary.json"), &summary.to_json())?;
+    if common.json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{}", summary.render_text());
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut config = FleetConfig::new(100, 7);
+    let mut epochs: u64 = 20;
+    let mut common = CommonOpts {
+        out: PathBuf::from("results/fleet"),
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--chips" => {
+                config.chips = value("--chips")?
+                    .parse()
+                    .map_err(|e| format!("--chips: {e}"))?
+            }
+            "--epochs" => {
+                epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--epoch-years" => {
+                config.epoch_years = value("--epoch-years")?
+                    .parse()
+                    .map_err(|e| format!("--epoch-years: {e}"))?;
+            }
+            "--bucket-mv" => {
+                config.bucket_mv = value("--bucket-mv")?
+                    .parse()
+                    .map_err(|e| format!("--bucket-mv: {e}"))?;
+            }
+            "--constraint-factor" => {
+                config.constraint_factor = value("--constraint-factor")?
+                    .parse()
+                    .map_err(|e| format!("--constraint-factor: {e}"))?;
+            }
+            "--network" => config.network = parse_network(&value("--network")?)?,
+            "--out" => common.out = PathBuf::from(value("--out")?),
+            "--json" => common.json = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let mut sim = FleetSim::new(config).map_err(|e| e.to_string())?;
+    sim.run(epochs).map_err(|e| e.to_string())?;
+    finish(&sim, &common, false).map_err(|e| e.to_string())
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let mut epochs: Option<u64> = None;
+    let mut common = CommonOpts {
+        out: PathBuf::from("results/fleet"),
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--epochs" => {
+                epochs = Some(
+                    value("--epochs")?
+                        .parse()
+                        .map_err(|e| format!("--epochs: {e}"))?,
+                );
+            }
+            "--out" => common.out = PathBuf::from(value("--out")?),
+            "--json" => common.json = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let epochs = epochs.ok_or("resume requires --epochs")?;
+    let state = read_state(&common.out).map_err(|e| e.to_string())?;
+    let mut sim = FleetSim::resume(state).map_err(|e| e.to_string())?;
+    sim.run(epochs).map_err(|e| e.to_string())?;
+    finish(&sim, &common, true).map_err(|e| e.to_string())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let mut common = CommonOpts {
+        out: PathBuf::from("results/fleet"),
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => common.out = PathBuf::from(value("--out")?),
+            "--json" => common.json = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let state = read_state(&common.out).map_err(|e| e.to_string())?;
+    let summary = agequant_fleet::FleetSummary::from_state(&state, None);
+    if common.json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{}", summary.render_text());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("agequant-fleet: {msg}");
+            eprint!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

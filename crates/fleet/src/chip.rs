@@ -1,0 +1,238 @@
+//! The per-chip model: process-variation-jittered NBTI kinetics plus
+//! a workload-dependent mission profile.
+//!
+//! Each deployed NPU ages at its own pace: its NBTI prefactor and time
+//! exponent vary with the process corner, and its effective stress
+//! depends on what the chip actually runs (Genssler et al. model
+//! exactly this workload dependency). A [`Chip`] samples both —
+//! seeded, so a fleet is reproducible from its configuration alone.
+
+use agequant_aging::{MissionProfile, NbtiModel, Phase, VthShift};
+use agequant_core::CompressionPlan;
+use agequant_quant::QuantMethod;
+use serde::{Deserialize, Serialize};
+
+use crate::rng::FleetRng;
+
+/// The mission-profile catalog: coarse deployment archetypes chips are
+/// drawn from (each instance additionally gets per-chip jitter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissionKind {
+    /// Always-on datacenter inference: high utilization, hot.
+    DatacenterAlwaysOn,
+    /// Duty-cycled edge device: bursts of work, long cool idle.
+    EdgeDutyCycled,
+    /// Mostly-idle burst inference (e.g. a camera trigger path).
+    BurstInference,
+}
+
+impl MissionKind {
+    /// Every catalog entry, in sampling order.
+    pub const ALL: [MissionKind; 3] = [
+        MissionKind::DatacenterAlwaysOn,
+        MissionKind::EdgeDutyCycled,
+        MissionKind::BurstInference,
+    ];
+
+    /// Stable lowercase name for reports and journals.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MissionKind::DatacenterAlwaysOn => "datacenter-always-on",
+            MissionKind::EdgeDutyCycled => "edge-duty-cycled",
+            MissionKind::BurstInference => "burst-inference",
+        }
+    }
+
+    /// The nominal (un-jittered) phase schedule of this archetype.
+    fn nominal_phases(self) -> Vec<Phase> {
+        match self {
+            MissionKind::DatacenterAlwaysOn => vec![Phase {
+                fraction: 1.0,
+                duty_cycle: 0.85,
+                temperature_c: 80.0,
+            }],
+            MissionKind::EdgeDutyCycled => vec![
+                Phase {
+                    fraction: 0.35,
+                    duty_cycle: 0.7,
+                    temperature_c: 65.0,
+                },
+                Phase {
+                    fraction: 0.65,
+                    duty_cycle: 0.05,
+                    temperature_c: 35.0,
+                },
+            ],
+            MissionKind::BurstInference => vec![
+                Phase {
+                    fraction: 0.1,
+                    duty_cycle: 0.95,
+                    temperature_c: 75.0,
+                },
+                Phase {
+                    fraction: 0.9,
+                    duty_cycle: 0.02,
+                    temperature_c: 30.0,
+                },
+            ],
+        }
+    }
+
+    /// Samples a per-chip instance of this archetype: each phase's duty
+    /// cycle and temperature get bounded jitter; fractions stay fixed
+    /// so they keep summing to 1 exactly.
+    fn sample_profile(self, rng: &mut FleetRng) -> MissionProfile {
+        let phases: Vec<Phase> = self
+            .nominal_phases()
+            .into_iter()
+            .map(|p| Phase {
+                fraction: p.fraction,
+                duty_cycle: (p.duty_cycle * rng.uniform(0.85, 1.15)).clamp(0.0, 1.0),
+                temperature_c: p.temperature_c + rng.uniform(-5.0, 5.0),
+            })
+            .collect();
+        MissionProfile::new(phases).expect("jitter stays inside the catalog's valid ranges")
+    }
+}
+
+/// Spread of the per-chip process variation around the nominal
+/// `intel14nm` calibration: the sampled end-of-life shift (which sets
+/// the NBTI prefactor `A`) lies within ±10% of 50 mV and the time
+/// exponent `n` within ±6% of 0.17 — modest corner-to-corner spreads
+/// of the kind aging characterization reports.
+const EOL_JITTER: f64 = 0.10;
+const EXPONENT_JITTER: f64 = 0.06;
+
+/// How a chip is currently closing timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChipMode {
+    /// Timing is met by the planned `(α, β)` input compression at the
+    /// fleet's constraint — the paper's guardband-free operation.
+    Compressed,
+    /// No compression closes timing at the chip's aging level; the
+    /// chip fell back to a conventional guardbanded (slower) clock.
+    Guardband,
+}
+
+/// The plan a chip currently executes, as recorded in checkpoints and
+/// reports: the engine's [`CompressionPlan`] plus the quantization
+/// method selected for it (when method selection is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipPlan {
+    /// The aging bucket the plan was made for.
+    pub bucket: u64,
+    /// The compression plan served by the evaluation engine.
+    pub plan: CompressionPlan,
+    /// The selected quantization method, if selection ran.
+    pub method: Option<QuantMethod>,
+    /// Accuracy loss of the selected method vs FP32, percent.
+    pub accuracy_loss_pct: Option<f64>,
+}
+
+/// One simulated NPU: identity, sampled aging physics, sampled
+/// mission, and current decision state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chip {
+    /// Fleet-unique identifier (dense, `0..fleet_size`).
+    pub id: u32,
+    /// The catalog archetype the mission was drawn from.
+    pub kind: MissionKind,
+    /// The chip's process-variation-sampled NBTI kinetics.
+    pub nbti: NbtiModel,
+    /// The chip's jittered mission profile.
+    pub profile: MissionProfile,
+    /// The quantized aging bucket the chip currently sits in.
+    pub bucket: u64,
+    /// How the chip currently closes timing.
+    pub mode: ChipMode,
+    /// The active plan (`None` only for a degraded chip).
+    pub plan: Option<ChipPlan>,
+}
+
+impl Chip {
+    /// Samples a chip: mission archetype, per-phase jitter, and NBTI
+    /// parameters jittered around the `intel14nm` calibration
+    /// (`A` via the end-of-life shift, `n` directly).
+    pub fn sample(id: u32, rng: &mut FleetRng) -> Self {
+        let kind = MissionKind::ALL[rng.index(MissionKind::ALL.len())];
+        let profile = kind.sample_profile(rng);
+        let eol_mv = NbtiModel::EOL_SHIFT_V * 1e3 * rng.uniform(1.0 - EOL_JITTER, 1.0 + EOL_JITTER);
+        let exponent =
+            NbtiModel::DEFAULT_EXPONENT * rng.uniform(1.0 - EXPONENT_JITTER, 1.0 + EXPONENT_JITTER);
+        let nbti = NbtiModel::calibrated(
+            VthShift::from_millivolts(eol_mv),
+            NbtiModel::LIFETIME_YEARS,
+            exponent,
+        );
+        Chip {
+            id,
+            kind,
+            nbti,
+            profile,
+            bucket: 0,
+            mode: ChipMode::Compressed,
+            plan: None,
+        }
+    }
+
+    /// The chip's ΔVth after `years` of wall-clock deployment.
+    #[must_use]
+    pub fn shift_at(&self, years: f64) -> VthShift {
+        self.profile.vth_shift_at(&self.nbti, years)
+    }
+
+    /// The aging bucket of a shift: `floor(ΔVth / bucket_mv)`, with a
+    /// hair of tolerance so a shift computed exactly at a boundary
+    /// lands in the upper bucket regardless of float round-off.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn bucket_of(shift: VthShift, bucket_mv: f64) -> u64 {
+        (shift.millivolts() / bucket_mv + 1e-9).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let mut a = FleetRng::seed_from_u64(11);
+        let mut b = FleetRng::seed_from_u64(11);
+        for id in 0..50 {
+            assert_eq!(Chip::sample(id, &mut a), Chip::sample(id, &mut b));
+        }
+    }
+
+    #[test]
+    fn sampled_chips_are_heterogeneous() {
+        let mut rng = FleetRng::seed_from_u64(5);
+        let chips: Vec<Chip> = (0..64).map(|id| Chip::sample(id, &mut rng)).collect();
+        let kinds: std::collections::BTreeSet<&str> = chips.iter().map(|c| c.kind.name()).collect();
+        assert_eq!(kinds.len(), MissionKind::ALL.len(), "all archetypes drawn");
+        let shifts: std::collections::BTreeSet<u64> = chips
+            .iter()
+            .map(|c| c.shift_at(10.0).volts().to_bits())
+            .collect();
+        assert!(shifts.len() > 60, "aging trajectories differ per chip");
+    }
+
+    #[test]
+    fn buckets_quantize_shifts() {
+        let mv = |x| VthShift::from_millivolts(x);
+        assert_eq!(Chip::bucket_of(mv(0.0), 5.0), 0);
+        assert_eq!(Chip::bucket_of(mv(4.99), 5.0), 0);
+        assert_eq!(Chip::bucket_of(mv(5.0), 5.0), 1);
+        assert_eq!(Chip::bucket_of(mv(52.5), 5.0), 10);
+    }
+
+    #[test]
+    fn catalog_profiles_are_valid_and_ordered_by_stress() {
+        let mut rng = FleetRng::seed_from_u64(1);
+        // Datacenter chips age faster than burst-inference chips.
+        let dc = MissionKind::DatacenterAlwaysOn.sample_profile(&mut rng);
+        let burst = MissionKind::BurstInference.sample_profile(&mut rng);
+        assert!(dc.acceleration() > burst.acceleration());
+    }
+}

@@ -1,0 +1,57 @@
+//! The fleet-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use agequant_core::FlowError;
+
+/// Errors of the fleet simulator and its checkpoint plumbing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The fleet configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// The underlying quantization flow failed in a way the fleet does
+    /// not degrade around (configuration errors; infeasible
+    /// compression is handled by the guardband fallback instead).
+    Flow(FlowError),
+    /// A checkpoint or journal could not be read or written.
+    Io(String),
+    /// A checkpoint or journal did not parse.
+    Malformed(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::InvalidConfig(msg) => write!(f, "invalid fleet configuration: {msg}"),
+            FleetError::Flow(e) => write!(f, "flow error: {e}"),
+            FleetError::Io(msg) => write!(f, "i/o error: {msg}"),
+            FleetError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+        }
+    }
+}
+
+impl Error for FleetError {}
+
+impl From<FlowError> for FleetError {
+    fn from(e: FlowError) -> Self {
+        FleetError::Flow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(FleetError::InvalidConfig("zero chips".into())
+            .to_string()
+            .contains("zero chips"));
+        assert!(FleetError::Io("no such file".into())
+            .to_string()
+            .contains("no such file"));
+        let flow = FleetError::from(FlowError::InvalidConfig("bad".into()));
+        assert!(flow.to_string().contains("bad"));
+    }
+}

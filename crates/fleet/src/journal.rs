@@ -1,0 +1,142 @@
+//! The append-only fleet event journal.
+//!
+//! Every state-changing decision the simulator takes is recorded as
+//! one [`JournalEvent`], serialized as one JSON object per line
+//! (JSON-lines), so a run's journal can be appended to across
+//! checkpoint/resume boundaries and replayed or audited afterwards.
+//! `agequant-lint`'s FL002 checks the causality invariants of a
+//! journal against its checkpoint.
+
+use agequant_quant::QuantMethod;
+use agequant_sta::Padding;
+use serde::{Deserialize, Serialize};
+
+use crate::FleetError;
+
+/// What happened to a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The chip's ΔVth crossed into a higher quantized aging bucket.
+    BucketCrossed {
+        /// The bucket the chip was in.
+        from: u64,
+        /// The bucket the chip moved to.
+        to: u64,
+    },
+    /// The chip received a fresh `(α, β, padding, method)` decision
+    /// for its new bucket.
+    Replanned {
+        /// The bucket planned for.
+        bucket: u64,
+        /// Selected activation compression α.
+        alpha: u8,
+        /// Selected weight compression β.
+        beta: u8,
+        /// Selected padding side.
+        padding: Padding,
+        /// Selected quantization method, when selection is enabled.
+        method: Option<QuantMethod>,
+    },
+    /// No compression closes timing at the chip's bucket; the chip
+    /// fell back to a guardbanded clock for the rest of its life.
+    Degraded {
+        /// The bucket at which compression became infeasible.
+        bucket: u64,
+    },
+}
+
+/// One journal entry: which chip, at which epoch, what happened.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JournalEvent {
+    /// The epoch the event occurred in.
+    pub epoch: u64,
+    /// The chip the event concerns.
+    pub chip: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Renders events as JSON-lines text (one event per line, trailing
+/// newline after every line) — the append-friendly on-disk format.
+///
+/// # Panics
+///
+/// Panics if serialization fails (events contain only plain data, so
+/// it cannot).
+#[must_use]
+pub fn to_jsonl(events: &[JournalEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&serde_json::to_string(event).expect("JournalEvent serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses JSON-lines journal text back into events.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Malformed`] naming the offending line.
+pub fn from_jsonl(text: &str) -> Result<Vec<JournalEvent>, FleetError> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(idx, line)| {
+            serde_json::from_str(line)
+                .map_err(|e| FleetError::Malformed(format!("journal line {}: {e}", idx + 1)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent {
+                epoch: 0,
+                chip: 0,
+                kind: EventKind::Replanned {
+                    bucket: 0,
+                    alpha: 0,
+                    beta: 0,
+                    padding: Padding::Msb,
+                    method: None,
+                },
+            },
+            JournalEvent {
+                epoch: 3,
+                chip: 1,
+                kind: EventKind::BucketCrossed { from: 0, to: 2 },
+            },
+            JournalEvent {
+                epoch: 3,
+                chip: 1,
+                kind: EventKind::Degraded { bucket: 2 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let text = to_jsonl(&events());
+        assert_eq!(text.lines().count(), 3);
+        let back = from_jsonl(&text).expect("parses");
+        assert_eq!(back, events());
+    }
+
+    #[test]
+    fn appended_journals_concatenate() {
+        let all = events();
+        let text = format!("{}{}", to_jsonl(&all[..1]), to_jsonl(&all[1..]));
+        assert_eq!(from_jsonl(&text).expect("parses"), all);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let err = from_jsonl("{\"epoch\":0,\"chip\":0,\"kind\":\"nonsense\"}\n").unwrap_err();
+        assert!(matches!(err, FleetError::Malformed(msg) if msg.contains("line 1")));
+    }
+}

@@ -1,0 +1,65 @@
+//! Fleet-scale aging simulation and compression-decision serving.
+//!
+//! The paper's flow picks one `(α, β)` compression and quantization
+//! method per aging level for a single idealized chip. A production
+//! deployment is a *fleet*: millions of NPUs, each aging at its own
+//! pace set by its process corner and its workload (see Genssler et
+//! al. on workload-dependent aging, and DNN-Life for the
+//! lifetime-management framing). This crate simulates that population
+//! and serves every chip its decision through the shared
+//! [`EvalEngine`]:
+//!
+//! * [`Chip`] — process-variation-sampled NBTI kinetics (seeded jitter
+//!   around the `intel14nm` calibration) plus a jittered
+//!   [`MissionKind`] mission profile from a small catalog.
+//! * [`FleetSim`] — discrete-time epochs; per-chip ΔVth evaluated in
+//!   parallel, quantized into aging buckets, and replanned *only on a
+//!   bucket crossing*, so the engine's plan cache turns
+//!   O(chips × epochs) decisions into O(distinct buckets)
+//!   characterizations ([`CacheStats`] proves it).
+//! * [`FleetState`] — full serde checkpoint (config, epoch, RNG state,
+//!   every chip) for bit-identical resume; [`journal`] — append-only
+//!   JSON-lines event log (replans, bucket crossings, guardband
+//!   degradations).
+//! * [`FleetSummary`] — plan-distribution and bucket histograms,
+//!   accuracy-loss percentiles, cache hit rates.
+//!
+//! The `agequant-fleet` binary exposes `run` / `resume` / `report`
+//! subcommands over these pieces, and `agequant-lint` checks
+//! checkpoints (FL001) and journals (FL002).
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_fleet::{FleetConfig, FleetSim};
+//!
+//! # fn main() -> Result<(), agequant_fleet::FleetError> {
+//! let mut sim = FleetSim::new(FleetConfig::new(32, 42))?;
+//! sim.run(4)?; // two years in half-year epochs
+//! let summary = sim.summary();
+//! assert_eq!(summary.chips, 32);
+//! // Fleet-scale leverage: far fewer characterizations than chips.
+//! assert!(sim.cache_stats().plan_misses < 32);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`CacheStats`]: agequant_core::CacheStats
+//! [`EvalEngine`]: agequant_core::EvalEngine
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+mod error;
+pub mod journal;
+mod report;
+mod rng;
+mod sim;
+
+pub use chip::{Chip, ChipMode, ChipPlan, MissionKind};
+pub use error::FleetError;
+pub use journal::{EventKind, JournalEvent};
+pub use report::{CacheSummary, FleetSummary, LossPercentiles, PlanBin};
+pub use rng::FleetRng;
+pub use sim::{FleetConfig, FleetSim, FleetState};

@@ -1,0 +1,260 @@
+//! Fleet-level summary reports.
+//!
+//! [`FleetSummary`] rolls a [`FleetState`] up into the numbers an
+//! operator cares about: how the fleet splits across plans and aging
+//! buckets, the accuracy-loss percentiles of the deployed
+//! quantizations (reusing the quant method library's measurements),
+//! and — for a live simulator — the evaluation-engine cache counters
+//! proving that fleet-scale replanning amortizes.
+
+use agequant_core::CacheStats;
+use serde::{Deserialize, Serialize};
+
+use crate::chip::ChipMode;
+use crate::sim::FleetState;
+
+/// One row of the plan-distribution histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanBin {
+    /// Human-readable plan label, e.g. `"(3,1)/MSB @ bucket 4"`, or
+    /// `"guardband"` for degraded chips.
+    pub label: String,
+    /// Number of chips currently on this plan.
+    pub count: usize,
+}
+
+/// Accuracy-loss percentiles across the fleet's deployed plans.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossPercentiles {
+    /// Median accuracy loss, percent.
+    pub p50: f64,
+    /// 90th-percentile accuracy loss, percent.
+    pub p90: f64,
+    /// 99th-percentile accuracy loss, percent.
+    pub p99: f64,
+}
+
+/// Serializable view of the engine's [`CacheStats`], with the derived
+/// hit rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheSummary {
+    /// Library lookups served from the cache.
+    pub library_hits: u64,
+    /// Library lookups that ran characterization.
+    pub library_misses: u64,
+    /// Plan lookups served from the cache.
+    pub plan_hits: u64,
+    /// Plan lookups that ran the full grid scan.
+    pub plan_misses: u64,
+    /// Plan-cache hit rate in `[0, 1]`.
+    pub plan_hit_rate: f64,
+    /// Library-cache hit rate in `[0, 1]`.
+    pub library_hit_rate: f64,
+    /// Combined hit rate in `[0, 1]`.
+    pub hit_rate: f64,
+}
+
+impl From<CacheStats> for CacheSummary {
+    fn from(stats: CacheStats) -> Self {
+        CacheSummary {
+            library_hits: stats.library_hits,
+            library_misses: stats.library_misses,
+            plan_hits: stats.plan_hits,
+            plan_misses: stats.plan_misses,
+            plan_hit_rate: stats.plan_hit_rate(),
+            library_hit_rate: stats.library_hit_rate(),
+            hit_rate: stats.hit_rate(),
+        }
+    }
+}
+
+/// The fleet rolled up at one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// The epoch the summary describes.
+    pub epoch: u64,
+    /// Wall-clock years elapsed.
+    pub years: f64,
+    /// Fleet size.
+    pub chips: usize,
+    /// Chips running compressed (guardband-free).
+    pub compressed: usize,
+    /// Chips degraded to the guardbanded fallback clock.
+    pub degraded: usize,
+    /// Chips per current plan, alphabetical by label.
+    pub plan_histogram: Vec<PlanBin>,
+    /// Chips per aging bucket, ascending.
+    pub bucket_histogram: Vec<PlanBin>,
+    /// Accuracy-loss percentiles over chips with method selection.
+    pub accuracy_loss: Option<LossPercentiles>,
+    /// Engine cache counters (live simulators only; a summary computed
+    /// from a checkpoint alone has no engine attached).
+    pub cache: Option<CacheSummary>,
+}
+
+/// The `p`-th percentile of `sorted` (nearest-rank on a sorted slice).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl FleetSummary {
+    /// Summarizes a state; pass the live engine's counters when
+    /// available.
+    #[must_use]
+    pub fn from_state(state: &FleetState, cache: Option<CacheStats>) -> Self {
+        use std::collections::BTreeMap;
+
+        let mut plans: BTreeMap<String, usize> = BTreeMap::new();
+        let mut buckets: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut losses: Vec<f64> = Vec::new();
+        let mut compressed = 0usize;
+        let mut degraded = 0usize;
+        for chip in &state.chips {
+            *buckets.entry(chip.bucket).or_insert(0) += 1;
+            match chip.mode {
+                ChipMode::Compressed => compressed += 1,
+                ChipMode::Guardband => degraded += 1,
+            }
+            let label = match &chip.plan {
+                Some(plan) => format!(
+                    "({},{})/{} @ bucket {}",
+                    plan.plan.compression.alpha(),
+                    plan.plan.compression.beta(),
+                    plan.plan.padding,
+                    plan.bucket
+                ),
+                None => "guardband".to_string(),
+            };
+            *plans.entry(label).or_insert(0) += 1;
+            if let Some(loss) = chip.plan.as_ref().and_then(|p| p.accuracy_loss_pct) {
+                losses.push(loss);
+            }
+        }
+        losses.sort_by(|a, b| a.partial_cmp(b).expect("losses are finite"));
+        let accuracy_loss = if losses.is_empty() {
+            None
+        } else {
+            Some(LossPercentiles {
+                p50: percentile(&losses, 50.0),
+                p90: percentile(&losses, 90.0),
+                p99: percentile(&losses, 99.0),
+            })
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let years = state.epoch as f64 * state.config.epoch_years;
+        FleetSummary {
+            epoch: state.epoch,
+            years,
+            chips: state.chips.len(),
+            compressed,
+            degraded,
+            plan_histogram: plans
+                .into_iter()
+                .map(|(label, count)| PlanBin { label, count })
+                .collect(),
+            bucket_histogram: buckets
+                .into_iter()
+                .map(|(bucket, count)| PlanBin {
+                    label: format!("bucket {bucket}"),
+                    count,
+                })
+                .collect(),
+            accuracy_loss,
+            cache: cache.map(CacheSummary::from),
+        }
+    }
+
+    /// Renders the summary as a human-readable report.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet @ epoch {} ({:.1} y): {} chips, {} compressed, {} degraded\n",
+            self.epoch, self.years, self.chips, self.compressed, self.degraded
+        ));
+        out.push_str("plan distribution:\n");
+        for bin in &self.plan_histogram {
+            out.push_str(&format!("  {:>6}  {}\n", bin.count, bin.label));
+        }
+        out.push_str("aging buckets:\n");
+        for bin in &self.bucket_histogram {
+            out.push_str(&format!("  {:>6}  {}\n", bin.count, bin.label));
+        }
+        if let Some(loss) = &self.accuracy_loss {
+            out.push_str(&format!(
+                "accuracy loss: p50 {:.2}%  p90 {:.2}%  p99 {:.2}%\n",
+                loss.p50, loss.p90, loss.p99
+            ));
+        }
+        if let Some(cache) = &self.cache {
+            out.push_str(&format!(
+                "engine cache: plan {}/{} hits (hit rate {:.4}), library {}/{} hits, overall hit rate {:.4}\n",
+                cache.plan_hits,
+                cache.plan_hits + cache.plan_misses,
+                cache.plan_hit_rate,
+                cache.library_hits,
+                cache.library_hits + cache.library_misses,
+                cache.hit_rate
+            ));
+        }
+        out
+    }
+
+    /// Serializes the summary to pretty-printed JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (the summary is plain data, so it
+    /// cannot).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FleetSummary serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{FleetConfig, FleetSim};
+
+    #[test]
+    fn summary_counts_the_whole_fleet() {
+        let sim = FleetSim::new(FleetConfig::new(16, 3)).expect("valid config");
+        let summary = sim.summary();
+        assert_eq!(summary.chips, 16);
+        assert_eq!(summary.compressed + summary.degraded, 16);
+        let histo: usize = summary.plan_histogram.iter().map(|b| b.count).sum();
+        assert_eq!(histo, 16);
+        let buckets: usize = summary.bucket_histogram.iter().map(|b| b.count).sum();
+        assert_eq!(buckets, 16);
+        let cache = summary.cache.expect("live sim reports cache stats");
+        assert!(cache.plan_misses >= 1);
+        let text = summary.render_text();
+        assert!(text.contains("hit rate"));
+        assert!(text.contains("plan distribution"));
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let sim = FleetSim::new(FleetConfig::new(4, 9)).expect("valid config");
+        let summary = sim.summary();
+        let back: FleetSummary = serde_json::from_str(&summary.to_json()).expect("parses");
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 51.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 90.0), 7.0);
+    }
+}

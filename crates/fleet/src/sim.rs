@@ -1,0 +1,566 @@
+//! The discrete-time fleet simulator and compression-decision server.
+//!
+//! [`FleetSim`] advances a heterogeneous population of [`Chip`]s
+//! through their deployed lifetime in epochs of
+//! [`FleetConfig::epoch_years`] wall-clock years. Each epoch, every
+//! chip's ΔVth is evaluated under its own jittered NBTI kinetics and
+//! mission profile (a rayon-parallel pure computation), quantized into
+//! an aging *bucket* of [`FleetConfig::bucket_mv`] millivolts. Only
+//! chips that crossed into a new bucket are replanned — and replanning
+//! goes through the shared [`EvalEngine`], whose plan cache collapses
+//! the fleet's O(chips × epochs) decision stream into O(distinct
+//! buckets) full `(α, β) × Padding` characterizations. The engine's
+//! [`CacheStats`] measure that leverage rather than assuming it.
+//!
+//! A chip whose bucket admits no feasible compression *degrades
+//! gracefully*: it falls back to a conventional guardbanded clock
+//! (journaled as [`EventKind::Degraded`]) and is never replanned
+//! again — infeasibility is monotone in ΔVth, so no later bucket can
+//! rescue it.
+//!
+//! [`CacheStats`]: agequant_core::CacheStats
+//! [`EvalEngine`]: agequant_core::EvalEngine
+//! [`EventKind::Degraded`]: crate::journal::EventKind::Degraded
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use agequant_aging::VthShift;
+use agequant_core::{AgingAwareQuantizer, CacheStats, FlowConfig, FlowError};
+use agequant_nn::{Model, NetArch};
+use agequant_quant::QuantMethod;
+use agequant_sta::GuardbandModel;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::chip::{Chip, ChipMode, ChipPlan};
+use crate::journal::{EventKind, JournalEvent};
+use crate::report::FleetSummary;
+use crate::rng::FleetRng;
+use crate::FleetError;
+
+/// Configuration of a fleet run.
+///
+/// Everything that influences the simulation is in here, so a
+/// checkpointed [`FleetState`] (which embeds its config) is
+/// self-describing and a resumed run needs no out-of-band inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of chips in the fleet.
+    pub chips: u32,
+    /// Seed for chip sampling (process variation + mission jitter).
+    pub seed: u64,
+    /// Wall-clock years each epoch advances.
+    pub epoch_years: f64,
+    /// Width of one quantized aging bucket, millivolts of ΔVth.
+    pub bucket_mv: f64,
+    /// Timing constraint as a fraction of the fresh critical path:
+    /// 1.0 is the paper's guardband-free operation; values below 1
+    /// over-constrain the clock (useful to exercise the infeasible
+    /// fallback), values above model a partial guardband.
+    pub constraint_factor: f64,
+    /// When set, each bucket's plan also selects the best quantization
+    /// method for this network and records its accuracy loss.
+    pub network: Option<NetArch>,
+    /// The underlying aging-aware quantization flow.
+    pub flow: FlowConfig,
+}
+
+impl FleetConfig {
+    /// A fleet of `chips` chips with the paper's flow and sweep
+    /// granularity: 10 mV buckets (the paper's aging levels),
+    /// half-year epochs, guardband-free constraint, and a lightened
+    /// accuracy-evaluation budget suited to per-bucket method
+    /// selection at fleet scale.
+    #[must_use]
+    pub fn new(chips: u32, seed: u64) -> Self {
+        let mut flow = FlowConfig::edge_tpu_like();
+        flow.eval_samples = 20;
+        flow.calib_samples = 4;
+        flow.lapq = agequant_quant::LapqRefineConfig::off();
+        FleetConfig {
+            chips,
+            seed,
+            epoch_years: 0.5,
+            bucket_mv: 10.0,
+            constraint_factor: 1.0,
+            network: None,
+            flow,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] naming the bad knob.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if self.chips == 0 {
+            return Err(FleetError::InvalidConfig(
+                "fleet needs at least one chip".into(),
+            ));
+        }
+        if !(self.epoch_years > 0.0 && self.epoch_years.is_finite()) {
+            return Err(FleetError::InvalidConfig(format!(
+                "epoch length {} years must be positive",
+                self.epoch_years
+            )));
+        }
+        if !(self.bucket_mv > 0.0 && self.bucket_mv.is_finite()) {
+            return Err(FleetError::InvalidConfig(format!(
+                "bucket width {} mV must be positive",
+                self.bucket_mv
+            )));
+        }
+        if !(self.constraint_factor > 0.0 && self.constraint_factor.is_finite()) {
+            return Err(FleetError::InvalidConfig(format!(
+                "constraint factor {} must be positive",
+                self.constraint_factor
+            )));
+        }
+        self.flow.validate().map_err(FleetError::Flow)
+    }
+}
+
+/// The complete serializable state of a fleet run: configuration,
+/// epoch counter, RNG state, and every chip. Checkpointing this and
+/// restoring it resumes the run bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetState {
+    /// The configuration the run was started with.
+    pub config: FleetConfig,
+    /// The last completed epoch.
+    pub epoch: u64,
+    /// RNG state after chip sampling (carried for future stochastic
+    /// extensions; epoch stepping itself draws nothing).
+    pub rng: FleetRng,
+    /// Every chip, in id order.
+    pub chips: Vec<Chip>,
+}
+
+impl FleetState {
+    /// Serializes the state as pretty-printed JSON — the checkpoint
+    /// format. Byte-deterministic for a given state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (the state is plain data, so it
+    /// cannot).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FleetState serializes")
+    }
+
+    /// Parses a checkpoint produced by [`FleetState::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Malformed`] when the text is not a valid
+    /// checkpoint.
+    pub fn from_json(text: &str) -> Result<Self, FleetError> {
+        serde_json::from_str(text).map_err(|e| FleetError::Malformed(format!("checkpoint: {e}")))
+    }
+}
+
+/// What the decision server concluded for one aging bucket.
+#[derive(Debug, Clone)]
+enum BucketOutcome {
+    /// A feasible plan (and, when enabled, the selected method).
+    Feasible(ChipPlan),
+    /// No compression closes timing in this bucket.
+    Infeasible,
+}
+
+/// The running fleet: simulation state plus the decision server
+/// (the shared [`AgingAwareQuantizer`] and its memoizing engine).
+#[derive(Debug)]
+pub struct FleetSim {
+    flow: AgingAwareQuantizer,
+    state: FleetState,
+    journal: Vec<JournalEvent>,
+    /// Per-bucket method-selection memo (method runs are not covered
+    /// by the engine's plan cache) and the infeasibility record that
+    /// keeps a degraded bucket from being rescanned per chip.
+    method_memo: BTreeMap<u64, Option<(QuantMethod, f64)>>,
+    infeasible: BTreeSet<u64>,
+    /// Distinct buckets for which a full characterization ran.
+    buckets_planned: Vec<u64>,
+    model: Option<Model>,
+    constraint_ps: f64,
+    guardband_period_ps: f64,
+}
+
+impl FleetSim {
+    /// Builds a fresh fleet: samples every chip from `config.seed`,
+    /// then serves each its epoch-0 plan (all chips start fresh, so
+    /// this is a single characterization shared fleet-wide).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] / [`FleetError::Flow`] on
+    /// bad configuration. An infeasible epoch-0 constraint is *not* an
+    /// error: the fleet degrades to guardband mode and journals it.
+    pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        config.validate()?;
+        let mut rng = FleetRng::seed_from_u64(config.seed);
+        let chips: Vec<Chip> = (0..config.chips)
+            .map(|id| Chip::sample(id, &mut rng))
+            .collect();
+        let state = FleetState {
+            config,
+            epoch: 0,
+            rng,
+            chips,
+        };
+        let mut sim = Self::with_state(state)?;
+        sim.plan_initial()?;
+        Ok(sim)
+    }
+
+    /// Restores a fleet from a checkpointed state. The engine's caches
+    /// start cold (they are memoization, not state); everything
+    /// observable resumes bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] / [`FleetError::Flow`] if
+    /// the embedded configuration no longer validates, or
+    /// [`FleetError::Malformed`] if the state is internally
+    /// inconsistent.
+    pub fn resume(state: FleetState) -> Result<Self, FleetError> {
+        state.config.validate()?;
+        if state.chips.len() != state.config.chips as usize {
+            return Err(FleetError::Malformed(format!(
+                "checkpoint holds {} chips, config says {}",
+                state.chips.len(),
+                state.config.chips
+            )));
+        }
+        Self::with_state(state)
+    }
+
+    /// Shared construction: builds the flow and derives the timing
+    /// constraint and the guardband fallback clock.
+    fn with_state(state: FleetState) -> Result<Self, FleetError> {
+        let flow = AgingAwareQuantizer::new(state.config.flow.clone())?;
+        let constraint_ps = flow.fresh_critical_path_ps() * state.config.constraint_factor;
+        let guardband_period_ps = GuardbandModel::for_scenario(
+            flow.fresh_critical_path_ps(),
+            &state.config.flow.scenario,
+        )
+        .guardbanded_period_ps();
+        Ok(FleetSim {
+            flow,
+            state,
+            journal: Vec::new(),
+            method_memo: BTreeMap::new(),
+            infeasible: BTreeSet::new(),
+            buckets_planned: Vec::new(),
+            model: None,
+            constraint_ps,
+            guardband_period_ps,
+        })
+    }
+
+    /// Serves the epoch-0 decision to every chip (all start in bucket
+    /// 0 with ΔVth = 0).
+    fn plan_initial(&mut self) -> Result<(), FleetError> {
+        for idx in 0..self.state.chips.len() {
+            self.apply_decision(idx, 0, 0)?;
+        }
+        Ok(())
+    }
+
+    /// The quantized shift a bucket is planned at: its lower edge —
+    /// the paper's discrete aging levels generalized to an arbitrary
+    /// grid. Every chip in a bucket asks the engine for exactly this
+    /// shift, which is what turns fleet-scale replanning into a cache
+    /// workload.
+    fn bucket_shift(&self, bucket: u64) -> VthShift {
+        #[allow(clippy::cast_precision_loss)]
+        VthShift::from_millivolts(bucket as f64 * self.state.config.bucket_mv)
+    }
+
+    /// The decision for `bucket`: a cached (or freshly characterized)
+    /// plan, or `Infeasible`. The engine's plan cache serves repeat
+    /// feasible lookups; the sim-side `infeasible` record keeps a
+    /// degraded bucket from being rescanned per chip (the engine never
+    /// caches failures).
+    fn decide_bucket(&mut self, bucket: u64) -> Result<BucketOutcome, FleetError> {
+        if self.infeasible.contains(&bucket) {
+            return Ok(BucketOutcome::Infeasible);
+        }
+        let shift = self.bucket_shift(bucket);
+        let known = self.flow.engine().stats().plan_misses;
+        let plan = match self
+            .flow
+            .compression_for_constraint(shift, self.constraint_ps)
+        {
+            Ok(plan) => plan,
+            Err(FlowError::NoFeasibleCompression { .. }) => {
+                self.infeasible.insert(bucket);
+                self.buckets_planned.push(bucket);
+                return Ok(BucketOutcome::Infeasible);
+            }
+            Err(other) => return Err(FleetError::Flow(other)),
+        };
+        if self.flow.engine().stats().plan_misses > known {
+            self.buckets_planned.push(bucket);
+        }
+        let method = self.select_method_for(bucket, plan)?;
+        Ok(BucketOutcome::Feasible(ChipPlan {
+            bucket,
+            plan,
+            method: method.map(|(m, _)| m),
+            accuracy_loss_pct: method.map(|(_, loss)| loss),
+        }))
+    }
+
+    /// Per-bucket method selection, memoized sim-side (quantizing and
+    /// evaluating a network is far more expensive than an STA scan and
+    /// has no engine cache). `None` when selection is disabled or the
+    /// configured threshold is unmet.
+    fn select_method_for(
+        &mut self,
+        bucket: u64,
+        plan: agequant_core::CompressionPlan,
+    ) -> Result<Option<(QuantMethod, f64)>, FleetError> {
+        let Some(arch) = self.state.config.network else {
+            return Ok(None);
+        };
+        if let Some(memo) = self.method_memo.get(&bucket) {
+            return Ok(*memo);
+        }
+        if self.model.is_none() {
+            self.model = Some(arch.build(self.state.config.flow.model_seed));
+        }
+        let model = self.model.as_ref().expect("model built above");
+        let method = match self.flow.select_method(model, plan) {
+            Ok(outcome) => Some((outcome.method, outcome.accuracy_loss_pct)),
+            Err(FlowError::ThresholdUnmet { .. }) => None,
+            Err(other) => return Err(FleetError::Flow(other)),
+        };
+        self.method_memo.insert(bucket, method);
+        Ok(method)
+    }
+
+    /// Serves chip `idx` the decision for `bucket` and journals the
+    /// outcome at `epoch`.
+    fn apply_decision(&mut self, idx: usize, bucket: u64, epoch: u64) -> Result<(), FleetError> {
+        let outcome = self.decide_bucket(bucket)?;
+        let chip = &mut self.state.chips[idx];
+        chip.bucket = bucket;
+        match outcome {
+            BucketOutcome::Feasible(plan) => {
+                self.journal.push(JournalEvent {
+                    epoch,
+                    chip: chip.id,
+                    kind: EventKind::Replanned {
+                        bucket,
+                        alpha: plan.plan.compression.alpha(),
+                        beta: plan.plan.compression.beta(),
+                        padding: plan.plan.padding,
+                        method: plan.method,
+                    },
+                });
+                chip.mode = ChipMode::Compressed;
+                chip.plan = Some(plan);
+            }
+            BucketOutcome::Infeasible => {
+                self.journal.push(JournalEvent {
+                    epoch,
+                    chip: chip.id,
+                    kind: EventKind::Degraded { bucket },
+                });
+                chip.mode = ChipMode::Guardband;
+                chip.plan = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the fleet one epoch: evaluates every chip's ΔVth in
+    /// parallel, then replans exactly the chips that crossed into a
+    /// new bucket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-degradable flow errors; infeasible compression
+    /// degrades the affected chips instead of failing.
+    pub fn step(&mut self) -> Result<(), FleetError> {
+        let epoch = self.state.epoch + 1;
+        #[allow(clippy::cast_precision_loss)]
+        let years = epoch as f64 * self.state.config.epoch_years;
+        let bucket_mv = self.state.config.bucket_mv;
+        // Pure per-chip physics: safe to fan out, order-preserving.
+        let buckets: Vec<u64> = self
+            .state
+            .chips
+            .par_iter()
+            .map(|chip| Chip::bucket_of(chip.shift_at(years), bucket_mv))
+            .collect();
+        for (idx, &new_bucket) in buckets.iter().enumerate() {
+            let chip = &self.state.chips[idx];
+            if new_bucket <= chip.bucket {
+                continue;
+            }
+            let (id, from, degraded) = (chip.id, chip.bucket, chip.mode == ChipMode::Guardband);
+            self.journal.push(JournalEvent {
+                epoch,
+                chip: id,
+                kind: EventKind::BucketCrossed {
+                    from,
+                    to: new_bucket,
+                },
+            });
+            if degraded {
+                // Infeasibility is monotone in ΔVth: once guardbanded,
+                // the chip only tracks its bucket, never replans.
+                self.state.chips[idx].bucket = new_bucket;
+                continue;
+            }
+            self.apply_decision(idx, new_bucket, epoch)?;
+        }
+        self.state.epoch = epoch;
+        Ok(())
+    }
+
+    /// Runs `epochs` further epochs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`FleetError`] of a failing step.
+    pub fn run(&mut self, epochs: u64) -> Result<(), FleetError> {
+        for _ in 0..epochs {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// The simulation state (checkpoint this).
+    #[must_use]
+    pub fn state(&self) -> &FleetState {
+        &self.state
+    }
+
+    /// The events journaled by *this* sim instance (a resumed sim
+    /// journals only post-resume events, so appending to the original
+    /// journal file reconstructs the full history).
+    #[must_use]
+    pub fn journal(&self) -> &[JournalEvent] {
+        &self.journal
+    }
+
+    /// The underlying decision flow.
+    #[must_use]
+    pub fn flow(&self) -> &AgingAwareQuantizer {
+        &self.flow
+    }
+
+    /// The engine's cache counters for this sim instance.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.flow.engine().stats()
+    }
+
+    /// The distinct aging buckets fully characterized by this sim
+    /// instance (feasible or proven infeasible), in first-encounter
+    /// order. With a fixed constraint this is exactly the set of
+    /// distinct `(bucket, constraint)` pairs — and therefore exactly
+    /// the engine's plan-cache miss count.
+    #[must_use]
+    pub fn buckets_planned(&self) -> &[u64] {
+        &self.buckets_planned
+    }
+
+    /// The timing constraint every plan is held to, ps.
+    #[must_use]
+    pub fn constraint_ps(&self) -> f64 {
+        self.constraint_ps
+    }
+
+    /// The fallback clock period of a degraded chip, ps.
+    #[must_use]
+    pub fn guardband_period_ps(&self) -> f64 {
+        self.guardband_period_ps
+    }
+
+    /// The fleet-level summary of the current state, including this
+    /// instance's live cache statistics.
+    #[must_use]
+    pub fn summary(&self) -> FleetSummary {
+        FleetSummary::from_state(&self.state, Some(self.cache_stats()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> FleetConfig {
+        let mut config = FleetConfig::new(8, 13);
+        config.epoch_years = 2.5;
+        config
+    }
+
+    #[test]
+    fn fresh_fleet_starts_uncompressed_in_bucket_zero() {
+        let sim = FleetSim::new(tiny_config()).expect("valid config");
+        assert_eq!(sim.state().epoch, 0);
+        for chip in &sim.state().chips {
+            assert_eq!(chip.bucket, 0);
+            assert_eq!(chip.mode, ChipMode::Compressed);
+            let plan = chip.plan.expect("planned at epoch 0");
+            assert!(plan.plan.compression.is_uncompressed());
+        }
+        // One characterization served the whole fleet.
+        assert_eq!(sim.buckets_planned(), &[0]);
+        assert_eq!(sim.cache_stats().plan_misses, 1);
+    }
+
+    #[test]
+    fn stepping_advances_buckets_monotonically() {
+        let mut sim = FleetSim::new(tiny_config()).expect("valid config");
+        let mut last: Vec<u64> = sim.state().chips.iter().map(|c| c.bucket).collect();
+        for _ in 0..4 {
+            sim.step().expect("step");
+            for (chip, prev) in sim.state().chips.iter().zip(&last) {
+                assert!(chip.bucket >= *prev, "buckets never regress");
+            }
+            last = sim.state().chips.iter().map(|c| c.bucket).collect();
+        }
+        assert_eq!(sim.state().epoch, 4);
+        // 10 years under mixed missions: at least one chip aged past
+        // bucket 0, and every aged compressed chip holds a real plan.
+        assert!(sim.state().chips.iter().any(|c| c.bucket > 0));
+        for chip in &sim.state().chips {
+            if chip.mode == ChipMode::Compressed && chip.bucket > 0 {
+                let plan = chip.plan.expect("replanned");
+                assert_eq!(plan.bucket, chip.bucket);
+                assert!(plan.plan.compressed_delay_ps <= sim.constraint_ps() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = FleetConfig::new(0, 1);
+        assert!(matches!(
+            FleetSim::new(c.clone()),
+            Err(FleetError::InvalidConfig(_))
+        ));
+        c.chips = 4;
+        c.bucket_mv = 0.0;
+        assert!(FleetSim::new(c).is_err());
+    }
+
+    #[test]
+    fn resume_rejects_chip_count_mismatch() {
+        let sim = FleetSim::new(tiny_config()).expect("valid config");
+        let mut state = sim.state().clone();
+        state.chips.pop();
+        assert!(matches!(
+            FleetSim::resume(state),
+            Err(FleetError::Malformed(_))
+        ));
+    }
+}

@@ -1,33 +1,46 @@
-//! `agequant-lint` — lint the shipped artifact zoo.
+//! `agequant-lint` — lint the shipped artifact zoo and, optionally,
+//! fleet artifacts from disk.
 //!
 //! Runs every registered lint over every generator netlist, the aged
-//! library sweep, per-level STA results, and the flow's compression
-//! plans, then exits nonzero if any `deny`-level finding remains.
+//! library sweep, per-level STA results, the flow's compression plans,
+//! and a reference fleet run, then exits nonzero if any `deny`-level
+//! finding remains. `--fleet-state` / `--fleet-journal` additionally
+//! lint a checkpoint and journal produced by `agequant-fleet`;
+//! `--no-zoo` restricts the run to just those files.
 //!
 //! ```text
 //! agequant-lint [--json] [--list] [--max-mv MV] [--step-mv MV]
 //!               [--deny CODE] [--warn CODE] [--allow CODE]
+//!               [--fleet-state FILE] [--fleet-journal FILE] [--no-zoo]
 //! ```
 
 use std::process::ExitCode;
 
-use agequant_lint::{lint_zoo, registry, LintConfig};
+use agequant_fleet::{journal, FleetState, JournalEvent};
+use agequant_lint::{registry, Artifact, LintConfig, Linter, Zoo};
 
 struct Options {
     json: bool,
     list: bool,
     max_mv: f64,
     step_mv: f64,
+    no_zoo: bool,
+    fleet_state: Option<String>,
+    fleet_journal: Option<String>,
     config: LintConfig,
 }
 
 fn usage() -> String {
     let mut out = String::from(
         "usage: agequant-lint [--json] [--list] [--max-mv MV] [--step-mv MV]\n\
-         \x20                    [--deny CODE] [--warn CODE] [--allow CODE]\n\n\
+         \x20                    [--deny CODE] [--warn CODE] [--allow CODE]\n\
+         \x20                    [--fleet-state FILE] [--fleet-journal FILE] [--no-zoo]\n\n\
          Lints the shipped artifact zoo (netlists, aged libraries, STA\n\
-         results, compression plans, quant configs). Exits 1 when any\n\
-         deny-level finding remains, 2 on bad arguments.\n\nlints:\n",
+         results, compression plans, quant configs, a reference fleet\n\
+         run). --fleet-state/--fleet-journal lint an agequant-fleet\n\
+         checkpoint and its journal from disk; --no-zoo checks only\n\
+         those. Exits 1 when any deny-level finding remains, 2 on bad\n\
+         arguments or unreadable files.\n\nlints:\n",
     );
     for lint in registry() {
         out.push_str(&format!(
@@ -47,6 +60,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         list: false,
         max_mv: 50.0,
         step_mv: 10.0,
+        no_zoo: false,
+        fleet_state: None,
+        fleet_journal: None,
         config: LintConfig::new(),
     };
     let mut it = args.iter();
@@ -59,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--list" => opts.list = true,
+            "--no-zoo" => opts.no_zoo = true,
             "--max-mv" => {
                 opts.max_mv = value("--max-mv")?
                     .parse()
@@ -69,6 +86,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--step-mv: {e}"))?;
             }
+            "--fleet-state" => opts.fleet_state = Some(value("--fleet-state")?),
+            "--fleet-journal" => opts.fleet_journal = Some(value("--fleet-journal")?),
             "--deny" => opts.config = opts.config.deny(&value("--deny")?),
             "--warn" => opts.config = opts.config.warn(&value("--warn")?),
             "--allow" => opts.config = opts.config.allow(&value("--allow")?),
@@ -79,7 +98,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if !(opts.max_mv >= 0.0 && opts.step_mv > 0.0) {
         return Err("--max-mv must be >= 0 and --step-mv > 0".to_string());
     }
+    if opts.fleet_journal.is_some() && opts.fleet_state.is_none() {
+        return Err("--fleet-journal needs --fleet-state (causality is checked against it)".into());
+    }
+    if opts.no_zoo && opts.fleet_state.is_none() {
+        return Err("--no-zoo leaves nothing to lint without --fleet-state".to_string());
+    }
     Ok(opts)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Fleet artifacts loaded from disk, owning what `Artifact` borrows.
+struct FleetFiles {
+    state_name: String,
+    state: FleetState,
+    journal: Option<(String, Vec<JournalEvent>)>,
 }
 
 fn main() -> ExitCode {
@@ -101,7 +137,57 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let report = lint_zoo(opts.config, opts.max_mv, opts.step_mv);
+    let fleet: Option<FleetFiles> = match &opts.fleet_state {
+        None => None,
+        Some(state_path) => {
+            let loaded = read(state_path)
+                .and_then(|text| {
+                    FleetState::from_json(&text).map_err(|e| format!("{state_path}: {e}"))
+                })
+                .and_then(|state| {
+                    let journal = match &opts.fleet_journal {
+                        None => None,
+                        Some(journal_path) => Some((
+                            journal_path.clone(),
+                            read(journal_path).and_then(|text| {
+                                journal::from_jsonl(&text)
+                                    .map_err(|e| format!("{journal_path}: {e}"))
+                            })?,
+                        )),
+                    };
+                    Ok(FleetFiles {
+                        state_name: state_path.clone(),
+                        state,
+                        journal,
+                    })
+                });
+            match loaded {
+                Ok(fleet) => Some(fleet),
+                Err(msg) => {
+                    eprintln!("agequant-lint: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let zoo = (!opts.no_zoo).then(|| Zoo::build(opts.max_mv, opts.step_mv));
+    let mut artifacts: Vec<Artifact<'_>> = zoo.as_ref().map(Zoo::artifacts).unwrap_or_default();
+    if let Some(fleet) = &fleet {
+        artifacts.push(Artifact::FleetCheckpoint {
+            name: &fleet.state_name,
+            state: &fleet.state,
+        });
+        if let Some((journal_name, events)) = &fleet.journal {
+            artifacts.push(Artifact::FleetJournal {
+                name: journal_name,
+                state: &fleet.state,
+                events,
+            });
+        }
+    }
+
+    let report = Linter::with_config(opts.config).run(&artifacts);
     if opts.json {
         println!("{}", report.to_json());
     } else {

@@ -1,0 +1,172 @@
+//! Lints over fleet-simulation artifacts: checkpoints (FL001) and
+//! event journals (FL002).
+
+use agequant_fleet::{Chip, ChipMode, EventKind};
+
+use crate::lint::{Artifact, Lint, Sink};
+
+/// FL001: a checkpoint must be internally consistent — a resumable
+/// snapshot, not just parseable JSON.
+///
+/// Checks: the embedded config validates; the chip count matches the
+/// config; chip ids are dense and in order; the RNG state is present
+/// (non-degenerate, i.e. not the all-zero state xoshiro can never
+/// leave); each chip's mode agrees with its plan (compressed chips
+/// hold a plan made for their current bucket, degraded chips hold
+/// none); and each chip's bucket equals what its own recorded kinetics
+/// imply at the recorded epoch, so a tampered epoch or bucket cannot
+/// masquerade as forward progress.
+pub struct CheckpointConsistency;
+
+impl Lint for CheckpointConsistency {
+    fn code(&self) -> &'static str {
+        "FL001"
+    }
+
+    fn slug(&self) -> &'static str {
+        "fleet-checkpoint-inconsistent"
+    }
+
+    fn description(&self) -> &'static str {
+        "fleet checkpoint disagrees with its own config, ids, RNG state, or aging physics"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::FleetCheckpoint { state, .. } = artifact else {
+            return;
+        };
+        if let Err(e) = state.config.validate() {
+            sink.report(format!("embedded config no longer validates: {e}"));
+        }
+        if state.chips.len() != state.config.chips as usize {
+            sink.report(format!(
+                "checkpoint holds {} chips but config says {}",
+                state.chips.len(),
+                state.config.chips
+            ));
+        }
+        if state.rng.is_degenerate() {
+            sink.report("RNG state is all-zero (xoshiro can never reach it)");
+        }
+        for (idx, chip) in state.chips.iter().enumerate() {
+            if chip.id as usize != idx {
+                sink.report(format!(
+                    "chip at index {idx} has id {} (ids must be dense and in order)",
+                    chip.id
+                ));
+                // Later checks key off position; one broken id is enough.
+                break;
+            }
+        }
+        for chip in &state.chips {
+            match (chip.mode, &chip.plan) {
+                (ChipMode::Compressed, None) => {
+                    sink.report(format!("chip {} is compressed but holds no plan", chip.id));
+                }
+                (ChipMode::Guardband, Some(_)) => {
+                    sink.report(format!(
+                        "chip {} is guardband-degraded but still holds a plan",
+                        chip.id
+                    ));
+                }
+                (ChipMode::Compressed, Some(plan)) if plan.bucket != chip.bucket => {
+                    sink.report(format!(
+                        "chip {} sits in bucket {} but its plan was made for bucket {}",
+                        chip.id, chip.bucket, plan.bucket
+                    ));
+                }
+                _ => {}
+            }
+            if state.config.bucket_mv > 0.0 && state.config.epoch_years > 0.0 {
+                #[allow(clippy::cast_precision_loss)]
+                let years = state.epoch as f64 * state.config.epoch_years;
+                let expected = Chip::bucket_of(chip.shift_at(years), state.config.bucket_mv);
+                if chip.bucket != expected {
+                    sink.report(format!(
+                        "chip {} records bucket {} but its kinetics put it in bucket {expected} \
+                         at epoch {}",
+                        chip.id, chip.bucket, state.epoch
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// FL002: a journal must be causally consistent with its checkpoint.
+///
+/// Checks: event epochs are non-decreasing and never exceed the
+/// checkpoint's epoch; every event references a chip that exists;
+/// bucket crossings actually ascend; and a degraded chip receives no
+/// further replans (degradation is terminal — infeasibility is
+/// monotone in ΔVth).
+pub struct JournalCausality;
+
+impl Lint for JournalCausality {
+    fn code(&self) -> &'static str {
+        "FL002"
+    }
+
+    fn slug(&self) -> &'static str {
+        "fleet-journal-acausal"
+    }
+
+    fn description(&self) -> &'static str {
+        "fleet journal events out of order, orphaned, or contradicting degradation"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::FleetJournal { state, events, .. } = artifact else {
+            return;
+        };
+        let chips = state.chips.len() as u64;
+        let mut last_epoch = 0u64;
+        let mut degraded: Vec<bool> = vec![false; state.chips.len()];
+        for (idx, event) in events.iter().enumerate() {
+            let line = idx + 1;
+            if event.epoch < last_epoch {
+                sink.report(format!(
+                    "event {line}: epoch {} after epoch {last_epoch} (journal must be \
+                     append-only)",
+                    event.epoch
+                ));
+            }
+            last_epoch = last_epoch.max(event.epoch);
+            if event.epoch > state.epoch {
+                sink.report(format!(
+                    "event {line}: epoch {} is beyond the checkpoint's epoch {}",
+                    event.epoch, state.epoch
+                ));
+            }
+            if u64::from(event.chip) >= chips {
+                sink.report(format!(
+                    "event {line}: chip {} does not exist (fleet has {chips} chips)",
+                    event.chip
+                ));
+                continue;
+            }
+            let chip = event.chip as usize;
+            match event.kind {
+                EventKind::BucketCrossed { from, to } => {
+                    if from >= to {
+                        sink.report(format!(
+                            "event {line}: chip {} crossed from bucket {from} to {to} \
+                             (aging only ascends)",
+                            event.chip
+                        ));
+                    }
+                }
+                EventKind::Replanned { .. } => {
+                    if degraded[chip] {
+                        sink.report(format!(
+                            "event {line}: chip {} replanned after degrading (degradation \
+                             is terminal)",
+                            event.chip
+                        ));
+                    }
+                }
+                EventKind::Degraded { .. } => degraded[chip] = true,
+            }
+        }
+    }
+}

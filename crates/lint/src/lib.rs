@@ -22,6 +22,8 @@
 //! | ST001 | arrival-time-order-violation | acausal or inconsistent STA report |
 //! | ST002 | compression-bitwidth-arithmetic | plan widths vs Section 5's rule |
 //! | QT001 | quant-range-inconsistent | broken scale/zero-point/bit width |
+//! | FL001 | fleet-checkpoint-inconsistent | checkpoint vs config/ids/RNG/physics |
+//! | FL002 | fleet-journal-acausal | journal order, orphan chips, replans after degrade |
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@
 mod cell_lints;
 mod config;
 mod diagnostic;
+mod fleet_lints;
 mod lint;
 mod netlist_lints;
 mod quant_lints;

@@ -2,6 +2,7 @@
 
 use agequant_cells::CellLibrary;
 use agequant_core::CompressionPlan;
+use agequant_fleet::{FleetState, JournalEvent};
 use agequant_netlist::mac::MacGeometry;
 use agequant_netlist::Netlist;
 use agequant_quant::{BitWidths, QuantParams};
@@ -9,7 +10,7 @@ use agequant_sta::TimingReport;
 
 use crate::config::LintConfig;
 use crate::diagnostic::{Diagnostic, LintReport, Severity};
-use crate::{cell_lints, netlist_lints, quant_lints, sta_lints};
+use crate::{cell_lints, fleet_lints, netlist_lints, quant_lints, sta_lints};
 
 /// One artifact of the flow, presented for static verification.
 ///
@@ -61,6 +62,22 @@ pub enum Artifact<'a> {
         /// Bit width the surrounding plan expects, if any.
         expected_bits: Option<u8>,
     },
+    /// A fleet-simulation checkpoint.
+    FleetCheckpoint {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// The checkpointed state under check.
+        state: &'a FleetState,
+    },
+    /// A fleet event journal together with the checkpoint it ends at.
+    FleetJournal {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// The checkpoint the journal leads up to.
+        state: &'a FleetState,
+        /// The journaled events, in file order.
+        events: &'a [JournalEvent],
+    },
 }
 
 impl Artifact<'_> {
@@ -72,7 +89,9 @@ impl Artifact<'_> {
             | Artifact::LibrarySweep { name, .. }
             | Artifact::Timing { name, .. }
             | Artifact::Plan { name, .. }
-            | Artifact::Quant { name, .. } => name,
+            | Artifact::Quant { name, .. }
+            | Artifact::FleetCheckpoint { name, .. }
+            | Artifact::FleetJournal { name, .. } => name,
         }
     }
 }
@@ -142,6 +161,8 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(sta_lints::ArrivalTimeOrder),
         Box::new(sta_lints::CompressionBitwidthArithmetic),
         Box::new(quant_lints::QuantRangeInconsistent),
+        Box::new(fleet_lints::CheckpointConsistency),
+        Box::new(fleet_lints::JournalCausality),
     ]
 }
 
@@ -231,7 +252,7 @@ mod tests {
         assert_eq!(sorted.len(), codes.len(), "duplicate lint code");
         for expected in [
             "NL001", "NL002", "NL003", "NL004", "NL005", "CL001", "CL002", "CL003", "ST001",
-            "ST002", "QT001",
+            "ST002", "QT001", "FL001", "FL002",
         ] {
             assert!(codes.contains(&expected), "missing {expected}");
         }

@@ -5,6 +5,7 @@
 use agequant_aging::VthShift;
 use agequant_cells::{CellLibrary, ProcessLibrary};
 use agequant_core::{AgingAwareQuantizer, CompressionPlan, FlowConfig};
+use agequant_fleet::{FleetConfig, FleetSim, FleetState, JournalEvent};
 use agequant_netlist::adders::{prefix_adder, ripple_carry};
 use agequant_netlist::mac::{MacCircuit, MacGeometry};
 use agequant_netlist::multipliers::multiplier;
@@ -39,6 +40,8 @@ pub struct Zoo {
     timings: Vec<(String, TimingReport)>,
     plans: Vec<(String, CompressionPlan, BitWidths)>,
     quants: Vec<(String, QuantParams, Option<u8>)>,
+    fleet_state: FleetState,
+    fleet_journal: Vec<JournalEvent>,
 }
 
 impl Zoo {
@@ -120,6 +123,14 @@ impl Zoo {
             ));
         }
 
+        // A small fleet run, so the fleet lints always have a live
+        // checkpoint + journal to hold to their invariants.
+        let mut fleet =
+            FleetSim::new(FleetConfig::new(24, 7)).expect("shipped fleet config is valid");
+        fleet.run(6).expect("shipped fleet config simulates");
+        let fleet_state = fleet.state().clone();
+        let fleet_journal = fleet.journal().to_vec();
+
         Zoo {
             netlists,
             mac,
@@ -127,6 +138,8 @@ impl Zoo {
             timings,
             plans,
             quants,
+            fleet_state,
+            fleet_journal,
         }
     }
 
@@ -163,6 +176,15 @@ impl Zoo {
                 expected_bits: *expected_bits,
             });
         }
+        artifacts.push(Artifact::FleetCheckpoint {
+            name: "fleet_checkpoint",
+            state: &self.fleet_state,
+        });
+        artifacts.push(Artifact::FleetJournal {
+            name: "fleet_journal",
+            state: &self.fleet_state,
+            events: &self.fleet_journal,
+        });
         artifacts
     }
 }

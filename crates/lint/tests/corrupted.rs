@@ -344,6 +344,119 @@ fn qt001_fires_on_broken_quant_params() {
     assert!(quant_codes(&wrong_width, Some(4)).contains(&"QT001".to_string()));
 }
 
+/// A small simulated fleet: the checkpoint and journal base for
+/// FL001/FL002 corruption.
+fn base_fleet() -> (
+    agequant_fleet::FleetState,
+    Vec<agequant_fleet::JournalEvent>,
+) {
+    use agequant_fleet::{FleetConfig, FleetSim};
+
+    let mut sim = FleetSim::new(FleetConfig::new(12, 21)).expect("valid config");
+    sim.run(8).expect("simulates");
+    (sim.state().clone(), sim.journal().to_vec())
+}
+
+fn checkpoint_codes(state: &agequant_fleet::FleetState) -> Vec<String> {
+    codes(Artifact::FleetCheckpoint {
+        name: "under-test",
+        state,
+    })
+}
+
+fn journal_codes(
+    state: &agequant_fleet::FleetState,
+    events: &[agequant_fleet::JournalEvent],
+) -> Vec<String> {
+    codes(Artifact::FleetJournal {
+        name: "under-test",
+        state,
+        events,
+    })
+}
+
+#[test]
+fn fl001_fires_on_inconsistent_checkpoints() {
+    let (clean, _) = base_fleet();
+    assert!(!checkpoint_codes(&clean).contains(&"FL001".to_string()));
+
+    // A chip vanished but the config still claims the full fleet.
+    let mut short = clean.clone();
+    short.chips.pop();
+    assert!(checkpoint_codes(&short).contains(&"FL001".to_string()));
+
+    // Chip ids are no longer dense and in order.
+    let mut shuffled = clean.clone();
+    shuffled.chips[0].id = 7;
+    assert!(checkpoint_codes(&shuffled).contains(&"FL001".to_string()));
+
+    // The RNG state collapsed to xoshiro's all-zero fixed point.
+    let mut dead_rng = clean.clone();
+    dead_rng.rng = serde_json::from_str(r#"{"s":[0,0,0,0]}"#).expect("valid RNG JSON");
+    assert!(checkpoint_codes(&dead_rng).contains(&"FL001".to_string()));
+
+    // A compressed chip lost its plan.
+    let mut planless = clean.clone();
+    planless.chips[0].plan = None;
+    assert!(checkpoint_codes(&planless).contains(&"FL001".to_string()));
+
+    // The epoch was rewound without rewinding the chips' buckets: the
+    // recorded buckets disagree with each chip's own kinetics.
+    let mut rewound = clean;
+    rewound.epoch = 0;
+    assert!(checkpoint_codes(&rewound).contains(&"FL001".to_string()));
+}
+
+#[test]
+fn fl002_fires_on_acausal_journals() {
+    use agequant_fleet::EventKind;
+
+    let (state, clean) = base_fleet();
+    assert!(!journal_codes(&state, &clean).contains(&"FL002".to_string()));
+
+    // Events out of epoch order.
+    let mut reversed = clean.clone();
+    reversed.reverse();
+    assert!(journal_codes(&state, &reversed).contains(&"FL002".to_string()));
+
+    // An event for a chip the fleet does not have.
+    let mut orphan = clean.clone();
+    orphan.last_mut().expect("journal is nonempty").chip = 1000;
+    assert!(journal_codes(&state, &orphan).contains(&"FL002".to_string()));
+
+    // An event from beyond the checkpoint's epoch.
+    let mut future = clean.clone();
+    future.last_mut().expect("journal is nonempty").epoch = state.epoch + 5;
+    assert!(journal_codes(&state, &future).contains(&"FL002".to_string()));
+
+    // A bucket crossing that descends.
+    let mut descending = clean.clone();
+    descending.last_mut().expect("journal is nonempty").kind =
+        EventKind::BucketCrossed { from: 3, to: 1 };
+    assert!(journal_codes(&state, &descending).contains(&"FL002".to_string()));
+
+    // A replan after terminal degradation.
+    let mut zombie = clean;
+    let epoch = zombie.last().expect("journal is nonempty").epoch;
+    zombie.push(agequant_fleet::JournalEvent {
+        epoch,
+        chip: 0,
+        kind: EventKind::Degraded { bucket: 4 },
+    });
+    zombie.push(agequant_fleet::JournalEvent {
+        epoch,
+        chip: 0,
+        kind: EventKind::Replanned {
+            bucket: 5,
+            alpha: 2,
+            beta: 2,
+            padding: Padding::Msb,
+            method: None,
+        },
+    });
+    assert!(journal_codes(&state, &zombie).contains(&"FL002".to_string()));
+}
+
 #[test]
 fn corrupted_netlists_do_not_trip_unrelated_lints() {
     // Cross-check: a back-edge corruption fires NL001 but leaves the
