@@ -1,0 +1,249 @@
+//! `BENCH_serve` — load-generates the decision server and compares it
+//! against direct in-process engine queries.
+//!
+//! Starts an in-process `agequant-serve` on an ephemeral port, warms
+//! the plan cache across the aging sweep, then drives N concurrent
+//! keep-alive connections hammering `POST /v1/plan` for a fixed
+//! window. Reports p50/p95/p99 request latency and throughput, next
+//! to two in-process baselines:
+//!
+//! * the *uncached* engine query (fresh engine, library
+//!   characterization + timing evaluation) — the work a warm server
+//!   hit short-circuits, and the ISSUE's 10× p99 budget;
+//! * the *warm* direct call (plan-cache hit, no network) — the floor.
+//!
+//! Knobs: `AGEQUANT_SERVE_CONNS` (default 8), `AGEQUANT_SERVE_SECS`
+//! (default 3), `AGEQUANT_SERVE_WORKERS` (default 4).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use agequant_aging::{VthShift, AGING_SWEEP_MV};
+use agequant_bench::{banner, env_usize, write_json};
+use agequant_fleet::{Decider, FleetConfig};
+use agequant_serve::{start, ServeConfig};
+use serde::Serialize;
+
+/// One keep-alive connection issuing plan requests and timing them.
+fn client_loop(addr: &str, until: Instant, worker: usize) -> Vec<u64> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(16 * 1024);
+    let mut i = worker; // stagger the sweep phase across connections
+    loop {
+        let now = Instant::now();
+        if now >= until {
+            break;
+        }
+        let mv = AGING_SWEEP_MV[i % AGING_SWEEP_MV.len()];
+        i += 1;
+        let body = format!("{{\"delta_vth_mv\": {mv}}}");
+        let request = format!(
+            "POST /v1/plan HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let started = Instant::now();
+        writer.write_all(request.as_bytes()).expect("write");
+        let status = read_response(&mut reader);
+        latencies.push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        assert_eq!(status, 200, "plan request failed");
+    }
+    latencies
+}
+
+/// Reads one keep-alive response, returning the status code.
+fn read_response(reader: &mut BufReader<TcpStream>) -> u16 {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                length = value.trim().parse().expect("length");
+            }
+        }
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("body");
+    status
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let index = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
+#[derive(Serialize)]
+struct LatencyNs {
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    mean: u64,
+}
+
+fn summarize(mut nanos: Vec<u64>) -> LatencyNs {
+    nanos.sort_unstable();
+    let mean = if nanos.is_empty() {
+        0
+    } else {
+        (nanos.iter().map(|n| u128::from(*n)).sum::<u128>() / nanos.len() as u128) as u64
+    };
+    LatencyNs {
+        p50: percentile(&nanos, 50.0),
+        p95: percentile(&nanos, 95.0),
+        p99: percentile(&nanos, 99.0),
+        mean,
+    }
+}
+
+#[derive(Serialize)]
+struct ServeBench {
+    connections: usize,
+    workers: usize,
+    duration_secs: f64,
+    requests: usize,
+    requests_per_sec: f64,
+    http_latency_ns: LatencyNs,
+    /// Warm in-process decision (plan-cache hit), the latency floor.
+    direct_warm_ns: LatencyNs,
+    /// Uncached in-process engine query (library characterization +
+    /// timing evaluation) — what each warm server hit avoids.
+    direct_uncached_ns: LatencyNs,
+    /// ISSUE budget: http p99 must stay under 10× the direct
+    /// uncached engine query.
+    p99_over_direct_uncached: f64,
+    p99_over_direct_warm: f64,
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn main() {
+    banner(
+        "BENCH_serve",
+        "decision-server load test vs direct engine queries",
+    );
+    let connections = env_usize("AGEQUANT_SERVE_CONNS", 8);
+    let secs = env_usize("AGEQUANT_SERVE_SECS", 3);
+    let workers = env_usize("AGEQUANT_SERVE_WORKERS", 4);
+
+    // The uncached baseline: a fresh engine pays the full library +
+    // timing evaluation per sweep level, exactly once each.
+    let fleet_config = FleetConfig::new(8, 7);
+    let cold = Decider::from_config(&fleet_config).expect("cold decider");
+    let uncached: Vec<u64> = AGING_SWEEP_MV
+        .iter()
+        .map(|mv| {
+            let started = Instant::now();
+            cold.decide_shift(VthShift::from_millivolts(*mv))
+                .expect("cold decision");
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+
+    // The warm floor: the same decider, now all cache hits.
+    let warm: Vec<u64> = (0..10_000)
+        .map(|i| {
+            let mv = AGING_SWEEP_MV[i % AGING_SWEEP_MV.len()];
+            let started = Instant::now();
+            cold.decide_shift(VthShift::from_millivolts(mv))
+                .expect("warm decision");
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: u32::try_from(workers).expect("worker count"),
+        queue_depth: 256,
+        fleet_chips: 8,
+        ..ServeConfig::default()
+    };
+    let handle = start(config, fleet_config).expect("start server");
+    let addr = handle.addr().to_string();
+    println!("server on {addr}: {connections} connections for {secs}s, {workers} workers");
+
+    // Warm the server's plan cache before the timed window.
+    {
+        let warmup = Instant::now() + Duration::from_millis(500);
+        client_loop(&addr, warmup, 0);
+    }
+
+    let started = Instant::now();
+    let until = started + Duration::from_secs(secs as u64);
+    let clients: Vec<_> = (0..connections)
+        .map(|worker| {
+            let addr = addr.clone();
+            std::thread::spawn(move || client_loop(&addr, until, worker))
+        })
+        .collect();
+    let mut all = Vec::new();
+    for client in clients {
+        all.extend(client.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    handle.shutdown_and_join();
+
+    let requests = all.len();
+    let http = summarize(all);
+    let direct_uncached = summarize(uncached);
+    let direct_warm = summarize(warm);
+    let result = ServeBench {
+        connections,
+        workers,
+        duration_secs: elapsed,
+        requests,
+        requests_per_sec: requests as f64 / elapsed,
+        p99_over_direct_uncached: http.p99 as f64 / direct_uncached.mean.max(1) as f64,
+        p99_over_direct_warm: http.p99 as f64 / direct_warm.p50.max(1) as f64,
+        http_latency_ns: http,
+        direct_warm_ns: direct_warm,
+        direct_uncached_ns: direct_uncached,
+    };
+    println!(
+        "{requests} requests in {elapsed:.2}s = {:.0} req/s",
+        result.requests_per_sec
+    );
+    println!(
+        "http p50/p95/p99 = {:.1}/{:.1}/{:.1} µs; direct uncached mean {:.1} µs (ratio {:.3}); warm hit p50 {:.2} µs",
+        result.http_latency_ns.p50 as f64 / 1e3,
+        result.http_latency_ns.p95 as f64 / 1e3,
+        result.http_latency_ns.p99 as f64 / 1e3,
+        result.direct_uncached_ns.mean as f64 / 1e3,
+        result.p99_over_direct_uncached,
+        result.direct_warm_ns.p50 as f64 / 1e3,
+    );
+    assert!(
+        result.requests_per_sec >= 1000.0,
+        "throughput regressed below 1k req/s"
+    );
+    assert!(
+        result.p99_over_direct_uncached < 10.0,
+        "p99 blew past 10x the direct engine query"
+    );
+    write_json("BENCH_serve", &result);
+}

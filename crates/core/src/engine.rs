@@ -25,8 +25,12 @@
 //! Memoization is transparent: a cache hit returns the bit-identical
 //! value the miss path would compute (the equivalence suite in
 //! `crates/core/tests/equivalence.rs` pins this against the uncached
-//! serial reference paths). The engine is internally locked, so the
-//! rayon-parallelized scans share it freely.
+//! serial reference paths). The engine is `Send + Sync` (asserted by
+//! a compile-time check below): each cache sits behind an [`RwLock`],
+//! so the hot path — concurrent readers hitting warm entries, which is
+//! what a decision server does all day — never serializes; only a miss
+//! takes the write lock, and the hit/miss counters are plain atomics a
+//! `/metrics` scrape can snapshot without touching any lock.
 //!
 //! One engine serves exactly one netlist (the quantizer's MAC): load
 //! vectors and plans are circuit-dependent. [`AgingAwareQuantizer`]
@@ -38,7 +42,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 use agequant_aging::VthShift;
 use agequant_cells::{CellLibrary, ProcessLibrary};
@@ -105,14 +109,23 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct EvalEngine {
     process: ProcessLibrary,
-    libraries: Mutex<HashMap<i64, Arc<CellLibrary>>>,
-    loads: Mutex<HashMap<i64, Arc<Vec<f64>>>>,
-    plans: Mutex<HashMap<PlanKey, CompressionPlan>>,
+    libraries: RwLock<HashMap<i64, Arc<CellLibrary>>>,
+    loads: RwLock<HashMap<i64, Arc<Vec<f64>>>>,
+    plans: RwLock<HashMap<PlanKey, CompressionPlan>>,
     library_hits: AtomicU64,
     library_misses: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
 }
+
+// The engine is shared by reference across worker threads (rayon scans
+// and the serve crate's request workers); regressing `Send + Sync`
+// would only surface as a compile error far from the cause, so pin it
+// here at the definition.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EvalEngine>();
+};
 
 impl EvalEngine {
     /// Creates an empty engine over `process`.
@@ -120,9 +133,9 @@ impl EvalEngine {
     pub fn new(process: ProcessLibrary) -> Self {
         EvalEngine {
             process,
-            libraries: Mutex::new(HashMap::new()),
-            loads: Mutex::new(HashMap::new()),
-            plans: Mutex::new(HashMap::new()),
+            libraries: RwLock::new(HashMap::new()),
+            loads: RwLock::new(HashMap::new()),
+            plans: RwLock::new(HashMap::new()),
             library_hits: AtomicU64::new(0),
             library_misses: AtomicU64::new(0),
             plan_hits: AtomicU64::new(0),
@@ -158,7 +171,20 @@ impl EvalEngine {
     #[must_use]
     pub fn library(&self, shift: VthShift) -> Arc<CellLibrary> {
         let key = Self::shift_key(shift);
-        let mut cache = self.libraries.lock().expect("unpoisoned library cache");
+        if let Some(lib) = self
+            .libraries
+            .read()
+            .expect("unpoisoned library cache")
+            .get(&key)
+        {
+            self.library_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(lib);
+        }
+        // Miss path: take the write lock and re-check — another thread
+        // may have characterized this shift while we waited, and each
+        // key must be characterized exactly once (the hit-returns-the-
+        // same-Arc contract the tests pin).
+        let mut cache = self.libraries.write().expect("unpoisoned library cache");
         if let Some(lib) = cache.get(&key) {
             self.library_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(lib);
@@ -178,7 +204,7 @@ impl EvalEngine {
     #[must_use]
     pub fn sta_loads(&self, netlist: &Netlist, shift: VthShift) -> Arc<Vec<f64>> {
         let key = Self::shift_key(shift);
-        if let Some(loads) = self.loads.lock().expect("unpoisoned load cache").get(&key) {
+        if let Some(loads) = self.loads.read().expect("unpoisoned load cache").get(&key) {
             debug_assert_eq!(
                 loads.len(),
                 netlist.net_count(),
@@ -191,7 +217,7 @@ impl EvalEngine {
         let lib = self.library(shift);
         let loads = Arc::new(Sta::compute_loads(netlist, &lib));
         self.loads
-            .lock()
+            .write()
             .expect("unpoisoned load cache")
             .entry(key)
             .or_insert_with(|| Arc::clone(&loads))
@@ -209,7 +235,7 @@ impl EvalEngine {
         let key = (Self::shift_key(shift), constraint_ps.to_bits());
         let found = self
             .plans
-            .lock()
+            .read()
             .expect("unpoisoned plan cache")
             .get(&key)
             .copied();
@@ -229,7 +255,7 @@ impl EvalEngine {
     pub fn store_plan(&self, shift: VthShift, constraint_ps: f64, plan: CompressionPlan) {
         let key = (Self::shift_key(shift), constraint_ps.to_bits());
         self.plans
-            .lock()
+            .write()
             .expect("unpoisoned plan cache")
             .insert(key, plan);
     }
@@ -252,11 +278,11 @@ impl EvalEngine {
     /// Panics if an internal lock was poisoned by a panicking caller.
     pub fn clear(&self) {
         self.libraries
-            .lock()
+            .write()
             .expect("unpoisoned library cache")
             .clear();
-        self.loads.lock().expect("unpoisoned load cache").clear();
-        self.plans.lock().expect("unpoisoned plan cache").clear();
+        self.loads.write().expect("unpoisoned load cache").clear();
+        self.plans.write().expect("unpoisoned plan cache").clear();
     }
 }
 

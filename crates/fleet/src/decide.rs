@@ -1,0 +1,392 @@
+//! The shared compression-decision core.
+//!
+//! [`Decider`] is the single implementation of the paper's online
+//! decision rule — quantize a chip's ΔVth into an aging bucket, serve
+//! the bucket's cached `(α, β, padding, method)` plan, degrade to the
+//! guardbanded clock when no compression closes timing — factored out
+//! of [`FleetSim`] so the simulator and the `agequant-serve` network
+//! server answer from literally the same code and cannot drift.
+//!
+//! The decider is `Send + Sync`: the underlying
+//! [`EvalEngine`](agequant_core::EvalEngine) caches are concurrent,
+//! and the decider-side memos (per-bucket method selection, proven
+//! infeasibility, first-encounter characterization order) sit behind
+//! one mutex so racing server workers agree on every outcome.
+//!
+//! [`FleetSim`]: crate::FleetSim
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+use agequant_aging::VthShift;
+use agequant_core::{AgingAwareQuantizer, FlowError};
+use agequant_nn::Model;
+use agequant_quant::QuantMethod;
+use agequant_sta::GuardbandModel;
+
+use crate::chip::{Chip, ChipMode, ChipPlan};
+use crate::sim::FleetConfig;
+use crate::FleetError;
+
+/// What the decision core concluded for one chip state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// A feasible compression plan (and, when method selection is
+    /// enabled, the best quantization method with its accuracy loss).
+    Plan(ChipPlan),
+    /// No compression closes timing in this bucket: the chip falls
+    /// back to the conventional guardbanded clock, permanently —
+    /// infeasibility is monotone in ΔVth.
+    Degrade {
+        /// The bucket proven infeasible.
+        bucket: u64,
+    },
+}
+
+impl Decision {
+    /// The aging bucket this decision was made for.
+    #[must_use]
+    pub fn bucket(&self) -> u64 {
+        match self {
+            Decision::Plan(plan) => plan.bucket,
+            Decision::Degrade { bucket } => *bucket,
+        }
+    }
+
+    /// The plan, when the decision is feasible.
+    #[must_use]
+    pub fn plan(&self) -> Option<&ChipPlan> {
+        match self {
+            Decision::Plan(plan) => Some(plan),
+            Decision::Degrade { .. } => None,
+        }
+    }
+}
+
+/// Decider-side memoization: everything the decision rule remembers
+/// beyond the engine's own caches. One mutex, because every field is
+/// consulted or updated on the same (cold) characterization path.
+#[derive(Debug, Default)]
+struct Memos {
+    /// Per-`(bucket, constraint bits)` method selection — model
+    /// evaluation has no engine-side cache.
+    methods: BTreeMap<(u64, u64), Option<(QuantMethod, f64)>>,
+    /// `(bucket, constraint bits)` pairs proven infeasible, so a
+    /// degraded bucket is never rescanned per chip.
+    infeasible: BTreeSet<(u64, u64)>,
+    /// `(bucket, constraint bits)` pairs already characterized.
+    planned_seen: BTreeSet<(u64, u64)>,
+    /// Distinct buckets in first-encounter order (the observable
+    /// [`Decider::buckets_planned`] view).
+    planned_order: Vec<u64>,
+    /// Lazily built evaluation network for method selection.
+    model: Option<Model>,
+}
+
+/// The compression-decision core shared by [`FleetSim`] and the
+/// network server.
+///
+/// Construction derives the timing constraint and guardband fallback
+/// clock from a [`FleetConfig`] exactly as the simulator always has;
+/// [`Decider::decide`] then maps any chip state to a [`Decision`].
+///
+/// [`FleetSim`]: crate::FleetSim
+#[derive(Debug)]
+pub struct Decider {
+    flow: AgingAwareQuantizer,
+    config: FleetConfig,
+    constraint_ps: f64,
+    guardband_period_ps: f64,
+    memos: Mutex<Memos>,
+}
+
+// Server workers share one decider behind an `Arc`; pin the threading
+// contract at the definition so a regression is a local compile error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Decider>();
+};
+
+impl Decider {
+    /// Builds the decision core for `config`: constructs the flow and
+    /// derives the timing constraint and guardband fallback clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] / [`FleetError::Flow`] on
+    /// bad configuration.
+    pub fn from_config(config: &FleetConfig) -> Result<Self, FleetError> {
+        config.validate()?;
+        let flow = AgingAwareQuantizer::new(config.flow.clone())?;
+        let constraint_ps = flow.fresh_critical_path_ps() * config.constraint_factor;
+        let guardband_period_ps =
+            GuardbandModel::for_scenario(flow.fresh_critical_path_ps(), &config.flow.scenario)
+                .guardbanded_period_ps();
+        Ok(Decider {
+            flow,
+            config: config.clone(),
+            constraint_ps,
+            guardband_period_ps,
+            memos: Mutex::new(Memos::default()),
+        })
+    }
+
+    /// The configuration this decider was built from.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The underlying aging-aware quantization flow.
+    #[must_use]
+    pub fn flow(&self) -> &AgingAwareQuantizer {
+        &self.flow
+    }
+
+    /// The default timing constraint every plan is held to, ps.
+    #[must_use]
+    pub fn constraint_ps(&self) -> f64 {
+        self.constraint_ps
+    }
+
+    /// The fallback clock period of a degraded chip, ps.
+    #[must_use]
+    pub fn guardband_period_ps(&self) -> f64 {
+        self.guardband_period_ps
+    }
+
+    /// The quantized shift a bucket is planned at: its lower edge —
+    /// the paper's discrete aging levels generalized to an arbitrary
+    /// grid. Every chip in a bucket asks the engine for exactly this
+    /// shift, which is what turns fleet-scale (and server-scale)
+    /// replanning into a cache workload.
+    #[must_use]
+    pub fn bucket_shift(&self, bucket: u64) -> VthShift {
+        #[allow(clippy::cast_precision_loss)]
+        VthShift::from_millivolts(bucket as f64 * self.config.bucket_mv)
+    }
+
+    /// The aging bucket a raw ΔVth falls into, on this decider's grid.
+    #[must_use]
+    pub fn bucket_of(&self, shift: VthShift) -> u64 {
+        Chip::bucket_of(shift, self.config.bucket_mv)
+    }
+
+    /// The decision for a chip's current state at `years` of
+    /// deployment: a chip already degraded to guardband mode only
+    /// tracks its bucket (infeasibility is monotone in ΔVth), every
+    /// other chip is served its bucket's plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-degradable flow errors; infeasible compression
+    /// is a [`Decision::Degrade`], not an error.
+    pub fn decide(&self, chip: &Chip, years: f64) -> Result<Decision, FleetError> {
+        let bucket = self.bucket_of(chip.shift_at(years));
+        if chip.mode == ChipMode::Guardband {
+            return Ok(Decision::Degrade { bucket });
+        }
+        self.decide_bucket(bucket)
+    }
+
+    /// The decision for a raw ΔVth: quantizes onto the bucket grid,
+    /// then decides the bucket. This is the network server's
+    /// `/v1/plan` entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-degradable flow errors.
+    pub fn decide_shift(&self, shift: VthShift) -> Result<Decision, FleetError> {
+        self.decide_bucket(self.bucket_of(shift))
+    }
+
+    /// The decision for an aging bucket under the default constraint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-degradable flow errors.
+    pub fn decide_bucket(&self, bucket: u64) -> Result<Decision, FleetError> {
+        self.decide_bucket_at(bucket, self.constraint_ps)
+    }
+
+    /// The decision for an aging bucket under an explicit timing
+    /// constraint (the server's per-request `constraint_factor`).
+    /// Memoization is keyed on `(bucket, constraint bits)`, so
+    /// non-default constraints never contaminate the fleet's record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-degradable flow errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal memo lock was poisoned by a panicking
+    /// caller.
+    pub fn decide_bucket_at(
+        &self,
+        bucket: u64,
+        constraint_ps: f64,
+    ) -> Result<Decision, FleetError> {
+        let key = (bucket, constraint_ps.to_bits());
+        if self
+            .memos
+            .lock()
+            .expect("unpoisoned memos")
+            .infeasible
+            .contains(&key)
+        {
+            return Ok(Decision::Degrade { bucket });
+        }
+        let shift = self.bucket_shift(bucket);
+        let plan = match self.flow.compression_for_constraint(shift, constraint_ps) {
+            Ok(plan) => plan,
+            Err(FlowError::NoFeasibleCompression { .. }) => {
+                let mut memos = self.memos.lock().expect("unpoisoned memos");
+                memos.infeasible.insert(key);
+                Self::record_planned(&mut memos, key);
+                return Ok(Decision::Degrade { bucket });
+            }
+            Err(other) => return Err(FleetError::Flow(other)),
+        };
+        let method = {
+            let mut memos = self.memos.lock().expect("unpoisoned memos");
+            Self::record_planned(&mut memos, key);
+            self.select_method_for(&mut memos, key, plan)?
+        };
+        Ok(Decision::Plan(ChipPlan {
+            bucket,
+            plan,
+            method: method.map(|(m, _)| m),
+            accuracy_loss_pct: method.map(|(_, loss)| loss),
+        }))
+    }
+
+    /// Records the first characterization of a `(bucket, constraint)`
+    /// pair. First-encounter order is the fleet's observable
+    /// "characterization log", mirrored from the engine's plan-miss
+    /// accounting but race-free under concurrent workers.
+    fn record_planned(memos: &mut Memos, key: (u64, u64)) {
+        if memos.planned_seen.insert(key) {
+            memos.planned_order.push(key.0);
+        }
+    }
+
+    /// Per-bucket method selection, memoized decider-side (quantizing
+    /// and evaluating a network is far more expensive than an STA scan
+    /// and has no engine cache). `None` when selection is disabled or
+    /// the configured threshold is unmet. Runs under the memo lock so
+    /// racing workers never duplicate a model evaluation.
+    fn select_method_for(
+        &self,
+        memos: &mut Memos,
+        key: (u64, u64),
+        plan: agequant_core::CompressionPlan,
+    ) -> Result<Option<(QuantMethod, f64)>, FleetError> {
+        let Some(arch) = self.config.network else {
+            return Ok(None);
+        };
+        if let Some(memo) = memos.methods.get(&key) {
+            return Ok(*memo);
+        }
+        if memos.model.is_none() {
+            memos.model = Some(arch.build(self.config.flow.model_seed));
+        }
+        let model = memos.model.as_ref().expect("model built above");
+        let method = match self.flow.select_method(model, plan) {
+            Ok(outcome) => Some((outcome.method, outcome.accuracy_loss_pct)),
+            Err(FlowError::ThresholdUnmet { .. }) => None,
+            Err(other) => return Err(FleetError::Flow(other)),
+        };
+        memos.methods.insert(key, method);
+        Ok(method)
+    }
+
+    /// The distinct aging buckets fully characterized by this decider
+    /// instance (feasible or proven infeasible), in first-encounter
+    /// order. With a fixed constraint this is exactly the set of
+    /// distinct `(bucket, constraint)` pairs — and therefore exactly
+    /// the engine's plan-cache miss count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal memo lock was poisoned.
+    #[must_use]
+    pub fn buckets_planned(&self) -> Vec<u64> {
+        self.memos
+            .lock()
+            .expect("unpoisoned memos")
+            .planned_order
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::FleetSim;
+
+    #[test]
+    fn decider_and_sim_serve_identical_plans() {
+        let mut config = FleetConfig::new(8, 13);
+        config.epoch_years = 2.5;
+        let mut sim = FleetSim::new(config.clone()).expect("valid config");
+        sim.run(3).expect("simulates");
+
+        // An independent decider must reproduce every chip's held plan
+        // bit-identically from the chip's bucket alone.
+        let decider = Decider::from_config(&config).expect("valid config");
+        for chip in &sim.state().chips {
+            let decision = decider.decide_bucket(chip.bucket).expect("decides");
+            match (chip.mode, decision) {
+                (ChipMode::Compressed, Decision::Plan(plan)) => {
+                    assert_eq!(Some(plan), chip.plan, "chip {} diverged", chip.id);
+                }
+                (ChipMode::Guardband, Decision::Degrade { bucket }) => {
+                    assert_eq!(bucket, chip.bucket);
+                }
+                (mode, decision) => panic!("chip {} in {mode:?} got {decision:?}", chip.id),
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_chips_are_never_replanned() {
+        let mut config = FleetConfig::new(4, 5);
+        config.constraint_factor = 0.3; // infeasible from bucket 0
+        let decider = Decider::from_config(&config).expect("valid config");
+        let sim = FleetSim::new_with_decider(Arc::new(
+            Decider::from_config(&config).expect("valid config"),
+        ))
+        .expect("degrades, does not error");
+        let chip = &sim.state().chips[0];
+        assert_eq!(chip.mode, ChipMode::Guardband);
+        // The chip-state entry honors monotone infeasibility: a
+        // degraded chip only tracks its bucket.
+        let decision = decider.decide(chip, 10.0).expect("decides");
+        assert!(matches!(decision, Decision::Degrade { .. }));
+        // And the bucket it reports is the aged one, not a replan.
+        assert_eq!(
+            decision.bucket(),
+            decider.bucket_of(chip.shift_at(10.0)),
+            "degraded chips still track their aging bucket"
+        );
+        assert!(decision.plan().is_none());
+    }
+
+    #[test]
+    fn non_default_constraints_do_not_contaminate_the_record() {
+        let config = FleetConfig::new(2, 7);
+        let decider = Decider::from_config(&config).expect("valid config");
+        decider.decide_bucket(0).expect("decides");
+        // A tighter ad-hoc constraint on the same bucket is a separate
+        // memo entry, not a rewrite of the fleet's decision.
+        decider
+            .decide_bucket_at(0, decider.constraint_ps() * 0.5)
+            .expect("decides");
+        let default_again = decider.decide_bucket(0).expect("decides");
+        assert!(matches!(default_again, Decision::Plan(_)));
+        assert_eq!(decider.buckets_planned(), vec![0, 0]);
+    }
+}

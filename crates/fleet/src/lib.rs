@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod chip;
+mod decide;
 mod error;
 pub mod journal;
 mod report;
@@ -58,6 +59,7 @@ mod rng;
 mod sim;
 
 pub use chip::{Chip, ChipMode, ChipPlan, MissionKind};
+pub use decide::{Decider, Decision};
 pub use error::FleetError;
 pub use journal::{EventKind, JournalEvent};
 pub use report::{CacheSummary, FleetSummary, LossPercentiles, PlanBin};

@@ -22,17 +22,15 @@
 //! [`EvalEngine`]: agequant_core::EvalEngine
 //! [`EventKind::Degraded`]: crate::journal::EventKind::Degraded
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use agequant_aging::VthShift;
-use agequant_core::{AgingAwareQuantizer, CacheStats, FlowConfig, FlowError};
-use agequant_nn::{Model, NetArch};
-use agequant_quant::QuantMethod;
-use agequant_sta::GuardbandModel;
+use agequant_core::{AgingAwareQuantizer, CacheStats, FlowConfig};
+use agequant_nn::NetArch;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::chip::{Chip, ChipMode, ChipPlan};
+use crate::chip::{Chip, ChipMode};
+use crate::decide::{Decider, Decision};
 use crate::journal::{EventKind, JournalEvent};
 use crate::report::FleetSummary;
 use crate::rng::FleetRng;
@@ -161,32 +159,13 @@ impl FleetState {
     }
 }
 
-/// What the decision server concluded for one aging bucket.
-#[derive(Debug, Clone)]
-enum BucketOutcome {
-    /// A feasible plan (and, when enabled, the selected method).
-    Feasible(ChipPlan),
-    /// No compression closes timing in this bucket.
-    Infeasible,
-}
-
-/// The running fleet: simulation state plus the decision server
-/// (the shared [`AgingAwareQuantizer`] and its memoizing engine).
+/// The running fleet: simulation state plus the decision core
+/// (the shared [`Decider`] over the memoizing engine).
 #[derive(Debug)]
 pub struct FleetSim {
-    flow: AgingAwareQuantizer,
+    decider: Arc<Decider>,
     state: FleetState,
     journal: Vec<JournalEvent>,
-    /// Per-bucket method-selection memo (method runs are not covered
-    /// by the engine's plan cache) and the infeasibility record that
-    /// keeps a degraded bucket from being rescanned per chip.
-    method_memo: BTreeMap<u64, Option<(QuantMethod, f64)>>,
-    infeasible: BTreeSet<u64>,
-    /// Distinct buckets for which a full characterization ran.
-    buckets_planned: Vec<u64>,
-    model: Option<Model>,
-    constraint_ps: f64,
-    guardband_period_ps: f64,
 }
 
 impl FleetSim {
@@ -238,27 +217,69 @@ impl FleetSim {
         Self::with_state(state)
     }
 
-    /// Shared construction: builds the flow and derives the timing
-    /// constraint and the guardband fallback clock.
+    /// Shared construction: builds a fresh decision core for the
+    /// state's configuration.
     fn with_state(state: FleetState) -> Result<Self, FleetError> {
-        let flow = AgingAwareQuantizer::new(state.config.flow.clone())?;
-        let constraint_ps = flow.fresh_critical_path_ps() * state.config.constraint_factor;
-        let guardband_period_ps = GuardbandModel::for_scenario(
-            flow.fresh_critical_path_ps(),
-            &state.config.flow.scenario,
-        )
-        .guardbanded_period_ps();
+        let decider = Arc::new(Decider::from_config(&state.config)?);
         Ok(FleetSim {
-            flow,
+            decider,
             state,
             journal: Vec::new(),
-            method_memo: BTreeMap::new(),
-            infeasible: BTreeSet::new(),
-            buckets_planned: Vec::new(),
-            model: None,
-            constraint_ps,
-            guardband_period_ps,
         })
+    }
+
+    /// Restores a fleet around an *existing* decision core — the
+    /// network server's construction, where one [`Decider`] answers
+    /// both direct `/v1/plan` queries and the hosted fleet's replans,
+    /// so all of them share one engine cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Malformed`] if the state was produced
+    /// under a different configuration than the decider's, or if it is
+    /// internally inconsistent.
+    pub fn with_decider(state: FleetState, decider: Arc<Decider>) -> Result<Self, FleetError> {
+        if state.config != *decider.config() {
+            return Err(FleetError::Malformed(
+                "fleet state and decider disagree on configuration".into(),
+            ));
+        }
+        if state.chips.len() != state.config.chips as usize {
+            return Err(FleetError::Malformed(format!(
+                "checkpoint holds {} chips, config says {}",
+                state.chips.len(),
+                state.config.chips
+            )));
+        }
+        Ok(FleetSim {
+            decider,
+            state,
+            journal: Vec::new(),
+        })
+    }
+
+    /// A fresh fleet sharing an existing decision core: samples every
+    /// chip from the decider's configured seed and serves epoch-0
+    /// plans through the shared engine cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-degradable flow errors from initial planning.
+    pub fn new_with_decider(decider: Arc<Decider>) -> Result<Self, FleetError> {
+        let config = decider.config().clone();
+        let mut rng = FleetRng::seed_from_u64(config.seed);
+        let chips: Vec<Chip> = (0..config.chips)
+            .map(|id| Chip::sample(id, &mut rng))
+            .collect();
+        let state = FleetState {
+            config,
+            epoch: 0,
+            rng,
+            chips,
+        };
+        let mut sim = Self::with_decider(state, decider)?;
+        sim.plan_initial()?;
+        Ok(sim)
     }
 
     /// Serves the epoch-0 decision to every chip (all start in bucket
@@ -270,87 +291,14 @@ impl FleetSim {
         Ok(())
     }
 
-    /// The quantized shift a bucket is planned at: its lower edge —
-    /// the paper's discrete aging levels generalized to an arbitrary
-    /// grid. Every chip in a bucket asks the engine for exactly this
-    /// shift, which is what turns fleet-scale replanning into a cache
-    /// workload.
-    fn bucket_shift(&self, bucket: u64) -> VthShift {
-        #[allow(clippy::cast_precision_loss)]
-        VthShift::from_millivolts(bucket as f64 * self.state.config.bucket_mv)
-    }
-
-    /// The decision for `bucket`: a cached (or freshly characterized)
-    /// plan, or `Infeasible`. The engine's plan cache serves repeat
-    /// feasible lookups; the sim-side `infeasible` record keeps a
-    /// degraded bucket from being rescanned per chip (the engine never
-    /// caches failures).
-    fn decide_bucket(&mut self, bucket: u64) -> Result<BucketOutcome, FleetError> {
-        if self.infeasible.contains(&bucket) {
-            return Ok(BucketOutcome::Infeasible);
-        }
-        let shift = self.bucket_shift(bucket);
-        let known = self.flow.engine().stats().plan_misses;
-        let plan = match self
-            .flow
-            .compression_for_constraint(shift, self.constraint_ps)
-        {
-            Ok(plan) => plan,
-            Err(FlowError::NoFeasibleCompression { .. }) => {
-                self.infeasible.insert(bucket);
-                self.buckets_planned.push(bucket);
-                return Ok(BucketOutcome::Infeasible);
-            }
-            Err(other) => return Err(FleetError::Flow(other)),
-        };
-        if self.flow.engine().stats().plan_misses > known {
-            self.buckets_planned.push(bucket);
-        }
-        let method = self.select_method_for(bucket, plan)?;
-        Ok(BucketOutcome::Feasible(ChipPlan {
-            bucket,
-            plan,
-            method: method.map(|(m, _)| m),
-            accuracy_loss_pct: method.map(|(_, loss)| loss),
-        }))
-    }
-
-    /// Per-bucket method selection, memoized sim-side (quantizing and
-    /// evaluating a network is far more expensive than an STA scan and
-    /// has no engine cache). `None` when selection is disabled or the
-    /// configured threshold is unmet.
-    fn select_method_for(
-        &mut self,
-        bucket: u64,
-        plan: agequant_core::CompressionPlan,
-    ) -> Result<Option<(QuantMethod, f64)>, FleetError> {
-        let Some(arch) = self.state.config.network else {
-            return Ok(None);
-        };
-        if let Some(memo) = self.method_memo.get(&bucket) {
-            return Ok(*memo);
-        }
-        if self.model.is_none() {
-            self.model = Some(arch.build(self.state.config.flow.model_seed));
-        }
-        let model = self.model.as_ref().expect("model built above");
-        let method = match self.flow.select_method(model, plan) {
-            Ok(outcome) => Some((outcome.method, outcome.accuracy_loss_pct)),
-            Err(FlowError::ThresholdUnmet { .. }) => None,
-            Err(other) => return Err(FleetError::Flow(other)),
-        };
-        self.method_memo.insert(bucket, method);
-        Ok(method)
-    }
-
     /// Serves chip `idx` the decision for `bucket` and journals the
     /// outcome at `epoch`.
     fn apply_decision(&mut self, idx: usize, bucket: u64, epoch: u64) -> Result<(), FleetError> {
-        let outcome = self.decide_bucket(bucket)?;
+        let decision = self.decider.decide_bucket(bucket)?;
         let chip = &mut self.state.chips[idx];
         chip.bucket = bucket;
-        match outcome {
-            BucketOutcome::Feasible(plan) => {
+        match decision {
+            Decision::Plan(plan) => {
                 self.journal.push(JournalEvent {
                     epoch,
                     chip: chip.id,
@@ -365,7 +313,7 @@ impl FleetSim {
                 chip.mode = ChipMode::Compressed;
                 chip.plan = Some(plan);
             }
-            BucketOutcome::Infeasible => {
+            Decision::Degrade { .. } => {
                 self.journal.push(JournalEvent {
                     epoch,
                     chip: chip.id,
@@ -450,38 +398,44 @@ impl FleetSim {
         &self.journal
     }
 
+    /// The shared decision core.
+    #[must_use]
+    pub fn decider(&self) -> &Arc<Decider> {
+        &self.decider
+    }
+
     /// The underlying decision flow.
     #[must_use]
     pub fn flow(&self) -> &AgingAwareQuantizer {
-        &self.flow
+        self.decider.flow()
     }
 
     /// The engine's cache counters for this sim instance.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        self.flow.engine().stats()
+        self.decider.flow().engine().stats()
     }
 
-    /// The distinct aging buckets fully characterized by this sim
-    /// instance (feasible or proven infeasible), in first-encounter
-    /// order. With a fixed constraint this is exactly the set of
-    /// distinct `(bucket, constraint)` pairs — and therefore exactly
-    /// the engine's plan-cache miss count.
+    /// The distinct aging buckets fully characterized by this sim's
+    /// decision core (feasible or proven infeasible), in
+    /// first-encounter order. With a fixed constraint this is exactly
+    /// the set of distinct `(bucket, constraint)` pairs — and
+    /// therefore exactly the engine's plan-cache miss count.
     #[must_use]
-    pub fn buckets_planned(&self) -> &[u64] {
-        &self.buckets_planned
+    pub fn buckets_planned(&self) -> Vec<u64> {
+        self.decider.buckets_planned()
     }
 
     /// The timing constraint every plan is held to, ps.
     #[must_use]
     pub fn constraint_ps(&self) -> f64 {
-        self.constraint_ps
+        self.decider.constraint_ps()
     }
 
     /// The fallback clock period of a degraded chip, ps.
     #[must_use]
     pub fn guardband_period_ps(&self) -> f64 {
-        self.guardband_period_ps
+        self.decider.guardband_period_ps()
     }
 
     /// The fleet-level summary of the current state, including this

@@ -18,6 +18,7 @@ use std::process::ExitCode;
 
 use agequant_fleet::{journal, FleetState, JournalEvent};
 use agequant_lint::{registry, Artifact, LintConfig, Linter, Zoo};
+use agequant_serve::ServeConfig;
 
 struct Options {
     json: bool,
@@ -27,6 +28,7 @@ struct Options {
     no_zoo: bool,
     fleet_state: Option<String>,
     fleet_journal: Option<String>,
+    serve_config: Option<String>,
     config: LintConfig,
 }
 
@@ -34,12 +36,14 @@ fn usage() -> String {
     let mut out = String::from(
         "usage: agequant-lint [--json] [--list] [--max-mv MV] [--step-mv MV]\n\
          \x20                    [--deny CODE] [--warn CODE] [--allow CODE]\n\
-         \x20                    [--fleet-state FILE] [--fleet-journal FILE] [--no-zoo]\n\n\
+         \x20                    [--fleet-state FILE] [--fleet-journal FILE]\n\
+         \x20                    [--serve-config FILE] [--no-zoo]\n\n\
          Lints the shipped artifact zoo (netlists, aged libraries, STA\n\
          results, compression plans, quant configs, a reference fleet\n\
          run). --fleet-state/--fleet-journal lint an agequant-fleet\n\
-         checkpoint and its journal from disk; --no-zoo checks only\n\
-         those. Exits 1 when any deny-level finding remains, 2 on bad\n\
+         checkpoint and its journal from disk; --serve-config lints a\n\
+         saved agequant-serve config; --no-zoo checks only those.\n\
+         Exits 1 when any deny-level finding remains, 2 on bad\n\
          arguments or unreadable files.\n\nlints:\n",
     );
     for lint in registry() {
@@ -63,6 +67,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         no_zoo: false,
         fleet_state: None,
         fleet_journal: None,
+        serve_config: None,
         config: LintConfig::new(),
     };
     let mut it = args.iter();
@@ -88,6 +93,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--fleet-state" => opts.fleet_state = Some(value("--fleet-state")?),
             "--fleet-journal" => opts.fleet_journal = Some(value("--fleet-journal")?),
+            "--serve-config" => opts.serve_config = Some(value("--serve-config")?),
             "--deny" => opts.config = opts.config.deny(&value("--deny")?),
             "--warn" => opts.config = opts.config.warn(&value("--warn")?),
             "--allow" => opts.config = opts.config.allow(&value("--allow")?),
@@ -101,8 +107,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.fleet_journal.is_some() && opts.fleet_state.is_none() {
         return Err("--fleet-journal needs --fleet-state (causality is checked against it)".into());
     }
-    if opts.no_zoo && opts.fleet_state.is_none() {
-        return Err("--no-zoo leaves nothing to lint without --fleet-state".to_string());
+    if opts.no_zoo && opts.fleet_state.is_none() && opts.serve_config.is_none() {
+        return Err(
+            "--no-zoo leaves nothing to lint without --fleet-state or --serve-config".to_string(),
+        );
     }
     Ok(opts)
 }
@@ -171,8 +179,26 @@ fn main() -> ExitCode {
         }
     };
 
+    let serve: Option<(String, ServeConfig)> = match &opts.serve_config {
+        None => None,
+        Some(path) => {
+            let loaded = read(path)
+                .and_then(|text| ServeConfig::from_json(&text).map_err(|e| format!("{path}: {e}")));
+            match loaded {
+                Ok(config) => Some((path.clone(), config)),
+                Err(msg) => {
+                    eprintln!("agequant-lint: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
     let zoo = (!opts.no_zoo).then(|| Zoo::build(opts.max_mv, opts.step_mv));
     let mut artifacts: Vec<Artifact<'_>> = zoo.as_ref().map(Zoo::artifacts).unwrap_or_default();
+    if let Some((name, config)) = &serve {
+        artifacts.push(Artifact::ServeConfig { name, config });
+    }
     if let Some(fleet) = &fleet {
         artifacts.push(Artifact::FleetCheckpoint {
             name: &fleet.state_name,

@@ -49,6 +49,7 @@ mod fleet_lints;
 mod lint;
 mod netlist_lints;
 mod quant_lints;
+mod serve_lints;
 mod sta_lints;
 mod zoo;
 

@@ -6,11 +6,12 @@ use agequant_fleet::{FleetState, JournalEvent};
 use agequant_netlist::mac::MacGeometry;
 use agequant_netlist::Netlist;
 use agequant_quant::{BitWidths, QuantParams};
+use agequant_serve::ServeConfig;
 use agequant_sta::TimingReport;
 
 use crate::config::LintConfig;
 use crate::diagnostic::{Diagnostic, LintReport, Severity};
-use crate::{cell_lints, fleet_lints, netlist_lints, quant_lints, sta_lints};
+use crate::{cell_lints, fleet_lints, netlist_lints, quant_lints, serve_lints, sta_lints};
 
 /// One artifact of the flow, presented for static verification.
 ///
@@ -78,6 +79,13 @@ pub enum Artifact<'a> {
         /// The journaled events, in file order.
         events: &'a [JournalEvent],
     },
+    /// A saved decision-server configuration.
+    ServeConfig {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// The saved config under check.
+        config: &'a ServeConfig,
+    },
 }
 
 impl Artifact<'_> {
@@ -91,7 +99,8 @@ impl Artifact<'_> {
             | Artifact::Plan { name, .. }
             | Artifact::Quant { name, .. }
             | Artifact::FleetCheckpoint { name, .. }
-            | Artifact::FleetJournal { name, .. } => name,
+            | Artifact::FleetJournal { name, .. }
+            | Artifact::ServeConfig { name, .. } => name,
         }
     }
 }
@@ -163,6 +172,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(quant_lints::QuantRangeInconsistent),
         Box::new(fleet_lints::CheckpointConsistency),
         Box::new(fleet_lints::JournalCausality),
+        Box::new(serve_lints::ServeConfigValid),
     ]
 }
 
@@ -252,7 +262,7 @@ mod tests {
         assert_eq!(sorted.len(), codes.len(), "duplicate lint code");
         for expected in [
             "NL001", "NL002", "NL003", "NL004", "NL005", "CL001", "CL002", "CL003", "ST001",
-            "ST002", "QT001", "FL001", "FL002",
+            "ST002", "QT001", "FL001", "FL002", "SV001",
         ] {
             assert!(codes.contains(&expected), "missing {expected}");
         }

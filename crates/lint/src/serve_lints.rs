@@ -1,0 +1,36 @@
+//! Lints over decision-server artifacts: saved server configs (SV001).
+
+use crate::lint::{Artifact, Lint, Sink};
+
+/// SV001: a saved server config must describe a server that could
+/// actually run — workers present, a queue at least as deep as the
+/// worker pool, a parseable listen address, and a served ΔVth range
+/// inside the characterized 0–50 mV library sweep.
+///
+/// The checks are [`agequant_serve::ServeConfig::violations`], the
+/// same predicate `agequant-serve` enforces at startup, so the lint
+/// and the server cannot drift apart.
+pub struct ServeConfigValid;
+
+impl Lint for ServeConfigValid {
+    fn code(&self) -> &'static str {
+        "SV001"
+    }
+
+    fn slug(&self) -> &'static str {
+        "serve-config-invalid"
+    }
+
+    fn description(&self) -> &'static str {
+        "saved server config could not start a server (workers, queue, address, or ΔVth range)"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::ServeConfig { config, .. } = artifact else {
+            return;
+        };
+        for violation in config.violations() {
+            sink.report(violation);
+        }
+    }
+}

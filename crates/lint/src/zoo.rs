@@ -11,6 +11,7 @@ use agequant_netlist::mac::{MacCircuit, MacGeometry};
 use agequant_netlist::multipliers::multiplier;
 use agequant_netlist::{MultiplierArch, Netlist, PrefixStyle};
 use agequant_quant::{BitWidths, QuantParams};
+use agequant_serve::ServeConfig;
 use agequant_sta::{mac_case, Compression, Padding, Sta, TimingReport};
 
 use crate::config::LintConfig;
@@ -42,6 +43,7 @@ pub struct Zoo {
     quants: Vec<(String, QuantParams, Option<u8>)>,
     fleet_state: FleetState,
     fleet_journal: Vec<JournalEvent>,
+    serve_config: ServeConfig,
 }
 
 impl Zoo {
@@ -140,6 +142,8 @@ impl Zoo {
             quants,
             fleet_state,
             fleet_journal,
+            // The server's shipped defaults, held to SV001.
+            serve_config: ServeConfig::default(),
         }
     }
 
@@ -184,6 +188,10 @@ impl Zoo {
             name: "fleet_journal",
             state: &self.fleet_state,
             events: &self.fleet_journal,
+        });
+        artifacts.push(Artifact::ServeConfig {
+            name: "serve_defaults",
+            config: &self.serve_config,
         });
         artifacts
     }

@@ -457,6 +457,60 @@ fn fl002_fires_on_acausal_journals() {
     assert!(journal_codes(&state, &zombie).contains(&"FL002".to_string()));
 }
 
+/// SV001 corruption.
+fn serve_codes(config: &agequant_serve::ServeConfig) -> Vec<String> {
+    codes(Artifact::ServeConfig {
+        name: "under-test",
+        config,
+    })
+}
+
+#[test]
+fn sv001_fires_on_unrunnable_server_configs() {
+    use agequant_serve::ServeConfig;
+
+    // The shipped defaults — and a saved artifact round-tripped
+    // through JSON — are clean.
+    let clean = ServeConfig::default();
+    assert!(!serve_codes(&clean).contains(&"SV001".to_string()));
+    let reloaded = ServeConfig::from_json(&clean.to_json()).expect("round trip");
+    assert!(!serve_codes(&reloaded).contains(&"SV001".to_string()));
+
+    // No workers: nothing would ever drain the queue.
+    let no_workers = ServeConfig {
+        workers: 0,
+        ..ServeConfig::default()
+    };
+    assert!(serve_codes(&no_workers).contains(&"SV001".to_string()));
+
+    // Queue shallower than the worker pool: workers would idle.
+    let shallow = ServeConfig {
+        workers: 8,
+        queue_depth: 2,
+        ..ServeConfig::default()
+    };
+    assert!(serve_codes(&shallow).contains(&"SV001".to_string()));
+
+    // An address that cannot bind.
+    let bad_addr = ServeConfig {
+        addr: "localhost".to_string(),
+        ..ServeConfig::default()
+    };
+    assert!(serve_codes(&bad_addr).contains(&"SV001".to_string()));
+
+    // A served ΔVth range past the characterized 0–50 mV sweep.
+    let beyond_sweep = ServeConfig {
+        max_mv: 75.0,
+        ..ServeConfig::default()
+    };
+    assert!(serve_codes(&beyond_sweep).contains(&"SV001".to_string()));
+    let no_range = ServeConfig {
+        max_mv: 0.0,
+        ..ServeConfig::default()
+    };
+    assert!(serve_codes(&no_range).contains(&"SV001".to_string()));
+}
+
 #[test]
 fn corrupted_netlists_do_not_trip_unrelated_lints() {
     // Cross-check: a back-edge corruption fires NL001 but leaves the
@@ -466,7 +520,9 @@ fn corrupted_netlists_do_not_trip_unrelated_lints() {
         gates[0].inputs[0] = last_out;
     });
     let fired = netlist_codes(&back_edge);
-    for code in ["CL001", "CL002", "CL003", "ST001", "ST002", "QT001"] {
+    for code in [
+        "CL001", "CL002", "CL003", "ST001", "ST002", "QT001", "SV001",
+    ] {
         assert!(
             !fired.contains(&code.to_string()),
             "{code} fired on a netlist"

@@ -1,0 +1,398 @@
+//! A minimal HTTP/1.1 wire layer over blocking `std::net` sockets.
+//!
+//! Covers exactly what the decision server needs: request parsing
+//! with bounded header/body sizes, `Expect: 100-continue`, keep-alive
+//! with an idle limit, and response writing. Reads run with a short
+//! socket timeout ("tick") so an idle or shutting-down connection is
+//! noticed promptly; partial reads survive ticks because every read
+//! loop accumulates into its own buffer.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Hard cap on the request line plus all headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// Why the wire layer gave up on a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (reset, broken pipe, ...).
+    Io(String),
+    /// The bytes were not valid HTTP/1.1.
+    Malformed(String),
+    /// Head or body exceeded the configured cap.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(msg) => write!(f, "i/o: {msg}"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::TooLarge(n) => write!(f, "request exceeds {n} bytes"),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method, e.g. `POST`.
+    pub method: String,
+    /// The origin-form target, e.g. `/v1/plan`.
+    pub target: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to close after this response.
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Outcome of waiting for the next request on a keep-alive connection.
+#[derive(Debug)]
+pub enum NextRequest {
+    /// A complete request arrived.
+    Request(Request),
+    /// The peer closed, the idle limit passed, or `should_abort` said
+    /// to stop — either way the connection is done.
+    Closed,
+}
+
+/// Reads one line (through `\n`) into `buf`, surviving read-timeout
+/// ticks. Returns false on clean EOF before any byte of this line.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    should_abort: &dyn Fn() -> bool,
+    idle_limit: Duration,
+) -> Result<bool, HttpError> {
+    let start = Instant::now();
+    loop {
+        match reader.read_until(b'\n', buf) {
+            Ok(0) => return Ok(false),
+            Ok(_) if buf.last() == Some(&b'\n') => return Ok(true),
+            // EOF mid-line: read_until stopped without the delimiter.
+            Ok(_) => return Ok(false),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // A tick. Between requests (nothing read yet) this is
+                // ordinary keep-alive idling up to the limit; if we
+                // are mid-line the client is slow but alive, so only
+                // shutdown aborts it.
+                if should_abort() {
+                    return Ok(false);
+                }
+                if buf.is_empty() && start.elapsed() >= idle_limit {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(MAX_HEAD_BYTES));
+        }
+    }
+}
+
+/// Reads the body, surviving ticks; aborts only on socket errors.
+fn read_exact_ticking(
+    reader: &mut BufReader<TcpStream>,
+    body: &mut [u8],
+    should_abort: &dyn Fn() -> bool,
+) -> Result<(), HttpError> {
+    let mut filled = 0;
+    while filled < body.len() {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::Malformed("body truncated by EOF".into())),
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if should_abort() {
+                    return Err(HttpError::Io("shutdown mid-body".into()));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads the next request off a keep-alive connection.
+///
+/// The stream's read timeout is the caller's tick (set once per
+/// connection); `idle_limit` bounds how long we wait between requests
+/// and `should_abort` is polled every tick so a draining server stops
+/// waiting promptly.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] / [`HttpError::TooLarge`] mean the caller
+/// should answer 400/413 and close; [`HttpError::Io`] means just
+/// close.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    should_abort: &dyn Fn() -> bool,
+    idle_limit: Duration,
+) -> Result<NextRequest, HttpError> {
+    let mut line = Vec::new();
+    if !read_line(reader, &mut line, should_abort, idle_limit)? {
+        return Ok(NextRequest::Closed);
+    }
+    let request_line = String::from_utf8(line)
+        .map_err(|_| HttpError::Malformed("request line is not UTF-8".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!(
+            "bad request line {:?}",
+            request_line.trim_end()
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported {version}")));
+    }
+
+    let mut headers = Vec::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let mut line = Vec::new();
+        if !read_line(reader, &mut line, should_abort, idle_limit)? {
+            return Err(HttpError::Malformed("headers truncated".into()));
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(MAX_HEAD_BYTES));
+        }
+        let text = String::from_utf8(line)
+            .map_err(|_| HttpError::Malformed("header is not UTF-8".into()))?;
+        let text = text.trim_end_matches(['\r', '\n']);
+        if text.is_empty() {
+            break;
+        }
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header {text:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(MAX_BODY_BYTES));
+    }
+
+    // RFC 7231 §5.1.1: a client may wait for permission before
+    // sending a large body; grant it before reading.
+    if headers
+        .iter()
+        .any(|(k, v)| k == "expect" && v.eq_ignore_ascii_case("100-continue"))
+    {
+        reader
+            .get_mut()
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+    }
+
+    let mut body = vec![0u8; content_length];
+    read_exact_ticking(reader, &mut body, should_abort)?;
+
+    Ok(NextRequest::Request(Request {
+        method: method.to_ascii_uppercase(),
+        target: target.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// A response ready to write.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body text.
+    pub body: String,
+    /// Extra headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+
+    /// Writes the response, with the right `Connection` header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// The reason phrase of a status code this server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn roundtrip(raw: &[u8]) -> Result<NextRequest, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(&raw).expect("write");
+            // Keep the stream open briefly so reads see the bytes,
+            // then drop it for a clean EOF.
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("timeout");
+        let mut reader = BufReader::new(stream);
+        let result = read_request(&mut reader, &|| false, Duration::from_millis(400));
+        writer.join().expect("writer");
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/plan HTTP/1.1\r\ncontent-length: 4\r\nHost: x\r\n\r\nbody";
+        match roundtrip(raw).expect("parses") {
+            NextRequest::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.target, "/v1/plan");
+                assert_eq!(req.body, b"body");
+                assert_eq!(req.header("host"), Some("x"));
+                assert!(!req.wants_close());
+            }
+            NextRequest::Closed => panic!("expected a request"),
+        }
+    }
+
+    #[test]
+    fn idle_connection_closes_cleanly() {
+        // No bytes at all: the idle limit expires into Closed.
+        match roundtrip(b"").expect("clean close") {
+            NextRequest::Closed => {}
+            NextRequest::Request(req) => panic!("unexpected {req:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_line_is_an_error() {
+        assert!(matches!(
+            roundtrip(b"NONSENSE\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            roundtrip(raw.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_codes() {
+        for code in [200, 400, 404, 405, 413, 500, 503, 504] {
+            assert_ne!(reason(code), "Unknown");
+        }
+    }
+}

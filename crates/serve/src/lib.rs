@@ -1,0 +1,89 @@
+//! `agequant-serve`: a concurrent compression-decision server over
+//! the shared evaluation engine.
+//!
+//! The flow crates answer "given this chip's ΔVth, which `(α, β)`
+//! compression, padding, and quantization method keep it at its fresh
+//! clock?" as library calls. This crate puts that decision behind a
+//! small HTTP/1.1 JSON API so a fleet of NPUs (or a fleet manager)
+//! can ask over the network:
+//!
+//! * `POST /v1/plan` — ΔVth in, decision out, hitting the same plan
+//!   cache every other caller warms.
+//! * `POST /v1/telemetry` — per-chip aging samples advance a hosted
+//!   [`FleetSim`](agequant_fleet::FleetSim), journaled live.
+//! * `GET /v1/fleet/summary` — the hosted fleet's plan distribution.
+//! * `GET /metrics` — Prometheus text: request counts, latency
+//!   histograms, queue depth, and the engine's cache counters.
+//!
+//! Concurrency is a bounded-queue worker pool built on `std` only
+//! (threads, `Mutex`/`Condvar`, `std::net`): a full queue answers
+//! `503 Retry-After` immediately — backpressure is explicit, memory
+//! stays flat under overload — and every request carries a deadline.
+//! Shutdown (`POST /v1/shutdown`) drains the queue before the workers
+//! exit, so accepted work is never dropped.
+//!
+//! # Example
+//!
+//! ```
+//! use agequant_fleet::FleetConfig;
+//! use agequant_serve::{start, ServeConfig};
+//!
+//! # fn main() -> Result<(), agequant_serve::ServeError> {
+//! let config = ServeConfig {
+//!     addr: "127.0.0.1:0".to_string(), // ephemeral port
+//!     fleet_chips: 4,
+//!     ..ServeConfig::default()
+//! };
+//! let handle = start(config, FleetConfig::new(4, 7))?;
+//! let addr = handle.addr(); // POST http://{addr}/v1/plan ...
+//! # let _ = addr;
+//! handle.shutdown_and_join();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod http;
+mod metrics;
+mod server;
+
+use std::fmt;
+
+use agequant_fleet::FleetError;
+
+pub use config::{sweep_max_mv, ServeConfig};
+pub use http::{read_request, HttpError, NextRequest, Request, Response, MAX_BODY_BYTES};
+pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_S};
+pub use server::{plan_response, start, write_checkpoint, ServerHandle};
+
+/// Everything that can go wrong starting or running the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The configuration is invalid (the message names each violation).
+    Config(String),
+    /// A socket or file operation failed.
+    Io(String),
+    /// The decision core could not be built or a decision failed.
+    Fleet(FleetError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "invalid server config: {msg}"),
+            ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ServeError::Fleet(e) => write!(f, "fleet error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<FleetError> for ServeError {
+    fn from(e: FleetError) -> Self {
+        ServeError::Fleet(e)
+    }
+}

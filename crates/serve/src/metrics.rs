@@ -1,0 +1,300 @@
+//! Prometheus text-format metrics for the decision server.
+//!
+//! Everything is a plain atomic counter (histograms are cumulative
+//! per-bucket counters, as the exposition format requires), so the
+//! `/metrics` scrape never takes a lock and never blocks the plan
+//! path — the same discipline the engine's `CacheStats` follow.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use agequant_core::CacheStats;
+
+/// Latency histogram upper bounds, seconds. The last implicit bucket
+/// is `+Inf`.
+pub const LATENCY_BUCKETS_S: [f64; 12] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 2.0,
+];
+
+/// The endpoints the server distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/plan`
+    Plan,
+    /// `POST /v1/telemetry`
+    Telemetry,
+    /// `GET /v1/fleet/summary`
+    Summary,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /v1/shutdown`
+    Shutdown,
+    /// Anything else (404s, bad requests, ...).
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 6] = [
+        Endpoint::Plan,
+        Endpoint::Telemetry,
+        Endpoint::Summary,
+        Endpoint::Metrics,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Plan => 0,
+            Endpoint::Telemetry => 1,
+            Endpoint::Summary => 2,
+            Endpoint::Metrics => 3,
+            Endpoint::Shutdown => 4,
+            Endpoint::Other => 5,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Plan => "plan",
+            Endpoint::Telemetry => "telemetry",
+            Endpoint::Summary => "fleet_summary",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Per-endpoint counters: requests by status class plus a latency
+/// histogram.
+#[derive(Debug)]
+struct EndpointStats {
+    /// Status classes 1xx..5xx at indices 0..4.
+    by_class: [AtomicU64; 5],
+    /// Cumulative histogram counters, one per bound plus `+Inf`.
+    buckets: [AtomicU64; LATENCY_BUCKETS_S.len() + 1],
+    /// Total observed latency, nanoseconds.
+    sum_nanos: AtomicU64,
+    /// Total observations.
+    count: AtomicU64,
+}
+
+impl EndpointStats {
+    fn new() -> Self {
+        EndpointStats {
+            by_class: std::array::from_fn(|_| AtomicU64::new(0)),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The server's metric registry.
+#[derive(Debug)]
+pub struct Metrics {
+    endpoints: [EndpointStats; 6],
+    /// Requests answered `503` because the queue was full.
+    queue_rejected: AtomicU64,
+    /// Requests answered `504` past their deadline.
+    timeouts: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            endpoints: std::array::from_fn(|_| EndpointStats::new()),
+            queue_rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one finished request.
+    pub fn observe(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
+        let stats = &self.endpoints[endpoint.index()];
+        let class = usize::from(status / 100).clamp(1, 5) - 1;
+        stats.by_class[class].fetch_add(1, Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        let mut slot = LATENCY_BUCKETS_S.len();
+        for (i, bound) in LATENCY_BUCKETS_S.iter().enumerate() {
+            if secs <= *bound {
+                slot = i;
+                break;
+            }
+        }
+        // Cumulative: an observation increments its bucket and every
+        // wider one, so `le` counters are monotone as Prometheus
+        // expects.
+        for bucket in &stats.buckets[slot..] {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        stats.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        stats.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a backpressure rejection (queue full, `503`).
+    pub fn record_rejection(&self) {
+        self.queue_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a deadline expiry (`504`).
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total rejections so far.
+    #[must_use]
+    pub fn rejections(&self) -> u64 {
+        self.queue_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Renders the registry in Prometheus text exposition format,
+    /// folding in the live queue depth and the engine's cache
+    /// counters.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn render(&self, queue_depth: usize, engine: &CacheStats) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP agequant_http_requests_total Requests by endpoint and status class\n");
+        out.push_str("# TYPE agequant_http_requests_total counter\n");
+        for endpoint in Endpoint::ALL {
+            let stats = &self.endpoints[endpoint.index()];
+            for (class, counter) in stats.by_class.iter().enumerate() {
+                let n = counter.load(Ordering::Relaxed);
+                if n > 0 {
+                    out.push_str(&format!(
+                        "agequant_http_requests_total{{endpoint=\"{}\",code=\"{}xx\"}} {n}\n",
+                        endpoint.label(),
+                        class + 1
+                    ));
+                }
+            }
+        }
+
+        out.push_str("# HELP agequant_http_request_duration_seconds Request latency by endpoint\n");
+        out.push_str("# TYPE agequant_http_request_duration_seconds histogram\n");
+        for endpoint in Endpoint::ALL {
+            let stats = &self.endpoints[endpoint.index()];
+            if stats.count.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let label = endpoint.label();
+            for (i, bound) in LATENCY_BUCKETS_S.iter().enumerate() {
+                out.push_str(&format!(
+                    "agequant_http_request_duration_seconds_bucket{{endpoint=\"{label}\",le=\"{bound}\"}} {}\n",
+                    stats.buckets[i].load(Ordering::Relaxed)
+                ));
+            }
+            out.push_str(&format!(
+                "agequant_http_request_duration_seconds_bucket{{endpoint=\"{label}\",le=\"+Inf\"}} {}\n",
+                stats.buckets[LATENCY_BUCKETS_S.len()].load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "agequant_http_request_duration_seconds_sum{{endpoint=\"{label}\"}} {}\n",
+                stats.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+            ));
+            out.push_str(&format!(
+                "agequant_http_request_duration_seconds_count{{endpoint=\"{label}\"}} {}\n",
+                stats.count.load(Ordering::Relaxed)
+            ));
+        }
+
+        out.push_str("# HELP agequant_queue_depth Jobs waiting in the bounded queue\n");
+        out.push_str("# TYPE agequant_queue_depth gauge\n");
+        out.push_str(&format!("agequant_queue_depth {queue_depth}\n"));
+        out.push_str(
+            "# HELP agequant_queue_rejected_total Requests answered 503 on a full queue\n",
+        );
+        out.push_str("# TYPE agequant_queue_rejected_total counter\n");
+        out.push_str(&format!(
+            "agequant_queue_rejected_total {}\n",
+            self.queue_rejected.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP agequant_request_timeouts_total Requests past their deadline\n");
+        out.push_str("# TYPE agequant_request_timeouts_total counter\n");
+        out.push_str(&format!(
+            "agequant_request_timeouts_total {}\n",
+            self.timeouts.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP agequant_engine_cache_events_total Evaluation-engine cache counters\n",
+        );
+        out.push_str("# TYPE agequant_engine_cache_events_total counter\n");
+        for (cache, event, n) in [
+            ("library", "hit", engine.library_hits),
+            ("library", "miss", engine.library_misses),
+            ("plan", "hit", engine.plan_hits),
+            ("plan", "miss", engine.plan_misses),
+        ] {
+            out.push_str(&format!(
+                "agequant_engine_cache_events_total{{cache=\"{cache}\",event=\"{event}\"}} {n}\n"
+            ));
+        }
+        out.push_str("# HELP agequant_engine_plan_hit_rate Plan-cache hit rate\n");
+        out.push_str("# TYPE agequant_engine_plan_hit_rate gauge\n");
+        out.push_str(&format!(
+            "agequant_engine_plan_hit_rate {}\n",
+            engine.plan_hit_rate()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let metrics = Metrics::new();
+        metrics.observe(Endpoint::Plan, 200, Duration::from_micros(80));
+        metrics.observe(Endpoint::Plan, 200, Duration::from_millis(3));
+        metrics.observe(Endpoint::Plan, 503, Duration::from_micros(10));
+        let text = metrics.render(2, &CacheStats::default());
+        // 80 µs and 10 µs fall at or under 100 µs; 3 ms lands later.
+        assert!(text.contains("le=\"0.0001\"} 2\n"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("endpoint=\"plan\",code=\"2xx\"} 2"));
+        assert!(text.contains("endpoint=\"plan\",code=\"5xx\"} 1"));
+        assert!(text.contains("agequant_queue_depth 2"));
+    }
+
+    #[test]
+    fn rejections_and_timeouts_are_counted() {
+        let metrics = Metrics::new();
+        metrics.record_rejection();
+        metrics.record_rejection();
+        metrics.record_timeout();
+        assert_eq!(metrics.rejections(), 2);
+        let text = metrics.render(0, &CacheStats::default());
+        assert!(text.contains("agequant_queue_rejected_total 2"));
+        assert!(text.contains("agequant_request_timeouts_total 1"));
+    }
+
+    #[test]
+    fn engine_counters_are_exported() {
+        let metrics = Metrics::new();
+        let stats = CacheStats {
+            library_hits: 7,
+            library_misses: 1,
+            plan_hits: 30,
+            plan_misses: 2,
+        };
+        let text = metrics.render(0, &stats);
+        assert!(text.contains("cache=\"plan\",event=\"hit\"} 30"));
+        assert!(text.contains("cache=\"library\",event=\"miss\"} 1"));
+        assert!(text.contains("agequant_engine_plan_hit_rate 0.9375"));
+    }
+}

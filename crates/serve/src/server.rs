@@ -1,0 +1,688 @@
+//! The concurrent decision server: bounded-queue worker pool with
+//! explicit backpressure over the shared [`Decider`].
+//!
+//! ## Architecture
+//!
+//! One acceptor thread hands each connection to its own I/O thread
+//! (blocking reads with a short timeout tick, keep-alive loop). Read
+//! endpoints (`/metrics`, `/v1/fleet/summary`) are answered inline —
+//! they only read atomics or take a short lock. Decision endpoints
+//! (`/v1/plan`, `/v1/telemetry`) are enqueued on a bounded queue
+//! served by `workers` threads; a full queue answers `503` with
+//! `Retry-After` *immediately* — the queue bound is the server's only
+//! buffer, so memory stays flat under overload. Each job carries a
+//! deadline: the connection gives up with `504` when it passes, and a
+//! worker popping an already-expired job drops it instead of burning
+//! engine time on an abandoned reply.
+//!
+//! ## Shutdown
+//!
+//! `POST /v1/shutdown` (or [`ServerHandle::shutdown`]) flips one
+//! flag. The acceptor wakes (self-connect) and stops accepting;
+//! workers drain every job already queued, then exit; connection
+//! threads finish writing in-flight responses, answer
+//! `connection: close`, and wind down. [`ServerHandle::join`] returns
+//! when the drain is complete.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use agequant_aging::VthShift;
+use agequant_fleet::{journal, Decider, Decision, FleetConfig, FleetSim};
+use serde::{Deserialize, Value};
+
+use crate::config::ServeConfig;
+use crate::http::{read_request, HttpError, NextRequest, Request, Response};
+use crate::metrics::{Endpoint, Metrics};
+use crate::ServeError;
+
+/// How often blocking reads wake to check idle time and shutdown.
+const READ_TICK: Duration = Duration::from_millis(100);
+/// Telemetry may advance the hosted fleet at most this many epochs in
+/// one request, bounding worst-case work per call.
+const MAX_EPOCH_ADVANCE: u64 = 10_000;
+
+/// `POST /v1/plan` body.
+#[derive(Debug, Deserialize)]
+struct PlanRequest {
+    /// Measured ΔVth, millivolts.
+    delta_vth_mv: f64,
+    /// Optional constraint override as a fraction of the fresh
+    /// critical path (the fleet's configured factor when absent).
+    constraint_factor: Option<f64>,
+}
+
+/// `POST /v1/telemetry` body.
+#[derive(Debug, Deserialize)]
+struct TelemetryRequest {
+    /// Chip id in the hosted fleet.
+    chip: u32,
+    /// The epoch the sample was taken at.
+    epoch: u64,
+    /// Optionally, the chip's measured ΔVth for cross-checking
+    /// against the model (never mutates server state).
+    delta_vth_mv: Option<f64>,
+}
+
+/// A parsed decision call waiting for a worker.
+enum ApiCall {
+    Plan(PlanRequest),
+    Telemetry(TelemetryRequest),
+}
+
+/// One queued unit of work.
+struct Job {
+    call: ApiCall,
+    reply: mpsc::Sender<Response>,
+    deadline: Instant,
+}
+
+/// The bounded job queue: `try_push` refuses instead of blocking,
+/// which is what turns overload into `503` rather than latency
+/// collapse or unbounded memory.
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            jobs: Mutex::new(VecDeque::with_capacity(capacity)),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues, or hands the job back when the queue is full.
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut jobs = self.jobs.lock().expect("unpoisoned queue");
+        if jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once shutdown is set *and* the
+    /// queue is drained — the graceful-drain contract.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Job> {
+        let mut jobs = self.jobs.lock().expect("unpoisoned queue");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            jobs = self
+                .available
+                .wait_timeout(jobs, Duration::from_millis(200))
+                .expect("unpoisoned queue")
+                .0;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.jobs.lock().expect("unpoisoned queue").len()
+    }
+
+    fn wake_all(&self) {
+        self.available.notify_all();
+    }
+}
+
+/// The hosted fleet plus its incremental journal cursor.
+struct FleetHost {
+    sim: FleetSim,
+    /// Journal events already flushed to the journal file.
+    flushed: usize,
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    config: ServeConfig,
+    addr: SocketAddr,
+    decider: Arc<Decider>,
+    fleet: Mutex<FleetHost>,
+    metrics: Metrics,
+    queue: JobQueue,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+/// A running server. Dropping the handle does NOT stop the server;
+/// call [`ServerHandle::shutdown`] (or hit `POST /v1/shutdown`) and
+/// then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The shared decision core — the reference tests compare server
+    /// responses against.
+    #[must_use]
+    pub fn decider(&self) -> Arc<Decider> {
+        Arc::clone(&self.shared.decider)
+    }
+
+    /// Requests a graceful drain: stop accepting, finish queued work.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// True once a drain has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the drain to complete: acceptor gone, queue empty,
+    /// workers exited, in-flight connections wound down. The handle
+    /// stays usable afterwards (e.g. for [`write_checkpoint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked.
+    pub fn join(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor thread");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread");
+        }
+        // Connection threads are detached; give in-flight responses a
+        // bounded window to flush before declaring the drain done.
+        let patience = Instant::now();
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0
+            && patience.elapsed() < Duration::from_secs(10)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Convenience: shutdown then join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked.
+    pub fn shutdown_and_join(mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Builds and starts the server: binds the address, plans the hosted
+/// fleet's epoch-0 decisions (warming the engine), seeds the journal
+/// file, and spawns the acceptor and worker threads.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Config`] on an invalid configuration,
+/// [`ServeError::Fleet`] if the decision core cannot be built, or
+/// [`ServeError::Io`] if the address cannot be bound or the journal
+/// cannot be created.
+pub fn start(config: ServeConfig, fleet_config: FleetConfig) -> Result<ServerHandle, ServeError> {
+    config.validate()?;
+    let mut fleet_config = fleet_config;
+    fleet_config.chips = config.fleet_chips;
+    fleet_config.seed = config.fleet_seed;
+    let decider = Arc::new(Decider::from_config(&fleet_config).map_err(ServeError::Fleet)?);
+    let sim = FleetSim::new_with_decider(Arc::clone(&decider)).map_err(ServeError::Fleet)?;
+
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ServeError::Io(e.to_string()))?;
+
+    let mut host = FleetHost { sim, flushed: 0 };
+    if let Some(path) = &config.journal {
+        // Each server run owns its journal file from epoch 0, so the
+        // file alone satisfies the journal causality lint.
+        std::fs::write(path, "").map_err(|e| ServeError::Io(format!("{path}: {e}")))?;
+        flush_journal(&config, &mut host)?;
+    }
+
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(config.queue_depth as usize),
+        config,
+        addr,
+        decider,
+        fleet: Mutex::new(host),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        active_connections: AtomicUsize::new(0),
+    });
+
+    let workers = (0..shared.config.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-acceptor".to_string())
+            .spawn(move || acceptor_loop(&listener, &shared))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.wake_all();
+    // Unblock the acceptor's blocking accept() with a throwaway
+    // connection; it re-checks the flag before handling it.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        shared.active_connections.fetch_add(1, Ordering::SeqCst);
+        let spawned = std::thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || {
+                handle_connection(&shared, stream);
+                shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // Thread spawn failed (resource exhaustion): the stream
+            // drops, the client sees a reset — still bounded.
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let idle_limit = Duration::from_secs(shared.config.keep_alive_secs.max(1));
+    let abort = {
+        let shared = Arc::clone(shared);
+        move || shared.shutdown.load(Ordering::SeqCst)
+    };
+    loop {
+        let request = match read_request(&mut reader, &abort, idle_limit) {
+            Ok(NextRequest::Request(request)) => request,
+            Ok(NextRequest::Closed) => break,
+            Err(HttpError::Malformed(msg)) => {
+                let response = Response::json(400, error_body(&msg));
+                shared.metrics.observe(Endpoint::Other, 400, Duration::ZERO);
+                let _ = response.write_to(&mut writer, false);
+                break;
+            }
+            Err(HttpError::TooLarge(limit)) => {
+                let response = Response::json(413, error_body(&format!("limit {limit} bytes")));
+                shared.metrics.observe(Endpoint::Other, 413, Duration::ZERO);
+                let _ = response.write_to(&mut writer, false);
+                break;
+            }
+            Err(HttpError::Io(_)) => break,
+        };
+        let started = Instant::now();
+        let (endpoint, response) = route(shared, &request);
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        let keep_alive = !draining && !request.wants_close();
+        shared
+            .metrics
+            .observe(endpoint, response.status, started.elapsed());
+        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+            break;
+        }
+    }
+}
+
+/// Dispatches one request. Read endpoints answer inline; decision
+/// endpoints go through the bounded queue.
+fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/metrics") => {
+            let stats = shared.decider.flow().engine().stats();
+            let text = shared.metrics.render(shared.queue.len(), &stats);
+            (
+                Endpoint::Metrics,
+                Response::text(200, text).with_header("cache-control", "no-store".to_string()),
+            )
+        }
+        ("GET", "/v1/fleet/summary") => {
+            let host = shared.fleet.lock().expect("unpoisoned fleet");
+            let body = host.sim.summary().to_json();
+            (Endpoint::Summary, Response::json(200, body))
+        }
+        ("GET", "/healthz") => (Endpoint::Other, Response::text(200, "ok\n".to_string())),
+        ("POST", "/v1/shutdown") => {
+            initiate_shutdown(shared);
+            (
+                Endpoint::Shutdown,
+                Response::json(200, "{\"draining\":true}".to_string()),
+            )
+        }
+        ("POST", "/v1/plan") => match parse_body::<PlanRequest>(&request.body) {
+            Ok(body) => (Endpoint::Plan, enqueue(shared, ApiCall::Plan(body))),
+            Err(response) => (Endpoint::Plan, response),
+        },
+        ("POST", "/v1/telemetry") => match parse_body::<TelemetryRequest>(&request.body) {
+            Ok(body) => (
+                Endpoint::Telemetry,
+                enqueue(shared, ApiCall::Telemetry(body)),
+            ),
+            Err(response) => (Endpoint::Telemetry, response),
+        },
+        (
+            _,
+            "/metrics" | "/v1/fleet/summary" | "/healthz" | "/v1/shutdown" | "/v1/plan"
+            | "/v1/telemetry",
+        ) => (
+            Endpoint::Other,
+            Response::json(405, error_body("method not allowed")),
+        ),
+        _ => (
+            Endpoint::Other,
+            Response::json(404, error_body("no such endpoint")),
+        ),
+    }
+}
+
+fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::json(400, error_body("body is not UTF-8")))?;
+    serde_json::from_str(text).map_err(|e| Response::json(400, error_body(&e.to_string())))
+}
+
+/// Queues a decision call and waits for the worker's reply, enforcing
+/// backpressure and the per-request deadline.
+fn enqueue(shared: &Shared, call: ApiCall) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::json(503, error_body("server is draining"))
+            .with_header("retry-after", "1".to_string());
+    }
+    let deadline = Instant::now() + Duration::from_millis(shared.config.deadline_ms);
+    let (reply, receive) = mpsc::channel();
+    let job = Job {
+        call,
+        reply,
+        deadline,
+    };
+    if shared.queue.try_push(job).is_err() {
+        shared.metrics.record_rejection();
+        return Response::json(503, error_body("queue full"))
+            .with_header("retry-after", "1".to_string());
+    }
+    // A small grace past the deadline: the worker does the precise
+    // deadline check, this just bounds the wait if a worker stalls.
+    let wait = deadline
+        .saturating_duration_since(Instant::now())
+        .saturating_add(Duration::from_millis(250));
+    match receive.recv_timeout(wait) {
+        Ok(response) => response,
+        Err(_) => {
+            shared.metrics.record_timeout();
+            Response::json(504, error_body("deadline exceeded"))
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop(&shared.shutdown) {
+        if Instant::now() >= job.deadline {
+            // The connection already answered 504 (or is about to);
+            // don't spend engine time on an abandoned request.
+            shared.metrics.record_timeout();
+            let _ = job.reply.send(Response::json(
+                504,
+                error_body("deadline exceeded in queue"),
+            ));
+            continue;
+        }
+        if shared.config.debug_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.config.debug_delay_ms));
+        }
+        let response = match job.call {
+            ApiCall::Plan(request) => handle_plan(shared, &request),
+            ApiCall::Telemetry(request) => handle_telemetry(shared, &request),
+        };
+        let _ = job.reply.send(response);
+    }
+}
+
+// ---------------------------------------------------------------- handlers
+
+fn handle_plan(shared: &Shared, request: &PlanRequest) -> Response {
+    let mv = request.delta_vth_mv;
+    if !(mv.is_finite() && (0.0..=shared.config.max_mv + 1e-9).contains(&mv)) {
+        return Response::json(
+            400,
+            error_body(&format!(
+                "delta_vth_mv {mv} outside the served range 0–{} mV",
+                shared.config.max_mv
+            )),
+        );
+    }
+    let shift = VthShift::from_millivolts(mv);
+    let decision = match request.constraint_factor {
+        None => shared.decider.decide_shift(shift),
+        Some(factor) => {
+            if !(factor > 0.0 && factor.is_finite()) {
+                return Response::json(
+                    400,
+                    error_body(&format!("constraint_factor {factor} must be positive")),
+                );
+            }
+            let constraint_ps = shared.decider.flow().fresh_critical_path_ps() * factor;
+            shared
+                .decider
+                .decide_bucket_at(shared.decider.bucket_of(shift), constraint_ps)
+        }
+    };
+    match decision {
+        Ok(decision) => Response::json(
+            200,
+            render_value(&plan_response(&shared.decider, &decision)),
+        ),
+        Err(e) => Response::json(500, error_body(&e.to_string())),
+    }
+}
+
+fn handle_telemetry(shared: &Shared, request: &TelemetryRequest) -> Response {
+    let mut host = shared.fleet.lock().expect("unpoisoned fleet");
+    let fleet_size = host.sim.state().chips.len();
+    if request.chip as usize >= fleet_size {
+        return Response::json(
+            404,
+            error_body(&format!(
+                "chip {} not in the hosted fleet of {fleet_size}",
+                request.chip
+            )),
+        );
+    }
+    let current = host.sim.state().epoch;
+    if request.epoch > current + MAX_EPOCH_ADVANCE {
+        return Response::json(
+            400,
+            error_body(&format!(
+                "epoch {} is more than {MAX_EPOCH_ADVANCE} ahead of the fleet at {current}",
+                request.epoch
+            )),
+        );
+    }
+    // Telemetry advances the model-driven fleet to the reported
+    // epoch: each step replans exactly the chips that crossed a
+    // bucket and journals the events. Reported ΔVth never overwrites
+    // the model (the checkpoint must stay kinetics-consistent); it is
+    // cross-checked in the response instead.
+    while host.sim.state().epoch < request.epoch {
+        if let Err(e) = host.sim.step() {
+            return Response::json(500, error_body(&e.to_string()));
+        }
+    }
+    if let Err(e) = flush_journal(&shared.config, &mut host) {
+        return Response::json(500, error_body(&e.to_string()));
+    }
+
+    let state = host.sim.state();
+    let chip = &state.chips[request.chip as usize];
+    #[allow(clippy::cast_precision_loss)]
+    let years = state.epoch as f64 * state.config.epoch_years;
+    let model_mv = chip.shift_at(years).millivolts();
+    let consistent = request.delta_vth_mv.map(|reported| {
+        let bucket_mv = state.config.bucket_mv;
+        (reported - model_mv).abs() < bucket_mv
+    });
+    let mut fields = vec![
+        ("chip", Value::UInt(u64::from(chip.id))),
+        ("epoch", Value::UInt(state.epoch)),
+        ("stale", Value::Bool(request.epoch < state.epoch)),
+        ("bucket", Value::UInt(chip.bucket)),
+        ("mode", Value::Str(mode_label(chip.mode).to_string())),
+        ("model_delta_vth_mv", Value::Float(model_mv)),
+    ];
+    if let Some(consistent) = consistent {
+        fields.push(("reported_consistent", Value::Bool(consistent)));
+    }
+    Response::json(200, render_value(&obj(fields)))
+}
+
+/// Appends journal events past the flushed cursor to the configured
+/// journal file.
+fn flush_journal(config: &ServeConfig, host: &mut FleetHost) -> Result<(), ServeError> {
+    let Some(path) = &config.journal else {
+        return Ok(());
+    };
+    let events = host.sim.journal();
+    if host.flushed >= events.len() {
+        return Ok(());
+    }
+    let text = journal::to_jsonl(&events[host.flushed..]);
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| ServeError::Io(format!("{path}: {e}")))?;
+    file.write_all(text.as_bytes())
+        .map_err(|e| ServeError::Io(format!("{path}: {e}")))?;
+    host.flushed = events.len();
+    Ok(())
+}
+
+/// Writes the hosted fleet's checkpoint, for post-run linting.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] when the file cannot be written.
+pub fn write_checkpoint(handle: &ServerHandle, path: &str) -> Result<(), ServeError> {
+    let host = handle.shared.fleet.lock().expect("unpoisoned fleet");
+    std::fs::write(path, host.sim.state().to_json())
+        .map_err(|e| ServeError::Io(format!("{path}: {e}")))
+}
+
+// ---------------------------------------------------------------- responses
+
+fn mode_label(mode: agequant_fleet::ChipMode) -> &'static str {
+    match mode {
+        agequant_fleet::ChipMode::Compressed => "compressed",
+        agequant_fleet::ChipMode::Guardband => "guardband",
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn render_value(value: &Value) -> String {
+    serde_json::to_string(value).expect("response values are finite")
+}
+
+/// Serializes an error body.
+fn error_body(message: &str) -> String {
+    render_value(&obj(vec![("error", Value::Str(message.to_string()))]))
+}
+
+/// The `/v1/plan` response for a decision — public so the integration
+/// tests build the expected bytes from a direct [`Decider`] call and
+/// compare bit-for-bit with what came over the wire.
+#[must_use]
+pub fn plan_response(decider: &Decider, decision: &Decision) -> Value {
+    use serde::Serialize;
+    let bucket = decision.bucket();
+    let mut fields = vec![
+        ("bucket", Value::UInt(bucket)),
+        (
+            "planned_shift_mv",
+            Value::Float(decider.bucket_shift(bucket).millivolts()),
+        ),
+    ];
+    match decision {
+        Decision::Plan(plan) => {
+            fields.push(("mode", Value::Str("compressed".to_string())));
+            fields.push((
+                "alpha",
+                Value::UInt(u64::from(plan.plan.compression.alpha())),
+            ));
+            fields.push(("beta", Value::UInt(u64::from(plan.plan.compression.beta()))));
+            fields.push(("padding", plan.plan.padding.to_value()));
+            fields.push(("method", plan.method.map_or(Value::Null, |m| m.to_value())));
+            fields.push((
+                "accuracy_loss_pct",
+                plan.accuracy_loss_pct.map_or(Value::Null, Value::Float),
+            ));
+            fields.push((
+                "compressed_delay_ps",
+                Value::Float(plan.plan.compressed_delay_ps),
+            ));
+            fields.push(("constraint_ps", Value::Float(plan.plan.constraint_ps)));
+        }
+        Decision::Degrade { .. } => {
+            fields.push(("mode", Value::Str("guardband".to_string())));
+            fields.push((
+                "guardband_period_ps",
+                Value::Float(decider.guardband_period_ps()),
+            ));
+            fields.push(("constraint_ps", Value::Float(decider.constraint_ps())));
+        }
+    }
+    obj(fields)
+}

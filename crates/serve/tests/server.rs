@@ -1,0 +1,313 @@
+//! End-to-end tests over real sockets: bit-identity with the direct
+//! engine, backpressure under saturation, graceful drain, and the
+//! telemetry/metrics surface.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use agequant_aging::{VthShift, AGING_SWEEP_MV};
+use agequant_fleet::{Decider, FleetConfig};
+use agequant_serve::{plan_response, start, ServeConfig, ServerHandle};
+
+/// A minimal blocking HTTP/1.1 client: one request per connection.
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, HashMap<String, String>, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let body = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    writer.flush().expect("flush");
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut headers = HashMap::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').expect("header colon");
+        headers.insert(name.trim().to_lowercase(), value.trim().to_string());
+    }
+    let length: usize = headers
+        .get("content-length")
+        .expect("content-length")
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("body");
+    (
+        status,
+        headers,
+        String::from_utf8(body).expect("utf-8 body"),
+    )
+}
+
+fn test_config(chips: u32) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        fleet_chips: chips,
+        fleet_seed: 7,
+        ..ServeConfig::default()
+    }
+}
+
+fn addr_of(handle: &ServerHandle) -> String {
+    handle.addr().to_string()
+}
+
+#[test]
+fn concurrent_clients_bit_identical_to_direct_engine() {
+    let handle = start(test_config(8), FleetConfig::new(8, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    // The reference: an INDEPENDENT decider over the same fleet
+    // config, never shared with the server. Whatever it decides for a
+    // sweep level, the server must serialize byte-for-byte.
+    let reference = Decider::from_config(&FleetConfig::new(8, 7)).expect("reference decider");
+    let expected: Vec<String> = AGING_SWEEP_MV
+        .iter()
+        .map(|mv| {
+            let decision = reference
+                .decide_shift(VthShift::from_millivolts(*mv))
+                .expect("reference decision");
+            serde_json::to_string(&plan_response(&reference, &decision)).expect("render")
+        })
+        .collect();
+
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                AGING_SWEEP_MV
+                    .iter()
+                    .map(|mv| {
+                        let (status, _, body) = request(
+                            &addr,
+                            "POST",
+                            "/v1/plan",
+                            Some(&format!("{{\"delta_vth_mv\": {mv}}}")),
+                        );
+                        assert_eq!(status, 200, "{body}");
+                        body
+                    })
+                    .collect::<Vec<String>>()
+            })
+        })
+        .collect();
+    for worker in workers {
+        let bodies = worker.join().expect("client thread");
+        assert_eq!(bodies, expected);
+    }
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn plan_validates_its_input() {
+    let handle = start(test_config(4), FleetConfig::new(4, 7)).expect("start");
+    let addr = addr_of(&handle);
+    let (status, _, body) = request(&addr, "POST", "/v1/plan", Some("{\"delta_vth_mv\": 400.0}"));
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("outside the served range"), "{body}");
+    let (status, _, _) = request(&addr, "POST", "/v1/plan", Some("not json"));
+    assert_eq!(status, 400);
+    let (status, _, _) = request(&addr, "GET", "/v1/nope", None);
+    assert_eq!(status, 404);
+    let (status, _, _) = request(&addr, "DELETE", "/v1/plan", None);
+    assert_eq!(status, 405);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn saturated_queue_returns_503_with_retry_after() {
+    // One slow worker, a queue of one: concurrent requests MUST
+    // overflow, and overflow must be a fast 503, not a hang.
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        debug_delay_ms: 300,
+        deadline_ms: 10_000,
+        ..test_config(4)
+    };
+    let handle = start(config, FleetConfig::new(4, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (status, headers, _) =
+                    request(&addr, "POST", "/v1/plan", Some("{\"delta_vth_mv\": 10.0}"));
+                (status, headers)
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client"))
+        .collect();
+    let ok = outcomes.iter().filter(|(s, _)| *s == 200).count();
+    let rejected = outcomes.iter().filter(|(s, _)| *s == 503).count();
+    assert!(ok >= 1, "someone must get through: {outcomes:?}");
+    assert!(rejected >= 1, "queue of 1 must overflow: {outcomes:?}");
+    for (status, headers) in &outcomes {
+        if *status == 503 {
+            assert_eq!(headers.get("retry-after").map(String::as_str), Some("1"));
+        }
+    }
+
+    // The server is still healthy after shedding load.
+    let (status, _, body) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("agequant_queue_rejected_total"), "{body}");
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn graceful_drain_finishes_accepted_work() {
+    let config = ServeConfig {
+        workers: 1,
+        debug_delay_ms: 300,
+        deadline_ms: 10_000,
+        ..test_config(4)
+    };
+    let handle = start(config, FleetConfig::new(4, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    // A slow request in flight...
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            request(&addr, "POST", "/v1/plan", Some("{\"delta_vth_mv\": 20.0}"))
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    // ...then a drain request.
+    let (status, _, body) = request(&addr, "POST", "/v1/shutdown", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("draining"), "{body}");
+
+    // The accepted request still completes with a real answer.
+    let (status, _, body) = in_flight.join().expect("in-flight client");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"bucket\""), "{body}");
+
+    let mut handle = handle;
+    handle.join();
+    // After the drain, new connections are refused or reset.
+    let refused = match TcpStream::connect(&addr) {
+        Err(_) => true,
+        Ok(mut stream) => {
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
+            let mut buf = Vec::new();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .expect("timeout");
+            matches!(stream.read_to_end(&mut buf), Ok(0) | Err(_))
+        }
+    };
+    assert!(refused, "drained server must not serve new requests");
+}
+
+#[test]
+fn telemetry_summary_metrics_and_artifacts() {
+    let dir = std::env::temp_dir().join(format!("agequant-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal = dir.join("journal.jsonl");
+    let config = ServeConfig {
+        journal: Some(journal.to_string_lossy().into_owned()),
+        ..test_config(6)
+    };
+    let handle = start(config, FleetConfig::new(6, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    // Telemetry advances the hosted fleet to the reported epoch.
+    let (status, _, body) = request(
+        &addr,
+        "POST",
+        "/v1/telemetry",
+        Some("{\"chip\": 2, \"epoch\": 3, \"delta_vth_mv\": 11.0}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"epoch\":3"), "{body}");
+    assert!(body.contains("reported_consistent"), "{body}");
+
+    // A stale sample does not rewind the fleet.
+    let (status, _, body) = request(
+        &addr,
+        "POST",
+        "/v1/telemetry",
+        Some("{\"chip\": 0, \"epoch\": 1}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"stale\":true"), "{body}");
+    assert!(body.contains("\"epoch\":3"), "{body}");
+
+    // Unknown chips and runaway epochs are rejected.
+    let (status, _, _) = request(
+        &addr,
+        "POST",
+        "/v1/telemetry",
+        Some("{\"chip\": 99, \"epoch\": 4}"),
+    );
+    assert_eq!(status, 404);
+    let (status, _, _) = request(
+        &addr,
+        "POST",
+        "/v1/telemetry",
+        Some("{\"chip\": 0, \"epoch\": 999999}"),
+    );
+    assert_eq!(status, 400);
+
+    let (status, _, body) = request(&addr, "GET", "/v1/fleet/summary", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"chips\": 6"), "{body}");
+
+    let (status, _, body) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("agequant_http_requests_total{endpoint=\"telemetry\",code=\"2xx\"} 2"),
+        "{body}"
+    );
+    assert!(
+        body.contains("agequant_http_request_duration_seconds_bucket"),
+        "{body}"
+    );
+    assert!(
+        body.contains("agequant_engine_cache_events_total"),
+        "{body}"
+    );
+
+    handle.shutdown_and_join();
+
+    // The journal the server wrote is well-formed JSONL with the
+    // epoch-0 plans and the telemetry-driven events.
+    let text = std::fs::read_to_string(&journal).expect("journal file");
+    let events = agequant_fleet::journal::from_jsonl(&text).expect("journal parses");
+    assert!(!events.is_empty());
+    assert!(events.iter().any(|e| e.epoch == 0));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -112,6 +112,20 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// `Value` is its own data model: serializing is a clone, so callers
+// can hand-build JSON trees (upstream's `serde_json::Value` idiom).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 macro_rules! impl_signed {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
