@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::profile::TechProfile;
 use crate::VthShift;
 
 /// Converts a threshold shift into a multiplicative gate-delay factor.
@@ -14,17 +15,17 @@ use crate::VthShift;
 /// derate(ΔVth) = ((Vdd − Vth₀) / (Vdd − Vth₀ − ΔVth))^α
 /// ```
 ///
-/// [`DelayDerating::intel14nm`] uses the operating point Vdd = 0.80 V,
-/// Vth₀ = 0.35 V, with the saturation exponent α calibrated so the
-/// end-of-life point ΔVth = 50 mV yields the paper's measured **+23%**
-/// critical-path delay increase.
+/// [`TechProfile::derating`] calibrates α from a profile;
+/// [`TechProfile::INTEL14NM`] uses the operating point Vdd = 0.80 V,
+/// Vth₀ = 0.35 V, with α chosen so the end-of-life point ΔVth = 50 mV
+/// yields the paper's measured **+23%** critical-path delay increase.
 ///
 /// # Example
 ///
 /// ```
-/// use agequant_aging::{DelayDerating, VthShift};
+/// use agequant_aging::{TechProfile, VthShift};
 ///
-/// let d = DelayDerating::intel14nm();
+/// let d = TechProfile::INTEL14NM.derating();
 /// assert_eq!(d.factor(VthShift::FRESH), 1.0);
 /// let eol = d.factor(VthShift::from_millivolts(50.0));
 /// assert!((eol - 1.23).abs() < 1e-3);
@@ -37,14 +38,18 @@ pub struct DelayDerating {
 }
 
 impl DelayDerating {
-    /// End-of-life delay increase the 14 nm calibration reproduces (23%).
-    pub const EOL_DELAY_INCREASE: f64 = 0.23;
+    /// End-of-life delay increase the 14 nm calibration reproduces
+    /// (23%), derived from the single [`TechProfile::INTEL14NM`]
+    /// source of truth.
+    pub const EOL_DELAY_INCREASE: f64 = TechProfile::INTEL14NM.eol_delay_increase;
 
-    /// Supply voltage of the 14 nm calibration (volts).
-    pub const VDD_14NM: f64 = 0.80;
+    /// Supply voltage of the 14 nm calibration, volts (from
+    /// [`TechProfile::INTEL14NM`]).
+    pub const VDD_14NM: f64 = TechProfile::INTEL14NM.vdd;
 
-    /// Fresh threshold voltage of the 14 nm calibration (volts).
-    pub const VTH0_14NM: f64 = 0.35;
+    /// Fresh threshold voltage of the 14 nm calibration, volts (from
+    /// [`TechProfile::INTEL14NM`]).
+    pub const VTH0_14NM: f64 = TechProfile::INTEL14NM.vth0;
 
     /// Creates a derating model from an explicit operating point.
     ///
@@ -60,18 +65,6 @@ impl DelayDerating {
         );
         assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
         DelayDerating { vdd, vth0, alpha }
-    }
-
-    /// The 14 nm FinFET calibration: α chosen such that
-    /// `factor(50 mV) = 1.23` at Vdd = 0.80 V, Vth₀ = 0.35 V.
-    #[must_use]
-    pub fn intel14nm() -> Self {
-        let vdd = Self::VDD_14NM;
-        let vth0 = Self::VTH0_14NM;
-        let overdrive = vdd - vth0;
-        // (overdrive / (overdrive - 50 mV))^alpha == 1.23
-        let alpha = (1.0 + Self::EOL_DELAY_INCREASE).ln() / (overdrive / (overdrive - 0.050)).ln();
-        Self::new(vdd, vth0, alpha)
     }
 
     /// Supply voltage in volts.
@@ -127,8 +120,9 @@ impl DelayDerating {
 }
 
 impl Default for DelayDerating {
+    /// The 14 nm FinFET calibration.
     fn default() -> Self {
-        Self::intel14nm()
+        TechProfile::INTEL14NM.derating()
     }
 }
 
@@ -138,18 +132,15 @@ mod tests {
 
     #[test]
     fn fresh_factor_is_one() {
-        assert_eq!(DelayDerating::intel14nm().factor(VthShift::FRESH), 1.0);
-    }
-
-    #[test]
-    fn eol_factor_is_23_percent() {
-        let f = DelayDerating::intel14nm().factor(VthShift::from_millivolts(50.0));
-        assert!((f - 1.23).abs() < 1e-12, "got {f}");
+        assert_eq!(
+            TechProfile::INTEL14NM.derating().factor(VthShift::FRESH),
+            1.0
+        );
     }
 
     #[test]
     fn factor_monotone_in_shift() {
-        let d = DelayDerating::intel14nm();
+        let d = TechProfile::INTEL14NM.derating();
         let mut last = 0.0;
         for mv in 0..=50 {
             let f = d.factor(VthShift::from_millivolts(f64::from(mv)));
@@ -161,7 +152,7 @@ mod tests {
     #[test]
     fn intermediate_levels_match_hand_calc() {
         // (0.45/0.44)^alpha etc. — spot check one level end to end.
-        let d = DelayDerating::intel14nm();
+        let d = TechProfile::INTEL14NM.derating();
         let f10 = d.factor(VthShift::from_millivolts(10.0));
         let expect = (0.45f64 / 0.44).powf(d.alpha());
         assert!((f10 - expect).abs() < 1e-12);
@@ -170,7 +161,7 @@ mod tests {
 
     #[test]
     fn current_loss_consistent_with_factor() {
-        let d = DelayDerating::intel14nm();
+        let d = TechProfile::INTEL14NM.derating();
         let s = VthShift::from_millivolts(30.0);
         let loss = d.on_current_loss(s);
         assert!((1.0 / (1.0 - loss) - d.factor(s)).abs() < 1e-12);
@@ -179,7 +170,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "overdrive")]
     fn shift_beyond_overdrive_panics() {
-        let _ = DelayDerating::intel14nm().factor(VthShift::from_volts(0.46));
+        let _ = TechProfile::INTEL14NM
+            .derating()
+            .factor(VthShift::from_volts(0.46));
     }
 
     #[test]

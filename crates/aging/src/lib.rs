@@ -7,14 +7,21 @@
 //!
 //! * [`VthShift`] — a newtype for the aging-induced threshold-voltage
 //!   increase ΔVth, the paper's unbiased measure of aging level,
-//! * [`NbtiModel`] — power-law NBTI degradation kinetics mapping stress
-//!   time to ΔVth (and back), calibrated so that the projected 10-year
-//!   lifetime corresponds to ΔVth = 50 mV as reported for Intel's 14 nm
-//!   FinFET technology,
+//! * [`TechProfile`] — one technology's calibration (Vdd, Vth₀, EOL
+//!   shift, lifetime, exponent, EOL delay increase), the single source
+//!   of truth the concrete models derive from;
+//!   [`TechProfile::INTEL14NM`] is the paper's 14 nm FinFET node,
+//! * [`DegradationModel`] — the device-level contract (kinetics
+//!   forward/backward, delay cost, stable cache key) every layer above
+//!   programs against, with three shipped implementations:
+//!   [`NbtiPowerLaw`] (the paper's power-law NBTI), [`HciModel`]
+//!   (workload-proportional √t kinetics), and [`SurrogateModel`]
+//!   (table-driven, e.g. ML-predicted traces); [`ModelSpec`] is their
+//!   serializable closed sum,
+//! * [`NbtiModel`] — the underlying power-law NBTI kinetics mapping
+//!   stress time to ΔVth (and back),
 //! * [`DelayDerating`] — an alpha-power-law drain-current model that
 //!   converts a ΔVth into a multiplicative gate-delay derating factor,
-//!   calibrated so that end-of-life (50 mV) degrades the critical path
-//!   by the paper's measured 23%,
 //! * [`AgingScenario`] — a bundle of the above plus the standard sweep
 //!   of aging levels ({0, 10, 20, 30, 40, 50} mV) used throughout the
 //!   evaluation.
@@ -22,15 +29,19 @@
 //! # Example
 //!
 //! ```
-//! use agequant_aging::{AgingScenario, VthShift};
+//! use agequant_aging::{DegradationModel, ModelSpec, TechProfile};
 //!
-//! let scenario = AgingScenario::intel14nm();
+//! let scenario = TechProfile::INTEL14NM.scenario();
 //! // End of life: ten years of stress.
 //! let eol = scenario.nbti().vth_shift_at(scenario.lifetime_years());
 //! assert!((eol.millivolts() - 50.0).abs() < 1e-6);
 //! // The paper's headline: +23% critical-path delay at end of life.
 //! let derate = scenario.derating().factor(eol);
 //! assert!((derate - 1.23).abs() < 1e-3);
+//! // The same physics through the pluggable model stack.
+//! let model = ModelSpec::default();
+//! assert_eq!(model.model_key(), "nbti");
+//! assert_eq!(model.shift_at(10.0), eol);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -38,12 +49,16 @@
 
 mod derating;
 mod mission;
+mod model;
 mod nbti;
+mod profile;
 mod scenario;
 mod vth;
 
 pub use derating::DelayDerating;
 pub use mission::{MissionError, MissionProfile, Phase};
+pub use model::{DegradationModel, HciModel, ModelSpec, NbtiPowerLaw, SurrogateModel};
 pub use nbti::NbtiModel;
+pub use profile::TechProfile;
 pub use scenario::{AgingScenario, AGING_SWEEP_MV};
 pub use vth::VthShift;

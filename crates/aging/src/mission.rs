@@ -13,6 +13,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::model::DegradationModel;
 use crate::{NbtiModel, VthShift};
 
 /// NBTI temperature-acceleration activation energy proxy: the
@@ -129,7 +130,7 @@ impl Phase {
 /// # Example
 ///
 /// ```
-/// use agequant_aging::{MissionProfile, NbtiModel, Phase};
+/// use agequant_aging::{MissionProfile, Phase, TechProfile};
 ///
 /// # fn main() -> Result<(), agequant_aging::MissionError> {
 /// // A camera NPU: 30% busy at 70 °C, idle (cool, unstressed) rest.
@@ -137,7 +138,7 @@ impl Phase {
 ///     Phase { fraction: 0.3, duty_cycle: 0.9, temperature_c: 70.0 },
 ///     Phase { fraction: 0.7, duty_cycle: 0.1, temperature_c: 40.0 },
 /// ])?;
-/// let nbti = NbtiModel::intel14nm();
+/// let nbti = TechProfile::INTEL14NM.nbti();
 /// let easy = profile.vth_shift_at(&nbti, 10.0);
 /// let harsh = MissionProfile::worst_case().vth_shift_at(&nbti, 10.0);
 /// assert!(easy < harsh);
@@ -210,14 +211,32 @@ impl MissionProfile {
     pub fn years_to_reach(&self, nbti: &NbtiModel, shift: VthShift) -> f64 {
         nbti.years_to_reach(shift) / self.acceleration()
     }
+
+    /// ΔVth after `years` under this profile for any degradation
+    /// model: the model's kinetics evaluated at the
+    /// acceleration-scaled effective stress time. For the power-law
+    /// NBTI model this is bit-identical to
+    /// [`MissionProfile::vth_shift_at`].
+    #[must_use]
+    pub fn shift_with<M: DegradationModel>(&self, model: &M, years: f64) -> VthShift {
+        model.shift_at(self.acceleration() * years)
+    }
+
+    /// The wall-clock years at which this profile reaches `shift`
+    /// under any degradation model.
+    #[must_use]
+    pub fn years_to_reach_with<M: DegradationModel>(&self, model: &M, shift: VthShift) -> f64 {
+        model.years_to_reach(shift) / self.acceleration()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TechProfile;
 
     fn nbti() -> NbtiModel {
-        NbtiModel::intel14nm()
+        TechProfile::INTEL14NM.nbti()
     }
 
     #[test]
@@ -329,6 +348,7 @@ mod proptests {
     use proptest::prelude::*;
 
     use super::*;
+    use crate::TechProfile;
 
     /// Builds a valid profile from parallel raw draws: fractions are
     /// normalized to sum to 1, duties kept away from 0 so the
@@ -363,7 +383,7 @@ mod proptests {
                 .map(|(i, &f)| (f, duties[i], temps[i]))
                 .collect();
             let profile = profile_from(&raw);
-            let nbti = NbtiModel::intel14nm();
+            let nbti = TechProfile::INTEL14NM.nbti();
             let shift = profile.vth_shift_at(&nbti, years);
             let back = profile.years_to_reach(&nbti, shift);
             prop_assert!(

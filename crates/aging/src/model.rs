@@ -1,0 +1,719 @@
+//! The pluggable degradation-model stack.
+//!
+//! The paper's flow consumes only a ΔVth→delay curve; nothing above
+//! the device layer cares *which* physics produced it. The
+//! [`DegradationModel`] trait captures exactly that contract — shift
+//! kinetics forward ([`DegradationModel::shift_at`]) and backward
+//! ([`DegradationModel::years_to_reach`]), the delay cost of a shift
+//! ([`DegradationModel::delay_factor`]), and a stable identity for
+//! caches and checkpoints ([`DegradationModel::model_key`]).
+//!
+//! Three implementations ship:
+//!
+//! | model | kinetics | reference |
+//! |---|---|---|
+//! | [`NbtiPowerLaw`] | `ΔVth = A·(d·t)ⁿ` | the paper's NBTI calibration |
+//! | [`HciModel`] | `ΔVth = EOL·a·√(t/L)` | HCI-style, workload-proportional |
+//! | [`SurrogateModel`] | piecewise-linear `(years, ΔVth)` table | ML-predicted traces (Genssler et al.) |
+//!
+//! [`ModelSpec`] is the serializable closed sum of the zoo: what
+//! configs, checkpoints, and the `/v1/plan` API carry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::derating::DelayDerating;
+use crate::nbti::NbtiModel;
+use crate::profile::{fnv1a, TechProfile, FNV_OFFSET};
+use crate::vth::VthShift;
+
+/// The device-level contract every consumer above the device layer
+/// programs against: kinetics forward and backward, delay cost, and a
+/// stable cache/serde identity.
+pub trait DegradationModel {
+    /// The technology calibration behind the model.
+    fn profile(&self) -> &TechProfile;
+
+    /// ΔVth accumulated after `years` of stress.
+    fn shift_at(&self, years: f64) -> VthShift;
+
+    /// Years of stress until `shift` is reached: 0 for a fresh shift,
+    /// infinity if the model never reaches it.
+    fn years_to_reach(&self, shift: VthShift) -> f64;
+
+    /// A stable key identifying everything that affects the model's
+    /// ΔVth→delay mapping — what the evaluation-engine caches and
+    /// checkpoints key on. Two models may share a key exactly when a
+    /// characterized library for one is valid for the other.
+    fn model_key(&self) -> String;
+
+    /// The relative delay increase `shift` causes (≥ 1).
+    ///
+    /// Every shipped model derates through the profile's alpha-power
+    /// law; a model with its own delay physics overrides this.
+    fn delay_factor(&self, shift: VthShift) -> f64 {
+        self.derating().factor(shift)
+    }
+
+    /// The delay derating the model characterizes libraries with.
+    fn derating(&self) -> DelayDerating {
+        self.profile().derating()
+    }
+}
+
+/// A profile's cache-key suffix: the bare kind for the default 14 nm
+/// calibration, `kind-<fingerprint>` otherwise.
+fn keyed(kind: &str, profile: &TechProfile) -> String {
+    if profile.is_default() {
+        kind.to_string()
+    } else {
+        format!("{kind}-{:016x}", profile.fingerprint())
+    }
+}
+
+/// The paper's power-law NBTI kinetics, bound to a [`TechProfile`]:
+/// `ΔVth(t) = A·(d·t)ⁿ` with `A` calibrated so the EOL shift lands at
+/// end of lifetime. Behaviour-preserving over the pre-trait
+/// `NbtiModel::intel14nm()` path — bit-identical for the default
+/// profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NbtiPowerLaw {
+    /// The technology calibration.
+    pub profile: TechProfile,
+    /// Fraction of time under stress, in `[0, 1]`.
+    pub duty_cycle: f64,
+}
+
+impl NbtiPowerLaw {
+    /// Full-stress NBTI kinetics for `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid.
+    #[must_use]
+    pub fn new(profile: TechProfile) -> Self {
+        profile.validate();
+        NbtiPowerLaw {
+            profile,
+            duty_cycle: 1.0,
+        }
+    }
+
+    /// The calibrated [`NbtiModel`] kinetics.
+    fn kinetics(&self) -> NbtiModel {
+        self.profile.nbti().with_duty_cycle(self.duty_cycle)
+    }
+}
+
+impl DegradationModel for NbtiPowerLaw {
+    fn profile(&self) -> &TechProfile {
+        &self.profile
+    }
+
+    fn shift_at(&self, years: f64) -> VthShift {
+        self.kinetics().vth_shift_at(years)
+    }
+
+    fn years_to_reach(&self, shift: VthShift) -> f64 {
+        self.kinetics().years_to_reach(shift)
+    }
+
+    // Duty cycle shapes kinetics only, never the ΔVth→delay mapping,
+    // so it stays out of the key: all duty variants share libraries.
+    fn model_key(&self) -> String {
+        keyed("nbti", &self.profile)
+    }
+}
+
+/// An HCI-style workload-proportional model: hot-carrier damage grows
+/// with switching activity and follows the classic √t trend,
+/// `ΔVth(t) = EOL · a · √(t / lifetime)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HciModel {
+    /// The technology calibration.
+    pub profile: TechProfile,
+    /// Switching activity factor, in `[0, 1]`.
+    pub activity: f64,
+}
+
+impl HciModel {
+    /// HCI kinetics for `profile` at `activity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid or `activity` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn new(profile: TechProfile, activity: f64) -> Self {
+        profile.validate();
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity must lie in [0, 1], got {activity}"
+        );
+        HciModel { profile, activity }
+    }
+}
+
+impl DegradationModel for HciModel {
+    fn profile(&self) -> &TechProfile {
+        &self.profile
+    }
+
+    fn shift_at(&self, years: f64) -> VthShift {
+        let scaled = (years / self.profile.lifetime_years).sqrt();
+        VthShift::from_volts(self.profile.eol_shift_v * self.activity * scaled)
+    }
+
+    fn years_to_reach(&self, shift: VthShift) -> f64 {
+        if shift.is_fresh() {
+            return 0.0;
+        }
+        if self.activity == 0.0 {
+            return f64::INFINITY;
+        }
+        let r = shift.volts() / (self.profile.eol_shift_v * self.activity);
+        self.profile.lifetime_years * r * r
+    }
+
+    // Like NBTI's duty cycle, activity never touches the delay
+    // mapping, so all activity variants share one cache key.
+    fn model_key(&self) -> String {
+        keyed("hci", &self.profile)
+    }
+}
+
+/// A table-driven surrogate: piecewise-linear interpolation of an
+/// arbitrary `(years, ΔVth volts)` curve — the hook for ML-predicted
+/// aging traces à la Genssler et al. The curve is anchored at the
+/// fresh origin, interpolated between points, and held at its last
+/// value past the table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateModel {
+    profile: TechProfile,
+    points: Vec<(f64, f64)>,
+}
+
+impl SurrogateModel {
+    /// Builds a surrogate over a validated curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the profile is invalid or the curve is
+    /// not a monotone table: at least two points, finite, years
+    /// non-negative and strictly increasing, shifts non-negative and
+    /// non-decreasing.
+    pub fn new(profile: TechProfile, points: Vec<(f64, f64)>) -> Result<Self, String> {
+        let violations = profile.violations();
+        if !violations.is_empty() {
+            return Err(format!("invalid profile: {}", violations.join("; ")));
+        }
+        if points.len() < 2 {
+            return Err(format!(
+                "surrogate curve needs at least 2 points, got {}",
+                points.len()
+            ));
+        }
+        for pair in points.windows(2) {
+            let ((y0, v0), (y1, v1)) = (pair[0], pair[1]);
+            if !(y0.is_finite() && y1.is_finite() && v0.is_finite() && v1.is_finite()) {
+                return Err("surrogate curve points must be finite".to_string());
+            }
+            if y1 <= y0 {
+                return Err(format!("curve years must strictly increase ({y0} ≥ {y1})"));
+            }
+            if v1 < v0 {
+                return Err(format!("curve shifts must not decrease ({v0} → {v1})"));
+            }
+        }
+        let (y0, v0) = points[0];
+        if y0 < 0.0 || v0 < 0.0 {
+            return Err(format!("curve must start at non-negative ({y0}, {v0})"));
+        }
+        Ok(SurrogateModel { profile, points })
+    }
+
+    /// The interpolation table, `(years, ΔVth volts)` pairs.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    fn shift_v_at(&self, years: f64) -> f64 {
+        let pts = &self.points;
+        let (first_y, first_v) = pts[0];
+        if years <= first_y {
+            if first_y <= 0.0 {
+                return first_v;
+            }
+            // Implicit fresh origin before the first tabulated point.
+            return first_v * (years.max(0.0) / first_y);
+        }
+        for pair in pts.windows(2) {
+            let ((y0, v0), (y1, v1)) = (pair[0], pair[1]);
+            if years <= y1 {
+                return v0 + (v1 - v0) * ((years - y0) / (y1 - y0));
+            }
+        }
+        pts[pts.len() - 1].1
+    }
+}
+
+impl DegradationModel for SurrogateModel {
+    fn profile(&self) -> &TechProfile {
+        &self.profile
+    }
+
+    fn shift_at(&self, years: f64) -> VthShift {
+        VthShift::from_volts(self.shift_v_at(years))
+    }
+
+    fn years_to_reach(&self, shift: VthShift) -> f64 {
+        let v = shift.volts();
+        if v <= 0.0 {
+            return 0.0;
+        }
+        let pts = &self.points;
+        let (first_y, first_v) = pts[0];
+        if v <= first_v {
+            if first_y <= 0.0 || first_v == 0.0 {
+                return first_y.max(0.0);
+            }
+            return first_y * (v / first_v);
+        }
+        for pair in pts.windows(2) {
+            let ((y0, v0), (y1, v1)) = (pair[0], pair[1]);
+            if v <= v1 {
+                // Flat segments report the earliest year reaching v.
+                if v1 > v0 {
+                    return y0 + (y1 - y0) * ((v - v0) / (v1 - v0));
+                }
+                return y0;
+            }
+        }
+        f64::INFINITY
+    }
+
+    // The curve *is* the model, so it joins the fingerprint even for
+    // the default profile: two different traces never share a key.
+    fn model_key(&self) -> String {
+        let mut flat: Vec<f64> = Vec::with_capacity(self.points.len() * 2);
+        for &(y, v) in &self.points {
+            flat.push(y);
+            flat.push(v);
+        }
+        let fp = fnv1a(&flat, fnv1a(&[], FNV_OFFSET) ^ self.profile.fingerprint());
+        format!("surrogate-{fp:016x}")
+    }
+}
+
+/// The demo surrogate trace shipped with the model zoo: the paper's
+/// 14 nm NBTI curve sampled at six mission ages.
+const DEMO_CURVE: [(f64, f64); 6] = [
+    (0.0, 0.0),
+    (0.5, 0.0300),
+    (1.0, 0.0338),
+    (2.0, 0.0380),
+    (5.0, 0.0444),
+    (10.0, 0.0500),
+];
+
+/// The serializable closed sum of the shipped model zoo — what
+/// configs, fleet checkpoints, and the `/v1/plan` API carry. Each
+/// variant delegates to its standalone [`DegradationModel`] impl.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// The paper's power-law NBTI kinetics.
+    Nbti(NbtiPowerLaw),
+    /// HCI-style workload-proportional kinetics.
+    Hci(HciModel),
+    /// A table-driven (possibly ML-predicted) trace.
+    Surrogate(SurrogateModel),
+}
+
+impl ModelSpec {
+    /// The names [`ModelSpec::by_name`] resolves, in menu order.
+    pub const NAMES: [&'static str; 3] = ["nbti", "hci", "surrogate"];
+
+    /// Power-law NBTI at full stress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid.
+    #[must_use]
+    pub fn nbti(profile: TechProfile) -> Self {
+        ModelSpec::Nbti(NbtiPowerLaw::new(profile))
+    }
+
+    /// HCI-style kinetics at the given activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid or `activity` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn hci(profile: TechProfile, activity: f64) -> Self {
+        ModelSpec::Hci(HciModel::new(profile, activity))
+    }
+
+    /// A surrogate over a validated `(years, ΔVth)` curve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SurrogateModel::new`] validation failures.
+    pub fn surrogate(profile: TechProfile, points: Vec<(f64, f64)>) -> Result<Self, String> {
+        SurrogateModel::new(profile, points).map(ModelSpec::Surrogate)
+    }
+
+    /// The shipped demo surrogate: the paper's NBTI curve tabulated at
+    /// six ages.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the demo curve is a valid table.
+    #[must_use]
+    pub fn surrogate_demo() -> Self {
+        Self::surrogate(TechProfile::INTEL14NM, DEMO_CURVE.to_vec())
+            .expect("demo curve is a valid table")
+    }
+
+    /// Resolves a zoo model by name (`nbti`, `hci`, `surrogate`), all
+    /// on the default 14 nm profile.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "nbti" => Some(Self::default()),
+            "hci" => Some(Self::hci(TechProfile::INTEL14NM, 1.0)),
+            "surrogate" => Some(Self::surrogate_demo()),
+            _ => None,
+        }
+    }
+
+    /// The variant's zoo name.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ModelSpec::Nbti(_) => "nbti",
+            ModelSpec::Hci(_) => "hci",
+            ModelSpec::Surrogate(_) => "surrogate",
+        }
+    }
+
+    /// A one-line human description for model listings.
+    #[must_use]
+    pub fn description(&self) -> &'static str {
+        match self {
+            ModelSpec::Nbti(_) => "power-law NBTI kinetics (the paper's calibration)",
+            ModelSpec::Hci(_) => "HCI-style workload-proportional kinetics (√t trend)",
+            ModelSpec::Surrogate(_) => "table-driven surrogate trace (piecewise-linear)",
+        }
+    }
+
+    /// The same model kind rebound to another profile — the fleet's
+    /// "perturb a [`TechProfile`]" process-variation hook. Surrogate
+    /// curves rescale with the profile's EOL shift so the perturbed
+    /// trace still ends at the perturbed EOL.
+    #[must_use]
+    pub fn with_profile(&self, profile: TechProfile) -> Self {
+        match self {
+            ModelSpec::Nbti(m) => ModelSpec::Nbti(NbtiPowerLaw { profile, ..*m }),
+            ModelSpec::Hci(m) => ModelSpec::Hci(HciModel { profile, ..*m }),
+            ModelSpec::Surrogate(m) => {
+                let scale = profile.eol_shift_v / m.profile.eol_shift_v;
+                ModelSpec::Surrogate(SurrogateModel {
+                    profile,
+                    points: m.points.iter().map(|&(y, v)| (y, v * scale)).collect(),
+                })
+            }
+        }
+    }
+
+    /// The same model at another stress level: duty cycle for NBTI,
+    /// activity for HCI, a linear trace rescale for the surrogate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty_cycle` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_duty_cycle(&self, duty_cycle: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&duty_cycle),
+            "duty cycle must lie in [0, 1], got {duty_cycle}"
+        );
+        match self {
+            ModelSpec::Nbti(m) => ModelSpec::Nbti(NbtiPowerLaw { duty_cycle, ..*m }),
+            ModelSpec::Hci(m) => ModelSpec::Hci(HciModel {
+                activity: duty_cycle,
+                ..*m
+            }),
+            ModelSpec::Surrogate(m) => ModelSpec::Surrogate(SurrogateModel {
+                profile: m.profile,
+                points: m.points.iter().map(|&(y, v)| (y, v * duty_cycle)).collect(),
+            }),
+        }
+    }
+}
+
+impl Default for ModelSpec {
+    /// The paper's default: full-stress NBTI on the 14 nm calibration.
+    fn default() -> Self {
+        Self::nbti(TechProfile::INTEL14NM)
+    }
+}
+
+impl DegradationModel for ModelSpec {
+    fn profile(&self) -> &TechProfile {
+        match self {
+            ModelSpec::Nbti(m) => m.profile(),
+            ModelSpec::Hci(m) => m.profile(),
+            ModelSpec::Surrogate(m) => m.profile(),
+        }
+    }
+
+    fn shift_at(&self, years: f64) -> VthShift {
+        match self {
+            ModelSpec::Nbti(m) => m.shift_at(years),
+            ModelSpec::Hci(m) => m.shift_at(years),
+            ModelSpec::Surrogate(m) => m.shift_at(years),
+        }
+    }
+
+    fn years_to_reach(&self, shift: VthShift) -> f64 {
+        match self {
+            ModelSpec::Nbti(m) => m.years_to_reach(shift),
+            ModelSpec::Hci(m) => m.years_to_reach(shift),
+            ModelSpec::Surrogate(m) => m.years_to_reach(shift),
+        }
+    }
+
+    fn model_key(&self) -> String {
+        match self {
+            ModelSpec::Nbti(m) => m.model_key(),
+            ModelSpec::Hci(m) => m.model_key(),
+            ModelSpec::Surrogate(m) => m.model_key(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_nbti_is_bit_identical_to_the_legacy_path() {
+        let model = ModelSpec::default();
+        let legacy = TechProfile::INTEL14NM.nbti();
+        let derating = TechProfile::INTEL14NM.derating();
+        for years in [0.0, 0.3, 1.0, 4.5, 10.0] {
+            assert_eq!(model.shift_at(years), legacy.vth_shift_at(years));
+        }
+        for mv in [0.0, 10.0, 30.0, 50.0] {
+            let shift = VthShift::from_millivolts(mv);
+            assert_eq!(model.delay_factor(shift), derating.factor(shift));
+            assert_eq!(model.years_to_reach(shift), legacy.years_to_reach(shift));
+        }
+    }
+
+    #[test]
+    fn hci_reaches_eol_at_end_of_life() {
+        let model = ModelSpec::hci(TechProfile::INTEL14NM, 1.0);
+        assert_eq!(model.shift_at(10.0), VthShift::from_millivolts(50.0));
+        // √t front-loads damage relative to t^0.17's saturation.
+        assert!(model.shift_at(2.5).millivolts() < 30.0);
+        let back = model.years_to_reach(VthShift::from_millivolts(25.0));
+        assert!((back - 2.5).abs() < 1e-12, "{back}");
+        // Idle parts never accumulate HCI damage.
+        let idle = ModelSpec::hci(TechProfile::INTEL14NM, 0.0);
+        assert!(idle.shift_at(10.0).is_fresh());
+        assert_eq!(
+            idle.years_to_reach(VthShift::from_millivolts(1.0)),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn surrogate_interpolates_saturates_and_inverts() {
+        let model = ModelSpec::surrogate(
+            TechProfile::INTEL14NM,
+            vec![(1.0, 0.010), (3.0, 0.030), (10.0, 0.050)],
+        )
+        .expect("valid curve");
+        // Implicit fresh origin before the first point.
+        assert_eq!(model.shift_at(0.0).volts(), 0.0);
+        assert!((model.shift_at(0.5).volts() - 0.005).abs() < 1e-15);
+        // Linear between points.
+        assert!((model.shift_at(2.0).volts() - 0.020).abs() < 1e-15);
+        // Held at the last value past the table.
+        assert_eq!(model.shift_at(25.0).volts(), 0.050);
+        // Inverse interpolation.
+        let back = model.years_to_reach(VthShift::from_volts(0.020));
+        assert!((back - 2.0).abs() < 1e-12, "{back}");
+        assert_eq!(
+            model.years_to_reach(VthShift::from_volts(0.060)),
+            f64::INFINITY
+        );
+        assert_eq!(model.years_to_reach(VthShift::FRESH), 0.0);
+    }
+
+    #[test]
+    fn surrogate_rejects_malformed_curves() {
+        let p = TechProfile::INTEL14NM;
+        assert!(ModelSpec::surrogate(p, vec![(0.0, 0.0)]).is_err());
+        assert!(ModelSpec::surrogate(p, vec![(1.0, 0.01), (1.0, 0.02)]).is_err());
+        assert!(ModelSpec::surrogate(p, vec![(0.0, 0.02), (1.0, 0.01)]).is_err());
+        assert!(ModelSpec::surrogate(p, vec![(0.0, 0.0), (1.0, f64::NAN)]).is_err());
+        assert!(ModelSpec::surrogate(p, vec![(-1.0, 0.0), (1.0, 0.01)]).is_err());
+    }
+
+    #[test]
+    fn model_keys_are_stable_and_distinct() {
+        let nbti = ModelSpec::default();
+        let hci = ModelSpec::by_name("hci").expect("zoo model");
+        let surrogate = ModelSpec::by_name("surrogate").expect("zoo model");
+        assert_eq!(nbti.model_key(), "nbti");
+        assert_eq!(hci.model_key(), "hci");
+        assert!(surrogate.model_key().starts_with("surrogate-"));
+        // Stress knobs shape kinetics only, never the cached delay
+        // mapping: NBTI/HCI keys ignore them.
+        assert_eq!(nbti.with_duty_cycle(0.5).model_key(), "nbti");
+        assert_eq!(hci.with_duty_cycle(0.5).model_key(), "hci");
+        // A perturbed profile is a different characterization model.
+        let perturbed = TechProfile {
+            eol_shift_v: 0.048,
+            ..TechProfile::INTEL14NM
+        };
+        let jittered = nbti.with_profile(perturbed);
+        assert_ne!(jittered.model_key(), "nbti");
+        assert!(jittered.model_key().starts_with("nbti-"));
+        assert_eq!(
+            jittered.model_key(),
+            nbti.with_profile(perturbed).model_key()
+        );
+        // Different traces are different models even on one profile.
+        let other = ModelSpec::surrogate(TechProfile::INTEL14NM, vec![(0.0, 0.0), (10.0, 0.045)])
+            .expect("valid curve");
+        assert_ne!(other.model_key(), surrogate.model_key());
+    }
+
+    #[test]
+    fn zoo_resolves_by_name_only() {
+        for name in ModelSpec::NAMES {
+            let model = ModelSpec::by_name(name).expect("shipped name");
+            assert_eq!(model.kind_name(), name);
+            assert!(!model.description().is_empty());
+        }
+        assert!(ModelSpec::by_name("tddb").is_none());
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        for name in ModelSpec::NAMES {
+            let model = ModelSpec::by_name(name).expect("shipped name");
+            let json = serde_json::to_string(&model).expect("serializes");
+            let back: ModelSpec = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, model);
+            assert_eq!(back.model_key(), model.model_key());
+        }
+    }
+
+    #[test]
+    fn perturbed_surrogate_rescales_its_trace() {
+        let base = ModelSpec::surrogate_demo();
+        let perturbed = TechProfile {
+            eol_shift_v: 0.025,
+            ..TechProfile::INTEL14NM
+        };
+        let scaled = base.with_profile(perturbed);
+        assert_eq!(scaled.shift_at(10.0).volts(), 0.025);
+        assert!(scaled.shift_at(1.0).volts() < base.shift_at(1.0).volts());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    /// Every shipped model at a given stress level, on the default
+    /// profile and on a perturbed one.
+    fn zoo(duty: f64) -> Vec<ModelSpec> {
+        let perturbed = TechProfile {
+            eol_shift_v: 0.042,
+            exponent: 0.21,
+            ..TechProfile::INTEL14NM
+        };
+        let mut models = Vec::new();
+        for profile in [TechProfile::INTEL14NM, perturbed] {
+            models.push(ModelSpec::nbti(profile).with_duty_cycle(duty));
+            models.push(ModelSpec::hci(profile, duty));
+            models.push(
+                ModelSpec::surrogate_demo()
+                    .with_profile(profile)
+                    .with_duty_cycle(duty),
+            );
+        }
+        models
+    }
+
+    proptest! {
+        /// `shift_at` is monotone non-decreasing in years for every
+        /// shipped model.
+        #[test]
+        fn shift_monotone_in_years(a in 0.0f64..12.0, b in 0.0f64..12.0, duty in 0.0f64..1.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            for model in zoo(duty) {
+                let s_lo = model.shift_at(lo).volts();
+                let s_hi = model.shift_at(hi).volts();
+                prop_assert!(s_hi + 1e-15 >= s_lo, "{}: {s_lo} > {s_hi}", model.model_key());
+            }
+        }
+
+        /// `shift_at` is monotone non-decreasing in the stress knob
+        /// (duty cycle / activity / trace scale) for every model.
+        #[test]
+        fn shift_monotone_in_duty(years in 0.0f64..12.0, d1 in 0.0f64..1.0, d2 in 0.0f64..1.0) {
+            let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            for (slow, fast) in zoo(lo).into_iter().zip(zoo(hi)) {
+                let s_slow = slow.shift_at(years).volts();
+                let s_fast = fast.shift_at(years).volts();
+                prop_assert!(s_fast + 1e-15 >= s_slow, "{}: {s_slow} > {s_fast}", slow.model_key());
+            }
+        }
+
+        /// `delay_factor` is exactly 1 fresh and monotone in shift.
+        #[test]
+        fn delay_factor_monotone_and_unit_when_fresh(
+            a in 0.0f64..0.045,
+            b in 0.0f64..0.045,
+            duty in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            for model in zoo(duty) {
+                prop_assert!((model.delay_factor(VthShift::FRESH) - 1.0).abs() < 1e-15);
+                let f_lo = model.delay_factor(VthShift::from_volts(lo));
+                let f_hi = model.delay_factor(VthShift::from_volts(hi));
+                prop_assert!(f_lo >= 1.0);
+                prop_assert!(f_hi + 1e-12 >= f_lo);
+            }
+        }
+
+        /// `years_to_reach` inverts `shift_at`: re-evaluating the
+        /// kinetics at the inverted age reproduces the shift. (Stated
+        /// through the shift so models with flat trace segments are
+        /// held to the same contract.)
+        #[test]
+        fn years_to_reach_inverts_shift_at(years in 0.01f64..10.0, duty in 0.05f64..1.0) {
+            for model in zoo(duty) {
+                let shift = model.shift_at(years);
+                let back = model.years_to_reach(shift);
+                prop_assert!(back.is_finite(), "{}: {back}", model.model_key());
+                let again = model.shift_at(back).volts();
+                prop_assert!(
+                    (again - shift.volts()).abs() <= 1e-9 * shift.volts().max(1e-6),
+                    "{}: {} → {back} y → {again}",
+                    model.model_key(),
+                    shift.volts()
+                );
+            }
+        }
+    }
+}

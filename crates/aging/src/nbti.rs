@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::profile::TechProfile;
 use crate::VthShift;
 
 /// Seconds in one (Julian) year.
@@ -29,9 +30,9 @@ const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
 /// # Example
 ///
 /// ```
-/// use agequant_aging::NbtiModel;
+/// use agequant_aging::{NbtiModel, TechProfile};
 ///
-/// let model = NbtiModel::intel14nm();
+/// let model = TechProfile::INTEL14NM.nbti();
 /// let after_one_year = model.vth_shift_at(1.0);
 /// // Power-law front-loading: one year already costs > 10 mV.
 /// assert!(after_one_year.millivolts() > 10.0);
@@ -48,14 +49,17 @@ pub struct NbtiModel {
 }
 
 impl NbtiModel {
-    /// The NBTI time exponent used for the 14 nm calibration.
-    pub const DEFAULT_EXPONENT: f64 = 0.17;
+    /// The NBTI time exponent used for the 14 nm calibration, derived
+    /// from the single [`TechProfile::INTEL14NM`] source of truth.
+    pub const DEFAULT_EXPONENT: f64 = TechProfile::INTEL14NM.exponent;
 
-    /// End-of-life threshold shift of the calibrated technology, volts.
-    pub const EOL_SHIFT_V: f64 = 0.050;
+    /// End-of-life threshold shift of the calibrated technology, volts
+    /// (from [`TechProfile::INTEL14NM`]).
+    pub const EOL_SHIFT_V: f64 = TechProfile::INTEL14NM.eol_shift_v;
 
-    /// Projected lifetime of the calibrated technology, years.
-    pub const LIFETIME_YEARS: f64 = 10.0;
+    /// Projected lifetime of the calibrated technology, years (from
+    /// [`TechProfile::INTEL14NM`]).
+    pub const LIFETIME_YEARS: f64 = TechProfile::INTEL14NM.lifetime_years;
 
     /// Builds a model calibrated so `vth_shift_at(lifetime_years)` equals
     /// `eol_shift` under full (duty cycle 1) stress.
@@ -82,16 +86,6 @@ impl NbtiModel {
             exponent,
             duty_cycle: 1.0,
         }
-    }
-
-    /// The paper's calibration: ΔVth(10 y) = 50 mV, n = 0.17.
-    #[must_use]
-    pub fn intel14nm() -> Self {
-        Self::calibrated(
-            VthShift::from_volts(Self::EOL_SHIFT_V),
-            Self::LIFETIME_YEARS,
-            Self::DEFAULT_EXPONENT,
-        )
     }
 
     /// Returns a copy with the given stress duty cycle.
@@ -166,8 +160,9 @@ impl NbtiModel {
 }
 
 impl Default for NbtiModel {
+    /// The paper's calibration: ΔVth(10 y) = 50 mV, n = 0.17.
     fn default() -> Self {
-        Self::intel14nm()
+        TechProfile::INTEL14NM.nbti()
     }
 }
 
@@ -177,19 +172,19 @@ mod tests {
 
     #[test]
     fn eol_calibration_is_exact() {
-        let m = NbtiModel::intel14nm();
+        let m = TechProfile::INTEL14NM.nbti();
         let eol = m.vth_shift_at(NbtiModel::LIFETIME_YEARS);
         assert!((eol.volts() - NbtiModel::EOL_SHIFT_V).abs() < 1e-15);
     }
 
     #[test]
     fn fresh_device_has_no_shift() {
-        assert!(NbtiModel::intel14nm().vth_shift_at(0.0).is_fresh());
+        assert!(TechProfile::INTEL14NM.nbti().vth_shift_at(0.0).is_fresh());
     }
 
     #[test]
     fn shift_is_monotone_in_time() {
-        let m = NbtiModel::intel14nm();
+        let m = TechProfile::INTEL14NM.nbti();
         let mut last = -1.0;
         for step in 0..=100 {
             let v = m.vth_shift_at(f64::from(step) * 0.1).volts();
@@ -203,13 +198,15 @@ mod tests {
         // Section 6.1: "ΔVth = 20 mV may correspond to 1-2 years" for
         // realistic (elevated) operating conditions; our full-stress
         // calibration puts it in the same low-single-digit-year range.
-        let years = NbtiModel::intel14nm().years_to_reach(VthShift::from_millivolts(20.0));
+        let years = TechProfile::INTEL14NM
+            .nbti()
+            .years_to_reach(VthShift::from_millivolts(20.0));
         assert!(years > 0.01 && years < 2.0, "got {years}");
     }
 
     #[test]
     fn inverse_round_trips() {
-        let m = NbtiModel::intel14nm().with_duty_cycle(0.6);
+        let m = TechProfile::INTEL14NM.nbti().with_duty_cycle(0.6);
         for years in [0.5, 1.0, 3.3, 10.0] {
             let shift = m.vth_shift_at(years);
             assert!((m.years_to_reach(shift) - years).abs() < 1e-9);
@@ -218,8 +215,8 @@ mod tests {
 
     #[test]
     fn duty_cycle_slows_aging() {
-        let full = NbtiModel::intel14nm();
-        let half = NbtiModel::intel14nm().with_duty_cycle(0.5);
+        let full = TechProfile::INTEL14NM.nbti();
+        let half = TechProfile::INTEL14NM.nbti().with_duty_cycle(0.5);
         assert!(half.vth_shift_at(10.0) < full.vth_shift_at(10.0));
         assert_eq!(
             half.vth_shift_at(10.0),
@@ -230,7 +227,7 @@ mod tests {
 
     #[test]
     fn zero_duty_cycle_never_ages() {
-        let idle = NbtiModel::intel14nm().with_duty_cycle(0.0);
+        let idle = TechProfile::INTEL14NM.nbti().with_duty_cycle(0.0);
         assert!(idle.vth_shift_at(10.0).is_fresh());
         assert_eq!(
             idle.years_to_reach(VthShift::from_millivolts(10.0)),
@@ -240,7 +237,7 @@ mod tests {
 
     #[test]
     fn seconds_wrapper_matches_years() {
-        let m = NbtiModel::intel14nm();
+        let m = TechProfile::INTEL14NM.nbti();
         let a = m.vth_shift_after_seconds(SECONDS_PER_YEAR);
         let b = m.vth_shift_at(1.0);
         assert!((a.volts() - b.volts()).abs() < 1e-15);
@@ -249,6 +246,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "duty cycle")]
     fn bad_duty_cycle_rejected() {
-        let _ = NbtiModel::intel14nm().with_duty_cycle(1.5);
+        let _ = TechProfile::INTEL14NM.nbti().with_duty_cycle(1.5);
     }
 }

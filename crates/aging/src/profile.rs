@@ -1,0 +1,291 @@
+//! Technology calibration profiles.
+//!
+//! A [`TechProfile`] is the single source of truth for one
+//! technology's calibration: supply and threshold voltages, the
+//! end-of-life ΔVth and the lifetime it is reached over, the power-law
+//! exponent of the kinetics, and the delay increase the EOL shift
+//! causes. Every layer that used to hard-code the paper's Intel 14 nm
+//! numbers — `NbtiModel::intel14nm()`, `DelayDerating::intel14nm()`,
+//! `AgingScenario::intel14nm()` — now derives them from
+//! [`TechProfile::INTEL14NM`], so the calibration exists exactly once.
+
+use serde::{Deserialize, Serialize};
+
+use crate::derating::DelayDerating;
+use crate::nbti::NbtiModel;
+use crate::scenario::AgingScenario;
+use crate::vth::VthShift;
+
+/// One technology's aging calibration: everything needed to build the
+/// device-level models for that node.
+///
+/// Profiles are plain data (`Copy`, serde) so fleet checkpoints can
+/// carry the per-chip process-variation-perturbed profile, and so a
+/// profile can be fingerprinted into a stable cache key (see
+/// [`TechProfile::fingerprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechProfile {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Fresh threshold voltage, volts.
+    pub vth0: f64,
+    /// End-of-life ΔVth, volts, reached after `lifetime_years`.
+    pub eol_shift_v: f64,
+    /// Nominal lifetime over which the EOL shift accumulates, years.
+    pub lifetime_years: f64,
+    /// Power-law exponent of the ΔVth kinetics, in (0, 1).
+    pub exponent: f64,
+    /// Relative delay increase at the EOL shift (0.23 = +23 %).
+    pub eol_delay_increase: f64,
+}
+
+impl TechProfile {
+    /// The paper's Intel 14 nm FinFET calibration: 50 mV EOL shift
+    /// over 10 years (n = 0.17) costing +23 % delay at
+    /// Vdd = 0.80 V, Vth₀ = 0.35 V.
+    pub const INTEL14NM: TechProfile = TechProfile {
+        vdd: 0.80,
+        vth0: 0.35,
+        eol_shift_v: 0.050,
+        lifetime_years: 10.0,
+        exponent: 0.17,
+        eol_delay_increase: 0.23,
+    };
+
+    /// Every way this profile is physically implausible, as
+    /// human-readable messages. Empty means valid. Lint AG001 and
+    /// [`TechProfile::validate`] share this list verbatim.
+    #[must_use]
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let finite = [
+            self.vdd,
+            self.vth0,
+            self.eol_shift_v,
+            self.lifetime_years,
+            self.exponent,
+            self.eol_delay_increase,
+        ]
+        .iter()
+        .all(|v| v.is_finite());
+        if !finite {
+            out.push("every calibration field must be finite".to_string());
+            return out;
+        }
+        if !(self.vdd > 0.0 && self.vth0 > 0.0 && self.vdd > self.vth0) {
+            out.push(format!(
+                "overdrive must be positive: vdd={} V, vth0={} V",
+                self.vdd, self.vth0
+            ));
+        }
+        if self.eol_shift_v <= 0.0 || self.eol_shift_v.is_nan() {
+            out.push(format!(
+                "end-of-life shift must be positive, got {} V",
+                self.eol_shift_v
+            ));
+        }
+        if self.eol_shift_v >= self.vdd - self.vth0 {
+            out.push(format!(
+                "end-of-life shift {} V consumes the whole {} V overdrive",
+                self.eol_shift_v,
+                self.vdd - self.vth0
+            ));
+        }
+        if self.lifetime_years <= 0.0 || self.lifetime_years.is_nan() {
+            out.push(format!(
+                "lifetime must be positive, got {} years",
+                self.lifetime_years
+            ));
+        }
+        if !(self.exponent > 0.0 && self.exponent < 1.0) {
+            out.push(format!(
+                "kinetics exponent must lie in (0, 1), got {}",
+                self.exponent
+            ));
+        }
+        if self.eol_delay_increase <= 0.0 || self.eol_delay_increase.is_nan() {
+            out.push(format!(
+                "EOL delay increase must be positive, got {}",
+                self.eol_delay_increase
+            ));
+        }
+        out
+    }
+
+    /// Panics with the first violation; a cheap guard for constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TechProfile::violations`] is non-empty.
+    pub fn validate(&self) {
+        let violations = self.violations();
+        assert!(violations.is_empty(), "invalid profile: {violations:?}");
+    }
+
+    /// The end-of-life shift as a [`VthShift`].
+    #[must_use]
+    pub fn eol_shift(&self) -> VthShift {
+        VthShift::from_volts(self.eol_shift_v)
+    }
+
+    /// The power-law NBTI kinetics this profile calibrates.
+    #[must_use]
+    pub fn nbti(&self) -> NbtiModel {
+        NbtiModel::calibrated(self.eol_shift(), self.lifetime_years, self.exponent)
+    }
+
+    /// The alpha-power delay derating this profile calibrates: α is
+    /// chosen such that `factor(eol_shift) = 1 + eol_delay_increase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid (see [`TechProfile::validate`]).
+    #[must_use]
+    pub fn derating(&self) -> DelayDerating {
+        let overdrive = self.vdd - self.vth0;
+        let alpha = (1.0 + self.eol_delay_increase).ln()
+            / (overdrive / (overdrive - self.eol_shift_v)).ln();
+        DelayDerating::new(self.vdd, self.vth0, alpha)
+    }
+
+    /// The full aging scenario (kinetics + derating + lifetime).
+    #[must_use]
+    pub fn scenario(&self) -> AgingScenario {
+        AgingScenario::new(self.nbti(), self.derating(), self.lifetime_years)
+    }
+
+    /// Whether this is bit-for-bit the default 14 nm calibration.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.fingerprint() == Self::INTEL14NM.fingerprint()
+    }
+
+    /// A stable 64-bit FNV-1a fingerprint of the profile's exact bit
+    /// pattern — the identity that enters a model's cache key. Two
+    /// profiles share a fingerprint iff every field is bit-identical.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(
+            &[
+                self.vdd,
+                self.vth0,
+                self.eol_shift_v,
+                self.lifetime_years,
+                self.exponent,
+                self.eol_delay_increase,
+            ],
+            FNV_OFFSET,
+        )
+    }
+}
+
+impl Default for TechProfile {
+    fn default() -> Self {
+        Self::INTEL14NM
+    }
+}
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the IEEE-754 bit patterns of `values`, continuing from
+/// `seed` so callers can chain extra data into one fingerprint.
+pub(crate) fn fnv1a(values: &[f64], seed: u64) -> u64 {
+    let mut hash = seed;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_valid_and_matches_the_paper() {
+        let p = TechProfile::INTEL14NM;
+        assert!(p.violations().is_empty(), "{:?}", p.violations());
+        p.validate();
+        assert!(p.is_default());
+        assert_eq!(p, TechProfile::default());
+        assert_eq!(p.eol_shift().millivolts(), 50.0);
+        assert_eq!(p.scenario().lifetime_years(), 10.0);
+    }
+
+    /// The one place the paper's +23 % EOL delay calibration is pinned
+    /// exactly (satellite: this assertion exists exactly once).
+    #[test]
+    fn eol_delay_factor_is_23_percent() {
+        let factor = TechProfile::INTEL14NM
+            .derating()
+            .factor(VthShift::from_millivolts(50.0));
+        assert!((factor - 1.23).abs() < 1e-12, "factor = {factor}");
+    }
+
+    #[test]
+    fn violations_name_every_bad_field() {
+        let bad = TechProfile {
+            vdd: 0.3,
+            vth0: 0.35,
+            eol_shift_v: -0.01,
+            lifetime_years: 0.0,
+            exponent: 1.5,
+            eol_delay_increase: 0.0,
+        };
+        let violations = bad.violations();
+        assert!(violations.iter().any(|v| v.contains("overdrive")));
+        assert!(violations.iter().any(|v| v.contains("end-of-life")));
+        assert!(violations.iter().any(|v| v.contains("lifetime")));
+        assert!(violations.iter().any(|v| v.contains("exponent")));
+        assert!(violations.iter().any(|v| v.contains("delay increase")));
+        let nan = TechProfile {
+            vdd: f64::NAN,
+            ..TechProfile::INTEL14NM
+        };
+        assert!(nan.violations().iter().any(|v| v.contains("finite")));
+    }
+
+    #[test]
+    fn serde_round_trip_is_bit_exact() {
+        let p = TechProfile {
+            eol_shift_v: 0.047_123_456_789,
+            exponent: 0.183_456_789,
+            ..TechProfile::INTEL14NM
+        };
+        let json = serde_json::to_string(&p).expect("serializes");
+        let back: TechProfile = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.fingerprint(), p.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = TechProfile::INTEL14NM;
+        for perturbed in [
+            TechProfile { vdd: 0.81, ..base },
+            TechProfile { vth0: 0.36, ..base },
+            TechProfile {
+                eol_shift_v: 0.051,
+                ..base
+            },
+            TechProfile {
+                lifetime_years: 11.0,
+                ..base
+            },
+            TechProfile {
+                exponent: 0.18,
+                ..base
+            },
+            TechProfile {
+                eol_delay_increase: 0.24,
+                ..base
+            },
+        ] {
+            assert_ne!(perturbed.fingerprint(), base.fingerprint());
+            assert!(!perturbed.is_default());
+        }
+    }
+}

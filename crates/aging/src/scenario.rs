@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::profile::TechProfile;
 use crate::{DelayDerating, NbtiModel, VthShift};
 
 /// The aging levels evaluated throughout the paper, in millivolts:
@@ -16,9 +17,9 @@ pub const AGING_SWEEP_MV: [f64; 6] = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0];
 /// # Example
 ///
 /// ```
-/// use agequant_aging::AgingScenario;
+/// use agequant_aging::TechProfile;
 ///
-/// let s = AgingScenario::intel14nm();
+/// let s = TechProfile::INTEL14NM.scenario();
 /// let levels = s.sweep();
 /// assert_eq!(levels.len(), 6);
 /// assert!(levels[0].is_fresh());
@@ -32,17 +33,6 @@ pub struct AgingScenario {
 }
 
 impl AgingScenario {
-    /// The paper's 14 nm FinFET scenario: 10-year lifetime, 50 mV EOL
-    /// shift, +23% EOL delay.
-    #[must_use]
-    pub fn intel14nm() -> Self {
-        AgingScenario {
-            nbti: NbtiModel::intel14nm(),
-            derating: DelayDerating::intel14nm(),
-            lifetime_years: NbtiModel::LIFETIME_YEARS,
-        }
-    }
-
     /// Builds a scenario from explicit models.
     ///
     /// # Panics
@@ -118,8 +108,10 @@ impl AgingScenario {
 }
 
 impl Default for AgingScenario {
+    /// The paper's 14 nm FinFET scenario: 10-year lifetime, 50 mV EOL
+    /// shift, +23% EOL delay.
     fn default() -> Self {
-        Self::intel14nm()
+        TechProfile::INTEL14NM.scenario()
     }
 }
 
@@ -137,7 +129,7 @@ mod tests {
 
     #[test]
     fn sweep_is_the_six_paper_levels() {
-        let s = AgingScenario::intel14nm();
+        let s = TechProfile::INTEL14NM.scenario();
         let sweep = s.sweep();
         assert_eq!(sweep.len(), 6);
         for (shift, mv) in sweep.iter().zip(AGING_SWEEP_MV) {
@@ -148,7 +140,7 @@ mod tests {
 
     #[test]
     fn delay_factor_composes_models() {
-        let s = AgingScenario::intel14nm();
+        let s = TechProfile::INTEL14NM.scenario();
         assert!((s.delay_factor_at(10.0) - 1.23).abs() < 1e-9);
         assert!(s.delay_factor_at(1.0) > 1.0);
         assert!(s.delay_factor_at(1.0) < s.delay_factor_at(5.0));
@@ -165,7 +157,7 @@ mod proptests {
         /// The delay factor is ≥ 1 and monotone over the whole lifetime.
         #[test]
         fn delay_factor_monotone(a in 0.0f64..10.0, b in 0.0f64..10.0) {
-            let s = AgingScenario::intel14nm();
+            let s = TechProfile::INTEL14NM.scenario();
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             let f_lo = s.delay_factor_at(lo);
             let f_hi = s.delay_factor_at(hi);
@@ -176,7 +168,7 @@ mod proptests {
         /// Kinetics inversion round-trips across the lifetime range.
         #[test]
         fn kinetics_invert(years in 0.01f64..10.0) {
-            let s = AgingScenario::intel14nm();
+            let s = TechProfile::INTEL14NM.scenario();
             let shift = s.nbti().vth_shift_at(years);
             let back = s.nbti().years_to_reach(shift);
             prop_assert!((back - years).abs() < 1e-6 * years.max(1.0));

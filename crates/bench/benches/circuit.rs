@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use agequant_aging::VthShift;
+use agequant_aging::{TechProfile, VthShift};
 use agequant_cells::ProcessLibrary;
 use agequant_netlist::mac::MacCircuit;
 use agequant_power::{EnergyEstimator, OperandStream};
@@ -16,7 +16,8 @@ use std::hint::black_box;
 
 fn bench_sta(c: &mut Criterion) {
     let mac = MacCircuit::edge_tpu();
-    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let lib = ProcessLibrary::finfet14nm()
+        .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
     let sta = Sta::new(mac.netlist(), &lib);
     c.bench_function("sta/uncompressed", |b| {
         b.iter(|| black_box(sta.analyze_uncompressed().critical_path_ps));
@@ -36,13 +37,21 @@ fn bench_sta(c: &mut Criterion) {
 fn bench_characterize(c: &mut Criterion) {
     let process = ProcessLibrary::finfet14nm();
     c.bench_function("cells/characterize_aged_library", |b| {
-        b.iter(|| black_box(process.characterize(VthShift::from_millivolts(30.0))));
+        b.iter(|| {
+            black_box(process.characterize(
+                &TechProfile::INTEL14NM.derating(),
+                VthShift::from_millivolts(30.0),
+            ))
+        });
     });
 }
 
 fn bench_timed_sim(c: &mut Criterion) {
     let mac = MacCircuit::edge_tpu();
-    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::from_millivolts(50.0));
+    let lib = ProcessLibrary::finfet14nm().characterize(
+        &TechProfile::INTEL14NM.derating(),
+        VthShift::from_millivolts(50.0),
+    );
     let sim = TimedSim::new(mac.netlist(), &lib);
     let zero = BTreeMap::from([
         ("a".to_string(), 0u64),
@@ -64,7 +73,8 @@ fn bench_timed_sim(c: &mut Criterion) {
 
 fn bench_energy(c: &mut Criterion) {
     let mac = MacCircuit::edge_tpu();
-    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let lib = ProcessLibrary::finfet14nm()
+        .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
     let estimator = EnergyEstimator::new(mac.netlist(), &lib);
     let stream = OperandStream::uniform(200, 1);
     c.bench_function("power/estimate_200_vectors", |b| {

@@ -5,7 +5,7 @@
 //! configuration matching the paper's DesignWare MAC; this bench
 //! regenerates the evidence.
 
-use agequant_aging::{VthShift, AGING_SWEEP_MV};
+use agequant_aging::{TechProfile, VthShift, AGING_SWEEP_MV};
 use agequant_bench::{banner, write_json};
 use agequant_cells::ProcessLibrary;
 use agequant_core::{AgingAwareQuantizer, FlowConfig, MacSpec};
@@ -29,7 +29,8 @@ fn main() {
         "ablation_mac",
         "delay-gain surface across multiplier/adder microarchitectures",
     );
-    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let lib = ProcessLibrary::finfet14nm()
+        .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
 
     println!(
         "{:>8} | {:>11} | {:>6} | {:>9} | {:>10} | {:>14}",

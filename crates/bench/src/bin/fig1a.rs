@@ -2,7 +2,7 @@
 //! clocked at the fresh period: MED and 2-MSB flip probability per
 //! aging level.
 
-use agequant_aging::{VthShift, AGING_SWEEP_MV};
+use agequant_aging::{TechProfile, VthShift, AGING_SWEEP_MV};
 use agequant_bench::{banner, env_usize, write_json};
 use agequant_cells::ProcessLibrary;
 use agequant_netlist::multipliers::{multiplier, MultiplierArch};
@@ -29,6 +29,7 @@ fn main() {
         let stats = characterize_multiplier(
             &netlist,
             &process,
+            &TechProfile::INTEL14NM.derating(),
             VthShift::from_millivolts(mv),
             vectors,
             0x00F1_61A0,

@@ -1,7 +1,7 @@
 //! Fig. 2 — delay gain of the 8-bit MAC under `(α, β)` input
 //! compression, for both MSB and LSB padding (fresh library).
 
-use agequant_aging::VthShift;
+use agequant_aging::{TechProfile, VthShift};
 use agequant_bench::{banner, write_json};
 use agequant_cells::ProcessLibrary;
 use agequant_netlist::mac::MacCircuit;
@@ -19,7 +19,8 @@ struct Cell {
 fn main() {
     banner("fig2", "MAC delay gain per (α, β) compression and padding");
     let mac = MacCircuit::edge_tpu();
-    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let lib = ProcessLibrary::finfet14nm()
+        .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
     let sta = Sta::new(mac.netlist(), &lib);
     let base = sta.analyze_uncompressed().critical_path_ps;
     println!(

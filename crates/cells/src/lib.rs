@@ -18,12 +18,13 @@
 //! # Example
 //!
 //! ```
-//! use agequant_aging::VthShift;
+//! use agequant_aging::{TechProfile, VthShift};
 //! use agequant_cells::{CellKind, ProcessLibrary};
 //!
 //! let process = ProcessLibrary::finfet14nm();
-//! let fresh = process.characterize(VthShift::FRESH);
-//! let aged = process.characterize(VthShift::from_millivolts(50.0));
+//! let derating = TechProfile::INTEL14NM.derating();
+//! let fresh = process.characterize(&derating, VthShift::FRESH);
+//! let aged = process.characterize(&derating, VthShift::from_millivolts(50.0));
 //! // Aged cells are slower on every arc.
 //! let load = 2.0; // fF
 //! assert!(aged.arc_delay(CellKind::Nand2, 0, load) > fresh.arc_delay(CellKind::Nand2, 0, load));

@@ -35,10 +35,11 @@ pub struct ArcTiming {
 /// # Example
 ///
 /// ```
-/// use agequant_aging::VthShift;
+/// use agequant_aging::{TechProfile, VthShift};
 /// use agequant_cells::{CellKind, ProcessLibrary};
 ///
-/// let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+/// let lib = ProcessLibrary::finfet14nm()
+///     .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
 /// let d = lib.arc_delay(CellKind::Xor2, 1, 1.5);
 /// assert!(d > 0.0);
 /// ```
@@ -130,13 +131,16 @@ impl CellLibrary {
 
 #[cfg(test)]
 mod tests {
+    use agequant_aging::TechProfile;
+
     use crate::{ProcessLibrary, ALL_CELL_KINDS};
 
     use super::*;
 
     #[test]
     fn worst_arc_is_max_over_pins() {
-        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+        let lib = ProcessLibrary::finfet14nm()
+            .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
         for kind in ALL_CELL_KINDS {
             let worst = lib.worst_arc_delay(kind, 1.0);
             for pin in 0..kind.arity() {
@@ -147,7 +151,8 @@ mod tests {
 
     #[test]
     fn delay_grows_with_load() {
-        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+        let lib = ProcessLibrary::finfet14nm()
+            .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
         for kind in ALL_CELL_KINDS {
             assert!(lib.arc_delay(kind, 0, 4.0) > lib.arc_delay(kind, 0, 0.5));
         }
@@ -155,13 +160,17 @@ mod tests {
 
     #[test]
     fn library_records_its_aging_level() {
-        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::from_millivolts(40.0));
+        let lib = ProcessLibrary::finfet14nm().characterize(
+            &TechProfile::INTEL14NM.derating(),
+            VthShift::from_millivolts(40.0),
+        );
         assert_eq!(lib.vth_shift().millivolts(), 40.0);
     }
 
     #[test]
     fn kinds_iterates_everything() {
-        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+        let lib = ProcessLibrary::finfet14nm()
+            .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
         assert_eq!(lib.kinds().count(), ALL_CELL_KINDS.len());
     }
 

@@ -77,27 +77,29 @@ impl CellParams {
 }
 
 /// A process-level cell library: parametric models for every
-/// [`CellKind`] plus the technology's delay-derating law.
+/// [`CellKind`].
 ///
 /// Calling [`characterize`](ProcessLibrary::characterize) at a given
 /// aging level performs the SiliconSmart step of the paper's flow,
 /// producing the frozen per-arc [`CellLibrary`] that STA and simulation
-/// consume.
+/// consume. The delay-derating law is *not* part of the library: it
+/// belongs to the degradation model, and `characterize` takes it as an
+/// argument so one process library serves heterogeneous models.
 ///
 /// # Example
 ///
 /// ```
-/// use agequant_aging::VthShift;
+/// use agequant_aging::{TechProfile, VthShift};
 /// use agequant_cells::ProcessLibrary;
 ///
 /// let process = ProcessLibrary::finfet14nm();
-/// let lib = process.characterize(VthShift::from_millivolts(20.0));
+/// let derating = TechProfile::INTEL14NM.derating();
+/// let lib = process.characterize(&derating, VthShift::from_millivolts(20.0));
 /// assert_eq!(lib.vth_shift().millivolts(), 20.0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProcessLibrary {
     cells: BTreeMap<CellKind, CellParams>,
-    derating: DelayDerating,
 }
 
 impl ProcessLibrary {
@@ -147,10 +149,7 @@ impl ProcessLibrary {
         add(Oai21, 9.1, 2.9, 1.0, 0.135, 3.0, 1.06);
         add(Maj3, 14.2, 3.2, 1.4, 0.240, 5.2, 1.03);
         add(Mux2, 11.4, 2.7, 1.2, 0.175, 3.9, 1.02);
-        ProcessLibrary {
-            cells,
-            derating: DelayDerating::intel14nm(),
-        }
+        ProcessLibrary { cells }
     }
 
     /// Builds a process library from explicit cell models.
@@ -159,17 +158,14 @@ impl ProcessLibrary {
     ///
     /// Returns an error if a cell kind is missing or a parameter set
     /// fails [`CellParams::validate`].
-    pub fn new(
-        cells: BTreeMap<CellKind, CellParams>,
-        derating: DelayDerating,
-    ) -> Result<Self, String> {
+    pub fn new(cells: BTreeMap<CellKind, CellParams>) -> Result<Self, String> {
         for kind in ALL_CELL_KINDS {
             let params = cells
                 .get(&kind)
                 .ok_or_else(|| format!("missing cell model for {kind}"))?;
             params.validate(kind)?;
         }
-        Ok(ProcessLibrary { cells, derating })
+        Ok(ProcessLibrary { cells })
     }
 
     /// The parameters of one cell kind.
@@ -178,19 +174,14 @@ impl ProcessLibrary {
         &self.cells[&kind]
     }
 
-    /// The technology's derating law.
-    #[must_use]
-    pub fn derating(&self) -> &DelayDerating {
-        &self.derating
-    }
-
     /// Characterizes the library at aging level `shift` (the
-    /// SiliconSmart step): every timing arc is scaled by the derating
-    /// factor raised to the cell's aging sensitivity; capacitance and
-    /// switching energy are aging-invariant (charge-based), while
-    /// leakage *drops* slightly with higher Vth.
-    pub fn characterize(&self, shift: VthShift) -> CellLibrary {
-        let base = self.derating.factor(shift);
+    /// SiliconSmart step) under the degradation model's `derating`
+    /// law: every timing arc is scaled by the derating factor raised
+    /// to the cell's aging sensitivity; capacitance and switching
+    /// energy are aging-invariant (charge-based), while leakage
+    /// *drops* slightly with higher Vth.
+    pub fn characterize(&self, derating: &DelayDerating, shift: VthShift) -> CellLibrary {
+        let base = derating.factor(shift);
         let mut arcs = BTreeMap::new();
         for (&kind, params) in &self.cells {
             let aging_scale = base.powf(params.aging_sensitivity);
@@ -225,7 +216,13 @@ impl Default for ProcessLibrary {
 
 #[cfg(test)]
 mod tests {
+    use agequant_aging::TechProfile;
+
     use super::*;
+
+    fn derating() -> DelayDerating {
+        TechProfile::INTEL14NM.derating()
+    }
 
     #[test]
     fn default_library_is_complete_and_valid() {
@@ -255,9 +252,9 @@ mod tests {
     #[test]
     fn characterization_scales_with_aging() {
         let process = ProcessLibrary::finfet14nm();
-        let fresh = process.characterize(VthShift::FRESH);
-        let mid = process.characterize(VthShift::from_millivolts(30.0));
-        let eol = process.characterize(VthShift::from_millivolts(50.0));
+        let fresh = process.characterize(&derating(), VthShift::FRESH);
+        let mid = process.characterize(&derating(), VthShift::from_millivolts(30.0));
+        let eol = process.characterize(&derating(), VthShift::from_millivolts(50.0));
         for kind in ALL_CELL_KINDS {
             for pin in 0..kind.arity() {
                 let f = fresh.arc_delay(kind, pin, 1.0);
@@ -276,7 +273,7 @@ mod tests {
     #[test]
     fn fresh_characterization_matches_params() {
         let process = ProcessLibrary::finfet14nm();
-        let fresh = process.characterize(VthShift::FRESH);
+        let fresh = process.characterize(&derating(), VthShift::FRESH);
         let nand = process.params(CellKind::Nand2);
         let expect = nand.intrinsic_ps + nand.slope_ps_per_ff * 2.0;
         assert!((fresh.arc_delay(CellKind::Nand2, 0, 2.0) - expect).abs() < 1e-12);
@@ -286,7 +283,7 @@ mod tests {
     fn missing_cell_rejected() {
         let mut cells = ProcessLibrary::finfet14nm().cells;
         cells.remove(&CellKind::Mux2);
-        let err = ProcessLibrary::new(cells, DelayDerating::intel14nm()).unwrap_err();
+        let err = ProcessLibrary::new(cells).unwrap_err();
         assert!(err.contains("MUX2"), "{err}");
     }
 
@@ -294,7 +291,7 @@ mod tests {
     fn invalid_params_rejected() {
         let mut cells = ProcessLibrary::finfet14nm().cells;
         cells.get_mut(&CellKind::Inv).unwrap().intrinsic_ps = 0.0;
-        let err = ProcessLibrary::new(cells, DelayDerating::intel14nm()).unwrap_err();
+        let err = ProcessLibrary::new(cells).unwrap_err();
         assert!(err.contains("intrinsic"), "{err}");
     }
 }

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use agequant_aging::VthShift;
+use agequant_aging::{DegradationModel, DelayDerating, ModelSpec, VthShift};
 use agequant_netlist::mac::MacCircuit;
 use agequant_nn::{accuracy_loss_pct, ExactExecutor, Model, NetArch, SyntheticDataset};
 use agequant_quant::{quantize_model_with, BitWidths, QuantMethod, QuantizedModel};
@@ -84,9 +84,15 @@ pub struct AgingAwareQuantizer {
     config: FlowConfig,
     mac: MacCircuit,
     fresh_cp_ps: f64,
-    /// Shared across clones: the caches are keyed on (ΔVth,
-    /// constraint) only, which is sound because `mac` and `config`
-    /// are immutable after construction.
+    /// The degradation model the flow plans under (the config's
+    /// selection, default power-law NBTI), with its cache identity and
+    /// delay derating resolved once at construction.
+    model: ModelSpec,
+    model_key: String,
+    derating: DelayDerating,
+    /// Shared across clones: the caches are keyed on (model, ΔVth,
+    /// constraint), which is sound because `mac` and `config` are
+    /// immutable after construction.
     engine: Arc<EvalEngine>,
 }
 
@@ -98,6 +104,22 @@ impl AgingAwareQuantizer {
     /// Returns [`FlowError::InvalidConfig`] if the configuration fails
     /// validation.
     pub fn new(config: FlowConfig) -> Result<Self, FlowError> {
+        let engine = Arc::new(EvalEngine::new(config.process.clone()));
+        Self::with_engine(config, engine)
+    }
+
+    /// Like [`new`](Self::new), but on a caller-provided engine — the
+    /// decision server uses this to share one engine (and its caches)
+    /// across quantizers for different degradation models. The engine's
+    /// caches are keyed on the model, so sharing is always sound as
+    /// long as the engine was built over the same process library and
+    /// MAC netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn with_engine(config: FlowConfig, engine: Arc<EvalEngine>) -> Result<Self, FlowError> {
         config.validate()?;
         let mac = MacCircuit::with_adders(
             config.mac.geometry,
@@ -106,9 +128,11 @@ impl AgingAwareQuantizer {
             config.mac.acc_adder,
         )
         .map_err(FlowError::InvalidConfig)?;
-        let engine = Arc::new(EvalEngine::new(config.process.clone()));
-        let fresh_lib = engine.library(VthShift::FRESH);
-        let fresh_loads = engine.sta_loads(mac.netlist(), VthShift::FRESH);
+        let model = config.model_spec();
+        let model_key = model.model_key();
+        let derating = model.derating();
+        let fresh_lib = engine.library(&model_key, &derating, VthShift::FRESH);
+        let fresh_loads = engine.sta_loads(&model_key, &derating, mac.netlist(), VthShift::FRESH);
         let fresh_cp_ps = Sta::with_loads(mac.netlist(), &fresh_lib, &fresh_loads)
             .analyze_uncompressed()
             .critical_path_ps;
@@ -116,6 +140,9 @@ impl AgingAwareQuantizer {
             config,
             mac,
             fresh_cp_ps,
+            model,
+            model_key,
+            derating,
             engine,
         })
     }
@@ -124,6 +151,25 @@ impl AgingAwareQuantizer {
     #[must_use]
     pub fn config(&self) -> &FlowConfig {
         &self.config
+    }
+
+    /// The degradation model the flow plans under.
+    #[must_use]
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The model's stable cache key (see
+    /// [`DegradationModel::model_key`]).
+    #[must_use]
+    pub fn model_key(&self) -> &str {
+        &self.model_key
+    }
+
+    /// The model's delay derating, resolved once at construction.
+    #[must_use]
+    pub fn derating(&self) -> &DelayDerating {
+        &self.derating
     }
 
     /// The memoized evaluation engine backing this flow.
@@ -150,8 +196,10 @@ impl AgingAwareQuantizer {
     /// engine cache.
     #[must_use]
     pub fn baseline_delay_ps(&self, shift: VthShift) -> f64 {
-        let lib = self.engine.library(shift);
-        let loads = self.engine.sta_loads(self.mac.netlist(), shift);
+        let lib = self.engine.library(&self.model_key, &self.derating, shift);
+        let loads =
+            self.engine
+                .sta_loads(&self.model_key, &self.derating, self.mac.netlist(), shift);
         Sta::with_loads(self.mac.netlist(), &lib, &loads)
             .analyze_uncompressed()
             .critical_path_ps
@@ -199,8 +247,10 @@ impl AgingAwareQuantizer {
     /// [`feasible_compressions_serial`](Self::feasible_compressions_serial).
     #[must_use]
     pub fn feasible_compressions(&self, shift: VthShift, constraint_ps: f64) -> Vec<FeasiblePoint> {
-        let lib = self.engine.library(shift);
-        let loads = self.engine.sta_loads(self.mac.netlist(), shift);
+        let lib = self.engine.library(&self.model_key, &self.derating, shift);
+        let loads =
+            self.engine
+                .sta_loads(&self.model_key, &self.derating, self.mac.netlist(), shift);
         let sta = Sta::with_loads(self.mac.netlist(), &lib, &loads);
         let cases = self.grid_cases();
         cases
@@ -226,7 +276,7 @@ impl AgingAwareQuantizer {
         shift: VthShift,
         constraint_ps: f64,
     ) -> Vec<FeasiblePoint> {
-        let lib = self.config.process.characterize(shift);
+        let lib = self.config.process.characterize(&self.derating, shift);
         let sta = Sta::new(self.mac.netlist(), &lib);
         let mut points = Vec::new();
         for (compression, padding) in self.grid_cases() {
@@ -268,12 +318,16 @@ impl AgingAwareQuantizer {
         shift: VthShift,
         constraint_ps: f64,
     ) -> Result<CompressionPlan, FlowError> {
-        if let Some(plan) = self.engine.cached_plan(shift, constraint_ps) {
+        if let Some(plan) = self
+            .engine
+            .cached_plan(&self.model_key, shift, constraint_ps)
+        {
             return Ok(plan);
         }
         let points = self.feasible_compressions(shift, constraint_ps);
         let plan = Self::select_plan(&points, shift, constraint_ps)?;
-        self.engine.store_plan(shift, constraint_ps, plan);
+        self.engine
+            .store_plan(&self.model_key, shift, constraint_ps, plan);
         Ok(plan)
     }
 

@@ -1,6 +1,6 @@
 //! Flow configuration.
 
-use agequant_aging::AgingScenario;
+use agequant_aging::{AgingScenario, DegradationModel, ModelSpec, TechProfile};
 use agequant_cells::ProcessLibrary;
 use agequant_netlist::mac::MacGeometry;
 use agequant_netlist::{MultiplierArch, PrefixStyle};
@@ -68,6 +68,11 @@ pub struct FlowConfig {
     /// `None`, all methods are tried and the best wins (the paper's
     /// evaluation mode).
     pub threshold_pct: Option<f64>,
+    /// The degradation model driving kinetics and delay derating.
+    /// `None` (and configs saved before this field existed) means the
+    /// default power-law NBTI on the 14 nm profile — the paper's setup,
+    /// bit-identical to the pre-model-stack flow.
+    pub model: Option<ModelSpec>,
 }
 
 impl FlowConfig {
@@ -78,7 +83,7 @@ impl FlowConfig {
         FlowConfig {
             mac: MacSpec::edge_tpu(),
             process: ProcessLibrary::finfet14nm(),
-            scenario: AgingScenario::intel14nm(),
+            scenario: TechProfile::INTEL14NM.scenario(),
             grid_max: 8,
             eval_samples: 60,
             calib_samples: 8,
@@ -86,7 +91,16 @@ impl FlowConfig {
             model_seed: 7,
             lapq: LapqRefineConfig::light(),
             threshold_pct: None,
+            model: None,
         }
+    }
+
+    /// The degradation model this configuration selects: the explicit
+    /// [`FlowConfig::model`] if set, the default power-law NBTI
+    /// otherwise.
+    #[must_use]
+    pub fn model_spec(&self) -> ModelSpec {
+        self.model.clone().unwrap_or_default()
     }
 
     /// Validates the configuration.
@@ -122,6 +136,15 @@ impl FlowConfig {
                 )));
             }
         }
+        if let Some(model) = &self.model {
+            let violations = model.profile().violations();
+            if !violations.is_empty() {
+                return Err(FlowError::InvalidConfig(format!(
+                    "degradation-model profile: {}",
+                    violations.join("; ")
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -153,5 +176,45 @@ mod tests {
         let mut c = FlowConfig::edge_tpu_like();
         c.threshold_pct = Some(150.0);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_model_spec_is_nbti() {
+        let c = FlowConfig::edge_tpu_like();
+        assert!(c.model.is_none());
+        assert_eq!(c.model_spec().model_key(), "nbti");
+    }
+
+    #[test]
+    fn bad_model_profile_rejected() {
+        // `ModelSpec::nbti` validates eagerly, but a deserialized
+        // config bypasses the constructor — build the invalid spec the
+        // way serde would.
+        let mut c = FlowConfig::edge_tpu_like();
+        c.model = Some(ModelSpec::Nbti(agequant_aging::NbtiPowerLaw {
+            profile: TechProfile {
+                eol_shift_v: -0.01,
+                ..TechProfile::INTEL14NM
+            },
+            duty_cycle: 1.0,
+        }));
+        assert!(matches!(c.validate(), Err(FlowError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn pre_model_configs_still_parse() {
+        use serde::{Deserialize, Serialize, Value};
+        // A config serialized before the `model` field existed has no
+        // such key; deserialization must default it to `None`.
+        let mut tree = FlowConfig::edge_tpu_like().to_value();
+        let Value::Map(entries) = &mut tree else {
+            panic!("config serializes to a map");
+        };
+        let before = entries.len();
+        entries.retain(|(key, _)| key != "model");
+        assert_eq!(entries.len(), before - 1, "model key was present");
+        let back = FlowConfig::from_value(&tree).expect("old-format config parses");
+        assert!(back.model.is_none());
+        assert_eq!(back, FlowConfig::edge_tpu_like());
     }
 }

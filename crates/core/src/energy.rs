@@ -57,7 +57,7 @@ impl EnergyComparison {
         let mut points = Vec::new();
         for shift in flow.config().scenario.sweep() {
             let plan = flow.compression_for(shift)?;
-            let lib = flow.config().process.characterize(shift);
+            let lib = flow.config().process.characterize(flow.derating(), shift);
             let estimator = EnergyEstimator::new(flow.mac().netlist(), &lib);
             let baseline = estimator.estimate(
                 &OperandStream::uniform(samples, flow.config().data_seed),

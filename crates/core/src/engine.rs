@@ -8,19 +8,28 @@
 //! trajectories, and the figure/table binaries each re-ran
 //! [`ProcessLibrary::characterize`] for shifts they had already seen.
 //!
-//! [`EvalEngine`] memoizes three layers, keyed on a *quantized* ΔVth
+//! [`EvalEngine`] memoizes three layers, keyed on the pair of a
+//! degradation model's stable [`model_key`] and a *quantized* ΔVth
 //! (rounded to the nearest nanovolt, far below any physically
 //! meaningful difference, so float noise cannot split cache entries):
 //!
-//! 1. **Libraries** — `ΔVth → Arc<CellLibrary>` (the SiliconSmart
-//!    step).
-//! 2. **Load vectors** — `ΔVth → Arc<Vec<f64>>` for the engine's one
-//!    netlist, reused across every case-analysis STA run at that
-//!    level via [`Sta::with_loads`].
-//! 3. **Compression plans** — `(ΔVth, constraint) → CompressionPlan`,
-//!    so the `archs × levels` sweeps of the accuracy trajectory run
-//!    the full `(α, β) × Padding` grid once per level instead of once
-//!    per network.
+//! 1. **Libraries** — `(model_key, ΔVth) → Arc<CellLibrary>` (the
+//!    SiliconSmart step under that model's delay derating).
+//! 2. **Load vectors** — `(model_key, ΔVth) → Arc<Vec<f64>>` for the
+//!    engine's one netlist, reused across every case-analysis STA run
+//!    at that level via [`Sta::with_loads`].
+//! 3. **Compression plans** — `(model_key, ΔVth, constraint) →
+//!    CompressionPlan`, so the `archs × levels` sweeps of the accuracy
+//!    trajectory run the full `(α, β) × Padding` grid once per level
+//!    instead of once per network.
+//!
+//! The model key enters every cache key because two models with
+//! different technology profiles derate the same ΔVth to different
+//! delays: one engine can serve heterogeneous models concurrently (the
+//! decision server does exactly that) and entries are never shared
+//! across models. Hit/miss counters are likewise kept per model —
+//! [`EvalEngine::stats`] aggregates them, [`EvalEngine::stats_by_model`]
+//! exposes the split for `/metrics` and fleet reports.
 //!
 //! Memoization is transparent: a cache hit returns the bit-identical
 //! value the miss path would compute (the equivalence suite in
@@ -34,25 +43,32 @@
 //!
 //! One engine serves exactly one netlist (the quantizer's MAC): load
 //! vectors and plans are circuit-dependent. [`AgingAwareQuantizer`]
-//! creates its own engine at construction and shares it across clones.
+//! creates its own engine at construction and shares it across clones;
+//! [`AgingAwareQuantizer::with_engine`] lets several quantizers with
+//! different models share one engine.
 //!
 //! [`AgingAwareQuantizer`]: crate::AgingAwareQuantizer
+//! [`AgingAwareQuantizer::with_engine`]: crate::AgingAwareQuantizer::with_engine
 //! [`ProcessLibrary::characterize`]: agequant_cells::ProcessLibrary::characterize
 //! [`Sta::with_loads`]: agequant_sta::Sta::with_loads
+//! [`model_key`]: agequant_aging::DegradationModel::model_key
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use agequant_aging::VthShift;
+use agequant_aging::{DelayDerating, VthShift};
 use agequant_cells::{CellLibrary, ProcessLibrary};
 use agequant_netlist::Netlist;
 use agequant_sta::Sta;
 
 use crate::CompressionPlan;
 
-/// A plan-cache key: quantized shift plus the exact constraint bits.
-type PlanKey = (i64, u64);
+/// A library/load cache key: model identity plus quantized shift.
+type ModelShiftKey = (String, i64);
+
+/// A plan-cache key: model identity, quantized shift, constraint bits.
+type PlanKey = (String, i64, u64);
 
 /// Cache-effectiveness counters, for benches and reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -103,19 +119,37 @@ impl CacheStats {
     }
 }
 
-/// Memoized per-ΔVth evaluation state shared by all flow entry points.
-///
-/// See the [module docs](self) for the cache layers and their keys.
-#[derive(Debug)]
-pub struct EvalEngine {
-    process: ProcessLibrary,
-    libraries: RwLock<HashMap<i64, Arc<CellLibrary>>>,
-    loads: RwLock<HashMap<i64, Arc<Vec<f64>>>>,
-    plans: RwLock<HashMap<PlanKey, CompressionPlan>>,
+/// Per-model hit/miss atomics: one bundle per distinct `model_key`.
+#[derive(Debug, Default)]
+struct ModelCounters {
     library_hits: AtomicU64,
     library_misses: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+}
+
+impl ModelCounters {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            library_hits: self.library_hits.load(Ordering::Relaxed),
+            library_misses: self.library_misses.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Memoized per-(model, ΔVth) evaluation state shared by all flow
+/// entry points.
+///
+/// The module-level docs describe the cache layers and their keys.
+#[derive(Debug)]
+pub struct EvalEngine {
+    process: ProcessLibrary,
+    libraries: RwLock<HashMap<ModelShiftKey, Arc<CellLibrary>>>,
+    loads: RwLock<HashMap<ModelShiftKey, Arc<Vec<f64>>>>,
+    plans: RwLock<HashMap<PlanKey, CompressionPlan>>,
+    counters: RwLock<BTreeMap<String, Arc<ModelCounters>>>,
 }
 
 // The engine is shared by reference across worker threads (rayon scans
@@ -136,10 +170,7 @@ impl EvalEngine {
             libraries: RwLock::new(HashMap::new()),
             loads: RwLock::new(HashMap::new()),
             plans: RwLock::new(HashMap::new()),
-            library_hits: AtomicU64::new(0),
-            library_misses: AtomicU64::new(0),
-            plan_hits: AtomicU64::new(0),
-            plan_misses: AtomicU64::new(0),
+            counters: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -163,21 +194,51 @@ impl EvalEngine {
         &self.process
     }
 
-    /// The characterized library at `shift`, memoized.
+    /// The counter bundle of `model_key`, created on first use.
+    fn counters(&self, model_key: &str) -> Arc<ModelCounters> {
+        if let Some(counters) = self
+            .counters
+            .read()
+            .expect("unpoisoned counter map")
+            .get(model_key)
+        {
+            return Arc::clone(counters);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .expect("unpoisoned counter map")
+                .entry(model_key.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The characterized library at `shift` under `derating`, memoized
+    /// per `(model_key, shift)`.
+    ///
+    /// The caller vouches that `derating` is the one the model behind
+    /// `model_key` produces — the key carries the model identity, so
+    /// two models never share an entry even when their deratings agree.
     ///
     /// # Panics
     ///
     /// Panics if the internal lock was poisoned by a panicking caller.
     #[must_use]
-    pub fn library(&self, shift: VthShift) -> Arc<CellLibrary> {
-        let key = Self::shift_key(shift);
+    pub fn library(
+        &self,
+        model_key: &str,
+        derating: &DelayDerating,
+        shift: VthShift,
+    ) -> Arc<CellLibrary> {
+        let key = (model_key.to_string(), Self::shift_key(shift));
+        let counters = self.counters(model_key);
         if let Some(lib) = self
             .libraries
             .read()
             .expect("unpoisoned library cache")
             .get(&key)
         {
-            self.library_hits.fetch_add(1, Ordering::Relaxed);
+            counters.library_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(lib);
         }
         // Miss path: take the write lock and re-check — another thread
@@ -186,11 +247,11 @@ impl EvalEngine {
         // same-Arc contract the tests pin).
         let mut cache = self.libraries.write().expect("unpoisoned library cache");
         if let Some(lib) = cache.get(&key) {
-            self.library_hits.fetch_add(1, Ordering::Relaxed);
+            counters.library_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(lib);
         }
-        self.library_misses.fetch_add(1, Ordering::Relaxed);
-        let lib = Arc::new(self.process.characterize(shift));
+        counters.library_misses.fetch_add(1, Ordering::Relaxed);
+        let lib = Arc::new(self.process.characterize(derating, shift));
         cache.insert(key, Arc::clone(&lib));
         lib
     }
@@ -202,8 +263,14 @@ impl EvalEngine {
     ///
     /// Panics if the internal lock was poisoned by a panicking caller.
     #[must_use]
-    pub fn sta_loads(&self, netlist: &Netlist, shift: VthShift) -> Arc<Vec<f64>> {
-        let key = Self::shift_key(shift);
+    pub fn sta_loads(
+        &self,
+        model_key: &str,
+        derating: &DelayDerating,
+        netlist: &Netlist,
+        shift: VthShift,
+    ) -> Arc<Vec<f64>> {
+        let key = (model_key.to_string(), Self::shift_key(shift));
         if let Some(loads) = self.loads.read().expect("unpoisoned load cache").get(&key) {
             debug_assert_eq!(
                 loads.len(),
@@ -214,7 +281,7 @@ impl EvalEngine {
         }
         // Characterize (or fetch) outside the load lock: `library`
         // takes its own lock and may be slow on a miss.
-        let lib = self.library(shift);
+        let lib = self.library(model_key, derating, shift);
         let loads = Arc::new(Sta::compute_loads(netlist, &lib));
         self.loads
             .write()
@@ -224,51 +291,101 @@ impl EvalEngine {
             .clone()
     }
 
-    /// A cached compression plan for `(shift, constraint_ps)`, if the
-    /// grid was already scanned for this pair.
+    /// A cached compression plan for `(model_key, shift,
+    /// constraint_ps)`, if the grid was already scanned for this triple.
     ///
     /// # Panics
     ///
     /// Panics if the internal lock was poisoned by a panicking caller.
     #[must_use]
-    pub fn cached_plan(&self, shift: VthShift, constraint_ps: f64) -> Option<CompressionPlan> {
-        let key = (Self::shift_key(shift), constraint_ps.to_bits());
+    pub fn cached_plan(
+        &self,
+        model_key: &str,
+        shift: VthShift,
+        constraint_ps: f64,
+    ) -> Option<CompressionPlan> {
+        let key = (
+            model_key.to_string(),
+            Self::shift_key(shift),
+            constraint_ps.to_bits(),
+        );
         let found = self
             .plans
             .read()
             .expect("unpoisoned plan cache")
             .get(&key)
             .copied();
+        let counters = self.counters(model_key);
         if found.is_some() {
-            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            counters.plan_hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.plan_misses.fetch_add(1, Ordering::Relaxed);
+            counters.plan_misses.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
 
-    /// Records a freshly computed plan for `(shift, constraint_ps)`.
+    /// Records a freshly computed plan for `(model_key, shift,
+    /// constraint_ps)`.
     ///
     /// # Panics
     ///
     /// Panics if the internal lock was poisoned by a panicking caller.
-    pub fn store_plan(&self, shift: VthShift, constraint_ps: f64, plan: CompressionPlan) {
-        let key = (Self::shift_key(shift), constraint_ps.to_bits());
+    pub fn store_plan(
+        &self,
+        model_key: &str,
+        shift: VthShift,
+        constraint_ps: f64,
+        plan: CompressionPlan,
+    ) {
+        let key = (
+            model_key.to_string(),
+            Self::shift_key(shift),
+            constraint_ps.to_bits(),
+        );
         self.plans
             .write()
             .expect("unpoisoned plan cache")
             .insert(key, plan);
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss counters, aggregated over every model
+    /// the engine has served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter map was poisoned by a panicking caller.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            library_hits: self.library_hits.load(Ordering::Relaxed),
-            library_misses: self.library_misses.load(Ordering::Relaxed),
-            plan_hits: self.plan_hits.load(Ordering::Relaxed),
-            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+        let mut total = CacheStats::default();
+        for counters in self
+            .counters
+            .read()
+            .expect("unpoisoned counter map")
+            .values()
+        {
+            let s = counters.snapshot();
+            total.library_hits += s.library_hits;
+            total.library_misses += s.library_misses;
+            total.plan_hits += s.plan_hits;
+            total.plan_misses += s.plan_misses;
         }
+        total
+    }
+
+    /// Snapshot of the hit/miss counters split by `model_key`, in key
+    /// order — the per-model view `/metrics` and fleet reports expose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter map was poisoned by a panicking caller.
+    #[must_use]
+    pub fn stats_by_model(&self) -> BTreeMap<String, CacheStats> {
+        self.counters
+            .read()
+            .expect("unpoisoned counter map")
+            .iter()
+            .map(|(key, counters)| (key.clone(), counters.snapshot()))
+            .collect()
     }
 
     /// Drops every cached artifact (counters are kept).
@@ -288,7 +405,13 @@ impl EvalEngine {
 
 #[cfg(test)]
 mod tests {
+    use agequant_aging::TechProfile;
+
     use super::*;
+
+    fn derating() -> DelayDerating {
+        TechProfile::INTEL14NM.derating()
+    }
 
     #[test]
     fn shift_keys_quantize_float_noise() {
@@ -334,24 +457,42 @@ mod tests {
     fn library_cache_hits_return_the_same_arc() {
         let engine = EvalEngine::new(ProcessLibrary::finfet14nm());
         let shift = VthShift::from_millivolts(20.0);
-        let first = engine.library(shift);
-        let second = engine.library(shift);
+        let first = engine.library("nbti", &derating(), shift);
+        let second = engine.library("nbti", &derating(), shift);
         assert!(Arc::ptr_eq(&first, &second));
         let stats = engine.stats();
         assert_eq!((stats.library_misses, stats.library_hits), (1, 1));
 
         // A cached library is exactly what characterize produces.
-        let reference = ProcessLibrary::finfet14nm().characterize(shift);
+        let reference = ProcessLibrary::finfet14nm().characterize(&derating(), shift);
         assert_eq!(*second, reference);
+    }
+
+    #[test]
+    fn models_never_share_cache_entries_or_counters() {
+        let engine = EvalEngine::new(ProcessLibrary::finfet14nm());
+        let shift = VthShift::from_millivolts(30.0);
+        // Same derating, different model keys: entries must not alias.
+        let a = engine.library("nbti", &derating(), shift);
+        let b = engine.library("hci", &derating(), shift);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, *b, "same derating characterizes identically");
+        let by_model = engine.stats_by_model();
+        assert_eq!(by_model.len(), 2);
+        assert_eq!(by_model["nbti"].library_misses, 1);
+        assert_eq!(by_model["hci"].library_misses, 1);
+        assert_eq!(by_model["nbti"].library_hits, 0);
+        // The aggregate is the sum of the per-model snapshots.
+        assert_eq!(engine.stats().library_misses, 2);
     }
 
     #[test]
     fn clear_forces_recharacterization() {
         let engine = EvalEngine::new(ProcessLibrary::finfet14nm());
         let shift = VthShift::from_millivolts(40.0);
-        let first = engine.library(shift);
+        let first = engine.library("nbti", &derating(), shift);
         engine.clear();
-        let second = engine.library(shift);
+        let second = engine.library("nbti", &derating(), shift);
         assert!(!Arc::ptr_eq(&first, &second));
         assert_eq!(*first, *second);
         assert_eq!(engine.stats().library_misses, 2);

@@ -174,6 +174,60 @@ fn concurrent_threads_bit_identical_to_serial() {
     assert!(stats.plan_misses >= len, "{stats:?}");
 }
 
+/// Two degradation models sharing one engine must never share cache
+/// entries: every cache key carries the model's `model_key`, and the
+/// hit/miss counters are kept per model. This is the satellite
+/// guarantee behind the per-model `/metrics` series and
+/// `FleetSummary` split.
+#[test]
+fn models_share_an_engine_but_never_cache_entries() {
+    use std::sync::Arc;
+
+    use agequant_aging::{ModelSpec, TechProfile};
+    use agequant_core::EvalEngine;
+
+    let config = FlowConfig::edge_tpu_like();
+    let engine = Arc::new(EvalEngine::new(config.process.clone()));
+    let nbti = AgingAwareQuantizer::with_engine(config.clone(), Arc::clone(&engine))
+        .expect("valid config");
+    let mut hci_config = config;
+    hci_config.model = Some(ModelSpec::hci(TechProfile::INTEL14NM, 1.0));
+    let hci =
+        AgingAwareQuantizer::with_engine(hci_config, Arc::clone(&engine)).expect("valid config");
+    assert_eq!(nbti.model_key(), "nbti");
+    assert_eq!(hci.model_key(), "hci");
+
+    for &mv in &AGING_SWEEP_MV {
+        let shift = VthShift::from_millivolts(mv);
+        let a = nbti.compression_for(shift).expect("feasible");
+        let b = hci.compression_for(shift).expect("feasible");
+        // Both models run the paper's 14 nm profile, so their delay
+        // deratings — and therefore the plans — agree; what must NOT
+        // be shared is the cache traffic that produced them.
+        assert_eq!(a, b, "same profile must plan identically at {mv} mV");
+    }
+
+    let by_model = engine.stats_by_model();
+    assert_eq!(
+        by_model.keys().cloned().collect::<Vec<_>>(),
+        ["hci", "nbti"],
+        "exactly the two models' counters exist"
+    );
+    let len = AGING_SWEEP_MV.len() as u64;
+    for key in ["nbti", "hci"] {
+        let stats = by_model[key];
+        // Each model characterized every sweep level itself: no entry
+        // was borrowed from the other model's cache.
+        assert_eq!(stats.library_misses, len, "{key}: {stats:?}");
+        assert_eq!(stats.plan_misses, len, "{key}: {stats:?}");
+        assert_eq!(stats.plan_hits, 0, "{key}: {stats:?}");
+    }
+    // The aggregate view is exactly the sum of the two models.
+    let total = engine.stats();
+    assert_eq!(total.library_misses, 2 * len);
+    assert_eq!(total.plan_misses, 2 * len);
+}
+
 /// Regression pin for the ±0.5 near-tie band of Algorithm 1's plan
 /// selection: among feasible points within +0.5 of the minimal norm,
 /// the balanced compression wins, then the smaller α, then the faster

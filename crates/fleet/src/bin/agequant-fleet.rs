@@ -5,6 +5,7 @@
 //! agequant-fleet run    --out DIR [--chips N] [--epochs E] [--seed S]
 //!                       [--epoch-years Y] [--bucket-mv MV]
 //!                       [--constraint-factor F] [--network NAME|none]
+//!                       [--model nbti|hci|surrogate[:CURVE.json]]
 //!                       [--json]
 //! agequant-fleet resume --out DIR --epochs E [--json]
 //! agequant-fleet report --out DIR [--json]
@@ -21,6 +22,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use agequant_aging::{ModelSpec, TechProfile};
 use agequant_fleet::{journal, FleetConfig, FleetError, FleetSim, FleetState};
 use agequant_nn::NetArch;
 
@@ -33,7 +35,8 @@ fn usage() -> &'static str {
     "usage: agequant-fleet <run|resume|report> --out DIR [options]\n\
      \n\
      run     --out DIR [--chips N] [--epochs E] [--seed S] [--epoch-years Y]\n\
-     \x20            [--bucket-mv MV] [--constraint-factor F] [--network NAME|none] [--json]\n\
+     \x20            [--bucket-mv MV] [--constraint-factor F] [--network NAME|none]\n\
+     \x20            [--model nbti|hci|surrogate[:CURVE.json]] [--json]\n\
      resume  --out DIR --epochs E [--json]\n\
      report  --out DIR [--json]\n\
      \n\
@@ -41,7 +44,10 @@ fn usage() -> &'static str {
      mission-profile catalog) and serves per-chip compression plans\n\
      through the shared evaluation engine. Networks: the model-zoo\n\
      names (e.g. alexnet, resnet50), or 'none' to skip per-bucket\n\
-     quantization-method selection.\n"
+     quantization-method selection. Degradation models: nbti (default,\n\
+     the paper's power law), hci, or surrogate — bare 'surrogate' uses\n\
+     the shipped demo curve, 'surrogate:CURVE.json' loads a JSON\n\
+     [[years, volts], ...] table.\n"
 }
 
 fn parse_network(name: &str) -> Result<Option<NetArch>, String> {
@@ -72,6 +78,23 @@ fn parse_network(name: &str) -> Result<Option<NetArch>, String> {
                 names.join(", ")
             )
         })
+}
+
+fn parse_model(spec: &str) -> Result<ModelSpec, String> {
+    if let Some(path) = spec.strip_prefix("surrogate:") {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("--model surrogate curve {path}: {e}"))?;
+        let points: Vec<(f64, f64)> = serde_json::from_str(&text)
+            .map_err(|e| format!("--model surrogate curve {path}: {e}"))?;
+        return ModelSpec::surrogate(TechProfile::INTEL14NM, points)
+            .map_err(|e| format!("--model surrogate curve {path}: {e}"));
+    }
+    ModelSpec::by_name(spec).ok_or_else(|| {
+        format!(
+            "unknown model {spec:?}; options: {} (or surrogate:CURVE.json)",
+            ModelSpec::NAMES.join(", ")
+        )
+    })
 }
 
 fn write_file(path: &Path, contents: &str) -> Result<(), FleetError> {
@@ -163,6 +186,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--constraint-factor: {e}"))?;
             }
             "--network" => config.network = parse_network(&value("--network")?)?,
+            "--model" => config.flow.model = Some(parse_model(&value("--model")?)?),
             "--out" => common.out = PathBuf::from(value("--out")?),
             "--json" => common.json = true,
             other => return Err(format!("unknown argument {other:?}")),

@@ -1,13 +1,16 @@
-//! The per-chip model: process-variation-jittered NBTI kinetics plus
-//! a workload-dependent mission profile.
+//! The per-chip model: a process-variation-perturbed degradation
+//! model plus a workload-dependent mission profile.
 //!
-//! Each deployed NPU ages at its own pace: its NBTI prefactor and time
-//! exponent vary with the process corner, and its effective stress
-//! depends on what the chip actually runs (Genssler et al. model
-//! exactly this workload dependency). A [`Chip`] samples both —
-//! seeded, so a fleet is reproducible from its configuration alone.
+//! Each deployed NPU ages at its own pace: its calibration (end-of-life
+//! shift and time exponent) varies with the process corner, and its
+//! effective stress depends on what the chip actually runs (Genssler
+//! et al. model exactly this workload dependency). A [`Chip`] samples
+//! both — seeded, so a fleet is reproducible from its configuration
+//! alone. Process variation is expressed as "perturb the configured
+//! model's [`TechProfile`]", so every [`ModelSpec`] kind (NBTI, HCI,
+//! surrogate) inherits per-chip heterogeneity for free.
 
-use agequant_aging::{MissionProfile, NbtiModel, Phase, VthShift};
+use agequant_aging::{DegradationModel, MissionProfile, ModelSpec, Phase, TechProfile, VthShift};
 use agequant_core::CompressionPlan;
 use agequant_quant::QuantMethod;
 use serde::{Deserialize, Serialize};
@@ -96,11 +99,12 @@ impl MissionKind {
     }
 }
 
-/// Spread of the per-chip process variation around the nominal
-/// `intel14nm` calibration: the sampled end-of-life shift (which sets
-/// the NBTI prefactor `A`) lies within ±10% of 50 mV and the time
-/// exponent `n` within ±6% of 0.17 — modest corner-to-corner spreads
-/// of the kind aging characterization reports.
+/// Spread of the per-chip process variation around the configured
+/// model's calibration: the sampled end-of-life shift lies within
+/// ±10% of the profile's nominal (50 mV on the default 14 nm profile)
+/// and the time exponent `n` within ±6% of its nominal (0.17) —
+/// modest corner-to-corner spreads of the kind aging characterization
+/// reports.
 const EOL_JITTER: f64 = 0.10;
 const EXPONENT_JITTER: f64 = 0.06;
 
@@ -138,8 +142,9 @@ pub struct Chip {
     pub id: u32,
     /// The catalog archetype the mission was drawn from.
     pub kind: MissionKind,
-    /// The chip's process-variation-sampled NBTI kinetics.
-    pub nbti: NbtiModel,
+    /// The chip's degradation model: the fleet's configured model kind
+    /// over a process-variation-perturbed technology profile.
+    pub model: ModelSpec,
     /// The chip's jittered mission profile.
     pub profile: MissionProfile,
     /// The quantized aging bucket the chip currently sits in.
@@ -151,24 +156,29 @@ pub struct Chip {
 }
 
 impl Chip {
-    /// Samples a chip: mission archetype, per-phase jitter, and NBTI
-    /// parameters jittered around the `intel14nm` calibration
-    /// (`A` via the end-of-life shift, `n` directly).
-    pub fn sample(id: u32, rng: &mut FleetRng) -> Self {
+    /// Samples a chip: mission archetype, per-phase jitter, and a
+    /// process-variation perturbation of `config_model`'s technology
+    /// profile (the end-of-life shift and the time exponent jitter;
+    /// every other calibration field is inherited).
+    ///
+    /// The RNG draw order (kind, phase jitter, EOL shift, exponent) is
+    /// part of the checkpoint contract: it reproduces the pre-model-
+    /// stack fleets bit-identically for the default NBTI model.
+    pub fn sample(id: u32, config_model: &ModelSpec, rng: &mut FleetRng) -> Self {
         let kind = MissionKind::ALL[rng.index(MissionKind::ALL.len())];
         let profile = kind.sample_profile(rng);
-        let eol_mv = NbtiModel::EOL_SHIFT_V * 1e3 * rng.uniform(1.0 - EOL_JITTER, 1.0 + EOL_JITTER);
-        let exponent =
-            NbtiModel::DEFAULT_EXPONENT * rng.uniform(1.0 - EXPONENT_JITTER, 1.0 + EXPONENT_JITTER);
-        let nbti = NbtiModel::calibrated(
-            VthShift::from_millivolts(eol_mv),
-            NbtiModel::LIFETIME_YEARS,
+        let base = config_model.profile();
+        let eol_mv = base.eol_shift_v * 1e3 * rng.uniform(1.0 - EOL_JITTER, 1.0 + EOL_JITTER);
+        let exponent = base.exponent * rng.uniform(1.0 - EXPONENT_JITTER, 1.0 + EXPONENT_JITTER);
+        let model = config_model.with_profile(TechProfile {
+            eol_shift_v: VthShift::from_millivolts(eol_mv).volts(),
             exponent,
-        );
+            ..*base
+        });
         Chip {
             id,
             kind,
-            nbti,
+            model,
             profile,
             bucket: 0,
             mode: ChipMode::Compressed,
@@ -179,7 +189,7 @@ impl Chip {
     /// The chip's ΔVth after `years` of wall-clock deployment.
     #[must_use]
     pub fn shift_at(&self, years: f64) -> VthShift {
-        self.profile.vth_shift_at(&self.nbti, years)
+        self.profile.shift_with(&self.model, years)
     }
 
     /// The aging bucket of a shift: `floor(ΔVth / bucket_mv)`, with a
@@ -198,17 +208,44 @@ mod tests {
 
     #[test]
     fn sampling_is_reproducible() {
+        let model = ModelSpec::default();
         let mut a = FleetRng::seed_from_u64(11);
         let mut b = FleetRng::seed_from_u64(11);
         for id in 0..50 {
-            assert_eq!(Chip::sample(id, &mut a), Chip::sample(id, &mut b));
+            assert_eq!(
+                Chip::sample(id, &model, &mut a),
+                Chip::sample(id, &model, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_perturbs_any_model_kind() {
+        for name in ModelSpec::NAMES {
+            let config_model = ModelSpec::by_name(name).expect("shipped model");
+            let mut rng = FleetRng::seed_from_u64(3);
+            let chip = Chip::sample(0, &config_model, &mut rng);
+            assert_eq!(chip.model.kind_name(), name);
+            // The perturbed profile stays physically valid and keeps
+            // the non-jittered calibration fields.
+            let profile = chip.model.profile();
+            assert!(profile.violations().is_empty());
+            assert_eq!(profile.vdd, TechProfile::INTEL14NM.vdd);
+            assert_ne!(
+                profile.eol_shift_v,
+                TechProfile::INTEL14NM.eol_shift_v,
+                "jitter applied"
+            );
         }
     }
 
     #[test]
     fn sampled_chips_are_heterogeneous() {
+        let model = ModelSpec::default();
         let mut rng = FleetRng::seed_from_u64(5);
-        let chips: Vec<Chip> = (0..64).map(|id| Chip::sample(id, &mut rng)).collect();
+        let chips: Vec<Chip> = (0..64)
+            .map(|id| Chip::sample(id, &model, &mut rng))
+            .collect();
         let kinds: std::collections::BTreeSet<&str> = chips.iter().map(|c| c.kind.name()).collect();
         assert_eq!(kinds.len(), MissionKind::ALL.len(), "all archetypes drawn");
         let shifts: std::collections::BTreeSet<u64> = chips

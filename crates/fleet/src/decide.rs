@@ -16,10 +16,10 @@
 //! [`FleetSim`]: crate::FleetSim
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use agequant_aging::VthShift;
-use agequant_core::{AgingAwareQuantizer, FlowError};
+use agequant_core::{AgingAwareQuantizer, EvalEngine, FlowError};
 use agequant_nn::Model;
 use agequant_quant::QuantMethod;
 use agequant_sta::GuardbandModel;
@@ -116,8 +116,22 @@ impl Decider {
     /// Returns [`FleetError::InvalidConfig`] / [`FleetError::Flow`] on
     /// bad configuration.
     pub fn from_config(config: &FleetConfig) -> Result<Self, FleetError> {
+        let engine = Arc::new(EvalEngine::new(config.flow.process.clone()));
+        Self::with_engine(config, engine)
+    }
+
+    /// Builds the decision core on a caller-supplied engine, so several
+    /// deciders — one per degradation model, say — share one set of
+    /// caches. Cache entries are keyed by model, so sharing is safe and
+    /// the per-model counters stay separable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] / [`FleetError::Flow`] on
+    /// bad configuration.
+    pub fn with_engine(config: &FleetConfig, engine: Arc<EvalEngine>) -> Result<Self, FleetError> {
         config.validate()?;
-        let flow = AgingAwareQuantizer::new(config.flow.clone())?;
+        let flow = AgingAwareQuantizer::with_engine(config.flow.clone(), engine)?;
         let constraint_ps = flow.fresh_critical_path_ps() * config.constraint_factor;
         let guardband_period_ps =
             GuardbandModel::for_scenario(flow.fresh_critical_path_ps(), &config.flow.scenario)

@@ -9,9 +9,12 @@
 //! and serves every chip its decision through the shared
 //! [`EvalEngine`]:
 //!
-//! * [`Chip`] — process-variation-sampled NBTI kinetics (seeded jitter
-//!   around the `intel14nm` calibration) plus a jittered
-//!   [`MissionKind`] mission profile from a small catalog.
+//! * [`Chip`] — a process-variation-sampled degradation model (seeded
+//!   jitter around the configured model's
+//!   [`TechProfile`](agequant_aging::TechProfile) — power-law NBTI by
+//!   default, or any [`ModelSpec`](agequant_aging::ModelSpec) from the
+//!   zoo) plus a jittered [`MissionKind`] mission profile from a small
+//!   catalog.
 //! * [`FleetSim`] — discrete-time epochs; per-chip ΔVth evaluated in
 //!   parallel, quantized into aging buckets, and replanned *only on a
 //!   bucket crossing*, so the engine's plan cache turns
@@ -22,7 +25,8 @@
 //!   JSON-lines event log (replans, bucket crossings, guardband
 //!   degradations).
 //! * [`FleetSummary`] — plan-distribution and bucket histograms,
-//!   accuracy-loss percentiles, cache hit rates.
+//!   accuracy-loss percentiles, cache hit rates (aggregate and split
+//!   per degradation model).
 //!
 //! The `agequant-fleet` binary exposes `run` / `resume` / `report`
 //! subcommands over these pieces, and `agequant-lint` checks
@@ -62,6 +66,6 @@ pub use chip::{Chip, ChipMode, ChipPlan, MissionKind};
 pub use decide::{Decider, Decision};
 pub use error::FleetError;
 pub use journal::{EventKind, JournalEvent};
-pub use report::{CacheSummary, FleetSummary, LossPercentiles, PlanBin};
+pub use report::{CacheSummary, FleetSummary, LossPercentiles, ModelCacheSummary, PlanBin};
 pub use rng::FleetRng;
-pub use sim::{FleetConfig, FleetSim, FleetState};
+pub use sim::{FleetConfig, FleetSim, FleetState, CHECKPOINT_FORMAT};

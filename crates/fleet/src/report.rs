@@ -68,6 +68,15 @@ impl From<CacheStats> for CacheSummary {
     }
 }
 
+/// One degradation model's slice of the engine cache counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCacheSummary {
+    /// The model's stable cache key (e.g. `"nbti"`, `"hci"`).
+    pub model: String,
+    /// The counters attributed to that model.
+    pub cache: CacheSummary,
+}
+
 /// The fleet rolled up at one epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetSummary {
@@ -90,6 +99,10 @@ pub struct FleetSummary {
     /// Engine cache counters (live simulators only; a summary computed
     /// from a checkpoint alone has no engine attached).
     pub cache: Option<CacheSummary>,
+    /// The same counters split per degradation model; populated by
+    /// [`FleetSim::summary`](crate::FleetSim::summary) alongside
+    /// `cache`.
+    pub cache_by_model: Option<Vec<ModelCacheSummary>>,
 }
 
 /// The `p`-th percentile of `sorted` (nearest-rank on a sorted slice).
@@ -168,6 +181,7 @@ impl FleetSummary {
                 .collect(),
             accuracy_loss,
             cache: cache.map(CacheSummary::from),
+            cache_by_model: None,
         }
     }
 
@@ -203,6 +217,18 @@ impl FleetSummary {
                 cache.library_hits + cache.library_misses,
                 cache.hit_rate
             ));
+        }
+        if let Some(by_model) = &self.cache_by_model {
+            for entry in by_model {
+                out.push_str(&format!(
+                    "  model {}: plan {}/{} hits, library {}/{} hits\n",
+                    entry.model,
+                    entry.cache.plan_hits,
+                    entry.cache.plan_hits + entry.cache.plan_misses,
+                    entry.cache.library_hits,
+                    entry.cache.library_hits + entry.cache.library_misses
+                ));
+            }
         }
         out
     }

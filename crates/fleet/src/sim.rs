@@ -22,17 +22,19 @@
 //! [`EvalEngine`]: agequant_core::EvalEngine
 //! [`EventKind::Degraded`]: crate::journal::EventKind::Degraded
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use agequant_aging::{ModelSpec, NbtiPowerLaw, TechProfile};
 use agequant_core::{AgingAwareQuantizer, CacheStats, FlowConfig};
 use agequant_nn::NetArch;
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::chip::{Chip, ChipMode};
 use crate::decide::{Decider, Decision};
 use crate::journal::{EventKind, JournalEvent};
-use crate::report::FleetSummary;
+use crate::report::{FleetSummary, ModelCacheSummary};
 use crate::rng::FleetRng;
 use crate::FleetError;
 
@@ -119,11 +121,20 @@ impl FleetConfig {
     }
 }
 
+/// Current checkpoint format version. Format 1 (pre-versioning)
+/// stored each chip's power-law NBTI kinetics directly; format 2
+/// stores the chip's full degradation [`ModelSpec`].
+/// [`FleetState::from_json`] migrates format-1 trees on load.
+pub const CHECKPOINT_FORMAT: u32 = 2;
+
 /// The complete serializable state of a fleet run: configuration,
 /// epoch counter, RNG state, and every chip. Checkpointing this and
 /// restoring it resumes the run bit-identically.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetState {
+    /// Checkpoint format version ([`CHECKPOINT_FORMAT`]); stamped on
+    /// every state this crate constructs or migrates.
+    pub format: Option<u32>,
     /// The configuration the run was started with.
     pub config: FleetConfig,
     /// The last completed epoch.
@@ -155,8 +166,88 @@ impl FleetState {
     /// Returns [`FleetError::Malformed`] when the text is not a valid
     /// checkpoint.
     pub fn from_json(text: &str) -> Result<Self, FleetError> {
-        serde_json::from_str(text).map_err(|e| FleetError::Malformed(format!("checkpoint: {e}")))
+        let mut tree: Value = serde_json::from_str(text)
+            .map_err(|e| FleetError::Malformed(format!("checkpoint: {e}")))?;
+        migrate_checkpoint(&mut tree)?;
+        FleetState::from_value(&tree).map_err(|e| FleetError::Malformed(format!("checkpoint: {e}")))
     }
+}
+
+/// A numeric JSON leaf as `f64`, however the writer encoded it.
+#[allow(clippy::cast_precision_loss)]
+fn value_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+/// Rewrites a format-1 checkpoint tree in place: chips that carry a
+/// bare `nbti` kinetics record get an equivalent `model` (the
+/// power-law prefactor inverted back into the profile's end-of-life
+/// shift at the format-1 nominal lifetime), and the tree is stamped
+/// with the current format version. Format-2 trees pass through
+/// untouched; shape errors are left for `FleetState::from_value` to
+/// report unless the legacy record itself is malformed.
+fn migrate_checkpoint(tree: &mut Value) -> Result<(), FleetError> {
+    let Value::Map(state) = tree else {
+        return Ok(());
+    };
+    let had_format = state.iter().any(|(key, _)| key == "format");
+    let Some(chips) = state
+        .iter_mut()
+        .find(|(key, _)| key == "chips")
+        .map(|(_, v)| v)
+    else {
+        return Ok(());
+    };
+    let Value::Seq(chips) = chips else {
+        return Ok(());
+    };
+    let mut migrated = false;
+    for chip in chips.iter_mut() {
+        let Value::Map(entries) = chip else { continue };
+        let Some(pos) = entries.iter().position(|(key, _)| key == "nbti") else {
+            continue;
+        };
+        let Value::Map(nbti) = &entries[pos].1 else {
+            return Err(FleetError::Malformed(
+                "checkpoint: legacy chip `nbti` is not a map".into(),
+            ));
+        };
+        let field = |name: &str| {
+            nbti.iter()
+                .find(|(key, _)| key == name)
+                .and_then(|(_, v)| value_f64(v))
+                .ok_or_else(|| {
+                    FleetError::Malformed(format!("checkpoint: legacy chip nbti lacks `{name}`"))
+                })
+        };
+        let prefactor_v = field("prefactor_v")?;
+        let exponent = field("exponent")?;
+        let duty_cycle = field("duty_cycle")?;
+        let base = TechProfile::INTEL14NM;
+        // Format 1 derived `prefactor = eol / lifetime^n` at the
+        // nominal 10-year lifetime; invert it to recover the chip's
+        // sampled end-of-life shift.
+        let eol_shift_v = prefactor_v * base.lifetime_years.powf(exponent);
+        let model = ModelSpec::Nbti(NbtiPowerLaw {
+            profile: TechProfile {
+                eol_shift_v,
+                exponent,
+                ..base
+            },
+            duty_cycle,
+        });
+        entries[pos] = ("model".to_string(), model.to_value());
+        migrated = true;
+    }
+    if migrated && !had_format {
+        state.insert(0, ("format".to_string(), CHECKPOINT_FORMAT.to_value()));
+    }
+    Ok(())
 }
 
 /// The running fleet: simulation state plus the decision core
@@ -180,11 +271,13 @@ impl FleetSim {
     /// error: the fleet degrades to guardband mode and journals it.
     pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
         config.validate()?;
+        let model = config.flow.model_spec();
         let mut rng = FleetRng::seed_from_u64(config.seed);
         let chips: Vec<Chip> = (0..config.chips)
-            .map(|id| Chip::sample(id, &mut rng))
+            .map(|id| Chip::sample(id, &model, &mut rng))
             .collect();
         let state = FleetState {
+            format: Some(CHECKPOINT_FORMAT),
             config,
             epoch: 0,
             rng,
@@ -267,11 +360,13 @@ impl FleetSim {
     /// Propagates non-degradable flow errors from initial planning.
     pub fn new_with_decider(decider: Arc<Decider>) -> Result<Self, FleetError> {
         let config = decider.config().clone();
+        let model = config.flow.model_spec();
         let mut rng = FleetRng::seed_from_u64(config.seed);
         let chips: Vec<Chip> = (0..config.chips)
-            .map(|id| Chip::sample(id, &mut rng))
+            .map(|id| Chip::sample(id, &model, &mut rng))
             .collect();
         let state = FleetState {
+            format: Some(CHECKPOINT_FORMAT),
             config,
             epoch: 0,
             rng,
@@ -416,6 +511,12 @@ impl FleetSim {
         self.decider.flow().engine().stats()
     }
 
+    /// The engine's cache counters split by degradation-model key.
+    #[must_use]
+    pub fn cache_stats_by_model(&self) -> BTreeMap<String, CacheStats> {
+        self.decider.flow().engine().stats_by_model()
+    }
+
     /// The distinct aging buckets fully characterized by this sim's
     /// decision core (feasible or proven infeasible), in
     /// first-encounter order. With a fixed constraint this is exactly
@@ -442,12 +543,24 @@ impl FleetSim {
     /// instance's live cache statistics.
     #[must_use]
     pub fn summary(&self) -> FleetSummary {
-        FleetSummary::from_state(&self.state, Some(self.cache_stats()))
+        let mut summary = FleetSummary::from_state(&self.state, Some(self.cache_stats()));
+        summary.cache_by_model = Some(
+            self.cache_stats_by_model()
+                .into_iter()
+                .map(|(model, stats)| ModelCacheSummary {
+                    model,
+                    cache: stats.into(),
+                })
+                .collect(),
+        );
+        summary
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use agequant_aging::DegradationModel;
+
     use super::*;
 
     fn tiny_config() -> FleetConfig {
@@ -516,5 +629,72 @@ mod tests {
             FleetSim::resume(state),
             Err(FleetError::Malformed(_))
         ));
+    }
+
+    /// A format-1 checkpoint (written before chips carried a full
+    /// [`ModelSpec`]) migrates on load: the legacy per-chip `nbti`
+    /// kinetics record becomes an equivalent NBTI model spec, and the
+    /// migrated state matches a fresh re-simulation of the same run on
+    /// every behavioral field. The recovered profile inverts the old
+    /// stored prefactor, so its end-of-life shift may differ from the
+    /// resampled one by float round-off — compared with a tight
+    /// tolerance, never re-derived.
+    #[test]
+    fn format_one_checkpoints_migrate_on_load() {
+        let legacy = include_str!("../tests/fixtures/checkpoint-v1.json");
+        let migrated = FleetState::from_json(legacy).expect("legacy checkpoint migrates");
+        assert_eq!(migrated.format, Some(CHECKPOINT_FORMAT));
+
+        // Re-simulate the run the fixture was captured from:
+        // `agequant-fleet run --chips 8 --epochs 3 --seed 2021`.
+        let mut sim = FleetSim::new(FleetConfig::new(8, 2021)).expect("valid config");
+        sim.run(3).expect("simulates");
+        let fresh = sim.state();
+
+        assert_eq!(migrated.config, fresh.config);
+        assert_eq!(migrated.epoch, fresh.epoch);
+        assert_eq!(migrated.rng, fresh.rng);
+        assert_eq!(migrated.chips.len(), fresh.chips.len());
+        for (m, f) in migrated.chips.iter().zip(&fresh.chips) {
+            assert_eq!(m.id, f.id);
+            assert_eq!(m.kind, f.kind);
+            assert_eq!(m.profile, f.profile);
+            assert_eq!(m.bucket, f.bucket);
+            assert_eq!(m.mode, f.mode);
+            assert_eq!(m.plan, f.plan);
+            assert_eq!(m.model.kind_name(), "nbti");
+            let mp = m.model.profile();
+            let fp = f.model.profile();
+            assert_eq!(mp.exponent.to_bits(), fp.exponent.to_bits());
+            assert!(
+                (mp.eol_shift_v - fp.eol_shift_v).abs() < 1e-15,
+                "chip {}: {} vs {}",
+                m.id,
+                mp.eol_shift_v,
+                fp.eol_shift_v
+            );
+            assert_eq!(mp.vdd, fp.vdd);
+            assert_eq!(mp.lifetime_years, fp.lifetime_years);
+        }
+
+        // The migrated state resumes and keeps simulating.
+        let mut resumed = FleetSim::resume(migrated.clone()).expect("resumes");
+        resumed.step().expect("steps");
+        assert_eq!(resumed.state().epoch, migrated.epoch + 1);
+
+        // And a saved migrated state is already format 2: re-loading
+        // it is a pure round-trip, no second migration.
+        let round = FleetState::from_json(&migrated.to_json()).expect("round-trips");
+        assert_eq!(round, migrated);
+    }
+
+    /// Format-2 checkpoints pass through `from_json` untouched.
+    #[test]
+    fn current_checkpoints_round_trip_without_migration() {
+        let sim = FleetSim::new(tiny_config()).expect("valid config");
+        let state = sim.state();
+        assert_eq!(state.format, Some(CHECKPOINT_FORMAT));
+        let back = FleetState::from_json(&state.to_json()).expect("parses");
+        assert_eq!(&back, state);
     }
 }

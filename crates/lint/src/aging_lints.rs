@@ -1,0 +1,100 @@
+//! Lints over degradation-model calibration artifacts (`AG0xx`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::lint::{Artifact, Lint, Sink};
+
+/// AG001: a technology profile must be physically sane and survive a
+/// serialization round trip bit-exactly.
+///
+/// Checks: the profile's own bounds ([`violations`] — positive supply,
+/// threshold below supply, positive end-of-life shift smaller than the
+/// overdrive, positive lifetime, exponent in the published NBTI range,
+/// positive delay guardband); and that serializing and re-parsing the
+/// profile reproduces every field bit-for-bit, since every cache key
+/// and checkpoint in the flow hashes these exact bits.
+///
+/// [`violations`]: agequant_aging::TechProfile::violations
+pub struct ProfileSane;
+
+impl Lint for ProfileSane {
+    fn code(&self) -> &'static str {
+        "AG001"
+    }
+
+    fn slug(&self) -> &'static str {
+        "aging-profile-unsound"
+    }
+
+    fn description(&self) -> &'static str {
+        "technology profile out of physical bounds or not bit-stable under serde"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::Profile { profile, .. } = artifact else {
+            return;
+        };
+        for violation in profile.violations() {
+            sink.report(violation);
+        }
+        let round = agequant_aging::TechProfile::from_value(&profile.to_value());
+        match round {
+            Ok(round) => {
+                for (field, a, b) in [
+                    ("vdd", profile.vdd, round.vdd),
+                    ("vth0", profile.vth0, round.vth0),
+                    ("eol_shift_v", profile.eol_shift_v, round.eol_shift_v),
+                    (
+                        "lifetime_years",
+                        profile.lifetime_years,
+                        round.lifetime_years,
+                    ),
+                    ("exponent", profile.exponent, round.exponent),
+                    (
+                        "eol_delay_increase",
+                        profile.eol_delay_increase,
+                        round.eol_delay_increase,
+                    ),
+                ] {
+                    if a.to_bits() != b.to_bits() {
+                        sink.report(format!(
+                            "{field} is not bit-stable under serde: {a} re-parses as {b}"
+                        ));
+                    }
+                }
+            }
+            Err(e) => sink.report(format!("profile does not re-parse: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_aging::TechProfile;
+
+    use crate::lint::Artifact;
+    use crate::Linter;
+
+    #[test]
+    fn shipped_profile_is_clean() {
+        let profile = TechProfile::INTEL14NM;
+        let report = Linter::new().run(&[Artifact::Profile {
+            name: "intel14nm",
+            profile: &profile,
+        }]);
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn out_of_bounds_profile_fires_ag001() {
+        let profile = TechProfile {
+            eol_shift_v: -0.01,
+            ..TechProfile::INTEL14NM
+        };
+        let report = Linter::new().run(&[Artifact::Profile {
+            name: "bad",
+            profile: &profile,
+        }]);
+        assert!(report.with_code("AG001").count() >= 1, "{report:?}");
+    }
+}

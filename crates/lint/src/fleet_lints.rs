@@ -1,6 +1,7 @@
 //! Lints over fleet-simulation artifacts: checkpoints (FL001) and
 //! event journals (FL002).
 
+use agequant_aging::DegradationModel;
 use agequant_fleet::{Chip, ChipMode, EventKind};
 
 use crate::lint::{Artifact, Lint, Sink};
@@ -13,9 +14,10 @@ use crate::lint::{Artifact, Lint, Sink};
 /// (non-degenerate, i.e. not the all-zero state xoshiro can never
 /// leave); each chip's mode agrees with its plan (compressed chips
 /// hold a plan made for their current bucket, degraded chips hold
-/// none); and each chip's bucket equals what its own recorded kinetics
-/// imply at the recorded epoch, so a tampered epoch or bucket cannot
-/// masquerade as forward progress.
+/// none); each chip's sampled degradation-model profile is within
+/// physical bounds; and each chip's bucket equals what its own
+/// recorded kinetics imply at the recorded epoch, so a tampered epoch
+/// or bucket cannot masquerade as forward progress.
 pub struct CheckpointConsistency;
 
 impl Lint for CheckpointConsistency {
@@ -76,6 +78,13 @@ impl Lint for CheckpointConsistency {
                     ));
                 }
                 _ => {}
+            }
+            for violation in chip.model.profile().violations() {
+                sink.report(format!(
+                    "chip {} carries an unsound {} profile: {violation}",
+                    chip.id,
+                    chip.model.kind_name()
+                ));
             }
             if state.config.bucket_mv > 0.0 && state.config.epoch_years > 0.0 {
                 #[allow(clippy::cast_precision_loss)]

@@ -11,6 +11,7 @@
 //!
 //! | Code  | Slug | Checks |
 //! |-------|------|--------|
+//! | AG001 | aging-profile-unsound | technology-profile bounds + serde bit-stability |
 //! | NL001 | combinational-loop | gate reads its own or a later gate's output |
 //! | NL002 | floating-net | net reference outside the driver table |
 //! | NL003 | multi-driven-net | duplicate drivers / driver-table disagreement |
@@ -22,8 +23,9 @@
 //! | ST001 | arrival-time-order-violation | acausal or inconsistent STA report |
 //! | ST002 | compression-bitwidth-arithmetic | plan widths vs Section 5's rule |
 //! | QT001 | quant-range-inconsistent | broken scale/zero-point/bit width |
-//! | FL001 | fleet-checkpoint-inconsistent | checkpoint vs config/ids/RNG/physics |
+//! | FL001 | fleet-checkpoint-inconsistent | checkpoint vs config/ids/RNG/physics/model profiles |
 //! | FL002 | fleet-journal-acausal | journal order, orphan chips, replans after degrade |
+//! | SV001 | serve-config-invalid | saved decision-server configuration no longer validates |
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aging_lints;
 mod cell_lints;
 mod config;
 mod diagnostic;

@@ -1,5 +1,6 @@
 //! The [`Lint`] trait, the [`Artifact`] model, and the [`Linter`] driver.
 
+use agequant_aging::TechProfile;
 use agequant_cells::CellLibrary;
 use agequant_core::CompressionPlan;
 use agequant_fleet::{FleetState, JournalEvent};
@@ -11,7 +12,9 @@ use agequant_sta::TimingReport;
 
 use crate::config::LintConfig;
 use crate::diagnostic::{Diagnostic, LintReport, Severity};
-use crate::{cell_lints, fleet_lints, netlist_lints, quant_lints, serve_lints, sta_lints};
+use crate::{
+    aging_lints, cell_lints, fleet_lints, netlist_lints, quant_lints, serve_lints, sta_lints,
+};
 
 /// One artifact of the flow, presented for static verification.
 ///
@@ -20,6 +23,13 @@ use crate::{cell_lints, fleet_lints, netlist_lints, quant_lints, serve_lints, st
 /// compression plans, and quantization parameters.
 #[derive(Debug, Clone, Copy)]
 pub enum Artifact<'a> {
+    /// A degradation-model technology profile.
+    Profile {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// The calibration profile under check.
+        profile: &'a TechProfile,
+    },
     /// A gate-level netlist.
     Netlist {
         /// Display name used in diagnostics.
@@ -93,7 +103,8 @@ impl Artifact<'_> {
     #[must_use]
     pub fn name(&self) -> &str {
         match self {
-            Artifact::Netlist { name, .. }
+            Artifact::Profile { name, .. }
+            | Artifact::Netlist { name, .. }
             | Artifact::LibrarySweep { name, .. }
             | Artifact::Timing { name, .. }
             | Artifact::Plan { name, .. }
@@ -159,6 +170,7 @@ pub trait Lint {
 #[must_use]
 pub fn registry() -> Vec<Box<dyn Lint>> {
     vec![
+        Box::new(aging_lints::ProfileSane),
         Box::new(netlist_lints::CombinationalLoop),
         Box::new(netlist_lints::FloatingNet),
         Box::new(netlist_lints::MultiDrivenNet),
@@ -261,8 +273,8 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), codes.len(), "duplicate lint code");
         for expected in [
-            "NL001", "NL002", "NL003", "NL004", "NL005", "CL001", "CL002", "CL003", "ST001",
-            "ST002", "QT001", "FL001", "FL002", "SV001",
+            "AG001", "NL001", "NL002", "NL003", "NL004", "NL005", "CL001", "CL002", "CL003",
+            "ST001", "ST002", "QT001", "FL001", "FL002", "SV001",
         ] {
             assert!(codes.contains(&expected), "missing {expected}");
         }

@@ -2,7 +2,7 @@
 //! sweep, STA results, and the flow's compression plans — the
 //! artifacts the repository itself relies on, enumerated for linting.
 
-use agequant_aging::VthShift;
+use agequant_aging::{DegradationModel, ModelSpec, TechProfile, VthShift};
 use agequant_cells::{CellLibrary, ProcessLibrary};
 use agequant_core::{AgingAwareQuantizer, CompressionPlan, FlowConfig};
 use agequant_fleet::{FleetConfig, FleetSim, FleetState, JournalEvent};
@@ -35,6 +35,7 @@ fn sweep_levels(max_mv: f64, step_mv: f64) -> Vec<VthShift> {
 /// [`Zoo::artifacts`] for the borrowed view.
 #[must_use]
 pub struct Zoo {
+    profiles: Vec<(String, TechProfile)>,
     netlists: Vec<(String, Netlist)>,
     mac: MacCircuit,
     sweep: Vec<CellLibrary>,
@@ -79,9 +80,22 @@ impl Zoo {
             }
         }
 
+        // The calibration profile of every zoo model, held to AG001.
+        let profiles: Vec<(String, TechProfile)> = ModelSpec::NAMES
+            .iter()
+            .map(|name| {
+                let spec = ModelSpec::by_name(name).expect("NAMES resolve");
+                (format!("{name}_profile"), *spec.profile())
+            })
+            .collect();
+
         let process = ProcessLibrary::finfet14nm();
+        let derating = TechProfile::INTEL14NM.derating();
         let levels = sweep_levels(max_mv, step_mv);
-        let sweep: Vec<CellLibrary> = levels.iter().map(|&s| process.characterize(s)).collect();
+        let sweep: Vec<CellLibrary> = levels
+            .iter()
+            .map(|&s| process.characterize(&derating, s))
+            .collect();
 
         // STA results on the paper's MAC, per aging level, both
         // uncompressed and under the (4, 4)/MSB case of Section 5.
@@ -134,6 +148,7 @@ impl Zoo {
         let fleet_journal = fleet.journal().to_vec();
 
         Zoo {
+            profiles,
             netlists,
             mac,
             sweep,
@@ -151,6 +166,9 @@ impl Zoo {
     #[must_use]
     pub fn artifacts(&self) -> Vec<Artifact<'_>> {
         let mut artifacts = Vec::new();
+        for (name, profile) in &self.profiles {
+            artifacts.push(Artifact::Profile { name, profile });
+        }
         for (name, netlist) in &self.netlists {
             artifacts.push(Artifact::Netlist { name, netlist });
         }

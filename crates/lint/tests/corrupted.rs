@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use agequant_aging::VthShift;
+use agequant_aging::{TechProfile, VthShift};
 use agequant_cells::{ArcTiming, CellKind, CellLibrary, ProcessLibrary};
 use agequant_core::CompressionPlan;
 use agequant_lint::{Artifact, LintConfig, Linter, Severity};
@@ -153,7 +153,8 @@ fn nl005_fires_on_malformed_ports() {
 
 /// The fresh library's arcs, for building corrupted libraries.
 fn fresh_arcs() -> BTreeMap<CellKind, ArcTiming> {
-    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let lib = ProcessLibrary::finfet14nm()
+        .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
     lib.kinds().map(|k| (k, lib.arc(k).clone())).collect()
 }
 
@@ -168,7 +169,12 @@ fn real_sweep() -> Vec<CellLibrary> {
     let process = ProcessLibrary::finfet14nm();
     [0.0, 10.0, 20.0]
         .iter()
-        .map(|&mv| process.characterize(VthShift::from_millivolts(mv)))
+        .map(|&mv| {
+            process.characterize(
+                &TechProfile::INTEL14NM.derating(),
+                VthShift::from_millivolts(mv),
+            )
+        })
         .collect()
 }
 
@@ -187,7 +193,8 @@ fn cl002_fires_when_aging_speeds_a_cell_up() {
     assert!(!sweep_codes(&real_sweep()).contains(&"CL002".to_string()));
 
     // An "aged" library whose delays shrank below the fresh ones.
-    let fresh = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let fresh = ProcessLibrary::finfet14nm()
+        .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
     let mut arcs = fresh_arcs();
     for arc in arcs.values_mut() {
         for d in &mut arc.pin_intrinsic_ps {
@@ -199,7 +206,10 @@ fn cl002_fires_when_aging_speeds_a_cell_up() {
     assert!(sweep_codes(&bad).contains(&"CL002".to_string()));
 
     // A sweep whose ordering is scrambled is also rejected.
-    let aged = ProcessLibrary::finfet14nm().characterize(VthShift::from_millivolts(20.0));
+    let aged = ProcessLibrary::finfet14nm().characterize(
+        &TechProfile::INTEL14NM.derating(),
+        VthShift::from_millivolts(20.0),
+    );
     let unordered = vec![aged, fresh];
     assert!(sweep_codes(&unordered).contains(&"CL002".to_string()));
 }
@@ -222,7 +232,8 @@ fn cl003_fires_on_non_physical_power_data() {
 /// A real STA report over a small adder, plus the netlist it came from.
 fn timed_adder() -> (Netlist, TimingReport) {
     let adder = ripple_carry(4);
-    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let lib = ProcessLibrary::finfet14nm()
+        .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
     let report = Sta::new(&adder, &lib).analyze_uncompressed();
     (adder, report)
 }

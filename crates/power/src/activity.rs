@@ -124,7 +124,7 @@ impl<'a> EnergyEstimator<'a> {
 
 #[cfg(test)]
 mod tests {
-    use agequant_aging::VthShift;
+    use agequant_aging::{TechProfile, VthShift};
     use agequant_cells::ProcessLibrary;
     use agequant_netlist::mac::MacCircuit;
     use agequant_sta::{Compression, Padding};
@@ -132,7 +132,8 @@ mod tests {
     use super::*;
 
     fn fresh() -> agequant_cells::CellLibrary {
-        ProcessLibrary::finfet14nm().characterize(VthShift::FRESH)
+        ProcessLibrary::finfet14nm()
+            .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH)
     }
 
     #[test]
@@ -189,7 +190,10 @@ mod tests {
         let est = EnergyEstimator::new(mac.netlist(), &lib);
         assert!(est.leakage_power_nw() > 0.0);
         // End-of-life library leaks less (higher Vth).
-        let aged = ProcessLibrary::finfet14nm().characterize(VthShift::from_millivolts(50.0));
+        let aged = ProcessLibrary::finfet14nm().characterize(
+            &TechProfile::INTEL14NM.derating(),
+            VthShift::from_millivolts(50.0),
+        );
         let est_aged = EnergyEstimator::new(mac.netlist(), &aged);
         assert!(est_aged.leakage_power_nw() < est.leakage_power_nw());
     }

@@ -13,13 +13,13 @@
 //! # Example
 //!
 //! ```
-//! use agequant_aging::VthShift;
+//! use agequant_aging::{TechProfile, VthShift};
 //! use agequant_cells::ProcessLibrary;
 //! use agequant_netlist::mac::MacCircuit;
 //! use agequant_power::{EnergyEstimator, OperandStream};
 //!
 //! let mac = MacCircuit::edge_tpu();
-//! let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+//! let lib = ProcessLibrary::finfet14nm().characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
 //! let est = EnergyEstimator::new(mac.netlist(), &lib);
 //! let full = est.estimate(&OperandStream::uniform(400, 1), 100.0);
 //! let quiet = est.estimate(&OperandStream::uniform(400, 1).with_zero_msbs("a", 4), 100.0);

@@ -5,7 +5,8 @@
 //!                [--max-mv MV] [--journal FILE] [--checkpoint FILE]
 //!                [--write-config FILE] [--deadline-ms MS]
 //!                [--keep-alive-secs S] [--fleet-chips N]
-//!                [--fleet-seed SEED] [--debug-delay-ms MS]
+//!                [--fleet-seed SEED] [--model nbti|hci|surrogate]
+//!                [--debug-delay-ms MS]
 //! ```
 //!
 //! The process prints `listening on ADDR` once ready, then blocks
@@ -17,6 +18,7 @@
 
 use std::process::ExitCode;
 
+use agequant_aging::ModelSpec;
 use agequant_fleet::FleetConfig;
 use agequant_serve::{start, write_checkpoint, ServeConfig};
 
@@ -25,13 +27,15 @@ fn usage() -> &'static str {
      \x20                    [--max-mv MV] [--journal FILE] [--checkpoint FILE]\n\
      \x20                    [--write-config FILE] [--deadline-ms MS]\n\
      \x20                    [--keep-alive-secs S] [--fleet-chips N]\n\
-     \x20                    [--fleet-seed SEED] [--debug-delay-ms MS]"
+     \x20                    [--fleet-seed SEED] [--model nbti|hci|surrogate]\n\
+     \x20                    [--debug-delay-ms MS]"
 }
 
 struct Options {
     config: ServeConfig,
     checkpoint: Option<String>,
     write_config: Option<String>,
+    model: Option<ModelSpec>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -39,6 +43,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         config: ServeConfig::default(),
         checkpoint: None,
         write_config: None,
+        model: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -71,6 +76,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--fleet-seed" => {
                 options.config.fleet_seed = value.parse().map_err(|_| parse(value))?;
             }
+            "--model" => {
+                options.model = Some(ModelSpec::by_name(value).ok_or_else(|| {
+                    format!(
+                        "unknown model {value:?}; options: {}\n{}",
+                        ModelSpec::NAMES.join(", "),
+                        usage()
+                    )
+                })?);
+            }
             "--debug-delay-ms" => {
                 options.config.debug_delay_ms = value.parse().map_err(|_| parse(value))?;
             }
@@ -86,7 +100,8 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(path) = &options.write_config {
         std::fs::write(path, options.config.to_json()).map_err(|e| format!("{path}: {e}"))?;
     }
-    let fleet_config = FleetConfig::new(options.config.fleet_chips, options.config.fleet_seed);
+    let mut fleet_config = FleetConfig::new(options.config.fleet_chips, options.config.fleet_seed);
+    fleet_config.flow.model = options.model;
     let mut handle = start(options.config, fleet_config).map_err(|e| e.to_string())?;
     println!("listening on {}", handle.addr());
     handle.join();

@@ -8,12 +8,18 @@
 //! can ask over the network:
 //!
 //! * `POST /v1/plan` — ΔVth in, decision out, hitting the same plan
-//!   cache every other caller warms.
+//!   cache every other caller warms. An optional `model` field picks a
+//!   degradation model from the zoo; omitted, the server's configured
+//!   default answers byte-identically to before the field existed.
+//! * `GET /v1/models` — the degradation-model zoo: names,
+//!   descriptions, the server default, and which models hold a live
+//!   decider.
 //! * `POST /v1/telemetry` — per-chip aging samples advance a hosted
 //!   [`FleetSim`](agequant_fleet::FleetSim), journaled live.
 //! * `GET /v1/fleet/summary` — the hosted fleet's plan distribution.
 //! * `GET /metrics` — Prometheus text: request counts, latency
-//!   histograms, queue depth, and the engine's cache counters.
+//!   histograms, queue depth, and the engine's cache counters
+//!   (aggregate, plus per-degradation-model labelled series).
 //!
 //! Concurrency is a bounded-queue worker pool built on `std` only
 //! (threads, `Mutex`/`Condvar`, `std::net`): a full queue answers

@@ -5,6 +5,7 @@
 //! `/metrics` scrape never takes a lock and never blocks the plan
 //! path — the same discipline the engine's `CacheStats` follow.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -160,10 +161,16 @@ impl Metrics {
 
     /// Renders the registry in Prometheus text exposition format,
     /// folding in the live queue depth and the engine's cache
-    /// counters.
+    /// counters — the aggregate series plus one labelled series per
+    /// degradation model.
     #[must_use]
     #[allow(clippy::cast_precision_loss)]
-    pub fn render(&self, queue_depth: usize, engine: &CacheStats) -> String {
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        engine: &CacheStats,
+        by_model: &BTreeMap<String, CacheStats>,
+    ) -> String {
         let mut out = String::with_capacity(4096);
 
         out.push_str("# HELP agequant_http_requests_total Requests by endpoint and status class\n");
@@ -242,6 +249,24 @@ impl Metrics {
                 "agequant_engine_cache_events_total{{cache=\"{cache}\",event=\"{event}\"}} {n}\n"
             ));
         }
+        if !by_model.is_empty() {
+            out.push_str(
+                "# HELP agequant_engine_model_cache_events_total Evaluation-engine cache counters by degradation model\n",
+            );
+            out.push_str("# TYPE agequant_engine_model_cache_events_total counter\n");
+            for (model, stats) in by_model {
+                for (cache, event, n) in [
+                    ("library", "hit", stats.library_hits),
+                    ("library", "miss", stats.library_misses),
+                    ("plan", "hit", stats.plan_hits),
+                    ("plan", "miss", stats.plan_misses),
+                ] {
+                    out.push_str(&format!(
+                        "agequant_engine_model_cache_events_total{{model=\"{model}\",cache=\"{cache}\",event=\"{event}\"}} {n}\n"
+                    ));
+                }
+            }
+        }
         out.push_str("# HELP agequant_engine_plan_hit_rate Plan-cache hit rate\n");
         out.push_str("# TYPE agequant_engine_plan_hit_rate gauge\n");
         out.push_str(&format!(
@@ -262,7 +287,7 @@ mod tests {
         metrics.observe(Endpoint::Plan, 200, Duration::from_micros(80));
         metrics.observe(Endpoint::Plan, 200, Duration::from_millis(3));
         metrics.observe(Endpoint::Plan, 503, Duration::from_micros(10));
-        let text = metrics.render(2, &CacheStats::default());
+        let text = metrics.render(2, &CacheStats::default(), &BTreeMap::new());
         // 80 µs and 10 µs fall at or under 100 µs; 3 ms lands later.
         assert!(text.contains("le=\"0.0001\"} 2\n"), "{text}");
         assert!(text.contains("le=\"+Inf\"} 3\n"), "{text}");
@@ -278,7 +303,7 @@ mod tests {
         metrics.record_rejection();
         metrics.record_timeout();
         assert_eq!(metrics.rejections(), 2);
-        let text = metrics.render(0, &CacheStats::default());
+        let text = metrics.render(0, &CacheStats::default(), &BTreeMap::new());
         assert!(text.contains("agequant_queue_rejected_total 2"));
         assert!(text.contains("agequant_request_timeouts_total 1"));
     }
@@ -292,9 +317,44 @@ mod tests {
             plan_hits: 30,
             plan_misses: 2,
         };
-        let text = metrics.render(0, &stats);
+        let text = metrics.render(0, &stats, &BTreeMap::new());
         assert!(text.contains("cache=\"plan\",event=\"hit\"} 30"));
         assert!(text.contains("cache=\"library\",event=\"miss\"} 1"));
         assert!(text.contains("agequant_engine_plan_hit_rate 0.9375"));
+        // No per-model series without per-model counters.
+        assert!(!text.contains("agequant_engine_model_cache_events_total"));
+    }
+
+    #[test]
+    fn per_model_counters_are_exported_as_labelled_series() {
+        let metrics = Metrics::new();
+        let mut by_model = BTreeMap::new();
+        by_model.insert(
+            "nbti".to_string(),
+            CacheStats {
+                library_hits: 5,
+                library_misses: 6,
+                plan_hits: 7,
+                plan_misses: 8,
+            },
+        );
+        by_model.insert(
+            "hci".to_string(),
+            CacheStats {
+                library_hits: 1,
+                library_misses: 2,
+                plan_hits: 3,
+                plan_misses: 4,
+            },
+        );
+        let text = metrics.render(0, &CacheStats::default(), &by_model);
+        assert!(text.contains(
+            "agequant_engine_model_cache_events_total{model=\"nbti\",cache=\"plan\",event=\"miss\"} 8"
+        ));
+        assert!(text.contains(
+            "agequant_engine_model_cache_events_total{model=\"hci\",cache=\"library\",event=\"hit\"} 1"
+        ));
+        // The aggregate series is untouched by the split.
+        assert!(text.contains("agequant_engine_cache_events_total{cache=\"plan\",event=\"hit\"} 0"));
     }
 }

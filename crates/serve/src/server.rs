@@ -24,15 +24,16 @@
 //! `connection: close`, and wind down. [`ServerHandle::join`] returns
 //! when the drain is complete.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use agequant_aging::VthShift;
+use agequant_aging::{ModelSpec, VthShift};
+use agequant_core::EvalEngine;
 use agequant_fleet::{journal, Decider, Decision, FleetConfig, FleetSim};
 use serde::{Deserialize, Value};
 
@@ -55,6 +56,10 @@ struct PlanRequest {
     /// Optional constraint override as a fraction of the fresh
     /// critical path (the fleet's configured factor when absent).
     constraint_factor: Option<f64>,
+    /// Optional degradation-model selector (a zoo name from
+    /// `GET /v1/models`); the server's configured model when absent,
+    /// so pre-existing clients see byte-identical responses.
+    model: Option<String>,
 }
 
 /// `POST /v1/telemetry` body.
@@ -152,6 +157,13 @@ struct Shared {
     config: ServeConfig,
     addr: SocketAddr,
     decider: Arc<Decider>,
+    /// The engine every decider (default and per-model) plans through;
+    /// cache entries are model-keyed, so sharing is safe and the
+    /// `/metrics` split stays exact.
+    engine: Arc<EvalEngine>,
+    /// Lazily built deciders for non-default zoo models requested via
+    /// `POST /v1/plan`'s `model` field, keyed by zoo name.
+    model_deciders: RwLock<BTreeMap<String, Arc<Decider>>>,
     fleet: Mutex<FleetHost>,
     metrics: Metrics,
     queue: JobQueue,
@@ -243,7 +255,10 @@ pub fn start(config: ServeConfig, fleet_config: FleetConfig) -> Result<ServerHan
     let mut fleet_config = fleet_config;
     fleet_config.chips = config.fleet_chips;
     fleet_config.seed = config.fleet_seed;
-    let decider = Arc::new(Decider::from_config(&fleet_config).map_err(ServeError::Fleet)?);
+    let engine = Arc::new(EvalEngine::new(fleet_config.flow.process.clone()));
+    let decider = Arc::new(
+        Decider::with_engine(&fleet_config, Arc::clone(&engine)).map_err(ServeError::Fleet)?,
+    );
     let sim = FleetSim::new_with_decider(Arc::clone(&decider)).map_err(ServeError::Fleet)?;
 
     let listener = TcpListener::bind(&config.addr)
@@ -265,6 +280,8 @@ pub fn start(config: ServeConfig, fleet_config: FleetConfig) -> Result<ServerHan
         config,
         addr,
         decider,
+        engine,
+        model_deciders: RwLock::new(BTreeMap::new()),
         fleet: Mutex::new(host),
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
@@ -375,13 +392,15 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
 fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/metrics") => {
-            let stats = shared.decider.flow().engine().stats();
-            let text = shared.metrics.render(shared.queue.len(), &stats);
+            let stats = shared.engine.stats();
+            let by_model = shared.engine.stats_by_model();
+            let text = shared.metrics.render(shared.queue.len(), &stats, &by_model);
             (
                 Endpoint::Metrics,
                 Response::text(200, text).with_header("cache-control", "no-store".to_string()),
             )
         }
+        ("GET", "/v1/models") => (Endpoint::Other, models_response(shared)),
         ("GET", "/v1/fleet/summary") => {
             let host = shared.fleet.lock().expect("unpoisoned fleet");
             let body = host.sim.summary().to_json();
@@ -409,7 +428,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
         (
             _,
             "/metrics" | "/v1/fleet/summary" | "/healthz" | "/v1/shutdown" | "/v1/plan"
-            | "/v1/telemetry",
+            | "/v1/telemetry" | "/v1/models",
         ) => (
             Endpoint::Other,
             Response::json(405, error_body("method not allowed")),
@@ -485,6 +504,84 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 // ---------------------------------------------------------------- handlers
 
+/// `GET /v1/models`: the degradation-model zoo, with the server's
+/// default and which models already hold a live decider.
+fn models_response(shared: &Shared) -> Response {
+    let default_key = shared.decider.flow().model_key().to_string();
+    let loaded: Vec<String> = shared
+        .model_deciders
+        .read()
+        .expect("unpoisoned model deciders")
+        .keys()
+        .cloned()
+        .collect();
+    let models: Vec<Value> = ModelSpec::NAMES
+        .iter()
+        .map(|name| {
+            let spec = ModelSpec::by_name(name).expect("NAMES resolve");
+            obj(vec![
+                ("name", Value::Str((*name).to_string())),
+                ("description", Value::Str(spec.description().to_string())),
+                (
+                    "loaded",
+                    Value::Bool(*name == default_key || loaded.iter().any(|l| l == name)),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        render_value(&obj(vec![
+            ("default", Value::Str(default_key)),
+            ("models", Value::Seq(models)),
+        ])),
+    )
+}
+
+/// Resolves the decider answering a plan request: the server's default
+/// for `model: null`, else a per-model decider built lazily on the
+/// shared engine.
+fn decider_for(shared: &Shared, model: Option<&str>) -> Result<Arc<Decider>, Response> {
+    let Some(name) = model else {
+        return Ok(Arc::clone(&shared.decider));
+    };
+    if name == shared.decider.flow().model_key() {
+        return Ok(Arc::clone(&shared.decider));
+    }
+    if let Some(decider) = shared
+        .model_deciders
+        .read()
+        .expect("unpoisoned model deciders")
+        .get(name)
+    {
+        return Ok(Arc::clone(decider));
+    }
+    let Some(spec) = ModelSpec::by_name(name) else {
+        return Err(Response::json(
+            400,
+            error_body(&format!(
+                "unknown model {name:?}; options: {}",
+                ModelSpec::NAMES.join(", ")
+            )),
+        ));
+    };
+    let mut config = shared.decider.config().clone();
+    config.flow.model = Some(spec);
+    let decider = match Decider::with_engine(&config, Arc::clone(&shared.engine)) {
+        Ok(decider) => Arc::new(decider),
+        Err(e) => return Err(Response::json(500, error_body(&e.to_string()))),
+    };
+    let mut deciders = shared
+        .model_deciders
+        .write()
+        .expect("unpoisoned model deciders");
+    // A racing worker may have built it first; keep the stored one so
+    // every request for a model shares its memos.
+    Ok(Arc::clone(
+        deciders.entry(name.to_string()).or_insert_with(|| decider),
+    ))
+}
+
 fn handle_plan(shared: &Shared, request: &PlanRequest) -> Response {
     let mv = request.delta_vth_mv;
     if !(mv.is_finite() && (0.0..=shared.config.max_mv + 1e-9).contains(&mv)) {
@@ -496,9 +593,13 @@ fn handle_plan(shared: &Shared, request: &PlanRequest) -> Response {
             )),
         );
     }
+    let decider = match decider_for(shared, request.model.as_deref()) {
+        Ok(decider) => decider,
+        Err(response) => return response,
+    };
     let shift = VthShift::from_millivolts(mv);
     let decision = match request.constraint_factor {
-        None => shared.decider.decide_shift(shift),
+        None => decider.decide_shift(shift),
         Some(factor) => {
             if !(factor > 0.0 && factor.is_finite()) {
                 return Response::json(
@@ -506,17 +607,12 @@ fn handle_plan(shared: &Shared, request: &PlanRequest) -> Response {
                     error_body(&format!("constraint_factor {factor} must be positive")),
                 );
             }
-            let constraint_ps = shared.decider.flow().fresh_critical_path_ps() * factor;
-            shared
-                .decider
-                .decide_bucket_at(shared.decider.bucket_of(shift), constraint_ps)
+            let constraint_ps = decider.flow().fresh_critical_path_ps() * factor;
+            decider.decide_bucket_at(decider.bucket_of(shift), constraint_ps)
         }
     };
     match decision {
-        Ok(decision) => Response::json(
-            200,
-            render_value(&plan_response(&shared.decider, &decision)),
-        ),
+        Ok(decision) => Response::json(200, render_value(&plan_response(&decider, &decision))),
         Err(e) => Response::json(500, error_body(&e.to_string())),
     }
 }

@@ -125,6 +125,93 @@ fn concurrent_clients_bit_identical_to_direct_engine() {
     handle.shutdown_and_join();
 }
 
+/// The degradation-model surface: `GET /v1/models` lists the zoo,
+/// `POST /v1/plan` with a `model` field answers from that model's
+/// decider, an explicit `"model": "nbti"` is byte-identical to
+/// omitting the field (the server default), and the per-model cache
+/// split shows up in `/metrics`.
+#[test]
+fn model_selection_end_to_end() {
+    let handle = start(test_config(4), FleetConfig::new(4, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    let (status, _, body) = request(&addr, "GET", "/v1/models", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"default\":\"nbti\""), "{body}");
+    for name in ["nbti", "hci", "surrogate"] {
+        assert!(body.contains(&format!("\"name\":\"{name}\"")), "{body}");
+    }
+    let (status, _, _) = request(&addr, "DELETE", "/v1/models", None);
+    assert_eq!(status, 405);
+
+    // Default-model responses are byte-identical with and without the
+    // explicit field — the wire contract for pre-existing clients.
+    let body_implicit = |mv: f64| {
+        let (status, _, body) = request(
+            &addr,
+            "POST",
+            "/v1/plan",
+            Some(&format!("{{\"delta_vth_mv\": {mv}}}")),
+        );
+        assert_eq!(status, 200, "{body}");
+        body
+    };
+    let body_with_model = |mv: f64, model: &str| {
+        let (status, _, body) = request(
+            &addr,
+            "POST",
+            "/v1/plan",
+            Some(&format!(
+                "{{\"delta_vth_mv\": {mv}, \"model\": \"{model}\"}}"
+            )),
+        );
+        assert_eq!(status, 200, "{body}");
+        body
+    };
+    for &mv in &AGING_SWEEP_MV {
+        assert_eq!(body_implicit(mv), body_with_model(mv, "nbti"));
+    }
+
+    // Every zoo model answers; HCI shares the 14 nm profile with the
+    // default, so its plans agree — what differs is the cache traffic.
+    for &mv in &AGING_SWEEP_MV {
+        assert_eq!(body_implicit(mv), body_with_model(mv, "hci"));
+        let surrogate = body_with_model(mv, "surrogate");
+        assert!(surrogate.contains("\"bucket\""), "{surrogate}");
+    }
+
+    // Unknown models are a 400 naming the zoo.
+    let (status, _, body) = request(
+        &addr,
+        "POST",
+        "/v1/plan",
+        Some("{\"delta_vth_mv\": 10.0, \"model\": \"entropy\"}"),
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("nbti, hci, surrogate"), "{body}");
+
+    // The per-model split is visible on /metrics, and /v1/models now
+    // reports the lazily built deciders as loaded.
+    let (status, _, metrics) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    for model in ["nbti", "hci"] {
+        assert!(
+            metrics.contains(&format!(
+                "agequant_engine_model_cache_events_total{{model=\"{model}\",cache=\"plan\",event=\"miss\"}}"
+            )),
+            "{metrics}"
+        );
+    }
+    assert!(
+        metrics.contains("agequant_engine_cache_events_total{cache=\"plan\",event=\"hit\"}"),
+        "aggregate series stays: {metrics}"
+    );
+    let (_, _, body) = request(&addr, "GET", "/v1/models", None);
+    assert!(!body.contains("\"loaded\":false"), "{body}");
+
+    handle.shutdown_and_join();
+}
+
 #[test]
 fn plan_validates_its_input() {
     let handle = start(test_config(4), FleetConfig::new(4, 7)).expect("start");

@@ -284,14 +284,15 @@ impl<'a> Sta<'a> {
 
 #[cfg(test)]
 mod tests {
-    use agequant_aging::VthShift;
+    use agequant_aging::{TechProfile, VthShift};
     use agequant_cells::{CellKind, ProcessLibrary};
     use agequant_netlist::NetlistBuilder;
 
     use super::*;
 
     fn fresh_lib() -> CellLibrary {
-        ProcessLibrary::finfet14nm().characterize(VthShift::FRESH)
+        ProcessLibrary::finfet14nm()
+            .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH)
     }
 
     #[test]

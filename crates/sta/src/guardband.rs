@@ -13,10 +13,10 @@ use serde::{Deserialize, Serialize};
 /// # Example
 ///
 /// ```
-/// use agequant_aging::AgingScenario;
+/// use agequant_aging::TechProfile;
 /// use agequant_sta::GuardbandModel;
 ///
-/// let gb = GuardbandModel::for_scenario(100.0, &AgingScenario::intel14nm());
+/// let gb = GuardbandModel::for_scenario(100.0, &TechProfile::INTEL14NM.scenario());
 /// assert!((gb.guardband_fraction() - 0.23).abs() < 1e-9);
 /// assert!((gb.guardbanded_period_ps() - 123.0).abs() < 1e-6);
 /// ```
@@ -105,8 +105,9 @@ mod tests {
 
     #[test]
     fn guardband_covers_eol() {
-        let gb = GuardbandModel::for_scenario(80.0, &AgingScenario::intel14nm());
-        let eol = gb.aged_period_ps(&AgingScenario::intel14nm(), VthShift::from_millivolts(50.0));
+        let scenario = agequant_aging::TechProfile::INTEL14NM.scenario();
+        let gb = GuardbandModel::for_scenario(80.0, &scenario);
+        let eol = gb.aged_period_ps(&scenario, VthShift::from_millivolts(50.0));
         assert!((gb.guardbanded_period_ps() - eol).abs() < 1e-9);
         assert!(!gb.violates_fresh_timing(gb.fresh_period_ps()));
         assert!(gb.violates_fresh_timing(eol));

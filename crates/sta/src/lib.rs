@@ -21,13 +21,13 @@
 //! # Example
 //!
 //! ```
-//! use agequant_aging::VthShift;
+//! use agequant_aging::{TechProfile, VthShift};
 //! use agequant_cells::ProcessLibrary;
 //! use agequant_netlist::mac::MacCircuit;
 //! use agequant_sta::{mac_case, Compression, Padding, Sta};
 //!
 //! let mac = MacCircuit::edge_tpu();
-//! let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+//! let lib = ProcessLibrary::finfet14nm().characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
 //! let sta = Sta::new(mac.netlist(), &lib);
 //!
 //! let full = sta.analyze_uncompressed();

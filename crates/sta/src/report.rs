@@ -103,7 +103,7 @@ impl TimingReport {
 
 #[cfg(test)]
 mod tests {
-    use agequant_aging::VthShift;
+    use agequant_aging::{TechProfile, VthShift};
     use agequant_cells::ProcessLibrary;
     use agequant_netlist::mac::MacCircuit;
 
@@ -112,7 +112,8 @@ mod tests {
     #[test]
     fn slacks_sorted_and_consistent() {
         let mac = MacCircuit::edge_tpu();
-        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+        let lib = ProcessLibrary::finfet14nm()
+            .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
         let report = Sta::new(mac.netlist(), &lib).analyze_uncompressed();
         let slacks = report.slacks(mac.netlist(), report.critical_path_ps);
         // Zero-slack clock: worst slack is exactly 0, everything met.
@@ -129,11 +130,14 @@ mod tests {
     fn aged_circuit_violates_fresh_clock() {
         let mac = MacCircuit::edge_tpu();
         let process = ProcessLibrary::finfet14nm();
-        let fresh = process.characterize(VthShift::FRESH);
+        let fresh = process.characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
         let fresh_cp = Sta::new(mac.netlist(), &fresh)
             .analyze_uncompressed()
             .critical_path_ps;
-        let aged = process.characterize(VthShift::from_millivolts(50.0));
+        let aged = process.characterize(
+            &TechProfile::INTEL14NM.derating(),
+            VthShift::from_millivolts(50.0),
+        );
         let report = Sta::new(mac.netlist(), &aged).analyze_uncompressed();
         let slacks = report.slacks(mac.netlist(), fresh_cp);
         assert!(!slacks.met());
@@ -144,7 +148,8 @@ mod tests {
     #[test]
     fn render_contains_path_and_endpoints() {
         let mac = MacCircuit::edge_tpu();
-        let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+        let lib = ProcessLibrary::finfet14nm()
+            .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
         let report = Sta::new(mac.netlist(), &lib).analyze_uncompressed();
         let text = report.render(mac.netlist(), 500.0, 5);
         assert!(text.contains("Timing report"));

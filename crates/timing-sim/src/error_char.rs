@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use agequant_aging::VthShift;
+use agequant_aging::{DelayDerating, VthShift};
 use agequant_cells::ProcessLibrary;
 use agequant_netlist::Netlist;
 use agequant_sta::Sta;
@@ -52,6 +52,7 @@ pub struct MultiplierAgingErrors {
 pub fn characterize_multiplier(
     netlist: &Netlist,
     process: &ProcessLibrary,
+    derating: &DelayDerating,
     shift: VthShift,
     samples: usize,
     seed: u64,
@@ -71,12 +72,12 @@ pub fn characterize_multiplier(
         .width();
 
     // Fresh clock: critical path of the un-aged circuit, zero slack.
-    let fresh_lib = process.characterize(VthShift::FRESH);
+    let fresh_lib = process.characterize(derating, VthShift::FRESH);
     let clock_ps = Sta::new(netlist, &fresh_lib)
         .analyze_uncompressed()
         .critical_path_ps;
 
-    let aged_lib = process.characterize(shift);
+    let aged_lib = process.characterize(derating, shift);
     let sim = TimedSim::new(netlist, &aged_lib);
 
     let mut rng = StdRng::seed_from_u64(seed);
@@ -130,6 +131,7 @@ pub fn characterize_multiplier(
 
 #[cfg(test)]
 mod tests {
+    use agequant_aging::TechProfile;
     use agequant_netlist::multipliers::{multiplier, MultiplierArch};
 
     use super::*;
@@ -143,6 +145,7 @@ mod tests {
         let stats = characterize_multiplier(
             &mult8(),
             &ProcessLibrary::finfet14nm(),
+            &TechProfile::INTEL14NM.derating(),
             VthShift::FRESH,
             200,
             7,
@@ -156,10 +159,22 @@ mod tests {
     fn errors_grow_with_aging() {
         let process = ProcessLibrary::finfet14nm();
         let netlist = mult8();
-        let m20 =
-            characterize_multiplier(&netlist, &process, VthShift::from_millivolts(20.0), 300, 7);
-        let m50 =
-            characterize_multiplier(&netlist, &process, VthShift::from_millivolts(50.0), 300, 7);
+        let m20 = characterize_multiplier(
+            &netlist,
+            &process,
+            &TechProfile::INTEL14NM.derating(),
+            VthShift::from_millivolts(20.0),
+            300,
+            7,
+        );
+        let m50 = characterize_multiplier(
+            &netlist,
+            &process,
+            &TechProfile::INTEL14NM.derating(),
+            VthShift::from_millivolts(50.0),
+            300,
+            7,
+        );
         assert!(m50.med >= m20.med);
         assert!(m50.med > 0.0, "end-of-life must produce errors");
         assert!(m50.error_rate > 0.0);
@@ -172,6 +187,7 @@ mod tests {
         let stats = characterize_multiplier(
             &mult8(),
             &ProcessLibrary::finfet14nm(),
+            &TechProfile::INTEL14NM.derating(),
             VthShift::from_millivolts(50.0),
             400,
             13,
@@ -188,10 +204,22 @@ mod tests {
     fn determinism_under_fixed_seed() {
         let process = ProcessLibrary::finfet14nm();
         let netlist = mult8();
-        let a =
-            characterize_multiplier(&netlist, &process, VthShift::from_millivolts(30.0), 100, 5);
-        let b =
-            characterize_multiplier(&netlist, &process, VthShift::from_millivolts(30.0), 100, 5);
+        let a = characterize_multiplier(
+            &netlist,
+            &process,
+            &TechProfile::INTEL14NM.derating(),
+            VthShift::from_millivolts(30.0),
+            100,
+            5,
+        );
+        let b = characterize_multiplier(
+            &netlist,
+            &process,
+            &TechProfile::INTEL14NM.derating(),
+            VthShift::from_millivolts(30.0),
+            100,
+            5,
+        );
         assert_eq!(a, b);
     }
 }

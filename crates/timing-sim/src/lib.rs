@@ -19,17 +19,18 @@
 //! # Example
 //!
 //! ```
-//! use agequant_aging::VthShift;
+//! use agequant_aging::{TechProfile, VthShift};
 //! use agequant_cells::ProcessLibrary;
 //! use agequant_netlist::multipliers::{multiplier, MultiplierArch};
 //! use agequant_timing_sim::characterize_multiplier;
 //!
 //! let netlist = multiplier(8, 8, MultiplierArch::Wallace);
 //! let process = ProcessLibrary::finfet14nm();
-//! let fresh = characterize_multiplier(&netlist, &process, VthShift::FRESH, 500, 42);
+//! let derating = TechProfile::INTEL14NM.derating();
+//! let fresh = characterize_multiplier(&netlist, &process, &derating, VthShift::FRESH, 500, 42);
 //! assert_eq!(fresh.med, 0.0, "a fresh multiplier at its own period never errs");
 //! let aged = characterize_multiplier(
-//!     &netlist, &process, VthShift::from_millivolts(50.0), 500, 42);
+//!     &netlist, &process, &derating, VthShift::from_millivolts(50.0), 500, 42);
 //! assert!(aged.med > 0.0, "end-of-life aging causes timing errors");
 //! ```
 

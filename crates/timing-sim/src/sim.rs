@@ -243,7 +243,10 @@ mod tests {
     use super::*;
 
     fn lib(mv: f64) -> agequant_cells::CellLibrary {
-        ProcessLibrary::finfet14nm().characterize(VthShift::from_millivolts(mv))
+        ProcessLibrary::finfet14nm().characterize(
+            &agequant_aging::TechProfile::INTEL14NM.derating(),
+            VthShift::from_millivolts(mv),
+        )
     }
 
     #[test]

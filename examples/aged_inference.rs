@@ -15,7 +15,7 @@
 //! cargo run --release --example aged_inference
 //! ```
 
-use agequant::aging::VthShift;
+use agequant::aging::{TechProfile, VthShift};
 use agequant::core::{AgingAwareQuantizer, FlowConfig};
 use agequant::faults::ProfileInjector;
 use agequant::netlist::multipliers::{multiplier, MultiplierArch};
@@ -35,7 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Scenario 1: run the aged multiplier at the fresh clock and
     // measure its real per-bit error profile at the gate level …
     let mult = multiplier(8, 8, MultiplierArch::Wallace);
-    let errors = characterize_multiplier(&mult, &flow.config().process, shift, 2000, 11);
+    let errors = characterize_multiplier(
+        &mult,
+        &flow.config().process,
+        &TechProfile::INTEL14NM.derating(),
+        shift,
+        2000,
+        11,
+    );
     println!(
         "gate-level characterization at {shift}: MED {:.1}, 2-MSB flip probability {:.4}",
         errors.med, errors.msb2_flip_prob

@@ -9,7 +9,7 @@
 //! cargo run --release --example mac_timing
 //! ```
 
-use agequant::aging::VthShift;
+use agequant::aging::{TechProfile, VthShift};
 use agequant::cells::ProcessLibrary;
 use agequant::netlist::mac::MacCircuit;
 use agequant::sta::{mac_case_on, Compression, Padding, Sta};
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let process = ProcessLibrary::finfet14nm();
-    let fresh = process.characterize(VthShift::FRESH);
+    let fresh = process.characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
     let sta = Sta::new(mac.netlist(), &fresh);
     let report = sta.analyze_uncompressed();
     println!(
@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Compression kills the long carry chains: compare activated
     // critical paths at (4, 4) under both paddings, fresh and aged.
     for shift_mv in [0.0, 50.0] {
-        let lib = process.characterize(VthShift::from_millivolts(shift_mv));
+        let lib = process.characterize(
+            &TechProfile::INTEL14NM.derating(),
+            VthShift::from_millivolts(shift_mv),
+        );
         let sta = Sta::new(mac.netlist(), &lib);
         let base = sta.analyze_uncompressed().critical_path_ps;
         println!("\nΔVth = {shift_mv} mV: uncompressed {base:.1} ps");

@@ -8,7 +8,7 @@
 //! cargo run --release --example npu_energy
 //! ```
 
-use agequant::aging::VthShift;
+use agequant::aging::{TechProfile, VthShift};
 use agequant::core::{AgingAwareQuantizer, FlowConfig};
 use agequant::power::{EnergyEstimator, OperandStream};
 
@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for shift_mv in [0.0, 20.0, 50.0] {
         let shift = VthShift::from_millivolts(shift_mv);
         let plan = flow.compression_for(shift)?;
-        let lib = flow.config().process.characterize(shift);
+        let lib = flow
+            .config()
+            .process
+            .characterize(&TechProfile::INTEL14NM.derating(), shift);
         let estimator = EnergyEstimator::new(flow.mac().netlist(), &lib);
 
         let baseline = estimator.estimate(&OperandStream::uniform(samples, 1), guardbanded);

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use agequant::aging::VthShift;
+use agequant::aging::{TechProfile, VthShift};
 use agequant::cells::ProcessLibrary;
 use agequant::netlist::mac::MacCircuit;
 use agequant::netlist::multipliers::{multiplier, MultiplierArch};
@@ -55,7 +55,10 @@ fn event_sim_never_settles_later_than_sta() {
     let mac = MacCircuit::edge_tpu();
     let process = ProcessLibrary::finfet14nm();
     for mv in [0.0, 30.0, 50.0] {
-        let lib = process.characterize(VthShift::from_millivolts(mv));
+        let lib = process.characterize(
+            &TechProfile::INTEL14NM.derating(),
+            VthShift::from_millivolts(mv),
+        );
         let sta_bound = Sta::new(mac.netlist(), &lib)
             .analyze_uncompressed()
             .critical_path_ps;
@@ -98,7 +101,10 @@ fn compressed_operands_settle_within_the_case_analysis_bound() {
     // mechanism that makes compressed operation error-free.
     let mac = MacCircuit::edge_tpu();
     let process = ProcessLibrary::finfet14nm();
-    let lib = process.characterize(VthShift::from_millivolts(50.0));
+    let lib = process.characterize(
+        &TechProfile::INTEL14NM.derating(),
+        VthShift::from_millivolts(50.0),
+    );
     let compression = Compression::new(4, 4);
     let case = mac_case_on(mac.netlist(), mac.geometry(), compression, Padding::Msb)
         .expect("valid case for the Edge-TPU MAC");
@@ -158,7 +164,8 @@ fn case_analysis_is_conservative_over_feasible_vectors() {
     // The case-analysis delay never exceeds the unconstrained delay,
     // and tying more inputs never increases it.
     let mac = MacCircuit::edge_tpu();
-    let lib = ProcessLibrary::finfet14nm().characterize(VthShift::FRESH);
+    let lib = ProcessLibrary::finfet14nm()
+        .characterize(&TechProfile::INTEL14NM.derating(), VthShift::FRESH);
     let sta = Sta::new(mac.netlist(), &lib);
     let unconstrained = sta.analyze_uncompressed().critical_path_ps;
     let mut last = unconstrained;

@@ -1,7 +1,7 @@
 //! End-to-end integration tests of the aging-aware quantization flow:
 //! device → circuit → system invariants the paper's claims rest on.
 
-use agequant::aging::{AgingScenario, VthShift};
+use agequant::aging::{TechProfile, VthShift};
 use agequant::core::lifetime::DelayTrajectory;
 use agequant::core::{AgingAwareQuantizer, FlowConfig};
 use agequant::nn::NetArch;
@@ -22,7 +22,7 @@ fn guardband_elimination_invariant() {
     // meets the FRESH clock — so the guardband can be removed and no
     // timing errors ever occur.
     let flow = quick_flow();
-    for shift in AgingScenario::intel14nm().sweep() {
+    for shift in TechProfile::INTEL14NM.scenario().sweep() {
         let plan = flow.compression_for(shift).expect("feasible");
         assert!(
             plan.compressed_delay_ps <= flow.fresh_critical_path_ps() + 1e-9,
@@ -51,7 +51,7 @@ fn compression_plans_use_both_paddings_across_life() {
     // does). With our microarchitecture both appear across the sweep.
     let flow = quick_flow();
     let mut paddings = std::collections::BTreeSet::new();
-    for shift in AgingScenario::intel14nm().aged_sweep() {
+    for shift in TechProfile::INTEL14NM.scenario().aged_sweep() {
         let plan = flow.compression_for(shift).expect("feasible");
         paddings.insert(plan.padding.name());
     }

@@ -90,15 +90,29 @@ fn fault_injection_composes_with_every_method() {
 fn measured_profile_injection_is_ordered_by_aging() {
     // Profiles measured at the gate level for mild vs end-of-life
     // aging must produce correspondingly ordered accuracy damage.
-    use agequant::aging::VthShift;
+    use agequant::aging::{TechProfile, VthShift};
     use agequant::cells::ProcessLibrary;
     use agequant::netlist::multipliers::{multiplier, MultiplierArch};
     use agequant::timing_sim::characterize_multiplier;
 
     let mult = multiplier(8, 8, MultiplierArch::Wallace);
     let process = ProcessLibrary::finfet14nm();
-    let mild = characterize_multiplier(&mult, &process, VthShift::from_millivolts(10.0), 800, 3);
-    let eol = characterize_multiplier(&mult, &process, VthShift::from_millivolts(50.0), 800, 3);
+    let mild = characterize_multiplier(
+        &mult,
+        &process,
+        &TechProfile::INTEL14NM.derating(),
+        VthShift::from_millivolts(10.0),
+        800,
+        3,
+    );
+    let eol = characterize_multiplier(
+        &mult,
+        &process,
+        &TechProfile::INTEL14NM.derating(),
+        VthShift::from_millivolts(50.0),
+        800,
+        3,
+    );
 
     let data = SyntheticDataset::generate(28, 5);
     let calib = data.take(4);

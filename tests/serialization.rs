@@ -3,7 +3,7 @@
 //! files the bench binaries write, and the analysis types must be
 //! shippable across threads.
 
-use agequant::aging::{AgingScenario, MissionProfile, NbtiModel, VthShift};
+use agequant::aging::{AgingScenario, MissionProfile, TechProfile, VthShift};
 use agequant::cells::ProcessLibrary;
 use agequant::netlist::mac::MacCircuit;
 use agequant::nn::{NetArch, SyntheticDataset};
@@ -22,11 +22,11 @@ where
 fn aging_types_round_trip() {
     let shift = VthShift::from_millivolts(35.0);
     assert_eq!(round_trip(&shift), shift);
-    let scenario = AgingScenario::intel14nm();
+    let scenario = TechProfile::INTEL14NM.scenario();
     assert_eq!(round_trip(&scenario), scenario);
     let profile = MissionProfile::worst_case();
     assert_eq!(round_trip(&profile), profile);
-    let nbti = NbtiModel::intel14nm().with_duty_cycle(0.4);
+    let nbti = TechProfile::INTEL14NM.nbti().with_duty_cycle(0.4);
     assert_eq!(round_trip(&nbti), nbti);
 }
 
@@ -34,7 +34,10 @@ fn aging_types_round_trip() {
 fn circuit_types_round_trip() {
     let process = ProcessLibrary::finfet14nm();
     assert_eq!(round_trip(&process), process);
-    let lib = process.characterize(VthShift::from_millivolts(20.0));
+    let lib = process.characterize(
+        &TechProfile::INTEL14NM.derating(),
+        VthShift::from_millivolts(20.0),
+    );
     assert_eq!(round_trip(&lib), lib);
     // A full gate-level netlist (hundreds of gates) survives JSON.
     let mac = MacCircuit::edge_tpu();
@@ -82,6 +85,7 @@ fn dataset_and_models_round_trip() {
 fn key_types_are_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<AgingScenario>();
+    assert_send_sync::<agequant::aging::ModelSpec>();
     assert_send_sync::<ProcessLibrary>();
     assert_send_sync::<MacCircuit>();
     assert_send_sync::<agequant::nn::Model>();
