@@ -1,0 +1,111 @@
+//! `BENCH_fleet` — the million-chip regime: simulation throughput and
+//! binary-checkpoint cost at fleet scale.
+//!
+//! Simulates `AGEQUANT_FLEET_CHIPS` chips (default 1,000,000) for
+//! `AGEQUANT_FLEET_EPOCHS` epochs (default 40 — a 20-year lifetime in
+//! half-year steps) through the sharded struct-of-arrays simulator,
+//! then times one full checkpoint cycle: materialize + encode the
+//! binary frame, and decode it back. Reports chip-epochs/second, the
+//! frame size, and save/load wall time; verifies on the way out that
+//! the decoded state re-encodes to the identical frame.
+//!
+//! Knobs: `AGEQUANT_FLEET_CHIPS` (default 1,000,000),
+//! `AGEQUANT_FLEET_EPOCHS` (default 40), `AGEQUANT_FLEET_SHARDS`
+//! (default: available parallelism).
+
+use std::time::Instant;
+
+use agequant_bench::{banner, env_usize, write_json};
+use agequant_fleet::{FleetConfig, FleetSim, FleetState};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FleetScaleResult {
+    chips: u64,
+    epochs: u64,
+    shards: usize,
+    sim_seconds: f64,
+    chip_epochs_per_second: f64,
+    checkpoint_bytes: usize,
+    bytes_per_chip: f64,
+    save_seconds: f64,
+    load_seconds: f64,
+    final_epoch: u64,
+    compressed: usize,
+    degraded: usize,
+    plan_cache_hit_rate: f64,
+}
+
+fn main() {
+    banner(
+        "BENCH_fleet",
+        "million-chip sharded simulation + binary checkpoint cost",
+    );
+
+    let chips = env_usize("AGEQUANT_FLEET_CHIPS", 1_000_000) as u64;
+    let epochs = env_usize("AGEQUANT_FLEET_EPOCHS", 40) as u64;
+    let shards = env_usize(
+        "AGEQUANT_FLEET_SHARDS",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+
+    let mut config = FleetConfig::new(
+        u32::try_from(chips).expect("AGEQUANT_FLEET_CHIPS fits the u32 fleet-size field"),
+        7,
+    );
+    config.epoch_years = 0.5;
+
+    println!("sampling {chips} chips across {shards} shard(s)...");
+    let sample_start = Instant::now();
+    let mut sim = FleetSim::new_sharded(config, shards).expect("valid config");
+    println!("  sampled in {:.2}s", sample_start.elapsed().as_secs_f64());
+
+    println!("simulating {epochs} epochs...");
+    let sim_start = Instant::now();
+    sim.run(epochs).expect("simulates");
+    let sim_seconds = sim_start.elapsed().as_secs_f64();
+    #[allow(clippy::cast_precision_loss)]
+    let chip_epochs_per_second = (chips * epochs) as f64 / sim_seconds;
+    println!("  {sim_seconds:.2}s ({chip_epochs_per_second:.0} chip-epochs/s)");
+
+    println!("checkpointing...");
+    let save_start = Instant::now();
+    let frame = sim.to_state().to_binary().expect("encodes");
+    let save_seconds = save_start.elapsed().as_secs_f64();
+    println!("  saved {} bytes in {save_seconds:.2}s", frame.len());
+
+    let load_start = Instant::now();
+    let restored = FleetState::load(&frame).expect("frame loads");
+    let load_seconds = load_start.elapsed().as_secs_f64();
+    println!("  loaded in {load_seconds:.2}s");
+    assert_eq!(
+        restored.to_binary().expect("re-encodes"),
+        frame,
+        "decoded checkpoint re-encodes bit-identically"
+    );
+
+    let summary = sim.summary();
+    let cache = summary.cache.expect("live sim reports cache stats");
+    println!(
+        "fleet @ epoch {}: {} compressed, {} degraded, plan-cache hit rate {:.6}",
+        summary.epoch, summary.compressed, summary.degraded, cache.plan_hit_rate
+    );
+
+    #[allow(clippy::cast_precision_loss)]
+    let result = FleetScaleResult {
+        chips,
+        epochs,
+        shards,
+        sim_seconds,
+        chip_epochs_per_second,
+        checkpoint_bytes: frame.len(),
+        bytes_per_chip: frame.len() as f64 / chips as f64,
+        save_seconds,
+        load_seconds,
+        final_epoch: summary.epoch,
+        compressed: summary.compressed,
+        degraded: summary.degraded,
+        plan_cache_hit_rate: cache.plan_hit_rate,
+    };
+    write_json("BENCH_fleet", &result);
+}

@@ -2,28 +2,34 @@
 //! chip its compression/quantization decision.
 //!
 //! ```text
-//! agequant-fleet run    --out DIR [--chips N] [--epochs E] [--seed S]
-//!                       [--epoch-years Y] [--bucket-mv MV]
-//!                       [--constraint-factor F] [--network NAME|none]
-//!                       [--model nbti|hci|surrogate[:CURVE.json]]
-//!                       [--json]
-//! agequant-fleet resume --out DIR --epochs E [--json]
-//! agequant-fleet report --out DIR [--json]
+//! agequant-fleet run     --out DIR [--chips N] [--epochs E] [--seed S]
+//!                        [--epoch-years Y] [--bucket-mv MV]
+//!                        [--constraint-factor F] [--network NAME|none]
+//!                        [--model nbti|hci|surrogate[:CURVE.json]]
+//!                        [--shards N] [--json]
+//! agequant-fleet resume  --out DIR --epochs E [--shards N] [--json]
+//! agequant-fleet report  --out DIR [--json]
+//! agequant-fleet migrate --out DIR
 //! ```
 //!
-//! `run` creates `DIR/state.json` (checkpoint), `DIR/journal.jsonl`
-//! (event journal), and `DIR/summary.json`, then prints the summary.
+//! `run` creates `DIR/state.bin` (binary checkpoint: versioned,
+//! length-prefixed, CRC-checked frame), `DIR/journal.jsonl` (event
+//! journal), and `DIR/summary.json`, then prints the summary. All
+//! checkpoint and summary writes are atomic (temp file + rename), so
+//! a crash mid-write never destroys the previous good checkpoint.
 //! `resume` restores the checkpoint, advances further epochs, appends
 //! to the journal, and rewrites checkpoint + summary — bit-identical
-//! to having run the whole span in one process. `report` re-renders
-//! the summary from the checkpoint alone.
+//! to having run the whole span in one process, at any `--shards`
+//! count. `report` re-renders the summary from the checkpoint alone.
+//! `migrate` converts a legacy `state.json` checkpoint (any supported
+//! format version) into `state.bin` in place.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use agequant_aging::{ModelSpec, TechProfile};
-use agequant_fleet::{journal, FleetConfig, FleetError, FleetSim, FleetState};
+use agequant_fleet::{journal, persist, FleetConfig, FleetError, FleetSim, FleetState};
 use agequant_nn::NetArch;
 
 struct CommonOpts {
@@ -32,13 +38,14 @@ struct CommonOpts {
 }
 
 fn usage() -> &'static str {
-    "usage: agequant-fleet <run|resume|report> --out DIR [options]\n\
+    "usage: agequant-fleet <run|resume|report|migrate> --out DIR [options]\n\
      \n\
      run     --out DIR [--chips N] [--epochs E] [--seed S] [--epoch-years Y]\n\
      \x20            [--bucket-mv MV] [--constraint-factor F] [--network NAME|none]\n\
-     \x20            [--model nbti|hci|surrogate[:CURVE.json]] [--json]\n\
-     resume  --out DIR --epochs E [--json]\n\
+     \x20            [--model nbti|hci|surrogate[:CURVE.json]] [--shards N] [--json]\n\
+     resume  --out DIR --epochs E [--shards N] [--json]\n\
      report  --out DIR [--json]\n\
+     migrate --out DIR\n\
      \n\
      Simulates a fleet of aging NPU chips (process-variation jitter +\n\
      mission-profile catalog) and serves per-chip compression plans\n\
@@ -47,7 +54,10 @@ fn usage() -> &'static str {
      quantization-method selection. Degradation models: nbti (default,\n\
      the paper's power law), hci, or surrogate — bare 'surrogate' uses\n\
      the shipped demo curve, 'surrogate:CURVE.json' loads a JSON\n\
-     [[years, volts], ...] table.\n"
+     [[years, volts], ...] table. --shards picks the worker-thread\n\
+     count (default: available parallelism); results are bit-identical\n\
+     at every shard count. migrate rewrites a legacy state.json\n\
+     checkpoint as the binary state.bin format.\n"
 }
 
 fn parse_network(name: &str) -> Result<Option<NetArch>, String> {
@@ -97,10 +107,6 @@ fn parse_model(spec: &str) -> Result<ModelSpec, String> {
     })
 }
 
-fn write_file(path: &Path, contents: &str) -> Result<(), FleetError> {
-    fs::write(path, contents).map_err(|e| FleetError::Io(format!("{}: {e}", path.display())))
-}
-
 fn append_file(path: &Path, contents: &str) -> Result<(), FleetError> {
     use std::io::Write;
     let mut file = fs::OpenOptions::new()
@@ -112,26 +118,49 @@ fn append_file(path: &Path, contents: &str) -> Result<(), FleetError> {
         .map_err(|e| FleetError::Io(format!("{}: {e}", path.display())))
 }
 
+/// Loads `DIR/state.bin` when present, falling back to a legacy
+/// `DIR/state.json`. Both paths go through [`FleetState::load`], which
+/// sniffs the format and checks the binary frame's checksum.
 fn read_state(dir: &Path) -> Result<FleetState, FleetError> {
-    let path = dir.join("state.json");
-    let text = fs::read_to_string(&path)
-        .map_err(|e| FleetError::Io(format!("{}: {e}", path.display())))?;
-    FleetState::from_json(&text)
+    let binary = dir.join("state.bin");
+    let path = if binary.exists() {
+        binary
+    } else {
+        dir.join("state.json")
+    };
+    let bytes = fs::read(&path).map_err(|e| FleetError::Io(format!("{}: {e}", path.display())))?;
+    FleetState::load(&bytes).map_err(|e| match e {
+        FleetError::Corrupt(kind) => {
+            FleetError::Io(format!("{}: corrupt checkpoint: {kind}", path.display()))
+        }
+        other => other,
+    })
 }
 
 fn finish(sim: &FleetSim, common: &CommonOpts, append_journal: bool) -> Result<(), FleetError> {
     fs::create_dir_all(&common.out)
         .map_err(|e| FleetError::Io(format!("{}: {e}", common.out.display())))?;
-    let journal_text = journal::to_jsonl(sim.journal());
+    let journal_text = journal::to_jsonl(&sim.journal());
     let journal_path = common.out.join("journal.jsonl");
     if append_journal {
         append_file(&journal_path, &journal_text)?;
     } else {
-        write_file(&journal_path, &journal_text)?;
+        persist::atomic_write(&journal_path, journal_text.as_bytes())?;
     }
-    write_file(&common.out.join("state.json"), &sim.state().to_json())?;
+    let state = sim.to_state();
+    persist::atomic_write(&common.out.join("state.bin"), &state.to_binary()?)?;
+    // A successfully written binary checkpoint supersedes any legacy
+    // JSON one; leaving both would make a later resume ambiguous.
+    let legacy = common.out.join("state.json");
+    if legacy.exists() {
+        fs::remove_file(&legacy)
+            .map_err(|e| FleetError::Io(format!("{}: {e}", legacy.display())))?;
+    }
     let summary = sim.summary();
-    write_file(&common.out.join("summary.json"), &summary.to_json())?;
+    persist::atomic_write(
+        &common.out.join("summary.json"),
+        summary.to_json().as_bytes(),
+    )?;
     if common.json {
         println!("{}", summary.to_json());
     } else {
@@ -140,9 +169,18 @@ fn finish(sim: &FleetSim, common: &CommonOpts, append_journal: bool) -> Result<(
     Ok(())
 }
 
+fn parse_shards(text: &str) -> Result<usize, String> {
+    let shards: usize = text.parse().map_err(|e| format!("--shards: {e}"))?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    Ok(shards)
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut config = FleetConfig::new(100, 7);
     let mut epochs: u64 = 20;
+    let mut shards: Option<usize> = None;
     let mut common = CommonOpts {
         out: PathBuf::from("results/fleet"),
         json: false,
@@ -187,18 +225,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
             "--network" => config.network = parse_network(&value("--network")?)?,
             "--model" => config.flow.model = Some(parse_model(&value("--model")?)?),
+            "--shards" => shards = Some(parse_shards(&value("--shards")?)?),
             "--out" => common.out = PathBuf::from(value("--out")?),
             "--json" => common.json = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    let mut sim = FleetSim::new(config).map_err(|e| e.to_string())?;
+    let mut sim = match shards {
+        Some(n) => FleetSim::new_sharded(config, n),
+        None => FleetSim::new(config),
+    }
+    .map_err(|e| e.to_string())?;
     sim.run(epochs).map_err(|e| e.to_string())?;
     finish(&sim, &common, false).map_err(|e| e.to_string())
 }
 
 fn cmd_resume(args: &[String]) -> Result<(), String> {
     let mut epochs: Option<u64> = None;
+    let mut shards: Option<usize> = None;
     let mut common = CommonOpts {
         out: PathBuf::from("results/fleet"),
         json: false,
@@ -218,6 +262,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("--epochs: {e}"))?,
                 );
             }
+            "--shards" => shards = Some(parse_shards(&value("--shards")?)?),
             "--out" => common.out = PathBuf::from(value("--out")?),
             "--json" => common.json = true,
             other => return Err(format!("unknown argument {other:?}")),
@@ -225,7 +270,11 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     }
     let epochs = epochs.ok_or("resume requires --epochs")?;
     let state = read_state(&common.out).map_err(|e| e.to_string())?;
-    let mut sim = FleetSim::resume(state).map_err(|e| e.to_string())?;
+    let mut sim = match shards {
+        Some(n) => FleetSim::resume_sharded(state, n),
+        None => FleetSim::resume(state),
+    }
+    .map_err(|e| e.to_string())?;
     sim.run(epochs).map_err(|e| e.to_string())?;
     finish(&sim, &common, true).map_err(|e| e.to_string())
 }
@@ -258,12 +307,54 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_migrate(args: &[String]) -> Result<(), String> {
+    let mut out = PathBuf::from("results/fleet");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(value("--out")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let legacy = out.join("state.json");
+    let binary = out.join("state.bin");
+    if !legacy.exists() {
+        if binary.exists() {
+            println!("{}: already binary, nothing to migrate", binary.display());
+            return Ok(());
+        }
+        return Err(format!("{}: no checkpoint to migrate", legacy.display()));
+    }
+    let text = fs::read_to_string(&legacy).map_err(|e| format!("{}: {e}", legacy.display()))?;
+    // from_json upgrades old checkpoint format versions on load, so
+    // one migrate pass handles every JSON vintage we ever wrote.
+    let state = FleetState::from_json(&text).map_err(|e| e.to_string())?;
+    let frame = state.to_binary().map_err(|e| e.to_string())?;
+    persist::atomic_write(&binary, &frame).map_err(|e| e.to_string())?;
+    fs::remove_file(&legacy).map_err(|e| format!("{}: {e}", legacy.display()))?;
+    println!(
+        "migrated {} -> {} ({} chips @ epoch {}, {} bytes)",
+        legacy.display(),
+        binary.display(),
+        state.chips.len(),
+        state.epoch,
+        frame.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("migrate") => cmd_migrate(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{}", usage());
             return ExitCode::SUCCESS;

@@ -82,6 +82,18 @@ impl MissionKind {
         }
     }
 
+    /// How many phases this archetype's schedule has — the number of
+    /// per-phase jitter draw pairs [`Chip::sample`] consumes, used by
+    /// the shard substream replay to skip a chip without materializing
+    /// it.
+    #[must_use]
+    pub fn phase_count(self) -> usize {
+        match self {
+            MissionKind::DatacenterAlwaysOn => 1,
+            MissionKind::EdgeDutyCycled | MissionKind::BurstInference => 2,
+        }
+    }
+
     /// Samples a per-chip instance of this archetype: each phase's duty
     /// cycle and temperature get bounded jitter; fractions stay fixed
     /// so they keep summing to 1 exactly.
@@ -186,6 +198,25 @@ impl Chip {
         }
     }
 
+    /// Advances `rng` past exactly the draws [`Chip::sample`] would
+    /// consume, without building the chip. This is how shards locate
+    /// their RNG substream inside the single fleet stream: the draw
+    /// count varies per chip (the archetype pick uses rejection
+    /// sampling and archetypes differ in phase count), so substreams
+    /// are found by replaying the skips, not by a fixed stride.
+    ///
+    /// Mirrors [`Chip::sample`] draw for draw; the `sample` tests pin
+    /// the two to the same stream position.
+    pub fn skip_sample_draws(rng: &mut FleetRng) {
+        let kind = MissionKind::ALL[rng.index(MissionKind::ALL.len())];
+        for _ in 0..kind.phase_count() {
+            rng.uniform(0.85, 1.15);
+            rng.uniform(-5.0, 5.0);
+        }
+        rng.uniform(1.0 - EOL_JITTER, 1.0 + EOL_JITTER);
+        rng.uniform(1.0 - EXPONENT_JITTER, 1.0 + EXPONENT_JITTER);
+    }
+
     /// The chip's ΔVth after `years` of wall-clock deployment.
     #[must_use]
     pub fn shift_at(&self, years: f64) -> VthShift {
@@ -195,10 +226,24 @@ impl Chip {
     /// The aging bucket of a shift: `floor(ΔVth / bucket_mv)`, with a
     /// hair of tolerance so a shift computed exactly at a boundary
     /// lands in the upper bucket regardless of float round-off.
+    ///
+    /// Saturates explicitly: a non-finite or giant ratio (degenerate
+    /// `bucket_mv`, corrupted profile) clamps to `u64::MAX` and a
+    /// negative one to 0 rather than relying on implicit float-to-int
+    /// cast behavior.
     #[must_use]
-    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn bucket_of(shift: VthShift, bucket_mv: f64) -> u64 {
-        (shift.millivolts() / bucket_mv + 1e-9).floor() as u64
+        let raw = (shift.millivolts() / bucket_mv + 1e-9).floor();
+        if raw.is_nan() || raw < 0.0 {
+            return 0;
+        }
+        if raw >= u64::MAX as f64 {
+            return u64::MAX;
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            raw as u64
+        }
     }
 }
 
@@ -262,6 +307,43 @@ mod tests {
         assert_eq!(Chip::bucket_of(mv(4.99), 5.0), 0);
         assert_eq!(Chip::bucket_of(mv(5.0), 5.0), 1);
         assert_eq!(Chip::bucket_of(mv(52.5), 5.0), 10);
+    }
+
+    #[test]
+    fn buckets_saturate_on_degenerate_inputs() {
+        let mv = |x| VthShift::from_millivolts(x);
+        // `VthShift` guarantees a finite, non-negative shift, so the
+        // degenerate ratios all come from the width side: a ratio at
+        // or above 2^64 clamps to the top bucket, not UB or wraparound.
+        assert_eq!(Chip::bucket_of(mv(1e30), 1e-12), u64::MAX);
+        assert_eq!(Chip::bucket_of(mv(1.0), 0.0), u64::MAX);
+        // NaN (0/0) and negative-width ratios clamp to the bottom.
+        assert_eq!(Chip::bucket_of(mv(0.0), 0.0), 0);
+        assert_eq!(Chip::bucket_of(mv(10.0), -5.0), 0);
+    }
+
+    #[test]
+    fn phase_counts_match_the_nominal_schedules() {
+        for kind in MissionKind::ALL {
+            assert_eq!(kind.phase_count(), kind.nominal_phases().len());
+        }
+    }
+
+    #[test]
+    fn skipping_draws_lands_where_sampling_does() {
+        let model = ModelSpec::default();
+        for seed in [0u64, 7, 42, 2024] {
+            let mut sampled = FleetRng::seed_from_u64(seed);
+            let mut skipped = FleetRng::seed_from_u64(seed);
+            for id in 0..100 {
+                Chip::sample(id, &model, &mut sampled);
+                Chip::skip_sample_draws(&mut skipped);
+                assert_eq!(
+                    sampled, skipped,
+                    "streams diverge after chip {id} of seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

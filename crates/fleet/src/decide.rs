@@ -351,7 +351,7 @@ mod tests {
         // An independent decider must reproduce every chip's held plan
         // bit-identically from the chip's bucket alone.
         let decider = Decider::from_config(&config).expect("valid config");
-        for chip in &sim.state().chips {
+        for chip in &sim.to_state().chips {
             let decision = decider.decide_bucket(chip.bucket).expect("decides");
             match (chip.mode, decision) {
                 (ChipMode::Compressed, Decision::Plan(plan)) => {
@@ -374,7 +374,8 @@ mod tests {
             Decider::from_config(&config).expect("valid config"),
         ))
         .expect("degrades, does not error");
-        let chip = &sim.state().chips[0];
+        let state = sim.to_state();
+        let chip = &state.chips[0];
         assert_eq!(chip.mode, ChipMode::Guardband);
         // The chip-state entry honors monotone infeasibility: a
         // degraded chip only tracks its bucket.

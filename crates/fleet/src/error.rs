@@ -5,6 +5,64 @@ use std::fmt;
 
 use agequant_core::FlowError;
 
+/// How a binary checkpoint frame failed validation — the typed
+/// corruption taxonomy [`FleetState::from_binary`] reports, so tools
+/// can distinguish "wrong file" from "damaged file" from "newer
+/// format".
+///
+/// [`FleetState::from_binary`]: crate::FleetState::from_binary
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// The frame does not start with the `AGQFLEET` magic.
+    BadMagic,
+    /// The frame's format version is not one this build reads.
+    UnsupportedVersion {
+        /// The version stamped in the frame.
+        found: u32,
+    },
+    /// The frame is shorter than its header and length prefix claim.
+    Truncated {
+        /// Bytes the frame claims to span.
+        needed: u64,
+        /// Bytes actually present.
+        have: u64,
+    },
+    /// The payload checksum does not match the stored one.
+    ChecksumMismatch {
+        /// The CRC32 stored in the frame.
+        stored: u32,
+        /// The CRC32 computed over the payload.
+        computed: u32,
+    },
+    /// Bytes follow the checksum — the file holds more than one frame
+    /// or was appended to.
+    TrailingBytes {
+        /// Extra bytes past the end of the frame.
+        extra: u64,
+    },
+}
+
+impl fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptKind::BadMagic => write!(f, "bad magic (not an AGQFLEET frame)"),
+            CorruptKind::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint format version {found}")
+            }
+            CorruptKind::Truncated { needed, have } => {
+                write!(f, "truncated frame: need {needed} bytes, have {have}")
+            }
+            CorruptKind::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CorruptKind::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the frame")
+            }
+        }
+    }
+}
+
 /// Errors of the fleet simulator and its checkpoint plumbing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FleetError {
@@ -18,6 +76,12 @@ pub enum FleetError {
     Io(String),
     /// A checkpoint or journal did not parse.
     Malformed(String),
+    /// A binary checkpoint frame failed structural validation
+    /// (magic, version, length, or checksum).
+    Corrupt(CorruptKind),
+    /// A fleet dimension (chip count, frame width) exceeds what this
+    /// platform can address.
+    Capacity(String),
 }
 
 impl fmt::Display for FleetError {
@@ -27,6 +91,8 @@ impl fmt::Display for FleetError {
             FleetError::Flow(e) => write!(f, "flow error: {e}"),
             FleetError::Io(msg) => write!(f, "i/o error: {msg}"),
             FleetError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            FleetError::Corrupt(kind) => write!(f, "corrupt checkpoint: {kind}"),
+            FleetError::Capacity(msg) => write!(f, "capacity exceeded: {msg}"),
         }
     }
 }

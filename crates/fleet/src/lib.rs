@@ -15,13 +15,17 @@
 //!   default, or any [`ModelSpec`](agequant_aging::ModelSpec) from the
 //!   zoo) plus a jittered [`MissionKind`] mission profile from a small
 //!   catalog.
-//! * [`FleetSim`] — discrete-time epochs; per-chip ΔVth evaluated in
-//!   parallel, quantized into aging buckets, and replanned *only on a
-//!   bucket crossing*, so the engine's plan cache turns
+//! * [`FleetSim`] — discrete-time epochs over struct-of-arrays
+//!   [`FleetShard`]s; per-chip ΔVth evaluated in parallel per shard,
+//!   quantized into aging buckets, and replanned *only on a bucket
+//!   crossing* (serially, in id order, so sharding never changes an
+//!   observable byte) — the engine's plan cache turns
 //!   O(chips × epochs) decisions into O(distinct buckets)
 //!   characterizations ([`CacheStats`] proves it).
-//! * [`FleetState`] — full serde checkpoint (config, epoch, RNG state,
-//!   every chip) for bit-identical resume; [`journal`] — append-only
+//! * [`FleetState`] — full checkpoint (config, epoch, RNG state,
+//!   every chip) for bit-identical resume, as a versioned checksummed
+//!   binary frame ([`FleetState::to_binary`]) or legacy JSON, written
+//!   crash-safely through [`persist`]; [`journal`] — append-only
 //!   JSON-lines event log (replans, bucket crossings, guardband
 //!   degradations).
 //! * [`FleetSummary`] — plan-distribution and bucket histograms,
@@ -54,18 +58,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod chip;
 mod decide;
 mod error;
 pub mod journal;
+pub mod persist;
 mod report;
 mod rng;
+mod shard;
 mod sim;
 
+pub use checkpoint::{crc32, MAGIC};
 pub use chip::{Chip, ChipMode, ChipPlan, MissionKind};
 pub use decide::{Decider, Decision};
-pub use error::FleetError;
+pub use error::{CorruptKind, FleetError};
 pub use journal::{EventKind, JournalEvent};
 pub use report::{CacheSummary, FleetSummary, LossPercentiles, ModelCacheSummary, PlanBin};
 pub use rng::FleetRng;
+pub use shard::FleetShard;
 pub use sim::{FleetConfig, FleetSim, FleetState, CHECKPOINT_FORMAT};

@@ -1,0 +1,145 @@
+//! Crash-safe file persistence for fleet artifacts.
+//!
+//! A bare `fs::write` interrupted mid-write (crash, OOM-kill, power
+//! loss) leaves a truncated file where a checkpoint used to be — the
+//! exact artifact a resume then fails on. Every checkpoint, summary,
+//! and config write therefore goes through [`atomic_write`]: the bytes
+//! land in a sibling temp file, are fsynced, and only then renamed
+//! over the target. A crash at any point leaves either the old
+//! complete file or the new complete file, never a hybrid.
+//!
+//! [`atomic_write_with`] exposes the write step as a closure so tests
+//! can inject a short write and prove the target survives it.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::FleetError;
+
+/// Name of the temp sibling for `path`, unique per process so two
+/// concurrent writers never stomp each other's staging file.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".to_string());
+    path.with_file_name(format!(".{name}.tmp.{}", std::process::id()))
+}
+
+fn io_err(path: &Path, op: &str, e: &io::Error) -> FleetError {
+    FleetError::Io(format!("{}: {op}: {e}", path.display()))
+}
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] if the temp file cannot be created,
+/// written, synced, or renamed over the target; the target is left
+/// untouched and the temp file is removed.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), FleetError> {
+    atomic_write_with(path, |file| file.write_all(bytes))
+}
+
+/// Atomically replaces `path` with whatever `fill` writes.
+///
+/// The write sequence is: create a temp sibling, run `fill` against
+/// it, `sync_all`, rename over `path`, then fsync the parent
+/// directory (best-effort — some filesystems refuse directory
+/// handles) so the rename itself is durable. If `fill` or any later
+/// step fails, the temp file is removed and `path` is untouched.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] on any filesystem failure, including
+/// one reported by `fill`.
+pub fn atomic_write_with<F>(path: &Path, fill: F) -> Result<(), FleetError>
+where
+    F: FnOnce(&mut File) -> io::Result<()>,
+{
+    let tmp = temp_sibling(path);
+    let staged = File::create(&tmp)
+        .map_err(|e| io_err(&tmp, "create", &e))
+        .and_then(|mut file| {
+            fill(&mut file)
+                .and_then(|()| file.sync_all())
+                .map_err(|e| io_err(&tmp, "write", &e))
+        })
+        .and_then(|()| fs::rename(&tmp, path).map_err(|e| io_err(path, "rename", &e)));
+    if staged.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return staged;
+    }
+    // Make the rename itself durable. Not all filesystems allow
+    // fsync on a directory handle; failure here does not un-rename.
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(handle) = File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("agequant-persist-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = scratch_dir("replace");
+        let target = dir.join("state.bin");
+        atomic_write(&target, b"first").expect("first write");
+        atomic_write(&target, b"second, longer payload").expect("second write");
+        assert_eq!(fs::read(&target).expect("read"), b"second, longer payload");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_leaves_the_old_checkpoint_intact() {
+        let dir = scratch_dir("short");
+        let target = dir.join("state.bin");
+        atomic_write(&target, b"good checkpoint").expect("seed write");
+
+        // Inject a crash mid-write: some bytes land, then the writer
+        // dies. The previous checkpoint must survive.
+        let crashed = atomic_write_with(&target, |file| {
+            file.write_all(b"half a check")?;
+            Err(io::Error::other("simulated crash mid-write"))
+        });
+        assert!(matches!(crashed, Err(FleetError::Io(_))));
+        assert_eq!(fs::read(&target).expect("read"), b"good checkpoint");
+
+        // And the staging file is cleaned up, not left to confuse a
+        // later directory scan.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .expect("scan")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "staging file left behind");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_without_prior_file_leaves_nothing() {
+        let dir = scratch_dir("fresh");
+        let target = dir.join("state.bin");
+        let crashed = atomic_write_with(&target, |_| Err(io::Error::other("boom")));
+        assert!(crashed.is_err());
+        assert!(!target.exists(), "no partial target materialized");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

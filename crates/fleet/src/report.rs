@@ -105,16 +105,22 @@ pub struct FleetSummary {
     pub cache_by_model: Option<Vec<ModelCacheSummary>>,
 }
 
-/// The `p`-th percentile of `sorted` (nearest-rank on a sorted slice).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
+/// The `p`-th percentile of `sorted` (nearest-rank on a sorted
+/// slice), or `None` for an empty slice. The empty case used to be a
+/// `debug_assert!` only — in a release build `sorted.len() - 1`
+/// wrapped and the index panicked; returning `Option` makes a fleet
+/// with no selected methods a representable summary, not a crash.
+fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
     #[allow(
         clippy::cast_possible_truncation,
         clippy::cast_sign_loss,
         clippy::cast_precision_loss
     )]
     let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    Some(sorted[idx.min(sorted.len() - 1)])
 }
 
 impl FleetSummary {
@@ -151,14 +157,13 @@ impl FleetSummary {
             }
         }
         losses.sort_by(|a, b| a.partial_cmp(b).expect("losses are finite"));
-        let accuracy_loss = if losses.is_empty() {
-            None
-        } else {
-            Some(LossPercentiles {
-                p50: percentile(&losses, 50.0),
-                p90: percentile(&losses, 90.0),
-                p99: percentile(&losses, 99.0),
-            })
+        let accuracy_loss = match (
+            percentile(&losses, 50.0),
+            percentile(&losses, 90.0),
+            percentile(&losses, 99.0),
+        ) {
+            (Some(p50), Some(p90), Some(p99)) => Some(LossPercentiles { p50, p90, p99 }),
+            _ => None,
         };
         #[allow(clippy::cast_precision_loss)]
         let years = state.epoch as f64 * state.config.epoch_years;
@@ -278,9 +283,34 @@ mod tests {
     #[test]
     fn percentiles_use_nearest_rank() {
         let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&sorted, 50.0), 51.0);
-        assert_eq!(percentile(&sorted, 99.0), 99.0);
-        assert_eq!(percentile(&sorted, 100.0), 100.0);
-        assert_eq!(percentile(&[7.0], 90.0), 7.0);
+        assert_eq!(percentile(&sorted, 50.0), Some(51.0));
+        assert_eq!(percentile(&sorted, 99.0), Some(99.0));
+        assert_eq!(percentile(&sorted, 100.0), Some(100.0));
+        assert_eq!(percentile(&[7.0], 90.0), Some(7.0));
+    }
+
+    /// Regression: an empty slice must report `None`, not wrap
+    /// `len - 1` and panic in release builds.
+    #[test]
+    fn percentile_of_nothing_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[], 0.0), None);
+        assert_eq!(percentile(&[], 100.0), None);
+    }
+
+    /// Regression for the empty-losses path end to end: a fleet with
+    /// no selected quantization method (no `network` configured) has
+    /// no accuracy losses to rank, and its summary must carry
+    /// `accuracy_loss: None` instead of panicking.
+    #[test]
+    fn fleet_without_method_selection_summarizes_without_percentiles() {
+        let config = FleetConfig::new(6, 17);
+        assert!(config.network.is_none(), "default fleet selects no method");
+        let sim = FleetSim::new(config).expect("valid config");
+        let summary = sim.summary();
+        assert_eq!(summary.accuracy_loss, None);
+        assert_eq!(summary.chips, 6);
+        // The report renders without an accuracy-loss line.
+        assert!(!summary.render_text().contains("accuracy loss"));
     }
 }

@@ -54,6 +54,19 @@ impl FleetRng {
         self.s == [0; 4]
     }
 
+    /// The four raw state words, for binary checkpoint encoding.
+    #[must_use]
+    pub fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds the generator from raw state words (the inverse of
+    /// [`FleetRng::state_words`]); used by binary checkpoint decoding.
+    #[must_use]
+    pub fn from_state_words(s: [u64; 4]) -> Self {
+        FleetRng { s }
+    }
+
     /// The next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -143,5 +156,17 @@ mod tests {
     #[test]
     fn fresh_state_is_not_degenerate() {
         assert!(!FleetRng::seed_from_u64(0).is_degenerate());
+    }
+
+    #[test]
+    fn state_words_round_trip_continues_the_stream() {
+        let mut rng = FleetRng::seed_from_u64(99);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let mut restored = FleetRng::from_state_words(rng.state_words());
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
     }
 }

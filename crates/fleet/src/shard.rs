@@ -1,0 +1,353 @@
+//! The struct-of-arrays fleet shard.
+//!
+//! At a million chips the `Vec<Chip>` layout pays for itself in cache
+//! misses: each epoch's physics pass touches only a chip's kinetics,
+//! mission acceleration, and bucket, yet drags the full fat struct
+//! (model spec, mission phases, plan) through the cache with it. A
+//! [`FleetShard`] splits the population into parallel arrays — the hot
+//! physics fields (`accel`, `kinetics`, `bucket`, `mode`) contiguous
+//! and scanned linearly, the cold identity fields (model spec, mission
+//! profile, plan) in side tables touched only when a chip is
+//! materialized or replanned.
+//!
+//! Each shard owns a contiguous id range, its own [`FleetRng`]
+//! substream (positioned by replaying the sampling draw counts of the
+//! chips before it, so the sampled fleet is bit-identical to the
+//! single-stream construction), and its own journal segment. Shards
+//! age independently — the physics pass is pure per chip — while
+//! decisions stay strictly serialized in shard order by the
+//! simulator, which keeps the engine's cache counters and the
+//! decider's memo order identical to an unsharded run.
+//!
+//! `kinetics` additionally pre-resolves each chip's [`ModelSpec`] into
+//! a [`HotKinetics`] value: the NBTI power-law calibration and the HCI
+//! closed form are computed once per chip instead of once per
+//! chip-epoch, bit-identically to evaluating the spec directly (the
+//! surrogate table keeps delegating to the spec).
+
+use agequant_aging::{MissionProfile, ModelSpec, NbtiModel, VthShift};
+
+use crate::chip::{Chip, ChipMode, ChipPlan, MissionKind};
+use crate::decide::Decision;
+use crate::journal::{EventKind, JournalEvent};
+use crate::rng::FleetRng;
+
+/// A chip's degradation kinetics, pre-resolved for the hot physics
+/// loop. Every variant reproduces `ModelSpec::shift_at` bit for bit.
+#[derive(Debug, Clone)]
+enum HotKinetics {
+    /// NBTI power law with the calibration already folded in.
+    Nbti(NbtiModel),
+    /// The HCI closed form `EOL · a · √(t / L)` with its three
+    /// constants unpacked.
+    Hci {
+        eol_shift_v: f64,
+        lifetime_years: f64,
+        activity: f64,
+    },
+    /// No fast path (surrogate tables): evaluate the spec directly.
+    Cold,
+}
+
+impl HotKinetics {
+    fn of(model: &ModelSpec) -> HotKinetics {
+        match model {
+            ModelSpec::Nbti(m) => HotKinetics::Nbti(m.profile.nbti().with_duty_cycle(m.duty_cycle)),
+            ModelSpec::Hci(m) => HotKinetics::Hci {
+                eol_shift_v: m.profile.eol_shift_v,
+                lifetime_years: m.profile.lifetime_years,
+                activity: m.activity,
+            },
+            ModelSpec::Surrogate(_) => HotKinetics::Cold,
+        }
+    }
+
+    /// ΔVth after `t` effective stress years; `model` backs the cold
+    /// path. Mirrors the exact expression order of the spec's own
+    /// `shift_at` impls so the result is bit-identical.
+    fn shift_at(&self, model: &ModelSpec, t: f64) -> VthShift {
+        use agequant_aging::DegradationModel;
+        match self {
+            HotKinetics::Nbti(kinetics) => kinetics.vth_shift_at(t),
+            HotKinetics::Hci {
+                eol_shift_v,
+                lifetime_years,
+                activity,
+            } => {
+                let scaled = (t / lifetime_years).sqrt();
+                VthShift::from_volts(eol_shift_v * activity * scaled)
+            }
+            HotKinetics::Cold => model.shift_at(t),
+        }
+    }
+}
+
+/// A contiguous id range of the fleet in struct-of-arrays layout:
+/// hot physics fields in their own arrays, cold identity fields in
+/// side tables, plus the shard's RNG substream and journal segment.
+#[derive(Debug)]
+pub struct FleetShard {
+    base: u32,
+    rng: FleetRng,
+    // Hot: scanned every epoch by the physics pass.
+    accel: Vec<f64>,
+    kinetics: Vec<HotKinetics>,
+    bucket: Vec<u64>,
+    mode: Vec<ChipMode>,
+    // Cold: touched on materialization and replans only.
+    id: Vec<u32>,
+    kind: Vec<MissionKind>,
+    model: Vec<ModelSpec>,
+    profile: Vec<MissionProfile>,
+    plan: Vec<Option<ChipPlan>>,
+    journal: Vec<JournalEvent>,
+}
+
+impl FleetShard {
+    fn with_capacity(base: u32, capacity: usize, rng: FleetRng) -> Self {
+        FleetShard {
+            base,
+            rng,
+            accel: Vec::with_capacity(capacity),
+            kinetics: Vec::with_capacity(capacity),
+            bucket: Vec::with_capacity(capacity),
+            mode: Vec::with_capacity(capacity),
+            id: Vec::with_capacity(capacity),
+            kind: Vec::with_capacity(capacity),
+            model: Vec::with_capacity(capacity),
+            profile: Vec::with_capacity(capacity),
+            plan: Vec::with_capacity(capacity),
+            journal: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, chip: Chip) {
+        self.accel.push(chip.profile.acceleration());
+        self.kinetics.push(HotKinetics::of(&chip.model));
+        self.bucket.push(chip.bucket);
+        self.mode.push(chip.mode);
+        self.id.push(chip.id);
+        self.kind.push(chip.kind);
+        self.model.push(chip.model);
+        self.profile.push(chip.profile);
+        self.plan.push(chip.plan);
+    }
+
+    /// Samples `count` fresh chips with ids `base..base + count` from
+    /// `rng` (the shard's substream, pre-positioned by the caller).
+    pub(crate) fn sample(
+        base: u32,
+        count: u32,
+        config_model: &ModelSpec,
+        mut rng: FleetRng,
+    ) -> Self {
+        let mut shard = FleetShard::with_capacity(base, count as usize, rng.clone());
+        for offset in 0..count {
+            let chip = Chip::sample(base + offset, config_model, &mut rng);
+            shard.push(chip);
+        }
+        shard.rng = rng;
+        shard
+    }
+
+    /// Rebuilds a shard from checkpointed chips (preserved verbatim,
+    /// ids included) and its recomputed RNG substream.
+    pub(crate) fn from_chips(base: u32, chips: Vec<Chip>, rng: FleetRng) -> Self {
+        let mut shard = FleetShard::with_capacity(base, chips.len(), rng);
+        for chip in chips {
+            shard.push(chip);
+        }
+        shard
+    }
+
+    /// First chip id of the shard's contiguous range.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of chips in the shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bucket.len()
+    }
+
+    /// Whether the shard holds no chips.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bucket.is_empty()
+    }
+
+    /// The shard's RNG substream, positioned after its sampling draws.
+    #[must_use]
+    pub fn substream(&self) -> &FleetRng {
+        &self.rng
+    }
+
+    /// The shard's journal segment (events of this sim instance for
+    /// this shard's chips, in emission order).
+    #[must_use]
+    pub fn journal(&self) -> &[JournalEvent] {
+        &self.journal
+    }
+
+    /// Materializes chip `i` back into the fat representation.
+    pub(crate) fn chip(&self, i: usize) -> Chip {
+        Chip {
+            id: self.id[i],
+            kind: self.kind[i],
+            model: self.model[i].clone(),
+            profile: self.profile[i].clone(),
+            bucket: self.bucket[i],
+            mode: self.mode[i],
+            plan: self.plan[i],
+        }
+    }
+
+    /// The pure physics pass: every chip whose ΔVth at `years` crosses
+    /// into a higher bucket, as `(index, new_bucket)` in index order.
+    /// Safe to run concurrently across shards.
+    pub(crate) fn crossings(&self, years: f64, bucket_mv: f64) -> Vec<(usize, u64)> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            let t = self.accel[i] * years;
+            let shift = self.kinetics[i].shift_at(&self.model[i], t);
+            let new_bucket = Chip::bucket_of(shift, bucket_mv);
+            if new_bucket > self.bucket[i] {
+                out.push((i, new_bucket));
+            }
+        }
+        out
+    }
+
+    pub(crate) fn is_guardband(&self, i: usize) -> bool {
+        self.mode[i] == ChipMode::Guardband
+    }
+
+    pub(crate) fn set_bucket(&mut self, i: usize, bucket: u64) {
+        self.bucket[i] = bucket;
+    }
+
+    /// Journals chip `i` crossing from its current bucket to `to`.
+    pub(crate) fn record_crossing(&mut self, i: usize, to: u64, epoch: u64) {
+        self.journal.push(JournalEvent {
+            epoch,
+            chip: self.id[i],
+            kind: EventKind::BucketCrossed {
+                from: self.bucket[i],
+                to,
+            },
+        });
+    }
+
+    /// Applies a served decision to chip `i` at `bucket`, journaling
+    /// the outcome — the SoA equivalent of the fat-struct
+    /// `apply_decision`.
+    pub(crate) fn apply_decision(
+        &mut self,
+        i: usize,
+        bucket: u64,
+        epoch: u64,
+        decision: &Decision,
+    ) {
+        self.bucket[i] = bucket;
+        match decision {
+            Decision::Plan(plan) => {
+                self.journal.push(JournalEvent {
+                    epoch,
+                    chip: self.id[i],
+                    kind: EventKind::Replanned {
+                        bucket,
+                        alpha: plan.plan.compression.alpha(),
+                        beta: plan.plan.compression.beta(),
+                        padding: plan.plan.padding,
+                        method: plan.method,
+                    },
+                });
+                self.mode[i] = ChipMode::Compressed;
+                self.plan[i] = Some(*plan);
+            }
+            Decision::Degrade { .. } => {
+                self.journal.push(JournalEvent {
+                    epoch,
+                    chip: self.id[i],
+                    kind: EventKind::Degraded { bucket },
+                });
+                self.mode[i] = ChipMode::Guardband;
+                self.plan[i] = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agequant_aging::{DegradationModel, TechProfile};
+
+    use super::*;
+
+    /// The hot-kinetics fast paths must be bit-identical to evaluating
+    /// the model spec directly — that is the whole equivalence
+    /// contract of the SoA layout.
+    #[test]
+    fn hot_kinetics_match_the_spec_bit_for_bit() {
+        let mut rng = FleetRng::seed_from_u64(404);
+        let specs = [
+            ModelSpec::default(),
+            ModelSpec::hci(TechProfile::INTEL14NM, 0.7),
+            ModelSpec::surrogate_demo(),
+        ];
+        for spec in &specs {
+            // Exercise perturbed profiles too, the fleet's actual use.
+            for _ in 0..32 {
+                let chip = Chip::sample(0, spec, &mut rng);
+                let hot = HotKinetics::of(&chip.model);
+                for t in [0.0, 0.1, 0.5, 1.7, 4.0, 9.99, 25.0] {
+                    assert_eq!(
+                        hot.shift_at(&chip.model, t).volts().to_bits(),
+                        chip.model.shift_at(t).volts().to_bits(),
+                        "{} diverges at t = {t}",
+                        chip.model.model_key()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_chips_round_trip_through_the_soa_layout() {
+        let model = ModelSpec::default();
+        let mut rng = FleetRng::seed_from_u64(77);
+        let chips: Vec<Chip> = (10..26)
+            .map(|id| Chip::sample(id, &model, &mut rng))
+            .collect();
+        let shard = FleetShard::from_chips(10, chips.clone(), rng);
+        assert_eq!(shard.len(), chips.len());
+        assert_eq!(shard.base(), 10);
+        for (i, chip) in chips.iter().enumerate() {
+            assert_eq!(&shard.chip(i), chip);
+        }
+    }
+
+    #[test]
+    fn crossings_report_exactly_the_chips_that_aged_a_bucket() {
+        let model = ModelSpec::default();
+        let mut rng = FleetRng::seed_from_u64(5);
+        let chips: Vec<Chip> = (0..64)
+            .map(|id| Chip::sample(id, &model, &mut rng))
+            .collect();
+        let shard = FleetShard::from_chips(0, chips.clone(), rng);
+        let (years, bucket_mv) = (5.0, 10.0);
+        let crossed = shard.crossings(years, bucket_mv);
+        assert!(!crossed.is_empty(), "5 years ages someone past 10 mV");
+        let expected: Vec<(usize, u64)> = chips
+            .iter()
+            .enumerate()
+            .filter_map(|(i, chip)| {
+                let b = Chip::bucket_of(chip.shift_at(years), bucket_mv);
+                (b > chip.bucket).then_some((i, b))
+            })
+            .collect();
+        assert_eq!(crossed, expected);
+    }
+}

@@ -2,15 +2,20 @@
 //!
 //! [`FleetSim`] advances a heterogeneous population of [`Chip`]s
 //! through their deployed lifetime in epochs of
-//! [`FleetConfig::epoch_years`] wall-clock years. Each epoch, every
-//! chip's ΔVth is evaluated under its own jittered NBTI kinetics and
-//! mission profile (a rayon-parallel pure computation), quantized into
-//! an aging *bucket* of [`FleetConfig::bucket_mv`] millivolts. Only
-//! chips that crossed into a new bucket are replanned — and replanning
-//! goes through the shared [`EvalEngine`], whose plan cache collapses
-//! the fleet's O(chips × epochs) decision stream into O(distinct
-//! buckets) full `(α, β) × Padding` characterizations. The engine's
-//! [`CacheStats`] measure that leverage rather than assuming it.
+//! [`FleetConfig::epoch_years`] wall-clock years. The population lives
+//! in struct-of-arrays [`FleetShard`]s — hot physics fields in
+//! contiguous arrays, cold identity fields in side tables — sharded
+//! across worker threads. Each epoch, every chip's ΔVth is evaluated
+//! under its own jittered kinetics and mission profile (a pure
+//! computation, fanned out per shard), quantized into an aging
+//! *bucket* of [`FleetConfig::bucket_mv`] millivolts. Only chips that
+//! crossed into a new bucket are replanned — strictly serialized in
+//! shard order, so the shared [`EvalEngine`]'s cache counters and the
+//! decider's memo order are bit-identical to an unsharded run. The
+//! plan cache collapses the fleet's O(chips × epochs) decision stream
+//! into O(distinct buckets) full `(α, β) × Padding` characterizations;
+//! the engine's [`CacheStats`] measure that leverage rather than
+//! assuming it.
 //!
 //! A chip whose bucket admits no feasible compression *degrades
 //! gracefully*: it falls back to a conventional guardbanded clock
@@ -28,14 +33,14 @@ use std::sync::Arc;
 use agequant_aging::{ModelSpec, NbtiPowerLaw, TechProfile};
 use agequant_core::{AgingAwareQuantizer, CacheStats, FlowConfig};
 use agequant_nn::NetArch;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize, Value};
 
-use crate::chip::{Chip, ChipMode};
-use crate::decide::{Decider, Decision};
-use crate::journal::{EventKind, JournalEvent};
+use crate::chip::Chip;
+use crate::decide::Decider;
+use crate::journal::JournalEvent;
 use crate::report::{FleetSummary, ModelCacheSummary};
 use crate::rng::FleetRng;
+use crate::shard::FleetShard;
 use crate::FleetError;
 
 /// Configuration of a fleet run.
@@ -250,19 +255,56 @@ fn migrate_checkpoint(tree: &mut Value) -> Result<(), FleetError> {
     Ok(())
 }
 
-/// The running fleet: simulation state plus the decision core
-/// (the shared [`Decider`] over the memoizing engine).
+/// The config's chip count as a `usize`, or a typed capacity error on
+/// platforms whose address space cannot hold it.
+fn checked_chip_count(config: &FleetConfig) -> Result<usize, FleetError> {
+    usize::try_from(config.chips).map_err(|_| {
+        FleetError::Capacity(format!(
+            "fleet of {} chips exceeds this platform's address space",
+            config.chips
+        ))
+    })
+}
+
+/// How many shards a fleet splits into when the caller does not say:
+/// one per available core, so the physics pass saturates the box.
+fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Contiguous shard sizes for `chips` over `shards` shards: as even as
+/// possible, the remainder spread over the leading shards. The
+/// partition never changes observable behavior — decisions run in
+/// shard-major (= id) order regardless — it only shapes the parallel
+/// physics fan-out.
+fn partition(chips: usize, shards: usize) -> Vec<usize> {
+    let shards = shards.clamp(1, chips.max(1));
+    let base = chips / shards;
+    let rem = chips % shards;
+    (0..shards).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// The running fleet: sharded struct-of-arrays population plus the
+/// decision core (the shared [`Decider`] over the memoizing engine).
 #[derive(Debug)]
 pub struct FleetSim {
     decider: Arc<Decider>,
-    state: FleetState,
-    journal: Vec<JournalEvent>,
+    config: FleetConfig,
+    epoch: u64,
+    /// The fleet-level RNG positioned after chip sampling — what
+    /// checkpoints carry (carried for future stochastic extensions;
+    /// epoch stepping itself draws nothing).
+    rng: FleetRng,
+    shards: Vec<FleetShard>,
 }
 
 impl FleetSim {
-    /// Builds a fresh fleet: samples every chip from `config.seed`,
-    /// then serves each its epoch-0 plan (all chips start fresh, so
-    /// this is a single characterization shared fleet-wide).
+    /// Builds a fresh fleet with one shard per available core: samples
+    /// every chip from `config.seed`, then serves each its epoch-0
+    /// plan (all chips start fresh, so this is a single
+    /// characterization shared fleet-wide).
     ///
     /// # Errors
     ///
@@ -270,54 +312,160 @@ impl FleetSim {
     /// bad configuration. An infeasible epoch-0 constraint is *not* an
     /// error: the fleet degrades to guardband mode and journals it.
     pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        Self::new_sharded(config, default_shard_count())
+    }
+
+    /// Like [`FleetSim::new`] with an explicit shard count (clamped to
+    /// `1..=chips`). Every observable output — checkpoints, journal
+    /// order, summaries, cache counters — is bit-identical across
+    /// shard counts; the count only shapes the parallel physics pass.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetSim::new`].
+    pub fn new_sharded(config: FleetConfig, shards: usize) -> Result<Self, FleetError> {
         config.validate()?;
+        let decider = Arc::new(Decider::from_config(&config)?);
+        Self::sample_fleet(config, decider, shards)
+    }
+
+    /// Shared fresh-fleet construction: positions each shard's RNG
+    /// substream by replaying the sampling draw counts, samples shards
+    /// (in parallel when there are several), and serves epoch-0 plans.
+    fn sample_fleet(
+        config: FleetConfig,
+        decider: Arc<Decider>,
+        shards: usize,
+    ) -> Result<Self, FleetError> {
+        let chip_count = checked_chip_count(&config)?;
+        let parts = partition(chip_count, shards);
         let model = config.flow.model_spec();
         let mut rng = FleetRng::seed_from_u64(config.seed);
-        let chips: Vec<Chip> = (0..config.chips)
-            .map(|id| Chip::sample(id, &model, &mut rng))
-            .collect();
-        let state = FleetState {
-            format: Some(CHECKPOINT_FORMAT),
+        // Locate each shard's substream inside the single fleet stream
+        // by replaying the draws of the chips before it (draw counts
+        // vary per chip, so there is no fixed stride to jump by). The
+        // replayed stream lands exactly where single-stream sampling
+        // would, so checkpoints stay bit-identical.
+        let mut starts: Vec<(u32, u32, FleetRng)> = Vec::with_capacity(parts.len());
+        let mut base = 0u32;
+        for &count in &parts {
+            let count = u32::try_from(count).expect("partition fits the chip count");
+            starts.push((base, count, rng.clone()));
+            if parts.len() == 1 {
+                // Single shard: it samples from the fleet stream
+                // directly below; no need to skip ahead here.
+                break;
+            }
+            for _ in 0..count {
+                Chip::skip_sample_draws(&mut rng);
+            }
+            base += count;
+        }
+        let shards: Vec<FleetShard> = if starts.len() == 1 {
+            let (base, count, start) = starts.pop().expect("one shard");
+            let shard = FleetShard::sample(base, count, &model, start);
+            rng = shard.substream().clone();
+            vec![shard]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = starts
+                    .into_iter()
+                    .map(|(base, count, start)| {
+                        let model = &model;
+                        scope.spawn(move || FleetShard::sample(base, count, model, start))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sampling thread panicked"))
+                    .collect()
+            })
+        };
+        let mut sim = FleetSim {
+            decider,
             config,
             epoch: 0,
             rng,
-            chips,
+            shards,
         };
-        let mut sim = Self::with_state(state)?;
         sim.plan_initial()?;
         Ok(sim)
     }
 
-    /// Restores a fleet from a checkpointed state. The engine's caches
-    /// start cold (they are memoization, not state); everything
-    /// observable resumes bit-identically.
+    /// Restores a fleet from a checkpointed state with one shard per
+    /// available core. The engine's caches start cold (they are
+    /// memoization, not state); everything observable resumes
+    /// bit-identically.
     ///
     /// # Errors
     ///
     /// Returns [`FleetError::InvalidConfig`] / [`FleetError::Flow`] if
-    /// the embedded configuration no longer validates, or
+    /// the embedded configuration no longer validates,
     /// [`FleetError::Malformed`] if the state is internally
-    /// inconsistent.
+    /// inconsistent, or [`FleetError::Capacity`] if the chip count
+    /// exceeds this platform.
     pub fn resume(state: FleetState) -> Result<Self, FleetError> {
+        Self::resume_sharded(state, default_shard_count())
+    }
+
+    /// Like [`FleetSim::resume`] with an explicit shard count.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetSim::resume`].
+    pub fn resume_sharded(state: FleetState, shards: usize) -> Result<Self, FleetError> {
         state.config.validate()?;
-        if state.chips.len() != state.config.chips as usize {
+        let decider = Arc::new(Decider::from_config(&state.config)?);
+        Self::scatter_state(state, decider, shards)
+    }
+
+    /// Shared resume construction: validates the chip count, rebuilds
+    /// each shard from its slice of the checkpointed chips, and
+    /// recomputes shard RNG substreams by draw replay.
+    fn scatter_state(
+        state: FleetState,
+        decider: Arc<Decider>,
+        shards: usize,
+    ) -> Result<Self, FleetError> {
+        let expected = checked_chip_count(&state.config)?;
+        if state.chips.len() != expected {
             return Err(FleetError::Malformed(format!(
                 "checkpoint holds {} chips, config says {}",
                 state.chips.len(),
                 state.config.chips
             )));
         }
-        Self::with_state(state)
-    }
-
-    /// Shared construction: builds a fresh decision core for the
-    /// state's configuration.
-    fn with_state(state: FleetState) -> Result<Self, FleetError> {
-        let decider = Arc::new(Decider::from_config(&state.config)?);
+        let parts = partition(expected, shards);
+        let FleetState {
+            config,
+            epoch,
+            rng,
+            mut chips,
+            ..
+        } = state;
+        // Recompute each shard's substream position the same way fresh
+        // sampling does, so a resumed shard is indistinguishable from
+        // a never-checkpointed one.
+        let mut replay = FleetRng::seed_from_u64(config.seed);
+        let mut built: Vec<FleetShard> = Vec::with_capacity(parts.len());
+        let mut base = 0u32;
+        let mut drained = chips.drain(..);
+        for &count in &parts {
+            let start = replay.clone();
+            for _ in 0..count {
+                Chip::skip_sample_draws(&mut replay);
+            }
+            let slice: Vec<Chip> = drained.by_ref().take(count).collect();
+            built.push(FleetShard::from_chips(base, slice, start));
+            base += u32::try_from(count).expect("partition fits the chip count");
+        }
+        drop(drained);
         Ok(FleetSim {
             decider,
-            state,
-            journal: Vec::new(),
+            config,
+            epoch,
+            rng,
+            shards: built,
         })
     }
 
@@ -337,18 +485,7 @@ impl FleetSim {
                 "fleet state and decider disagree on configuration".into(),
             ));
         }
-        if state.chips.len() != state.config.chips as usize {
-            return Err(FleetError::Malformed(format!(
-                "checkpoint holds {} chips, config says {}",
-                state.chips.len(),
-                state.config.chips
-            )));
-        }
-        Ok(FleetSim {
-            decider,
-            state,
-            journal: Vec::new(),
-        })
+        Self::scatter_state(state, decider, default_shard_count())
     }
 
     /// A fresh fleet sharing an existing decision core: samples every
@@ -360,110 +497,66 @@ impl FleetSim {
     /// Propagates non-degradable flow errors from initial planning.
     pub fn new_with_decider(decider: Arc<Decider>) -> Result<Self, FleetError> {
         let config = decider.config().clone();
-        let model = config.flow.model_spec();
-        let mut rng = FleetRng::seed_from_u64(config.seed);
-        let chips: Vec<Chip> = (0..config.chips)
-            .map(|id| Chip::sample(id, &model, &mut rng))
-            .collect();
-        let state = FleetState {
-            format: Some(CHECKPOINT_FORMAT),
-            config,
-            epoch: 0,
-            rng,
-            chips,
-        };
-        let mut sim = Self::with_decider(state, decider)?;
-        sim.plan_initial()?;
-        Ok(sim)
+        Self::sample_fleet(config, decider, default_shard_count())
     }
 
     /// Serves the epoch-0 decision to every chip (all start in bucket
-    /// 0 with ΔVth = 0).
+    /// 0 with ΔVth = 0), in shard-major (= id) order.
     fn plan_initial(&mut self) -> Result<(), FleetError> {
-        for idx in 0..self.state.chips.len() {
-            self.apply_decision(idx, 0, 0)?;
-        }
-        Ok(())
-    }
-
-    /// Serves chip `idx` the decision for `bucket` and journals the
-    /// outcome at `epoch`.
-    fn apply_decision(&mut self, idx: usize, bucket: u64, epoch: u64) -> Result<(), FleetError> {
-        let decision = self.decider.decide_bucket(bucket)?;
-        let chip = &mut self.state.chips[idx];
-        chip.bucket = bucket;
-        match decision {
-            Decision::Plan(plan) => {
-                self.journal.push(JournalEvent {
-                    epoch,
-                    chip: chip.id,
-                    kind: EventKind::Replanned {
-                        bucket,
-                        alpha: plan.plan.compression.alpha(),
-                        beta: plan.plan.compression.beta(),
-                        padding: plan.plan.padding,
-                        method: plan.method,
-                    },
-                });
-                chip.mode = ChipMode::Compressed;
-                chip.plan = Some(plan);
-            }
-            Decision::Degrade { .. } => {
-                self.journal.push(JournalEvent {
-                    epoch,
-                    chip: chip.id,
-                    kind: EventKind::Degraded { bucket },
-                });
-                chip.mode = ChipMode::Guardband;
-                chip.plan = None;
+        for shard in &mut self.shards {
+            for i in 0..shard.len() {
+                let decision = self.decider.decide_bucket(0)?;
+                shard.apply_decision(i, 0, 0, &decision);
             }
         }
         Ok(())
     }
 
-    /// Advances the fleet one epoch: evaluates every chip's ΔVth in
-    /// parallel, then replans exactly the chips that crossed into a
-    /// new bucket.
+    /// Advances the fleet one epoch: evaluates every chip's ΔVth (the
+    /// pure physics pass, fanned out per shard), then replans exactly
+    /// the chips that crossed into a new bucket — serially, in
+    /// shard-major order, so decision order and cache counters match
+    /// an unsharded run exactly.
     ///
     /// # Errors
     ///
     /// Propagates non-degradable flow errors; infeasible compression
     /// degrades the affected chips instead of failing.
     pub fn step(&mut self) -> Result<(), FleetError> {
-        let epoch = self.state.epoch + 1;
+        let epoch = self.epoch + 1;
         #[allow(clippy::cast_precision_loss)]
-        let years = epoch as f64 * self.state.config.epoch_years;
-        let bucket_mv = self.state.config.bucket_mv;
-        // Pure per-chip physics: safe to fan out, order-preserving.
-        let buckets: Vec<u64> = self
-            .state
-            .chips
-            .par_iter()
-            .map(|chip| Chip::bucket_of(chip.shift_at(years), bucket_mv))
-            .collect();
-        for (idx, &new_bucket) in buckets.iter().enumerate() {
-            let chip = &self.state.chips[idx];
-            if new_bucket <= chip.bucket {
-                continue;
+        let years = epoch as f64 * self.config.epoch_years;
+        let bucket_mv = self.config.bucket_mv;
+        let crossings: Vec<Vec<(usize, u64)>> = if self.shards.len() == 1 {
+            vec![self.shards[0].crossings(years, bucket_mv)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || shard.crossings(years, bucket_mv)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("physics thread panicked"))
+                    .collect()
+            })
+        };
+        for (shard, crossed) in self.shards.iter_mut().zip(crossings) {
+            for (i, new_bucket) in crossed {
+                shard.record_crossing(i, new_bucket, epoch);
+                if shard.is_guardband(i) {
+                    // Infeasibility is monotone in ΔVth: once
+                    // guardbanded, the chip only tracks its bucket,
+                    // never replans.
+                    shard.set_bucket(i, new_bucket);
+                    continue;
+                }
+                let decision = self.decider.decide_bucket(new_bucket)?;
+                shard.apply_decision(i, new_bucket, epoch, &decision);
             }
-            let (id, from, degraded) = (chip.id, chip.bucket, chip.mode == ChipMode::Guardband);
-            self.journal.push(JournalEvent {
-                epoch,
-                chip: id,
-                kind: EventKind::BucketCrossed {
-                    from,
-                    to: new_bucket,
-                },
-            });
-            if degraded {
-                // Infeasibility is monotone in ΔVth: once guardbanded,
-                // the chip only tracks its bucket, never replans.
-                self.state.chips[idx].bucket = new_bucket;
-                continue;
-            }
-            self.apply_decision(idx, new_bucket, epoch)?;
         }
-        self.state.epoch = epoch;
+        self.epoch = epoch;
         Ok(())
     }
 
@@ -479,18 +572,86 @@ impl FleetSim {
         Ok(())
     }
 
-    /// The simulation state (checkpoint this).
+    /// Materializes the complete checkpointable state: every chip in
+    /// id order, the fleet RNG, and the current epoch. Bit-identical
+    /// for any shard count.
     #[must_use]
-    pub fn state(&self) -> &FleetState {
-        &self.state
+    pub fn to_state(&self) -> FleetState {
+        let mut chips = Vec::with_capacity(self.chip_count());
+        for shard in &self.shards {
+            for i in 0..shard.len() {
+                chips.push(shard.chip(i));
+            }
+        }
+        FleetState {
+            format: Some(CHECKPOINT_FORMAT),
+            config: self.config.clone(),
+            epoch: self.epoch,
+            rng: self.rng.clone(),
+            chips,
+        }
+    }
+
+    /// The run's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The last completed epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total chips across all shards.
+    #[must_use]
+    pub fn chip_count(&self) -> usize {
+        self.shards.iter().map(FleetShard::len).sum()
+    }
+
+    /// Materializes the chip with fleet index `idx` (its position in
+    /// id order), or `None` past the end.
+    #[must_use]
+    pub fn chip(&self, idx: usize) -> Option<Chip> {
+        let mut idx = idx;
+        for shard in &self.shards {
+            if idx < shard.len() {
+                return Some(shard.chip(idx));
+            }
+            idx -= shard.len();
+        }
+        None
+    }
+
+    /// The shards the population lives in, in id order.
+    #[must_use]
+    pub fn shards(&self) -> &[FleetShard] {
+        &self.shards
     }
 
     /// The events journaled by *this* sim instance (a resumed sim
     /// journals only post-resume events, so appending to the original
-    /// journal file reconstructs the full history).
+    /// journal file reconstructs the full history), merged across
+    /// shards into the exact order an unsharded run would emit:
+    /// epoch-major, shard-major within an epoch — which is id order,
+    /// because decisions are applied that way.
     #[must_use]
-    pub fn journal(&self) -> &[JournalEvent] {
-        &self.journal
+    pub fn journal(&self) -> Vec<JournalEvent> {
+        let total: usize = self.shards.iter().map(|s| s.journal().len()).sum();
+        let mut merged = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; self.shards.len()];
+        for epoch in 0..=self.epoch {
+            for (shard, cursor) in self.shards.iter().zip(cursors.iter_mut()) {
+                let events = shard.journal();
+                while *cursor < events.len() && events[*cursor].epoch == epoch {
+                    merged.push(events[*cursor]);
+                    *cursor += 1;
+                }
+            }
+        }
+        debug_assert_eq!(merged.len(), total, "every shard event merged");
+        merged
     }
 
     /// The shared decision core.
@@ -543,7 +704,7 @@ impl FleetSim {
     /// instance's live cache statistics.
     #[must_use]
     pub fn summary(&self) -> FleetSummary {
-        let mut summary = FleetSummary::from_state(&self.state, Some(self.cache_stats()));
+        let mut summary = FleetSummary::from_state(&self.to_state(), Some(self.cache_stats()));
         summary.cache_by_model = Some(
             self.cache_stats_by_model()
                 .into_iter()
@@ -562,6 +723,7 @@ mod tests {
     use agequant_aging::DegradationModel;
 
     use super::*;
+    use crate::chip::ChipMode;
 
     fn tiny_config() -> FleetConfig {
         let mut config = FleetConfig::new(8, 13);
@@ -572,8 +734,9 @@ mod tests {
     #[test]
     fn fresh_fleet_starts_uncompressed_in_bucket_zero() {
         let sim = FleetSim::new(tiny_config()).expect("valid config");
-        assert_eq!(sim.state().epoch, 0);
-        for chip in &sim.state().chips {
+        let state = sim.to_state();
+        assert_eq!(state.epoch, 0);
+        for chip in &state.chips {
             assert_eq!(chip.bucket, 0);
             assert_eq!(chip.mode, ChipMode::Compressed);
             let plan = chip.plan.expect("planned at epoch 0");
@@ -587,19 +750,20 @@ mod tests {
     #[test]
     fn stepping_advances_buckets_monotonically() {
         let mut sim = FleetSim::new(tiny_config()).expect("valid config");
-        let mut last: Vec<u64> = sim.state().chips.iter().map(|c| c.bucket).collect();
+        let mut last: Vec<u64> = sim.to_state().chips.iter().map(|c| c.bucket).collect();
         for _ in 0..4 {
             sim.step().expect("step");
-            for (chip, prev) in sim.state().chips.iter().zip(&last) {
+            for (chip, prev) in sim.to_state().chips.iter().zip(&last) {
                 assert!(chip.bucket >= *prev, "buckets never regress");
             }
-            last = sim.state().chips.iter().map(|c| c.bucket).collect();
+            last = sim.to_state().chips.iter().map(|c| c.bucket).collect();
         }
-        assert_eq!(sim.state().epoch, 4);
+        assert_eq!(sim.epoch(), 4);
         // 10 years under mixed missions: at least one chip aged past
         // bucket 0, and every aged compressed chip holds a real plan.
-        assert!(sim.state().chips.iter().any(|c| c.bucket > 0));
-        for chip in &sim.state().chips {
+        let state = sim.to_state();
+        assert!(state.chips.iter().any(|c| c.bucket > 0));
+        for chip in &state.chips {
             if chip.mode == ChipMode::Compressed && chip.bucket > 0 {
                 let plan = chip.plan.expect("replanned");
                 assert_eq!(plan.bucket, chip.bucket);
@@ -623,7 +787,7 @@ mod tests {
     #[test]
     fn resume_rejects_chip_count_mismatch() {
         let sim = FleetSim::new(tiny_config()).expect("valid config");
-        let mut state = sim.state().clone();
+        let mut state = sim.to_state();
         state.chips.pop();
         assert!(matches!(
             FleetSim::resume(state),
@@ -649,7 +813,7 @@ mod tests {
         // `agequant-fleet run --chips 8 --epochs 3 --seed 2021`.
         let mut sim = FleetSim::new(FleetConfig::new(8, 2021)).expect("valid config");
         sim.run(3).expect("simulates");
-        let fresh = sim.state();
+        let fresh = sim.to_state();
 
         assert_eq!(migrated.config, fresh.config);
         assert_eq!(migrated.epoch, fresh.epoch);
@@ -680,7 +844,7 @@ mod tests {
         // The migrated state resumes and keeps simulating.
         let mut resumed = FleetSim::resume(migrated.clone()).expect("resumes");
         resumed.step().expect("steps");
-        assert_eq!(resumed.state().epoch, migrated.epoch + 1);
+        assert_eq!(resumed.epoch(), migrated.epoch + 1);
 
         // And a saved migrated state is already format 2: re-loading
         // it is a pure round-trip, no second migration.
@@ -692,9 +856,22 @@ mod tests {
     #[test]
     fn current_checkpoints_round_trip_without_migration() {
         let sim = FleetSim::new(tiny_config()).expect("valid config");
-        let state = sim.state();
+        let state = sim.to_state();
         assert_eq!(state.format, Some(CHECKPOINT_FORMAT));
         let back = FleetState::from_json(&state.to_json()).expect("parses");
-        assert_eq!(&back, state);
+        assert_eq!(back, state);
+    }
+
+    /// The shard partition covers every chip for any requested count,
+    /// including degenerate requests.
+    #[test]
+    fn partitions_are_contiguous_and_complete() {
+        for (chips, shards) in [(1, 1), (7, 2), (8, 8), (8, 64), (1000, 3), (5, 0)] {
+            let parts = partition(chips, shards);
+            assert_eq!(parts.iter().sum::<usize>(), chips, "{chips}/{shards}");
+            assert!(!parts.is_empty());
+            assert!(parts.iter().all(|&p| p > 0), "{chips}/{shards}: {parts:?}");
+            assert!(parts.len() <= chips.max(1));
+        }
     }
 }

@@ -19,21 +19,25 @@ fn resume_is_bit_identical_to_uninterrupted_run() {
 
     let mut first_leg = FleetSim::new(config).expect("valid config");
     first_leg.run(4).expect("simulates");
-    let checkpoint = first_leg.state().to_json();
+    let checkpoint = first_leg.to_state().to_json();
     let restored = FleetState::from_json(&checkpoint).expect("checkpoint parses");
-    assert_eq!(&restored, first_leg.state(), "JSON round-trip is lossless");
+    assert_eq!(
+        restored,
+        first_leg.to_state(),
+        "JSON round-trip is lossless"
+    );
 
     let mut second_leg = FleetSim::resume(restored).expect("resumes");
     second_leg.run(6).expect("simulates");
 
     assert_eq!(
-        second_leg.state().to_json(),
-        straight.state().to_json(),
+        second_leg.to_state().to_json(),
+        straight.to_state().to_json(),
         "resumed checkpoint is byte-identical"
     );
 
-    let mut stitched = first_leg.journal().to_vec();
-    stitched.extend_from_slice(second_leg.journal());
+    let mut stitched = first_leg.journal();
+    stitched.extend_from_slice(&second_leg.journal());
     assert_eq!(
         stitched,
         straight.journal(),
@@ -94,8 +98,9 @@ fn infeasible_constraint_degrades_gracefully() {
     let mut sim = FleetSim::new(config).expect("infeasibility is not a construction error");
     sim.run(6).expect("degraded fleets keep simulating");
 
-    assert_eq!(sim.state().epoch, 6);
-    for chip in &sim.state().chips {
+    assert_eq!(sim.epoch(), 6);
+    let state = sim.to_state();
+    for chip in &state.chips {
         assert_eq!(chip.mode, ChipMode::Guardband);
         assert!(chip.plan.is_none(), "degraded chips hold no plan");
     }

@@ -119,6 +119,13 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Loads a fleet checkpoint in either format: the binary `AGQFLEET`
+/// frame (magic-sniffed, checksum-verified) or legacy JSON.
+fn read_fleet_state(path: &str) -> Result<FleetState, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    FleetState::load(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
 /// Fleet artifacts loaded from disk, owning what `Artifact` borrows.
 struct FleetFiles {
     state_name: String,
@@ -148,27 +155,22 @@ fn main() -> ExitCode {
     let fleet: Option<FleetFiles> = match &opts.fleet_state {
         None => None,
         Some(state_path) => {
-            let loaded = read(state_path)
-                .and_then(|text| {
-                    FleetState::from_json(&text).map_err(|e| format!("{state_path}: {e}"))
+            let loaded = read_fleet_state(state_path).and_then(|state| {
+                let journal = match &opts.fleet_journal {
+                    None => None,
+                    Some(journal_path) => Some((
+                        journal_path.clone(),
+                        read(journal_path).and_then(|text| {
+                            journal::from_jsonl(&text).map_err(|e| format!("{journal_path}: {e}"))
+                        })?,
+                    )),
+                };
+                Ok(FleetFiles {
+                    state_name: state_path.clone(),
+                    state,
+                    journal,
                 })
-                .and_then(|state| {
-                    let journal = match &opts.fleet_journal {
-                        None => None,
-                        Some(journal_path) => Some((
-                            journal_path.clone(),
-                            read(journal_path).and_then(|text| {
-                                journal::from_jsonl(&text)
-                                    .map_err(|e| format!("{journal_path}: {e}"))
-                            })?,
-                        )),
-                    };
-                    Ok(FleetFiles {
-                        state_name: state_path.clone(),
-                        state,
-                        journal,
-                    })
-                });
+            });
             match loaded {
                 Ok(fleet) => Some(fleet),
                 Err(msg) => {

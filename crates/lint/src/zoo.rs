@@ -144,8 +144,8 @@ impl Zoo {
         let mut fleet =
             FleetSim::new(FleetConfig::new(24, 7)).expect("shipped fleet config is valid");
         fleet.run(6).expect("shipped fleet config simulates");
-        let fleet_state = fleet.state().clone();
-        let fleet_journal = fleet.journal().to_vec();
+        let fleet_state = fleet.to_state();
+        let fleet_journal = fleet.journal();
 
         Zoo {
             profiles,

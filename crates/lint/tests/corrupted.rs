@@ -365,7 +365,7 @@ fn base_fleet() -> (
 
     let mut sim = FleetSim::new(FleetConfig::new(12, 21)).expect("valid config");
     sim.run(8).expect("simulates");
-    (sim.state().clone(), sim.journal().to_vec())
+    (sim.to_state(), sim.journal())
 }
 
 fn checkpoint_codes(state: &agequant_fleet::FleetState) -> Vec<String> {

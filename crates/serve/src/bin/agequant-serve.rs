@@ -98,7 +98,11 @@ fn run(args: &[String]) -> Result<(), String> {
     let options = parse_args(args)?;
     options.config.validate().map_err(|e| e.to_string())?;
     if let Some(path) = &options.write_config {
-        std::fs::write(path, options.config.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        agequant_fleet::persist::atomic_write(
+            std::path::Path::new(path),
+            options.config.to_json().as_bytes(),
+        )
+        .map_err(|e| format!("{path}: {e}"))?;
     }
     let mut fleet_config = FleetConfig::new(options.config.fleet_chips, options.config.fleet_seed);
     fleet_config.flow.model = options.model;

@@ -619,7 +619,7 @@ fn handle_plan(shared: &Shared, request: &PlanRequest) -> Response {
 
 fn handle_telemetry(shared: &Shared, request: &TelemetryRequest) -> Response {
     let mut host = shared.fleet.lock().expect("unpoisoned fleet");
-    let fleet_size = host.sim.state().chips.len();
+    let fleet_size = host.sim.chip_count();
     if request.chip as usize >= fleet_size {
         return Response::json(
             404,
@@ -629,7 +629,7 @@ fn handle_telemetry(shared: &Shared, request: &TelemetryRequest) -> Response {
             )),
         );
     }
-    let current = host.sim.state().epoch;
+    let current = host.sim.epoch();
     if request.epoch > current + MAX_EPOCH_ADVANCE {
         return Response::json(
             400,
@@ -644,7 +644,7 @@ fn handle_telemetry(shared: &Shared, request: &TelemetryRequest) -> Response {
     // bucket and journals the events. Reported ΔVth never overwrites
     // the model (the checkpoint must stay kinetics-consistent); it is
     // cross-checked in the response instead.
-    while host.sim.state().epoch < request.epoch {
+    while host.sim.epoch() < request.epoch {
         if let Err(e) = host.sim.step() {
             return Response::json(500, error_body(&e.to_string()));
         }
@@ -653,19 +653,22 @@ fn handle_telemetry(shared: &Shared, request: &TelemetryRequest) -> Response {
         return Response::json(500, error_body(&e.to_string()));
     }
 
-    let state = host.sim.state();
-    let chip = &state.chips[request.chip as usize];
+    let epoch = host.sim.epoch();
+    let chip = host
+        .sim
+        .chip(request.chip as usize)
+        .expect("chip index bounds-checked above");
     #[allow(clippy::cast_precision_loss)]
-    let years = state.epoch as f64 * state.config.epoch_years;
+    let years = epoch as f64 * host.sim.config().epoch_years;
     let model_mv = chip.shift_at(years).millivolts();
     let consistent = request.delta_vth_mv.map(|reported| {
-        let bucket_mv = state.config.bucket_mv;
+        let bucket_mv = host.sim.config().bucket_mv;
         (reported - model_mv).abs() < bucket_mv
     });
     let mut fields = vec![
         ("chip", Value::UInt(u64::from(chip.id))),
-        ("epoch", Value::UInt(state.epoch)),
-        ("stale", Value::Bool(request.epoch < state.epoch)),
+        ("epoch", Value::UInt(epoch)),
+        ("stale", Value::Bool(request.epoch < epoch)),
         ("bucket", Value::UInt(chip.bucket)),
         ("mode", Value::Str(mode_label(chip.mode).to_string())),
         ("model_delta_vth_mv", Value::Float(model_mv)),
@@ -701,12 +704,28 @@ fn flush_journal(config: &ServeConfig, host: &mut FleetHost) -> Result<(), Serve
 
 /// Writes the hosted fleet's checkpoint, for post-run linting.
 ///
+/// A `.bin` path gets the versioned, checksummed binary frame; any
+/// other extension gets the legacy JSON form. Either way the write is
+/// atomic (temp file + rename), so a crash mid-write cannot destroy a
+/// previous checkpoint at the same path.
+///
 /// # Errors
 ///
 /// Returns [`ServeError::Io`] when the file cannot be written.
 pub fn write_checkpoint(handle: &ServerHandle, path: &str) -> Result<(), ServeError> {
     let host = handle.shared.fleet.lock().expect("unpoisoned fleet");
-    std::fs::write(path, host.sim.state().to_json())
+    let state = host.sim.to_state();
+    let bytes = if std::path::Path::new(path)
+        .extension()
+        .is_some_and(|e| e == "bin")
+    {
+        state
+            .to_binary()
+            .map_err(|e| ServeError::Io(format!("{path}: {e}")))?
+    } else {
+        state.to_json().into_bytes()
+    };
+    agequant_fleet::persist::atomic_write(std::path::Path::new(path), &bytes)
         .map_err(|e| ServeError::Io(format!("{path}: {e}")))
 }
 
