@@ -78,6 +78,46 @@ fn bench_speedup_summary(_c: &mut Criterion) {
     );
 }
 
+fn bench_facade_overhead(_c: &mut Criterion) {
+    // The engine's caches sit behind `agequant_check::sync` locks. In
+    // a normal (non-`model`) build those are straight re-exports of
+    // `std::sync`, so a warm memoized query must stay at raw
+    // RwLock-read + HashMap-hit cost — roughly 124 ns on this
+    // hardware. If instrumented primitives ever leaked into the std
+    // build, the warm path would slow by orders of magnitude; guard
+    // with a generous 100× margin against the uncached scan rather
+    // than an absolute wall-clock bound.
+    let flow = AgingAwareQuantizer::new(FlowConfig::edge_tpu_like()).expect("valid");
+    let eol = VthShift::from_millivolts(EOL_MV);
+    let clock = flow.fresh_critical_path_ps();
+
+    let start = Instant::now();
+    black_box(
+        flow.compression_for_constraint_serial(eol, clock)
+            .expect("feasible"),
+    );
+    let uncached = start.elapsed();
+
+    black_box(flow.compression_for(eol).expect("feasible"));
+    let warm_iters = 100_000u32;
+    let start = Instant::now();
+    for _ in 0..warm_iters {
+        black_box(flow.compression_for(eol).expect("feasible"));
+    }
+    let warm = (start.elapsed() / warm_iters).max(Duration::from_nanos(1));
+
+    let ratio = uncached.as_secs_f64() / warm.as_secs_f64();
+    println!(
+        "engine/facade_overhead                   warm query through the facade: {:.0} ns/call ({ratio:.0}× under one uncached scan)",
+        warm.as_secs_f64() * 1e9,
+    );
+    assert!(
+        ratio >= 100.0,
+        "warm facade-wrapped query ({warm:?}/call) within 100× of an uncached scan ({uncached:?}) — \
+         the std-mode facade is supposed to be zero-overhead"
+    );
+}
+
 criterion_group! {
     name = benches;
     // Full-grid iterations are hundreds of milliseconds on one core;
@@ -86,6 +126,6 @@ criterion_group! {
         .sample_size(10)
         .measurement_time(Duration::from_secs(8))
         .warm_up_time(Duration::from_secs(2));
-    targets = bench_grid_scan, bench_speedup_summary
+    targets = bench_grid_scan, bench_speedup_summary, bench_facade_overhead
 }
 criterion_main!(benches);

@@ -4,10 +4,12 @@
 //! Simulates `AGEQUANT_FLEET_CHIPS` chips (default 1,000,000) for
 //! `AGEQUANT_FLEET_EPOCHS` epochs (default 40 — a 20-year lifetime in
 //! half-year steps) through the sharded struct-of-arrays simulator,
-//! then times one full checkpoint cycle: materialize + encode the
-//! binary frame, and decode it back. Reports chip-epochs/second, the
-//! frame size, and save/load wall time; verifies on the way out that
-//! the decoded state re-encodes to the identical frame.
+//! then times one full checkpoint cycle: encode the binary frame
+//! straight from the shard columns, and decode it back. Reports
+//! chip-epochs/second, the frame size, and save/load wall time;
+//! verifies on the way out that the decoded state re-encodes (through
+//! the materializing state path) to the identical frame — the two
+//! encode paths are cross-checked every run.
 //!
 //! Knobs: `AGEQUANT_FLEET_CHIPS` (default 1,000,000),
 //! `AGEQUANT_FLEET_EPOCHS` (default 40), `AGEQUANT_FLEET_SHARDS`
@@ -70,7 +72,7 @@ fn main() {
 
     println!("checkpointing...");
     let save_start = Instant::now();
-    let frame = sim.to_state().to_binary().expect("encodes");
+    let frame = sim.checkpoint_binary().expect("encodes");
     let save_seconds = save_start.elapsed().as_secs_f64();
     println!("  saved {} bytes in {save_seconds:.2}s", frame.len());
 

@@ -1,0 +1,79 @@
+//! Deterministic schedule-exploration concurrency checking for the
+//! agequant workspace — the role loom/shuttle play in production Rust
+//! stacks, vendored std-only like the rest of our toolchain.
+//!
+//! # The facade
+//!
+//! Concurrent crates in this workspace import their synchronization
+//! primitives from [`sync`] and [`thread`] instead of `std::sync` /
+//! `std::thread` (the `SRC001` lint in `agequant-lint` enforces this).
+//! In a normal build both modules are 1:1 re-exports of `std`, so the
+//! facade compiles away completely — release binaries are bit-identical
+//! and the warm paths carry zero overhead.
+//!
+//! Under the `model` cargo feature (or `--cfg agequant_model`), the
+//! same names resolve to instrumented implementations driven by a
+//! deterministic scheduler: every lock acquisition, atomic operation,
+//! and `Condvar` wait becomes a yield point, and `explore` (an item
+//! that only exists in model builds) enumerates
+//! bounded thread interleavings depth-first, replaying any failing
+//! schedule as a printable trace.
+//!
+//! # What the checker detects
+//!
+//! - **Invariant violations**: any panic (e.g. a failed `assert!`)
+//!   inside the modeled closure, on any explored interleaving.
+//! - **Deadlocks**: no runnable thread while work remains, diagnosed
+//!   via the waits-for graph (which thread waits on which lock held by
+//!   whom).
+//! - **Lost `Condvar` wakeups**: a deadlock in which the stuck threads
+//!   are parked on a condition variable no remaining thread can
+//!   notify.
+//!
+//! # Model fidelity and limits
+//!
+//! The model is sequentially consistent: atomic orderings are accepted
+//! but weak-memory reorderings are not explored. `Arc` and `mpsc` pass
+//! through un-modeled (channel waits are not yield points — model
+//! tests should synchronize through the modeled primitives). Condvar
+//! `notify_one` wakes the longest-waiting modeled waiter (FIFO), and a
+//! timed wait may spuriously time out a bounded number of times per
+//! thread per execution. Threads *not* spawned through the facade
+//! (e.g. vendored-rayon workers) fall back to the real `std`
+//! primitives inside the same types, so mutual exclusion remains sound
+//! even for hybrid workloads — they just don't participate in
+//! schedule exploration.
+
+#[cfg(any(feature = "model", agequant_model))]
+mod model;
+
+#[cfg(any(feature = "model", agequant_model))]
+pub use model::{explore, explore_ok, Config, Report, Violation, ViolationKind};
+
+/// Synchronization primitives: `std::sync` re-exported 1:1 in normal
+/// builds, instrumented model-checker versions under `--features
+/// model`.
+#[cfg(not(any(feature = "model", agequant_model)))]
+pub mod sync {
+    pub use std::sync::*;
+}
+
+/// Threading primitives: `std::thread` re-exported 1:1 in normal
+/// builds, instrumented model-checker versions under `--features
+/// model`.
+#[cfg(not(any(feature = "model", agequant_model)))]
+pub mod thread {
+    pub use std::thread::*;
+}
+
+/// Synchronization primitives, instrumented for schedule exploration.
+#[cfg(any(feature = "model", agequant_model))]
+pub mod sync {
+    pub use crate::model::sync::*;
+}
+
+/// Threading primitives, instrumented for schedule exploration.
+#[cfg(any(feature = "model", agequant_model))]
+pub mod thread {
+    pub use crate::model::thread::*;
+}

@@ -1,0 +1,240 @@
+//! Depth-first schedule enumeration with sleep sets and a preemption
+//! bound.
+//!
+//! Each run executes the user closure under a replayed decision prefix
+//! and records every fresh multi-way decision as a frame. Backtracking
+//! picks the deepest frame with an untried, awake, bound-feasible
+//! sibling, and reruns with that sibling forced — carrying the frame's
+//! sleep set (explored siblings stay asleep until a dependent
+//! transition wakes them, so commuting interleavings are visited once).
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use crate::model::runtime::{Bounds, Execution, NewFrame, Tid, Violation};
+
+/// Exploration bounds and budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Stop after this many executed schedules even if unexhausted.
+    pub max_schedules: usize,
+    /// CHESS-style bound: schedules may switch away from a runnable
+    /// thread at most this many times.
+    pub max_preemptions: usize,
+    /// Per-run step budget; exceeding it is reported as a livelock.
+    pub max_steps: usize,
+    /// How many times each thread's *timed* condvar waits may time out
+    /// per execution (models spurious wakeups / timeouts boundedly).
+    pub max_timeout_wakeups: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 4096,
+            max_preemptions: 2,
+            max_steps: 50_000,
+            max_timeout_wakeups: 1,
+        }
+    }
+}
+
+/// What an exploration covered.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// Executed schedules that became redundant mid-run (every
+    /// alternative asleep or over the preemption bound).
+    pub redundant: usize,
+    /// Whether the bounded space was fully enumerated (as opposed to
+    /// stopping at `max_schedules`).
+    pub exhausted: bool,
+    /// Deepest decision stack reached.
+    pub max_depth: usize,
+}
+
+/// One decision point on the DFS stack.
+struct Frame {
+    enabled: Vec<Tid>,
+    sleep: std::collections::BTreeSet<Tid>,
+    tried: Vec<Tid>,
+    last_running: Option<Tid>,
+    preemptions: usize,
+}
+
+struct RunOutcome {
+    schedule: Vec<Tid>,
+    new_frames: Vec<NewFrame>,
+    pruned_from: Option<usize>,
+    violation: Option<Violation>,
+}
+
+/// Suppresses the default "thread panicked at ..." stderr noise for
+/// panics inside model threads (they become [`Violation`]s); panics on
+/// non-model threads keep the previous hook's behavior.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if crate::model::runtime::current().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn run_once<F>(bounds: Bounds, replay: Vec<Tid>, pending_sleep: Vec<Tid>, f: &Arc<F>) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Execution::new(bounds, replay, pending_sleep);
+    let tid0 = exec.register_thread("main".to_string(), true);
+    debug_assert_eq!(tid0, 0);
+    let exec2 = Arc::clone(&exec);
+    let f2 = Arc::clone(f);
+    let handle = std::thread::Builder::new()
+        .name("agequant-model-main".to_string())
+        .spawn(move || {
+            exec2.thread_main(tid0, move || f2());
+        })
+        .expect("spawn model main thread");
+    exec.wait_outcome();
+    let completed = exec.with_state(|st| st.completed);
+    if completed {
+        let _ = handle.join();
+    } else {
+        // Violation: parked model threads are abandoned (leaked) by
+        // design — we cannot unwind stacks we don't own.
+        drop(handle);
+    }
+    exec.with_state(|st| RunOutcome {
+        schedule: std::mem::take(&mut st.schedule),
+        new_frames: std::mem::take(&mut st.new_frames),
+        pruned_from: st.pruned_from,
+        violation: st.violation.clone(),
+    })
+}
+
+/// The deepest frame with an untried, awake, preemption-feasible
+/// sibling, and that sibling.
+fn next_backtrack(stack: &[Frame], max_preemptions: usize) -> Option<(usize, Tid)> {
+    for depth in (0..stack.len()).rev() {
+        let fr = &stack[depth];
+        for &t in &fr.enabled {
+            if fr.tried.contains(&t) || fr.sleep.contains(&t) {
+                continue;
+            }
+            if let Some(lr) = fr.last_running {
+                if fr.enabled.contains(&lr) && t != lr && fr.preemptions >= max_preemptions {
+                    continue;
+                }
+            }
+            return Some((depth, t));
+        }
+    }
+    None
+}
+
+/// Explores bounded interleavings of `f`; returns the coverage report,
+/// or the first [`Violation`] found.
+///
+/// `f` runs once per schedule and must be deterministic apart from
+/// scheduling (same locks, same threads, same asserts given the same
+/// interleaving). Terminal invariants are plain `assert!`s at the end
+/// of `f` — every spawned-and-joined thread has finished by then.
+pub fn explore_ok<F>(config: Config, f: F) -> Result<Report, Violation>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let f = Arc::new(f);
+    let bounds = Bounds {
+        max_preemptions: config.max_preemptions,
+        max_steps: config.max_steps,
+        max_timeout_wakeups: config.max_timeout_wakeups,
+    };
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut replay: Vec<Tid> = Vec::new();
+    let mut pending_sleep: Vec<Tid> = Vec::new();
+    let mut report = Report {
+        schedules: 0,
+        redundant: 0,
+        exhausted: false,
+        max_depth: 0,
+    };
+    loop {
+        let out = run_once(bounds, replay.clone(), pending_sleep.clone(), &f);
+        report.schedules += 1;
+        if let Some(v) = out.violation {
+            return Err(v);
+        }
+        if out.pruned_from.is_some() {
+            report.redundant += 1;
+        }
+        report.max_depth = report.max_depth.max(out.schedule.len());
+        assert!(
+            out.schedule.len() >= replay.len(),
+            "nondeterministic execution: run decided {} times, replay prefix has {}",
+            out.schedule.len(),
+            replay.len()
+        );
+        assert_eq!(
+            stack.len(),
+            replay.len(),
+            "explorer stack out of sync with replay prefix"
+        );
+        for (i, nf) in out.new_frames.into_iter().enumerate() {
+            // Frames past the prune point are redundant: mark every
+            // sibling tried so backtracking skips them.
+            let fully_tried = out.pruned_from.is_some_and(|p| i >= p);
+            stack.push(Frame {
+                tried: if fully_tried {
+                    nf.enabled.clone()
+                } else {
+                    vec![nf.chosen]
+                },
+                enabled: nf.enabled,
+                sleep: nf.sleep,
+                last_running: nf.last_running,
+                preemptions: nf.preemptions,
+            });
+        }
+        if report.schedules >= config.max_schedules {
+            return Ok(report);
+        }
+        let Some((depth, cand)) = next_backtrack(&stack, config.max_preemptions) else {
+            report.exhausted = true;
+            return Ok(report);
+        };
+        replay = out.schedule[..depth].to_vec();
+        replay.push(cand);
+        let fr = &mut stack[depth];
+        fr.tried.push(cand);
+        // Explored siblings (and the frame's inherited sleepers) sleep
+        // in the new branch until a dependent transition wakes them.
+        let sleep_set: std::collections::BTreeSet<Tid> = fr
+            .sleep
+            .iter()
+            .chain(fr.tried.iter())
+            .copied()
+            .filter(|&t| t != cand)
+            .collect();
+        pending_sleep = sleep_set.into_iter().collect();
+        stack.truncate(depth + 1);
+    }
+}
+
+/// Like [`explore_ok`], but panics with the rendered trace on a
+/// violation — the convenient form for tests.
+pub fn explore<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match explore_ok(config, f) {
+        Ok(report) => report,
+        Err(violation) => panic!("{violation}"),
+    }
+}

@@ -1,0 +1,33 @@
+//! The instrumented side of the facade: a deterministic, bounded
+//! stateless model checker in the loom/shuttle family.
+//!
+//! # How it works
+//!
+//! Model threads are real OS threads, but exactly one holds the
+//! scheduler token at any time. Every visible operation — lock
+//! acquisition, atomic access, `Condvar` wait, join, sleep — is a
+//! *yield point*: the thread parks, the scheduler picks the next
+//! runnable thread (following a replayed prefix, then a deterministic
+//! default), and execution continues. A *transition* is one granted
+//! operation plus everything the thread does up to its next yield
+//! point; because all shared state lives behind the facade, the code
+//! between yield points is thread-local and transitions commute
+//! exactly when their recorded accesses are independent.
+//!
+//! The explorer enumerates schedules depth-first with two prunings:
+//! **sleep sets** (an explored sibling stays asleep until a dependent
+//! transition wakes it, so commuting orders are visited once) and a
+//! **preemption bound** (schedules that switch away from a runnable
+//! thread more than `max_preemptions` times are skipped — the classic
+//! CHESS result that real concurrency bugs need very few preemptions).
+//! Terminal invariants are plain `assert!`s in the modeled closure;
+//! any panic, deadlock, or lost wakeup aborts exploration and is
+//! reported with the exact schedule and a step-by-step trace.
+
+mod explorer;
+mod runtime;
+pub mod sync;
+pub mod thread;
+
+pub use explorer::{explore, explore_ok, Config, Report};
+pub use runtime::{Violation, ViolationKind};

@@ -1,0 +1,231 @@
+//! Instrumented `std::thread` lookalikes.
+//!
+//! Threads spawned from a model thread become model threads (real OS
+//! threads whose scheduling the checker controls); spawns from outside
+//! an execution behave exactly like `std`. `sleep` and `yield_now`
+//! are plain yield points — the model has no clock.
+
+use std::io;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::model::runtime::{current, Execution, Tid};
+
+/// A model-aware `std::thread::Builder`.
+pub struct Builder {
+    inner: std::thread::Builder,
+    name: String,
+}
+
+impl Builder {
+    /// Creates a builder with no name set.
+    pub fn new() -> Builder {
+        Builder {
+            inner: std::thread::Builder::new(),
+            name: "<unnamed>".to_string(),
+        }
+    }
+
+    /// Names the thread (shown in model traces).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name.clone_from(&name);
+        self.inner = self.inner.name(name);
+        self
+    }
+
+    /// Spawns the thread; from a model thread the child joins the
+    /// execution and is scheduled by the checker.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        spawn_impl(self.inner, self.name, f)
+    }
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+fn spawn_impl<F, T>(builder: std::thread::Builder, name: String, f: F) -> io::Result<JoinHandle<T>>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        Some(ctx) => {
+            let tid = ctx.exec.spawn_child(ctx.tid, name);
+            let exec = Arc::clone(&ctx.exec);
+            let exec2 = Arc::clone(&exec);
+            let inner = builder.spawn(move || exec2.thread_main(tid, f))?;
+            Ok(JoinHandle {
+                model: Some((exec, tid)),
+                inner,
+            })
+        }
+        None => {
+            let inner = builder.spawn(move || Some(f()))?;
+            Ok(JoinHandle { model: None, inner })
+        }
+    }
+}
+
+/// Spawns a thread (model-scheduled when called from a model thread).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_impl(std::thread::Builder::new(), "<spawned>".to_string(), f)
+        .expect("failed to spawn thread")
+}
+
+/// A model-aware `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    model: Option<(Arc<Execution>, Tid)>,
+    inner: std::thread::JoinHandle<Option<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish (a model yield point).
+    pub fn join(self) -> std::thread::Result<T> {
+        model_join(&self.model);
+        self.inner
+            .join()
+            .map(|v| v.expect("a joinable model thread has finished"))
+    }
+
+    /// Whether the thread has finished.
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+fn model_join(model: &Option<(Arc<Execution>, Tid)>) {
+    if let Some((exec, target)) = model {
+        if let Some(ctx) = current() {
+            if Arc::ptr_eq(&ctx.exec, exec) {
+                exec.join(ctx.tid, *target);
+            }
+        }
+    }
+}
+
+/// A model-aware scoped-spawn handle.
+pub struct ScopedJoinHandle<'scope, T> {
+    model: Option<(Arc<Execution>, Tid)>,
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish (a model yield point).
+    pub fn join(self) -> std::thread::Result<T> {
+        model_join(&self.model);
+        self.inner
+            .join()
+            .map(|v| v.expect("a joinable model thread has finished"))
+    }
+}
+
+/// A model-aware `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    exec: Option<Arc<Execution>>,
+    /// Children to model-join at scope exit (re-joining an already
+    /// joined thread is a fast no-op).
+    children: std::sync::Mutex<Vec<Tid>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread (model-scheduled when inside a model
+    /// execution).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.exec {
+            Some(exec) => {
+                let parent = current()
+                    .expect("scoped spawn inside a model scope must run on a model thread")
+                    .tid;
+                let tid = exec.spawn_child(parent, "<scoped>".to_string());
+                let exec2 = Arc::clone(exec);
+                let inner = self.inner.spawn(move || exec2.thread_main(tid, f));
+                self.children
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(tid);
+                ScopedJoinHandle {
+                    model: Some((Arc::clone(exec), tid)),
+                    inner,
+                }
+            }
+            None => ScopedJoinHandle {
+                model: None,
+                inner: self.inner.spawn(move || Some(f())),
+            },
+        }
+    }
+}
+
+/// A model-aware `std::thread::scope`: at scope exit every spawned
+/// child is model-joined (so the real scope's implicit join never
+/// blocks a thread the scheduler believes is runnable).
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let ctx = current();
+    std::thread::scope(|s| {
+        let wrapper = Scope {
+            inner: s,
+            exec: ctx.as_ref().map(|c| Arc::clone(&c.exec)),
+            children: std::sync::Mutex::new(Vec::new()),
+        };
+        let out = f(&wrapper);
+        if let Some(c) = &ctx {
+            let children = std::mem::take(
+                &mut *wrapper
+                    .children
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            for tid in children {
+                c.exec.join(c.tid, tid);
+            }
+        }
+        out
+    })
+}
+
+/// Sleeps; in the model a plain yield point (the model has no clock).
+pub fn sleep(dur: Duration) {
+    if let Some(ctx) = current() {
+        ctx.exec.pause(ctx.tid);
+        return;
+    }
+    std::thread::sleep(dur);
+}
+
+/// Yields; in the model a plain yield point.
+pub fn yield_now() {
+    if let Some(ctx) = current() {
+        ctx.exec.pause(ctx.tid);
+        return;
+    }
+    std::thread::yield_now();
+}
+
+/// Reports a fixed parallelism of 2 inside the model (keeps modeled
+/// protocols small); defers to `std` otherwise.
+pub fn available_parallelism() -> io::Result<NonZeroUsize> {
+    if current().is_some() {
+        return Ok(NonZeroUsize::new(2).expect("2 is nonzero"));
+    }
+    std::thread::available_parallelism()
+}

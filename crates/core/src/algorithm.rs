@@ -7,7 +7,7 @@
 //! reference implementation. The two are bit-identical — see
 //! `crates/core/tests/equivalence.rs`.
 
-use std::sync::Arc;
+use agequant_check::sync::Arc;
 
 use agequant_aging::{DegradationModel, DelayDerating, ModelSpec, VthShift};
 use agequant_netlist::mac::MacCircuit;

@@ -53,9 +53,9 @@
 //! [`Sta::with_loads`]: agequant_sta::Sta::with_loads
 //! [`model_key`]: agequant_aging::DegradationModel::model_key
 
+use agequant_check::sync::atomic::{AtomicU64, Ordering};
+use agequant_check::sync::{Arc, RwLock};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
 
 use agequant_aging::{DelayDerating, VthShift};
 use agequant_cells::{CellLibrary, ProcessLibrary};
@@ -246,6 +246,9 @@ impl EvalEngine {
         // key must be characterized exactly once (the hit-returns-the-
         // same-Arc contract the tests pin).
         let mut cache = self.libraries.write().expect("unpoisoned library cache");
+        // Seeded bug for the checker's mutation self-test: skipping the
+        // re-check re-characterizes keys that raced on the miss path.
+        #[cfg(not(agequant_model_mutation))]
         if let Some(lib) = cache.get(&key) {
             counters.library_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(lib);

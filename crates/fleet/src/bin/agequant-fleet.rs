@@ -147,8 +147,8 @@ fn finish(sim: &FleetSim, common: &CommonOpts, append_journal: bool) -> Result<(
     } else {
         persist::atomic_write(&journal_path, journal_text.as_bytes())?;
     }
-    let state = sim.to_state();
-    persist::atomic_write(&common.out.join("state.bin"), &state.to_binary()?)?;
+    // Shard-direct encode: no intermediate Vec<Chip> of the fleet.
+    persist::atomic_write(&common.out.join("state.bin"), &sim.checkpoint_binary()?)?;
     // A successfully written binary checkpoint supersedes any legacy
     // JSON one; leaving both would make a later resume ambiguous.
     let legacy = common.out.join("state.json");

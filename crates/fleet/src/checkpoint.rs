@@ -196,10 +196,42 @@ fn kind_code(kind: MissionKind) -> u8 {
     }
 }
 
-fn encode_chip(out: &mut Vec<u8>, chip: &Chip, plan_index: Option<u32>) -> Result<(), FleetError> {
+/// A borrowed view of one chip's checkpointable fields: what the
+/// encoder needs, without materializing a fat [`Chip`] (the shard-
+/// direct save path borrows straight from the struct-of-arrays
+/// columns).
+pub(crate) struct ChipView<'a> {
+    pub id: u32,
+    pub kind: MissionKind,
+    pub model: &'a ModelSpec,
+    pub profile: &'a MissionProfile,
+    pub bucket: u64,
+    pub mode: ChipMode,
+    pub plan: Option<&'a ChipPlan>,
+}
+
+impl<'a> ChipView<'a> {
+    fn of(chip: &'a Chip) -> Self {
+        ChipView {
+            id: chip.id,
+            kind: chip.kind,
+            model: &chip.model,
+            profile: &chip.profile,
+            bucket: chip.bucket,
+            mode: chip.mode,
+            plan: chip.plan.as_ref(),
+        }
+    }
+}
+
+fn encode_chip(
+    out: &mut Vec<u8>,
+    chip: &ChipView<'_>,
+    plan_index: Option<u32>,
+) -> Result<(), FleetError> {
     put_u32(out, chip.id);
     out.push(kind_code(chip.kind));
-    encode_model(out, &chip.model)?;
+    encode_model(out, chip.model)?;
     let phases = chip.profile.phases();
     let nphases = u8::try_from(phases.len())
         .map_err(|_| FleetError::Capacity(format!("{} mission phases exceed u8", phases.len())))?;
@@ -216,6 +248,72 @@ fn encode_chip(out: &mut Vec<u8>, chip: &Chip, plan_index: Option<u32>) -> Resul
     });
     put_u32(out, plan_index.unwrap_or(NO_PLAN));
     Ok(())
+}
+
+/// Encodes a complete checkpoint frame from borrowed chip views in id
+/// order — the single encoder behind both [`FleetState::to_binary`]
+/// and the shard-direct [`crate::FleetSim::checkpoint_binary`], so the
+/// two paths cannot drift byte-wise.
+///
+/// Chip records and the interned plan table are built in one pass
+/// (first-encounter interning order is the iteration order, exactly as
+/// the state path has always written it), then spliced into the
+/// payload behind the config/epoch/RNG preamble.
+pub(crate) fn encode_frame<'a>(
+    config: &FleetConfig,
+    epoch: u64,
+    rng: &FleetRng,
+    chips: impl Iterator<Item = ChipView<'a>>,
+    chip_count: usize,
+) -> Result<Vec<u8>, FleetError> {
+    let mut table: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
+    let mut ordered: Vec<Vec<u8>> = Vec::new();
+    let mut chip_records = Vec::with_capacity(chip_count * 96);
+    let mut seen = 0usize;
+    for chip in chips {
+        seen += 1;
+        let plan_index = match chip.plan {
+            None => None,
+            Some(plan) => {
+                let encoded = encode_plan(plan);
+                let next = len_u32("distinct plan", ordered.len())?;
+                let idx = *table.entry(encoded.clone()).or_insert_with(|| {
+                    ordered.push(encoded);
+                    next
+                });
+                Some(idx)
+            }
+        };
+        encode_chip(&mut chip_records, &chip, plan_index)?;
+    }
+    debug_assert_eq!(seen, chip_count, "chip iterator disagrees with count");
+
+    let config_json = serde_json::to_string(config).expect("FleetConfig serializes");
+    let mut payload = Vec::with_capacity(64 + config_json.len() + chip_records.len());
+    put_u32(&mut payload, len_u32("config byte", config_json.len())?);
+    payload.extend_from_slice(config_json.as_bytes());
+    put_u64(&mut payload, epoch);
+    for word in rng.state_words() {
+        put_u64(&mut payload, word);
+    }
+    put_u64(&mut payload, u64::try_from(seen).expect("usize fits u64"));
+    put_u32(&mut payload, len_u32("distinct plan", ordered.len())?);
+    for encoded in &ordered {
+        payload.extend_from_slice(encoded);
+    }
+    payload.extend_from_slice(&chip_records);
+
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    frame.extend_from_slice(&MAGIC);
+    put_u32(&mut frame, CHECKPOINT_FORMAT);
+    put_u64(
+        &mut frame,
+        u64::try_from(payload.len()).expect("usize fits u64"),
+    );
+    let checksum = crc32(&payload);
+    frame.extend_from_slice(&payload);
+    put_u32(&mut frame, checksum);
+    Ok(frame)
 }
 
 // --- decoding ----------------------------------------------------------
@@ -428,57 +526,13 @@ impl FleetState {
     /// Panics if config serialization fails (it is plain data, so it
     /// cannot).
     pub fn to_binary(&self) -> Result<Vec<u8>, FleetError> {
-        // Intern plans in first-encounter order: a fleet holds O(buckets)
-        // distinct plans across millions of chips.
-        let mut table: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
-        let mut ordered: Vec<Vec<u8>> = Vec::new();
-        let mut chip_plan_index: Vec<Option<u32>> = Vec::with_capacity(self.chips.len());
-        for chip in &self.chips {
-            chip_plan_index.push(match &chip.plan {
-                None => None,
-                Some(plan) => {
-                    let encoded = encode_plan(plan);
-                    let next = len_u32("distinct plan", ordered.len())?;
-                    let idx = *table.entry(encoded.clone()).or_insert_with(|| {
-                        ordered.push(encoded);
-                        next
-                    });
-                    Some(idx)
-                }
-            });
-        }
-
-        let config_json = serde_json::to_string(&self.config).expect("FleetConfig serializes");
-        let mut payload = Vec::with_capacity(64 + config_json.len() + self.chips.len() * 96);
-        put_u32(&mut payload, len_u32("config byte", config_json.len())?);
-        payload.extend_from_slice(config_json.as_bytes());
-        put_u64(&mut payload, self.epoch);
-        for word in self.rng.state_words() {
-            put_u64(&mut payload, word);
-        }
-        put_u64(
-            &mut payload,
-            u64::try_from(self.chips.len()).expect("usize fits u64"),
-        );
-        put_u32(&mut payload, len_u32("distinct plan", ordered.len())?);
-        for encoded in &ordered {
-            payload.extend_from_slice(encoded);
-        }
-        for (chip, plan_index) in self.chips.iter().zip(&chip_plan_index) {
-            encode_chip(&mut payload, chip, *plan_index)?;
-        }
-
-        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
-        frame.extend_from_slice(&MAGIC);
-        put_u32(&mut frame, CHECKPOINT_FORMAT);
-        put_u64(
-            &mut frame,
-            u64::try_from(payload.len()).expect("usize fits u64"),
-        );
-        let checksum = crc32(&payload);
-        frame.extend_from_slice(&payload);
-        put_u32(&mut frame, checksum);
-        Ok(frame)
+        encode_frame(
+            &self.config,
+            self.epoch,
+            &self.rng,
+            self.chips.iter().map(ChipView::of),
+            self.chips.len(),
+        )
     }
 
     /// Parses a binary checkpoint frame produced by

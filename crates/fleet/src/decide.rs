@@ -16,7 +16,8 @@
 //! [`FleetSim`]: crate::FleetSim
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex};
+
+use agequant_check::sync::{Arc, Mutex};
 
 use agequant_aging::VthShift;
 use agequant_core::{AgingAwareQuantizer, EvalEngine, FlowError};
@@ -336,7 +337,7 @@ impl Decider {
 
 #[cfg(test)]
 mod tests {
-    use std::sync::Arc;
+    use agequant_check::sync::Arc;
 
     use super::*;
     use crate::FleetSim;

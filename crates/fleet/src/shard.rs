@@ -204,6 +204,21 @@ impl FleetShard {
         }
     }
 
+    /// Borrows chip `i`'s checkpointable fields straight from the
+    /// columns — no clones, which is what makes the shard-direct save
+    /// path cheap at fleet scale.
+    pub(crate) fn chip_view(&self, i: usize) -> crate::checkpoint::ChipView<'_> {
+        crate::checkpoint::ChipView {
+            id: self.id[i],
+            kind: self.kind[i],
+            model: &self.model[i],
+            profile: &self.profile[i],
+            bucket: self.bucket[i],
+            mode: self.mode[i],
+            plan: self.plan[i].as_ref(),
+        }
+    }
+
     /// The pure physics pass: every chip whose ΔVth at `years` crosses
     /// into a higher bucket, as `(index, new_bucket)` in index order.
     /// Safe to run concurrently across shards.

@@ -26,6 +26,7 @@
 //! | FL001 | fleet-checkpoint-inconsistent | checkpoint vs config/ids/RNG/physics/model profiles |
 //! | FL002 | fleet-journal-acausal | journal order, orphan chips, replans after degrade |
 //! | SV001 | serve-config-invalid | saved decision-server configuration no longer validates |
+//! | SRC001 | std-sync-outside-facade | direct `std::sync`/`std::thread` in a ported crate, `Condvar` wait outside a loop |
 //!
 //! # Example
 //!
@@ -53,6 +54,7 @@ mod lint;
 mod netlist_lints;
 mod quant_lints;
 mod serve_lints;
+mod src_lints;
 mod sta_lints;
 mod zoo;
 

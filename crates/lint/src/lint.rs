@@ -13,7 +13,8 @@ use agequant_sta::TimingReport;
 use crate::config::LintConfig;
 use crate::diagnostic::{Diagnostic, LintReport, Severity};
 use crate::{
-    aging_lints, cell_lints, fleet_lints, netlist_lints, quant_lints, serve_lints, sta_lints,
+    aging_lints, cell_lints, fleet_lints, netlist_lints, quant_lints, serve_lints, src_lints,
+    sta_lints,
 };
 
 /// One artifact of the flow, presented for static verification.
@@ -96,6 +97,14 @@ pub enum Artifact<'a> {
         /// The saved config under check.
         config: &'a ServeConfig,
     },
+    /// The source text of one file in a facade-ported concurrent
+    /// crate, held to the `agequant-check` facade discipline.
+    Source {
+        /// Display name used in diagnostics (the repo-relative path).
+        name: &'a str,
+        /// The file's full source text.
+        text: &'a str,
+    },
 }
 
 impl Artifact<'_> {
@@ -111,7 +120,8 @@ impl Artifact<'_> {
             | Artifact::Quant { name, .. }
             | Artifact::FleetCheckpoint { name, .. }
             | Artifact::FleetJournal { name, .. }
-            | Artifact::ServeConfig { name, .. } => name,
+            | Artifact::ServeConfig { name, .. }
+            | Artifact::Source { name, .. } => name,
         }
     }
 }
@@ -185,6 +195,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(fleet_lints::CheckpointConsistency),
         Box::new(fleet_lints::JournalCausality),
         Box::new(serve_lints::ServeConfigValid),
+        Box::new(src_lints::FacadeDiscipline),
     ]
 }
 
@@ -274,7 +285,7 @@ mod tests {
         assert_eq!(sorted.len(), codes.len(), "duplicate lint code");
         for expected in [
             "AG001", "NL001", "NL002", "NL003", "NL004", "NL005", "CL001", "CL002", "CL003",
-            "ST001", "ST002", "QT001", "FL001", "FL002", "SV001",
+            "ST001", "ST002", "QT001", "FL001", "FL002", "SV001", "SRC001",
         ] {
             assert!(codes.contains(&expected), "missing {expected}");
         }

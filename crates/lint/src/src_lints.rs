@@ -1,0 +1,137 @@
+//! Lints over the concurrent crates' own source text (SRC001).
+//!
+//! The model checker in `agequant-check` can only explore what goes
+//! through its facade: a single `std::sync::Mutex` smuggled into a
+//! ported crate is invisible to schedule exploration, and a `Condvar`
+//! wait outside a predicate loop is the lost-wakeup shape the checker
+//! exists to rule out. This lint holds the ported crates to both
+//! rules, the way the artifact lints hold generators to theirs.
+
+use crate::lint::{Artifact, Lint, Sink};
+
+/// SRC001: concurrency in a ported crate must go through the
+/// `agequant-check` facade, and every `Condvar` wait must sit inside a
+/// `while`/`loop` that re-checks its predicate.
+///
+/// The check is textual and deliberately simple — line comments are
+/// stripped, brace depth is tracked to find enclosing loops, and items
+/// annotated `#[cfg(agequant_model_mutation)]` (the seeded mutation
+/// bodies, which violate the rules on purpose) are skipped. That is
+/// enough to police the repository's own style: the facade modules of
+/// `agequant-check` itself are not lint inputs.
+pub struct FacadeDiscipline;
+
+impl Lint for FacadeDiscipline {
+    fn code(&self) -> &'static str {
+        "SRC001"
+    }
+
+    fn slug(&self) -> &'static str {
+        "std-sync-outside-facade"
+    }
+
+    fn description(&self) -> &'static str {
+        "direct std::sync/std::thread use in a facade-ported crate, or a Condvar wait outside a re-checking loop"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::Source { text, .. } = artifact else {
+            return;
+        };
+        scan(text, sink);
+    }
+}
+
+/// Strips a `//` line comment, respecting (simple, non-raw) string
+/// literals so a URL inside a string does not truncate the line.
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1,
+            b'"' => in_string = !in_string,
+            b'/' if !in_string && bytes.get(i + 1) == Some(&b'/') => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Whether the code opening a `{` on this prefix is a loop header.
+fn opens_loop(prefix: &str) -> bool {
+    let trimmed = prefix.trim_start();
+    trimmed.starts_with("while ")
+        || trimmed.starts_with("while(")
+        || trimmed == "while"
+        || trimmed.starts_with("loop")
+        || trimmed.contains(" loop ")
+        || trimmed.contains("= loop")
+        || trimmed.ends_with("loop")
+        || trimmed.contains("for ")
+}
+
+fn scan(text: &str, sink: &mut Sink<'_>) {
+    // Stack of brace depths; each entry records whether the block
+    // opened there was introduced by a loop header.
+    let mut blocks: Vec<bool> = Vec::new();
+    // Depth the current `#[cfg(agequant_model_mutation)]` item closes
+    // at, if we are inside one.
+    let mut mutation_until: Option<usize> = None;
+    let mut mutation_pending = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_line_comment(raw);
+        let lineno = idx + 1;
+
+        if line.contains("#[cfg(agequant_model_mutation)]") {
+            mutation_pending = true;
+        }
+        let in_mutation = mutation_until.is_some();
+
+        if !in_mutation && !mutation_pending {
+            if line.contains("std::sync::") || line.contains("std::thread") {
+                sink.report(format!(
+                    "line {lineno}: direct `std::sync`/`std::thread` use bypasses the \
+                     agequant-check facade (import from `agequant_check::sync` / \
+                     `agequant_check::thread` instead)"
+                ));
+            }
+            if (line.contains(".wait(") || line.contains(".wait_timeout("))
+                && !blocks.iter().any(|&is_loop| is_loop)
+                && !opens_loop(line)
+            {
+                sink.report(format!(
+                    "line {lineno}: `Condvar` wait outside a `while`/`loop` — a spurious \
+                     or early wakeup is not re-checked (lost-wakeup hazard)"
+                ));
+            }
+        }
+
+        // Track brace depth on the comment-stripped line, noting loop
+        // headers, so waits can see their enclosing blocks.
+        let mut consumed = 0;
+        for (pos, ch) in line.char_indices() {
+            match ch {
+                '{' => {
+                    blocks.push(opens_loop(&line[consumed..pos]));
+                    consumed = pos + 1;
+                    if mutation_pending {
+                        mutation_pending = false;
+                        mutation_until = Some(blocks.len() - 1);
+                    }
+                }
+                '}' => {
+                    blocks.pop();
+                    consumed = pos + 1;
+                    if mutation_until.is_some_and(|depth| blocks.len() <= depth) {
+                        mutation_until = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

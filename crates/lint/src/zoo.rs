@@ -45,6 +45,45 @@ pub struct Zoo {
     fleet_state: FleetState,
     fleet_journal: Vec<JournalEvent>,
     serve_config: ServeConfig,
+    sources: Vec<(String, String)>,
+}
+
+/// The source files of the facade-ported concurrent crates, held to
+/// SRC001. Paths resolve relative to this crate's manifest, so the
+/// enumeration works from any test or CI working directory; a crate
+/// that is absent (e.g. in a packaged build) is silently skipped.
+fn ported_sources() -> Vec<(String, String)> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates dir")
+        .to_path_buf();
+    let mut sources = Vec::new();
+    for krate in ["core", "serve", "fleet"] {
+        let src = root.join(krate).join("src");
+        let mut stack = vec![src];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+            paths.sort();
+            for path in paths {
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "rs") {
+                    if let Ok(text) = std::fs::read_to_string(&path) {
+                        let name = path
+                            .strip_prefix(&root)
+                            .unwrap_or(&path)
+                            .display()
+                            .to_string();
+                        sources.push((format!("crates/{name}"), text));
+                    }
+                }
+            }
+        }
+    }
+    sources
 }
 
 impl Zoo {
@@ -159,6 +198,8 @@ impl Zoo {
             fleet_journal,
             // The server's shipped defaults, held to SV001.
             serve_config: ServeConfig::default(),
+            // The concurrent crates' own sources, held to SRC001.
+            sources: ported_sources(),
         }
     }
 
@@ -211,6 +252,9 @@ impl Zoo {
             name: "serve_defaults",
             config: &self.serve_config,
         });
+        for (name, text) in &self.sources {
+            artifacts.push(Artifact::Source { name, text });
+        }
         artifacts
     }
 }

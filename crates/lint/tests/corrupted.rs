@@ -540,3 +540,121 @@ fn corrupted_netlists_do_not_trip_unrelated_lints() {
         );
     }
 }
+
+fn source_codes(text: &str) -> Vec<String> {
+    codes(Artifact::Source {
+        name: "under-test.rs",
+        text,
+    })
+}
+
+#[test]
+fn src001_fires_on_direct_std_sync_and_thread() {
+    let clean = r#"
+use agequant_check::sync::{Arc, Mutex};
+use agequant_check::thread;
+
+fn run(m: &Mutex<u32>) {
+    let h = thread::spawn(|| {});
+    *m.lock().unwrap() += 1;
+    h.join().unwrap();
+}
+"#;
+    assert!(source_codes(clean).is_empty(), "clean source flagged");
+
+    let smuggled_sync = r#"
+use std::sync::Mutex;
+fn f(m: &Mutex<u32>) { *m.lock().unwrap() += 1; }
+"#;
+    assert!(source_codes(smuggled_sync).contains(&"SRC001".to_string()));
+
+    let smuggled_thread = r#"
+fn f() { std::thread::spawn(|| {}).join().unwrap(); }
+"#;
+    assert!(source_codes(smuggled_thread).contains(&"SRC001".to_string()));
+
+    // Mentions in line comments are prose, not code.
+    let commented = "// std::sync::Mutex is re-exported by the facade\n";
+    assert!(source_codes(commented).is_empty(), "comment flagged");
+}
+
+#[test]
+fn src001_fires_on_condvar_wait_outside_a_loop() {
+    let looped = r#"
+fn pop(cv: &Condvar, m: &Mutex<bool>) {
+    let mut ready = m.lock().unwrap();
+    while !*ready {
+        ready = cv.wait(ready).unwrap();
+    }
+}
+"#;
+    assert!(source_codes(looped).is_empty(), "predicate loop flagged");
+
+    let bare = r#"
+fn pop(cv: &Condvar, m: &Mutex<bool>) {
+    let ready = m.lock().unwrap();
+    let ready = cv.wait(ready).unwrap();
+    drop(ready);
+}
+"#;
+    assert!(source_codes(bare).contains(&"SRC001".to_string()));
+
+    let timed_bare = r#"
+fn pop(cv: &Condvar, m: &Mutex<bool>) {
+    let ready = m.lock().unwrap();
+    let _ = cv.wait_timeout(ready, TICK).unwrap();
+}
+"#;
+    assert!(source_codes(timed_bare).contains(&"SRC001".to_string()));
+
+    // `loop { ... }` counts as a re-checking loop too.
+    let looped_infinite = r#"
+fn pop(cv: &Condvar, m: &Mutex<bool>) {
+    let mut ready = m.lock().unwrap();
+    loop {
+        if *ready { return; }
+        ready = cv.wait(ready).unwrap();
+    }
+}
+"#;
+    assert!(source_codes(looped_infinite).is_empty());
+}
+
+#[test]
+fn src001_skips_seeded_mutation_items() {
+    // The seeded mutation bodies violate the rules on purpose; the
+    // cfg gate marks them exempt.
+    let mutated = r#"
+impl Q {
+    #[cfg(agequant_model_mutation)]
+    fn pop(&self) -> Option<u32> {
+        let inner = self.m.lock().unwrap();
+        let inner = self.cv.wait_timeout(inner, TICK).unwrap().0;
+        inner.items.pop_front()
+    }
+
+    #[cfg(not(agequant_model_mutation))]
+    fn ok(&self) {}
+}
+"#;
+    assert!(source_codes(mutated).is_empty(), "mutation body flagged");
+
+    // ...but the exemption ends with the item: a violation after the
+    // mutated fn still fires.
+    let after = r#"
+impl Q {
+    #[cfg(agequant_model_mutation)]
+    fn pop(&self) -> Option<u32> {
+        let inner = self.m.lock().unwrap();
+        let inner = self.cv.wait_timeout(inner, TICK).unwrap().0;
+        inner.items.pop_front()
+    }
+
+    fn bad(&self) {
+        let g = self.m.lock().unwrap();
+        let _ = self.cv.wait(g).unwrap();
+    }
+}
+"#;
+    assert!(source_codes(after).contains(&"SRC001".to_string()));
+}

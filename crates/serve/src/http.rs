@@ -318,8 +318,8 @@ pub fn reason(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use agequant_check::thread;
     use std::net::TcpListener;
-    use std::thread;
 
     fn roundtrip(raw: &[u8]) -> Result<NextRequest, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");

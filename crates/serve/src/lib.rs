@@ -21,8 +21,10 @@
 //!   histograms, queue depth, and the engine's cache counters
 //!   (aggregate, plus per-degradation-model labelled series).
 //!
-//! Concurrency is a bounded-queue worker pool built on `std` only
-//! (threads, `Mutex`/`Condvar`, `std::net`): a full queue answers
+//! Concurrency is a bounded-queue worker pool built on the
+//! `agequant-check` facade over `std` (threads, `Mutex`/`Condvar`,
+//! `std::net`), so the queue/drain protocol is model-checked under
+//! `--features model`: a full queue answers
 //! `503 Retry-After` immediately — backpressure is explicit, memory
 //! stays flat under overload — and every request carries a deadline.
 //! Shutdown (`POST /v1/shutdown`) drains the queue before the workers
@@ -54,6 +56,7 @@
 mod config;
 mod http;
 mod metrics;
+mod queue;
 mod server;
 
 use std::fmt;
@@ -63,6 +66,7 @@ use agequant_fleet::FleetError;
 pub use config::{sweep_max_mv, ServeConfig};
 pub use http::{read_request, HttpError, NextRequest, Request, Response, MAX_BODY_BYTES};
 pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_S};
+pub use queue::BoundedQueue;
 pub use server::{plan_response, start, write_checkpoint, ServerHandle};
 
 /// Everything that can go wrong starting or running the server.

@@ -6,8 +6,9 @@
 //! path — the same discipline the engine's `CacheStats` follow.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use agequant_check::sync::atomic::{AtomicU64, Ordering};
 
 use agequant_core::CacheStats;
 

@@ -1,0 +1,152 @@
+//! The bounded work queue behind the server's decision endpoints.
+//!
+//! `try_push` refuses instead of blocking — that refusal is what turns
+//! overload into `503` rather than latency collapse or unbounded
+//! memory. [`BoundedQueue::close`] starts the graceful drain:
+//! producers are refused from that point, and [`BoundedQueue::pop`]
+//! keeps handing out queued items until the backlog is empty, then
+//! returns `None` to every consumer.
+//!
+//! The queue is built on the `agequant-check` facade, so the whole
+//! push/pop/close protocol is model-checked under
+//! `cargo test -p agequant-check --features model` (no item lost or
+//! double-delivered, capacity respected, drain completes, no lost
+//! wakeup on close).
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use agequant_check::sync::{Condvar, Mutex};
+
+/// How long a blocked consumer waits before re-checking the backlog
+/// and the closed flag (bounds drain latency if a wakeup is missed).
+const POP_TICK: Duration = Duration::from_millis(200);
+
+/// Everything the mutex protects: the backlog and the drain flag share
+/// one lock so a close can never slip between a consumer's emptiness
+/// check and its wait.
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with a graceful
+/// close.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues, or hands the item back when the queue is full or
+    /// closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the queue is at capacity or draining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking caller.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("unpoisoned queue");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item; `None` once the queue is closed *and*
+    /// drained — the graceful-drain contract every consumer relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking caller.
+    #[cfg(not(agequant_model_mutation))]
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("unpoisoned queue");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait_timeout(inner, POP_TICK)
+                .expect("unpoisoned queue")
+                .0;
+        }
+    }
+
+    /// Seeded bug for the checker's mutation self-test: the `while`
+    /// loop above degraded to a single `if` — a timed-out (spurious)
+    /// wakeup on an empty open queue makes the consumer give up as if
+    /// the queue were drained, abandoning later accepted work.
+    #[cfg(agequant_model_mutation)]
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("unpoisoned queue");
+        if let Some(item) = inner.items.pop_front() {
+            return Some(item);
+        }
+        if inner.closed {
+            return None;
+        }
+        inner = self
+            .available
+            .wait_timeout(inner, POP_TICK)
+            .expect("unpoisoned queue")
+            .0;
+        inner.items.pop_front()
+    }
+
+    /// Starts the drain: refuses new items, wakes every blocked
+    /// consumer so each can hand out the backlog and then observe the
+    /// close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking caller.
+    pub fn close(&self) {
+        self.inner.lock().expect("unpoisoned queue").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking caller.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("unpoisoned queue").items.len()
+    }
+
+    /// Whether the backlog is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking caller.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -24,13 +24,14 @@
 //! `connection: close`, and wind down. [`ServerHandle::join`] returns
 //! when the drain is complete.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use agequant_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use agequant_check::sync::{mpsc, Arc, Mutex, RwLock};
+use agequant_check::thread::{self, JoinHandle};
 
 use agequant_aging::{ModelSpec, VthShift};
 use agequant_core::EvalEngine;
@@ -40,6 +41,7 @@ use serde::{Deserialize, Value};
 use crate::config::ServeConfig;
 use crate::http::{read_request, HttpError, NextRequest, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
+use crate::queue::BoundedQueue;
 use crate::ServeError;
 
 /// How often blocking reads wake to check idle time and shutdown.
@@ -87,64 +89,6 @@ struct Job {
     deadline: Instant,
 }
 
-/// The bounded job queue: `try_push` refuses instead of blocking,
-/// which is what turns overload into `503` rather than latency
-/// collapse or unbounded memory.
-struct JobQueue {
-    jobs: Mutex<VecDeque<Job>>,
-    available: Condvar,
-    capacity: usize,
-}
-
-impl JobQueue {
-    fn new(capacity: usize) -> Self {
-        JobQueue {
-            jobs: Mutex::new(VecDeque::with_capacity(capacity)),
-            available: Condvar::new(),
-            capacity,
-        }
-    }
-
-    /// Enqueues, or hands the job back when the queue is full.
-    fn try_push(&self, job: Job) -> Result<(), Job> {
-        let mut jobs = self.jobs.lock().expect("unpoisoned queue");
-        if jobs.len() >= self.capacity {
-            return Err(job);
-        }
-        jobs.push_back(job);
-        drop(jobs);
-        self.available.notify_one();
-        Ok(())
-    }
-
-    /// Blocks for the next job; `None` once shutdown is set *and* the
-    /// queue is drained — the graceful-drain contract.
-    fn pop(&self, shutdown: &AtomicBool) -> Option<Job> {
-        let mut jobs = self.jobs.lock().expect("unpoisoned queue");
-        loop {
-            if let Some(job) = jobs.pop_front() {
-                return Some(job);
-            }
-            if shutdown.load(Ordering::SeqCst) {
-                return None;
-            }
-            jobs = self
-                .available
-                .wait_timeout(jobs, Duration::from_millis(200))
-                .expect("unpoisoned queue")
-                .0;
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.jobs.lock().expect("unpoisoned queue").len()
-    }
-
-    fn wake_all(&self) {
-        self.available.notify_all();
-    }
-}
-
 /// The hosted fleet plus its incremental journal cursor.
 struct FleetHost {
     sim: FleetSim,
@@ -166,7 +110,7 @@ struct Shared {
     model_deciders: RwLock<BTreeMap<String, Arc<Decider>>>,
     fleet: Mutex<FleetHost>,
     metrics: Metrics,
-    queue: JobQueue,
+    queue: BoundedQueue<Job>,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
 }
@@ -225,7 +169,7 @@ impl ServerHandle {
         while self.shared.active_connections.load(Ordering::SeqCst) > 0
             && patience.elapsed() < Duration::from_secs(10)
         {
-            std::thread::sleep(Duration::from_millis(5));
+            thread::sleep(Duration::from_millis(5));
         }
     }
 
@@ -276,7 +220,7 @@ pub fn start(config: ServeConfig, fleet_config: FleetConfig) -> Result<ServerHan
     }
 
     let shared = Arc::new(Shared {
-        queue: JobQueue::new(config.queue_depth as usize),
+        queue: BoundedQueue::new(config.queue_depth as usize),
         config,
         addr,
         decider,
@@ -291,7 +235,7 @@ pub fn start(config: ServeConfig, fleet_config: FleetConfig) -> Result<ServerHan
     let workers = (0..shared.config.workers)
         .map(|i| {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
                 .spawn(move || worker_loop(&shared))
                 .expect("spawn worker")
@@ -300,7 +244,7 @@ pub fn start(config: ServeConfig, fleet_config: FleetConfig) -> Result<ServerHan
 
     let acceptor = {
         let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
+        thread::Builder::new()
             .name("serve-acceptor".to_string())
             .spawn(move || acceptor_loop(&listener, &shared))
             .expect("spawn acceptor")
@@ -317,7 +261,9 @@ fn initiate_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
-    shared.queue.wake_all();
+    // Closing refuses new work and wakes every worker to drain the
+    // backlog; the queue hands out `None` once it runs dry.
+    shared.queue.close();
     // Unblock the acceptor's blocking accept() with a throwaway
     // connection; it re-checks the flag before handling it.
     let _ = TcpStream::connect(shared.addr);
@@ -331,7 +277,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         let Ok(stream) = stream else { continue };
         let shared = Arc::clone(shared);
         shared.active_connections.fetch_add(1, Ordering::SeqCst);
-        let spawned = std::thread::Builder::new()
+        let spawned = thread::Builder::new()
             .name("serve-conn".to_string())
             .spawn(move || {
                 handle_connection(&shared, stream);
@@ -480,7 +426,7 @@ fn enqueue(shared: &Shared, call: ApiCall) -> Response {
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop(&shared.shutdown) {
+    while let Some(job) = shared.queue.pop() {
         if Instant::now() >= job.deadline {
             // The connection already answered 504 (or is about to);
             // don't spend engine time on an abandoned request.
@@ -492,7 +438,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         }
         if shared.config.debug_delay_ms > 0 {
-            std::thread::sleep(Duration::from_millis(shared.config.debug_delay_ms));
+            thread::sleep(Duration::from_millis(shared.config.debug_delay_ms));
         }
         let response = match job.call {
             ApiCall::Plan(request) => handle_plan(shared, &request),
@@ -714,16 +660,17 @@ fn flush_journal(config: &ServeConfig, host: &mut FleetHost) -> Result<(), Serve
 /// Returns [`ServeError::Io`] when the file cannot be written.
 pub fn write_checkpoint(handle: &ServerHandle, path: &str) -> Result<(), ServeError> {
     let host = handle.shared.fleet.lock().expect("unpoisoned fleet");
-    let state = host.sim.to_state();
     let bytes = if std::path::Path::new(path)
         .extension()
         .is_some_and(|e| e == "bin")
     {
-        state
-            .to_binary()
+        // Shard-direct encode: skips materializing a Vec<Chip> of the
+        // whole hosted fleet while the fleet lock is held.
+        host.sim
+            .checkpoint_binary()
             .map_err(|e| ServeError::Io(format!("{path}: {e}")))?
     } else {
-        state.to_json().into_bytes()
+        host.sim.to_state().to_json().into_bytes()
     };
     agequant_fleet::persist::atomic_write(std::path::Path::new(path), &bytes)
         .map_err(|e| ServeError::Io(format!("{path}: {e}")))
