@@ -1,0 +1,109 @@
+//! `BENCH_mem` — zoo-wide weight-memory profiling cost.
+//!
+//! Quantizes every zoo architecture (or the `AGEQUANT_NETS` subset)
+//! at W8A8 and times the full memory-aging pipeline per network:
+//! per-bit duty histograms over every weight bank, the inversion
+//! encoding, and the cell model's failure curves at four mission
+//! ages. Reports stored words per second for the duty pass alone and
+//! for the full report build, plus the zoo-wide duty-asymmetry spread
+//! the mitigation closes.
+
+use std::time::Instant;
+
+use agequant_bench::{banner, selected_nets, write_json};
+use agequant_mem::{profile_model, worst_asymmetry, MemoryReport, ReencodeSchedule, SramCellModel};
+use agequant_nn::{NetArch, SyntheticDataset};
+use agequant_quant::{quantize_model, BitWidths, QuantMethod};
+use serde::Serialize;
+
+const YEARS: [f64; 4] = [1.0, 3.0, 5.0, 10.0];
+
+#[derive(Serialize)]
+struct NetResult {
+    net: String,
+    banks: usize,
+    words: u64,
+    duty_seconds: f64,
+    report_seconds: f64,
+    words_per_second_duty: f64,
+    worst_asymmetry_plain: f64,
+    worst_asymmetry_encoded: f64,
+}
+
+#[derive(Serialize)]
+struct MemBenchResult {
+    years: [f64; 4],
+    total_words: u64,
+    total_duty_seconds: f64,
+    total_report_seconds: f64,
+    words_per_second_duty: f64,
+    nets: Vec<NetResult>,
+}
+
+fn main() {
+    banner("BENCH_mem", "zoo-wide weight-memory duty profiling cost");
+
+    let mut nets = Vec::new();
+    for arch in selected_nets(&NetArch::ALL) {
+        let model = arch.build(3);
+        let data = SyntheticDataset::generate(8, 11);
+        let quantized = quantize_model(&model, QuantMethod::MinMax, BitWidths::W8A8, &data.take(4));
+
+        let start = Instant::now();
+        let banks = profile_model(&quantized);
+        let duty_seconds = start.elapsed().as_secs_f64();
+        let words: u64 = banks.iter().map(|b| b.words).sum();
+
+        let start = Instant::now();
+        let report = MemoryReport::build(
+            arch.name(),
+            &quantized,
+            &SramCellModel::INTEL14NM,
+            &ReencodeSchedule::DEFAULT,
+            &YEARS,
+        );
+        let report_seconds = start.elapsed().as_secs_f64();
+
+        println!(
+            "{:<16} {:>3} bank(s) {:>8} words  duty {:.3}ms  report {:.3}ms  asym {:.3} -> {:.3}",
+            arch.name(),
+            banks.len(),
+            words,
+            duty_seconds * 1e3,
+            report_seconds * 1e3,
+            worst_asymmetry(&banks),
+            report.worst_asymmetry_encoded(),
+        );
+        nets.push(NetResult {
+            net: arch.name().to_string(),
+            banks: banks.len(),
+            words,
+            duty_seconds,
+            report_seconds,
+            words_per_second_duty: words as f64 / duty_seconds.max(1e-12),
+            worst_asymmetry_plain: worst_asymmetry(&banks),
+            worst_asymmetry_encoded: report.worst_asymmetry_encoded(),
+        });
+    }
+
+    let total_words: u64 = nets.iter().map(|n| n.words).sum();
+    let total_duty_seconds: f64 = nets.iter().map(|n| n.duty_seconds).sum();
+    let total_report_seconds: f64 = nets.iter().map(|n| n.report_seconds).sum();
+    let result = MemBenchResult {
+        years: YEARS,
+        total_words,
+        total_duty_seconds,
+        total_report_seconds,
+        words_per_second_duty: total_words as f64 / total_duty_seconds.max(1e-12),
+        nets,
+    };
+    println!(
+        "\n{} nets, {} words: duty {:.3}ms total ({:.2e} words/s), reports {:.3}ms",
+        result.nets.len(),
+        total_words,
+        total_duty_seconds * 1e3,
+        result.words_per_second_duty,
+        total_report_seconds * 1e3,
+    );
+    write_json("BENCH_mem", &result);
+}

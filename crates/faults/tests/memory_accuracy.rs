@@ -1,0 +1,93 @@
+//! The memory-aging accuracy loop, end to end: quantized zoo weights
+//! → bit-duty profile → SRAM cell aging → per-bit read-failure
+//! probabilities → [`ProfileInjector`] faults → measured accuracy
+//! loss, with and without the inversion-encoding mitigation.
+//!
+//! This is the system-level consequence of `agequant-mem`'s physics:
+//! an aged weight memory measurably degrades zoo-model accuracy, and
+//! the inversion-encoded memory — same cells, same mission years —
+//! degrades measurably less.
+
+use agequant_faults::ProfileInjector;
+use agequant_mem::{MemoryReport, ReencodeSchedule, SramCellModel};
+use agequant_nn::{accuracy_loss_pct, NetArch, SyntheticDataset};
+use agequant_quant::{quantize_model_with, BitWidths, LapqRefineConfig, QuantMethod};
+
+/// Fraction of reads a *marginal* (SNM-degraded) cell actually
+/// upsets. The cell model's failure probability says how likely a
+/// cell is to have aged past its noise margin; a cell sitting at that
+/// margin does not corrupt every access — it flips when read noise
+/// happens to exceed the remaining margin, here taken as 1% of
+/// accesses. `ProfileInjector` draws independently per
+/// multiplication, so this is the bridge from "probability the cell
+/// is marginal" to "probability this read is corrupted".
+const READ_DISTURB: f64 = 1e-2;
+
+/// Maps per-weight-bit marginal-cell probabilities (LSB first) into
+/// per-product-bit flip probabilities for [`ProfileInjector`]. A
+/// flipped stored weight bit `k` perturbs an `a × w` product by
+/// `±a·2^k` — for 8-bit activations a perturbation of magnitude up to
+/// `2^(k+8)` — so it is emulated as a flip of product bit `k + 7`,
+/// the mid-magnitude of that range, capped at the 16-bit product MSB.
+/// Probabilities landing on the same product bit combine as
+/// independent events.
+fn product_probs(weight_probs: &[f64]) -> Vec<f64> {
+    let mut probs = vec![0.0f64; 16];
+    for (k, &p) in weight_probs.iter().enumerate() {
+        let bit = (k + 7).min(15);
+        let p = p * READ_DISTURB;
+        probs[bit] = 1.0 - (1.0 - probs[bit]) * (1.0 - p);
+    }
+    probs
+}
+
+#[test]
+fn aged_memory_degrades_accuracy_and_encoding_recovers_most_of_it() {
+    let years = 4.0;
+    let model = NetArch::AlexNet.build(3);
+    let data = SyntheticDataset::generate(30, 11);
+    let q = quantize_model_with(
+        &model,
+        QuantMethod::MinMax,
+        BitWidths::W8A8,
+        &data.take(4),
+        &LapqRefineConfig::off(),
+    );
+    let report = MemoryReport::build(
+        "alexnet",
+        &q,
+        &SramCellModel::INTEL14NM,
+        &ReencodeSchedule::DEFAULT,
+        &[years],
+    );
+    let clean = model.predict_all(&q, data.images());
+
+    let loss_at = |weight_probs: &[f64]| -> f64 {
+        let injector = ProfileInjector::new(&product_probs(weight_probs), 5);
+        let noisy = model.predict_all(&q.with_mul(&injector), data.images());
+        accuracy_loss_pct(&clean, &noisy)
+    };
+    let plain_probs = report.plain_bit_failure_probs(years);
+    let encoded_probs = report.encoded_bit_failure_probs(years);
+    // The physics already orders the two storages bit by bit...
+    for (k, (p, e)) in plain_probs.iter().zip(&encoded_probs).enumerate() {
+        assert!(e <= p, "bit {k}: encoded prob {e} above plain {p}");
+    }
+    let loss_plain = loss_at(&plain_probs);
+    let loss_encoded = loss_at(&encoded_probs);
+    println!("plain {plain_probs:?} -> loss {loss_plain}%");
+    println!("encoded {encoded_probs:?} -> loss {loss_encoded}%");
+
+    // ...and the ordering survives all the way to measured accuracy:
+    // the aged plain memory does real damage, the mitigated memory
+    // recovers at least half of it.
+    assert!(
+        loss_plain > 5.0,
+        "aged plain memory must measurably degrade accuracy, lost {loss_plain}%"
+    );
+    assert!(
+        loss_encoded <= 0.5 * loss_plain,
+        "mitigation must recover at least half the loss: plain {loss_plain}%, \
+         encoded {loss_encoded}%"
+    );
+}

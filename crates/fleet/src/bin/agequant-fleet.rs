@@ -6,7 +6,7 @@
 //!                        [--epoch-years Y] [--bucket-mv MV]
 //!                        [--constraint-factor F] [--network NAME|none]
 //!                        [--model nbti|hci|surrogate[:CURVE.json]]
-//!                        [--shards N] [--json]
+//!                        [--memory] [--shards N] [--json]
 //! agequant-fleet resume  --out DIR --epochs E [--shards N] [--json]
 //! agequant-fleet report  --out DIR [--json]
 //! agequant-fleet migrate --out DIR
@@ -42,7 +42,8 @@ fn usage() -> &'static str {
      \n\
      run     --out DIR [--chips N] [--epochs E] [--seed S] [--epoch-years Y]\n\
      \x20            [--bucket-mv MV] [--constraint-factor F] [--network NAME|none]\n\
-     \x20            [--model nbti|hci|surrogate[:CURVE.json]] [--shards N] [--json]\n\
+     \x20            [--model nbti|hci|surrogate[:CURVE.json]] [--memory]\n\
+     \x20            [--shards N] [--json]\n\
      resume  --out DIR --epochs E [--shards N] [--json]\n\
      report  --out DIR [--json]\n\
      migrate --out DIR\n\
@@ -56,8 +57,11 @@ fn usage() -> &'static str {
      the shipped demo curve, 'surrogate:CURVE.json' loads a JSON\n\
      [[years, volts], ...] table. --shards picks the worker-thread\n\
      count (default: available parallelism); results are bit-identical\n\
-     at every shard count. migrate rewrites a legacy state.json\n\
-     checkpoint as the binary state.bin format.\n"
+     at every shard count. --memory enables the weight-memory aging\n\
+     axis (demo SRAM cell calibration): chips accrue NBTI duty stress,\n\
+     the decider schedules re-encodes, and the summary gains a memory\n\
+     rollup. migrate rewrites a legacy state.json checkpoint as the\n\
+     binary state.bin format.\n"
 }
 
 fn parse_network(name: &str) -> Result<Option<NetArch>, String> {
@@ -225,6 +229,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
             "--network" => config.network = parse_network(&value("--network")?)?,
             "--model" => config.flow.model = Some(parse_model(&value("--model")?)?),
+            "--memory" => config.memory = Some(agequant_mem::MemoryConfig::demo()),
             "--shards" => shards = Some(parse_shards(&value("--shards")?)?),
             "--out" => common.out = PathBuf::from(value("--out")?),
             "--json" => common.json = true,

@@ -42,10 +42,10 @@ use agequant_core::CompressionPlan;
 use agequant_quant::QuantMethod;
 use agequant_sta::{Compression, Padding};
 
-use crate::chip::{Chip, ChipMode, ChipPlan, MissionKind};
+use crate::chip::{Chip, ChipMemState, ChipMode, ChipPlan, MissionKind};
 use crate::error::{CorruptKind, FleetError};
 use crate::rng::FleetRng;
-use crate::sim::{FleetConfig, FleetState, CHECKPOINT_FORMAT};
+use crate::sim::{FleetConfig, FleetState, CHECKPOINT_FORMAT, CHECKPOINT_FORMAT_MEM};
 
 /// The frame magic: the first 8 bytes of every binary checkpoint.
 pub const MAGIC: [u8; 8] = *b"AGQFLEET";
@@ -208,6 +208,7 @@ pub(crate) struct ChipView<'a> {
     pub bucket: u64,
     pub mode: ChipMode,
     pub plan: Option<&'a ChipPlan>,
+    pub mem: Option<ChipMemState>,
 }
 
 impl<'a> ChipView<'a> {
@@ -220,6 +221,7 @@ impl<'a> ChipView<'a> {
             bucket: chip.bucket,
             mode: chip.mode,
             plan: chip.plan.as_ref(),
+            mem: chip.mem,
         }
     }
 }
@@ -228,6 +230,7 @@ fn encode_chip(
     out: &mut Vec<u8>,
     chip: &ChipView<'_>,
     plan_index: Option<u32>,
+    with_mem: bool,
 ) -> Result<(), FleetError> {
     put_u32(out, chip.id);
     out.push(kind_code(chip.kind));
@@ -247,6 +250,20 @@ fn encode_chip(
         ChipMode::Guardband => 1,
     });
     put_u32(out, plan_index.unwrap_or(NO_PLAN));
+    if with_mem {
+        // Format-3 records carry the weight-memory state; format-2
+        // records stop here, byte-identical to the pre-memory format.
+        match chip.mem {
+            None => out.push(0),
+            Some(mem) => {
+                out.push(1);
+                put_u32(out, mem.reencodes);
+                out.push(u8::from(mem.degraded));
+                put_f64(out, mem.stress_active_years);
+                put_f64(out, mem.stress_spare_years);
+            }
+        }
+    }
     Ok(())
 }
 
@@ -266,6 +283,8 @@ pub(crate) fn encode_frame<'a>(
     chips: impl Iterator<Item = ChipView<'a>>,
     chip_count: usize,
 ) -> Result<Vec<u8>, FleetError> {
+    let format = config.checkpoint_format();
+    let with_mem = format == CHECKPOINT_FORMAT_MEM;
     let mut table: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
     let mut ordered: Vec<Vec<u8>> = Vec::new();
     let mut chip_records = Vec::with_capacity(chip_count * 96);
@@ -284,7 +303,7 @@ pub(crate) fn encode_frame<'a>(
                 Some(idx)
             }
         };
-        encode_chip(&mut chip_records, &chip, plan_index)?;
+        encode_chip(&mut chip_records, &chip, plan_index, with_mem)?;
     }
     debug_assert_eq!(seen, chip_count, "chip iterator disagrees with count");
 
@@ -305,7 +324,7 @@ pub(crate) fn encode_frame<'a>(
 
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     frame.extend_from_slice(&MAGIC);
-    put_u32(&mut frame, CHECKPOINT_FORMAT);
+    put_u32(&mut frame, format);
     put_u64(
         &mut frame,
         u64::try_from(payload.len()).expect("usize fits u64"),
@@ -465,7 +484,7 @@ fn decode_model(r: &mut Reader<'_>) -> Result<ModelSpec, FleetError> {
     }
 }
 
-fn decode_chip(r: &mut Reader<'_>, plans: &[ChipPlan]) -> Result<Chip, FleetError> {
+fn decode_chip(r: &mut Reader<'_>, plans: &[ChipPlan], with_mem: bool) -> Result<Chip, FleetError> {
     let id = r.u32()?;
     let kind = *MissionKind::ALL
         .get(usize::from(r.u8()?))
@@ -502,6 +521,32 @@ fn decode_chip(r: &mut Reader<'_>, plans: &[ChipPlan]) -> Result<Chip, FleetErro
                 })?,
         ),
     };
+    let mem = if with_mem {
+        match r.u8()? {
+            0 => None,
+            1 => Some(ChipMemState {
+                reencodes: r.u32()?,
+                degraded: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    code => {
+                        return Err(FleetError::Malformed(format!(
+                            "unknown memory-degraded flag {code}"
+                        )))
+                    }
+                },
+                stress_active_years: r.f64()?,
+                stress_spare_years: r.f64()?,
+            }),
+            code => {
+                return Err(FleetError::Malformed(format!(
+                    "unknown memory-state flag {code}"
+                )))
+            }
+        }
+    } else {
+        None
+    };
     Ok(Chip {
         id,
         kind,
@@ -510,6 +555,7 @@ fn decode_chip(r: &mut Reader<'_>, plans: &[ChipPlan]) -> Result<Chip, FleetErro
         bucket,
         mode,
         plan,
+        mem,
     })
 }
 
@@ -557,11 +603,12 @@ impl FleetState {
             }));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != CHECKPOINT_FORMAT {
+        if version != CHECKPOINT_FORMAT && version != CHECKPOINT_FORMAT_MEM {
             return Err(FleetError::Corrupt(CorruptKind::UnsupportedVersion {
                 found: version,
             }));
         }
+        let with_mem = version == CHECKPOINT_FORMAT_MEM;
         let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
         let have = bytes.len() as u64;
         let needed = (HEADER_LEN as u64)
@@ -606,7 +653,7 @@ impl FleetState {
         }
         let mut chips = Vec::with_capacity(chip_count.min(1 << 24));
         for _ in 0..chip_count {
-            chips.push(decode_chip(&mut r, &plans)?);
+            chips.push(decode_chip(&mut r, &plans, with_mem)?);
         }
         if !r.done() {
             return Err(FleetError::Malformed(format!(
@@ -615,7 +662,7 @@ impl FleetState {
             )));
         }
         Ok(FleetState {
-            format: Some(CHECKPOINT_FORMAT),
+            format: Some(version),
             config,
             epoch,
             rng,

@@ -131,6 +131,57 @@ pub enum ChipMode {
     Guardband,
 }
 
+/// Per-chip weight-memory aging state — the second failure axis
+/// beyond MAC timing. Weight SRAM holds near-constant data for years,
+/// so each bitcell's stressed side accumulates NBTI exposure set by
+/// the stored duty asymmetry; a polarity re-encode moves the stress to
+/// the complementary side. The state tracks both sides' accumulated
+/// equivalent full-stress years: the *active* side is the one
+/// currently under stress, the *spare* side is whichever polarity was
+/// stressed before the last re-encode. Worst-bit failure probability
+/// is evaluated at the larger of the two, so it is monotone
+/// non-decreasing over the mission — re-encoding never heals damage,
+/// it only redirects further accumulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipMemState {
+    /// Polarity re-encodes completed so far.
+    pub reencodes: u32,
+    /// Whether the memory axis crossed the degrade threshold with no
+    /// useful re-encode left.
+    pub degraded: bool,
+    /// Equivalent full-stress years accumulated by the currently
+    /// stressed storage polarity.
+    pub stress_active_years: f64,
+    /// Equivalent full-stress years accumulated by the complementary
+    /// polarity (stressed before the last re-encode).
+    pub stress_spare_years: f64,
+}
+
+impl ChipMemState {
+    /// The state of a chip fresh out of the fab: no stress on either
+    /// polarity, full re-encode budget.
+    pub const FRESH: ChipMemState = ChipMemState {
+        reencodes: 0,
+        degraded: false,
+        stress_active_years: 0.0,
+        stress_spare_years: 0.0,
+    };
+
+    /// The exposure of the worse-off polarity — what the worst-bit
+    /// failure probability is evaluated at.
+    #[must_use]
+    pub fn worst_stress_years(&self) -> f64 {
+        self.stress_active_years.max(self.stress_spare_years)
+    }
+
+    /// Applies one completed polarity re-encode: stress accumulation
+    /// switches to the complementary side.
+    pub fn reencode(&mut self) {
+        std::mem::swap(&mut self.stress_active_years, &mut self.stress_spare_years);
+        self.reencodes += 1;
+    }
+}
+
 /// The plan a chip currently executes, as recorded in checkpoints and
 /// reports: the engine's [`CompressionPlan`] plus the quantization
 /// method selected for it (when method selection is enabled).
@@ -148,7 +199,7 @@ pub struct ChipPlan {
 
 /// One simulated NPU: identity, sampled aging physics, sampled
 /// mission, and current decision state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct Chip {
     /// Fleet-unique identifier (dense, `0..fleet_size`).
     pub id: u32,
@@ -165,6 +216,35 @@ pub struct Chip {
     pub mode: ChipMode,
     /// The active plan (`None` only for a degraded chip).
     pub plan: Option<ChipPlan>,
+    /// Weight-memory aging state; `Some` exactly when the fleet's
+    /// memory axis is enabled ([`FleetConfig::memory`]).
+    ///
+    /// [`FleetConfig::memory`]: crate::FleetConfig::memory
+    pub mem: Option<ChipMemState>,
+}
+
+// Hand-written so a memory-disabled fleet serializes byte-identically
+// to the pre-memory format: the `mem` key is emitted only when the
+// axis is enabled, unlike the derive's unconditional `"mem": null`.
+// Field order and the `"plan": null` behavior match the old derive
+// exactly; `Deserialize` stays derived (a missing `mem` reads as
+// `None`).
+impl Serialize for Chip {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+            ("model".to_string(), self.model.to_value()),
+            ("profile".to_string(), self.profile.to_value()),
+            ("bucket".to_string(), self.bucket.to_value()),
+            ("mode".to_string(), self.mode.to_value()),
+            ("plan".to_string(), self.plan.to_value()),
+        ];
+        if let Some(mem) = &self.mem {
+            fields.push(("mem".to_string(), mem.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
 }
 
 impl Chip {
@@ -195,6 +275,7 @@ impl Chip {
             bucket: 0,
             mode: ChipMode::Compressed,
             plan: None,
+            mem: None,
         }
     }
 

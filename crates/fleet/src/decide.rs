@@ -25,7 +25,9 @@ use agequant_nn::Model;
 use agequant_quant::QuantMethod;
 use agequant_sta::GuardbandModel;
 
-use crate::chip::{Chip, ChipMode, ChipPlan};
+use agequant_mem::MemoryConfig;
+
+use crate::chip::{Chip, ChipMemState, ChipMode, ChipPlan};
 use crate::sim::FleetConfig;
 use crate::FleetError;
 
@@ -42,6 +44,22 @@ pub enum Decision {
         /// The bucket proven infeasible.
         bucket: u64,
     },
+}
+
+/// What the decision core concluded about one chip's weight-memory
+/// health — the second decision axis, orthogonal to the MAC timing
+/// [`Decision`]. A chip can pass timing with a comfortable compression
+/// plan and still need its weight memory re-encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryAction {
+    /// Re-encode the chip's weight memory: toggle the stored polarity
+    /// so NBTI stress moves to the complementary cell side.
+    Reencode,
+    /// The worst-bit failure probability crossed the degrade threshold
+    /// and no re-encode can help (budget exhausted, or the complement
+    /// side is already the worse one): declare the memory axis
+    /// degraded.
+    Degrade,
 }
 
 impl Decision {
@@ -314,6 +332,54 @@ impl Decider {
         };
         memos.methods.insert(key, method);
         Ok(method)
+    }
+
+    /// The memory-aging configuration, when the fleet tracks the
+    /// weight-memory axis.
+    #[must_use]
+    pub fn memory(&self) -> Option<&MemoryConfig> {
+        self.config.memory.as_ref()
+    }
+
+    /// The memory-axis decision for a chip's current memory state:
+    /// `Degrade` when the worst-bit failure probability crossed the
+    /// degrade threshold (the probability is monotone in worn-in
+    /// exposure, so no amount of re-encoding can take it back under),
+    /// `Reencode` when it crossed the re-encode threshold and toggling
+    /// the polarity would move at least [`MemoryConfig`]'s
+    /// `reencode_gap_years` of stress imbalance onto the less-worn
+    /// side, `None` otherwise (including when the memory axis is
+    /// disabled or the chip is already memory-degraded).
+    ///
+    /// This is where MAC compression and memory wear meet: the failure
+    /// probability the thresholds are tested against grew out of the
+    /// stress asymmetry selected by the chip's planned weight
+    /// truncation β ([`MemoryConfig::asymmetry_for_beta`]), so the
+    /// timing-side plan directly shapes when the memory side orders a
+    /// re-encode.
+    #[must_use]
+    pub fn memory_action(&self, state: &ChipMemState) -> Option<MemoryAction> {
+        let config = self.config.memory.as_ref()?;
+        if state.degraded {
+            return None;
+        }
+        let prob = config
+            .cell
+            .failure_prob_at_exposure(state.worst_stress_years());
+        if prob >= config.degrade_threshold {
+            return Some(MemoryAction::Degrade);
+        }
+        // A re-encode only helps while the accruing side leads the
+        // spare side by a material margin — right after a toggle the
+        // spare side holds the maximum, and flipping again before the
+        // gap re-opens would churn the budget for no levelling gain.
+        // The gap is what spaces flips into a periodic schedule.
+        let useful_reencode = state.reencodes < config.max_reencodes
+            && state.stress_active_years - state.stress_spare_years >= config.reencode_gap_years;
+        if prob >= config.reencode_threshold && useful_reencode {
+            return Some(MemoryAction::Reencode);
+        }
+        None
     }
 
     /// The distinct aging buckets fully characterized by this decider

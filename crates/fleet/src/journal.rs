@@ -43,6 +43,21 @@ pub enum EventKind {
         /// The bucket at which compression became infeasible.
         bucket: u64,
     },
+    /// The chip's weight memory was re-encoded: the stored polarity
+    /// toggled so NBTI stress moves to the complementary cell side.
+    /// Only emitted when the fleet's memory axis is enabled.
+    Reencoded {
+        /// Total re-encodes completed after this one (so the first
+        /// re-encode journals `count: 1`).
+        count: u32,
+    },
+    /// The chip's worst-bit memory failure probability crossed the
+    /// degrade threshold with no useful re-encode left. The chip may
+    /// still be timing-healthy — this is the second failure axis.
+    MemoryDegraded {
+        /// Re-encodes spent before the memory axis degraded.
+        reencodes: u32,
+    },
 }
 
 /// One journal entry: which chip, at which epoch, what happened.

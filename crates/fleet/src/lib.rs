@@ -70,11 +70,13 @@ mod shard;
 mod sim;
 
 pub use checkpoint::{crc32, MAGIC};
-pub use chip::{Chip, ChipMode, ChipPlan, MissionKind};
-pub use decide::{Decider, Decision};
+pub use chip::{Chip, ChipMemState, ChipMode, ChipPlan, MissionKind};
+pub use decide::{Decider, Decision, MemoryAction};
 pub use error::{CorruptKind, FleetError};
 pub use journal::{EventKind, JournalEvent};
-pub use report::{CacheSummary, FleetSummary, LossPercentiles, ModelCacheSummary, PlanBin};
+pub use report::{
+    CacheSummary, FleetSummary, LossPercentiles, MemorySummary, ModelCacheSummary, PlanBin,
+};
 pub use rng::FleetRng;
 pub use shard::FleetShard;
-pub use sim::{FleetConfig, FleetSim, FleetState, CHECKPOINT_FORMAT};
+pub use sim::{FleetConfig, FleetSim, FleetState, CHECKPOINT_FORMAT, CHECKPOINT_FORMAT_MEM};

@@ -77,8 +77,28 @@ pub struct ModelCacheSummary {
     pub cache: CacheSummary,
 }
 
+/// The weight-memory axis rolled up across the fleet. Present only
+/// when the fleet runs with a memory configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySummary {
+    /// Chips carrying a tracked memory state.
+    pub tracked: usize,
+    /// Total re-encodes spent across the fleet so far.
+    pub reencodes: u64,
+    /// Chips whose memory axis degraded (worst-bit failure probability
+    /// crossed the degrade threshold with no useful re-encode left).
+    pub memory_degraded: usize,
+    /// Chips that are memory-degraded while their MAC timing is still
+    /// compressed — the failure mode the second axis exists to expose.
+    pub timing_healthy_memory_degraded: usize,
+    /// Worst per-chip worst-bit failure probability in the fleet.
+    pub worst_failure_prob: f64,
+    /// Mean per-chip worst-bit failure probability.
+    pub mean_failure_prob: f64,
+}
+
 /// The fleet rolled up at one epoch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct FleetSummary {
     /// The epoch the summary describes.
     pub epoch: u64,
@@ -103,6 +123,37 @@ pub struct FleetSummary {
     /// [`FleetSim::summary`](crate::FleetSim::summary) alongside
     /// `cache`.
     pub cache_by_model: Option<Vec<ModelCacheSummary>>,
+    /// Weight-memory axis rollup; `None` when the fleet runs without a
+    /// memory configuration.
+    pub memory: Option<MemorySummary>,
+}
+
+// Manual impl so a memory-disabled summary serializes byte-identically
+// to the pre-memory format: the `memory` key is omitted (not `null`)
+// when absent, while the longstanding optional fields keep their
+// explicit `null`s.
+impl Serialize for FleetSummary {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("epoch".to_string(), self.epoch.to_value()),
+            ("years".to_string(), self.years.to_value()),
+            ("chips".to_string(), self.chips.to_value()),
+            ("compressed".to_string(), self.compressed.to_value()),
+            ("degraded".to_string(), self.degraded.to_value()),
+            ("plan_histogram".to_string(), self.plan_histogram.to_value()),
+            (
+                "bucket_histogram".to_string(),
+                self.bucket_histogram.to_value(),
+            ),
+            ("accuracy_loss".to_string(), self.accuracy_loss.to_value()),
+            ("cache".to_string(), self.cache.to_value()),
+            ("cache_by_model".to_string(), self.cache_by_model.to_value()),
+        ];
+        if let Some(memory) = &self.memory {
+            fields.push(("memory".to_string(), memory.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
 }
 
 /// The `p`-th percentile of `sorted` (nearest-rank on a sorted
@@ -165,6 +216,44 @@ impl FleetSummary {
             (Some(p50), Some(p90), Some(p99)) => Some(LossPercentiles { p50, p90, p99 }),
             _ => None,
         };
+        let memory = state.config.memory.as_ref().map(|config| {
+            let mut tracked = 0usize;
+            let mut reencodes = 0u64;
+            let mut memory_degraded = 0usize;
+            let mut timing_healthy_memory_degraded = 0usize;
+            let mut worst = 0.0f64;
+            let mut total = 0.0f64;
+            for chip in &state.chips {
+                let Some(mem) = &chip.mem else { continue };
+                tracked += 1;
+                reencodes += u64::from(mem.reencodes);
+                if mem.degraded {
+                    memory_degraded += 1;
+                    if chip.mode == ChipMode::Compressed {
+                        timing_healthy_memory_degraded += 1;
+                    }
+                }
+                let prob = config
+                    .cell
+                    .failure_prob_at_exposure(mem.worst_stress_years());
+                worst = worst.max(prob);
+                total += prob;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let mean = if tracked == 0 {
+                0.0
+            } else {
+                total / tracked as f64
+            };
+            MemorySummary {
+                tracked,
+                reencodes,
+                memory_degraded,
+                timing_healthy_memory_degraded,
+                worst_failure_prob: worst,
+                mean_failure_prob: mean,
+            }
+        });
         #[allow(clippy::cast_precision_loss)]
         let years = state.epoch as f64 * state.config.epoch_years;
         FleetSummary {
@@ -187,6 +276,7 @@ impl FleetSummary {
             accuracy_loss,
             cache: cache.map(CacheSummary::from),
             cache_by_model: None,
+            memory,
         }
     }
 
@@ -210,6 +300,17 @@ impl FleetSummary {
             out.push_str(&format!(
                 "accuracy loss: p50 {:.2}%  p90 {:.2}%  p99 {:.2}%\n",
                 loss.p50, loss.p90, loss.p99
+            ));
+        }
+        if let Some(memory) = &self.memory {
+            out.push_str(&format!(
+                "memory: {} tracked, {} re-encodes, {} degraded ({} timing-healthy), worst p {:.2e}, mean p {:.2e}\n",
+                memory.tracked,
+                memory.reencodes,
+                memory.memory_degraded,
+                memory.timing_healthy_memory_degraded,
+                memory.worst_failure_prob,
+                memory.mean_failure_prob
             ));
         }
         if let Some(cache) = &self.cache {

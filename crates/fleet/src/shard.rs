@@ -26,9 +26,10 @@
 //! surrogate table keeps delegating to the spec).
 
 use agequant_aging::{MissionProfile, ModelSpec, NbtiModel, VthShift};
+use agequant_mem::MemoryConfig;
 
-use crate::chip::{Chip, ChipMode, ChipPlan, MissionKind};
-use crate::decide::Decision;
+use crate::chip::{Chip, ChipMemState, ChipMode, ChipPlan, MissionKind};
+use crate::decide::{Decider, Decision, MemoryAction};
 use crate::journal::{EventKind, JournalEvent};
 use crate::rng::FleetRng;
 
@@ -100,6 +101,7 @@ pub struct FleetShard {
     model: Vec<ModelSpec>,
     profile: Vec<MissionProfile>,
     plan: Vec<Option<ChipPlan>>,
+    mem: Vec<Option<ChipMemState>>,
     journal: Vec<JournalEvent>,
 }
 
@@ -117,6 +119,7 @@ impl FleetShard {
             model: Vec::with_capacity(capacity),
             profile: Vec::with_capacity(capacity),
             plan: Vec::with_capacity(capacity),
+            mem: Vec::with_capacity(capacity),
             journal: Vec::new(),
         }
     }
@@ -131,6 +134,7 @@ impl FleetShard {
         self.model.push(chip.model);
         self.profile.push(chip.profile);
         self.plan.push(chip.plan);
+        self.mem.push(chip.mem);
     }
 
     /// Samples `count` fresh chips with ids `base..base + count` from
@@ -201,6 +205,7 @@ impl FleetShard {
             bucket: self.bucket[i],
             mode: self.mode[i],
             plan: self.plan[i],
+            mem: self.mem[i],
         }
     }
 
@@ -216,6 +221,63 @@ impl FleetShard {
             bucket: self.bucket[i],
             mode: self.mode[i],
             plan: self.plan[i].as_ref(),
+            mem: self.mem[i],
+        }
+    }
+
+    /// Arms the memory axis: every chip starts with a fresh
+    /// [`ChipMemState`]. Draws nothing from the RNG, so the sampling
+    /// stream is untouched.
+    pub(crate) fn init_memory(&mut self) {
+        for slot in &mut self.mem {
+            *slot = Some(ChipMemState::FRESH);
+        }
+    }
+
+    /// One epoch of weight-memory aging for every chip: accrues SRAM
+    /// stress exposure on the currently stressed polarity (shaped by
+    /// the active plan's weight truncation β and the chip's mission
+    /// acceleration), then applies the decider's memory action —
+    /// journaling re-encodes and memory degradations.
+    pub(crate) fn step_memory(
+        &mut self,
+        decider: &Decider,
+        config: &MemoryConfig,
+        epoch: u64,
+        epoch_years: f64,
+    ) {
+        for i in 0..self.len() {
+            let Some(mut state) = self.mem[i] else {
+                continue;
+            };
+            let beta = self.plan[i].map_or(0, |p| p.plan.compression.beta());
+            let asymmetry = config.asymmetry_for_beta(beta);
+            state.stress_active_years +=
+                config.cell.stress_duty(asymmetry) * self.accel[i] * epoch_years;
+            match decider.memory_action(&state) {
+                Some(MemoryAction::Reencode) => {
+                    state.reencode();
+                    self.journal.push(JournalEvent {
+                        epoch,
+                        chip: self.id[i],
+                        kind: EventKind::Reencoded {
+                            count: state.reencodes,
+                        },
+                    });
+                }
+                Some(MemoryAction::Degrade) => {
+                    state.degraded = true;
+                    self.journal.push(JournalEvent {
+                        epoch,
+                        chip: self.id[i],
+                        kind: EventKind::MemoryDegraded {
+                            reencodes: state.reencodes,
+                        },
+                    });
+                }
+                None => {}
+            }
+            self.mem[i] = Some(state);
         }
     }
 

@@ -32,6 +32,7 @@ use std::collections::BTreeMap;
 
 use agequant_aging::{ModelSpec, NbtiPowerLaw, TechProfile};
 use agequant_core::{AgingAwareQuantizer, CacheStats, FlowConfig};
+use agequant_mem::MemoryConfig;
 use agequant_nn::NetArch;
 use serde::{Deserialize, Serialize, Value};
 
@@ -48,7 +49,7 @@ use crate::FleetError;
 /// Everything that influences the simulation is in here, so a
 /// checkpointed [`FleetState`] (which embeds its config) is
 /// self-describing and a resumed run needs no out-of-band inputs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct FleetConfig {
     /// Number of chips in the fleet.
     pub chips: u32,
@@ -68,6 +69,41 @@ pub struct FleetConfig {
     pub network: Option<NetArch>,
     /// The underlying aging-aware quantization flow.
     pub flow: FlowConfig,
+    /// When set, the fleet also tracks per-chip weight-memory aging:
+    /// each epoch accrues SRAM stress exposure (shaped by the active
+    /// plan's weight truncation through
+    /// [`MemoryConfig::asymmetry_for_beta`]), and the decider orders
+    /// polarity re-encodes or declares memory degradation against the
+    /// config's thresholds. `None` (the default) is byte-identical to
+    /// the pre-memory fleet everywhere — checkpoints, journals,
+    /// summaries, plan responses.
+    pub memory: Option<MemoryConfig>,
+}
+
+// Hand-written so a memory-disabled config serializes byte-identically
+// to the pre-memory format: `memory` is emitted only when enabled,
+// unlike the derive's unconditional `"memory": null`. Field order and
+// the `"network": null` behavior match the old derive exactly;
+// `Deserialize` stays derived (a missing `memory` reads as `None`).
+impl Serialize for FleetConfig {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("chips".to_string(), self.chips.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("epoch_years".to_string(), self.epoch_years.to_value()),
+            ("bucket_mv".to_string(), self.bucket_mv.to_value()),
+            (
+                "constraint_factor".to_string(),
+                self.constraint_factor.to_value(),
+            ),
+            ("network".to_string(), self.network.to_value()),
+            ("flow".to_string(), self.flow.to_value()),
+        ];
+        if let Some(memory) = &self.memory {
+            fields.push(("memory".to_string(), memory.to_value()));
+        }
+        Value::Map(fields)
+    }
 }
 
 impl FleetConfig {
@@ -90,6 +126,7 @@ impl FleetConfig {
             constraint_factor: 1.0,
             network: None,
             flow,
+            memory: None,
         }
     }
 
@@ -122,15 +159,45 @@ impl FleetConfig {
                 self.constraint_factor
             )));
         }
+        if let Some(memory) = &self.memory {
+            let violations = memory.violations();
+            if !violations.is_empty() {
+                return Err(FleetError::InvalidConfig(format!(
+                    "memory config: {}",
+                    violations.join("; ")
+                )));
+            }
+        }
         self.flow.validate().map_err(FleetError::Flow)
+    }
+
+    /// The checkpoint format version this configuration's states carry:
+    /// [`CHECKPOINT_FORMAT_MEM`] when the memory axis is enabled,
+    /// [`CHECKPOINT_FORMAT`] otherwise — so a memory-disabled fleet
+    /// keeps writing pre-memory checkpoints byte for byte.
+    #[must_use]
+    pub fn checkpoint_format(&self) -> u32 {
+        if self.memory.is_some() {
+            CHECKPOINT_FORMAT_MEM
+        } else {
+            CHECKPOINT_FORMAT
+        }
     }
 }
 
-/// Current checkpoint format version. Format 1 (pre-versioning)
-/// stored each chip's power-law NBTI kinetics directly; format 2
-/// stores the chip's full degradation [`ModelSpec`].
-/// [`FleetState::from_json`] migrates format-1 trees on load.
+/// Current checkpoint format version for memory-disabled fleets.
+/// Format 1 (pre-versioning) stored each chip's power-law NBTI
+/// kinetics directly; format 2 stores the chip's full degradation
+/// [`ModelSpec`]. [`FleetState::from_json`] migrates format-1 trees on
+/// load.
 pub const CHECKPOINT_FORMAT: u32 = 2;
+
+/// Checkpoint format version of a fleet with the weight-memory axis
+/// enabled: format 2 plus a per-chip memory-state record. A format-2
+/// checkpoint loads as a fleet with no memory state (the pre-memory
+/// migration), and a memory-disabled fleet keeps writing format 2, so
+/// the two formats never mix in one file.
+pub const CHECKPOINT_FORMAT_MEM: u32 = 3;
 
 /// The complete serializable state of a fleet run: configuration,
 /// epoch counter, RNG state, and every chip. Checkpointing this and
@@ -388,6 +455,13 @@ impl FleetSim {
             rng,
             shards,
         };
+        if sim.config.memory.is_some() {
+            // Fresh chips start with zero stress on both polarities;
+            // no RNG draws, so the sampling stream stays untouched.
+            for shard in &mut sim.shards {
+                shard.init_memory();
+            }
+        }
         sim.plan_initial()?;
         Ok(sim)
     }
@@ -556,6 +630,16 @@ impl FleetSim {
                 shard.apply_decision(i, new_bucket, epoch, &decision);
             }
         }
+        if let Some(memory) = &self.config.memory {
+            // The memory pass runs after the epoch's replans, so the
+            // stress a chip accrues this epoch is shaped by the plan
+            // it actually executes. Pure threshold arithmetic — no
+            // engine, no RNG — applied in shard order, so journals
+            // stay bit-identical across shard counts.
+            for shard in &mut self.shards {
+                shard.step_memory(&self.decider, memory, epoch, self.config.epoch_years);
+            }
+        }
         self.epoch = epoch;
         Ok(())
     }
@@ -584,7 +668,7 @@ impl FleetSim {
             }
         }
         FleetState {
-            format: Some(CHECKPOINT_FORMAT),
+            format: Some(self.config.checkpoint_format()),
             config: self.config.clone(),
             epoch: self.epoch,
             rng: self.rng.clone(),
@@ -674,6 +758,15 @@ impl FleetSim {
             }
         }
         debug_assert_eq!(merged.len(), total, "every shard event merged");
+        // Canonical order: epoch-major, then chip-major, then push
+        // order (stable sort). Without this, a chip with both a MAC
+        // event and a memory event in one epoch would interleave
+        // differently at different shard counts: each shard journals
+        // its MAC pass before its memory pass, so the shard-major
+        // merge alone is not shard-count-invariant. Pre-memory
+        // journals are already in this order, so the sort is a no-op
+        // for them (pinned by the pre-memory fixture test).
+        merged.sort_by(|a, b| (a.epoch, a.chip).cmp(&(b.epoch, b.chip)));
         merged
     }
 

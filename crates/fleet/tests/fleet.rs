@@ -73,7 +73,9 @@ fn thousand_chip_fleet_amortizes_to_distinct_buckets() {
         .iter()
         .filter_map(|event| match event.kind {
             EventKind::Replanned { bucket, .. } | EventKind::Degraded { bucket } => Some(bucket),
-            EventKind::BucketCrossed { .. } => None,
+            EventKind::BucketCrossed { .. }
+            | EventKind::Reencoded { .. }
+            | EventKind::MemoryDegraded { .. } => None,
         })
         .collect();
     assert_eq!(journaled, planned);

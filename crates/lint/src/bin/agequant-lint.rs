@@ -6,18 +6,21 @@
 //! and a reference fleet run, then exits nonzero if any `deny`-level
 //! finding remains. `--fleet-state` / `--fleet-journal` additionally
 //! lint a checkpoint and journal produced by `agequant-fleet`;
-//! `--no-zoo` restricts the run to just those files.
+//! `--memory-report` lints a weight-memory aging report produced by
+//! `agequant-mem`; `--no-zoo` restricts the run to just those files.
 //!
 //! ```text
 //! agequant-lint [--json] [--list] [--max-mv MV] [--step-mv MV]
 //!               [--deny CODE] [--warn CODE] [--allow CODE]
-//!               [--fleet-state FILE] [--fleet-journal FILE] [--no-zoo]
+//!               [--fleet-state FILE] [--fleet-journal FILE]
+//!               [--memory-report FILE] [--no-zoo]
 //! ```
 
 use std::process::ExitCode;
 
 use agequant_fleet::{journal, FleetState, JournalEvent};
 use agequant_lint::{registry, Artifact, LintConfig, Linter, Zoo};
+use agequant_mem::MemoryReport;
 use agequant_serve::ServeConfig;
 
 struct Options {
@@ -29,6 +32,7 @@ struct Options {
     fleet_state: Option<String>,
     fleet_journal: Option<String>,
     serve_config: Option<String>,
+    memory_report: Option<String>,
     config: LintConfig,
 }
 
@@ -37,12 +41,14 @@ fn usage() -> String {
         "usage: agequant-lint [--json] [--list] [--max-mv MV] [--step-mv MV]\n\
          \x20                    [--deny CODE] [--warn CODE] [--allow CODE]\n\
          \x20                    [--fleet-state FILE] [--fleet-journal FILE]\n\
-         \x20                    [--serve-config FILE] [--no-zoo]\n\n\
+         \x20                    [--serve-config FILE] [--memory-report FILE]\n\
+         \x20                    [--no-zoo]\n\n\
          Lints the shipped artifact zoo (netlists, aged libraries, STA\n\
          results, compression plans, quant configs, a reference fleet\n\
          run). --fleet-state/--fleet-journal lint an agequant-fleet\n\
          checkpoint and its journal from disk; --serve-config lints a\n\
-         saved agequant-serve config; --no-zoo checks only those.\n\
+         saved agequant-serve config; --memory-report lints a weight-\n\
+         memory aging report; --no-zoo checks only those.\n\
          Exits 1 when any deny-level finding remains, 2 on bad\n\
          arguments or unreadable files.\n\nlints:\n",
     );
@@ -68,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         fleet_state: None,
         fleet_journal: None,
         serve_config: None,
+        memory_report: None,
         config: LintConfig::new(),
     };
     let mut it = args.iter();
@@ -94,6 +101,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--fleet-state" => opts.fleet_state = Some(value("--fleet-state")?),
             "--fleet-journal" => opts.fleet_journal = Some(value("--fleet-journal")?),
             "--serve-config" => opts.serve_config = Some(value("--serve-config")?),
+            "--memory-report" => opts.memory_report = Some(value("--memory-report")?),
             "--deny" => opts.config = opts.config.deny(&value("--deny")?),
             "--warn" => opts.config = opts.config.warn(&value("--warn")?),
             "--allow" => opts.config = opts.config.allow(&value("--allow")?),
@@ -107,9 +115,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.fleet_journal.is_some() && opts.fleet_state.is_none() {
         return Err("--fleet-journal needs --fleet-state (causality is checked against it)".into());
     }
-    if opts.no_zoo && opts.fleet_state.is_none() && opts.serve_config.is_none() {
+    if opts.no_zoo
+        && opts.fleet_state.is_none()
+        && opts.serve_config.is_none()
+        && opts.memory_report.is_none()
+    {
         return Err(
-            "--no-zoo leaves nothing to lint without --fleet-state or --serve-config".to_string(),
+            "--no-zoo leaves nothing to lint without --fleet-state, --serve-config, \
+                    or --memory-report"
+                .to_string(),
         );
     }
     Ok(opts)
@@ -196,10 +210,29 @@ fn main() -> ExitCode {
         }
     };
 
+    let memory: Option<(String, MemoryReport)> = match &opts.memory_report {
+        None => None,
+        Some(path) => {
+            let loaded = read(path).and_then(|text| {
+                MemoryReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+            });
+            match loaded {
+                Ok(report) => Some((path.clone(), report)),
+                Err(msg) => {
+                    eprintln!("agequant-lint: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
     let zoo = (!opts.no_zoo).then(|| Zoo::build(opts.max_mv, opts.step_mv));
     let mut artifacts: Vec<Artifact<'_>> = zoo.as_ref().map(Zoo::artifacts).unwrap_or_default();
     if let Some((name, config)) = &serve {
         artifacts.push(Artifact::ServeConfig { name, config });
+    }
+    if let Some((name, report)) = &memory {
+        artifacts.push(Artifact::MemoryReport { name, report });
     }
     if let Some(fleet) = &fleet {
         artifacts.push(Artifact::FleetCheckpoint {

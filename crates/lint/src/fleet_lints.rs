@@ -175,6 +175,8 @@ impl Lint for JournalCausality {
                     }
                 }
                 EventKind::Degraded { .. } => degraded[chip] = true,
+                // The memory axis has its own causality lint (ME002).
+                EventKind::Reencoded { .. } | EventKind::MemoryDegraded { .. } => {}
             }
         }
     }

@@ -25,6 +25,8 @@
 //! | QT001 | quant-range-inconsistent | broken scale/zero-point/bit width |
 //! | FL001 | fleet-checkpoint-inconsistent | checkpoint vs config/ids/RNG/physics/model profiles |
 //! | FL002 | fleet-journal-acausal | journal order, orphan chips, replans after degrade |
+//! | ME001 | memory-report-unphysical | duty bounds, monotone failure curves, cell-model agreement |
+//! | ME002 | memory-reencode-acausal | re-encode counts, budgets, terminal memory degradation |
 //! | SV001 | serve-config-invalid | saved decision-server configuration no longer validates |
 //! | SRC001 | std-sync-outside-facade | direct `std::sync`/`std::thread` in a ported crate, `Condvar` wait outside a loop |
 //!
@@ -51,6 +53,7 @@ mod config;
 mod diagnostic;
 mod fleet_lints;
 mod lint;
+mod mem_lints;
 mod netlist_lints;
 mod quant_lints;
 mod serve_lints;

@@ -4,6 +4,7 @@ use agequant_aging::TechProfile;
 use agequant_cells::CellLibrary;
 use agequant_core::CompressionPlan;
 use agequant_fleet::{FleetState, JournalEvent};
+use agequant_mem::MemoryReport;
 use agequant_netlist::mac::MacGeometry;
 use agequant_netlist::Netlist;
 use agequant_quant::{BitWidths, QuantParams};
@@ -13,8 +14,8 @@ use agequant_sta::TimingReport;
 use crate::config::LintConfig;
 use crate::diagnostic::{Diagnostic, LintReport, Severity};
 use crate::{
-    aging_lints, cell_lints, fleet_lints, netlist_lints, quant_lints, serve_lints, src_lints,
-    sta_lints,
+    aging_lints, cell_lints, fleet_lints, mem_lints, netlist_lints, quant_lints, serve_lints,
+    src_lints, sta_lints,
 };
 
 /// One artifact of the flow, presented for static verification.
@@ -90,6 +91,13 @@ pub enum Artifact<'a> {
         /// The journaled events, in file order.
         events: &'a [JournalEvent],
     },
+    /// A weight-memory aging report for one quantized model.
+    MemoryReport {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// The memory report under check.
+        report: &'a MemoryReport,
+    },
     /// A saved decision-server configuration.
     ServeConfig {
         /// Display name used in diagnostics.
@@ -120,6 +128,7 @@ impl Artifact<'_> {
             | Artifact::Quant { name, .. }
             | Artifact::FleetCheckpoint { name, .. }
             | Artifact::FleetJournal { name, .. }
+            | Artifact::MemoryReport { name, .. }
             | Artifact::ServeConfig { name, .. }
             | Artifact::Source { name, .. } => name,
         }
@@ -194,6 +203,8 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(quant_lints::QuantRangeInconsistent),
         Box::new(fleet_lints::CheckpointConsistency),
         Box::new(fleet_lints::JournalCausality),
+        Box::new(mem_lints::MemoryReportPhysical),
+        Box::new(mem_lints::ReencodeCausality),
         Box::new(serve_lints::ServeConfigValid),
         Box::new(src_lints::FacadeDiscipline),
     ]
@@ -285,7 +296,7 @@ mod tests {
         assert_eq!(sorted.len(), codes.len(), "duplicate lint code");
         for expected in [
             "AG001", "NL001", "NL002", "NL003", "NL004", "NL005", "CL001", "CL002", "CL003",
-            "ST001", "ST002", "QT001", "FL001", "FL002", "SV001", "SRC001",
+            "ST001", "ST002", "QT001", "FL001", "FL002", "ME001", "ME002", "SV001", "SRC001",
         ] {
             assert!(codes.contains(&expected), "missing {expected}");
         }

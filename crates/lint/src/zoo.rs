@@ -6,11 +6,13 @@ use agequant_aging::{DegradationModel, ModelSpec, TechProfile, VthShift};
 use agequant_cells::{CellLibrary, ProcessLibrary};
 use agequant_core::{AgingAwareQuantizer, CompressionPlan, FlowConfig};
 use agequant_fleet::{FleetConfig, FleetSim, FleetState, JournalEvent};
+use agequant_mem::{MemoryConfig, MemoryReport, ReencodeSchedule, SramCellModel};
 use agequant_netlist::adders::{prefix_adder, ripple_carry};
 use agequant_netlist::mac::{MacCircuit, MacGeometry};
 use agequant_netlist::multipliers::multiplier;
 use agequant_netlist::{MultiplierArch, Netlist, PrefixStyle};
-use agequant_quant::{BitWidths, QuantParams};
+use agequant_nn::{NetArch, SyntheticDataset};
+use agequant_quant::{quantize_model, BitWidths, QuantMethod, QuantParams};
 use agequant_serve::ServeConfig;
 use agequant_sta::{mac_case, Compression, Padding, Sta, TimingReport};
 
@@ -44,6 +46,9 @@ pub struct Zoo {
     quants: Vec<(String, QuantParams, Option<u8>)>,
     fleet_state: FleetState,
     fleet_journal: Vec<JournalEvent>,
+    fleet_mem_state: FleetState,
+    fleet_mem_journal: Vec<JournalEvent>,
+    memory_report: MemoryReport,
     serve_config: ServeConfig,
     sources: Vec<(String, String)>,
 }
@@ -186,6 +191,28 @@ impl Zoo {
         let fleet_state = fleet.to_state();
         let fleet_journal = fleet.journal();
 
+        // A memory-enabled fleet run long enough to re-encode, so the
+        // memory causality lint (ME002) always has live events.
+        let mut mem_config = FleetConfig::new(16, 11);
+        mem_config.memory = Some(MemoryConfig::demo());
+        let mut mem_fleet =
+            FleetSim::new(mem_config).expect("shipped memory fleet config is valid");
+        mem_fleet.run(24).expect("shipped memory fleet simulates");
+        let fleet_mem_state = mem_fleet.to_state();
+        let fleet_mem_journal = mem_fleet.journal();
+
+        // A quantized zoo network's memory-aging report, held to ME001.
+        let model = NetArch::AlexNet.build(1);
+        let data = SyntheticDataset::generate(8, 2);
+        let quantized = quantize_model(&model, QuantMethod::MinMax, BitWidths::W8A8, &data.take(4));
+        let memory_report = MemoryReport::build(
+            "alexnet_w8a8",
+            &quantized,
+            &SramCellModel::INTEL14NM,
+            &ReencodeSchedule::DEFAULT,
+            &[1.0, 3.0, 5.0, 10.0],
+        );
+
         Zoo {
             profiles,
             netlists,
@@ -196,6 +223,9 @@ impl Zoo {
             quants,
             fleet_state,
             fleet_journal,
+            fleet_mem_state,
+            fleet_mem_journal,
+            memory_report,
             // The server's shipped defaults, held to SV001.
             serve_config: ServeConfig::default(),
             // The concurrent crates' own sources, held to SRC001.
@@ -247,6 +277,19 @@ impl Zoo {
             name: "fleet_journal",
             state: &self.fleet_state,
             events: &self.fleet_journal,
+        });
+        artifacts.push(Artifact::FleetCheckpoint {
+            name: "fleet_mem_checkpoint",
+            state: &self.fleet_mem_state,
+        });
+        artifacts.push(Artifact::FleetJournal {
+            name: "fleet_mem_journal",
+            state: &self.fleet_mem_state,
+            events: &self.fleet_mem_journal,
+        });
+        artifacts.push(Artifact::MemoryReport {
+            name: "alexnet_w8a8_memory",
+            report: &self.memory_report,
         });
         artifacts.push(Artifact::ServeConfig {
             name: "serve_defaults",

@@ -468,6 +468,155 @@ fn fl002_fires_on_acausal_journals() {
     assert!(journal_codes(&state, &zombie).contains(&"FL002".to_string()));
 }
 
+/// A real memory-aging report over a small quantized network, the
+/// base for ME001 corruption.
+fn base_memory_report() -> agequant_mem::MemoryReport {
+    use agequant_mem::{MemoryReport, ReencodeSchedule, SramCellModel};
+    use agequant_nn::{NetArch, SyntheticDataset};
+    use agequant_quant::{quantize_model, QuantMethod};
+
+    let model = NetArch::AlexNet.build(1);
+    let data = SyntheticDataset::generate(8, 2);
+    let q = quantize_model(&model, QuantMethod::MinMax, BitWidths::W8A8, &data.take(4));
+    MemoryReport::build(
+        "alexnet",
+        &q,
+        &SramCellModel::INTEL14NM,
+        &ReencodeSchedule::DEFAULT,
+        &[1.0, 5.0, 10.0],
+    )
+}
+
+fn memory_report_codes(report: &agequant_mem::MemoryReport) -> Vec<String> {
+    codes(Artifact::MemoryReport {
+        name: "under-test",
+        report,
+    })
+}
+
+#[test]
+fn me001_fires_on_unphysical_memory_reports() {
+    let clean = base_memory_report();
+    assert!(!memory_report_codes(&clean).contains(&"ME001".to_string()));
+
+    // A duty cycle that is not a probability.
+    let mut wild_duty = clean.clone();
+    wild_duty.banks[0].duty_plain[0] = 1.5;
+    assert!(memory_report_codes(&wild_duty).contains(&"ME001".to_string()));
+
+    // An encoding that claims to have made the storage worse.
+    let mut worse = clean.clone();
+    worse.banks[0].worst_asymmetry_encoded = worse.banks[0].worst_asymmetry_plain + 0.2;
+    assert!(memory_report_codes(&worse).contains(&"ME001".to_string()));
+
+    // A failure curve that heals with age.
+    let mut healing = clean.clone();
+    let last = healing.banks[0].failure.len() - 1;
+    healing.banks[0].failure[last].prob_plain = 0.0;
+    assert!(memory_report_codes(&healing).contains(&"ME001".to_string()));
+
+    // A curve whose years run backwards.
+    let mut backwards = clean.clone();
+    backwards.banks[0].failure.reverse();
+    assert!(memory_report_codes(&backwards).contains(&"ME001".to_string()));
+
+    // A tampered probability the report's own cell model disowns.
+    let mut tampered = clean.clone();
+    tampered.banks[0].failure[0].prob_plain *= 0.5;
+    tampered.banks[0].failure[0].prob_encoded *= 0.5;
+    assert!(memory_report_codes(&tampered).contains(&"ME001".to_string()));
+
+    // More inverted words than the bank holds.
+    let mut overfull = clean;
+    overfull.banks[0].inverted_words = overfull.banks[0].words + 1;
+    assert!(memory_report_codes(&overfull).contains(&"ME001".to_string()));
+}
+
+/// A memory-enabled fleet run long enough to journal re-encodes, the
+/// base for ME002 corruption.
+fn base_memory_fleet() -> (
+    agequant_fleet::FleetState,
+    Vec<agequant_fleet::JournalEvent>,
+) {
+    use agequant_fleet::{FleetConfig, FleetSim};
+
+    let mut config = FleetConfig::new(12, 21);
+    config.memory = Some(agequant_mem::MemoryConfig::demo());
+    let mut sim = FleetSim::new(config).expect("valid config");
+    sim.run(32).expect("simulates");
+    (sim.to_state(), sim.journal())
+}
+
+#[test]
+fn me002_fires_on_acausal_reencode_journals() {
+    use agequant_fleet::EventKind;
+
+    let (state, clean) = base_memory_fleet();
+    assert!(
+        clean
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Reencoded { .. })),
+        "mission long enough to re-encode"
+    );
+    assert!(!journal_codes(&state, &clean).contains(&"ME002".to_string()));
+
+    // A chip's second re-encode skips a count.
+    let mut skipped = clean.clone();
+    let second = skipped
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::Reencoded { count: 2 }))
+        .expect("some chip re-encodes twice in 16 years");
+    skipped[second].kind = EventKind::Reencoded { count: 4 };
+    assert!(journal_codes(&state, &skipped).contains(&"ME002".to_string()));
+
+    // A zeroth re-encode.
+    let mut zeroth = clean.clone();
+    let first = zeroth
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::Reencoded { .. }))
+        .expect("journal has re-encodes");
+    zeroth[first].kind = EventKind::Reencoded { count: 0 };
+    assert!(journal_codes(&state, &zeroth).contains(&"ME002".to_string()));
+
+    // A count past the configured budget.
+    let mut blown = clean.clone();
+    blown[first].kind = EventKind::Reencoded { count: 99 };
+    assert!(journal_codes(&state, &blown).contains(&"ME002".to_string()));
+
+    // A re-encode after terminal memory degradation.
+    let mut zombie = clean.clone();
+    let epoch = state.epoch;
+    let chip = zombie[first].chip;
+    zombie.push(agequant_fleet::JournalEvent {
+        epoch,
+        chip,
+        kind: EventKind::MemoryDegraded { reencodes: 3 },
+    });
+    zombie.push(agequant_fleet::JournalEvent {
+        epoch,
+        chip,
+        kind: EventKind::Reencoded { count: 4 },
+    });
+    assert!(journal_codes(&state, &zombie).contains(&"ME002".to_string()));
+
+    // A checkpoint that never heard of the journaled re-encodes.
+    let mut amnesiac = state.clone();
+    let re_chip = clean[first].chip as usize;
+    if let Some(mem) = &mut amnesiac.chips[re_chip].mem {
+        mem.reencodes = 0;
+    }
+    assert!(journal_codes(&amnesiac, &clean).contains(&"ME002".to_string()));
+
+    // Memory events in a fleet whose memory axis is disabled.
+    let (memoryless_state, mut memoryless) = base_fleet();
+    memoryless.push(agequant_fleet::JournalEvent {
+        epoch: memoryless_state.epoch,
+        chip: 0,
+        kind: EventKind::Reencoded { count: 1 },
+    });
+    assert!(journal_codes(&memoryless_state, &memoryless).contains(&"ME002".to_string()));
+}
+
 /// SV001 corruption.
 fn serve_codes(config: &agequant_serve::ServeConfig) -> Vec<String> {
     codes(Artifact::ServeConfig {
@@ -532,7 +681,7 @@ fn corrupted_netlists_do_not_trip_unrelated_lints() {
     });
     let fired = netlist_codes(&back_edge);
     for code in [
-        "CL001", "CL002", "CL003", "ST001", "ST002", "QT001", "SV001",
+        "CL001", "CL002", "CL003", "ST001", "ST002", "QT001", "ME001", "ME002", "SV001",
     ] {
         assert!(
             !fired.contains(&code.to_string()),

@@ -1,0 +1,227 @@
+//! `agequant-mem` — profile a zoo network's weight memory and emit
+//! the aging report.
+//!
+//! Quantizes the chosen architecture, profiles per-bit duty in every
+//! weight bank, applies the inversion encoding, and evaluates the
+//! SRAM cell model at the requested mission ages. The JSON written by
+//! `--out` is the exact [`MemoryReport`] surface `agequant-lint
+//! --memory-report` checks.
+//!
+//! ```text
+//! agequant-mem [--arch NAME] [--seed N] [--beta B] [--years Y,Y,..]
+//!              [--interval-years F] [--max-reencodes N]
+//!              [--out FILE] [--json]
+//! ```
+
+use std::process::ExitCode;
+
+use agequant_mem::{MemoryReport, ReencodeSchedule, SramCellModel};
+use agequant_nn::NetArch;
+use agequant_quant::{quantize_model, BitWidths, QuantMethod};
+
+struct Options {
+    arch: NetArch,
+    seed: u64,
+    beta: u8,
+    years: Vec<f64>,
+    schedule: ReencodeSchedule,
+    out: Option<String>,
+    json: bool,
+}
+
+/// Case- and punctuation-insensitive architecture key: `"SqueezeNet
+/// 1.1"` and `squeezenet11` both normalize to `squeezenet11`.
+fn slug(name: &str) -> String {
+    name.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+fn parse_arch(name: &str) -> Result<NetArch, String> {
+    let want = slug(name);
+    NetArch::ALL
+        .into_iter()
+        .find(|arch| slug(arch.name()) == want)
+        .ok_or_else(|| {
+            let known: Vec<String> = NetArch::ALL.iter().map(|a| slug(a.name())).collect();
+            format!("unknown arch {name:?}; one of {}", known.join(", "))
+        })
+}
+
+fn usage() -> String {
+    let known: Vec<String> = NetArch::ALL.iter().map(|a| slug(a.name())).collect();
+    format!(
+        "usage: agequant-mem [--arch NAME] [--seed N] [--beta B] [--years Y,Y,..]\n\
+         \x20                   [--interval-years F] [--max-reencodes N]\n\
+         \x20                   [--out FILE] [--json]\n\n\
+         Profiles the weight memory of one quantized zoo network: per-bit\n\
+         duty histograms for every weight bank, the inversion encoding,\n\
+         and the SRAM cell model's failure-probability curves at the\n\
+         requested mission ages. --out writes the MemoryReport JSON that\n\
+         `agequant-lint --memory-report` checks; --json prints it to\n\
+         stdout instead of the summary table.\n\n\
+         archs: {}\n\
+         defaults: --arch alexnet --seed 3 --beta 0 --years 1,3,5,10\n\
+         \x20          --interval-years {} --max-reencodes {}\n",
+        known.join(", "),
+        ReencodeSchedule::DEFAULT.interval_years,
+        ReencodeSchedule::DEFAULT.max_reencodes,
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        arch: NetArch::AlexNet,
+        seed: 3,
+        beta: 0,
+        years: vec![1.0, 3.0, 5.0, 10.0],
+        schedule: ReencodeSchedule::DEFAULT,
+        out: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--arch" => opts.arch = parse_arch(&value("--arch")?)?,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--beta" => {
+                opts.beta = value("--beta")?
+                    .parse()
+                    .map_err(|e| format!("--beta: {e}"))?;
+                if opts.beta >= 8 {
+                    return Err(format!("--beta {} leaves no weight bits", opts.beta));
+                }
+            }
+            "--years" => {
+                opts.years = value("--years")?
+                    .split(',')
+                    .map(|y| y.trim().parse().map_err(|e| format!("--years: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--interval-years" => {
+                opts.schedule.interval_years = value("--interval-years")?
+                    .parse()
+                    .map_err(|e| format!("--interval-years: {e}"))?;
+            }
+            "--max-reencodes" => {
+                opts.schedule.max_reencodes = value("--max-reencodes")?
+                    .parse()
+                    .map_err(|e| format!("--max-reencodes: {e}"))?;
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--json" => opts.json = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.years.is_empty() {
+        return Err("--years needs at least one age".to_string());
+    }
+    if !(opts.years.windows(2).all(|w| w[0] < w[1]) && opts.years[0] >= 0.0) {
+        return Err("--years must be ascending and non-negative".to_string());
+    }
+    let violations = opts.schedule.violations();
+    if !violations.is_empty() {
+        return Err(format!("schedule: {}", violations.join("; ")));
+    }
+    Ok(opts)
+}
+
+fn render_summary(report: &MemoryReport, years: &[f64]) -> String {
+    let last = years.last().copied().unwrap_or(0.0);
+    let mut out = format!(
+        "{}: {} weight bank(s), {} stored words\n\
+         re-encode schedule: every {} year(s), at most {}\n\n\
+         {:>5}  {:>8}  {:>11}  {:>11}  {:>9}  p@{last}y plain / encoded\n",
+        report.network,
+        report.banks.len(),
+        report.banks.iter().map(|b| b.words).sum::<u64>(),
+        report.schedule.interval_years,
+        report.schedule.max_reencodes,
+        "layer",
+        "words",
+        "asym plain",
+        "asym coded",
+        "inverted",
+    );
+    for bank in &report.banks {
+        let point = bank.failure.last().expect("at least one mission age");
+        out.push_str(&format!(
+            "{:>5}  {:>8}  {:>11.4}  {:>11.4}  {:>9}  {:.3e} / {:.3e}\n",
+            bank.layer,
+            bank.words,
+            bank.worst_asymmetry_plain,
+            bank.worst_asymmetry_encoded,
+            bank.inverted_words,
+            point.prob_plain,
+            point.prob_encoded,
+        ));
+    }
+    out.push_str(&format!(
+        "\nworst asymmetry: plain {:.4}, encoded {:.4}\n",
+        report.worst_asymmetry_plain(),
+        report.worst_asymmetry_encoded()
+    ));
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("agequant-mem: {msg}");
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let model = opts.arch.build(opts.seed);
+    let data = agequant_nn::SyntheticDataset::generate(8, opts.seed ^ 0x5EED);
+    let bits = if opts.beta == 0 {
+        BitWidths::W8A8
+    } else {
+        BitWidths::for_compression(0, opts.beta)
+    };
+    let quantized = quantize_model(&model, QuantMethod::MinMax, bits, &data.take(4));
+    let network = format!(
+        "{}_w{}a{}",
+        slug(opts.arch.name()),
+        bits.weights,
+        bits.activations
+    );
+    let report = MemoryReport::build(
+        &network,
+        &quantized,
+        &SramCellModel::INTEL14NM,
+        &opts.schedule,
+        &opts.years,
+    );
+
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("agequant-mem: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", render_summary(&report, &opts.years));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,172 @@
+//! The fleet-facing memory-aging configuration: everything the fleet
+//! simulator and decision server need to evolve a per-chip
+//! memory-health axis without re-profiling weights per chip.
+//!
+//! A fleet shares one weight image per network, so the duty profile is
+//! fleet-level data: `asym_by_beta[β]` is the worst per-bit asymmetry
+//! of the *encoded* weight storage when the MAC compression truncates
+//! β weight LSBs. That table is where MAC compression and memory wear
+//! meet: a chip's planned β selects which asymmetry its cells
+//! integrate, so the decider's compression choice directly shapes
+//! memory aging.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::SramCellModel;
+use crate::duty::worst_asymmetry;
+use crate::encode::encode_bank;
+use crate::BankDuty;
+
+use agequant_quant::QuantizedModel;
+
+/// Memory-aging knobs for a fleet: the cell calibration, the encoded
+/// duty-vs-β table, and the decision thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// The cell degradation calibration.
+    pub cell: SramCellModel,
+    /// Worst encoded per-bit asymmetry when the MAC plan truncates
+    /// β weight LSBs; index β, at least one entry (β = 0). Lookups
+    /// past the end clamp to the last entry.
+    pub asym_by_beta: Vec<f64>,
+    /// Worst-bit failure probability above which the decider orders a
+    /// re-encode.
+    pub reencode_threshold: f64,
+    /// Worst-bit failure probability above which a chip that has
+    /// exhausted its re-encode budget is declared memory-degraded.
+    pub degrade_threshold: f64,
+    /// Re-encode budget per chip over its mission.
+    pub max_reencodes: u32,
+    /// Minimum stress imbalance — active-side minus spare-side
+    /// exposure-years — before another polarity flip is worth taking.
+    /// This is what makes re-encoding *periodic*: right after a flip
+    /// the freshly stressed side leads, and the gap must re-open
+    /// before the next flip, so flips space out at
+    /// `2 × gap / accrual-rate` instead of toggling every epoch.
+    pub reencode_gap_years: f64,
+}
+
+impl MemoryConfig {
+    /// The demo configuration `agequant-fleet run --memory` uses: the
+    /// default 14 nm cell, a hand-calibrated asymmetry table in the
+    /// range the zoo's encoded 8-bit weight banks actually land, and
+    /// thresholds that order a first re-encode a few mission years in.
+    #[must_use]
+    pub fn demo() -> Self {
+        MemoryConfig {
+            cell: SramCellModel::INTEL14NM,
+            asym_by_beta: vec![0.65, 0.58, 0.52, 0.47, 0.42, 0.38, 0.34, 0.30, 0.26],
+            reencode_threshold: 5e-3,
+            degrade_threshold: 5e-2,
+            max_reencodes: 8,
+            reencode_gap_years: 1.5,
+        }
+    }
+
+    /// Builds a configuration whose asymmetry table is measured from
+    /// `model`'s actual encoded weight banks at every β the stored
+    /// word width admits; thresholds and budget come from `demo()`.
+    #[must_use]
+    pub fn from_model(model: &QuantizedModel, cell: SramCellModel) -> Self {
+        let bits = model.bits().weights;
+        let mut asym_by_beta = Vec::with_capacity(bits as usize);
+        for beta in 0..bits {
+            let banks: Vec<BankDuty> = model
+                .weight_banks()
+                .map(|bank| {
+                    let codes: Vec<u8> = bank.codes.iter().map(|&c| c >> beta).collect();
+                    let encoded = encode_bank(&codes, bits - beta);
+                    encoded.stored_duty(u32::try_from(bank.node.index()).expect("node id fits"))
+                })
+                .collect();
+            asym_by_beta.push(worst_asymmetry(&banks));
+        }
+        MemoryConfig {
+            cell,
+            asym_by_beta,
+            ..Self::demo()
+        }
+    }
+
+    /// The encoded worst asymmetry a chip running a plan with weight
+    /// truncation `beta` integrates; out-of-table β clamps to the last
+    /// entry, and an un-planned chip (no β yet) uses β = 0.
+    #[must_use]
+    pub fn asymmetry_for_beta(&self, beta: u8) -> f64 {
+        let idx = usize::from(beta).min(self.asym_by_beta.len().saturating_sub(1));
+        self.asym_by_beta.get(idx).copied().unwrap_or(1.0)
+    }
+
+    /// Every way this configuration is implausible, as human-readable
+    /// messages. Empty means valid.
+    #[must_use]
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = self.cell.violations();
+        if self.asym_by_beta.is_empty() {
+            out.push("asymmetry table needs at least the β = 0 entry".to_string());
+        }
+        for (beta, &a) in self.asym_by_beta.iter().enumerate() {
+            if !(0.0..=1.0).contains(&a) {
+                out.push(format!(
+                    "asymmetry at β = {beta} must lie in [0, 1], got {a}"
+                ));
+            }
+        }
+        for (name, p) in [
+            ("re-encode threshold", self.reencode_threshold),
+            ("degrade threshold", self.degrade_threshold),
+        ] {
+            if !(p > 0.0 && p < 1.0) {
+                out.push(format!("{name} must lie in (0, 1), got {p}"));
+            }
+        }
+        if self.reencode_gap_years <= 0.0 || !self.reencode_gap_years.is_finite() {
+            out.push(format!(
+                "re-encode gap must be positive and finite, got {} years",
+                self.reencode_gap_years
+            ));
+        }
+        if self.degrade_threshold <= self.reencode_threshold {
+            out.push(format!(
+                "degrade threshold {} must exceed the re-encode threshold {}",
+                self.degrade_threshold, self.reencode_threshold
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_config_is_valid() {
+        let config = MemoryConfig::demo();
+        assert!(config.violations().is_empty(), "{:?}", config.violations());
+        assert!((config.asymmetry_for_beta(0) - 0.65).abs() < 1e-15);
+        // Past-the-end β clamps to the last entry.
+        assert_eq!(
+            config.asymmetry_for_beta(200),
+            *config.asym_by_beta.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn violations_name_every_bad_knob() {
+        let bad = MemoryConfig {
+            asym_by_beta: vec![1.5],
+            reencode_threshold: 0.9,
+            degrade_threshold: 0.2,
+            ..MemoryConfig::demo()
+        };
+        let v = bad.violations();
+        assert!(v.iter().any(|m| m.contains("asymmetry at β = 0")));
+        assert!(v.iter().any(|m| m.contains("must exceed the re-encode")));
+        let empty = MemoryConfig {
+            asym_by_beta: Vec::new(),
+            ..MemoryConfig::demo()
+        };
+        assert!(empty.violations().iter().any(|m| m.contains("β = 0 entry")));
+    }
+}

@@ -1,0 +1,272 @@
+//! Duty-balancing storage transforms: per-word inversion encoding and
+//! the periodic re-encode schedule.
+//!
+//! Two mitigations from DNN-Life-style aging-aware weight memories:
+//!
+//! * **Inversion encoding** — each word gets one extra invert-bit; a
+//!   flagged word is stored complemented. Flags are chosen to balance
+//!   the bank's per-bit-position ones density, shrinking the *spatial*
+//!   duty asymmetry the cell model charges for.
+//! * **Periodic re-encoding** — at each re-encode the stored polarity
+//!   of the bank is flipped (every word's invert-bit toggles), so over
+//!   mission time each cell alternates between its value and its
+//!   complement and the *temporal* duty of every cell walks toward
+//!   0.5. The cell model credits each completed toggle by shrinking
+//!   the asymmetry it integrates over the next interval.
+//!
+//! The encoder is a deterministic local search that starts from the
+//! identity encoding and only ever accepts strictly improving flips
+//! under a lexicographic `(worst-side count, sum of squared column
+//! imbalance)` objective. Two consequences are load-bearing for the
+//! proptests: the encoded bank's worst-case per-bit duty can never
+//! exceed the plain bank's, and the output is a fixed point — encoding
+//! an already-encoded (balanced) bank chooses no flips.
+
+use serde::{Deserialize, Serialize};
+
+use crate::duty::BankDuty;
+
+/// An inversion-encoded weight bank: the stored words (complemented
+/// where flagged) plus the per-word invert flags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedBank {
+    /// Stored word width in bits (excluding the invert flag cell).
+    pub bits: u8,
+    /// The stored (possibly complemented) words.
+    pub stored: Vec<u8>,
+    /// Per-word invert flags; `stored[i] = words[i] ^ mask` iff set.
+    pub flags: Vec<bool>,
+}
+
+impl EncodedBank {
+    /// Decodes the bank back to its logical words.
+    #[must_use]
+    pub fn decode(&self) -> Vec<u8> {
+        let mask = word_mask(self.bits);
+        self.stored
+            .iter()
+            .zip(&self.flags)
+            .map(|(&s, &f)| if f { s ^ mask } else { s })
+            .collect()
+    }
+
+    /// Number of words stored inverted.
+    #[must_use]
+    pub fn inverted_words(&self) -> usize {
+        self.flags.iter().filter(|&&f| f).count()
+    }
+
+    /// Duty profile of the *stored* bits (what the cells actually
+    /// hold), as a [`BankDuty`] labelled with `layer`.
+    #[must_use]
+    pub fn stored_duty(&self, layer: u32) -> BankDuty {
+        BankDuty::from_codes(layer, &self.stored, self.bits)
+    }
+}
+
+fn word_mask(bits: u8) -> u8 {
+    if bits >= 8 {
+        0xff
+    } else {
+        (1u8 << bits) - 1
+    }
+}
+
+/// The lexicographic balance objective of a column-count vector:
+/// `(worst-side count, sum of squared imbalance)`. Lower is better;
+/// the first component bounds the worst per-bit duty, the second
+/// spreads remaining imbalance evenly.
+fn objective(counts: &[u64], words: u64) -> (u64, u128) {
+    let worst = counts
+        .iter()
+        .map(|&c| c.max(words - c))
+        .max()
+        .unwrap_or(words);
+    let sum_sq: u128 = counts
+        .iter()
+        .map(|&c| {
+            let dev = 2 * i128::from(c) - i128::from(words);
+            (dev * dev) as u128
+        })
+        .sum();
+    (worst, sum_sq)
+}
+
+/// Inversion-encodes a bank: chooses per-word invert flags that
+/// balance the per-bit-position ones density of the stored words.
+///
+/// Deterministic greedy local search from the identity encoding:
+/// sweep the words in order, flipping a word's flag whenever that
+/// strictly lowers the `(worst-side count, Σ imbalance²)` objective,
+/// until a full sweep accepts nothing. Because every accepted flip
+/// strictly decreases the objective, the search terminates and the
+/// result is a single-flip local optimum — so re-encoding the stored
+/// words is the identity, and the stored worst-case per-bit duty never
+/// exceeds the plain bank's.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or exceeds 8, or any code overflows `bits`.
+#[must_use]
+pub fn encode_bank(codes: &[u8], bits: u8) -> EncodedBank {
+    assert!((1..=8).contains(&bits), "word width {bits} outside 1..=8");
+    let mask = word_mask(bits);
+    for &code in codes {
+        assert!(code & !mask == 0, "code {code} does not fit {bits} bits");
+    }
+    let words = codes.len() as u64;
+    let mut stored: Vec<u8> = codes.to_vec();
+    let mut flags = vec![false; codes.len()];
+
+    let mut counts = vec![0u64; bits as usize];
+    for &code in &stored {
+        for (k, count) in counts.iter_mut().enumerate() {
+            *count += u64::from((code >> k) & 1);
+        }
+    }
+
+    let mut best = objective(&counts, words);
+    loop {
+        let mut improved = false;
+        for i in 0..stored.len() {
+            // Flipping word i complements its contribution to every
+            // column: counts[k] += 1 - 2*bit.
+            let mut candidate = counts.clone();
+            for (k, count) in candidate.iter_mut().enumerate() {
+                if (stored[i] >> k) & 1 == 1 {
+                    *count -= 1;
+                } else {
+                    *count += 1;
+                }
+            }
+            let score = objective(&candidate, words);
+            if score < best {
+                stored[i] ^= mask;
+                flags[i] = !flags[i];
+                counts = candidate;
+                best = score;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    EncodedBank {
+        bits,
+        stored,
+        flags,
+    }
+}
+
+/// A periodic re-encoding schedule: how often the stored polarity of
+/// a bank is flipped, and how many flips the controller will budget
+/// over a mission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReencodeSchedule {
+    /// Years between polarity flips.
+    pub interval_years: f64,
+    /// Maximum number of re-encodes over the mission.
+    pub max_reencodes: u32,
+}
+
+impl ReencodeSchedule {
+    /// A sensible default: re-encode yearly, at most 8 times.
+    pub const DEFAULT: ReencodeSchedule = ReencodeSchedule {
+        interval_years: 1.0,
+        max_reencodes: 8,
+    };
+
+    /// Completed re-encodes by mission time `years`.
+    #[must_use]
+    pub fn reencodes_by(&self, years: f64) -> u32 {
+        if self.interval_years.is_nan() || self.interval_years <= 0.0 || years <= 0.0 {
+            return 0;
+        }
+        let n = (years / self.interval_years).floor();
+        if n >= f64::from(self.max_reencodes) {
+            self.max_reencodes
+        } else {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                n as u32
+            }
+        }
+    }
+
+    /// Every way this schedule is implausible, as human-readable
+    /// messages. Empty means valid.
+    #[must_use]
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.interval_years <= 0.0 || !self.interval_years.is_finite() {
+            out.push(format!(
+                "re-encode interval must be positive and finite, got {} years",
+                self.interval_years
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trips() {
+        let codes = [0b1111, 0b1110, 0b1011, 0b0001, 0b0000, 0b1111];
+        let encoded = encode_bank(&codes, 4);
+        assert_eq!(encoded.decode(), codes);
+    }
+
+    #[test]
+    fn skewed_banks_get_balanced() {
+        // Every word all-ones: plain duty is 1.0 in every column.
+        let codes = [0b111u8; 10];
+        let plain = BankDuty::from_codes(0, &codes, 3);
+        assert_eq!(plain.worst_asymmetry(), 1.0);
+        let encoded = encode_bank(&codes, 3);
+        let stored = encoded.stored_duty(0);
+        // Half the words invert, so each column lands at duty 0.5.
+        assert!(stored.worst_asymmetry() <= 0.2, "{:?}", stored.duty());
+        assert_eq!(encoded.decode(), codes);
+    }
+
+    #[test]
+    fn balanced_banks_are_left_alone() {
+        let codes = [0b00, 0b01, 0b10, 0b11];
+        let encoded = encode_bank(&codes, 2);
+        assert_eq!(encoded.inverted_words(), 0);
+        assert_eq!(encoded.stored, codes);
+    }
+
+    #[test]
+    fn encoding_is_a_fixed_point() {
+        let codes = [0b1101, 0b1111, 0b1000, 0b1110, 0b0111, 0b1011];
+        let encoded = encode_bank(&codes, 4);
+        let again = encode_bank(&encoded.stored, 4);
+        assert_eq!(again.inverted_words(), 0, "re-encoding balanced storage");
+        assert_eq!(again.stored, encoded.stored);
+    }
+
+    #[test]
+    fn schedule_counts_completed_intervals() {
+        let s = ReencodeSchedule {
+            interval_years: 0.5,
+            max_reencodes: 4,
+        };
+        assert_eq!(s.reencodes_by(0.0), 0);
+        assert_eq!(s.reencodes_by(0.49), 0);
+        assert_eq!(s.reencodes_by(1.0), 2);
+        assert_eq!(s.reencodes_by(10.0), 4, "capped at the budget");
+        assert!(s.violations().is_empty());
+        assert!(!ReencodeSchedule {
+            interval_years: 0.0,
+            max_reencodes: 1
+        }
+        .violations()
+        .is_empty());
+    }
+}

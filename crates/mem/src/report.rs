@@ -1,0 +1,219 @@
+//! The memory-aging report artifact: per-bank duty histograms,
+//! encoding outcomes, and failure-probability curves — the serialized
+//! surface `agequant-lint`'s ME001 checks and the CLI/CI emit.
+
+use agequant_quant::QuantizedModel;
+use serde::{Deserialize, Serialize};
+
+use crate::cell::SramCellModel;
+use crate::duty::BankDuty;
+use crate::encode::{encode_bank, ReencodeSchedule};
+
+/// One sampled point of a bank's failure-probability curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailurePoint {
+    /// Mission age, years.
+    pub years: f64,
+    /// Worst-bit failure probability with plain static storage.
+    pub prob_plain: f64,
+    /// Worst-bit failure probability with inversion encoding and the
+    /// report's re-encode schedule.
+    pub prob_encoded: f64,
+}
+
+/// One weight bank's memory-aging profile: raw and encoded duty, the
+/// encoding outcome, and the failure curve under both storages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankReport {
+    /// The graph node index of the layer this bank feeds.
+    pub layer: u32,
+    /// Stored word width in bits.
+    pub bits: u8,
+    /// Number of stored words.
+    pub words: u64,
+    /// Per-bit duty of the plain (unencoded) bank, LSB first.
+    pub duty_plain: Vec<f64>,
+    /// Per-bit duty of the inversion-encoded storage, LSB first.
+    pub duty_encoded: Vec<f64>,
+    /// Words the encoder chose to store inverted.
+    pub inverted_words: u64,
+    /// Worst per-bit duty asymmetry of the plain bank.
+    pub worst_asymmetry_plain: f64,
+    /// Worst per-bit duty asymmetry of the encoded storage.
+    pub worst_asymmetry_encoded: f64,
+    /// Failure-probability curve, ascending in years.
+    pub failure: Vec<FailurePoint>,
+}
+
+/// The full memory-aging report for one quantized model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Name of the profiled network.
+    pub network: String,
+    /// The cell calibration the curves were computed with.
+    pub cell: SramCellModel,
+    /// The re-encode schedule behind the encoded curves.
+    pub schedule: ReencodeSchedule,
+    /// Per-bank profiles, in graph order.
+    pub banks: Vec<BankReport>,
+}
+
+impl MemoryReport {
+    /// Profiles every weight bank of `model`: duty histograms, the
+    /// inversion encoding, and failure curves at `years` (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell model or schedule is invalid, or `years` is
+    /// not ascending and non-negative.
+    #[must_use]
+    pub fn build(
+        network: &str,
+        model: &QuantizedModel,
+        cell: &SramCellModel,
+        schedule: &ReencodeSchedule,
+        years: &[f64],
+    ) -> Self {
+        cell.validate();
+        assert!(
+            schedule.violations().is_empty(),
+            "invalid schedule: {:?}",
+            schedule.violations()
+        );
+        assert!(
+            years.windows(2).all(|w| w[0] < w[1]) && years.first().is_none_or(|&y| y >= 0.0),
+            "failure-curve years must be ascending and non-negative"
+        );
+        let bits = model.bits().weights;
+        let banks = model
+            .weight_banks()
+            .map(|bank| {
+                let layer = u32::try_from(bank.node.index()).expect("node id fits");
+                let plain = BankDuty::from_codes(layer, bank.codes, bits);
+                let encoded = encode_bank(bank.codes, bits);
+                let stored = encoded.stored_duty(layer);
+                let a_plain = plain.worst_asymmetry();
+                let a_encoded = stored.worst_asymmetry();
+                let failure = years
+                    .iter()
+                    .map(|&y| FailurePoint {
+                        years: y,
+                        prob_plain: cell.failure_prob(a_plain, y, 0),
+                        prob_encoded: cell.failure_prob(a_encoded, y, schedule.reencodes_by(y)),
+                    })
+                    .collect();
+                BankReport {
+                    layer,
+                    bits,
+                    words: plain.words,
+                    duty_plain: plain.duty(),
+                    duty_encoded: stored.duty(),
+                    inverted_words: encoded.inverted_words() as u64,
+                    worst_asymmetry_plain: a_plain,
+                    worst_asymmetry_encoded: a_encoded,
+                    failure,
+                }
+            })
+            .collect();
+        MemoryReport {
+            network: network.to_string(),
+            cell: *cell,
+            schedule: *schedule,
+            banks,
+        }
+    }
+
+    /// Pretty-printed JSON rendering of the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (plain data; it cannot).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("MemoryReport serializes")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Per-bit-position (LSB first) worst-case read-failure
+    /// probabilities of the *plain* storage at mission age `years`:
+    /// for each bit position the worst duty asymmetry across banks,
+    /// mapped through the report's cell model with no re-encodes.
+    ///
+    /// This is the vector that closes the accuracy loop: fed to
+    /// `agequant-faults`' `ProfileInjector`, it turns the memory-aging
+    /// physics into measurable zoo-model accuracy loss.
+    #[must_use]
+    pub fn plain_bit_failure_probs(&self, years: f64) -> Vec<f64> {
+        self.bit_failure_probs(years, |bank| &bank.duty_plain, 0)
+    }
+
+    /// Like [`MemoryReport::plain_bit_failure_probs`], for the
+    /// inversion-encoded storage under the report's re-encode schedule.
+    #[must_use]
+    pub fn encoded_bit_failure_probs(&self, years: f64) -> Vec<f64> {
+        self.bit_failure_probs(
+            years,
+            |bank| &bank.duty_encoded,
+            self.schedule.reencodes_by(years),
+        )
+    }
+
+    fn bit_failure_probs(
+        &self,
+        years: f64,
+        duty_of: impl Fn(&BankReport) -> &[f64],
+        reencodes: u32,
+    ) -> Vec<f64> {
+        let bits = self
+            .banks
+            .iter()
+            .map(|b| b.bits as usize)
+            .max()
+            .unwrap_or(0);
+        let mut probs = vec![0.0f64; bits];
+        for bank in &self.banks {
+            for (k, &duty) in duty_of(bank).iter().enumerate() {
+                let asymmetry = (2.0 * duty - 1.0).abs();
+                let p = self.cell.failure_prob(asymmetry, years, reencodes);
+                if p > probs[k] {
+                    probs[k] = p;
+                }
+            }
+        }
+        probs
+    }
+
+    /// The worst plain-storage asymmetry across all banks (1.0 when
+    /// the report has no banks).
+    #[must_use]
+    pub fn worst_asymmetry_plain(&self) -> f64 {
+        if self.banks.is_empty() {
+            return 1.0;
+        }
+        self.banks
+            .iter()
+            .map(|b| b.worst_asymmetry_plain)
+            .fold(0.0, f64::max)
+    }
+
+    /// The worst encoded-storage asymmetry across all banks (1.0 when
+    /// the report has no banks).
+    #[must_use]
+    pub fn worst_asymmetry_encoded(&self) -> f64 {
+        if self.banks.is_empty() {
+            return 1.0;
+        }
+        self.banks
+            .iter()
+            .map(|b| b.worst_asymmetry_encoded)
+            .fold(0.0, f64::max)
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests pinning the memory subsystem's physical invariants:
+//! duty histograms are probabilities that sum consistently, the
+//! inversion encoder never makes worst-case duty worse, re-encoding is
+//! idempotent on balanced storage, and failure probability is monotone
+//! in both mission time and duty asymmetry.
+
+use agequant_mem::{encode_bank, BankDuty, SramCellModel};
+use proptest::prelude::*;
+
+/// Masks raw bytes down to `bits`-wide codes.
+fn mask(raw: &[u8], bits: u8) -> Vec<u8> {
+    let mask = if bits >= 8 { 0xff } else { (1u8 << bits) - 1 };
+    raw.iter().map(|&c| c & mask).collect()
+}
+
+/// The worst-case per-bit duty (worst side) of a code slice.
+fn worst_side(codes: &[u8], bits: u8) -> f64 {
+    BankDuty::from_codes(0, codes, bits).worst_side_duty()
+}
+
+proptest! {
+    /// Duty values are probabilities, and the per-column ones counts
+    /// sum to the total popcount of the stored codes.
+    #[test]
+    fn duty_histograms_are_consistent(
+        bits in 2u8..=8,
+        raw in prop::collection::vec(any::<u8>(), 1..96),
+    ) {
+        let codes = mask(&raw, bits);
+        let duty = BankDuty::from_codes(0, &codes, bits);
+        for d in duty.duty() {
+            prop_assert!((0.0..=1.0).contains(&d), "duty {} outside [0, 1]", d);
+        }
+        let popcount: u64 = codes.iter().map(|c| u64::from(c.count_ones())).sum();
+        prop_assert_eq!(duty.total_ones(), popcount);
+        prop_assert_eq!(duty.words, codes.len() as u64);
+        prop_assert_eq!(duty.ones.len(), usize::from(bits));
+        let asym = duty.worst_asymmetry();
+        prop_assert!((0.0..=1.0).contains(&asym));
+    }
+
+    /// Inversion encoding never increases the worst-case per-bit duty,
+    /// and decodes back to the original words.
+    #[test]
+    fn encoding_never_increases_worst_duty(
+        bits in 2u8..=8,
+        raw in prop::collection::vec(any::<u8>(), 1..96),
+    ) {
+        let codes = mask(&raw, bits);
+        let encoded = encode_bank(&codes, bits);
+        prop_assert_eq!(encoded.decode(), codes.clone());
+        let before = worst_side(&codes, bits);
+        let after = worst_side(&encoded.stored, bits);
+        prop_assert!(
+            after <= before + 1e-15,
+            "encoding worsened worst-side duty: {} -> {}", before, after
+        );
+    }
+
+    /// The encoder output is a fixed point: re-encoding an
+    /// already-balanced (encoded) bank chooses no inversions.
+    #[test]
+    fn reencoding_balanced_storage_is_identity(
+        bits in 2u8..=8,
+        raw in prop::collection::vec(any::<u8>(), 1..96),
+    ) {
+        let codes = mask(&raw, bits);
+        let encoded = encode_bank(&codes, bits);
+        let again = encode_bank(&encoded.stored, bits);
+        prop_assert_eq!(again.inverted_words(), 0);
+        prop_assert_eq!(again.stored, encoded.stored);
+    }
+
+    /// Failure probability is monotone non-decreasing in mission years
+    /// and in duty asymmetry, and is always a probability.
+    #[test]
+    fn failure_prob_is_monotone(
+        y1 in 0.0f64..15.0,
+        y2 in 0.0f64..15.0,
+        a1 in 0.0f64..1.0,
+        a2 in 0.0f64..1.0,
+        reencodes in 0u32..6,
+    ) {
+        let cell = SramCellModel::INTEL14NM;
+        let (y_lo, y_hi) = if y1 <= y2 { (y1, y2) } else { (y2, y1) };
+        let (a_lo, a_hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        for p in [
+            cell.failure_prob(a_lo, y_lo, reencodes),
+            cell.failure_prob(a_hi, y_hi, reencodes),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&p), "failure prob {}", p);
+        }
+        prop_assert!(
+            cell.failure_prob(a_lo, y_hi, reencodes)
+                >= cell.failure_prob(a_lo, y_lo, reencodes) - 1e-15,
+            "failure prob not monotone in years"
+        );
+        prop_assert!(
+            cell.failure_prob(a_hi, y_hi, reencodes)
+                >= cell.failure_prob(a_lo, y_hi, reencodes) - 1e-15,
+            "failure prob not monotone in asymmetry"
+        );
+        // More re-encodes never raise the probability.
+        prop_assert!(
+            cell.failure_prob(a_hi, y_hi, reencodes + 1)
+                <= cell.failure_prob(a_hi, y_hi, reencodes) + 1e-15,
+            "re-encoding raised the failure probability"
+        );
+    }
+}

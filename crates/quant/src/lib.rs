@@ -56,7 +56,7 @@ pub use clip::{aciq_optimal_clip, lp_norm_clip, DistFit};
 pub use methods::QuantMethod;
 pub use model::{
     quantize_model, quantize_model_with, ExactMul, HookedQuantExecutor, LapqRefineConfig, MulModel,
-    QuantizedModel,
+    QuantizedModel, WeightBank,
 };
 pub use params::QuantParams;
 pub use report::{LayerSummary, QuantReport};

@@ -116,6 +116,28 @@ pub struct QuantizedModel {
     layers: BTreeMap<NodeId, QuantLayer>,
 }
 
+/// A borrowed view of one weighted layer's stored weight codes — the
+/// exact bit pattern the NPU's weight memory holds for that layer.
+///
+/// `codes` is the row-major `channels × fan` matrix of unsigned
+/// quantization codes; only the low [`BitWidths::weights`] bits of
+/// each code are in use. `params` holds either one per-tensor entry or
+/// `channels` per-channel entries, matching how the layer was
+/// quantized. Yielded by [`QuantizedModel::weight_banks`].
+#[derive(Debug, Clone, Copy)]
+pub struct WeightBank<'a> {
+    /// The graph node the bank feeds.
+    pub node: NodeId,
+    /// Weights per output channel (fan-in × kernel area).
+    pub fan: usize,
+    /// Output channels (rows of the code matrix).
+    pub channels: usize,
+    /// Row-major `channels × fan` unsigned codes.
+    pub codes: &'a [u8],
+    /// Per-channel (len `channels`) or per-tensor (len 1) parameters.
+    pub params: &'a [QuantParams],
+}
+
 /// Quantizes `model` with `method` at the given bit widths, using
 /// `calib` for activation statistics (and LAPQ's default light
 /// refinement when applicable).
@@ -315,6 +337,24 @@ impl QuantizedModel {
     /// Iterates over the quantized layers (for reporting).
     pub(crate) fn layers_iter(&self) -> impl Iterator<Item = (&NodeId, &QuantLayer)> {
         self.layers.iter()
+    }
+
+    /// Iterates over the stored weight banks, one per weighted layer,
+    /// in graph order: the raw `channels × fan` code matrix the NPU's
+    /// weight memory holds, with only the low [`BitWidths::weights`]
+    /// bits of each code in use.
+    ///
+    /// This is the view `agequant-mem` profiles for per-bit-position
+    /// duty cycles — the data-dependent stress that ages the weight
+    /// SRAM.
+    pub fn weight_banks(&self) -> impl Iterator<Item = WeightBank<'_>> {
+        self.layers.iter().map(|(node, layer)| WeightBank {
+            node: *node,
+            fan: layer.fan,
+            channels: layer.channels,
+            codes: &layer.wq,
+            params: &layer.w_params,
+        })
     }
 
     /// Wraps the model with a custom hardware-multiply implementation

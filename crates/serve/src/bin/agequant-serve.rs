@@ -6,7 +6,7 @@
 //!                [--write-config FILE] [--deadline-ms MS]
 //!                [--keep-alive-secs S] [--fleet-chips N]
 //!                [--fleet-seed SEED] [--model nbti|hci|surrogate]
-//!                [--debug-delay-ms MS]
+//!                [--memory] [--debug-delay-ms MS]
 //! ```
 //!
 //! The process prints `listening on ADDR` once ready, then blocks
@@ -28,7 +28,7 @@ fn usage() -> &'static str {
      \x20                    [--write-config FILE] [--deadline-ms MS]\n\
      \x20                    [--keep-alive-secs S] [--fleet-chips N]\n\
      \x20                    [--fleet-seed SEED] [--model nbti|hci|surrogate]\n\
-     \x20                    [--debug-delay-ms MS]"
+     \x20                    [--memory] [--debug-delay-ms MS]"
 }
 
 struct Options {
@@ -36,6 +36,7 @@ struct Options {
     checkpoint: Option<String>,
     write_config: Option<String>,
     model: Option<ModelSpec>,
+    memory: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -44,11 +45,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         checkpoint: None,
         write_config: None,
         model: None,
+        memory: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
             return Err(usage().to_string());
+        }
+        if flag == "--memory" {
+            options.memory = true;
+            continue;
         }
         let value = it
             .next()
@@ -106,6 +112,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     let mut fleet_config = FleetConfig::new(options.config.fleet_chips, options.config.fleet_seed);
     fleet_config.flow.model = options.model;
+    if options.memory {
+        fleet_config.memory = Some(agequant_mem::MemoryConfig::demo());
+    }
     let mut handle = start(options.config, fleet_config).map_err(|e| e.to_string())?;
     println!("listening on {}", handle.addr());
     handle.join();

@@ -17,9 +17,12 @@
 //! * `POST /v1/telemetry` — per-chip aging samples advance a hosted
 //!   [`FleetSim`](agequant_fleet::FleetSim), journaled live.
 //! * `GET /v1/fleet/summary` — the hosted fleet's plan distribution.
+//! * `GET /v1/memory/summary` — the weight-memory aging rollup, when
+//!   the hosted fleet tracks the memory axis (`404` otherwise).
 //! * `GET /metrics` — Prometheus text: request counts, latency
-//!   histograms, queue depth, and the engine's cache counters
-//!   (aggregate, plus per-degradation-model labelled series).
+//!   histograms, queue depth, the engine's cache counters (aggregate,
+//!   plus per-degradation-model labelled series), and the memory
+//!   rollup when the axis is enabled.
 //!
 //! Concurrency is a bounded-queue worker pool built on the
 //! `agequant-check` facade over `std` (threads, `Mutex`/`Condvar`,

@@ -11,6 +11,7 @@ use std::time::Duration;
 use agequant_check::sync::atomic::{AtomicU64, Ordering};
 
 use agequant_core::CacheStats;
+use agequant_fleet::MemorySummary;
 
 /// Latency histogram upper bounds, seconds. The last implicit bucket
 /// is `+Inf`.
@@ -31,17 +32,20 @@ pub enum Endpoint {
     Metrics,
     /// `POST /v1/shutdown`
     Shutdown,
+    /// `GET /v1/memory/summary`
+    MemorySummary,
     /// Anything else (404s, bad requests, ...).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Plan,
         Endpoint::Telemetry,
         Endpoint::Summary,
         Endpoint::Metrics,
         Endpoint::Shutdown,
+        Endpoint::MemorySummary,
         Endpoint::Other,
     ];
 
@@ -52,7 +56,8 @@ impl Endpoint {
             Endpoint::Summary => 2,
             Endpoint::Metrics => 3,
             Endpoint::Shutdown => 4,
-            Endpoint::Other => 5,
+            Endpoint::MemorySummary => 5,
+            Endpoint::Other => 6,
         }
     }
 
@@ -63,6 +68,7 @@ impl Endpoint {
             Endpoint::Summary => "fleet_summary",
             Endpoint::Metrics => "metrics",
             Endpoint::Shutdown => "shutdown",
+            Endpoint::MemorySummary => "memory_summary",
             Endpoint::Other => "other",
         }
     }
@@ -96,7 +102,7 @@ impl EndpointStats {
 /// The server's metric registry.
 #[derive(Debug)]
 pub struct Metrics {
-    endpoints: [EndpointStats; 6],
+    endpoints: [EndpointStats; 7],
     /// Requests answered `503` because the queue was full.
     queue_rejected: AtomicU64,
     /// Requests answered `504` past their deadline.
@@ -161,9 +167,10 @@ impl Metrics {
     }
 
     /// Renders the registry in Prometheus text exposition format,
-    /// folding in the live queue depth and the engine's cache
-    /// counters — the aggregate series plus one labelled series per
-    /// degradation model.
+    /// folding in the live queue depth, the engine's cache counters —
+    /// the aggregate series plus one labelled series per degradation
+    /// model — and, when the hosted fleet tracks the weight-memory
+    /// axis, its memory rollup.
     #[must_use]
     #[allow(clippy::cast_precision_loss)]
     pub fn render(
@@ -171,6 +178,7 @@ impl Metrics {
         queue_depth: usize,
         engine: &CacheStats,
         by_model: &BTreeMap<String, CacheStats>,
+        memory: Option<&MemorySummary>,
     ) -> String {
         let mut out = String::with_capacity(4096);
 
@@ -236,6 +244,32 @@ impl Metrics {
             self.timeouts.load(Ordering::Relaxed)
         ));
 
+        if let Some(memory) = memory {
+            out.push_str(
+                "# HELP agequant_memory_reencodes_total Weight-memory re-encodes across the hosted fleet\n",
+            );
+            out.push_str("# TYPE agequant_memory_reencodes_total counter\n");
+            out.push_str(&format!(
+                "agequant_memory_reencodes_total {}\n",
+                memory.reencodes
+            ));
+            out.push_str(
+                "# HELP agequant_memory_degraded_chips Chips whose weight memory crossed the degrade threshold\n",
+            );
+            out.push_str("# TYPE agequant_memory_degraded_chips gauge\n");
+            out.push_str(&format!(
+                "agequant_memory_degraded_chips {}\n",
+                memory.memory_degraded
+            ));
+            out.push_str(
+                "# HELP agequant_memory_worst_failure_prob Worst per-chip worst-bit failure probability\n",
+            );
+            out.push_str("# TYPE agequant_memory_worst_failure_prob gauge\n");
+            out.push_str(&format!(
+                "agequant_memory_worst_failure_prob {}\n",
+                memory.worst_failure_prob
+            ));
+        }
         out.push_str(
             "# HELP agequant_engine_cache_events_total Evaluation-engine cache counters\n",
         );
@@ -288,7 +322,7 @@ mod tests {
         metrics.observe(Endpoint::Plan, 200, Duration::from_micros(80));
         metrics.observe(Endpoint::Plan, 200, Duration::from_millis(3));
         metrics.observe(Endpoint::Plan, 503, Duration::from_micros(10));
-        let text = metrics.render(2, &CacheStats::default(), &BTreeMap::new());
+        let text = metrics.render(2, &CacheStats::default(), &BTreeMap::new(), None);
         // 80 µs and 10 µs fall at or under 100 µs; 3 ms lands later.
         assert!(text.contains("le=\"0.0001\"} 2\n"), "{text}");
         assert!(text.contains("le=\"+Inf\"} 3\n"), "{text}");
@@ -304,7 +338,7 @@ mod tests {
         metrics.record_rejection();
         metrics.record_timeout();
         assert_eq!(metrics.rejections(), 2);
-        let text = metrics.render(0, &CacheStats::default(), &BTreeMap::new());
+        let text = metrics.render(0, &CacheStats::default(), &BTreeMap::new(), None);
         assert!(text.contains("agequant_queue_rejected_total 2"));
         assert!(text.contains("agequant_request_timeouts_total 1"));
     }
@@ -318,7 +352,7 @@ mod tests {
             plan_hits: 30,
             plan_misses: 2,
         };
-        let text = metrics.render(0, &stats, &BTreeMap::new());
+        let text = metrics.render(0, &stats, &BTreeMap::new(), None);
         assert!(text.contains("cache=\"plan\",event=\"hit\"} 30"));
         assert!(text.contains("cache=\"library\",event=\"miss\"} 1"));
         assert!(text.contains("agequant_engine_plan_hit_rate 0.9375"));
@@ -348,7 +382,7 @@ mod tests {
                 plan_misses: 4,
             },
         );
-        let text = metrics.render(0, &CacheStats::default(), &by_model);
+        let text = metrics.render(0, &CacheStats::default(), &by_model, None);
         assert!(text.contains(
             "agequant_engine_model_cache_events_total{model=\"nbti\",cache=\"plan\",event=\"miss\"} 8"
         ));

@@ -340,7 +340,18 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
         ("GET", "/metrics") => {
             let stats = shared.engine.stats();
             let by_model = shared.engine.stats_by_model();
-            let text = shared.metrics.render(shared.queue.len(), &stats, &by_model);
+            // The memory rollup needs the fleet lock; scrapes only pay
+            // for it when the memory axis is enabled.
+            let memory = shared.decider.memory().is_some().then(|| {
+                let host = shared.fleet.lock().expect("unpoisoned fleet");
+                host.sim.summary().memory
+            });
+            let text = shared.metrics.render(
+                shared.queue.len(),
+                &stats,
+                &by_model,
+                memory.flatten().as_ref(),
+            );
             (
                 Endpoint::Metrics,
                 Response::text(200, text).with_header("cache-control", "no-store".to_string()),
@@ -352,6 +363,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
             let body = host.sim.summary().to_json();
             (Endpoint::Summary, Response::json(200, body))
         }
+        ("GET", "/v1/memory/summary") => (Endpoint::MemorySummary, memory_summary_response(shared)),
         ("GET", "/healthz") => (Endpoint::Other, Response::text(200, "ok\n".to_string())),
         ("POST", "/v1/shutdown") => {
             initiate_shutdown(shared);
@@ -373,8 +385,8 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
         },
         (
             _,
-            "/metrics" | "/v1/fleet/summary" | "/healthz" | "/v1/shutdown" | "/v1/plan"
-            | "/v1/telemetry" | "/v1/models",
+            "/metrics" | "/v1/fleet/summary" | "/v1/memory/summary" | "/healthz" | "/v1/shutdown"
+            | "/v1/plan" | "/v1/telemetry" | "/v1/models",
         ) => (
             Endpoint::Other,
             Response::json(405, error_body("method not allowed")),
@@ -526,6 +538,38 @@ fn decider_for(shared: &Shared, model: Option<&str>) -> Result<Arc<Decider>, Res
     Ok(Arc::clone(
         deciders.entry(name.to_string()).or_insert_with(|| decider),
     ))
+}
+
+/// `GET /v1/memory/summary`: the hosted fleet's weight-memory rollup
+/// plus the thresholds it is judged against. `404` when the fleet runs
+/// without the memory axis — exactly what the route answered before
+/// the axis existed, so memory-off deployments see no change.
+fn memory_summary_response(shared: &Shared) -> Response {
+    use serde::Serialize;
+    let Some(memory) = shared.decider.memory() else {
+        return Response::json(404, error_body("memory axis disabled"));
+    };
+    let host = shared.fleet.lock().expect("unpoisoned fleet");
+    let Some(fleet) = host.sim.summary().memory else {
+        return Response::json(404, error_body("memory axis disabled"));
+    };
+    drop(host);
+    Response::json(
+        200,
+        render_value(&obj(vec![
+            ("cell_model", Value::Str(memory.cell.model_key())),
+            (
+                "reencode_threshold",
+                Value::Float(memory.reencode_threshold),
+            ),
+            ("degrade_threshold", Value::Float(memory.degrade_threshold)),
+            (
+                "max_reencodes",
+                Value::UInt(u64::from(memory.max_reencodes)),
+            ),
+            ("fleet", fleet.to_value()),
+        ])),
+    )
 }
 
 fn handle_plan(shared: &Shared, request: &PlanRequest) -> Response {
@@ -745,6 +789,40 @@ pub fn plan_response(decider: &Decider, decision: &Decision) -> Value {
             ));
             fields.push(("constraint_ps", Value::Float(decider.constraint_ps())));
         }
+    }
+    // Memory-axis projection for the chosen plan: only when the server
+    // tracks the memory axis, so memory-off deployments keep the exact
+    // pre-memory wire bytes (pinned by the fixture test). The planned
+    // weight truncation β selects the stored-bit asymmetry the cells
+    // will integrate, so this is where a plan's memory cost shows up.
+    if let Some(memory) = decider.memory() {
+        let beta = match decision {
+            Decision::Plan(plan) => plan.plan.compression.beta(),
+            Decision::Degrade { .. } => 0,
+        };
+        let asymmetry = memory.asymmetry_for_beta(beta);
+        fields.push((
+            "memory",
+            obj(vec![
+                ("asymmetry", Value::Float(asymmetry)),
+                (
+                    "stress_duty",
+                    Value::Float(memory.cell.stress_duty(asymmetry)),
+                ),
+                (
+                    "failure_prob_10y",
+                    Value::Float(memory.cell.failure_prob(asymmetry, 10.0, 0)),
+                ),
+                (
+                    "failure_prob_10y_reencoded",
+                    Value::Float(
+                        memory
+                            .cell
+                            .failure_prob(asymmetry, 10.0, memory.max_reencodes),
+                    ),
+                ),
+            ]),
+        ));
     }
     obj(fields)
 }

@@ -398,3 +398,126 @@ fn telemetry_summary_metrics_and_artifacts() {
     assert!(events.iter().any(|e| e.epoch == 0));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The weight-memory axis over the wire: `/v1/plan` gains a `memory`
+/// projection, `/v1/memory/summary` reports the hosted fleet's
+/// rollup, telemetry-driven epochs accrue re-encodes, and `/metrics`
+/// exports the memory series.
+#[test]
+fn memory_axis_wire_surface() {
+    let mut fleet_config = FleetConfig::new(8, 7);
+    fleet_config.memory = Some(agequant_mem::MemoryConfig::demo());
+    let handle = start(test_config(8), fleet_config).expect("start");
+    let addr = addr_of(&handle);
+
+    // Plans carry the memory projection, and the mitigation math is
+    // visible on the wire: the re-encoded 10-year failure probability
+    // is strictly below the unmitigated one.
+    #[derive(serde::Deserialize)]
+    struct PlanMemory {
+        asymmetry: f64,
+        failure_prob_10y: f64,
+        failure_prob_10y_reencoded: f64,
+    }
+    #[derive(serde::Deserialize)]
+    struct PlanBody {
+        memory: Option<PlanMemory>,
+    }
+    let (status, _, body) = request(&addr, "POST", "/v1/plan", Some("{\"delta_vth_mv\": 30.0}"));
+    assert_eq!(status, 200, "{body}");
+    let plan: PlanBody = serde_json::from_str(&body).expect("plan parses");
+    let memory = plan.memory.expect("plan has memory projection");
+    assert!((0.0..=1.0).contains(&memory.asymmetry), "{body}");
+    assert!(
+        memory.failure_prob_10y_reencoded < memory.failure_prob_10y,
+        "re-encoding must project lower failure probability: {} vs {}",
+        memory.failure_prob_10y_reencoded,
+        memory.failure_prob_10y
+    );
+
+    // The summary endpoint reports every chip tracked, fresh at epoch 0.
+    let (status, _, body) = request(&addr, "GET", "/v1/memory/summary", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cell_model\""), "{body}");
+    assert!(body.contains("\"tracked\":8"), "{body}");
+    assert!(body.contains("\"reencodes\":0"), "{body}");
+
+    // Telemetry advances the hosted fleet far enough that the decider
+    // orders re-encodes; the rollup and the metrics see them.
+    let (status, _, body) = request(
+        &addr,
+        "POST",
+        "/v1/telemetry",
+        Some("{\"chip\": 0, \"epoch\": 24}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    #[derive(serde::Deserialize)]
+    struct FleetRollup {
+        reencodes: u64,
+    }
+    #[derive(serde::Deserialize)]
+    struct MemorySummaryBody {
+        fleet: FleetRollup,
+    }
+    let (status, _, body) = request(&addr, "GET", "/v1/memory/summary", None);
+    assert_eq!(status, 200, "{body}");
+    let summary: MemorySummaryBody = serde_json::from_str(&body).expect("summary parses");
+    let reencodes = summary.fleet.reencodes;
+    assert!(reencodes > 0, "24 epochs must trigger re-encodes: {body}");
+
+    let (status, _, metrics) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains(&format!("agequant_memory_reencodes_total {reencodes}")),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("agequant_memory_degraded_chips"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("agequant_memory_worst_failure_prob"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("endpoint=\"memory_summary\",code=\"2xx\"} 2"),
+        "{metrics}"
+    );
+
+    handle.shutdown_and_join();
+}
+
+/// EQUIVALENCE GUARD — a server without the memory axis answers
+/// `/v1/plan` byte-identically to the pre-memory build (committed
+/// fixture), keeps `/metrics` free of memory series, and 404s the
+/// memory summary exactly like any unknown route.
+#[test]
+fn memoryless_server_keeps_pre_memory_wire_bytes() {
+    let handle = start(test_config(8), FleetConfig::new(8, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    let fixture = include_str!("fixtures/pre-mem-plan.jsonl");
+    for (line, mv) in fixture.lines().zip([0.0f64, 12.5, 30.0, 47.0]) {
+        let (status, _, body) = request(
+            &addr,
+            "POST",
+            "/v1/plan",
+            Some(&format!("{{\"delta_vth_mv\": {mv}}}")),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, line, "plan wire bytes diverged at {mv} mV");
+    }
+
+    let (status, _, body) = request(&addr, "GET", "/v1/memory/summary", None);
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("memory axis disabled"), "{body}");
+
+    let (status, _, metrics) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        !metrics.contains("agequant_memory_"),
+        "memory series must not appear on a memoryless server: {metrics}"
+    );
+
+    handle.shutdown_and_join();
+}
