@@ -1,0 +1,208 @@
+//! The autopilot's knobs and their physicality contract.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the regime machine and the telemetry budget are
+/// parameterized by.
+///
+/// The rate thresholds are millivolts of ΔVth per epoch and must be
+/// strictly ordered `0 < watch_exit < watch_enter < intervene_exit <
+/// intervene_enter` — each regime's exit strictly below its entry is
+/// what gives the machine a hysteresis band, and the bands must not
+/// overlap or invert. [`AutopilotConfig::violations`] spells the
+/// contract out; `agequant-lint`'s AP001 holds shipped configurations
+/// to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutopilotConfig {
+    /// EWMA weight on a new rate observation, in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// Rate below which a Watch chip relaxes back to Calm, mV/epoch.
+    pub watch_exit_mv: f64,
+    /// Rate at which a Calm chip escalates to Watch, mV/epoch.
+    pub watch_enter_mv: f64,
+    /// Rate below which an Intervene chip relaxes to Watch, mV/epoch.
+    pub intervene_exit_mv: f64,
+    /// Rate at which any chip escalates to Intervene, mV/epoch.
+    pub intervene_enter_mv: f64,
+    /// Projected epochs-to-boundary at or under which a chip is at
+    /// least Watch, whatever its absolute rate.
+    pub watch_horizon_epochs: u32,
+    /// Projected epochs-to-boundary at or under which a chip is
+    /// Intervene — the window in which plans are pushed proactively.
+    pub intervene_horizon_epochs: u32,
+    /// Epochs between samples for a Calm chip (the sparse cadence).
+    pub calm_cadence_epochs: u32,
+    /// Epochs between samples for a Watch chip.
+    pub watch_cadence_epochs: u32,
+    /// Epochs between samples for an Intervene chip.
+    pub intervene_cadence_epochs: u32,
+    /// Telemetry tokens added to the fleet bucket each epoch.
+    pub budget_messages_per_epoch: u64,
+    /// Bucket capacity: the largest message burst one epoch may spend.
+    pub budget_burst: u64,
+    /// Extra effective rate per millivolt of sustained telemetry
+    /// residual (reports disagreeing with the calibrated model),
+    /// 1/epoch. Off-model chips earn tighter supervision.
+    pub residual_weight: f64,
+    /// Effective rate contributed by full weight-memory pressure
+    /// (worst-bit failure probability at the degrade threshold),
+    /// mV/epoch. Must reach `intervene_enter_mv` so a chip about to
+    /// lose its memory axis is always intervened on.
+    pub mem_pressure_rate_mv: f64,
+}
+
+impl AutopilotConfig {
+    /// The demo controller `agequant-fleet autopilot` ships: hysteresis
+    /// bands sized for the 10 mV bucket quantization at half-year
+    /// epochs, a 32-epoch sparse cadence, and memory pressure mapped to
+    /// land in the Intervene band at full pressure.
+    #[must_use]
+    pub fn demo() -> Self {
+        AutopilotConfig {
+            ewma_alpha: 0.5,
+            watch_exit_mv: 0.5,
+            watch_enter_mv: 1.0,
+            intervene_exit_mv: 1.5,
+            intervene_enter_mv: 3.0,
+            watch_horizon_epochs: 16,
+            intervene_horizon_epochs: 4,
+            calm_cadence_epochs: 32,
+            watch_cadence_epochs: 4,
+            intervene_cadence_epochs: 1,
+            budget_messages_per_epoch: 256,
+            budget_burst: 512,
+            residual_weight: 0.25,
+            mem_pressure_rate_mv: 4.0,
+        }
+    }
+
+    /// Every way this configuration is implausible, as human-readable
+    /// messages. Empty means valid.
+    #[must_use]
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            out.push(format!(
+                "EWMA alpha must lie in (0, 1], got {}",
+                self.ewma_alpha
+            ));
+        }
+        let thresholds = [
+            ("watch exit", self.watch_exit_mv),
+            ("watch enter", self.watch_enter_mv),
+            ("intervene exit", self.intervene_exit_mv),
+            ("intervene enter", self.intervene_enter_mv),
+        ];
+        for (name, t) in thresholds {
+            if !(t > 0.0 && t.is_finite()) {
+                out.push(format!(
+                    "{name} threshold must be positive and finite, got {t} mV/epoch"
+                ));
+            }
+        }
+        for pair in thresholds.windows(2) {
+            let [(lo_name, lo), (hi_name, hi)] = pair else {
+                unreachable!("windows(2) yields pairs");
+            };
+            if hi <= lo {
+                out.push(format!(
+                    "{hi_name} threshold {hi} must exceed the {lo_name} threshold {lo} \
+                     (hysteresis gap must be positive)"
+                ));
+            }
+        }
+        if self.intervene_horizon_epochs == 0 {
+            out.push("intervene horizon must be at least one epoch".to_string());
+        }
+        if self.watch_horizon_epochs < self.intervene_horizon_epochs {
+            out.push(format!(
+                "watch horizon {} must not be tighter than the intervene horizon {}",
+                self.watch_horizon_epochs, self.intervene_horizon_epochs
+            ));
+        }
+        if self.intervene_cadence_epochs == 0 {
+            out.push("intervene cadence must be at least one epoch".to_string());
+        }
+        if self.watch_cadence_epochs < self.intervene_cadence_epochs {
+            out.push(format!(
+                "watch cadence {} must not be tighter than the intervene cadence {}",
+                self.watch_cadence_epochs, self.intervene_cadence_epochs
+            ));
+        }
+        if self.calm_cadence_epochs < self.watch_cadence_epochs {
+            out.push(format!(
+                "calm cadence {} must not be tighter than the watch cadence {}",
+                self.calm_cadence_epochs, self.watch_cadence_epochs
+            ));
+        }
+        if self.budget_messages_per_epoch == 0 {
+            out.push("telemetry budget must be positive".to_string());
+        }
+        if self.budget_burst < self.budget_messages_per_epoch {
+            out.push(format!(
+                "budget burst {} must hold at least one epoch's refill {}",
+                self.budget_burst, self.budget_messages_per_epoch
+            ));
+        }
+        if !(self.residual_weight >= 0.0 && self.residual_weight.is_finite()) {
+            out.push(format!(
+                "residual weight must be non-negative and finite, got {}",
+                self.residual_weight
+            ));
+        }
+        if !(self.mem_pressure_rate_mv >= self.intervene_enter_mv
+            && self.mem_pressure_rate_mv.is_finite())
+        {
+            out.push(format!(
+                "memory-pressure rate {} mV/epoch must reach the intervene entry \
+                 threshold {} so full pressure always intervenes",
+                self.mem_pressure_rate_mv, self.intervene_enter_mv
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_config_is_valid() {
+        let config = AutopilotConfig::demo();
+        assert!(config.violations().is_empty(), "{:?}", config.violations());
+    }
+
+    #[test]
+    fn violations_name_every_bad_knob() {
+        let bad = AutopilotConfig {
+            ewma_alpha: 1.5,
+            watch_exit_mv: 2.0,
+            watch_enter_mv: 1.0,
+            budget_messages_per_epoch: 0,
+            ..AutopilotConfig::demo()
+        };
+        let v = bad.violations();
+        assert!(v.iter().any(|m| m.contains("EWMA alpha")));
+        assert!(v.iter().any(|m| m.contains("hysteresis gap")));
+        assert!(v.iter().any(|m| m.contains("budget must be positive")));
+    }
+
+    #[test]
+    fn inverted_cadences_are_violations() {
+        let bad = AutopilotConfig {
+            calm_cadence_epochs: 2,
+            watch_cadence_epochs: 8,
+            ..AutopilotConfig::demo()
+        };
+        assert!(bad.violations().iter().any(|m| m.contains("calm cadence")));
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let config = AutopilotConfig::demo();
+        let json = serde_json::to_string(&config).expect("serializes");
+        let back: AutopilotConfig = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, config);
+    }
+}

@@ -1,0 +1,58 @@
+//! Regime-switching closed-loop fleet control.
+//!
+//! PRs 3–8 built a fleet that *answers questions*: the decision server
+//! plans a compression for a reported ΔVth, and the simulator replans
+//! on bucket crossings it observes for free because it owns the ground
+//! truth. A real deployment owns neither — every observation is a
+//! telemetry message with a cost, and the controller must decide *how
+//! often to look* at each chip. This crate closes that loop.
+//!
+//! The actionable signal is the aging **rate**, not the absolute
+//! ΔVth: NBTI kinetics decelerate as `t^n` with `n < 1`, so a chip
+//! that aged quickly early in life settles into decades of slow drift.
+//! Sampling it every epoch forever wastes almost every message; never
+//! tightening the cadence when the rate spikes (a hot mission phase, a
+//! memory bank approaching its re-encode ceiling) risks a chip
+//! silently crossing its degrade threshold between samples.
+//!
+//! Three pieces, all pure and deterministic:
+//!
+//! - [`PilotState`] + [`AutopilotConfig::observe`]: a per-chip
+//!   hysteresis regime machine `Calm → Watch → Intervene` keyed on an
+//!   EWMA estimate of ΔVth rate per epoch, fed by the timing axis
+//!   (reported or simulated ΔVth deltas), the telemetry residual
+//!   against the calibrated model, and the weight-memory axis
+//!   (failure-probability pressure). Entry and exit thresholds are
+//!   asymmetric, and de-escalation steps one regime per observation,
+//!   so bounded rate noise cannot chatter the regime. A
+//!   boundary-horizon guard escalates chips whose *projected* bucket
+//!   crossing falls within the regime's sampling window, whatever the
+//!   absolute rate.
+//! - [`BudgetState`] + [`AutopilotConfig::request`]: a fleet-wide
+//!   telemetry token bucket (messages per epoch with a burst
+//!   ceiling). Grants are processed in regime-priority order; when the
+//!   bucket empties, Calm and Watch samples defer to the next epoch
+//!   while Intervene samples draw an audited overdraft — graceful
+//!   degradation that starves the chips with the least at stake first
+//!   and never blinds the controller to a chip at a boundary.
+//! - [`AutopilotConfig`]: the knobs, with [`AutopilotConfig::violations`]
+//!   defining physicality (threshold ordering, positive hysteresis
+//!   gaps, positive budget) — the contract `agequant-lint`'s AP001
+//!   enforces.
+//!
+//! The fleet simulator drives [`observe`](AutopilotConfig::observe)
+//! from simulated telemetry (`agequant-fleet autopilot`), the decision
+//! server from live `/v1/telemetry` reports; both journal every regime
+//! transition and every cadence grant or deferral, which is what the
+//! AP002 causality lint audits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod config;
+mod regime;
+
+pub use budget::{BudgetState, Grant};
+pub use config::AutopilotConfig;
+pub use regime::{Observation, PilotState, Regime};

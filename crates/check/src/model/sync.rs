@@ -539,6 +539,21 @@ pub mod atomic {
                 self.hit(true);
                 self.inner.fetch_max(value, order)
             }
+
+            /// Weak compare-and-exchange (a model yield point). Like
+            /// the `std` form: `Ok(previous)` when the exchange
+            /// happened, `Err(actual)` when it did not (including
+            /// spurious failures the caller's loop must absorb).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.hit(true);
+                self.inner.compare_exchange_weak(current, new, success, failure)
+            }
         };
         (@ints no, $prim:ty) => {};
     }

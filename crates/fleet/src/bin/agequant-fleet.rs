@@ -8,6 +8,9 @@
 //!                        [--model nbti|hci|surrogate[:CURVE.json]]
 //!                        [--memory] [--shards N] [--json]
 //! agequant-fleet resume  --out DIR --epochs E [--shards N] [--json]
+//! agequant-fleet autopilot --out DIR [--chips N] [--epochs E] [--seed S]
+//!                        [--budget N] [--burst N] [--memory] [--shards N]
+//!                        [--resume] [--json]
 //! agequant-fleet report  --out DIR [--json]
 //! agequant-fleet migrate --out DIR
 //! ```
@@ -20,16 +23,23 @@
 //! `resume` restores the checkpoint, advances further epochs, appends
 //! to the journal, and rewrites checkpoint + summary — bit-identical
 //! to having run the whole span in one process, at any `--shards`
-//! count. `report` re-renders the summary from the checkpoint alone.
-//! `migrate` converts a legacy `state.json` checkpoint (any supported
-//! format version) into `state.bin` in place.
+//! count. `autopilot` runs the closed-loop controller: chips are
+//! sampled on regime-dependent cadences under a fleet telemetry
+//! budget instead of being polled every epoch; with `--resume` it
+//! arms the controller on an existing (even pre-autopilot)
+//! checkpoint and continues. `report` re-renders the summary from
+//! the checkpoint alone. `migrate` converts a legacy `state.json`
+//! checkpoint (any supported format version) into `state.bin` in
+//! place.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use agequant_aging::{ModelSpec, TechProfile};
-use agequant_fleet::{journal, persist, FleetConfig, FleetError, FleetSim, FleetState};
+use agequant_fleet::{
+    journal, persist, AutopilotConfig, FleetConfig, FleetError, FleetSim, FleetState,
+};
 use agequant_nn::NetArch;
 
 struct CommonOpts {
@@ -38,13 +48,15 @@ struct CommonOpts {
 }
 
 fn usage() -> &'static str {
-    "usage: agequant-fleet <run|resume|report|migrate> --out DIR [options]\n\
+    "usage: agequant-fleet <run|resume|autopilot|report|migrate> --out DIR [options]\n\
      \n\
      run     --out DIR [--chips N] [--epochs E] [--seed S] [--epoch-years Y]\n\
      \x20            [--bucket-mv MV] [--constraint-factor F] [--network NAME|none]\n\
      \x20            [--model nbti|hci|surrogate[:CURVE.json]] [--memory]\n\
      \x20            [--shards N] [--json]\n\
      resume  --out DIR --epochs E [--shards N] [--json]\n\
+     autopilot --out DIR [--chips N] [--epochs E] [--seed S] [--budget N]\n\
+     \x20            [--burst N] [--memory] [--shards N] [--resume] [--json]\n\
      report  --out DIR [--json]\n\
      migrate --out DIR\n\
      \n\
@@ -60,8 +72,12 @@ fn usage() -> &'static str {
      at every shard count. --memory enables the weight-memory aging\n\
      axis (demo SRAM cell calibration): chips accrue NBTI duty stress,\n\
      the decider schedules re-encodes, and the summary gains a memory\n\
-     rollup. migrate rewrites a legacy state.json checkpoint as the\n\
-     binary state.bin format.\n"
+     rollup. autopilot runs the regime-switching closed loop: chips\n\
+     are sampled on Calm/Watch/Intervene cadences under a telemetry\n\
+     budget of --budget messages/epoch (burst capacity --burst); with\n\
+     --resume it arms the controller on the existing checkpoint (any\n\
+     format vintage) and continues from there. migrate rewrites a\n\
+     legacy state.json checkpoint as the binary state.bin format.\n"
 }
 
 fn parse_network(name: &str) -> Result<Option<NetArch>, String> {
@@ -284,6 +300,79 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     finish(&sim, &common, true).map_err(|e| e.to_string())
 }
 
+fn cmd_autopilot(args: &[String]) -> Result<(), String> {
+    let mut config = FleetConfig::new(100, 7);
+    let mut autopilot = AutopilotConfig::demo();
+    let mut epochs: u64 = 20;
+    let mut shards: Option<usize> = None;
+    let mut resume = false;
+    let mut common = CommonOpts {
+        out: PathBuf::from("results/fleet"),
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--chips" => {
+                config.chips = value("--chips")?
+                    .parse()
+                    .map_err(|e| format!("--chips: {e}"))?
+            }
+            "--epochs" => {
+                epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--budget" => {
+                autopilot.budget_messages_per_epoch = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--burst" => {
+                autopilot.budget_burst = value("--burst")?
+                    .parse()
+                    .map_err(|e| format!("--burst: {e}"))?;
+            }
+            "--memory" => config.memory = Some(agequant_mem::MemoryConfig::demo()),
+            "--shards" => shards = Some(parse_shards(&value("--shards")?)?),
+            "--resume" => resume = true,
+            "--out" => common.out = PathBuf::from(value("--out")?),
+            "--json" => common.json = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let mut sim = if resume {
+        let mut state = read_state(&common.out).map_err(|e| e.to_string())?;
+        // Arming upgrades any checkpoint vintage: the budget ledger
+        // and per-chip pilot state are created fresh where missing,
+        // and the next save writes the format-4 frame.
+        state.arm_autopilot(autopilot);
+        match shards {
+            Some(n) => FleetSim::resume_sharded(state, n),
+            None => FleetSim::resume(state),
+        }
+    } else {
+        config.autopilot = Some(autopilot);
+        match shards {
+            Some(n) => FleetSim::new_sharded(config, n),
+            None => FleetSim::new(config),
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    sim.run(epochs).map_err(|e| e.to_string())?;
+    finish(&sim, &common, resume).map_err(|e| e.to_string())
+}
+
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut common = CommonOpts {
         out: PathBuf::from("results/fleet"),
@@ -358,6 +447,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("autopilot") => cmd_autopilot(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("migrate") => cmd_migrate(&args[1..]),
         Some("--help" | "-h") | None => {

@@ -42,10 +42,14 @@ use agequant_core::CompressionPlan;
 use agequant_quant::QuantMethod;
 use agequant_sta::{Compression, Padding};
 
+use agequant_autopilot::{BudgetState, PilotState, Regime};
+
 use crate::chip::{Chip, ChipMemState, ChipMode, ChipPlan, MissionKind};
 use crate::error::{CorruptKind, FleetError};
 use crate::rng::FleetRng;
-use crate::sim::{FleetConfig, FleetState, CHECKPOINT_FORMAT, CHECKPOINT_FORMAT_MEM};
+use crate::sim::{
+    FleetConfig, FleetState, CHECKPOINT_FORMAT, CHECKPOINT_FORMAT_AUTOPILOT, CHECKPOINT_FORMAT_MEM,
+};
 
 /// The frame magic: the first 8 bytes of every binary checkpoint.
 pub const MAGIC: [u8; 8] = *b"AGQFLEET";
@@ -209,6 +213,7 @@ pub(crate) struct ChipView<'a> {
     pub mode: ChipMode,
     pub plan: Option<&'a ChipPlan>,
     pub mem: Option<ChipMemState>,
+    pub pilot: Option<PilotState>,
 }
 
 impl<'a> ChipView<'a> {
@@ -222,8 +227,26 @@ impl<'a> ChipView<'a> {
             mode: chip.mode,
             plan: chip.plan.as_ref(),
             mem: chip.mem,
+            pilot: chip.pilot,
         }
     }
+}
+
+fn regime_code(regime: Regime) -> u8 {
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        Regime::ALL
+            .iter()
+            .position(|&r| r == regime)
+            .expect("every Regime is in ALL") as u8
+    }
+}
+
+fn decode_regime(code: u8) -> Result<Regime, FleetError> {
+    Regime::ALL
+        .get(usize::from(code))
+        .copied()
+        .ok_or_else(|| FleetError::Malformed(format!("unknown regime code {code}")))
 }
 
 fn encode_chip(
@@ -231,6 +254,7 @@ fn encode_chip(
     chip: &ChipView<'_>,
     plan_index: Option<u32>,
     with_mem: bool,
+    with_autopilot: bool,
 ) -> Result<(), FleetError> {
     put_u32(out, chip.id);
     out.push(kind_code(chip.kind));
@@ -264,6 +288,22 @@ fn encode_chip(
             }
         }
     }
+    if with_autopilot {
+        // Format-4 records append the per-chip pilot state; a chip
+        // without one (never enrolled) writes the 0 flag only.
+        match chip.pilot {
+            None => out.push(0),
+            Some(pilot) => {
+                out.push(1);
+                out.push(regime_code(pilot.regime));
+                put_f64(out, pilot.rate_mv_per_epoch);
+                put_f64(out, pilot.residual_mv);
+                put_f64(out, pilot.last_mv);
+                put_u64(out, pilot.last_epoch);
+                put_u64(out, pilot.next_epoch);
+            }
+        }
+    }
     Ok(())
 }
 
@@ -280,11 +320,13 @@ pub(crate) fn encode_frame<'a>(
     config: &FleetConfig,
     epoch: u64,
     rng: &FleetRng,
+    budget: Option<&BudgetState>,
     chips: impl Iterator<Item = ChipView<'a>>,
     chip_count: usize,
 ) -> Result<Vec<u8>, FleetError> {
     let format = config.checkpoint_format();
-    let with_mem = format == CHECKPOINT_FORMAT_MEM;
+    let with_mem = format >= CHECKPOINT_FORMAT_MEM;
+    let with_autopilot = format >= CHECKPOINT_FORMAT_AUTOPILOT;
     let mut table: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
     let mut ordered: Vec<Vec<u8>> = Vec::new();
     let mut chip_records = Vec::with_capacity(chip_count * 96);
@@ -303,7 +345,13 @@ pub(crate) fn encode_frame<'a>(
                 Some(idx)
             }
         };
-        encode_chip(&mut chip_records, &chip, plan_index, with_mem)?;
+        encode_chip(
+            &mut chip_records,
+            &chip,
+            plan_index,
+            with_mem,
+            with_autopilot,
+        )?;
     }
     debug_assert_eq!(seen, chip_count, "chip iterator disagrees with count");
 
@@ -314,6 +362,20 @@ pub(crate) fn encode_frame<'a>(
     put_u64(&mut payload, epoch);
     for word in rng.state_words() {
         put_u64(&mut payload, word);
+    }
+    if with_autopilot {
+        // Format-4 frames carry the fleet telemetry-budget ledger
+        // between the RNG words and the chip count.
+        match budget {
+            None => payload.push(0),
+            Some(b) => {
+                payload.push(1);
+                put_u64(&mut payload, b.tokens);
+                put_u64(&mut payload, b.granted);
+                put_u64(&mut payload, b.deferred);
+                put_u64(&mut payload, b.overdraft);
+            }
+        }
     }
     put_u64(&mut payload, u64::try_from(seen).expect("usize fits u64"));
     put_u32(&mut payload, len_u32("distinct plan", ordered.len())?);
@@ -484,7 +546,12 @@ fn decode_model(r: &mut Reader<'_>) -> Result<ModelSpec, FleetError> {
     }
 }
 
-fn decode_chip(r: &mut Reader<'_>, plans: &[ChipPlan], with_mem: bool) -> Result<Chip, FleetError> {
+fn decode_chip(
+    r: &mut Reader<'_>,
+    plans: &[ChipPlan],
+    with_mem: bool,
+    with_autopilot: bool,
+) -> Result<Chip, FleetError> {
     let id = r.u32()?;
     let kind = *MissionKind::ALL
         .get(usize::from(r.u8()?))
@@ -547,6 +614,26 @@ fn decode_chip(r: &mut Reader<'_>, plans: &[ChipPlan], with_mem: bool) -> Result
     } else {
         None
     };
+    let pilot = if with_autopilot {
+        match r.u8()? {
+            0 => None,
+            1 => Some(PilotState {
+                regime: decode_regime(r.u8()?)?,
+                rate_mv_per_epoch: r.f64()?,
+                residual_mv: r.f64()?,
+                last_mv: r.f64()?,
+                last_epoch: r.u64()?,
+                next_epoch: r.u64()?,
+            }),
+            code => {
+                return Err(FleetError::Malformed(format!(
+                    "unknown pilot-state flag {code}"
+                )))
+            }
+        }
+    } else {
+        None
+    };
     Ok(Chip {
         id,
         kind,
@@ -556,6 +643,7 @@ fn decode_chip(r: &mut Reader<'_>, plans: &[ChipPlan], with_mem: bool) -> Result
         mode,
         plan,
         mem,
+        pilot,
     })
 }
 
@@ -576,6 +664,7 @@ impl FleetState {
             &self.config,
             self.epoch,
             &self.rng,
+            self.autopilot.as_ref(),
             self.chips.iter().map(ChipView::of),
             self.chips.len(),
         )
@@ -603,12 +692,13 @@ impl FleetState {
             }));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != CHECKPOINT_FORMAT && version != CHECKPOINT_FORMAT_MEM {
+        if version < CHECKPOINT_FORMAT || version > CHECKPOINT_FORMAT_AUTOPILOT {
             return Err(FleetError::Corrupt(CorruptKind::UnsupportedVersion {
                 found: version,
             }));
         }
-        let with_mem = version == CHECKPOINT_FORMAT_MEM;
+        let with_mem = version >= CHECKPOINT_FORMAT_MEM;
+        let with_autopilot = version >= CHECKPOINT_FORMAT_AUTOPILOT;
         let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
         let have = bytes.len() as u64;
         let needed = (HEADER_LEN as u64)
@@ -645,6 +735,24 @@ impl FleetState {
             .map_err(|e| FleetError::Malformed(format!("config: {e}")))?;
         let epoch = r.u64()?;
         let rng = FleetRng::from_state_words([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        let autopilot = if with_autopilot {
+            match r.u8()? {
+                0 => None,
+                1 => Some(BudgetState {
+                    tokens: r.u64()?,
+                    granted: r.u64()?,
+                    deferred: r.u64()?,
+                    overdraft: r.u64()?,
+                }),
+                code => {
+                    return Err(FleetError::Malformed(format!(
+                        "unknown budget-ledger flag {code}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
         let chip_count = checked_count("chip", r.u64()?)?;
         let plan_count = checked_count("distinct plan", u64::from(r.u32()?))?;
         let mut plans = Vec::with_capacity(plan_count.min(1 << 20));
@@ -653,7 +761,7 @@ impl FleetState {
         }
         let mut chips = Vec::with_capacity(chip_count.min(1 << 24));
         for _ in 0..chip_count {
-            chips.push(decode_chip(&mut r, &plans, with_mem)?);
+            chips.push(decode_chip(&mut r, &plans, with_mem, with_autopilot)?);
         }
         if !r.done() {
             return Err(FleetError::Malformed(format!(
@@ -667,6 +775,7 @@ impl FleetState {
             epoch,
             rng,
             chips,
+            autopilot,
         })
     }
 
@@ -738,6 +847,45 @@ mod tests {
             FleetState::load(&garbage),
             Err(FleetError::Malformed(_))
         ));
+    }
+
+    fn autopilot_state() -> FleetState {
+        let mut config = FleetConfig::new(6, 31);
+        config.epoch_years = 2.0;
+        config.autopilot = Some(agequant_autopilot::AutopilotConfig::demo());
+        let mut sim = FleetSim::new(config).expect("valid config");
+        sim.run(5).expect("simulates");
+        sim.to_state()
+    }
+
+    #[test]
+    fn autopilot_frames_are_format_4_and_round_trip_bit_identically() {
+        let state = autopilot_state();
+        assert!(state.autopilot.is_some(), "autopilot run carries a ledger");
+        assert!(state.chips.iter().all(|c| c.pilot.is_some()));
+        let frame = state.to_binary().expect("encodes");
+        let version = u32::from_le_bytes(frame[8..12].try_into().unwrap());
+        assert_eq!(version, CHECKPOINT_FORMAT_AUTOPILOT);
+        let back = FleetState::from_binary(&frame).expect("decodes");
+        assert_eq!(back, state);
+        assert_eq!(back.to_binary().expect("re-encodes"), frame);
+    }
+
+    #[test]
+    fn arming_a_pre_autopilot_state_upgrades_the_frame_format() {
+        // The migration path: a format-2 checkpoint is loaded, armed,
+        // and saved again as format 4 with fresh pilot state per chip.
+        let mut state = small_state();
+        let old_frame = state.to_binary().expect("encodes");
+        let old_version = u32::from_le_bytes(old_frame[8..12].try_into().unwrap());
+        assert_eq!(old_version, CHECKPOINT_FORMAT);
+        state.arm_autopilot(agequant_autopilot::AutopilotConfig::demo());
+        let frame = state.to_binary().expect("encodes");
+        let version = u32::from_le_bytes(frame[8..12].try_into().unwrap());
+        assert_eq!(version, CHECKPOINT_FORMAT_AUTOPILOT);
+        let back = FleetState::from_binary(&frame).expect("decodes");
+        assert_eq!(back, state);
+        assert!(back.chips.iter().all(|c| c.pilot.is_some()));
     }
 
     #[test]

@@ -221,14 +221,20 @@ pub struct Chip {
     ///
     /// [`FleetConfig::memory`]: crate::FleetConfig::memory
     pub mem: Option<ChipMemState>,
+    /// Closed-loop supervision state; `Some` exactly when the fleet's
+    /// autopilot is enabled ([`FleetConfig::autopilot`]).
+    ///
+    /// [`FleetConfig::autopilot`]: crate::FleetConfig::autopilot
+    pub pilot: Option<agequant_autopilot::PilotState>,
 }
 
 // Hand-written so a memory-disabled fleet serializes byte-identically
-// to the pre-memory format: the `mem` key is emitted only when the
-// axis is enabled, unlike the derive's unconditional `"mem": null`.
-// Field order and the `"plan": null` behavior match the old derive
-// exactly; `Deserialize` stays derived (a missing `mem` reads as
-// `None`).
+// to the pre-memory format and an autopilot-disabled fleet to the
+// pre-autopilot format: the `mem` and `pilot` keys are emitted only
+// when their axis is enabled, unlike the derive's unconditional
+// `"mem": null`. Field order and the `"plan": null` behavior match
+// the old derive exactly; `Deserialize` stays derived (a missing
+// `mem`/`pilot` reads as `None`).
 impl Serialize for Chip {
     fn to_value(&self) -> serde::Value {
         let mut fields = vec![
@@ -242,6 +248,9 @@ impl Serialize for Chip {
         ];
         if let Some(mem) = &self.mem {
             fields.push(("mem".to_string(), mem.to_value()));
+        }
+        if let Some(pilot) = &self.pilot {
+            fields.push(("pilot".to_string(), pilot.to_value()));
         }
         serde::Value::Map(fields)
     }
@@ -276,6 +285,7 @@ impl Chip {
             mode: ChipMode::Compressed,
             plan: None,
             mem: None,
+            pilot: None,
         }
     }
 

@@ -382,6 +382,29 @@ impl Decider {
         None
     }
 
+    /// The smallest bucket proven infeasible under the default
+    /// constraint, if any — the degrade threshold as this decider has
+    /// learned it. A pure memo read: consulting it never characterizes
+    /// a bucket, so audits built on it (the autopilot's
+    /// undetected-degrade check) cannot perturb cache counters or the
+    /// characterization record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal memo lock was poisoned.
+    #[must_use]
+    pub fn min_infeasible_bucket(&self) -> Option<u64> {
+        let bits = self.constraint_ps.to_bits();
+        self.memos
+            .lock()
+            .expect("unpoisoned memos")
+            .infeasible
+            .iter()
+            .filter(|(_, constraint)| *constraint == bits)
+            .map(|(bucket, _)| *bucket)
+            .min()
+    }
+
     /// The distinct aging buckets fully characterized by this decider
     /// instance (feasible or proven infeasible), in first-encounter
     /// order. With a fixed constraint this is exactly the set of

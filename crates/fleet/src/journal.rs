@@ -7,6 +7,7 @@
 //! `agequant-lint`'s FL002 checks the causality invariants of a
 //! journal against its checkpoint.
 
+use agequant_autopilot::Regime;
 use agequant_quant::QuantMethod;
 use agequant_sta::Padding;
 use serde::{Deserialize, Serialize};
@@ -57,6 +58,40 @@ pub enum EventKind {
     MemoryDegraded {
         /// Re-encodes spent before the memory axis degraded.
         reencodes: u32,
+    },
+    /// Autopilot: a granted telemetry sample moved the chip's
+    /// supervision regime. The effective rate and boundary margin the
+    /// hysteresis machine keyed on are recorded so `agequant-lint`'s
+    /// AP002 can replay the pure transition and audit causality.
+    RegimeChanged {
+        /// The regime the chip was in.
+        from: Regime,
+        /// The regime the chip moved to.
+        to: Regime,
+        /// Effective supervision rate at the transition, mV/epoch.
+        rate_mv_per_epoch: f64,
+        /// Headroom to the next bucket boundary at the sample, mV.
+        margin_mv: f64,
+    },
+    /// Autopilot: one telemetry message was granted from the fleet
+    /// budget and the chip was sampled. Only emitted in autopilot
+    /// mode, where cadence — not just outcome — is an auditable
+    /// decision.
+    CadenceGranted {
+        /// The chip's regime when the grant was requested.
+        regime: Regime,
+        /// The epoch the chip was rescheduled to after the sample.
+        next_epoch: u64,
+        /// Tokens left in the fleet bucket after this grant (grants
+        /// drawn on the Intervene overdraft leave zero).
+        tokens_left: u64,
+    },
+    /// Autopilot: the fleet budget was empty and the chip's sample
+    /// slipped to the next epoch. Never emitted for an Intervene chip
+    /// — those draw the audited overdraft instead.
+    CadenceDeferred {
+        /// The chip's regime when the request was starved.
+        regime: Regime,
     },
 }
 

@@ -75,8 +75,16 @@ pub use decide::{Decider, Decision, MemoryAction};
 pub use error::{CorruptKind, FleetError};
 pub use journal::{EventKind, JournalEvent};
 pub use report::{
-    CacheSummary, FleetSummary, LossPercentiles, MemorySummary, ModelCacheSummary, PlanBin,
+    AutopilotSummary, CacheSummary, FleetSummary, LossPercentiles, MemorySummary,
+    ModelCacheSummary, PlanBin,
 };
 pub use rng::FleetRng;
 pub use shard::FleetShard;
-pub use sim::{FleetConfig, FleetSim, FleetState, CHECKPOINT_FORMAT, CHECKPOINT_FORMAT_MEM};
+pub use sim::{
+    FleetConfig, FleetSim, FleetState, CHECKPOINT_FORMAT, CHECKPOINT_FORMAT_AUTOPILOT,
+    CHECKPOINT_FORMAT_MEM,
+};
+
+pub use agequant_autopilot::{
+    AutopilotConfig, BudgetState, Grant, Observation, PilotState, Regime,
+};

@@ -97,6 +97,29 @@ pub struct MemorySummary {
     pub mean_failure_prob: f64,
 }
 
+/// The closed-loop autopilot rolled up across the fleet. Present only
+/// when the fleet runs with an autopilot configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AutopilotSummary {
+    /// Chips enrolled in the control loop (carrying a pilot state).
+    pub enrolled: usize,
+    /// Chips currently in the Calm regime (sparse polling).
+    pub calm: usize,
+    /// Chips currently in the Watch regime (tight cadence + prefetch).
+    pub watch: usize,
+    /// Chips currently in the Intervene regime (proactive replanning).
+    pub intervene: usize,
+    /// Telemetry-budget tokens currently in the bucket.
+    pub budget_tokens: u64,
+    /// Telemetry messages granted over the fleet's lifetime.
+    pub messages_granted: u64,
+    /// Telemetry messages deferred by budget starvation.
+    pub messages_deferred: u64,
+    /// Grants issued past an empty bucket to Intervene chips, which
+    /// are never starved.
+    pub overdraft_grants: u64,
+}
+
 /// The fleet rolled up at one epoch.
 #[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct FleetSummary {
@@ -126,6 +149,9 @@ pub struct FleetSummary {
     /// Weight-memory axis rollup; `None` when the fleet runs without a
     /// memory configuration.
     pub memory: Option<MemorySummary>,
+    /// Autopilot regime/budget rollup; `None` when the fleet runs
+    /// without an autopilot configuration.
+    pub autopilot: Option<AutopilotSummary>,
 }
 
 // Manual impl so a memory-disabled summary serializes byte-identically
@@ -151,6 +177,9 @@ impl Serialize for FleetSummary {
         ];
         if let Some(memory) = &self.memory {
             fields.push(("memory".to_string(), memory.to_value()));
+        }
+        if let Some(autopilot) = &self.autopilot {
+            fields.push(("autopilot".to_string(), autopilot.to_value()));
         }
         serde::Value::Map(fields)
     }
@@ -254,6 +283,32 @@ impl FleetSummary {
                 mean_failure_prob: mean,
             }
         });
+        let autopilot = state.config.autopilot.as_ref().map(|_| {
+            let mut enrolled = 0usize;
+            let mut calm = 0usize;
+            let mut watch = 0usize;
+            let mut intervene = 0usize;
+            for chip in &state.chips {
+                let Some(pilot) = &chip.pilot else { continue };
+                enrolled += 1;
+                match pilot.regime {
+                    agequant_autopilot::Regime::Calm => calm += 1,
+                    agequant_autopilot::Regime::Watch => watch += 1,
+                    agequant_autopilot::Regime::Intervene => intervene += 1,
+                }
+            }
+            let budget = state.autopilot.as_ref();
+            AutopilotSummary {
+                enrolled,
+                calm,
+                watch,
+                intervene,
+                budget_tokens: budget.map_or(0, |b| b.tokens),
+                messages_granted: budget.map_or(0, |b| b.granted),
+                messages_deferred: budget.map_or(0, |b| b.deferred),
+                overdraft_grants: budget.map_or(0, |b| b.overdraft),
+            }
+        });
         #[allow(clippy::cast_precision_loss)]
         let years = state.epoch as f64 * state.config.epoch_years;
         FleetSummary {
@@ -277,6 +332,7 @@ impl FleetSummary {
             cache: cache.map(CacheSummary::from),
             cache_by_model: None,
             memory,
+            autopilot,
         }
     }
 
@@ -311,6 +367,19 @@ impl FleetSummary {
                 memory.timing_healthy_memory_degraded,
                 memory.worst_failure_prob,
                 memory.mean_failure_prob
+            ));
+        }
+        if let Some(autopilot) = &self.autopilot {
+            out.push_str(&format!(
+                "autopilot: {} enrolled — {} calm, {} watch, {} intervene; budget {} tokens, {} granted, {} deferred, {} overdraft\n",
+                autopilot.enrolled,
+                autopilot.calm,
+                autopilot.watch,
+                autopilot.intervene,
+                autopilot.budget_tokens,
+                autopilot.messages_granted,
+                autopilot.messages_deferred,
+                autopilot.overdraft_grants
             ));
         }
         if let Some(cache) = &self.cache {

@@ -26,6 +26,7 @@
 //! surrogate table keeps delegating to the spec).
 
 use agequant_aging::{MissionProfile, ModelSpec, NbtiModel, VthShift};
+use agequant_autopilot::PilotState;
 use agequant_mem::MemoryConfig;
 
 use crate::chip::{Chip, ChipMemState, ChipMode, ChipPlan, MissionKind};
@@ -102,6 +103,7 @@ pub struct FleetShard {
     profile: Vec<MissionProfile>,
     plan: Vec<Option<ChipPlan>>,
     mem: Vec<Option<ChipMemState>>,
+    pilot: Vec<Option<PilotState>>,
     journal: Vec<JournalEvent>,
 }
 
@@ -120,6 +122,7 @@ impl FleetShard {
             profile: Vec::with_capacity(capacity),
             plan: Vec::with_capacity(capacity),
             mem: Vec::with_capacity(capacity),
+            pilot: Vec::with_capacity(capacity),
             journal: Vec::new(),
         }
     }
@@ -135,6 +138,7 @@ impl FleetShard {
         self.profile.push(chip.profile);
         self.plan.push(chip.plan);
         self.mem.push(chip.mem);
+        self.pilot.push(chip.pilot);
     }
 
     /// Samples `count` fresh chips with ids `base..base + count` from
@@ -206,6 +210,7 @@ impl FleetShard {
             mode: self.mode[i],
             plan: self.plan[i],
             mem: self.mem[i],
+            pilot: self.pilot[i],
         }
     }
 
@@ -222,6 +227,7 @@ impl FleetShard {
             mode: self.mode[i],
             plan: self.plan[i].as_ref(),
             mem: self.mem[i],
+            pilot: self.pilot[i],
         }
     }
 
@@ -232,6 +238,54 @@ impl FleetShard {
         for slot in &mut self.mem {
             *slot = Some(ChipMemState::FRESH);
         }
+    }
+
+    /// Arms the autopilot: every chip not already enrolled gets a
+    /// fresh [`PilotState`] (Calm, due immediately); chips that carry
+    /// pilot state (a re-arm, or a resumed checkpoint) keep it. Draws
+    /// nothing from the RNG, so the sampling stream is untouched.
+    pub(crate) fn init_autopilot(&mut self) {
+        for slot in &mut self.pilot {
+            if slot.is_none() {
+                *slot = Some(PilotState::FRESH);
+            }
+        }
+    }
+
+    /// Chip `i`'s pilot state, when the autopilot is armed.
+    pub(crate) fn pilot(&self, i: usize) -> Option<PilotState> {
+        self.pilot[i]
+    }
+
+    /// Stores chip `i`'s updated pilot state.
+    pub(crate) fn set_pilot(&mut self, i: usize, pilot: PilotState) {
+        self.pilot[i] = Some(pilot);
+    }
+
+    /// Chip `i`'s fleet-unique id.
+    pub(crate) fn chip_id(&self, i: usize) -> u32 {
+        self.id[i]
+    }
+
+    /// Chip `i`'s current (planned) aging bucket.
+    pub(crate) fn bucket(&self, i: usize) -> u64 {
+        self.bucket[i]
+    }
+
+    /// One ground-truth observation of chip `i` at `years` of
+    /// deployment — what a telemetry sample of the chip would report:
+    /// its ΔVth in mV and the aging bucket that shift truly sits in
+    /// (computed from the un-rounded shift, exactly as
+    /// [`FleetShard::crossings`] computes it).
+    pub(crate) fn observe(&self, i: usize, years: f64, bucket_mv: f64) -> (f64, u64) {
+        let t = self.accel[i] * years;
+        let shift = self.kinetics[i].shift_at(&self.model[i], t);
+        (shift.millivolts(), Chip::bucket_of(shift, bucket_mv))
+    }
+
+    /// Appends one event to the shard's journal segment.
+    pub(crate) fn push_event(&mut self, event: JournalEvent) {
+        self.journal.push(event);
     }
 
     /// One epoch of weight-memory aging for every chip: accrues SRAM
@@ -246,38 +300,75 @@ impl FleetShard {
         epoch: u64,
         epoch_years: f64,
     ) {
+        self.accrue_memory(config, epoch_years);
         for i in 0..self.len() {
-            let Some(mut state) = self.mem[i] else {
+            self.apply_memory_action(decider, epoch, i);
+        }
+    }
+
+    /// The pure physics half of the memory axis: accrues one epoch of
+    /// SRAM stress exposure for every chip. Kept separate from the
+    /// decision half so the autopilot can defer memory *actions* to
+    /// sample time while the wear itself never pauses.
+    pub(crate) fn accrue_memory(&mut self, config: &MemoryConfig, epoch_years: f64) {
+        for i in 0..self.len() {
+            let Some(state) = self.mem[i].as_mut() else {
                 continue;
             };
             let beta = self.plan[i].map_or(0, |p| p.plan.compression.beta());
             let asymmetry = config.asymmetry_for_beta(beta);
             state.stress_active_years +=
                 config.cell.stress_duty(asymmetry) * self.accel[i] * epoch_years;
-            match decider.memory_action(&state) {
-                Some(MemoryAction::Reencode) => {
-                    state.reencode();
-                    self.journal.push(JournalEvent {
-                        epoch,
-                        chip: self.id[i],
-                        kind: EventKind::Reencoded {
-                            count: state.reencodes,
-                        },
-                    });
-                }
-                Some(MemoryAction::Degrade) => {
-                    state.degraded = true;
-                    self.journal.push(JournalEvent {
-                        epoch,
-                        chip: self.id[i],
-                        kind: EventKind::MemoryDegraded {
-                            reencodes: state.reencodes,
-                        },
-                    });
-                }
-                None => {}
+        }
+    }
+
+    /// The decision half of the memory axis for one chip: applies the
+    /// decider's memory action, journaling re-encodes and memory
+    /// degradations.
+    pub(crate) fn apply_memory_action(&mut self, decider: &Decider, epoch: u64, i: usize) {
+        let Some(mut state) = self.mem[i] else {
+            return;
+        };
+        match decider.memory_action(&state) {
+            Some(MemoryAction::Reencode) => {
+                state.reencode();
+                self.journal.push(JournalEvent {
+                    epoch,
+                    chip: self.id[i],
+                    kind: EventKind::Reencoded {
+                        count: state.reencodes,
+                    },
+                });
             }
-            self.mem[i] = Some(state);
+            Some(MemoryAction::Degrade) => {
+                state.degraded = true;
+                self.journal.push(JournalEvent {
+                    epoch,
+                    chip: self.id[i],
+                    kind: EventKind::MemoryDegraded {
+                        reencodes: state.reencodes,
+                    },
+                });
+            }
+            None => {}
+        }
+        self.mem[i] = Some(state);
+    }
+
+    /// Weight-memory pressure for the autopilot: the worst-bit failure
+    /// probability over the degrade threshold, clamped to `[0, 1]`.
+    /// Zero when the axis is off or the chip's memory already degraded
+    /// — a failed axis has nothing left to protect, so it must not pin
+    /// the chip in Intervene forever.
+    pub(crate) fn mem_pressure(&self, i: usize, config: &MemoryConfig) -> f64 {
+        match &self.mem[i] {
+            Some(state) if !state.degraded => {
+                let prob = config
+                    .cell
+                    .failure_prob_at_exposure(state.worst_stress_years());
+                (prob / config.degrade_threshold).clamp(0.0, 1.0)
+            }
+            _ => 0.0,
         }
     }
 

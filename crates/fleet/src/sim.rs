@@ -30,7 +30,8 @@
 use agequant_check::sync::Arc;
 use std::collections::BTreeMap;
 
-use agequant_aging::{ModelSpec, NbtiPowerLaw, TechProfile};
+use agequant_aging::{ModelSpec, NbtiPowerLaw, TechProfile, VthShift};
+use agequant_autopilot::{AutopilotConfig, BudgetState, Grant, Observation, Regime};
 use agequant_core::{AgingAwareQuantizer, CacheStats, FlowConfig};
 use agequant_mem::MemoryConfig;
 use agequant_nn::NetArch;
@@ -38,7 +39,7 @@ use serde::{Deserialize, Serialize, Value};
 
 use crate::chip::Chip;
 use crate::decide::Decider;
-use crate::journal::JournalEvent;
+use crate::journal::{EventKind, JournalEvent};
 use crate::report::{FleetSummary, ModelCacheSummary};
 use crate::rng::FleetRng;
 use crate::shard::FleetShard;
@@ -78,13 +79,22 @@ pub struct FleetConfig {
     /// the pre-memory fleet everywhere — checkpoints, journals,
     /// summaries, plan responses.
     pub memory: Option<MemoryConfig>,
+    /// When set, the fleet runs closed-loop: chips are *sampled* on
+    /// the autopilot's regime cadences instead of observed for free
+    /// every epoch, telemetry is rationed by the fleet-wide token
+    /// budget, and every cadence decision and regime transition is
+    /// journaled. `None` (the default) is byte-identical to the
+    /// pre-autopilot fleet everywhere.
+    pub autopilot: Option<AutopilotConfig>,
 }
 
 // Hand-written so a memory-disabled config serializes byte-identically
-// to the pre-memory format: `memory` is emitted only when enabled,
-// unlike the derive's unconditional `"memory": null`. Field order and
-// the `"network": null` behavior match the old derive exactly;
-// `Deserialize` stays derived (a missing `memory` reads as `None`).
+// to the pre-memory format (and an autopilot-disabled one to the
+// pre-autopilot format): `memory` and `autopilot` are emitted only
+// when enabled, unlike the derive's unconditional `"memory": null`.
+// Field order and the `"network": null` behavior match the old derive
+// exactly; `Deserialize` stays derived (a missing `memory`/`autopilot`
+// reads as `None`).
 impl Serialize for FleetConfig {
     fn to_value(&self) -> Value {
         let mut fields = vec![
@@ -101,6 +111,9 @@ impl Serialize for FleetConfig {
         ];
         if let Some(memory) = &self.memory {
             fields.push(("memory".to_string(), memory.to_value()));
+        }
+        if let Some(autopilot) = &self.autopilot {
+            fields.push(("autopilot".to_string(), autopilot.to_value()));
         }
         Value::Map(fields)
     }
@@ -127,6 +140,7 @@ impl FleetConfig {
             network: None,
             flow,
             memory: None,
+            autopilot: None,
         }
     }
 
@@ -168,16 +182,28 @@ impl FleetConfig {
                 )));
             }
         }
+        if let Some(autopilot) = &self.autopilot {
+            let violations = autopilot.violations();
+            if !violations.is_empty() {
+                return Err(FleetError::InvalidConfig(format!(
+                    "autopilot config: {}",
+                    violations.join("; ")
+                )));
+            }
+        }
         self.flow.validate().map_err(FleetError::Flow)
     }
 
     /// The checkpoint format version this configuration's states carry:
-    /// [`CHECKPOINT_FORMAT_MEM`] when the memory axis is enabled,
-    /// [`CHECKPOINT_FORMAT`] otherwise — so a memory-disabled fleet
-    /// keeps writing pre-memory checkpoints byte for byte.
+    /// [`CHECKPOINT_FORMAT_AUTOPILOT`] when the autopilot is enabled,
+    /// [`CHECKPOINT_FORMAT_MEM`] when only the memory axis is, and
+    /// [`CHECKPOINT_FORMAT`] otherwise — so a fleet with neither
+    /// feature keeps writing pre-feature checkpoints byte for byte.
     #[must_use]
     pub fn checkpoint_format(&self) -> u32 {
-        if self.memory.is_some() {
+        if self.autopilot.is_some() {
+            CHECKPOINT_FORMAT_AUTOPILOT
+        } else if self.memory.is_some() {
             CHECKPOINT_FORMAT_MEM
         } else {
             CHECKPOINT_FORMAT
@@ -199,10 +225,19 @@ pub const CHECKPOINT_FORMAT: u32 = 2;
 /// the two formats never mix in one file.
 pub const CHECKPOINT_FORMAT_MEM: u32 = 3;
 
+/// Checkpoint format version of a closed-loop (autopilot) fleet:
+/// format 3 plus the fleet-level telemetry budget ledger and a
+/// per-chip pilot-state record. The per-chip memory block stays
+/// present (flagged empty when the memory axis is off), so format 4
+/// composes with either memory setting; pre-autopilot checkpoints
+/// load with no pilot state and enroll their chips fresh when the
+/// autopilot is armed on the resumed config.
+pub const CHECKPOINT_FORMAT_AUTOPILOT: u32 = 4;
+
 /// The complete serializable state of a fleet run: configuration,
 /// epoch counter, RNG state, and every chip. Checkpointing this and
 /// restoring it resumes the run bit-identically.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct FleetState {
     /// Checkpoint format version ([`CHECKPOINT_FORMAT`]); stamped on
     /// every state this crate constructs or migrates.
@@ -216,9 +251,54 @@ pub struct FleetState {
     pub rng: FleetRng,
     /// Every chip, in id order.
     pub chips: Vec<Chip>,
+    /// The fleet-level telemetry budget ledger; `Some` exactly when
+    /// the autopilot is enabled ([`FleetConfig::autopilot`]).
+    pub autopilot: Option<BudgetState>,
+}
+
+// Hand-written for the same reason as `FleetConfig`: the `autopilot`
+// key is emitted only when the closed loop is armed, so every fleet
+// without it keeps serializing byte-identically to the pre-autopilot
+// format. Field order matches the old derive; `Deserialize` stays
+// derived (a missing `autopilot` reads as `None`).
+impl Serialize for FleetState {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("format".to_string(), self.format.to_value()),
+            ("config".to_string(), self.config.to_value()),
+            ("epoch".to_string(), self.epoch.to_value()),
+            ("rng".to_string(), self.rng.to_value()),
+            ("chips".to_string(), self.chips.to_value()),
+        ];
+        if let Some(autopilot) = &self.autopilot {
+            fields.push(("autopilot".to_string(), autopilot.to_value()));
+        }
+        Value::Map(fields)
+    }
 }
 
 impl FleetState {
+    /// Arms the closed loop on a loaded state: installs `autopilot`
+    /// into the embedded config, enrolls every chip that does not
+    /// already carry pilot state as [`PilotState::FRESH`], starts the
+    /// budget ledger if none was checkpointed, and restamps the format
+    /// version. This is how a pre-autopilot checkpoint migrates — the
+    /// resumed run continues its physics bit-identically while the
+    /// controller takes over observation.
+    ///
+    /// [`PilotState::FRESH`]: agequant_autopilot::PilotState::FRESH
+    pub fn arm_autopilot(&mut self, autopilot: AutopilotConfig) {
+        if self.autopilot.is_none() {
+            self.autopilot = Some(BudgetState::fresh(&autopilot));
+        }
+        for chip in &mut self.chips {
+            if chip.pilot.is_none() {
+                chip.pilot = Some(agequant_autopilot::PilotState::FRESH);
+            }
+        }
+        self.config.autopilot = Some(autopilot);
+        self.format = Some(self.config.checkpoint_format());
+    }
     /// Serializes the state as pretty-printed JSON — the checkpoint
     /// format. Byte-deterministic for a given state.
     ///
@@ -365,6 +445,9 @@ pub struct FleetSim {
     /// epoch stepping itself draws nothing).
     rng: FleetRng,
     shards: Vec<FleetShard>,
+    /// The telemetry budget ledger; `Some` exactly when
+    /// `config.autopilot` is.
+    budget: Option<BudgetState>,
 }
 
 impl FleetSim {
@@ -454,12 +537,21 @@ impl FleetSim {
             epoch: 0,
             rng,
             shards,
+            budget: None,
         };
         if sim.config.memory.is_some() {
             // Fresh chips start with zero stress on both polarities;
             // no RNG draws, so the sampling stream stays untouched.
             for shard in &mut sim.shards {
                 shard.init_memory();
+            }
+        }
+        if let Some(autopilot) = &sim.config.autopilot {
+            // Every chip enrolls Calm and due; the ledger opens with a
+            // full burst bucket. No RNG draws.
+            sim.budget = Some(BudgetState::fresh(autopilot));
+            for shard in &mut sim.shards {
+                shard.init_autopilot();
             }
         }
         sim.plan_initial()?;
@@ -515,8 +607,23 @@ impl FleetSim {
             epoch,
             rng,
             mut chips,
+            autopilot,
             ..
         } = state;
+        // A resumed closed-loop fleet continues its checkpointed
+        // ledger; a config armed over a pre-autopilot state (see
+        // `FleetState::arm_autopilot`) starts a fresh one.
+        let budget = config
+            .autopilot
+            .as_ref()
+            .map(|ap| autopilot.unwrap_or_else(|| BudgetState::fresh(ap)));
+        if config.autopilot.is_some() {
+            for chip in &mut chips {
+                if chip.pilot.is_none() {
+                    chip.pilot = Some(agequant_autopilot::PilotState::FRESH);
+                }
+            }
+        }
         // Recompute each shard's substream position the same way fresh
         // sampling does, so a resumed shard is indistinguishable from
         // a never-checkpointed one.
@@ -540,6 +647,7 @@ impl FleetSim {
             epoch,
             rng,
             shards: built,
+            budget,
         })
     }
 
@@ -600,6 +708,11 @@ impl FleetSim {
         let epoch = self.epoch + 1;
         #[allow(clippy::cast_precision_loss)]
         let years = epoch as f64 * self.config.epoch_years;
+        if let Some(autopilot) = self.config.autopilot.clone() {
+            self.step_autopilot(&autopilot, epoch, years)?;
+            self.epoch = epoch;
+            return Ok(());
+        }
         let bucket_mv = self.config.bucket_mv;
         let crossings: Vec<Vec<(usize, u64)>> = if self.shards.len() == 1 {
             vec![self.shards[0].crossings(years, bucket_mv)]
@@ -644,6 +757,340 @@ impl FleetSim {
         Ok(())
     }
 
+    /// One closed-loop epoch. Physics never pauses — ΔVth keeps
+    /// aging and memory stress accrues for every chip — but
+    /// *observation* is rationed: only chips whose pilot is due
+    /// request a telemetry message from the fleet budget, and only a
+    /// granted sample can reveal a bucket crossing, trigger a memory
+    /// action, or move the regime machine. Grants are processed in
+    /// (regime priority, last-sample epoch, chip id) order with no
+    /// RNG draws, so the ledger, the journal, and every decision are
+    /// bit-identical across shard counts. The least-recently-sampled
+    /// chip in a class takes its tokens first: a chip the budget
+    /// deferred gains seniority with every epoch it waits, so budget
+    /// pressure spreads staleness across the class instead of
+    /// starving whichever chips happen to sort last.
+    fn step_autopilot(
+        &mut self,
+        autopilot: &AutopilotConfig,
+        epoch: u64,
+        years: f64,
+    ) -> Result<(), FleetError> {
+        if let Some(memory) = &self.config.memory {
+            // Wear never waits for a sample: stress accrues every
+            // epoch; only the *decisions* (re-encode, degrade) wait
+            // for a granted observation.
+            let epoch_years = self.config.epoch_years;
+            for shard in &mut self.shards {
+                shard.accrue_memory(memory, epoch_years);
+            }
+        }
+        let mut budget = self.budget.take().expect("autopilot fleets carry a budget");
+        autopilot.refill(&mut budget);
+        // Snapshot every due chip with the regime and sample history
+        // it held *before* this epoch's samples, so grant priority
+        // cannot depend on processing order. Shard-major position is
+        // fleet id order, so the sort key is shard-count invariant.
+        //
+        // A chip whose own last-known rate projects it past its
+        // recorded bucket's edge has likely already crossed while
+        // waiting, and a chip that has never taken a real reading
+        // (ΔVth is strictly positive once any time has passed) cannot
+        // be rationed on knowledge it does not have. Both request at
+        // Intervene priority regardless of their resting regime, so
+        // sustained budget pressure can delay quiet chips but never
+        // park a chip on a stale plan across a boundary, and every
+        // enrolled chip gets its baseline read.
+        let bucket_mv = self.config.bucket_mv;
+        let mut due: Vec<(Regime, u64, usize, usize)> = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for i in 0..shard.len() {
+                let pilot = shard.pilot(i).expect("autopilot fleets enroll every chip");
+                if !pilot.due(epoch) {
+                    continue;
+                }
+                #[allow(clippy::cast_precision_loss)]
+                let projected_mv = pilot.last_mv
+                    + pilot.rate_mv_per_epoch * epoch.saturating_sub(pilot.last_epoch) as f64;
+                let never_measured =
+                    epoch >= 1 && pilot.last_mv <= 0.0 && pilot.rate_mv_per_epoch <= 0.0;
+                #[allow(clippy::cast_precision_loss)]
+                let overrun = !shard.is_guardband(i)
+                    && (never_measured
+                        || projected_mv >= (shard.bucket(i).saturating_add(1)) as f64 * bucket_mv);
+                let class = if overrun {
+                    Regime::Intervene
+                } else {
+                    pilot.regime
+                };
+                due.push((class, pilot.last_epoch, s, i));
+            }
+        }
+        let decider = Arc::clone(&self.decider);
+        // Priority classes descend; within a class, the least-recently
+        // sampled chip first (ties in id order), so deferral builds
+        // seniority instead of letting id order starve the same chips
+        // every epoch.
+        for class in [Regime::Intervene, Regime::Watch, Regime::Calm] {
+            let mut class_due: Vec<(u64, usize, usize)> = due
+                .iter()
+                .filter(|(regime, ..)| *regime == class)
+                .map(|&(_, last_epoch, s, i)| (last_epoch, s, i))
+                .collect();
+            class_due.sort_unstable();
+            for (_, s, i) in class_due {
+                let shard = &mut self.shards[s];
+                match autopilot.request(&mut budget, class) {
+                    Grant::Granted => {
+                        Self::sample_chip(
+                            &decider,
+                            &self.config,
+                            autopilot,
+                            shard,
+                            i,
+                            epoch,
+                            years,
+                            budget.tokens,
+                            class,
+                        )?;
+                    }
+                    Grant::Deferred => {
+                        // Graceful degradation: the sample slips
+                        // one epoch, journaled so starvation is
+                        // auditable, never silent.
+                        let mut pilot = shard.pilot(i).expect("due chip has a pilot");
+                        pilot.next_epoch = epoch + 1;
+                        shard.set_pilot(i, pilot);
+                        shard.push_event(JournalEvent {
+                            epoch,
+                            chip: shard.chip_id(i),
+                            kind: EventKind::CadenceDeferred { regime: class },
+                        });
+                    }
+                }
+            }
+        }
+        self.budget = Some(budget);
+        Ok(())
+    }
+
+    /// One granted telemetry sample of chip `i`: reads the ground
+    /// truth, reacts to anything the sample reveals (bucket crossing,
+    /// memory action), folds the observation into the pilot state, and
+    /// takes the new regime's proactive posture — Watch prefetches the
+    /// next bucket's plan into the engine cache, Intervene pushes the
+    /// projected bucket's plan *before* the boundary is reached.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_chip(
+        decider: &Decider,
+        config: &FleetConfig,
+        autopilot: &AutopilotConfig,
+        shard: &mut FleetShard,
+        i: usize,
+        epoch: u64,
+        years: f64,
+        tokens_left: u64,
+        class: Regime,
+    ) -> Result<(), FleetError> {
+        let chip = shard.chip_id(i);
+        let (mv, true_bucket) = shard.observe(i, years, config.bucket_mv);
+        // A revealed crossing is handled exactly as the always-on
+        // path handles one.
+        if true_bucket > shard.bucket(i) {
+            shard.record_crossing(i, true_bucket, epoch);
+            if shard.is_guardband(i) {
+                shard.set_bucket(i, true_bucket);
+            } else {
+                let decision = decider.decide_bucket(true_bucket)?;
+                shard.apply_decision(i, true_bucket, epoch, &decision);
+            }
+        }
+        if config.memory.is_some() {
+            shard.apply_memory_action(decider, epoch, i);
+        }
+        let mem_pressure = config
+            .memory
+            .as_ref()
+            .map_or(0.0, |memory| shard.mem_pressure(i, memory));
+        // Headroom to the *planned* bucket's upper edge. A guardbanded
+        // chip has nothing left to protect on the timing axis, so its
+        // boundary is reported infinitely far; memory pressure alone
+        // can still escalate it.
+        #[allow(clippy::cast_precision_loss)]
+        let margin_mv = if shard.is_guardband(i) {
+            f64::INFINITY
+        } else {
+            ((shard.bucket(i).saturating_add(1)) as f64 * config.bucket_mv - mv).max(0.0)
+        };
+        let mut pilot = shard.pilot(i).expect("sampled chip has a pilot");
+        let transition = autopilot.observe(
+            &mut pilot,
+            &Observation {
+                epoch,
+                mv,
+                margin_mv,
+                residual_mv: None,
+                mem_pressure,
+            },
+        );
+        shard.set_pilot(i, pilot);
+        // The journaled regime is the priority class the grant was
+        // issued under — an overrun-escalated Calm chip's message
+        // rode the Intervene overdraft, and the ledger audit (AP002)
+        // holds token-funded grants, not overdraft grants, to the
+        // per-epoch budget.
+        shard.push_event(JournalEvent {
+            epoch,
+            chip,
+            kind: EventKind::CadenceGranted {
+                regime: class,
+                next_epoch: pilot.next_epoch,
+                tokens_left,
+            },
+        });
+        // The same effective rate `observe` stepped the machine on —
+        // journaled so AP002 can replay the pure transition.
+        let rate = autopilot.effective_rate(&pilot, mem_pressure);
+        if let Some((from, to)) = transition {
+            shard.push_event(JournalEvent {
+                epoch,
+                chip,
+                kind: EventKind::RegimeChanged {
+                    from,
+                    to,
+                    rate_mv_per_epoch: rate,
+                    margin_mv,
+                },
+            });
+        }
+        match pilot.regime {
+            Regime::Watch if !shard.is_guardband(i) => {
+                // Prefetch the next bucket's plan: the decision is
+                // discarded, but the characterization warms the engine
+                // cache so the eventual crossing is a cache hit.
+                decider.decide_bucket(shard.bucket(i).saturating_add(1))?;
+            }
+            Regime::Intervene if !shard.is_guardband(i) => {
+                // Proactive plan push: project ΔVth over the Intervene
+                // horizon (or to the next sample, whichever is
+                // farther); if the chip will have crossed by then,
+                // serve the projected bucket's plan *now* so the chip
+                // never runs on a stale plan across the boundary and
+                // needs no epoch-by-epoch escort through it. The push
+                // is capped one bucket ahead of the ground truth —
+                // pre-positioning the next plan, not extrapolating an
+                // EWMA arbitrarily far. An infeasible projection
+                // degrades the chip before the threshold, not after.
+                let lookahead = pilot
+                    .next_epoch
+                    .saturating_sub(epoch)
+                    .max(u64::from(autopilot.intervene_horizon_epochs));
+                #[allow(clippy::cast_precision_loss)]
+                let projected_mv = mv + rate * lookahead as f64;
+                let projected =
+                    Chip::bucket_of(VthShift::from_millivolts(projected_mv), config.bucket_mv)
+                        .min(true_bucket.saturating_add(1));
+                if projected > shard.bucket(i) {
+                    let decision = decider.decide_bucket(projected)?;
+                    shard.apply_decision(i, projected, epoch, &decision);
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Chips currently running a compressed plan whose *ground-truth*
+    /// bucket is at or past `infeasible_from` — chips that crossed the
+    /// degrade threshold without the controller noticing. The
+    /// autopilot's acceptance bar is zero of these at every epoch;
+    /// the bench and the CI smoke hold it there. A pure column scan:
+    /// no decider involvement, so auditing cannot perturb cache
+    /// counters or the characterization record.
+    #[must_use]
+    pub fn undetected_degrades(&self, infeasible_from: u64) -> usize {
+        #[allow(clippy::cast_precision_loss)]
+        let years = self.epoch as f64 * self.config.epoch_years;
+        let bucket_mv = self.config.bucket_mv;
+        self.shards
+            .iter()
+            .map(|shard| {
+                (0..shard.len())
+                    .filter(|&i| {
+                        !shard.is_guardband(i)
+                            && shard.observe(i, years, bucket_mv).1 >= infeasible_from
+                    })
+                    .count()
+            })
+            .sum()
+    }
+
+    /// The telemetry budget ledger, when the autopilot is armed.
+    #[must_use]
+    pub fn budget(&self) -> Option<&BudgetState> {
+        self.budget.as_ref()
+    }
+
+    /// Arms the closed loop on a live simulator: installs `autopilot`
+    /// into the config, enrolls every chip that does not already
+    /// carry pilot state, and starts the budget ledger if none
+    /// exists. Idempotent — re-arming keeps existing pilot state and
+    /// the ledger, only swapping the thresholds. This is the serve
+    /// host's `POST /v1/autopilot/enroll` path; checkpoint-side
+    /// arming goes through [`FleetState::arm_autopilot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] when the autopilot
+    /// thresholds are unphysical, with each violation spelled out.
+    pub fn arm_autopilot(&mut self, autopilot: AutopilotConfig) -> Result<(), FleetError> {
+        let violations = autopilot.violations();
+        if !violations.is_empty() {
+            return Err(FleetError::InvalidConfig(format!(
+                "autopilot config: {}",
+                violations.join("; ")
+            )));
+        }
+        if self.budget.is_none() {
+            self.budget = Some(BudgetState::fresh(&autopilot));
+        }
+        for shard in &mut self.shards {
+            shard.init_autopilot();
+        }
+        self.config.autopilot = Some(autopilot);
+        Ok(())
+    }
+
+    /// Feeds a measured-vs-model telemetry residual into chip `idx`'s
+    /// rate estimator. The absolute residual folds into the pilot's
+    /// residual EWMA with the configured `ewma_alpha`, where it
+    /// inflates the effective aging rate (weighted by
+    /// `residual_weight`) — a chip whose reports keep disagreeing
+    /// with the model escalates sooner and is sampled more often. A
+    /// no-op when the autopilot is not armed or the chip is not
+    /// enrolled; non-finite residuals are discarded.
+    pub fn report_residual(&mut self, idx: usize, residual_mv: f64) {
+        let Some(autopilot) = &self.config.autopilot else {
+            return;
+        };
+        if !residual_mv.is_finite() {
+            return;
+        }
+        let alpha = autopilot.ewma_alpha;
+        let mut idx = idx;
+        for shard in &mut self.shards {
+            if idx < shard.len() {
+                if let Some(mut pilot) = shard.pilot(idx) {
+                    pilot.residual_mv =
+                        alpha * residual_mv.abs() + (1.0 - alpha) * pilot.residual_mv;
+                    shard.set_pilot(idx, pilot);
+                }
+                return;
+            }
+            idx -= shard.len();
+        }
+    }
+
     /// Runs `epochs` further epochs.
     ///
     /// # Errors
@@ -673,6 +1120,7 @@ impl FleetSim {
             epoch: self.epoch,
             rng: self.rng.clone(),
             chips,
+            autopilot: self.budget,
         }
     }
 
@@ -692,6 +1140,7 @@ impl FleetSim {
             &self.config,
             self.epoch,
             &self.rng,
+            self.budget.as_ref(),
             self.shards
                 .iter()
                 .flat_map(|shard| (0..shard.len()).map(move |i| shard.chip_view(i))),

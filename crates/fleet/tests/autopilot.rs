@@ -1,0 +1,226 @@
+//! The closed-loop autopilot at fleet scale.
+//!
+//! The autopilot replaces every-epoch polling with regime-dependent
+//! cadences under a fleet telemetry budget. These tests pin its
+//! observable surface — the journal events, the summary rollup, the
+//! format-4 checkpoint — and the two guarantees the subsystem is
+//! built on: determinism at every shard count, and zero chips
+//! crossing the degrade threshold undetected while the message count
+//! collapses.
+
+use agequant_fleet::{
+    journal, AutopilotConfig, EventKind, FleetConfig, FleetSim, FleetState, Regime,
+    CHECKPOINT_FORMAT_AUTOPILOT, MAGIC,
+};
+
+fn autopilot_config(chips: u32, seed: u64) -> FleetConfig {
+    let mut config = FleetConfig::new(chips, seed);
+    config.autopilot = Some(AutopilotConfig::demo());
+    config
+}
+
+fn frame_version(frame: &[u8]) -> u32 {
+    u32::from_le_bytes(frame[MAGIC.len()..MAGIC.len() + 4].try_into().expect("4"))
+}
+
+/// The headline scenario: over a full mission the autopilot grants a
+/// small fraction of the messages fixed-cadence polling would send,
+/// defers only Calm/Watch chips, and never lets a chip cross the
+/// degrade threshold unnoticed.
+#[test]
+fn autopilot_saves_telemetry_without_missing_a_degrade() {
+    let epochs = 60u64;
+    let config = autopilot_config(64, 2024);
+    let mut sim = FleetSim::new(config).expect("valid config");
+    sim.run(epochs).expect("simulates");
+
+    let budget = sim.budget().expect("armed autopilot has a ledger");
+    let polled = u64::from(64u32) * epochs;
+    assert!(
+        budget.granted * 2 < polled,
+        "autopilot granted {} of {polled} fixed-cadence messages — no savings",
+        budget.granted
+    );
+
+    // Ground truth audit: no compressed chip sits at or past the
+    // smallest bucket the decider proved infeasible.
+    if let Some(infeasible) = sim.decider().min_infeasible_bucket() {
+        assert_eq!(
+            sim.undetected_degrades(infeasible),
+            0,
+            "a chip crossed the degrade threshold between samples"
+        );
+    }
+
+    // The journal narrates the loop: cadence grants for every sample,
+    // regime changes with the rate that caused them, and no Intervene
+    // chip ever deferred.
+    let events = sim.journal();
+    let mut grants = 0u64;
+    let mut changes = 0usize;
+    for event in &events {
+        match &event.kind {
+            EventKind::CadenceGranted { next_epoch, .. } => {
+                grants += 1;
+                assert!(*next_epoch > event.epoch, "cadence must move forward");
+            }
+            EventKind::CadenceDeferred { regime } => {
+                assert_ne!(*regime, Regime::Intervene, "Intervene is never starved");
+            }
+            EventKind::RegimeChanged { from, to, .. } => {
+                changes += 1;
+                assert_ne!(from, to, "a regime change changes the regime");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(grants, budget.granted, "journal grants match the ledger");
+    assert!(changes > 0, "a 30-year mission transitions regimes");
+
+    let summary = sim.summary();
+    let rollup = summary.autopilot.expect("armed summary has the rollup");
+    assert_eq!(rollup.enrolled, 64);
+    assert_eq!(rollup.calm + rollup.watch + rollup.intervene, 64);
+    assert_eq!(rollup.messages_granted, budget.granted);
+    assert!(summary.render_text().contains("autopilot:"));
+}
+
+/// Every shard count produces the same checkpoint bytes, the same
+/// merged journal, and the same summary: the grant loop runs in
+/// regime-priority then id order off a pre-pass snapshot, so worker
+/// threading never shows through.
+#[test]
+fn autopilot_shard_count_never_changes_an_observable_byte() {
+    let config = autopilot_config(48, 77);
+
+    let mut reference = FleetSim::new_sharded(config.clone(), 1).expect("valid config");
+    reference.run(24).expect("simulates");
+    let want_frame = reference.to_state().to_binary().expect("encodes");
+    let want_journal = journal::to_jsonl(&reference.journal());
+    let want_summary = reference.summary().to_json();
+
+    for shards in [2usize, 3, 8] {
+        let mut sim = FleetSim::new_sharded(config.clone(), shards).expect("valid config");
+        sim.run(24).expect("simulates");
+        assert_eq!(
+            sim.to_state().to_binary().expect("encodes"),
+            want_frame,
+            "{shards}-shard autopilot frame diverged from the serial run"
+        );
+        assert_eq!(
+            journal::to_jsonl(&sim.journal()),
+            want_journal,
+            "{shards}-shard autopilot journal diverged from the serial run"
+        );
+        assert_eq!(
+            sim.summary().to_json(),
+            want_summary,
+            "{shards}-shard autopilot summary diverged from the serial run"
+        );
+    }
+}
+
+/// Checkpoint/resume is bit-identical to the straight run at mixed
+/// shard counts: the pilot states, budget ledger, and cadence
+/// schedule all survive the format-4 frame.
+#[test]
+fn autopilot_resume_is_bit_identical_across_shard_counts() {
+    let config = autopilot_config(32, 41);
+
+    let mut straight = FleetSim::new_sharded(config.clone(), 1).expect("valid config");
+    straight.run(20).expect("simulates");
+    let want = straight.to_state().to_binary().expect("encodes");
+    let want_journal = journal::to_jsonl(&straight.journal());
+
+    for (first, second) in [(1usize, 4usize), (3, 2), (4, 1)] {
+        let mut leg1 = FleetSim::new_sharded(config.clone(), first).expect("valid config");
+        leg1.run(9).expect("simulates");
+        let mut journal_text = journal::to_jsonl(&leg1.journal());
+        let frame = leg1.to_state().to_binary().expect("encodes");
+        assert_eq!(frame_version(&frame), CHECKPOINT_FORMAT_AUTOPILOT);
+        let restored = FleetState::load(&frame).expect("frame loads");
+        let mut leg2 = FleetSim::resume_sharded(restored, second).expect("resumes");
+        leg2.run(11).expect("simulates");
+        journal_text.push_str(&journal::to_jsonl(&leg2.journal()));
+        assert_eq!(
+            leg2.to_state().to_binary().expect("encodes"),
+            want,
+            "{first}-shard leg + {second}-shard resume diverged"
+        );
+        assert_eq!(
+            journal_text, want_journal,
+            "{first}+{second} journal diverged from the straight run"
+        );
+    }
+}
+
+/// The autopilot composes with the weight-memory axis: stress accrual
+/// stays per-epoch physics, memory actions happen at sample time, and
+/// the combined run stays shard-invariant.
+#[test]
+fn autopilot_with_memory_axis_is_shard_invariant() {
+    let mut config = autopilot_config(32, 9);
+    config.memory = Some(agequant_mem::MemoryConfig::demo());
+
+    let mut reference = FleetSim::new_sharded(config.clone(), 1).expect("valid config");
+    reference.run(40).expect("simulates");
+    let want_frame = reference.to_state().to_binary().expect("encodes");
+    let want_journal = journal::to_jsonl(&reference.journal());
+
+    let mut sharded = FleetSim::new_sharded(config, 4).expect("valid config");
+    sharded.run(40).expect("simulates");
+    assert_eq!(sharded.to_state().to_binary().expect("encodes"), want_frame);
+    assert_eq!(journal::to_jsonl(&sharded.journal()), want_journal);
+
+    let summary = reference.summary();
+    assert!(summary.memory.is_some(), "memory rollup present");
+    assert!(summary.autopilot.is_some(), "autopilot rollup present");
+}
+
+/// Migration: the committed pre-autopilot format-2 binary fixture
+/// arms in place — every chip gets a fresh pilot, the ledger fills to
+/// burst — and the resumed fleet runs the closed loop and saves as
+/// format 4.
+#[test]
+fn pre_autopilot_fixture_arms_and_resumes_as_format_four() {
+    let fixture: &[u8] = include_bytes!("fixtures/pre-mem-state.bin");
+    assert_eq!(frame_version(fixture), 2);
+    let mut state = FleetState::load(fixture).expect("format-2 frame loads");
+    let resumed_from = state.epoch;
+
+    state.arm_autopilot(AutopilotConfig::demo());
+    assert!(state.chips.iter().all(|c| c.pilot.is_some()));
+    assert!(state.autopilot.is_some(), "arming creates the ledger");
+
+    let mut sim = FleetSim::resume(state).expect("armed state resumes");
+    sim.run(12).expect("simulates");
+    assert!(sim.epoch() > resumed_from);
+
+    let saved = sim.to_state().to_binary().expect("encodes");
+    assert_eq!(frame_version(&saved), CHECKPOINT_FORMAT_AUTOPILOT);
+    let back = FleetState::load(&saved).expect("format-4 frame loads");
+    assert_eq!(back, sim.to_state(), "armed checkpoint round-trips");
+    assert!(
+        sim.journal()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CadenceGranted { .. })),
+        "the resumed fleet actually ran the closed loop"
+    );
+}
+
+/// An invalid autopilot configuration is rejected up front with the
+/// violations spelled out, not discovered mid-mission.
+#[test]
+fn invalid_autopilot_config_is_rejected() {
+    let mut config = autopilot_config(4, 1);
+    if let Some(autopilot) = &mut config.autopilot {
+        // Exit above entry: the hysteresis band is inverted.
+        autopilot.watch_exit_mv = autopilot.watch_enter_mv * 2.0;
+    }
+    match FleetSim::new(config) {
+        Err(agequant_fleet::FleetError::InvalidConfig(msg)) => {
+            assert!(msg.contains("autopilot"), "got: {msg}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}

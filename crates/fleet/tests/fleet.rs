@@ -75,7 +75,10 @@ fn thousand_chip_fleet_amortizes_to_distinct_buckets() {
             EventKind::Replanned { bucket, .. } | EventKind::Degraded { bucket } => Some(bucket),
             EventKind::BucketCrossed { .. }
             | EventKind::Reencoded { .. }
-            | EventKind::MemoryDegraded { .. } => None,
+            | EventKind::MemoryDegraded { .. }
+            | EventKind::RegimeChanged { .. }
+            | EventKind::CadenceGranted { .. }
+            | EventKind::CadenceDeferred { .. } => None,
         })
         .collect();
     assert_eq!(journaled, planned);

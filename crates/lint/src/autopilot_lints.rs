@@ -1,0 +1,275 @@
+//! Lints over autopilot artifacts: controller-configuration
+//! physicality (AP001) and cadence/regime journal causality (AP002).
+
+use agequant_fleet::EventKind;
+
+use crate::lint::{Artifact, Lint, Sink};
+
+/// AP001: an armed checkpoint's autopilot must be physically
+/// plausible — the controller configuration and the persisted control
+/// state, not just parseable bytes.
+///
+/// Checks: the embedded [`AutopilotConfig`] passes its own
+/// physicality contract (hysteresis bands ordered with positive gaps,
+/// cadences monotone in regime, a positive budget whose burst holds
+/// at least one refill, memory pressure reaching the Intervene band);
+/// an armed fleet carries a budget ledger and a pilot on every chip
+/// while an unarmed fleet carries neither; the ledger's tokens never
+/// exceed the configured burst; and every pilot state is physical —
+/// finite non-negative rate, residual, and level estimates, with the
+/// next scheduled sample never before the last one taken.
+///
+/// [`AutopilotConfig`]: agequant_fleet::AutopilotConfig
+pub struct AutopilotConfigPhysical;
+
+impl Lint for AutopilotConfigPhysical {
+    fn code(&self) -> &'static str {
+        "AP001"
+    }
+
+    fn slug(&self) -> &'static str {
+        "autopilot-config-unphysical"
+    }
+
+    fn description(&self) -> &'static str {
+        "autopilot checkpoint with inverted hysteresis bands, an impossible budget, or unphysical pilot state"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::FleetCheckpoint { state, .. } = artifact else {
+            return;
+        };
+        let Some(autopilot) = &state.config.autopilot else {
+            // An unarmed fleet must not smuggle control state.
+            if let Some(ledger) = &state.autopilot {
+                sink.report(format!(
+                    "fleet is not armed but carries a budget ledger ({} tokens)",
+                    ledger.tokens
+                ));
+            }
+            for chip in &state.chips {
+                if chip.pilot.is_some() {
+                    sink.report(format!(
+                        "chip {} carries a pilot state but the fleet is not armed",
+                        chip.id
+                    ));
+                }
+            }
+            return;
+        };
+        for violation in autopilot.violations() {
+            sink.report(format!("controller configuration is unsound: {violation}"));
+        }
+        match &state.autopilot {
+            None => sink.report("armed fleet is missing its budget ledger"),
+            Some(ledger) => {
+                if ledger.tokens > autopilot.budget_burst {
+                    sink.report(format!(
+                        "ledger holds {} tokens but the bucket bursts at {}",
+                        ledger.tokens, autopilot.budget_burst
+                    ));
+                }
+            }
+        }
+        for chip in &state.chips {
+            let Some(pilot) = &chip.pilot else {
+                sink.report(format!(
+                    "chip {} has no pilot state in an armed fleet",
+                    chip.id
+                ));
+                continue;
+            };
+            for (label, value) in [
+                ("rate estimate", pilot.rate_mv_per_epoch),
+                ("residual estimate", pilot.residual_mv),
+                ("last sampled level", pilot.last_mv),
+            ] {
+                if !(value.is_finite() && value >= 0.0) {
+                    sink.report(format!(
+                        "chip {}: pilot {label} must be finite and non-negative, got {value} mV",
+                        chip.id
+                    ));
+                }
+            }
+            if pilot.next_epoch < pilot.last_epoch {
+                sink.report(format!(
+                    "chip {}: next sample at epoch {} is before the last sample at {}",
+                    chip.id, pilot.next_epoch, pilot.last_epoch
+                ));
+            }
+        }
+    }
+}
+
+/// AP002: the journal's cadence and regime events must be causally
+/// consistent — with the controller configuration that produced them
+/// and with the checkpoint they lead up to.
+///
+/// Checks: autopilot events only appear when the fleet is armed;
+/// every regime change replays through the configuration's own pure
+/// hysteresis machine (`step_regime` on the journaled rate and margin
+/// must yield the journaled destination, and a change must change the
+/// regime); every grant schedules the next sample strictly forward
+/// and leaves no more tokens than the bucket can hold; no epoch
+/// grants more non-Intervene messages than the burst (only the
+/// Intervene overdraft may exceed the bucket); an Intervene chip is
+/// never deferred; chips with autopilot events hold a pilot in the
+/// checkpoint; and the checkpoint's ledger has at least as many
+/// grants and deferrals as the journal narrates.
+pub struct CadenceCausality;
+
+impl Lint for CadenceCausality {
+    fn code(&self) -> &'static str {
+        "AP002"
+    }
+
+    fn slug(&self) -> &'static str {
+        "autopilot-journal-acausal"
+    }
+
+    fn description(&self) -> &'static str {
+        "autopilot journal with unreplayable regime changes, starved Intervene chips, or a budget the config cannot have granted"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::FleetJournal { state, events, .. } = artifact else {
+            return;
+        };
+        let autopilot = state.config.autopilot.as_ref();
+        let mut granted = 0u64;
+        let mut deferred = 0u64;
+        let mut touched: Vec<bool> = vec![false; state.chips.len()];
+        // Non-Intervene grants per epoch: the bucket bounds these; only
+        // the Intervene overdraft may exceed it.
+        let mut epoch_grants = 0u64;
+        let mut grants_epoch = u64::MAX;
+        for (idx, event) in events.iter().enumerate() {
+            let line = idx + 1;
+            let is_autopilot = matches!(
+                event.kind,
+                EventKind::RegimeChanged { .. }
+                    | EventKind::CadenceGranted { .. }
+                    | EventKind::CadenceDeferred { .. }
+            );
+            if !is_autopilot {
+                continue;
+            }
+            let Some(config) = autopilot else {
+                sink.report(format!(
+                    "event {line}: autopilot event for chip {} but the fleet is not armed",
+                    event.chip
+                ));
+                continue;
+            };
+            if let Some(slot) = touched.get_mut(event.chip as usize) {
+                *slot = true;
+            } else {
+                // FL002 reports the orphan chip itself.
+                continue;
+            }
+            match event.kind {
+                EventKind::RegimeChanged {
+                    from,
+                    to,
+                    rate_mv_per_epoch,
+                    margin_mv,
+                } => {
+                    if from == to {
+                        sink.report(format!(
+                            "event {line}: chip {} \"changed\" regime {} to itself",
+                            event.chip,
+                            from.name()
+                        ));
+                    }
+                    let replayed = config.step_regime(from, rate_mv_per_epoch, margin_mv);
+                    if replayed != to {
+                        sink.report(format!(
+                            "event {line}: chip {} moved {} → {} but the configuration's \
+                             hysteresis machine gives {} at {rate_mv_per_epoch} mV/epoch \
+                             with {margin_mv} mV of margin",
+                            event.chip,
+                            from.name(),
+                            to.name(),
+                            replayed.name()
+                        ));
+                    }
+                }
+                EventKind::CadenceGranted {
+                    regime,
+                    next_epoch,
+                    tokens_left,
+                } => {
+                    granted += 1;
+                    if next_epoch <= event.epoch {
+                        sink.report(format!(
+                            "event {line}: chip {} was rescheduled to epoch {next_epoch}, \
+                             not after the sample at epoch {}",
+                            event.chip, event.epoch
+                        ));
+                    }
+                    if tokens_left > config.budget_burst {
+                        sink.report(format!(
+                            "event {line}: {tokens_left} tokens left after a grant but the \
+                             bucket bursts at {}",
+                            config.budget_burst
+                        ));
+                    }
+                    if regime != agequant_fleet::Regime::Intervene {
+                        if event.epoch != grants_epoch {
+                            grants_epoch = event.epoch;
+                            epoch_grants = 0;
+                        }
+                        epoch_grants += 1;
+                        if epoch_grants == config.budget_burst + 1 {
+                            sink.report(format!(
+                                "epoch {}: more than {} non-Intervene grants — the bucket \
+                                 cannot hold that many tokens",
+                                event.epoch, config.budget_burst
+                            ));
+                        }
+                    }
+                }
+                EventKind::CadenceDeferred { regime } => {
+                    deferred += 1;
+                    if regime == agequant_fleet::Regime::Intervene {
+                        sink.report(format!(
+                            "event {line}: chip {} was deferred in Intervene — Intervene \
+                             draws the overdraft, never starves",
+                            event.chip
+                        ));
+                    }
+                }
+                _ => unreachable!("filtered to autopilot events above"),
+            }
+        }
+        // The checkpoint must agree with the journaled history.
+        for (slot, chip) in state.chips.iter().enumerate() {
+            if touched[slot] && chip.pilot.is_none() {
+                sink.report(format!(
+                    "chip {}: journal holds autopilot events but the checkpoint carries \
+                     no pilot state",
+                    chip.id
+                ));
+            }
+        }
+        if let Some(ledger) = &state.autopilot {
+            if granted > ledger.granted {
+                sink.report(format!(
+                    "journal narrates {granted} grants but the ledger records only {}",
+                    ledger.granted
+                ));
+            }
+            if deferred > ledger.deferred {
+                sink.report(format!(
+                    "journal narrates {deferred} deferrals but the ledger records only {}",
+                    ledger.deferred
+                ));
+            }
+        } else if granted + deferred > 0 {
+            sink.report(format!(
+                "journal narrates {granted} grants and {deferred} deferrals but the \
+                 checkpoint has no budget ledger"
+            ));
+        }
+    }
+}

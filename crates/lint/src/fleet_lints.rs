@@ -18,6 +18,13 @@ use crate::lint::{Artifact, Lint, Sink};
 /// physical bounds; and each chip's bucket equals what its own
 /// recorded kinetics imply at the recorded epoch, so a tampered epoch
 /// or bucket cannot masquerade as forward progress.
+///
+/// Autopilot-armed chips are sampled sparsely, so their recorded
+/// bucket may lag the kinetics (no sample since the last crossing)
+/// or run one bucket ahead (Intervene pushes the next plan before
+/// the boundary). For those chips the replay bounds the bucket by
+/// the pilot's sampling window instead of demanding every-epoch
+/// agreement; AP001/AP002 audit the cadence decisions themselves.
 pub struct CheckpointConsistency;
 
 impl Lint for CheckpointConsistency {
@@ -90,7 +97,24 @@ impl Lint for CheckpointConsistency {
                 #[allow(clippy::cast_precision_loss)]
                 let years = state.epoch as f64 * state.config.epoch_years;
                 let expected = Chip::bucket_of(chip.shift_at(years), state.config.bucket_mv);
-                if chip.bucket != expected {
+                if let Some(pilot) = &chip.pilot {
+                    // Sparse cadence: the bucket was last touched at the
+                    // pilot's sample epoch, and Intervene may have pushed
+                    // the plan one bucket ahead of the kinetics.
+                    #[allow(clippy::cast_precision_loss)]
+                    let sampled_years =
+                        pilot.last_epoch.min(state.epoch) as f64 * state.config.epoch_years;
+                    let floor =
+                        Chip::bucket_of(chip.shift_at(sampled_years), state.config.bucket_mv);
+                    let ceiling = expected.saturating_add(1);
+                    if chip.bucket < floor || chip.bucket > ceiling {
+                        sink.report(format!(
+                            "chip {} records bucket {} but its kinetics and sampling window \
+                             allow only buckets {floor}..={ceiling} at epoch {}",
+                            chip.id, chip.bucket, state.epoch
+                        ));
+                    }
+                } else if chip.bucket != expected {
                     sink.report(format!(
                         "chip {} records bucket {} but its kinetics put it in bucket {expected} \
                          at epoch {}",
@@ -175,8 +199,13 @@ impl Lint for JournalCausality {
                     }
                 }
                 EventKind::Degraded { .. } => degraded[chip] = true,
-                // The memory axis has its own causality lint (ME002).
-                EventKind::Reencoded { .. } | EventKind::MemoryDegraded { .. } => {}
+                // The memory axis has its own causality lint (ME002),
+                // and the autopilot's cadence events have AP002.
+                EventKind::Reencoded { .. }
+                | EventKind::MemoryDegraded { .. }
+                | EventKind::RegimeChanged { .. }
+                | EventKind::CadenceGranted { .. }
+                | EventKind::CadenceDeferred { .. } => {}
             }
         }
     }

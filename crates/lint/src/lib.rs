@@ -27,6 +27,8 @@
 //! | FL002 | fleet-journal-acausal | journal order, orphan chips, replans after degrade |
 //! | ME001 | memory-report-unphysical | duty bounds, monotone failure curves, cell-model agreement |
 //! | ME002 | memory-reencode-acausal | re-encode counts, budgets, terminal memory degradation |
+//! | AP001 | autopilot-config-unphysical | hysteresis bands, budget bounds, pilot-state physicality |
+//! | AP002 | autopilot-journal-acausal | regime changes replay, grants respect the bucket, Intervene never starves |
 //! | SV001 | serve-config-invalid | saved decision-server configuration no longer validates |
 //! | SRC001 | std-sync-outside-facade | direct `std::sync`/`std::thread` in a ported crate, `Condvar` wait outside a loop |
 //!
@@ -48,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod aging_lints;
+mod autopilot_lints;
 mod cell_lints;
 mod config;
 mod diagnostic;

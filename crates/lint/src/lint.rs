@@ -14,8 +14,8 @@ use agequant_sta::TimingReport;
 use crate::config::LintConfig;
 use crate::diagnostic::{Diagnostic, LintReport, Severity};
 use crate::{
-    aging_lints, cell_lints, fleet_lints, mem_lints, netlist_lints, quant_lints, serve_lints,
-    src_lints, sta_lints,
+    aging_lints, autopilot_lints, cell_lints, fleet_lints, mem_lints, netlist_lints, quant_lints,
+    serve_lints, src_lints, sta_lints,
 };
 
 /// One artifact of the flow, presented for static verification.
@@ -205,6 +205,8 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(fleet_lints::JournalCausality),
         Box::new(mem_lints::MemoryReportPhysical),
         Box::new(mem_lints::ReencodeCausality),
+        Box::new(autopilot_lints::AutopilotConfigPhysical),
+        Box::new(autopilot_lints::CadenceCausality),
         Box::new(serve_lints::ServeConfigValid),
         Box::new(src_lints::FacadeDiscipline),
     ]
@@ -296,7 +298,8 @@ mod tests {
         assert_eq!(sorted.len(), codes.len(), "duplicate lint code");
         for expected in [
             "AG001", "NL001", "NL002", "NL003", "NL004", "NL005", "CL001", "CL002", "CL003",
-            "ST001", "ST002", "QT001", "FL001", "FL002", "ME001", "ME002", "SV001", "SRC001",
+            "ST001", "ST002", "QT001", "FL001", "FL002", "ME001", "ME002", "AP001", "AP002",
+            "SV001", "SRC001",
         ] {
             assert!(codes.contains(&expected), "missing {expected}");
         }

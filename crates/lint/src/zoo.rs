@@ -48,6 +48,8 @@ pub struct Zoo {
     fleet_journal: Vec<JournalEvent>,
     fleet_mem_state: FleetState,
     fleet_mem_journal: Vec<JournalEvent>,
+    fleet_pilot_state: FleetState,
+    fleet_pilot_journal: Vec<JournalEvent>,
     memory_report: MemoryReport,
     serve_config: ServeConfig,
     sources: Vec<(String, String)>,
@@ -63,7 +65,7 @@ fn ported_sources() -> Vec<(String, String)> {
         .expect("crates dir")
         .to_path_buf();
     let mut sources = Vec::new();
-    for krate in ["core", "serve", "fleet"] {
+    for krate in ["core", "serve", "fleet", "autopilot"] {
         let src = root.join(krate).join("src");
         let mut stack = vec![src];
         while let Some(dir) = stack.pop() {
@@ -201,6 +203,19 @@ impl Zoo {
         let fleet_mem_state = mem_fleet.to_state();
         let fleet_mem_journal = mem_fleet.journal();
 
+        // An autopilot-armed fleet run long enough to visit several
+        // regimes, so AP001/AP002 always have live control state and
+        // cadence events to audit.
+        let mut pilot_config = FleetConfig::new(20, 13);
+        pilot_config.autopilot = Some(agequant_fleet::AutopilotConfig::demo());
+        let mut pilot_fleet =
+            FleetSim::new(pilot_config).expect("shipped autopilot fleet config is valid");
+        pilot_fleet
+            .run(24)
+            .expect("shipped autopilot fleet simulates");
+        let fleet_pilot_state = pilot_fleet.to_state();
+        let fleet_pilot_journal = pilot_fleet.journal();
+
         // A quantized zoo network's memory-aging report, held to ME001.
         let model = NetArch::AlexNet.build(1);
         let data = SyntheticDataset::generate(8, 2);
@@ -225,6 +240,8 @@ impl Zoo {
             fleet_journal,
             fleet_mem_state,
             fleet_mem_journal,
+            fleet_pilot_state,
+            fleet_pilot_journal,
             memory_report,
             // The server's shipped defaults, held to SV001.
             serve_config: ServeConfig::default(),
@@ -286,6 +303,15 @@ impl Zoo {
             name: "fleet_mem_journal",
             state: &self.fleet_mem_state,
             events: &self.fleet_mem_journal,
+        });
+        artifacts.push(Artifact::FleetCheckpoint {
+            name: "fleet_autopilot_checkpoint",
+            state: &self.fleet_pilot_state,
+        });
+        artifacts.push(Artifact::FleetJournal {
+            name: "fleet_autopilot_journal",
+            state: &self.fleet_pilot_state,
+            events: &self.fleet_pilot_journal,
         });
         artifacts.push(Artifact::MemoryReport {
             name: "alexnet_w8a8_memory",

@@ -617,6 +617,168 @@ fn me002_fires_on_acausal_reencode_journals() {
     assert!(journal_codes(&memoryless_state, &memoryless).contains(&"ME002".to_string()));
 }
 
+/// An autopilot-armed fleet run long enough to grant, defer, and
+/// change regimes: the base for AP001/AP002 corruption.
+fn base_autopilot_fleet() -> (
+    agequant_fleet::FleetState,
+    Vec<agequant_fleet::JournalEvent>,
+) {
+    use agequant_fleet::{AutopilotConfig, FleetConfig, FleetSim};
+
+    let mut config = FleetConfig::new(12, 21);
+    config.autopilot = Some(AutopilotConfig::demo());
+    let mut sim = FleetSim::new(config).expect("valid config");
+    sim.run(24).expect("simulates");
+    (sim.to_state(), sim.journal())
+}
+
+#[test]
+fn ap001_fires_on_unphysical_autopilot_checkpoints() {
+    let (clean, _) = base_autopilot_fleet();
+    assert!(!checkpoint_codes(&clean).contains(&"AP001".to_string()));
+
+    // An inverted hysteresis band: watch exit above watch entry.
+    let mut inverted = clean.clone();
+    if let Some(autopilot) = &mut inverted.config.autopilot {
+        autopilot.watch_exit_mv = autopilot.watch_enter_mv * 2.0;
+    }
+    assert!(checkpoint_codes(&inverted).contains(&"AP001".to_string()));
+
+    // A ledger holding more tokens than the bucket can burst.
+    let mut overfull = clean.clone();
+    if let Some(ledger) = &mut overfull.autopilot {
+        ledger.tokens = overfull.config.autopilot.as_ref().unwrap().budget_burst + 1;
+    }
+    assert!(checkpoint_codes(&overfull).contains(&"AP001".to_string()));
+
+    // An armed fleet with a chip flying without a pilot.
+    let mut pilotless = clean.clone();
+    pilotless.chips[3].pilot = None;
+    assert!(checkpoint_codes(&pilotless).contains(&"AP001".to_string()));
+
+    // A pilot scheduled to sample before its own last sample.
+    let mut rewound = clean.clone();
+    if let Some(pilot) = &mut rewound.chips[0].pilot {
+        pilot.last_epoch = pilot.next_epoch + 5;
+    }
+    assert!(checkpoint_codes(&rewound).contains(&"AP001".to_string()));
+
+    // A negative rate estimate — aging only ascends.
+    let mut negative = clean.clone();
+    if let Some(pilot) = &mut negative.chips[0].pilot {
+        pilot.rate_mv_per_epoch = -1.0;
+    }
+    assert!(checkpoint_codes(&negative).contains(&"AP001".to_string()));
+
+    // Control state smuggled into an unarmed fleet.
+    let mut smuggled = clean;
+    smuggled.config.autopilot = None;
+    assert!(checkpoint_codes(&smuggled).contains(&"AP001".to_string()));
+
+    // A plain fleet with no autopilot anywhere stays silent.
+    let (plain, _) = base_fleet();
+    assert!(!checkpoint_codes(&plain).contains(&"AP001".to_string()));
+}
+
+#[test]
+fn ap002_fires_on_acausal_cadence_journals() {
+    use agequant_fleet::{EventKind, Regime};
+
+    let (state, clean) = base_autopilot_fleet();
+    assert!(
+        clean
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RegimeChanged { .. })),
+        "mission long enough to change regimes"
+    );
+    assert!(!journal_codes(&state, &clean).contains(&"AP002".to_string()));
+
+    // A regime change the configuration's hysteresis machine disowns:
+    // a calm rate cannot jump straight to Intervene.
+    let mut forged = clean.clone();
+    let change = forged
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::RegimeChanged { .. }))
+        .expect("journal has regime changes");
+    forged[change].kind = EventKind::RegimeChanged {
+        from: Regime::Calm,
+        to: Regime::Intervene,
+        rate_mv_per_epoch: 0.1,
+        margin_mv: 1000.0,
+    };
+    assert!(journal_codes(&state, &forged).contains(&"AP002".to_string()));
+
+    // A "change" that changes nothing.
+    let mut idle = clean.clone();
+    idle[change].kind = EventKind::RegimeChanged {
+        from: Regime::Calm,
+        to: Regime::Calm,
+        rate_mv_per_epoch: 0.1,
+        margin_mv: 1000.0,
+    };
+    assert!(journal_codes(&state, &idle).contains(&"AP002".to_string()));
+
+    // A grant that never rescheduled the chip forward.
+    let grant = clean
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::CadenceGranted { .. }))
+        .expect("journal has grants");
+    let mut stalled = clean.clone();
+    stalled[grant].kind = EventKind::CadenceGranted {
+        regime: Regime::Calm,
+        next_epoch: stalled[grant].epoch,
+        tokens_left: 0,
+    };
+    assert!(journal_codes(&state, &stalled).contains(&"AP002".to_string()));
+
+    // A grant leaving more tokens than the bucket can hold.
+    let mut minted = clean.clone();
+    minted[grant].kind = EventKind::CadenceGranted {
+        regime: Regime::Calm,
+        next_epoch: minted[grant].epoch + 1,
+        tokens_left: state.config.autopilot.as_ref().unwrap().budget_burst + 50,
+    };
+    assert!(journal_codes(&state, &minted).contains(&"AP002".to_string()));
+
+    // An Intervene chip starved at the gate.
+    let mut starved = clean.clone();
+    starved.push(agequant_fleet::JournalEvent {
+        epoch: state.epoch,
+        chip: 0,
+        kind: EventKind::CadenceDeferred {
+            regime: Regime::Intervene,
+        },
+    });
+    assert!(journal_codes(&state, &starved).contains(&"AP002".to_string()));
+
+    // More grants than the checkpoint's ledger ever recorded.
+    let mut inflated = clean.clone();
+    let ledger_granted = state.autopilot.as_ref().unwrap().granted;
+    for _ in 0..=ledger_granted {
+        inflated.push(agequant_fleet::JournalEvent {
+            epoch: state.epoch,
+            chip: 0,
+            kind: EventKind::CadenceGranted {
+                regime: Regime::Intervene,
+                next_epoch: state.epoch + 1,
+                tokens_left: 0,
+            },
+        });
+    }
+    assert!(journal_codes(&state, &inflated).contains(&"AP002".to_string()));
+
+    // Autopilot events in a fleet that was never armed.
+    let (plain_state, mut plain) = base_fleet();
+    plain.push(agequant_fleet::JournalEvent {
+        epoch: plain_state.epoch,
+        chip: 0,
+        kind: EventKind::CadenceDeferred {
+            regime: Regime::Calm,
+        },
+    });
+    assert!(journal_codes(&plain_state, &plain).contains(&"AP002".to_string()));
+}
+
 /// SV001 corruption.
 fn serve_codes(config: &agequant_serve::ServeConfig) -> Vec<String> {
     codes(Artifact::ServeConfig {

@@ -14,15 +14,27 @@
 //! * `GET /v1/models` — the degradation-model zoo: names,
 //!   descriptions, the server default, and which models hold a live
 //!   decider.
+//! * `POST /v1/plan/batch` — a JSON array of plan requests decided in
+//!   one round trip; each element answers with the exact bytes its
+//!   single call would have produced, errors included.
 //! * `POST /v1/telemetry` — per-chip aging samples advance a hosted
-//!   [`FleetSim`](agequant_fleet::FleetSim), journaled live.
+//!   [`FleetSim`](agequant_fleet::FleetSim), journaled live. Reported
+//!   ΔVth is cross-checked against the model and the residual is fed
+//!   to the metrics gauge and (for enrolled chips) the autopilot's
+//!   rate estimator; enrolled chips get a cadence hint back.
+//! * `POST /v1/autopilot/enroll` — arms the regime-switching closed
+//!   loop ([`agequant_autopilot`](agequant_fleet::AutopilotConfig))
+//!   over the hosted fleet, with optional budget overrides.
+//! * `GET /v1/autopilot/summary` — the regime census and telemetry
+//!   budget ledger (`404` until enrolled).
 //! * `GET /v1/fleet/summary` — the hosted fleet's plan distribution.
 //! * `GET /v1/memory/summary` — the weight-memory aging rollup, when
 //!   the hosted fleet tracks the memory axis (`404` otherwise).
 //! * `GET /metrics` — Prometheus text: request counts, latency
 //!   histograms, queue depth, the engine's cache counters (aggregate,
-//!   plus per-degradation-model labelled series), and the memory
-//!   rollup when the axis is enabled.
+//!   plus per-degradation-model labelled series), the telemetry
+//!   residual EWMA, and the memory/autopilot rollups when those axes
+//!   are enabled.
 //!
 //! Concurrency is a bounded-queue worker pool built on the
 //! `agequant-check` facade over `std` (threads, `Mutex`/`Condvar`,

@@ -11,7 +11,7 @@ use std::time::Duration;
 use agequant_check::sync::atomic::{AtomicU64, Ordering};
 
 use agequant_core::CacheStats;
-use agequant_fleet::MemorySummary;
+use agequant_fleet::{AutopilotSummary, MemorySummary};
 
 /// Latency histogram upper bounds, seconds. The last implicit bucket
 /// is `+Inf`.
@@ -24,6 +24,8 @@ pub const LATENCY_BUCKETS_S: [f64; 12] = [
 pub enum Endpoint {
     /// `POST /v1/plan`
     Plan,
+    /// `POST /v1/plan/batch`
+    PlanBatch,
     /// `POST /v1/telemetry`
     Telemetry,
     /// `GET /v1/fleet/summary`
@@ -39,8 +41,9 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 7] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::Plan,
+        Endpoint::PlanBatch,
         Endpoint::Telemetry,
         Endpoint::Summary,
         Endpoint::Metrics,
@@ -52,18 +55,20 @@ impl Endpoint {
     fn index(self) -> usize {
         match self {
             Endpoint::Plan => 0,
-            Endpoint::Telemetry => 1,
-            Endpoint::Summary => 2,
-            Endpoint::Metrics => 3,
-            Endpoint::Shutdown => 4,
-            Endpoint::MemorySummary => 5,
-            Endpoint::Other => 6,
+            Endpoint::PlanBatch => 1,
+            Endpoint::Telemetry => 2,
+            Endpoint::Summary => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Shutdown => 5,
+            Endpoint::MemorySummary => 6,
+            Endpoint::Other => 7,
         }
     }
 
     fn label(self) -> &'static str {
         match self {
             Endpoint::Plan => "plan",
+            Endpoint::PlanBatch => "plan_batch",
             Endpoint::Telemetry => "telemetry",
             Endpoint::Summary => "fleet_summary",
             Endpoint::Metrics => "metrics",
@@ -102,12 +107,21 @@ impl EndpointStats {
 /// The server's metric registry.
 #[derive(Debug)]
 pub struct Metrics {
-    endpoints: [EndpointStats; 7],
+    endpoints: [EndpointStats; 8],
     /// Requests answered `503` because the queue was full.
     queue_rejected: AtomicU64,
     /// Requests answered `504` past their deadline.
     timeouts: AtomicU64,
+    /// EWMA of the absolute measured-vs-model telemetry residual,
+    /// millivolts, stored as `f64::to_bits`. Updated by
+    /// `POST /v1/telemetry` whenever a client reports a measured
+    /// ΔVth; previously that disagreement was computed and thrown
+    /// away after the consistency bool.
+    telemetry_residual_bits: AtomicU64,
 }
+
+/// Smoothing factor for the exported telemetry-residual EWMA.
+const RESIDUAL_ALPHA: f64 = 0.25;
 
 impl Default for Metrics {
     fn default() -> Self {
@@ -123,6 +137,7 @@ impl Metrics {
             endpoints: std::array::from_fn(|_| EndpointStats::new()),
             queue_rejected: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            telemetry_residual_bits: AtomicU64::new(0.0f64.to_bits()),
         }
     }
 
@@ -160,6 +175,36 @@ impl Metrics {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds one measured-vs-model telemetry residual (millivolts,
+    /// sign discarded) into the exported EWMA. Non-finite values are
+    /// dropped. A compare-exchange loop keeps concurrent updates from
+    /// losing each other without taking a lock on the scrape path.
+    pub fn record_residual(&self, residual_mv: f64) {
+        if !residual_mv.is_finite() {
+            return;
+        }
+        let sample = residual_mv.abs();
+        let mut current = self.telemetry_residual_bits.load(Ordering::Relaxed);
+        loop {
+            let ewma = RESIDUAL_ALPHA * sample + (1.0 - RESIDUAL_ALPHA) * f64::from_bits(current);
+            match self.telemetry_residual_bits.compare_exchange_weak(
+                current,
+                ewma.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current telemetry-residual EWMA, millivolts.
+    #[must_use]
+    pub fn telemetry_residual_mv(&self) -> f64 {
+        f64::from_bits(self.telemetry_residual_bits.load(Ordering::Relaxed))
+    }
+
     /// Total rejections so far.
     #[must_use]
     pub fn rejections(&self) -> u64 {
@@ -169,8 +214,8 @@ impl Metrics {
     /// Renders the registry in Prometheus text exposition format,
     /// folding in the live queue depth, the engine's cache counters —
     /// the aggregate series plus one labelled series per degradation
-    /// model — and, when the hosted fleet tracks the weight-memory
-    /// axis, its memory rollup.
+    /// model — and, when the hosted fleet tracks them, the
+    /// weight-memory and autopilot rollups.
     #[must_use]
     #[allow(clippy::cast_precision_loss)]
     pub fn render(
@@ -179,6 +224,7 @@ impl Metrics {
         engine: &CacheStats,
         by_model: &BTreeMap<String, CacheStats>,
         memory: Option<&MemorySummary>,
+        autopilot: Option<&AutopilotSummary>,
     ) -> String {
         let mut out = String::with_capacity(4096);
 
@@ -243,6 +289,49 @@ impl Metrics {
             "agequant_request_timeouts_total {}\n",
             self.timeouts.load(Ordering::Relaxed)
         ));
+        out.push_str(
+            "# HELP agequant_telemetry_residual_mv EWMA of the absolute measured-vs-model telemetry residual\n",
+        );
+        out.push_str("# TYPE agequant_telemetry_residual_mv gauge\n");
+        out.push_str(&format!(
+            "agequant_telemetry_residual_mv {}\n",
+            self.telemetry_residual_mv()
+        ));
+
+        if let Some(autopilot) = autopilot {
+            out.push_str(
+                "# HELP agequant_autopilot_regime_chips Enrolled chips by control regime\n",
+            );
+            out.push_str("# TYPE agequant_autopilot_regime_chips gauge\n");
+            for (regime, n) in [
+                ("calm", autopilot.calm),
+                ("watch", autopilot.watch),
+                ("intervene", autopilot.intervene),
+            ] {
+                out.push_str(&format!(
+                    "agequant_autopilot_regime_chips{{regime=\"{regime}\"}} {n}\n"
+                ));
+            }
+            out.push_str(
+                "# HELP agequant_autopilot_budget_tokens Telemetry-budget tokens in the bucket\n",
+            );
+            out.push_str("# TYPE agequant_autopilot_budget_tokens gauge\n");
+            out.push_str(&format!(
+                "agequant_autopilot_budget_tokens {}\n",
+                autopilot.budget_tokens
+            ));
+            out.push_str("# HELP agequant_autopilot_messages_total Telemetry grants by outcome\n");
+            out.push_str("# TYPE agequant_autopilot_messages_total counter\n");
+            for (outcome, n) in [
+                ("granted", autopilot.messages_granted),
+                ("deferred", autopilot.messages_deferred),
+                ("overdraft", autopilot.overdraft_grants),
+            ] {
+                out.push_str(&format!(
+                    "agequant_autopilot_messages_total{{outcome=\"{outcome}\"}} {n}\n"
+                ));
+            }
+        }
 
         if let Some(memory) = memory {
             out.push_str(
@@ -322,7 +411,7 @@ mod tests {
         metrics.observe(Endpoint::Plan, 200, Duration::from_micros(80));
         metrics.observe(Endpoint::Plan, 200, Duration::from_millis(3));
         metrics.observe(Endpoint::Plan, 503, Duration::from_micros(10));
-        let text = metrics.render(2, &CacheStats::default(), &BTreeMap::new(), None);
+        let text = metrics.render(2, &CacheStats::default(), &BTreeMap::new(), None, None);
         // 80 µs and 10 µs fall at or under 100 µs; 3 ms lands later.
         assert!(text.contains("le=\"0.0001\"} 2\n"), "{text}");
         assert!(text.contains("le=\"+Inf\"} 3\n"), "{text}");
@@ -338,7 +427,7 @@ mod tests {
         metrics.record_rejection();
         metrics.record_timeout();
         assert_eq!(metrics.rejections(), 2);
-        let text = metrics.render(0, &CacheStats::default(), &BTreeMap::new(), None);
+        let text = metrics.render(0, &CacheStats::default(), &BTreeMap::new(), None, None);
         assert!(text.contains("agequant_queue_rejected_total 2"));
         assert!(text.contains("agequant_request_timeouts_total 1"));
     }
@@ -352,7 +441,7 @@ mod tests {
             plan_hits: 30,
             plan_misses: 2,
         };
-        let text = metrics.render(0, &stats, &BTreeMap::new(), None);
+        let text = metrics.render(0, &stats, &BTreeMap::new(), None, None);
         assert!(text.contains("cache=\"plan\",event=\"hit\"} 30"));
         assert!(text.contains("cache=\"library\",event=\"miss\"} 1"));
         assert!(text.contains("agequant_engine_plan_hit_rate 0.9375"));
@@ -382,7 +471,7 @@ mod tests {
                 plan_misses: 4,
             },
         );
-        let text = metrics.render(0, &CacheStats::default(), &by_model, None);
+        let text = metrics.render(0, &CacheStats::default(), &by_model, None, None);
         assert!(text.contains(
             "agequant_engine_model_cache_events_total{model=\"nbti\",cache=\"plan\",event=\"miss\"} 8"
         ));

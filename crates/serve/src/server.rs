@@ -35,7 +35,7 @@ use agequant_check::thread::{self, JoinHandle};
 
 use agequant_aging::{ModelSpec, VthShift};
 use agequant_core::EvalEngine;
-use agequant_fleet::{journal, Decider, Decision, FleetConfig, FleetSim};
+use agequant_fleet::{journal, AutopilotConfig, Decider, Decision, FleetConfig, FleetSim};
 use serde::{Deserialize, Value};
 
 use crate::config::ServeConfig;
@@ -49,6 +49,9 @@ const READ_TICK: Duration = Duration::from_millis(100);
 /// Telemetry may advance the hosted fleet at most this many epochs in
 /// one request, bounding worst-case work per call.
 const MAX_EPOCH_ADVANCE: u64 = 10_000;
+/// `POST /v1/plan/batch` accepts at most this many elements, bounding
+/// the engine time one queued job can consume.
+const MAX_BATCH: usize = 1024;
 
 /// `POST /v1/plan` body.
 #[derive(Debug, Deserialize)]
@@ -76,9 +79,20 @@ struct TelemetryRequest {
     delta_vth_mv: Option<f64>,
 }
 
+/// `POST /v1/autopilot/enroll` body: optional overrides on the demo
+/// controller. An empty body enrolls with the stock configuration.
+#[derive(Debug, Deserialize)]
+struct EnrollRequest {
+    /// Telemetry tokens added to the fleet bucket each epoch.
+    budget_messages_per_epoch: Option<u64>,
+    /// Bucket capacity: the largest burst one epoch may spend.
+    budget_burst: Option<u64>,
+}
+
 /// A parsed decision call waiting for a worker.
 enum ApiCall {
     Plan(PlanRequest),
+    PlanBatch(Vec<PlanRequest>),
     Telemetry(TelemetryRequest),
 }
 
@@ -340,17 +354,25 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
         ("GET", "/metrics") => {
             let stats = shared.engine.stats();
             let by_model = shared.engine.stats_by_model();
-            // The memory rollup needs the fleet lock; scrapes only pay
-            // for it when the memory axis is enabled.
-            let memory = shared.decider.memory().is_some().then(|| {
+            // The memory and autopilot rollups need the fleet summary;
+            // scrapes only pay for building it when an axis is live.
+            let (memory, autopilot) = {
                 let host = shared.fleet.lock().expect("unpoisoned fleet");
-                host.sim.summary().memory
-            });
+                let wants =
+                    shared.decider.memory().is_some() || host.sim.config().autopilot.is_some();
+                if wants {
+                    let summary = host.sim.summary();
+                    (summary.memory, summary.autopilot)
+                } else {
+                    (None, None)
+                }
+            };
             let text = shared.metrics.render(
                 shared.queue.len(),
                 &stats,
                 &by_model,
-                memory.flatten().as_ref(),
+                memory.as_ref(),
+                autopilot.as_ref(),
             );
             (
                 Endpoint::Metrics,
@@ -364,6 +386,21 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
             (Endpoint::Summary, Response::json(200, body))
         }
         ("GET", "/v1/memory/summary") => (Endpoint::MemorySummary, memory_summary_response(shared)),
+        ("GET", "/v1/autopilot/summary") => (Endpoint::Other, autopilot_summary_response(shared)),
+        ("POST", "/v1/autopilot/enroll") => {
+            let parsed = if request.body.is_empty() {
+                Ok(EnrollRequest {
+                    budget_messages_per_epoch: None,
+                    budget_burst: None,
+                })
+            } else {
+                parse_body::<EnrollRequest>(&request.body)
+            };
+            match parsed {
+                Ok(body) => (Endpoint::Other, handle_enroll(shared, &body)),
+                Err(response) => (Endpoint::Other, response),
+            }
+        }
         ("GET", "/healthz") => (Endpoint::Other, Response::text(200, "ok\n".to_string())),
         ("POST", "/v1/shutdown") => {
             initiate_shutdown(shared);
@@ -376,6 +413,23 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
             Ok(body) => (Endpoint::Plan, enqueue(shared, ApiCall::Plan(body))),
             Err(response) => (Endpoint::Plan, response),
         },
+        ("POST", "/v1/plan/batch") => match parse_body::<Vec<PlanRequest>>(&request.body) {
+            Ok(body) if body.len() > MAX_BATCH => (
+                Endpoint::PlanBatch,
+                Response::json(
+                    400,
+                    error_body(&format!(
+                        "batch of {} exceeds the {MAX_BATCH}-element limit",
+                        body.len()
+                    )),
+                ),
+            ),
+            Ok(body) => (
+                Endpoint::PlanBatch,
+                enqueue(shared, ApiCall::PlanBatch(body)),
+            ),
+            Err(response) => (Endpoint::PlanBatch, response),
+        },
         ("POST", "/v1/telemetry") => match parse_body::<TelemetryRequest>(&request.body) {
             Ok(body) => (
                 Endpoint::Telemetry,
@@ -385,8 +439,17 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
         },
         (
             _,
-            "/metrics" | "/v1/fleet/summary" | "/v1/memory/summary" | "/healthz" | "/v1/shutdown"
-            | "/v1/plan" | "/v1/telemetry" | "/v1/models",
+            "/metrics"
+            | "/v1/fleet/summary"
+            | "/v1/memory/summary"
+            | "/v1/autopilot/summary"
+            | "/v1/autopilot/enroll"
+            | "/healthz"
+            | "/v1/shutdown"
+            | "/v1/plan"
+            | "/v1/plan/batch"
+            | "/v1/telemetry"
+            | "/v1/models",
         ) => (
             Endpoint::Other,
             Response::json(405, error_body("method not allowed")),
@@ -454,6 +517,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         let response = match job.call {
             ApiCall::Plan(request) => handle_plan(shared, &request),
+            ApiCall::PlanBatch(requests) => handle_plan_batch(shared, &requests),
             ApiCall::Telemetry(request) => handle_telemetry(shared, &request),
         };
         let _ = job.reply.send(response);
@@ -499,7 +563,7 @@ fn models_response(shared: &Shared) -> Response {
 /// Resolves the decider answering a plan request: the server's default
 /// for `model: null`, else a per-model decider built lazily on the
 /// shared engine.
-fn decider_for(shared: &Shared, model: Option<&str>) -> Result<Arc<Decider>, Response> {
+fn decider_for(shared: &Shared, model: Option<&str>) -> Result<Arc<Decider>, (u16, Value)> {
     let Some(name) = model else {
         return Ok(Arc::clone(&shared.decider));
     };
@@ -515,9 +579,9 @@ fn decider_for(shared: &Shared, model: Option<&str>) -> Result<Arc<Decider>, Res
         return Ok(Arc::clone(decider));
     }
     let Some(spec) = ModelSpec::by_name(name) else {
-        return Err(Response::json(
+        return Err((
             400,
-            error_body(&format!(
+            error_value(&format!(
                 "unknown model {name:?}; options: {}",
                 ModelSpec::NAMES.join(", ")
             )),
@@ -527,7 +591,7 @@ fn decider_for(shared: &Shared, model: Option<&str>) -> Result<Arc<Decider>, Res
     config.flow.model = Some(spec);
     let decider = match Decider::with_engine(&config, Arc::clone(&shared.engine)) {
         Ok(decider) => Arc::new(decider),
-        Err(e) => return Err(Response::json(500, error_body(&e.to_string()))),
+        Err(e) => return Err((500, error_value(&e.to_string()))),
     };
     let mut deciders = shared
         .model_deciders
@@ -572,12 +636,16 @@ fn memory_summary_response(shared: &Shared) -> Response {
     )
 }
 
-fn handle_plan(shared: &Shared, request: &PlanRequest) -> Response {
+/// One plan decision as `(status, body value)`. Both `POST /v1/plan`
+/// and every `POST /v1/plan/batch` element go through this one
+/// function, which is what makes a batch element bit-identical to the
+/// single call: the same `Value` tree renders in both places.
+fn plan_value(shared: &Shared, request: &PlanRequest) -> (u16, Value) {
     let mv = request.delta_vth_mv;
     if !(mv.is_finite() && (0.0..=shared.config.max_mv + 1e-9).contains(&mv)) {
-        return Response::json(
+        return (
             400,
-            error_body(&format!(
+            error_value(&format!(
                 "delta_vth_mv {mv} outside the served range 0–{} mV",
                 shared.config.max_mv
             )),
@@ -585,16 +653,16 @@ fn handle_plan(shared: &Shared, request: &PlanRequest) -> Response {
     }
     let decider = match decider_for(shared, request.model.as_deref()) {
         Ok(decider) => decider,
-        Err(response) => return response,
+        Err(err) => return err,
     };
     let shift = VthShift::from_millivolts(mv);
     let decision = match request.constraint_factor {
         None => decider.decide_shift(shift),
         Some(factor) => {
             if !(factor > 0.0 && factor.is_finite()) {
-                return Response::json(
+                return (
                     400,
-                    error_body(&format!("constraint_factor {factor} must be positive")),
+                    error_value(&format!("constraint_factor {factor} must be positive")),
                 );
             }
             let constraint_ps = decider.flow().fresh_critical_path_ps() * factor;
@@ -602,9 +670,90 @@ fn handle_plan(shared: &Shared, request: &PlanRequest) -> Response {
         }
     };
     match decision {
-        Ok(decision) => Response::json(200, render_value(&plan_response(&decider, &decision))),
-        Err(e) => Response::json(500, error_body(&e.to_string())),
+        Ok(decision) => (200, plan_response(&decider, &decision)),
+        Err(e) => (500, error_value(&e.to_string())),
     }
+}
+
+fn handle_plan(shared: &Shared, request: &PlanRequest) -> Response {
+    let (status, value) = plan_value(shared, request);
+    Response::json(status, render_value(&value))
+}
+
+/// `POST /v1/plan/batch`: each element is decided independently and
+/// reported with its own status, so one bad element cannot fail the
+/// rest of the batch. The batch always answers `200`; per-element
+/// errors live inside `results`.
+fn handle_plan_batch(shared: &Shared, requests: &[PlanRequest]) -> Response {
+    let results: Vec<Value> = requests
+        .iter()
+        .map(|request| {
+            let (status, body) = plan_value(shared, request);
+            obj(vec![
+                ("status", Value::UInt(u64::from(status))),
+                ("body", body),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        render_value(&obj(vec![("results", Value::Seq(results))])),
+    )
+}
+
+/// `POST /v1/autopilot/enroll`: arms (or re-arms) the closed loop over
+/// the hosted fleet. Idempotent — an enrolled fleet keeps its pilot
+/// states and budget ledger; only the configuration is replaced.
+fn handle_enroll(shared: &Shared, request: &EnrollRequest) -> Response {
+    let mut autopilot = AutopilotConfig::demo();
+    if let Some(rate) = request.budget_messages_per_epoch {
+        autopilot.budget_messages_per_epoch = rate;
+    }
+    if let Some(burst) = request.budget_burst {
+        autopilot.budget_burst = burst;
+    }
+    let mut host = shared.fleet.lock().expect("unpoisoned fleet");
+    let already_armed = host.sim.config().autopilot.is_some();
+    if let Err(e) = host.sim.arm_autopilot(autopilot.clone()) {
+        return Response::json(400, error_body(&e.to_string()));
+    }
+    let enrolled = host.sim.chip_count() as u64;
+    drop(host);
+    Response::json(
+        200,
+        render_value(&obj(vec![
+            ("enrolled", Value::UInt(enrolled)),
+            ("already_armed", Value::Bool(already_armed)),
+            (
+                "budget_messages_per_epoch",
+                Value::UInt(autopilot.budget_messages_per_epoch),
+            ),
+            ("budget_burst", Value::UInt(autopilot.budget_burst)),
+        ])),
+    )
+}
+
+/// `GET /v1/autopilot/summary`: the regime census and budget ledger,
+/// plus the controller configuration driving them. `404` when the
+/// fleet is not enrolled — exactly what the path answered before the
+/// autopilot existed, so unenrolled deployments see no change.
+fn autopilot_summary_response(shared: &Shared) -> Response {
+    use serde::Serialize;
+    let host = shared.fleet.lock().expect("unpoisoned fleet");
+    let Some(config) = host.sim.config().autopilot.clone() else {
+        return Response::json(404, error_body("autopilot not enrolled"));
+    };
+    let Some(fleet) = host.sim.summary().autopilot else {
+        return Response::json(404, error_body("autopilot not enrolled"));
+    };
+    drop(host);
+    Response::json(
+        200,
+        render_value(&obj(vec![
+            ("config", config.to_value()),
+            ("fleet", fleet.to_value()),
+        ])),
+    )
 }
 
 fn handle_telemetry(shared: &Shared, request: &TelemetryRequest) -> Response {
@@ -655,6 +804,19 @@ fn handle_telemetry(shared: &Shared, request: &TelemetryRequest) -> Response {
         let bucket_mv = host.sim.config().bucket_mv;
         (reported - model_mv).abs() < bucket_mv
     });
+    // The report-vs-model residual feeds two consumers: the exported
+    // `agequant_telemetry_residual_mv` gauge, and — when the chip is
+    // enrolled — the autopilot's effective-rate estimator, so chips
+    // drifting off the calibrated model earn tighter supervision.
+    let residual = request.delta_vth_mv.map(|reported| reported - model_mv);
+    if let Some(residual) = residual {
+        shared.metrics.record_residual(residual);
+        host.sim.report_residual(request.chip as usize, residual);
+    }
+    let pilot = host
+        .sim
+        .chip(request.chip as usize)
+        .and_then(|chip| chip.pilot);
     let mut fields = vec![
         ("chip", Value::UInt(u64::from(chip.id))),
         ("epoch", Value::UInt(epoch)),
@@ -665,6 +827,23 @@ fn handle_telemetry(shared: &Shared, request: &TelemetryRequest) -> Response {
     ];
     if let Some(consistent) = consistent {
         fields.push(("reported_consistent", Value::Bool(consistent)));
+    }
+    if let Some(residual) = residual {
+        fields.push(("residual_mv", Value::Float(residual)));
+    }
+    // Cadence hint for enrolled chips: the regime the controller holds
+    // the chip in and when it next wants a sample, so well-behaved
+    // clients stop polling between scheduled epochs. Unenrolled fleets
+    // keep the exact pre-autopilot response bytes.
+    if let Some(pilot) = pilot {
+        fields.push((
+            "autopilot",
+            obj(vec![
+                ("regime", Value::Str(pilot.regime.name().to_string())),
+                ("rate_mv_per_epoch", Value::Float(pilot.rate_mv_per_epoch)),
+                ("next_sample_epoch", Value::UInt(pilot.next_epoch)),
+            ]),
+        ));
     }
     Response::json(200, render_value(&obj(fields)))
 }
@@ -742,9 +921,14 @@ fn render_value(value: &Value) -> String {
     serde_json::to_string(value).expect("response values are finite")
 }
 
+/// An error body as a value tree, for embedding in batch results.
+fn error_value(message: &str) -> Value {
+    obj(vec![("error", Value::Str(message.to_string()))])
+}
+
 /// Serializes an error body.
 fn error_body(message: &str) -> String {
-    render_value(&obj(vec![("error", Value::Str(message.to_string()))]))
+    render_value(&error_value(message))
 }
 
 /// The `/v1/plan` response for a decision — public so the integration

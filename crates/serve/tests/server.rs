@@ -521,3 +521,160 @@ fn memoryless_server_keeps_pre_memory_wire_bytes() {
 
     handle.shutdown_and_join();
 }
+
+/// BIT-IDENTITY — `POST /v1/plan/batch` answers each element with the
+/// exact bytes the corresponding single `POST /v1/plan` call would
+/// have produced, including per-element errors, assembled as
+/// `{"results":[{"status":N,"body":...},...]}`.
+#[test]
+fn plan_batch_is_bit_identical_to_single_calls() {
+    let handle = start(test_config(8), FleetConfig::new(8, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    // A deliberately mixed batch: plans from several models, a
+    // constraint override, an out-of-range level, and an unknown model
+    // — errors must stay per-element, not fail the batch.
+    let elements = [
+        "{\"delta_vth_mv\": 0.0}",
+        "{\"delta_vth_mv\": 12.5}",
+        "{\"delta_vth_mv\": 30.0, \"model\": \"surrogate\"}",
+        "{\"delta_vth_mv\": 47.0, \"constraint_factor\": 1.1}",
+        "{\"delta_vth_mv\": 400.0}",
+        "{\"delta_vth_mv\": 10.0, \"model\": \"entropy\"}",
+    ];
+
+    // The reference bytes come from the live single-call endpoint, so
+    // the comparison pins the two code paths to each other.
+    let mut expected = String::from("{\"results\":[");
+    for (i, element) in elements.iter().enumerate() {
+        let (status, _, body) = request(&addr, "POST", "/v1/plan", Some(element));
+        if i > 0 {
+            expected.push(',');
+        }
+        expected.push_str(&format!("{{\"status\":{status},\"body\":{body}}}"));
+    }
+    expected.push_str("]}");
+
+    let batch_body = format!("[{}]", elements.join(","));
+    let (status, _, body) = request(&addr, "POST", "/v1/plan/batch", Some(&batch_body));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, expected, "batch elements diverged from single calls");
+
+    // An empty batch is a well-formed no-op, a non-array body is a 400,
+    // and the endpoint shows up under its own metrics label.
+    let (status, _, body) = request(&addr, "POST", "/v1/plan/batch", Some("[]"));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, "{\"results\":[]}");
+    let (status, _, _) = request(
+        &addr,
+        "POST",
+        "/v1/plan/batch",
+        Some("{\"delta_vth_mv\": 1}"),
+    );
+    assert_eq!(status, 400);
+    let (status, _, _) = request(&addr, "DELETE", "/v1/plan/batch", None);
+    assert_eq!(status, 405);
+    let (status, _, metrics) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("endpoint=\"plan_batch\",code=\"2xx\"} 2"),
+        "{metrics}"
+    );
+
+    handle.shutdown_and_join();
+}
+
+/// The autopilot over the wire: enrollment arms the hosted fleet,
+/// telemetry answers carry the regime and next-sample cadence hint
+/// plus the report-vs-model residual, the summary endpoint reports
+/// the census and ledger, and `/metrics` exports the regime gauges,
+/// budget gauge, and residual EWMA.
+#[test]
+fn autopilot_wire_surface() {
+    let handle = start(test_config(6), FleetConfig::new(6, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    // Before enrollment: the summary 404s, telemetry has no hint, and
+    // no autopilot series exist — the pre-autopilot surface.
+    let (status, _, body) = request(&addr, "GET", "/v1/autopilot/summary", None);
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("not enrolled"), "{body}");
+    let (status, _, body) = request(
+        &addr,
+        "POST",
+        "/v1/telemetry",
+        Some("{\"chip\": 1, \"epoch\": 0}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(!body.contains("\"autopilot\""), "{body}");
+    let (status, _, metrics) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(!metrics.contains("agequant_autopilot_"), "{metrics}");
+    assert!(
+        metrics.contains("agequant_telemetry_residual_mv"),
+        "{metrics}"
+    );
+
+    // An implausible controller is rejected with the violation named.
+    let (status, _, body) = request(
+        &addr,
+        "POST",
+        "/v1/autopilot/enroll",
+        Some("{\"budget_messages_per_epoch\": 100, \"budget_burst\": 1}"),
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("burst"), "{body}");
+
+    // Enrollment arms every hosted chip.
+    let (status, _, body) = request(&addr, "POST", "/v1/autopilot/enroll", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"enrolled\":6"), "{body}");
+    assert!(body.contains("\"already_armed\":false"), "{body}");
+
+    // Telemetry now advances the closed loop and answers with the
+    // cadence hint and the residual it fed the rate estimator.
+    let (status, _, body) = request(
+        &addr,
+        "POST",
+        "/v1/telemetry",
+        Some("{\"chip\": 0, \"epoch\": 8, \"delta_vth_mv\": 25.0}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"autopilot\":{\"regime\":\""), "{body}");
+    assert!(body.contains("\"next_sample_epoch\":"), "{body}");
+    assert!(body.contains("\"residual_mv\":"), "{body}");
+
+    // The summary reports the full census and the controller config.
+    let (status, _, body) = request(&addr, "GET", "/v1/autopilot/summary", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"config\":{"), "{body}");
+    assert!(body.contains("\"enrolled\":6"), "{body}");
+    assert!(body.contains("\"budget_tokens\":"), "{body}");
+
+    // /metrics exports the regime census, budget, and message ledger.
+    let (status, _, metrics) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    for regime in ["calm", "watch", "intervene"] {
+        assert!(
+            metrics.contains(&format!(
+                "agequant_autopilot_regime_chips{{regime=\"{regime}\"}}"
+            )),
+            "{metrics}"
+        );
+    }
+    assert!(
+        metrics.contains("agequant_autopilot_budget_tokens"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("agequant_autopilot_messages_total{outcome=\"granted\"}"),
+        "{metrics}"
+    );
+
+    // Re-enrollment is idempotent and says so.
+    let (status, _, body) = request(&addr, "POST", "/v1/autopilot/enroll", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"already_armed\":true"), "{body}");
+
+    handle.shutdown_and_join();
+}
