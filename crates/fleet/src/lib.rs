@@ -68,6 +68,8 @@ mod report;
 mod rng;
 mod shard;
 mod sim;
+mod swap;
+mod table;
 
 pub use checkpoint::{crc32, MAGIC};
 pub use chip::{Chip, ChipMemState, ChipMode, ChipPlan, MissionKind};
@@ -84,6 +86,8 @@ pub use sim::{
     FleetConfig, FleetSim, FleetState, CHECKPOINT_FORMAT, CHECKPOINT_FORMAT_AUTOPILOT,
     CHECKPOINT_FORMAT_MEM,
 };
+pub use swap::{Swap, SwapReader};
+pub use table::DecisionTable;
 
 pub use agequant_autopilot::{
     AutopilotConfig, BudgetState, Grant, Observation, PilotState, Regime,

@@ -1,0 +1,135 @@
+//! Atomic publish/subscribe cell for immutable shared state.
+//!
+//! [`Swap`] holds an `Arc<T>` that writers replace wholesale and
+//! readers consume through a cached [`SwapReader`] handle. The
+//! protocol is the classic slot-plus-generation scheme:
+//!
+//! * the slot (an `RwLock<Arc<T>>`) is touched only on publish and on
+//!   the rare refresh after a generation change;
+//! * the generation (an `AtomicU64`) is bumped *after* the slot write,
+//!   with release ordering, so a reader that observes generation `n`
+//!   is guaranteed to read a slot at least `n` publishes deep.
+//!
+//! Steady-state reads are therefore **one atomic load** — no lock, no
+//! reference-count traffic — which is what lets `agequant-serve`
+//! answer a table hit at wire speed while profile changes swap the
+//! table underneath. Both primitives come from the `agequant_check`
+//! facade, so `cargo test -p agequant-check --features model` explores
+//! the interleavings of this exact code (see `model_table.rs` there:
+//! readers never observe a torn or stale-after-publish value, writers
+//! never block readers' fast path).
+
+use agequant_check::sync::atomic::{AtomicU64, Ordering};
+use agequant_check::sync::{Arc, RwLock};
+
+/// An atomically swappable `Arc<T>`: writers publish a new value,
+/// readers see either the old or the new one — never a mixture, and
+/// never an old one after observing the new generation.
+#[derive(Debug)]
+pub struct Swap<T> {
+    slot: RwLock<Arc<T>>,
+    generation: AtomicU64,
+}
+
+impl<T> Swap<T> {
+    /// A cell holding `initial` at generation 0.
+    pub fn new(initial: Arc<T>) -> Self {
+        Swap {
+            slot: RwLock::new(initial),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current publish count. Readers compare this against their
+    /// cached value to decide whether a refresh is needed; pairs with
+    /// the release bump in [`Swap::publish`].
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A fresh handle on the current value. Takes the slot lock —
+    /// use a [`SwapReader`] for the lock-free steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a publisher panicked while holding the slot lock.
+    #[must_use]
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.slot.read().expect("unpoisoned swap slot"))
+    }
+
+    /// Atomically replaces the value and returns the new generation.
+    /// The slot is written first, then the generation is bumped with
+    /// release ordering: any reader that sees the new generation sees
+    /// the new slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a publisher panicked while holding the slot lock.
+    pub fn publish(&self, next: Arc<T>) -> u64 {
+        *self.slot.write().expect("unpoisoned swap slot") = next;
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+/// A reader-owned cache over a [`Swap`]: holds the last-seen `Arc`
+/// and generation, so [`SwapReader::get`] is a single atomic load
+/// unless a publish happened since the last call.
+#[derive(Debug)]
+pub struct SwapReader<T> {
+    cached: Arc<T>,
+    seen: u64,
+}
+
+impl<T> SwapReader<T> {
+    /// A reader synchronized to `swap`'s current value.
+    #[must_use]
+    pub fn new(swap: &Swap<T>) -> Self {
+        // Generation first, slot second: if a publish lands between
+        // the two reads we hold a value *newer* than `seen` and will
+        // refresh once, harmlessly, on the next `get`. The reverse
+        // order could mark a stale value as current.
+        let seen = swap.generation();
+        let cached = swap.load();
+        SwapReader { cached, seen }
+    }
+
+    /// The current value: one atomic load when nothing was published
+    /// since the last call, a slot refresh otherwise.
+    pub fn get(&mut self, swap: &Swap<T>) -> &Arc<T> {
+        let now = swap.generation();
+        if now != self.seen {
+            self.cached = swap.load();
+            self.seen = now;
+        }
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_is_visible_and_reader_caches() {
+        let swap = Swap::new(Arc::new(1u32));
+        let mut reader = SwapReader::new(&swap);
+        assert_eq!(**reader.get(&swap), 1);
+        assert_eq!(swap.generation(), 0);
+
+        assert_eq!(swap.publish(Arc::new(2)), 1);
+        assert_eq!(**reader.get(&swap), 2, "publish visible after get");
+        assert_eq!(**reader.get(&swap), 2, "cached value stays");
+        assert_eq!(swap.generation(), 1);
+    }
+
+    #[test]
+    fn load_always_sees_latest() {
+        let swap = Swap::new(Arc::new("a"));
+        swap.publish(Arc::new("b"));
+        swap.publish(Arc::new("c"));
+        assert_eq!(*swap.load(), "c");
+        assert_eq!(swap.generation(), 2);
+    }
+}

@@ -30,6 +30,7 @@
 //! | AP001 | autopilot-config-unphysical | hysteresis bands, budget bounds, pilot-state physicality |
 //! | AP002 | autopilot-journal-acausal | regime changes replay, grants respect the bucket, Intervene never starves |
 //! | SV001 | serve-config-invalid | saved decision-server configuration no longer validates |
+//! | SV002 | decision-table-diverges | materialized decision table disagrees with its live decider |
 //! | SRC001 | std-sync-outside-facade | direct `std::sync`/`std::thread` in a ported crate, `Condvar` wait outside a loop |
 //!
 //! # Example

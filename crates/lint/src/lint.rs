@@ -3,7 +3,7 @@
 use agequant_aging::TechProfile;
 use agequant_cells::CellLibrary;
 use agequant_core::CompressionPlan;
-use agequant_fleet::{FleetState, JournalEvent};
+use agequant_fleet::{Decider, DecisionTable, FleetState, JournalEvent};
 use agequant_mem::MemoryReport;
 use agequant_netlist::mac::MacGeometry;
 use agequant_netlist::Netlist;
@@ -98,6 +98,16 @@ pub enum Artifact<'a> {
         /// The memory report under check.
         report: &'a MemoryReport,
     },
+    /// A materialized decision table next to the live decider whose
+    /// decisions it claims to cache.
+    DecisionTable {
+        /// Display name used in diagnostics.
+        name: &'a str,
+        /// The precomputed table under check.
+        table: &'a DecisionTable,
+        /// The decider the table's entries must agree with.
+        decider: &'a Decider,
+    },
     /// A saved decision-server configuration.
     ServeConfig {
         /// Display name used in diagnostics.
@@ -129,6 +139,7 @@ impl Artifact<'_> {
             | Artifact::FleetCheckpoint { name, .. }
             | Artifact::FleetJournal { name, .. }
             | Artifact::MemoryReport { name, .. }
+            | Artifact::DecisionTable { name, .. }
             | Artifact::ServeConfig { name, .. }
             | Artifact::Source { name, .. } => name,
         }
@@ -208,6 +219,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(autopilot_lints::AutopilotConfigPhysical),
         Box::new(autopilot_lints::CadenceCausality),
         Box::new(serve_lints::ServeConfigValid),
+        Box::new(serve_lints::DecisionTableAgrees),
         Box::new(src_lints::FacadeDiscipline),
     ]
 }
@@ -299,7 +311,7 @@ mod tests {
         for expected in [
             "AG001", "NL001", "NL002", "NL003", "NL004", "NL005", "CL001", "CL002", "CL003",
             "ST001", "ST002", "QT001", "FL001", "FL002", "ME001", "ME002", "AP001", "AP002",
-            "SV001", "SRC001",
+            "SV001", "SV002", "SRC001",
         ] {
             assert!(codes.contains(&expected), "missing {expected}");
         }

@@ -1,4 +1,5 @@
-//! Lints over decision-server artifacts: saved server configs (SV001).
+//! Lints over decision-server artifacts: saved server configs
+//! (SV001) and materialized decision tables (SV002).
 
 use crate::lint::{Artifact, Lint, Sink};
 
@@ -31,6 +32,66 @@ impl Lint for ServeConfigValid {
         };
         for violation in config.violations() {
             sink.report(violation);
+        }
+    }
+}
+
+/// SV002: a materialized decision table must agree with the live
+/// decider it fronts — same degradation model, same bucket grid, and
+/// every `(bucket, constraint)` entry equal to the decision the
+/// decider would make live. The server answers table hits without
+/// consulting the engine, so a diverging entry is a wrong answer
+/// served at wire speed; this lint replays every entry through
+/// [`agequant_fleet::Decider::decide_bucket_at`] and pins the two
+/// planes together.
+pub struct DecisionTableAgrees;
+
+impl Lint for DecisionTableAgrees {
+    fn code(&self) -> &'static str {
+        "SV002"
+    }
+
+    fn slug(&self) -> &'static str {
+        "decision-table-diverges"
+    }
+
+    fn description(&self) -> &'static str {
+        "materialized decision table disagrees with the live decider (model, grid, or entries)"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, sink: &mut Sink<'_>) {
+        let Artifact::DecisionTable { table, decider, .. } = artifact else {
+            return;
+        };
+        if table.model_key() != decider.flow().model_key() {
+            sink.report(format!(
+                "table was built for model {:?} but fronts a {:?} decider",
+                table.model_key(),
+                decider.flow().model_key()
+            ));
+        }
+        let bucket_mv = decider.config().bucket_mv;
+        if (table.bucket_mv() - bucket_mv).abs() > f64::EPSILON * bucket_mv.abs() {
+            sink.report(format!(
+                "table bucket grid is {} mV but the decider quantizes at {bucket_mv} mV",
+                table.bucket_mv()
+            ));
+        }
+        for (constraint_ps, bucket, entry) in table.iter() {
+            match decider.decide_bucket_at(bucket, constraint_ps) {
+                Ok(live) => {
+                    if live != *entry {
+                        sink.report(format!(
+                            "entry (bucket {bucket}, constraint {constraint_ps} ps) \
+                             diverges from the live decision"
+                        ));
+                    }
+                }
+                Err(e) => sink.report(format!(
+                    "entry (bucket {bucket}, constraint {constraint_ps} ps) \
+                     cannot be replayed live: {e}"
+                )),
+            }
         }
     }
 }

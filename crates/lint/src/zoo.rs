@@ -5,7 +5,7 @@
 use agequant_aging::{DegradationModel, ModelSpec, TechProfile, VthShift};
 use agequant_cells::{CellLibrary, ProcessLibrary};
 use agequant_core::{AgingAwareQuantizer, CompressionPlan, FlowConfig};
-use agequant_fleet::{FleetConfig, FleetSim, FleetState, JournalEvent};
+use agequant_fleet::{Decider, DecisionTable, FleetConfig, FleetSim, FleetState, JournalEvent};
 use agequant_mem::{MemoryConfig, MemoryReport, ReencodeSchedule, SramCellModel};
 use agequant_netlist::adders::{prefix_adder, ripple_carry};
 use agequant_netlist::mac::{MacCircuit, MacGeometry};
@@ -52,6 +52,8 @@ pub struct Zoo {
     fleet_pilot_journal: Vec<JournalEvent>,
     memory_report: MemoryReport,
     serve_config: ServeConfig,
+    decider: Decider,
+    decision_table: DecisionTable,
     sources: Vec<(String, String)>,
 }
 
@@ -228,6 +230,14 @@ impl Zoo {
             &[1.0, 3.0, 5.0, 10.0],
         );
 
+        // The decision table the server's wire-speed plane would
+        // answer from, next to its live decider, held to SV002.
+        let decider =
+            Decider::from_config(&FleetConfig::new(8, 7)).expect("shipped fleet config is valid");
+        let max_bucket = decider.bucket_of(VthShift::from_millivolts(max_mv));
+        let decision_table = DecisionTable::build(&decider, max_bucket, &[])
+            .expect("shipped decider materializes its served range");
+
         Zoo {
             profiles,
             netlists,
@@ -245,6 +255,8 @@ impl Zoo {
             memory_report,
             // The server's shipped defaults, held to SV001.
             serve_config: ServeConfig::default(),
+            decider,
+            decision_table,
             // The concurrent crates' own sources, held to SRC001.
             sources: ported_sources(),
         }
@@ -320,6 +332,11 @@ impl Zoo {
         artifacts.push(Artifact::ServeConfig {
             name: "serve_defaults",
             config: &self.serve_config,
+        });
+        artifacts.push(Artifact::DecisionTable {
+            name: "serve_decision_table",
+            table: &self.decision_table,
+            decider: &self.decider,
         });
         for (name, text) in &self.sources {
             artifacts.push(Artifact::Source { name, text });

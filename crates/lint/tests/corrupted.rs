@@ -833,6 +833,71 @@ fn sv001_fires_on_unrunnable_server_configs() {
     assert!(serve_codes(&no_range).contains(&"SV001".to_string()));
 }
 
+/// SV002 corruption.
+#[test]
+fn sv002_fires_on_tables_diverging_from_their_decider() {
+    use agequant_fleet::{Decider, DecisionTable, FleetConfig};
+
+    let decider = Decider::from_config(&FleetConfig::new(8, 7)).expect("decider");
+    let table = DecisionTable::build(&decider, 8, &[]).expect("table");
+    let table_codes = |table: &DecisionTable, decider: &Decider| {
+        codes(Artifact::DecisionTable {
+            name: "under-test",
+            table,
+            decider,
+        })
+    };
+
+    // A freshly built table agrees with its decider by construction.
+    assert!(!table_codes(&table, &decider).contains(&"SV002".to_string()));
+
+    let bands: Vec<u64> = table
+        .constraint_bands_ps()
+        .iter()
+        .map(|c| c.to_bits())
+        .collect();
+    let entries: Vec<_> = table.iter().map(|(_, _, d)| *d).collect();
+
+    // One swapped entry: the table would serve bucket 8 the fresh
+    // bucket-0 plan.
+    let mut wrong = entries.clone();
+    assert_ne!(wrong[0], wrong[8], "sweep endpoints should differ");
+    wrong[8] = wrong[0];
+    let diverged = DecisionTable::from_parts(
+        table.model_key().to_string(),
+        table.bucket_mv(),
+        table.max_bucket(),
+        bands.clone(),
+        wrong,
+    )
+    .expect("shape is still valid");
+    assert!(table_codes(&diverged, &decider).contains(&"SV002".to_string()));
+
+    // Right entries, wrong model key: the table claims to answer for
+    // a model the decider is not running.
+    let mislabeled = DecisionTable::from_parts(
+        "hci".to_string(),
+        table.bucket_mv(),
+        table.max_bucket(),
+        bands.clone(),
+        entries.clone(),
+    )
+    .expect("shape is still valid");
+    assert!(table_codes(&mislabeled, &decider).contains(&"SV002".to_string()));
+
+    // Right entries, wrong bucket grid: index arithmetic would send
+    // a ΔVth to the wrong row.
+    let regridded = DecisionTable::from_parts(
+        table.model_key().to_string(),
+        table.bucket_mv() * 2.0,
+        table.max_bucket(),
+        bands,
+        entries,
+    )
+    .expect("shape is still valid");
+    assert!(table_codes(&regridded, &decider).contains(&"SV002".to_string()));
+}
+
 #[test]
 fn corrupted_netlists_do_not_trip_unrelated_lints() {
     // Cross-check: a back-edge corruption fires NL001 but leaves the
@@ -843,7 +908,7 @@ fn corrupted_netlists_do_not_trip_unrelated_lints() {
     });
     let fired = netlist_codes(&back_edge);
     for code in [
-        "CL001", "CL002", "CL003", "ST001", "ST002", "QT001", "ME001", "ME002", "SV001",
+        "CL001", "CL002", "CL003", "ST001", "ST002", "QT001", "ME001", "ME002", "SV001", "SV002",
     ] {
         assert!(
             !fired.contains(&code.to_string()),

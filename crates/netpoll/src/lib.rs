@@ -1,0 +1,188 @@
+//! Minimal readiness polling over `poll(2)`.
+//!
+//! `agequant-serve` multiplexes thousands of keep-alive connections on
+//! a handful of event-loop threads. The standard library exposes
+//! non-blocking sockets but no readiness notification, so this crate
+//! wraps the one missing primitive: a single `poll(2)` call over a
+//! caller-owned slice of interest records. std already links the C
+//! runtime on every supported target, so the binding is a bare
+//! `extern "C"` declaration — no external crate involved.
+//!
+//! This is deliberately the *entire* API: no registry, no opaque
+//! tokens, no edge-triggering. The caller rebuilds the (small,
+//! cache-resident) pollfd slice each iteration, which keeps the shim
+//! trivially correct and the event loop's state in exactly one place.
+//!
+//! The `unsafe` in this crate is the only `unsafe` in the workspace;
+//! every dependent crate keeps `#![forbid(unsafe_code)]`.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::io;
+
+/// Readiness flags, matching the Linux/POSIX `poll.h` constants.
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always reported, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (always reported, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry in a `poll(2)` interest set.
+///
+/// Layout is pinned to the C `struct pollfd` so a `&mut [PollFd]`
+/// can be handed to the kernel directly.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Interest record for `fd` with an explicit event mask
+    /// (a bitwise-or of [`POLLIN`] / [`POLLOUT`]).
+    pub fn new(fd: i32, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Interest in readability only.
+    pub fn readable(fd: i32) -> Self {
+        Self::new(fd, POLLIN)
+    }
+
+    /// Interest in writability only.
+    pub fn writable(fd: i32) -> Self {
+        Self::new(fd, POLLOUT)
+    }
+
+    /// The fd this record polls.
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Did the kernel report the fd readable (or at EOF)?
+    pub fn is_readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP) != 0
+    }
+
+    /// Did the kernel report the fd writable?
+    pub fn is_writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+
+    /// Did the kernel report an error, hangup, or invalid fd?
+    pub fn is_error(&self) -> bool {
+        self.revents & (POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Any event at all (the fd needs servicing this iteration).
+    pub fn is_ready(&self) -> bool {
+        self.revents != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+    use std::ffi::{c_int, c_ulong};
+    use std::io;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    pub fn poll_impl(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `PollFd` is `#[repr(C)]` with the exact layout of
+            // `struct pollfd`; the pointer/length pair comes from a live
+            // mutable slice, and the kernel writes only within it.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::PollFd;
+    use std::io;
+
+    pub fn poll_impl(_fds: &mut [PollFd], _timeout_ms: i32) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "poll(2) readiness is only available on unix targets",
+        ))
+    }
+}
+
+/// Block until at least one fd in `fds` is ready, `timeout_ms`
+/// elapses (`0` = return immediately, `-1` = no timeout), or a
+/// non-EINTR error occurs. Returns the number of ready records;
+/// inspect each entry's `is_*` accessors to find them. EINTR is
+/// retried internally so callers never see spurious wakeups from
+/// signals.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    sys::poll_impl(fds, timeout_ms)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn empty_set_times_out_immediately() {
+        assert_eq!(poll(&mut [], 0).expect("poll"), 0);
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let mut fds = [PollFd::readable(listener.as_raw_fd())];
+        assert_eq!(poll(&mut fds, 0).expect("poll"), 0, "no pending connect");
+        assert!(!fds[0].is_ready());
+
+        let _client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let ready = poll(&mut fds, 5_000).expect("poll");
+        assert_eq!(ready, 1);
+        assert!(fds[0].is_readable());
+        assert!(!fds[0].is_error());
+    }
+
+    #[test]
+    fn connected_stream_is_writable_and_peer_close_is_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let mut client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        let mut fds = [PollFd::new(client.as_raw_fd(), POLLIN | POLLOUT)];
+        let ready = poll(&mut fds, 5_000).expect("poll");
+        assert_eq!(ready, 1);
+        assert!(fds[0].is_writable(), "fresh socket has send-buffer space");
+        assert!(!fds[0].is_readable(), "nothing to read yet");
+
+        drop(server);
+        client.flush().expect("flush");
+        let mut fds = [PollFd::readable(client.as_raw_fd())];
+        let ready = poll(&mut fds, 5_000).expect("poll");
+        assert_eq!(ready, 1);
+        assert!(fds[0].is_readable(), "EOF reads as readable");
+    }
+}

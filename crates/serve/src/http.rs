@@ -1,15 +1,13 @@
-//! A minimal HTTP/1.1 wire layer over blocking `std::net` sockets.
+//! A minimal HTTP/1.1 wire layer for non-blocking sockets.
 //!
-//! Covers exactly what the decision server needs: request parsing
-//! with bounded header/body sizes, `Expect: 100-continue`, keep-alive
-//! with an idle limit, and response writing. Reads run with a short
-//! socket timeout ("tick") so an idle or shutting-down connection is
-//! noticed promptly; partial reads survive ticks because every read
-//! loop accumulates into its own buffer.
-
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
-use std::net::TcpStream;
-use std::time::{Duration, Instant};
+//! Covers exactly what the decision server needs: *incremental*
+//! request parsing over a caller-owned byte buffer (the event loop
+//! appends whatever `read` returned and asks "complete yet?"),
+//! bounded header/body sizes, `Expect: 100-continue` detection, and
+//! response rendering to a byte vector. Nothing here blocks, sleeps,
+//! or owns a socket — connection lifecycle (idle sweeping, deadlines,
+//! shutdown) lives in the event loop, where it can be enforced
+//! centrally for every connection at once.
 
 /// Hard cap on the request line plus all headers.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -68,95 +66,63 @@ impl Request {
     }
 }
 
-/// Outcome of waiting for the next request on a keep-alive connection.
+/// Outcome of one incremental parse attempt over a receive buffer.
 #[derive(Debug)]
-pub enum NextRequest {
-    /// A complete request arrived.
-    Request(Request),
-    /// The peer closed, the idle limit passed, or `should_abort` said
-    /// to stop — either way the connection is done.
-    Closed,
+pub enum Parsed {
+    /// A complete request starts the buffer; `consumed` bytes belong
+    /// to it (drain them before parsing the next pipelined request).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Head plus body length, in bytes.
+        consumed: usize,
+    },
+    /// The buffer holds only part of a request; read more.
+    Partial {
+        /// The head is complete and carried `Expect: 100-continue`,
+        /// but the body has not fully arrived: the client is waiting
+        /// for the interim `100 Continue` before it sends the rest.
+        needs_continue: bool,
+    },
 }
 
-/// Reads one line (through `\n`) into `buf`, surviving read-timeout
-/// ticks. Returns false on clean EOF before any byte of this line.
-fn read_line(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    should_abort: &dyn Fn() -> bool,
-    idle_limit: Duration,
-) -> Result<bool, HttpError> {
-    let start = Instant::now();
-    loop {
-        match reader.read_until(b'\n', buf) {
-            Ok(0) => return Ok(false),
-            Ok(_) if buf.last() == Some(&b'\n') => return Ok(true),
-            // EOF mid-line: read_until stopped without the delimiter.
-            Ok(_) => return Ok(false),
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                // A tick. Between requests (nothing read yet) this is
-                // ordinary keep-alive idling up to the limit; if we
-                // are mid-line the client is slow but alive, so only
-                // shutdown aborts it.
-                if should_abort() {
-                    return Ok(false);
-                }
-                if buf.is_empty() && start.elapsed() >= idle_limit {
-                    return Ok(false);
-                }
-            }
-            Err(e) => return Err(HttpError::Io(e.to_string())),
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::TooLarge(MAX_HEAD_BYTES));
-        }
-    }
+/// The byte offset one past this line's `\n`, if the line is complete.
+fn line_end(buf: &[u8], start: usize) -> Option<usize> {
+    buf[start..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| start + i + 1)
 }
 
-/// Reads the body, surviving ticks; aborts only on socket errors.
-fn read_exact_ticking(
-    reader: &mut BufReader<TcpStream>,
-    body: &mut [u8],
-    should_abort: &dyn Fn() -> bool,
-) -> Result<(), HttpError> {
-    let mut filled = 0;
-    while filled < body.len() {
-        match reader.read(&mut body[filled..]) {
-            Ok(0) => return Err(HttpError::Malformed("body truncated by EOF".into())),
-            Ok(n) => filled += n,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if should_abort() {
-                    return Err(HttpError::Io("shutdown mid-body".into()));
-                }
-            }
-            Err(e) => return Err(HttpError::Io(e.to_string())),
-        }
-    }
-    Ok(())
+/// One head line as text, `\r\n` stripped.
+fn line_text(buf: &[u8], start: usize, end: usize) -> Result<&str, HttpError> {
+    std::str::from_utf8(&buf[start..end])
+        .map(|s| s.trim_end_matches(['\r', '\n']))
+        .map_err(|_| HttpError::Malformed("header is not UTF-8".into()))
 }
 
-/// Reads the next request off a keep-alive connection.
+/// Attempts to parse one complete request from the front of `buf`.
 ///
-/// The stream's read timeout is the caller's tick (set once per
-/// connection); `idle_limit` bounds how long we wait between requests
-/// and `should_abort` is polled every tick so a draining server stops
-/// waiting promptly.
+/// Returns [`Parsed::Partial`] when more bytes are needed — append
+/// the next read and call again. The head cap is enforced even on
+/// partial input, so a client streaming an unbounded header section
+/// is rejected long before it exhausts memory.
 ///
 /// # Errors
 ///
 /// [`HttpError::Malformed`] / [`HttpError::TooLarge`] mean the caller
-/// should answer 400/413 and close; [`HttpError::Io`] means just
-/// close.
-pub fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    should_abort: &dyn Fn() -> bool,
-    idle_limit: Duration,
-) -> Result<NextRequest, HttpError> {
-    let mut line = Vec::new();
-    if !read_line(reader, &mut line, should_abort, idle_limit)? {
-        return Ok(NextRequest::Closed);
-    }
-    let request_line = String::from_utf8(line)
+/// should answer 400/413 and close the connection.
+pub fn try_parse(buf: &[u8]) -> Result<Parsed, HttpError> {
+    // Request line.
+    let Some(request_line_end) = line_end(buf, 0) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(MAX_HEAD_BYTES));
+        }
+        return Ok(Parsed::Partial {
+            needs_continue: false,
+        });
+    };
+    let request_line = std::str::from_utf8(&buf[..request_line_end])
         .map_err(|_| HttpError::Malformed("request line is not UTF-8".into()))?;
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
@@ -170,28 +136,31 @@ pub fn read_request(
         return Err(HttpError::Malformed(format!("unsupported {version}")));
     }
 
+    // Headers, up to the empty line.
     let mut headers = Vec::new();
-    let mut head_bytes = request_line.len();
-    loop {
-        let mut line = Vec::new();
-        if !read_line(reader, &mut line, should_abort, idle_limit)? {
-            return Err(HttpError::Malformed("headers truncated".into()));
-        }
-        head_bytes += line.len();
-        if head_bytes > MAX_HEAD_BYTES {
+    let mut cursor = request_line_end;
+    let head_end = loop {
+        let Some(end) = line_end(buf, cursor) else {
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::TooLarge(MAX_HEAD_BYTES));
+            }
+            return Ok(Parsed::Partial {
+                needs_continue: false,
+            });
+        };
+        if end > MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge(MAX_HEAD_BYTES));
         }
-        let text = String::from_utf8(line)
-            .map_err(|_| HttpError::Malformed("header is not UTF-8".into()))?;
-        let text = text.trim_end_matches(['\r', '\n']);
+        let text = line_text(buf, cursor, end)?;
+        cursor = end;
         if text.is_empty() {
-            break;
+            break cursor;
         }
         let Some((name, value)) = text.split_once(':') else {
             return Err(HttpError::Malformed(format!("bad header {text:?}")));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
+    };
 
     let content_length = headers
         .iter()
@@ -206,30 +175,63 @@ pub fn read_request(
         return Err(HttpError::TooLarge(MAX_BODY_BYTES));
     }
 
-    // RFC 7231 §5.1.1: a client may wait for permission before
-    // sending a large body; grant it before reading.
-    if headers
-        .iter()
-        .any(|(k, v)| k == "expect" && v.eq_ignore_ascii_case("100-continue"))
-    {
-        reader
-            .get_mut()
-            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
-            .map_err(|e| HttpError::Io(e.to_string()))?;
+    let total = head_end + content_length;
+    if buf.len() < total {
+        // RFC 7231 §5.1.1: the client may be waiting for permission
+        // before sending the body; the event loop grants it once.
+        let needs_continue = headers
+            .iter()
+            .any(|(k, v)| k == "expect" && v.eq_ignore_ascii_case("100-continue"));
+        return Ok(Parsed::Partial { needs_continue });
     }
 
-    let mut body = vec![0u8; content_length];
-    read_exact_ticking(reader, &mut body, should_abort)?;
-
-    Ok(NextRequest::Request(Request {
-        method: method.to_ascii_uppercase(),
-        target: target.to_string(),
-        headers,
-        body,
-    }))
+    Ok(Parsed::Complete {
+        request: Request {
+            method: method.to_ascii_uppercase(),
+            target: target.to_string(),
+            headers,
+            body: buf[head_end..total].to_vec(),
+        },
+        consumed: total,
+    })
 }
 
-/// A response ready to write.
+/// What an EOF with these unconsumed bytes means: `None` for a clean
+/// close (empty buffer, or the peer gave up before finishing its
+/// request line), or the malformation to answer 400 for before
+/// closing — the same distinction the blocking wire layer drew.
+#[must_use]
+pub fn eof_error(buf: &[u8]) -> Option<HttpError> {
+    if buf.is_empty() || line_end(buf, 0).is_none() {
+        return None;
+    }
+    match try_parse(buf) {
+        Ok(Parsed::Complete { .. }) => None,
+        Ok(Parsed::Partial { .. }) => {
+            // Past the request line: did the head complete?
+            let mut cursor = line_end(buf, 0).expect("checked above");
+            let mut head_done = false;
+            while let Some(end) = line_end(buf, cursor) {
+                if buf[cursor..end].iter().all(|&b| b == b'\r' || b == b'\n') {
+                    head_done = true;
+                    break;
+                }
+                cursor = end;
+            }
+            Some(HttpError::Malformed(if head_done {
+                "body truncated by EOF".into()
+            } else {
+                "headers truncated".into()
+            }))
+        }
+        Err(err) => Some(err),
+    }
+}
+
+/// The interim response granting `Expect: 100-continue`.
+pub const CONTINUE_BYTES: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
+
+/// A response ready to render.
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
@@ -272,30 +274,56 @@ impl Response {
         self
     }
 
-    /// Writes the response, with the right `Connection` header.
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket write failures.
-    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
-        let mut head = format!(
+    /// Renders the response head into `out`, with the right
+    /// `Connection` header, leaving the body to the caller — the fast
+    /// path appends a prerendered body slice with no intermediate
+    /// `Response` at all.
+    pub fn render_head(
+        out: &mut Vec<u8>,
+        status: u16,
+        content_type: &str,
+        body_len: usize,
+        keep_alive: bool,
+        extra_headers: &[(&'static str, String)],
+    ) {
+        use std::io::Write;
+        let _ = write!(
+            out,
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
-            self.status,
-            reason(self.status),
-            self.content_type,
-            self.body.len(),
+            status,
+            reason(status),
+            content_type,
+            body_len,
             if keep_alive { "keep-alive" } else { "close" },
         );
-        for (name, value) in &self.extra_headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
+        for (name, value) in extra_headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
         }
-        head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
-        stream.flush()
+        out.extend_from_slice(b"\r\n");
+    }
+
+    /// Appends the full wire form (head + body) to `out`.
+    pub fn render_to(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        Self::render_head(
+            out,
+            self.status,
+            self.content_type,
+            self.body.len(),
+            keep_alive,
+            &self.extra_headers,
+        );
+        out.extend_from_slice(self.body.as_bytes());
+    }
+
+    /// The full wire form as a fresh byte vector.
+    #[must_use]
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        self.render_to(&mut out, keep_alive);
+        out
     }
 }
 
@@ -318,75 +346,135 @@ pub fn reason(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use agequant_check::thread;
-    use std::net::TcpListener;
 
-    fn roundtrip(raw: &[u8]) -> Result<NextRequest, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addr = listener.local_addr().expect("addr");
-        let raw = raw.to_vec();
-        let writer = thread::spawn(move || {
-            let mut stream = TcpStream::connect(addr).expect("connect");
-            stream.write_all(&raw).expect("write");
-            // Keep the stream open briefly so reads see the bytes,
-            // then drop it for a clean EOF.
-        });
-        let (stream, _) = listener.accept().expect("accept");
-        stream
-            .set_read_timeout(Some(Duration::from_millis(50)))
-            .expect("timeout");
-        let mut reader = BufReader::new(stream);
-        let result = read_request(&mut reader, &|| false, Duration::from_millis(400));
-        writer.join().expect("writer");
-        result
+    fn complete(raw: &[u8]) -> (Request, usize) {
+        match try_parse(raw).expect("parses") {
+            Parsed::Complete { request, consumed } => (request, consumed),
+            Parsed::Partial { .. } => panic!("expected a complete request"),
+        }
     }
 
     #[test]
     fn parses_a_post_with_body() {
         let raw = b"POST /v1/plan HTTP/1.1\r\ncontent-length: 4\r\nHost: x\r\n\r\nbody";
-        match roundtrip(raw).expect("parses") {
-            NextRequest::Request(req) => {
-                assert_eq!(req.method, "POST");
-                assert_eq!(req.target, "/v1/plan");
-                assert_eq!(req.body, b"body");
-                assert_eq!(req.header("host"), Some("x"));
-                assert!(!req.wants_close());
-            }
-            NextRequest::Closed => panic!("expected a request"),
-        }
+        let (req, consumed) = complete(raw);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/plan");
+        assert_eq!(req.body, b"body");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+        assert_eq!(consumed, raw.len());
     }
 
     #[test]
-    fn idle_connection_closes_cleanly() {
-        // No bytes at all: the idle limit expires into Closed.
-        match roundtrip(b"").expect("clean close") {
-            NextRequest::Closed => {}
-            NextRequest::Request(req) => panic!("unexpected {req:?}"),
+    fn partial_input_asks_for_more_at_every_boundary() {
+        let raw = b"POST /v1/plan HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(try_parse(&raw[..cut]), Ok(Parsed::Partial { .. })),
+                "cut at {cut} should be partial"
+            );
         }
+        let (req, _) = complete(raw);
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn pipelined_requests_are_consumed_one_at_a_time() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let (first, consumed) = complete(raw);
+        assert_eq!(first.target, "/healthz");
+        let (second, rest) = complete(&raw[consumed..]);
+        assert_eq!(second.target, "/metrics");
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn expect_continue_is_flagged_only_while_the_body_is_pending() {
+        let head = b"POST /v1/plan HTTP/1.1\r\nexpect: 100-continue\r\ncontent-length: 4\r\n\r\n";
+        match try_parse(head).expect("parses") {
+            Parsed::Partial { needs_continue } => assert!(needs_continue),
+            Parsed::Complete { .. } => panic!("body missing"),
+        }
+        let mut full = head.to_vec();
+        full.extend_from_slice(b"body");
+        let (req, _) = complete(&full);
+        assert_eq!(req.body, b"body");
     }
 
     #[test]
     fn malformed_request_line_is_an_error() {
         assert!(matches!(
-            roundtrip(b"NONSENSE\r\n\r\n"),
+            try_parse(b"NONSENSE\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
         assert!(matches!(
-            roundtrip(b"GET / SPDY/3\r\n\r\n"),
+            try_parse(b"GET / SPDY/3\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
     }
 
     #[test]
-    fn oversized_body_is_rejected() {
+    fn oversized_head_and_body_are_rejected() {
         let raw = format!(
             "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
         );
         assert!(matches!(
-            roundtrip(raw.as_bytes()),
-            Err(HttpError::TooLarge(_))
+            try_parse(raw.as_bytes()),
+            Err(HttpError::TooLarge(MAX_BODY_BYTES))
         ));
+        // An unbounded header section is cut off at the head cap even
+        // though no empty line ever arrives.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'x', MAX_HEAD_BYTES + 1));
+        assert!(matches!(
+            try_parse(&raw),
+            Err(HttpError::TooLarge(MAX_HEAD_BYTES))
+        ));
+    }
+
+    #[test]
+    fn eof_classification_matches_parse_progress() {
+        assert!(eof_error(b"").is_none(), "clean close");
+        assert!(
+            eof_error(b"GET / HT").is_none(),
+            "gave up mid-request-line: silent close"
+        );
+        assert!(
+            matches!(
+                eof_error(b"GET / HTTP/1.1\r\nhost: x\r\n"),
+                Some(HttpError::Malformed(m)) if m == "headers truncated"
+            ),
+            "EOF mid-headers is malformed"
+        );
+        assert!(
+            matches!(
+                eof_error(b"POST / HTTP/1.1\r\ncontent-length: 4\r\n\r\nbo"),
+                Some(HttpError::Malformed(m)) if m == "body truncated by EOF"
+            ),
+            "EOF mid-body is malformed"
+        );
+        assert!(
+            eof_error(b"GET /healthz HTTP/1.1\r\n\r\n").is_none(),
+            "a complete unconsumed request is not an EOF error"
+        );
+    }
+
+    #[test]
+    fn rendered_bytes_pin_the_wire_format() {
+        let response =
+            Response::json(200, "{\"ok\":true}".to_string()).with_header("retry-after", "1".into());
+        let bytes = response.to_bytes(true);
+        assert_eq!(
+            String::from_utf8(bytes).expect("utf-8"),
+            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 11\r\nconnection: keep-alive\r\nretry-after: 1\r\n\r\n{\"ok\":true}"
+        );
+        let close = Response::text(404, "gone".to_string()).to_bytes(false);
+        assert_eq!(
+            String::from_utf8(close).expect("utf-8"),
+            "HTTP/1.1 404 Not Found\r\ncontent-type: text/plain; charset=utf-8\r\ncontent-length: 4\r\nconnection: close\r\n\r\ngone"
+        );
     }
 
     #[test]

@@ -36,14 +36,23 @@
 //!   residual EWMA, and the memory/autopilot rollups when those axes
 //!   are enabled.
 //!
-//! Concurrency is a bounded-queue worker pool built on the
-//! `agequant-check` facade over `std` (threads, `Mutex`/`Condvar`,
-//! `std::net`), so the queue/drain protocol is model-checked under
-//! `--features model`: a full queue answers
-//! `503 Retry-After` immediately — backpressure is explicit, memory
-//! stays flat under overload — and every request carries a deadline.
-//! Shutdown (`POST /v1/shutdown`) drains the queue before the workers
-//! exit, so accepted work is never dropped.
+//! The connection plane is a readiness-polled event loop (`poll(2)`
+//! via `agequant-netpoll`): every connection — parsing, writes, idle
+//! keep-alive sweeping, deadlines, the graceful drain — is owned by
+//! one loop thread, so idle connections cost a file descriptor, not a
+//! thread. `POST /v1/plan` requests inside the served ΔVth range are
+//! answered *on the loop* from an immutable prerendered decision
+//! table (an atomically swapped
+//! [`DecisionTable`](agequant_fleet::DecisionTable)-backed plan set
+//! whose publish protocol is model-checked): no lock, no queue, no
+//! engine, byte-identical to the live path. Everything else goes to a
+//! bounded-queue worker pool built on the `agequant-check` facade
+//! over `std`, so the queue/drain protocol is model-checked under
+//! `--features model`: a full queue answers `503 Retry-After`
+//! immediately — backpressure is explicit, memory stays flat under
+//! overload — and every request carries a deadline. Shutdown
+//! (`POST /v1/shutdown`) drains the queue before the workers exit, so
+//! accepted work is never dropped.
 //!
 //! # Example
 //!
@@ -69,6 +78,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod event_loop;
 mod http;
 mod metrics;
 mod queue;
@@ -79,7 +89,10 @@ use std::fmt;
 use agequant_fleet::FleetError;
 
 pub use config::{sweep_max_mv, ServeConfig};
-pub use http::{read_request, HttpError, NextRequest, Request, Response, MAX_BODY_BYTES};
+pub use http::{
+    eof_error, reason, try_parse, HttpError, Parsed, Request, Response, CONTINUE_BYTES,
+    MAX_BODY_BYTES,
+};
 pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_S};
 pub use queue::BoundedQueue;
 pub use server::{plan_response, start, write_checkpoint, ServerHandle};

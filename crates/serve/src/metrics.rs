@@ -118,6 +118,12 @@ pub struct Metrics {
     /// ΔVth; previously that disagreement was computed and thrown
     /// away after the consistency bool.
     telemetry_residual_bits: AtomicU64,
+    /// Live connections registered with the event loops.
+    open_connections: AtomicU64,
+    /// Plan decisions answered from the materialized table.
+    table_hits: AtomicU64,
+    /// Plan decisions that fell through to the live decider path.
+    table_misses: AtomicU64,
 }
 
 /// Smoothing factor for the exported telemetry-residual EWMA.
@@ -138,7 +144,50 @@ impl Metrics {
             queue_rejected: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             telemetry_residual_bits: AtomicU64::new(0.0f64.to_bits()),
+            open_connections: AtomicU64::new(0),
+            table_hits: AtomicU64::new(0),
+            table_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Registers a newly accepted connection.
+    pub fn connection_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deregisters a closed connection.
+    pub fn connection_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Live connections right now.
+    #[must_use]
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` plan decisions served straight from the
+    /// materialized decision table.
+    pub fn record_table_hits(&self, n: u64) {
+        self.table_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` plan decisions that fell through to the live
+    /// decider path (queued for a worker).
+    pub fn record_table_misses(&self, n: u64) {
+        self.table_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Table hits so far.
+    #[must_use]
+    pub fn table_hits(&self) -> u64 {
+        self.table_hits.load(Ordering::Relaxed)
+    }
+
+    /// Table misses so far.
+    #[must_use]
+    pub fn table_misses(&self) -> u64 {
+        self.table_misses.load(Ordering::Relaxed)
     }
 
     /// Records one finished request.
@@ -282,6 +331,30 @@ impl Metrics {
         out.push_str(&format!(
             "agequant_queue_rejected_total {}\n",
             self.queue_rejected.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP agequant_serve_open_connections Live connections registered with the event loops\n",
+        );
+        out.push_str("# TYPE agequant_serve_open_connections gauge\n");
+        out.push_str(&format!(
+            "agequant_serve_open_connections {}\n",
+            self.open_connections.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP agequant_serve_table_hits_total Plan decisions served from the materialized decision table\n",
+        );
+        out.push_str("# TYPE agequant_serve_table_hits_total counter\n");
+        out.push_str(&format!(
+            "agequant_serve_table_hits_total {}\n",
+            self.table_hits.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP agequant_serve_table_misses_total Plan decisions that fell through to the live decider\n",
+        );
+        out.push_str("# TYPE agequant_serve_table_misses_total counter\n");
+        out.push_str(&format!(
+            "agequant_serve_table_misses_total {}\n",
+            self.table_misses.load(Ordering::Relaxed)
         ));
         out.push_str("# HELP agequant_request_timeouts_total Requests past their deadline\n");
         out.push_str("# TYPE agequant_request_timeouts_total counter\n");
@@ -430,6 +503,23 @@ mod tests {
         let text = metrics.render(0, &CacheStats::default(), &BTreeMap::new(), None, None);
         assert!(text.contains("agequant_queue_rejected_total 2"));
         assert!(text.contains("agequant_request_timeouts_total 1"));
+    }
+
+    #[test]
+    fn connection_gauge_and_table_counters_are_exported() {
+        let metrics = Metrics::new();
+        metrics.connection_opened();
+        metrics.connection_opened();
+        metrics.connection_closed();
+        metrics.record_table_hits(5);
+        metrics.record_table_misses(2);
+        assert_eq!(metrics.open_connections(), 1);
+        assert_eq!(metrics.table_hits(), 5);
+        assert_eq!(metrics.table_misses(), 2);
+        let text = metrics.render(0, &CacheStats::default(), &BTreeMap::new(), None, None);
+        assert!(text.contains("agequant_serve_open_connections 1"));
+        assert!(text.contains("agequant_serve_table_hits_total 5"));
+        assert!(text.contains("agequant_serve_table_misses_total 2"));
     }
 
     #[test]

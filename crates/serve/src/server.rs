@@ -1,51 +1,70 @@
-//! The concurrent decision server: bounded-queue worker pool with
-//! explicit backpressure over the shared [`Decider`].
+//! The concurrent decision server: a wire-speed table plane in front
+//! of a bounded-queue worker pool with explicit backpressure over the
+//! shared [`Decider`].
 //!
 //! ## Architecture
 //!
-//! One acceptor thread hands each connection to its own I/O thread
-//! (blocking reads with a short timeout tick, keep-alive loop). Read
-//! endpoints (`/metrics`, `/v1/fleet/summary`) are answered inline —
-//! they only read atomics or take a short lock. Decision endpoints
-//! (`/v1/plan`, `/v1/telemetry`) are enqueued on a bounded queue
-//! served by `workers` threads; a full queue answers `503` with
-//! `Retry-After` *immediately* — the queue bound is the server's only
-//! buffer, so memory stays flat under overload. Each job carries a
-//! deadline: the connection gives up with `504` when it passes, and a
-//! worker popping an already-expired job drops it instead of burning
-//! engine time on an abandoned reply.
+//! A small set of readiness-polled event loops (`crate::event_loop`,
+//! one by default) owns every connection: parsing, response writes,
+//! idle sweeping, deadlines, and the drain all run there — no thread
+//! per connection, so ten thousand idle keep-alive clients cost one
+//! file descriptor apiece.
+//!
+//! Requests are answered at one of three costs:
+//!
+//! 1. **Table hits** — `POST /v1/plan` (and all-table batches) whose
+//!    decision is in the immutable prerendered [`PlanSet`]: answered
+//!    on the event loop from an `Arc<str>` body. No lock, no queue,
+//!    no engine; the plan bytes were rendered once at table build.
+//! 2. **Inline reads** — `/metrics`, summaries: answered on the loop,
+//!    reading atomics or taking a short lock.
+//! 3. **Worker jobs** — telemetry, constraint overrides, models not
+//!    yet materialized: queued on the bounded queue. A full queue
+//!    answers `503` with `Retry-After` immediately — the queue bound
+//!    is the server's only buffer, so memory stays flat under
+//!    overload. Each job carries a deadline; the loop's sweep answers
+//!    `504` when it passes, and a worker popping an already-expired
+//!    job drops it instead of burning engine time on an abandoned
+//!    reply.
+//!
+//! Table bytes and worker bytes are the same bytes: both render
+//! through [`plan_response`], so a client cannot tell which plane
+//! answered. New per-model tables are published by atomically
+//! swapping the [`PlanSet`] (an `agequant-fleet` [`Swap`], whose
+//! publish/subscribe protocol is model-checked in `agequant-check`'s
+//! `model_table` suite); readers never block on a publish.
 //!
 //! ## Shutdown
 //!
 //! `POST /v1/shutdown` (or [`ServerHandle::shutdown`]) flips one
-//! flag. The acceptor wakes (self-connect) and stops accepting;
-//! workers drain every job already queued, then exit; connection
-//! threads finish writing in-flight responses, answer
-//! `connection: close`, and wind down. [`ServerHandle::join`] returns
-//! when the drain is complete.
+//! flag. The loops drop the listener (closing the port), workers
+//! drain every job already queued, in-flight responses flush with
+//! `connection: close`, idle connections are swept, and
+//! [`ServerHandle::join`] returns when every loop has wound down.
 
 use std::collections::BTreeMap;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 
 use agequant_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use agequant_check::sync::{mpsc, Arc, Mutex, RwLock};
+use agequant_check::sync::{Arc, Mutex, RwLock};
 use agequant_check::thread::{self, JoinHandle};
 
 use agequant_aging::{ModelSpec, VthShift};
 use agequant_core::EvalEngine;
-use agequant_fleet::{journal, AutopilotConfig, Decider, Decision, FleetConfig, FleetSim};
+use agequant_fleet::{
+    journal, AutopilotConfig, Decider, Decision, DecisionTable, FleetConfig, FleetSim, Swap,
+    SwapReader,
+};
 use serde::{Deserialize, Value};
 
 use crate::config::ServeConfig;
-use crate::http::{read_request, HttpError, NextRequest, Request, Response};
+use crate::event_loop::{self, Completion, LoopShared, Token};
+use crate::http::{Request, Response};
 use crate::metrics::{Endpoint, Metrics};
 use crate::queue::BoundedQueue;
 use crate::ServeError;
 
-/// How often blocking reads wake to check idle time and shutdown.
-const READ_TICK: Duration = Duration::from_millis(100);
 /// Telemetry may advance the hosted fleet at most this many epochs in
 /// one request, bounding worst-case work per call.
 const MAX_EPOCH_ADVANCE: u64 = 10_000;
@@ -96,10 +115,10 @@ enum ApiCall {
     Telemetry(TelemetryRequest),
 }
 
-/// One queued unit of work.
+/// One queued unit of work, addressed back to its connection by token.
 struct Job {
     call: ApiCall,
-    reply: mpsc::Sender<Response>,
+    token: Token,
     deadline: Instant,
 }
 
@@ -110,9 +129,99 @@ struct FleetHost {
     flushed: usize,
 }
 
-/// State shared by the acceptor, connection threads, and workers.
-struct Shared {
-    config: ServeConfig,
+/// Prerendered `/v1/plan` response bodies for one model: index by
+/// bucket, answer with an `Arc<str>` clone — the wire-speed path.
+pub(crate) struct RenderedPlans {
+    /// The decider whose grid maps ΔVth onto body indices (and whose
+    /// decisions the bodies render).
+    decider: Arc<Decider>,
+    bodies: Vec<Arc<str>>,
+}
+
+impl RenderedPlans {
+    /// Renders every bucket of `table` through [`plan_response`] on
+    /// `decider` — the same function the worker path uses, which is
+    /// what makes a table hit bit-identical to a live decision.
+    /// `None` if the table is missing a served bucket (cannot happen
+    /// for a [`DecisionTable::build`] product over the served range).
+    fn render(decider: &Arc<Decider>, table: &DecisionTable) -> Option<Self> {
+        let constraint = decider.constraint_ps();
+        let mut bodies = Vec::with_capacity(table.max_bucket() as usize + 1);
+        for bucket in 0..=table.max_bucket() {
+            let decision = table.lookup(bucket, constraint)?;
+            let body = render_value(&plan_response(decider, &decision));
+            bodies.push(Arc::from(body.into_boxed_str()));
+        }
+        Some(RenderedPlans {
+            decider: Arc::clone(decider),
+            bodies,
+        })
+    }
+
+    fn body_for(&self, mv: f64) -> Option<&Arc<str>> {
+        let bucket = self.decider.bucket_of(VthShift::from_millivolts(mv));
+        usize::try_from(bucket)
+            .ok()
+            .and_then(|b| self.bodies.get(b))
+    }
+}
+
+/// The immutable set of prerendered plan tables, one per materialized
+/// model, swapped atomically as the model zoo is exercised.
+pub(crate) struct PlanSet {
+    /// The server's configured model key — what `model: null` means.
+    default_key: String,
+    by_model: BTreeMap<String, Arc<RenderedPlans>>,
+}
+
+/// How a routed request is answered.
+pub(crate) enum Routed {
+    /// Answered on the event loop: render `Reply` and move on.
+    Ready(Reply),
+    /// Parked on the worker pool; a [`Completion`] will arrive.
+    Pending,
+}
+
+/// A response the event loop can write without a worker.
+pub(crate) enum Reply {
+    Full(Response),
+    /// A prerendered table body: the head is rendered per-connection
+    /// (keep-alive differs), the body bytes are shared.
+    Table {
+        status: u16,
+        body: Arc<str>,
+    },
+}
+
+impl Reply {
+    pub(crate) fn status(&self) -> u16 {
+        match self {
+            Reply::Full(response) => response.status,
+            Reply::Table { status, .. } => *status,
+        }
+    }
+
+    pub(crate) fn render(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        match self {
+            Reply::Full(response) => response.render_to(out, keep_alive),
+            Reply::Table { status, body } => {
+                Response::render_head(
+                    out,
+                    *status,
+                    "application/json",
+                    body.len(),
+                    keep_alive,
+                    &[],
+                );
+                out.extend_from_slice(body.as_bytes());
+            }
+        }
+    }
+}
+
+/// State shared by the event loops and workers.
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
     addr: SocketAddr,
     decider: Arc<Decider>,
     /// The engine every decider (default and per-model) plans through;
@@ -123,10 +232,27 @@ struct Shared {
     /// `POST /v1/plan`'s `model` field, keyed by zoo name.
     model_deciders: RwLock<BTreeMap<String, Arc<Decider>>>,
     fleet: Mutex<FleetHost>,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     queue: BoundedQueue<Job>,
+    /// The swap cell behind every event loop's table reader.
+    plans: Swap<PlanSet>,
+    /// Table answers allowed? Off when `debug_delay_ms` is set: that
+    /// knob exists to simulate slow decisions, and a table hit would
+    /// skip the queue the delay is meant to exercise.
+    fast_path: bool,
+    pub(crate) loops: Vec<Arc<LoopShared>>,
+    pub(crate) next_loop: AtomicUsize,
     shutdown: AtomicBool,
-    active_connections: AtomicUsize,
+}
+
+impl Shared {
+    pub(crate) fn is_draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn plans_reader(&self) -> SwapReader<PlanSet> {
+        SwapReader::new(&self.plans)
+    }
 }
 
 /// A running server. Dropping the handle does NOT stop the server;
@@ -134,7 +260,7 @@ struct Shared {
 /// then [`ServerHandle::join`].
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    loops: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -160,30 +286,22 @@ impl ServerHandle {
     /// True once a drain has been requested.
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
-        self.shared.shutdown.load(Ordering::SeqCst)
+        self.shared.is_draining()
     }
 
-    /// Waits for the drain to complete: acceptor gone, queue empty,
-    /// workers exited, in-flight connections wound down. The handle
-    /// stays usable afterwards (e.g. for [`write_checkpoint`]).
+    /// Waits for the drain to complete: listener closed, queue empty,
+    /// workers exited, every connection wound down by its loop. The
+    /// handle stays usable afterwards (e.g. for [`write_checkpoint`]).
     ///
     /// # Panics
     ///
     /// Panics if a server thread panicked.
     pub fn join(&mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            acceptor.join().expect("acceptor thread");
+        for handle in self.loops.drain(..) {
+            handle.join().expect("event loop thread");
         }
         for worker in self.workers.drain(..) {
             worker.join().expect("worker thread");
-        }
-        // Connection threads are detached; give in-flight responses a
-        // bounded window to flush before declaring the drain done.
-        let patience = Instant::now();
-        while self.shared.active_connections.load(Ordering::SeqCst) > 0
-            && patience.elapsed() < Duration::from_secs(10)
-        {
-            thread::sleep(Duration::from_millis(5));
         }
     }
 
@@ -198,9 +316,26 @@ impl ServerHandle {
     }
 }
 
+/// The largest bucket any in-range `/v1/plan` request can map to —
+/// the decision tables cover exactly the served ΔVth range.
+fn max_served_bucket(config: &ServeConfig, decider: &Decider) -> u64 {
+    decider.bucket_of(VthShift::from_millivolts(config.max_mv + 1e-9))
+}
+
+/// Event loops to run: `AGEQUANT_SERVE_LOOPS` (1–64), default 1 —
+/// one loop saturates a small core count; more shard the fd set.
+fn loop_threads() -> usize {
+    std::env::var("AGEQUANT_SERVE_LOOPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| (1..=64).contains(n))
+        .unwrap_or(1)
+}
+
 /// Builds and starts the server: binds the address, plans the hosted
-/// fleet's epoch-0 decisions (warming the engine), seeds the journal
-/// file, and spawns the acceptor and worker threads.
+/// fleet's epoch-0 decisions (warming the engine), materializes the
+/// default model's decision table, seeds the journal file, and spawns
+/// the event loop and worker threads.
 ///
 /// # Errors
 ///
@@ -221,6 +356,9 @@ pub fn start(config: ServeConfig, fleet_config: FleetConfig) -> Result<ServerHan
 
     let listener = TcpListener::bind(&config.addr)
         .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServeError::Io(e.to_string()))?;
     let addr = listener
         .local_addr()
         .map_err(|e| ServeError::Io(e.to_string()))?;
@@ -233,8 +371,37 @@ pub fn start(config: ServeConfig, fleet_config: FleetConfig) -> Result<ServerHan
         flush_journal(&config, &mut host)?;
     }
 
+    // Materialize the default model's decision table on a throwaway
+    // decider (its own engine), so the shared engine's cache counters
+    // keep reflecting exactly the fleet warm-up plus live traffic.
+    let default_key = decider.flow().model_key().to_string();
+    let mut by_model = BTreeMap::new();
+    if let Ok(scratch) = Decider::from_config(&fleet_config) {
+        if let Ok(table) = DecisionTable::build(&scratch, max_served_bucket(&config, &decider), &[])
+        {
+            decider.install_table(table.clone());
+            if let Some(rendered) = RenderedPlans::render(&decider, &table) {
+                by_model.insert(default_key.clone(), Arc::new(rendered));
+            }
+        }
+    }
+    let plans = Swap::new(Arc::new(PlanSet {
+        default_key,
+        by_model,
+    }));
+
+    let loop_count = loop_threads();
+    let mut wakers = Vec::with_capacity(loop_count);
+    let mut loop_shareds = Vec::with_capacity(loop_count);
+    for _ in 0..loop_count {
+        let (rx, tx) = event_loop::waker_pair().map_err(|e| ServeError::Io(e.to_string()))?;
+        loop_shareds.push(Arc::new(LoopShared::new(tx)));
+        wakers.push(rx);
+    }
+
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_depth as usize),
+        fast_path: config.debug_delay_ms == 0,
         config,
         addr,
         decider,
@@ -242,8 +409,10 @@ pub fn start(config: ServeConfig, fleet_config: FleetConfig) -> Result<ServerHan
         model_deciders: RwLock::new(BTreeMap::new()),
         fleet: Mutex::new(host),
         metrics: Metrics::new(),
+        plans,
+        loops: loop_shareds,
+        next_loop: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
-        active_connections: AtomicUsize::new(0),
     });
 
     let workers = (0..shared.config.workers)
@@ -256,17 +425,23 @@ pub fn start(config: ServeConfig, fleet_config: FleetConfig) -> Result<ServerHan
         })
         .collect();
 
-    let acceptor = {
-        let shared = Arc::clone(&shared);
-        thread::Builder::new()
-            .name("serve-acceptor".to_string())
-            .spawn(move || acceptor_loop(&listener, &shared))
-            .expect("spawn acceptor")
-    };
+    let mut listener = Some(listener);
+    let loops = wakers
+        .into_iter()
+        .enumerate()
+        .map(|(i, waker_rx)| {
+            let shared = Arc::clone(&shared);
+            let listener = if i == 0 { listener.take() } else { None };
+            thread::Builder::new()
+                .name(format!("serve-loop-{i}"))
+                .spawn(move || event_loop::run(shared, i, listener, waker_rx))
+                .expect("spawn event loop")
+        })
+        .collect();
 
     Ok(ServerHandle {
         shared,
-        acceptor: Some(acceptor),
+        loops,
         workers,
     })
 }
@@ -278,78 +453,106 @@ fn initiate_shutdown(shared: &Shared) {
     // Closing refuses new work and wakes every worker to drain the
     // backlog; the queue hands out `None` once it runs dry.
     shared.queue.close();
-    // Unblock the acceptor's blocking accept() with a throwaway
-    // connection; it re-checks the flag before handling it.
-    let _ = TcpStream::connect(shared.addr);
-}
-
-fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        shared.active_connections.fetch_add(1, Ordering::SeqCst);
-        let spawned = thread::Builder::new()
-            .name("serve-conn".to_string())
-            .spawn(move || {
-                handle_connection(&shared, stream);
-                shared.active_connections.fetch_sub(1, Ordering::SeqCst);
-            });
-        if spawned.is_err() {
-            // Thread spawn failed (resource exhaustion): the stream
-            // drops, the client sees a reset — still bounded.
-        }
+    // Kick every event loop so the drain starts without waiting for
+    // the next poll tick.
+    for lp in &shared.loops {
+        lp.wake();
     }
 }
 
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_TICK));
-    let Ok(mut writer) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let idle_limit = Duration::from_secs(shared.config.keep_alive_secs.max(1));
-    let abort = {
-        let shared = Arc::clone(shared);
-        move || shared.shutdown.load(Ordering::SeqCst)
-    };
-    loop {
-        let request = match read_request(&mut reader, &abort, idle_limit) {
-            Ok(NextRequest::Request(request)) => request,
-            Ok(NextRequest::Closed) => break,
-            Err(HttpError::Malformed(msg)) => {
-                let response = Response::json(400, error_body(&msg));
-                shared.metrics.observe(Endpoint::Other, 400, Duration::ZERO);
-                let _ = response.write_to(&mut writer, false);
-                break;
-            }
-            Err(HttpError::TooLarge(limit)) => {
-                let response = Response::json(413, error_body(&format!("limit {limit} bytes")));
-                shared.metrics.observe(Endpoint::Other, 413, Duration::ZERO);
-                let _ = response.write_to(&mut writer, false);
-                break;
-            }
-            Err(HttpError::Io(_)) => break,
-        };
-        let started = Instant::now();
-        let (endpoint, response) = route(shared, &request);
-        let draining = shared.shutdown.load(Ordering::SeqCst);
-        let keep_alive = !draining && !request.wants_close();
-        shared
-            .metrics
-            .observe(endpoint, response.status, started.elapsed());
-        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
-            break;
-        }
+// ------------------------------------------------------------- fast paths
+
+/// The wire-speed single-plan path: answers from the prerendered
+/// table without touching a lock, the queue, or the engine. `None`
+/// falls through to the worker path (constraint overrides, models
+/// without a materialized table, or the fast path disabled).
+fn fast_plan(
+    shared: &Shared,
+    plans: &mut SwapReader<PlanSet>,
+    request: &PlanRequest,
+) -> Option<Reply> {
+    if !shared.fast_path || request.constraint_factor.is_some() {
+        return None;
     }
+    let set = plans.get(&shared.plans);
+    let key = request.model.as_deref().unwrap_or(&set.default_key);
+    let rendered = set.by_model.get(key)?;
+    let mv = request.delta_vth_mv;
+    if !served_range(shared, mv) {
+        // Validation is part of the fast path — a request that never
+        // touches the engine shouldn't queue just to be refused.
+        return Some(Reply::Full(Response::json(
+            400,
+            error_body(&range_message(shared, mv)),
+        )));
+    }
+    let body = Arc::clone(rendered.body_for(mv)?);
+    shared.metrics.record_table_hits(1);
+    Some(Reply::Table { status: 200, body })
 }
 
-/// Dispatches one request. Read endpoints answer inline; decision
-/// endpoints go through the bounded queue.
-fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
+/// The wire-speed batch path: every element must be answerable from
+/// the prerendered tables (validation included); one element needing
+/// live work sends the whole batch to the workers unchanged.
+fn fast_batch(
+    shared: &Shared,
+    plans: &mut SwapReader<PlanSet>,
+    requests: &[PlanRequest],
+) -> Option<Reply> {
+    if !shared.fast_path {
+        return None;
+    }
+    let set = Arc::clone(plans.get(&shared.plans));
+    let mut out = String::with_capacity(16 + requests.len() * 192);
+    out.push_str("{\"results\":[");
+    for (i, request) in requests.iter().enumerate() {
+        if request.constraint_factor.is_some() {
+            return None;
+        }
+        let key = request.model.as_deref().unwrap_or(&set.default_key);
+        let rendered = set.by_model.get(key)?;
+        if i > 0 {
+            out.push(',');
+        }
+        let mv = request.delta_vth_mv;
+        if served_range(shared, mv) {
+            let body = rendered.body_for(mv)?;
+            out.push_str("{\"status\":200,\"body\":");
+            out.push_str(body);
+        } else {
+            out.push_str("{\"status\":400,\"body\":");
+            out.push_str(&error_body(&range_message(shared, mv)));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    shared.metrics.record_table_hits(requests.len() as u64);
+    Some(Reply::Full(Response::json(200, out)))
+}
+
+fn served_range(shared: &Shared, mv: f64) -> bool {
+    mv.is_finite() && (0.0..=shared.config.max_mv + 1e-9).contains(&mv)
+}
+
+/// The out-of-range refusal — one format string, so the fast path,
+/// the worker path, and batch elements emit identical bytes.
+fn range_message(shared: &Shared, mv: f64) -> String {
+    format!(
+        "delta_vth_mv {mv} outside the served range 0–{} mV",
+        shared.config.max_mv
+    )
+}
+
+// --------------------------------------------------------------- routing
+
+/// Dispatches one request. Table hits and read endpoints answer on
+/// the event loop; decision endpoints go through the bounded queue.
+pub(crate) fn route(
+    shared: &Arc<Shared>,
+    request: &Request,
+    token: Token,
+    plans: &mut SwapReader<PlanSet>,
+) -> (Endpoint, Routed) {
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/metrics") => {
             let stats = shared.engine.stats();
@@ -376,17 +579,24 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
             );
             (
                 Endpoint::Metrics,
-                Response::text(200, text).with_header("cache-control", "no-store".to_string()),
+                ready(
+                    Response::text(200, text).with_header("cache-control", "no-store".to_string()),
+                ),
             )
         }
-        ("GET", "/v1/models") => (Endpoint::Other, models_response(shared)),
+        ("GET", "/v1/models") => (Endpoint::Other, ready(models_response(shared))),
         ("GET", "/v1/fleet/summary") => {
             let host = shared.fleet.lock().expect("unpoisoned fleet");
             let body = host.sim.summary().to_json();
-            (Endpoint::Summary, Response::json(200, body))
+            (Endpoint::Summary, ready(Response::json(200, body)))
         }
-        ("GET", "/v1/memory/summary") => (Endpoint::MemorySummary, memory_summary_response(shared)),
-        ("GET", "/v1/autopilot/summary") => (Endpoint::Other, autopilot_summary_response(shared)),
+        ("GET", "/v1/memory/summary") => (
+            Endpoint::MemorySummary,
+            ready(memory_summary_response(shared)),
+        ),
+        ("GET", "/v1/autopilot/summary") => {
+            (Endpoint::Other, ready(autopilot_summary_response(shared)))
+        }
         ("POST", "/v1/autopilot/enroll") => {
             let parsed = if request.body.is_empty() {
                 Ok(EnrollRequest {
@@ -397,45 +607,60 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
                 parse_body::<EnrollRequest>(&request.body)
             };
             match parsed {
-                Ok(body) => (Endpoint::Other, handle_enroll(shared, &body)),
-                Err(response) => (Endpoint::Other, response),
+                Ok(body) => (Endpoint::Other, ready(handle_enroll(shared, &body))),
+                Err(response) => (Endpoint::Other, ready(response)),
             }
         }
-        ("GET", "/healthz") => (Endpoint::Other, Response::text(200, "ok\n".to_string())),
+        ("GET", "/healthz") => (
+            Endpoint::Other,
+            ready(Response::text(200, "ok\n".to_string())),
+        ),
         ("POST", "/v1/shutdown") => {
             initiate_shutdown(shared);
             (
                 Endpoint::Shutdown,
-                Response::json(200, "{\"draining\":true}".to_string()),
+                ready(Response::json(200, "{\"draining\":true}".to_string())),
             )
         }
         ("POST", "/v1/plan") => match parse_body::<PlanRequest>(&request.body) {
-            Ok(body) => (Endpoint::Plan, enqueue(shared, ApiCall::Plan(body))),
-            Err(response) => (Endpoint::Plan, response),
+            Ok(body) => {
+                if let Some(reply) = fast_plan(shared, plans, &body) {
+                    (Endpoint::Plan, Routed::Ready(reply))
+                } else {
+                    (Endpoint::Plan, enqueue(shared, ApiCall::Plan(body), token))
+                }
+            }
+            Err(response) => (Endpoint::Plan, ready(response)),
         },
         ("POST", "/v1/plan/batch") => match parse_body::<Vec<PlanRequest>>(&request.body) {
             Ok(body) if body.len() > MAX_BATCH => (
                 Endpoint::PlanBatch,
-                Response::json(
+                ready(Response::json(
                     400,
                     error_body(&format!(
                         "batch of {} exceeds the {MAX_BATCH}-element limit",
                         body.len()
                     )),
-                ),
+                )),
             ),
-            Ok(body) => (
-                Endpoint::PlanBatch,
-                enqueue(shared, ApiCall::PlanBatch(body)),
-            ),
-            Err(response) => (Endpoint::PlanBatch, response),
+            Ok(body) => {
+                if let Some(reply) = fast_batch(shared, plans, &body) {
+                    (Endpoint::PlanBatch, Routed::Ready(reply))
+                } else {
+                    (
+                        Endpoint::PlanBatch,
+                        enqueue(shared, ApiCall::PlanBatch(body), token),
+                    )
+                }
+            }
+            Err(response) => (Endpoint::PlanBatch, ready(response)),
         },
         ("POST", "/v1/telemetry") => match parse_body::<TelemetryRequest>(&request.body) {
             Ok(body) => (
                 Endpoint::Telemetry,
-                enqueue(shared, ApiCall::Telemetry(body)),
+                enqueue(shared, ApiCall::Telemetry(body), token),
             ),
-            Err(response) => (Endpoint::Telemetry, response),
+            Err(response) => (Endpoint::Telemetry, ready(response)),
         },
         (
             _,
@@ -452,13 +677,17 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, Response) {
             | "/v1/models",
         ) => (
             Endpoint::Other,
-            Response::json(405, error_body("method not allowed")),
+            ready(Response::json(405, error_body("method not allowed"))),
         ),
         _ => (
             Endpoint::Other,
-            Response::json(404, error_body("no such endpoint")),
+            ready(Response::json(404, error_body("no such endpoint"))),
         ),
     }
+}
+
+fn ready(response: Response) -> Routed {
+    Routed::Ready(Reply::Full(response))
 }
 
 fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, Response> {
@@ -467,49 +696,43 @@ fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, Response
     serde_json::from_str(text).map_err(|e| Response::json(400, error_body(&e.to_string())))
 }
 
-/// Queues a decision call and waits for the worker's reply, enforcing
-/// backpressure and the per-request deadline.
-fn enqueue(shared: &Shared, call: ApiCall) -> Response {
-    if shared.shutdown.load(Ordering::SeqCst) {
-        return Response::json(503, error_body("server is draining"))
-            .with_header("retry-after", "1".to_string());
+/// Queues a decision call, enforcing backpressure; the worker's reply
+/// comes back through the owning event loop's inbox.
+fn enqueue(shared: &Shared, call: ApiCall, token: Token) -> Routed {
+    if shared.is_draining() {
+        return ready(
+            Response::json(503, error_body("server is draining"))
+                .with_header("retry-after", "1".to_string()),
+        );
     }
     let deadline = Instant::now() + Duration::from_millis(shared.config.deadline_ms);
-    let (reply, receive) = mpsc::channel();
     let job = Job {
         call,
-        reply,
+        token,
         deadline,
     };
     if shared.queue.try_push(job).is_err() {
         shared.metrics.record_rejection();
-        return Response::json(503, error_body("queue full"))
-            .with_header("retry-after", "1".to_string());
+        return ready(
+            Response::json(503, error_body("queue full"))
+                .with_header("retry-after", "1".to_string()),
+        );
     }
-    // A small grace past the deadline: the worker does the precise
-    // deadline check, this just bounds the wait if a worker stalls.
-    let wait = deadline
-        .saturating_duration_since(Instant::now())
-        .saturating_add(Duration::from_millis(250));
-    match receive.recv_timeout(wait) {
-        Ok(response) => response,
-        Err(_) => {
-            shared.metrics.record_timeout();
-            Response::json(504, error_body("deadline exceeded"))
-        }
-    }
+    Routed::Pending
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         if Instant::now() >= job.deadline {
-            // The connection already answered 504 (or is about to);
-            // don't spend engine time on an abandoned request.
+            // The loop's deadline sweep already answered 504 (or is
+            // about to); don't spend engine time on an abandoned
+            // request.
             shared.metrics.record_timeout();
-            let _ = job.reply.send(Response::json(
-                504,
-                error_body("deadline exceeded in queue"),
-            ));
+            deliver(
+                shared,
+                job.token,
+                Response::json(504, error_body("deadline exceeded in queue")),
+            );
             continue;
         }
         if shared.config.debug_delay_ms > 0 {
@@ -520,8 +743,17 @@ fn worker_loop(shared: &Arc<Shared>) {
             ApiCall::PlanBatch(requests) => handle_plan_batch(shared, &requests),
             ApiCall::Telemetry(request) => handle_telemetry(shared, &request),
         };
-        let _ = job.reply.send(response);
+        deliver(shared, job.token, response);
     }
+}
+
+/// Routes a worker's reply back to the event loop owning the
+/// connection; the token's generation retires it if the connection
+/// already gave up.
+fn deliver(shared: &Shared, token: Token, response: Response) {
+    let lp = &shared.loops[token.loop_idx];
+    lp.deliver(Completion { token, response });
+    lp.wake();
 }
 
 // ---------------------------------------------------------------- handlers
@@ -562,7 +794,9 @@ fn models_response(shared: &Shared) -> Response {
 
 /// Resolves the decider answering a plan request: the server's default
 /// for `model: null`, else a per-model decider built lazily on the
-/// shared engine.
+/// shared engine. Building a model also materializes its decision
+/// table and publishes its prerendered plan bodies, so only a model's
+/// *first* request pays for live characterization.
 fn decider_for(shared: &Shared, model: Option<&str>) -> Result<Arc<Decider>, (u16, Value)> {
     let Some(name) = model else {
         return Ok(Arc::clone(&shared.decider));
@@ -593,15 +827,43 @@ fn decider_for(shared: &Shared, model: Option<&str>) -> Result<Arc<Decider>, (u1
         Ok(decider) => Arc::new(decider),
         Err(e) => return Err((500, error_value(&e.to_string()))),
     };
+    // Materialize the model's decision table through the decider
+    // itself: the characterizations land in the shared engine's
+    // model-keyed cache counters exactly like live traffic would, and
+    // every later request for this model is a pure table read.
+    if let Ok(table) =
+        DecisionTable::build(&decider, max_served_bucket(&shared.config, &decider), &[])
+    {
+        decider.install_table(table);
+    }
     let mut deciders = shared
         .model_deciders
         .write()
         .expect("unpoisoned model deciders");
     // A racing worker may have built it first; keep the stored one so
     // every request for a model shares its memos.
-    Ok(Arc::clone(
-        deciders.entry(name.to_string()).or_insert_with(|| decider),
-    ))
+    let decider = Arc::clone(deciders.entry(name.to_string()).or_insert(decider));
+    // Publish the prerendered bodies while still holding the write
+    // lock: it serializes publishes, so two models materializing at
+    // once cannot drop each other's tables from the set.
+    if shared.fast_path {
+        let current = shared.plans.load();
+        if !current.by_model.contains_key(name) {
+            let installed = decider.table();
+            if let Some(table) = installed.as_ref() {
+                if let Some(rendered) = RenderedPlans::render(&decider, table) {
+                    let mut by_model = current.by_model.clone();
+                    by_model.insert(name.to_string(), Arc::new(rendered));
+                    shared.plans.publish(Arc::new(PlanSet {
+                        default_key: current.default_key.clone(),
+                        by_model,
+                    }));
+                }
+            }
+        }
+    }
+    drop(deciders);
+    Ok(decider)
 }
 
 /// `GET /v1/memory/summary`: the hosted fleet's weight-memory rollup
@@ -639,17 +901,13 @@ fn memory_summary_response(shared: &Shared) -> Response {
 /// One plan decision as `(status, body value)`. Both `POST /v1/plan`
 /// and every `POST /v1/plan/batch` element go through this one
 /// function, which is what makes a batch element bit-identical to the
-/// single call: the same `Value` tree renders in both places.
+/// single call: the same `Value` tree renders in both places. The
+/// decision itself prefers the model's table (counted as a table hit)
+/// and falls back to a live engine decision on a miss.
 fn plan_value(shared: &Shared, request: &PlanRequest) -> (u16, Value) {
     let mv = request.delta_vth_mv;
-    if !(mv.is_finite() && (0.0..=shared.config.max_mv + 1e-9).contains(&mv)) {
-        return (
-            400,
-            error_value(&format!(
-                "delta_vth_mv {mv} outside the served range 0–{} mV",
-                shared.config.max_mv
-            )),
-        );
+    if !served_range(shared, mv) {
+        return (400, error_value(&range_message(shared, mv)));
     }
     let decider = match decider_for(shared, request.model.as_deref()) {
         Ok(decider) => decider,
@@ -657,7 +915,24 @@ fn plan_value(shared: &Shared, request: &PlanRequest) -> (u16, Value) {
     };
     let shift = VthShift::from_millivolts(mv);
     let decision = match request.constraint_factor {
-        None => decider.decide_shift(shift),
+        None => {
+            let mut reader = decider.table_reader();
+            match decider.lookup_or_decide(
+                &mut reader,
+                decider.bucket_of(shift),
+                decider.constraint_ps(),
+            ) {
+                Ok((decision, true)) => {
+                    shared.metrics.record_table_hits(1);
+                    Ok(decision)
+                }
+                Ok((decision, false)) => {
+                    shared.metrics.record_table_misses(1);
+                    Ok(decision)
+                }
+                Err(e) => Err(e),
+            }
+        }
         Some(factor) => {
             if !(factor > 0.0 && factor.is_finite()) {
                 return (
@@ -666,6 +941,7 @@ fn plan_value(shared: &Shared, request: &PlanRequest) -> (u16, Value) {
                 );
             }
             let constraint_ps = decider.flow().fresh_critical_path_ps() * factor;
+            shared.metrics.record_table_misses(1);
             decider.decide_bucket_at(decider.bucket_of(shift), constraint_ps)
         }
     };
@@ -927,7 +1203,7 @@ fn error_value(message: &str) -> Value {
 }
 
 /// Serializes an error body.
-fn error_body(message: &str) -> String {
+pub(crate) fn error_body(message: &str) -> String {
     render_value(&error_value(message))
 }
 

@@ -1,0 +1,286 @@
+//! End-to-end tests for the readiness-polled connection plane:
+//! pipelining byte-identity, the wire-speed table counters, the
+//! central idle keep-alive sweep, and a many-idle-connection drain.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use agequant_aging::{VthShift, AGING_SWEEP_MV};
+use agequant_fleet::{Decider, FleetConfig};
+use agequant_serve::{plan_response, start, ServeConfig, ServerHandle};
+
+fn test_config(chips: u32) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        fleet_chips: chips,
+        fleet_seed: 7,
+        ..ServeConfig::default()
+    }
+}
+
+fn addr_of(handle: &ServerHandle) -> String {
+    handle.addr().to_string()
+}
+
+/// Reads one keep-alive response off `reader`, returning
+/// `(status, headers, body)`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, HashMap<String, String>, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut headers = HashMap::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').expect("header colon");
+        headers.insert(name.trim().to_lowercase(), value.trim().to_string());
+    }
+    let length: usize = headers
+        .get("content-length")
+        .expect("content-length")
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("body");
+    (status, headers, String::from_utf8(body).expect("utf-8"))
+}
+
+/// One-shot `connection: close` request, for control-plane calls.
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, HashMap<String, String>, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let body = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// The value of a single-line Prometheus series, from `/metrics` text.
+fn metric_value(metrics: &str, series: &str) -> Option<f64> {
+    metrics.lines().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.parse().ok()
+    })
+}
+
+/// A pipelined burst — many requests written before any response is
+/// read — must answer every request, in order, with exactly the bytes
+/// the direct engine produces. This is the wire-speed path's bread
+/// and butter: buffered pipelined bytes never raise another poll
+/// event, so only a parser that re-runs after each completion passes.
+#[test]
+fn pipelined_burst_is_bit_identical_and_counts_table_hits() {
+    let handle = start(test_config(8), FleetConfig::new(8, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    let reference = Decider::from_config(&FleetConfig::new(8, 7)).expect("reference decider");
+    let expected: Vec<String> = AGING_SWEEP_MV
+        .iter()
+        .map(|mv| {
+            let decision = reference
+                .decide_shift(VthShift::from_millivolts(*mv))
+                .expect("reference decision");
+            serde_json::to_string(&plan_response(&reference, &decision)).expect("render")
+        })
+        .collect();
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut burst = String::new();
+    for mv in AGING_SWEEP_MV {
+        let body = format!("{{\"delta_vth_mv\": {mv}}}");
+        burst.push_str(&format!(
+            "POST /v1/plan HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+    }
+    writer.write_all(burst.as_bytes()).expect("write burst");
+
+    let mut reader = BufReader::new(stream);
+    for expected_body in &expected {
+        let (status, _, body) = read_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(&body, expected_body, "pipelined body diverged");
+    }
+    drop(reader);
+    drop(writer);
+
+    let (status, _, metrics) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let hits = metric_value(&metrics, "agequant_serve_table_hits_total")
+        .expect("table hit counter exported");
+    assert!(
+        hits >= AGING_SWEEP_MV.len() as f64,
+        "expected the whole burst to hit the table, counted {hits}"
+    );
+    // Per-endpoint latency evidence that the loop observed the burst.
+    assert!(
+        metrics.contains("agequant_http_request_duration_seconds_count{endpoint=\"plan\"}"),
+        "plan latency histogram missing"
+    );
+    handle.shutdown_and_join();
+}
+
+/// Requests the table cannot answer — constraint overrides — miss the
+/// table and fall to the worker path, and both counters say so.
+#[test]
+fn table_misses_are_counted_for_live_path_requests() {
+    let handle = start(test_config(8), FleetConfig::new(8, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    let (status, _, body) = request(
+        &addr,
+        "POST",
+        "/v1/plan",
+        Some("{\"delta_vth_mv\": 12.5, \"constraint_factor\": 1.1}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = request(&addr, "POST", "/v1/plan", Some("{\"delta_vth_mv\": 12.5}"));
+    assert_eq!(status, 200, "{body}");
+
+    let (_, _, metrics) = request(&addr, "GET", "/metrics", None);
+    let hits = metric_value(&metrics, "agequant_serve_table_hits_total").expect("hits exported");
+    let misses =
+        metric_value(&metrics, "agequant_serve_table_misses_total").expect("misses exported");
+    assert!(hits >= 1.0, "plain plan should hit the table: {hits}");
+    assert!(
+        misses >= 1.0,
+        "constraint override should miss the table: {misses}"
+    );
+    handle.shutdown_and_join();
+}
+
+/// The loop's central sweep closes idle keep-alive connections after
+/// `keep_alive_secs` — the regression test for idle bookkeeping now
+/// living in one place instead of per-connection threads.
+#[test]
+fn idle_keep_alive_connections_are_swept() {
+    let config = ServeConfig {
+        keep_alive_secs: 1,
+        ..test_config(4)
+    };
+    let handle = start(config, FleetConfig::new(4, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    write!(
+        writer,
+        "GET /healthz HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\n\r\n"
+    )
+    .expect("write request");
+    let mut reader = BufReader::new(stream);
+    let (status, _, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+
+    // Now idle. The server owes us a close shortly after the 1s idle
+    // limit; a read returning 0 bytes is the FIN.
+    let started = Instant::now();
+    let mut buf = [0u8; 64];
+    let n = reader.read(&mut buf).expect("await server close");
+    assert_eq!(n, 0, "server should close the idle connection");
+    let waited = started.elapsed();
+    assert!(
+        waited >= Duration::from_millis(500) && waited < Duration::from_secs(8),
+        "idle sweep fired at {waited:?}, expected shortly after the 1s limit"
+    );
+    handle.shutdown_and_join();
+}
+
+/// Hundreds of idle keep-alive connections cost the server an open
+/// socket each — no thread stacks — and a drain closes every one of
+/// them promptly. (The 10k-connection memory-flatness assertion runs
+/// in `BENCH_serve`, where the fd budget is controlled.)
+#[test]
+fn many_idle_connections_report_and_drain_cleanly() {
+    let handle = start(test_config(4), FleetConfig::new(4, 7)).expect("start");
+    let addr = addr_of(&handle);
+
+    const IDLE: usize = 300;
+    let conns: Vec<TcpStream> = (0..IDLE)
+        .map(|_| {
+            let stream = TcpStream::connect(&addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("read timeout");
+            stream
+        })
+        .collect();
+
+    // Give the accept loop a beat to adopt the whole batch, then the
+    // gauge must see them all (+1 for the metrics probe itself).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, metrics) = request(&addr, "GET", "/metrics", None);
+        assert_eq!(status, 200);
+        let open = metric_value(&metrics, "agequant_serve_open_connections")
+            .expect("open-connection gauge exported");
+        if open >= IDLE as f64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gauge stuck at {open} with {IDLE} idle connections open"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let (status, _, body) = request(&addr, "POST", "/v1/shutdown", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("draining"), "{body}");
+    let mut handle = handle;
+    let drained = Instant::now();
+    handle.join();
+    assert!(
+        drained.elapsed() < Duration::from_secs(15),
+        "drain with {IDLE} idle connections took {:?}",
+        drained.elapsed()
+    );
+
+    // Every idle connection got a FIN (or RST) rather than a hang.
+    for stream in conns {
+        let mut reader = stream;
+        let mut buf = [0u8; 16];
+        match reader.read(&mut buf) {
+            Ok(n) => assert_eq!(n, 0, "expected EOF on a drained idle connection"),
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+                ),
+                "unexpected error draining idle connection: {e}"
+            ),
+        }
+    }
+}
